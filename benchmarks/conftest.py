@@ -1,0 +1,52 @@
+"""Shared fixtures for the paper-reproduction benchmarks.
+
+Every module in this directory regenerates one table or figure of the
+paper (see DESIGN.md's experiment index) by calling into the
+:mod:`repro.experiments` library and asserting the *shape* the paper
+reports; absolute numbers differ (Python on modern hardware vs C++ on
+a Sun Ultra II; a procedural image collection vs Corel/Mantan).
+
+Scale: the default protocol uses a 2,000-image collection and 30
+queries so the directory runs in minutes; set ``QCLUSTER_BENCH_FULL=1``
+for a scale closer to the paper's.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments import ProtocolConfig, ProtocolData
+
+FULL_SCALE = os.environ.get("QCLUSTER_BENCH_FULL", "") == "1"
+
+PROTOCOL = ProtocolConfig(
+    n_categories=40 if FULL_SCALE else 20,
+    n_queries=100 if FULL_SCALE else 30,
+)
+
+#: Re-exported protocol constants used in assertions.
+K = PROTOCOL.k
+N_ITERATIONS = PROTOCOL.n_iterations
+
+
+@pytest.fixture(scope="session")
+def protocol_data() -> ProtocolData:
+    """Collection + both feature databases + the paired query sample."""
+    return ProtocolData.build(PROTOCOL)
+
+
+@pytest.fixture(scope="session")
+def color_database(protocol_data):
+    return protocol_data.color_database
+
+
+@pytest.fixture(scope="session")
+def texture_database(protocol_data):
+    return protocol_data.texture_database
+
+
+@pytest.fixture(scope="session")
+def query_indices(protocol_data):
+    return protocol_data.query_indices

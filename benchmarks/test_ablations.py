@@ -1,0 +1,206 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+Not figures from the paper — these probe the knobs the paper fixes:
+
+* the significance level alpha (effective radius / merge aggressiveness),
+* the cluster budget ``max_clusters`` (g = 1 degenerates to MindReader),
+* the aggregate exponent (the paper's harmonic fuzzy-OR vs the
+  conjunctive average QEX uses), and
+* the PCA retained-variance cutoff for the color pipeline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from conftest import K
+from repro.experiments.reporting import ResultTable
+from repro.core.config import QclusterConfig
+from repro.retrieval import QclusterMethod, run_batch
+
+def print_table(title, headers, rows):
+    """Render rows through the shared ResultTable reporter."""
+    table = ResultTable(title, headers)
+    for row in rows:
+        table.add_row(*row)
+    table.print()
+
+
+N_ITERATIONS = 3
+N_QUERIES = 12
+
+
+@pytest.fixture(scope="module")
+def ablation_queries(color_database):
+    rng = np.random.default_rng(99)
+    return rng.choice(color_database.size, size=N_QUERIES, replace=False)
+
+
+def final_recall(database, config, queries) -> float:
+    batch = run_batch(
+        database,
+        lambda: QclusterMethod(config),
+        queries,
+        k=K,
+        n_iterations=N_ITERATIONS,
+    )
+    return float(batch.mean_recall[-1])
+
+
+def test_ablation_max_clusters(benchmark, color_database, ablation_queries):
+    """g = 1 (MindReader-like) must lose to a real multi-cluster budget."""
+
+    def run():
+        return {
+            budget: final_recall(
+                color_database, QclusterConfig(max_clusters=budget), ablation_queries
+            )
+            for budget in (1, 2, 3, 5, 8)
+        }
+
+    recalls = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(
+        "Ablation: cluster budget (max_clusters)",
+        ["max_clusters", "final recall"],
+        [[budget, f"{value:.3f}"] for budget, value in recalls.items()],
+    )
+    assert max(recalls[b] for b in (3, 5, 8)) > recalls[1]
+
+
+def test_ablation_significance_level(benchmark, color_database, ablation_queries):
+    """The radius alpha trades off cluster creation vs absorption."""
+
+    def run():
+        return {
+            alpha: final_recall(
+                color_database,
+                QclusterConfig(significance_level=alpha),
+                ablation_queries,
+            )
+            for alpha in (0.2, 0.05, 0.01, 0.001)
+        }
+
+    recalls = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(
+        "Ablation: effective-radius significance level",
+        ["alpha", "final recall"],
+        [[alpha, f"{value:.3f}"] for alpha, value in recalls.items()],
+    )
+    # All settings must function; the default should be competitive.
+    assert recalls[0.05] >= max(recalls.values()) - 0.08
+
+
+def test_ablation_merge_alpha(benchmark, color_database, ablation_queries):
+    """Merge-test alpha: too large fragments modes, too small over-merges."""
+
+    def run():
+        return {
+            alpha: final_recall(
+                color_database,
+                QclusterConfig(merge_significance_level=alpha, min_merge_alpha=min(1e-6, alpha / 10)),
+                ablation_queries,
+            )
+            for alpha in (0.05, 0.001, 1e-5)
+        }
+
+    recalls = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(
+        "Ablation: merge-test significance level",
+        ["merge alpha", "final recall"],
+        [[alpha, f"{value:.3f}"] for alpha, value in recalls.items()],
+    )
+    assert recalls[0.001] >= max(recalls.values()) - 0.08
+
+
+def test_ablation_batch_vs_sequential_classification(
+    benchmark, color_database, ablation_queries
+):
+    """Algorithm 2's two readings: fixed-snapshot vs evolving statistics."""
+
+    def run():
+        return {
+            mode: final_recall(
+                color_database,
+                QclusterConfig(batch_classification=(mode == "batch")),
+                ablation_queries,
+            )
+            for mode in ("sequential", "batch")
+        }
+
+    recalls = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(
+        "Ablation: classification round style",
+        ["mode", "final recall"],
+        [[mode, f"{value:.3f}"] for mode, value in recalls.items()],
+    )
+    assert abs(recalls["sequential"] - recalls["batch"]) < 0.1
+
+
+def test_ablation_discriminant(benchmark, color_database, ablation_queries):
+    """Pooled (Eq. 10) vs per-cluster quadratic discriminant (Eq. 8)."""
+
+    def run():
+        return {
+            mode: final_recall(
+                color_database,
+                QclusterConfig(discriminant=mode),
+                ablation_queries,
+            )
+            for mode in ("pooled", "quadratic")
+        }
+
+    recalls = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(
+        "Ablation: classifier discriminant",
+        ["discriminant", "final recall"],
+        [[mode, f"{value:.3f}"] for mode, value in recalls.items()],
+    )
+    assert abs(recalls["pooled"] - recalls["quadratic"]) < 0.1
+
+
+def test_ablation_initial_clustering_method(
+    benchmark, color_database, ablation_queries
+):
+    """First-round clustering: the paper's hierarchical vs k-means."""
+
+    def run():
+        return {
+            method: final_recall(
+                color_database,
+                QclusterConfig(initial_method=method),
+                ablation_queries,
+            )
+            for method in ("hierarchical", "kmeans")
+        }
+
+    recalls = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(
+        "Ablation: initial clustering method",
+        ["method", "final recall"],
+        [[method, f"{value:.3f}"] for method, value in recalls.items()],
+    )
+    assert abs(recalls["hierarchical"] - recalls["kmeans"]) < 0.1
+
+
+def test_ablation_regularization(benchmark, color_database, ablation_queries):
+    """Covariance regularization epsilon: flat response expected in 3-d."""
+
+    def run():
+        return {
+            epsilon: final_recall(
+                color_database,
+                QclusterConfig(regularization=epsilon),
+                ablation_queries,
+            )
+            for epsilon in (1e-8, 1e-6, 1e-3)
+        }
+
+    recalls = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(
+        "Ablation: covariance regularization",
+        ["epsilon", "final recall"],
+        [[epsilon, f"{value:.3f}"] for epsilon, value in recalls.items()],
+    )
+    values = list(recalls.values())
+    assert max(values) - min(values) < 0.15

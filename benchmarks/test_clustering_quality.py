@@ -1,0 +1,67 @@
+"""Section 4.5: the clustering-quality measure over real sessions.
+
+The paper defines its quality measure — leave-one-out reclassification
+error over the final clusters — but reports it only for the synthetic
+studies.  This bench applies it to the clusters Qcluster actually ends
+up with after five feedback iterations on the image collection, per
+query, and reports the distribution: well-formed clusters should
+reclassify their own members with a low error rate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.quality import leave_one_out_error
+from repro.experiments.reporting import ResultTable
+from repro.retrieval import FeedbackSession, QclusterMethod
+
+N_QUERIES = 12
+K = 100
+N_ITERATIONS = 5
+
+
+@pytest.fixture(scope="module")
+def final_cluster_reports(color_database):
+    rng = np.random.default_rng(12)
+    queries = rng.choice(color_database.size, N_QUERIES, replace=False)
+    reports = []
+    for query_index in queries:
+        method = QclusterMethod()
+        FeedbackSession(color_database, method, k=K).run(
+            int(query_index), n_iterations=N_ITERATIONS
+        )
+        if method.engine.clusters:
+            reports.append(
+                (
+                    int(query_index),
+                    method.engine.n_clusters,
+                    leave_one_out_error(method.engine.clusters, method.engine.classifier),
+                )
+            )
+    return reports
+
+
+def test_section45_quality_measure(benchmark, final_cluster_reports):
+    reports = benchmark.pedantic(lambda: final_cluster_reports, rounds=1, iterations=1)
+    table = ResultTable(
+        "Section 4.5: leave-one-out error of the final clusters, per query",
+        ["query", "clusters", "members evaluated", "error rate"],
+    )
+    error_rates = []
+    for query_index, n_clusters, report in reports:
+        table.add_row(query_index, n_clusters, report.total, f"{report.error_rate:.3f}")
+        if report.total > 0:
+            error_rates.append(report.error_rate)
+    table.notes.append(
+        f"mean error over {len(error_rates)} evaluable sessions: "
+        f"{np.mean(error_rates):.3f}"
+    )
+    table.print()
+
+    assert error_rates, "no session produced evaluable clusters"
+    # The adaptive clustering should produce self-consistent clusters:
+    # most members return home under leave-one-out.
+    assert np.mean(error_rates) < 0.25
+    assert np.median(error_rates) <= 0.15

@@ -1,0 +1,49 @@
+"""Figure 7: execution cost of the three query-evaluation strategies.
+
+Paper finding: the multipoint approach "saves the execution cost of an
+iteration by caching the information of index nodes generated during
+the previous iterations" — its per-iteration I/O collapses after
+iteration 1, while the centroid-based approach pays full price every
+time.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import fig07
+from repro.index import CentroidSearcher, HybridTree, MultipointSearcher
+
+
+@pytest.fixture(scope="module")
+def queries(color_database):
+    return fig07.session_queries(color_database)
+
+
+@pytest.fixture(scope="module")
+def tree(color_database):
+    return HybridTree(color_database.vectors, node_size_bytes=4096)
+
+
+def test_fig07_multipoint_vs_centroid_io(color_database):
+    result = fig07.run(color_database)
+    result.as_table().print()
+
+    # After the cold first iteration the cached multipoint strategy is
+    # strictly cheaper, and the session total is lower.
+    assert sum(result.multipoint_io[1:]) < sum(result.centroid_io[1:])
+    assert result.multipoint_total < result.centroid_total
+    assert result.multipoint_io[-1] < result.multipoint_io[0]
+
+
+@pytest.mark.parametrize("strategy", ["multipoint", "centroid"])
+def test_fig07_wall_clock(benchmark, strategy, tree, queries):
+    searcher_type = MultipointSearcher if strategy == "multipoint" else CentroidSearcher
+
+    def run_session():
+        searcher = searcher_type(tree)
+        for query in queries:
+            searcher.search(query, 100)
+        return searcher.log
+
+    benchmark(run_session)

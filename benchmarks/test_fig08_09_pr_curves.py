@@ -1,0 +1,26 @@
+"""Figures 8-9: precision-recall graphs per feedback iteration.
+
+Paper observations asserted here: the retrieval quality improves at
+each iteration, and the increase is largest at the first iteration
+(fast convergence to the user's information need).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import quality
+
+
+@pytest.mark.parametrize("feature", ["color", "texture"])
+def test_fig08_09_pr_per_iteration(benchmark, feature, protocol_data):
+    result = benchmark.pedantic(
+        quality.pr_curves, args=(protocol_data, feature), rounds=1, iterations=1
+    )
+    result.as_table().print()
+
+    per_iteration = result.mean_precision_per_iteration
+    assert per_iteration[-1] > per_iteration[0]
+    jumps = np.diff(per_iteration)
+    assert jumps[0] == max(jumps)  # biggest gain at the first iteration

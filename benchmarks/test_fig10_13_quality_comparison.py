@@ -1,0 +1,40 @@
+"""Figures 10-13: recall and precision per iteration, three approaches.
+
+Paper findings asserted here: all three approaches coincide at the
+initial query; quality rises per iteration for every method; and
+Qcluster > QEX > QPM at the final iteration for both features and both
+metrics.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import quality
+
+
+@pytest.mark.parametrize("feature", ["color", "texture"])
+def test_fig10_13_three_approach_comparison(benchmark, feature, protocol_data):
+    result = benchmark.pedantic(
+        quality.comparison, args=(protocol_data, feature), rounds=1, iterations=1
+    )
+    for table in result.as_tables():
+        table.print()
+
+    recalls = result.series("mean_recall")
+    precisions = result.series("mean_precision")
+
+    # Identical initial iteration (paired protocol).
+    assert recalls["qcluster"][0] == pytest.approx(recalls["qex"][0])
+    assert recalls["qcluster"][0] == pytest.approx(recalls["qpm"][0])
+
+    # Everyone improves over the session.
+    for series in recalls.values():
+        assert series[-1] > series[0]
+
+    # The paper's ordering at the final iteration.
+    assert recalls["qcluster"][-1] > recalls["qex"][-1]
+    assert recalls["qcluster"][-1] > recalls["qpm"][-1]
+    assert precisions["qcluster"][-1] > precisions["qex"][-1]
+    assert precisions["qcluster"][-1] > precisions["qpm"][-1]
+    assert recalls["qex"][-1] >= recalls["qpm"][-1]

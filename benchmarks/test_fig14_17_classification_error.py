@@ -1,0 +1,70 @@
+"""Figures 14-17: classification error vs inter-cluster distance.
+
+Paper findings asserted here: error decreases as the inter-cluster
+distance increases; error grows as the retained dimensionality shrinks
+(where there is signal to lose); and spherical ≈ elliptical — the
+linear-transformation invariance of Theorem 1.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import classification
+
+SEPARATIONS = classification.SEPARATIONS
+DIMENSIONS = classification.DIMENSIONS
+
+
+@pytest.mark.parametrize(
+    "shape,scheme_name",
+    [
+        ("spherical", "inverse"),
+        ("elliptical", "inverse"),
+        ("spherical", "diagonal"),
+        ("elliptical", "diagonal"),
+    ],
+)
+def test_fig14_17_error_rates(benchmark, shape, scheme_name):
+    result = benchmark.pedantic(
+        classification.sweep, args=(shape, scheme_name), rounds=1, iterations=1
+    )
+    result.as_table().print()
+    errors = result.errors
+
+    # Error decreases with separation (compare the extremes, per dim).
+    for k in DIMENSIONS:
+        assert errors[SEPARATIONS[-1]][k] < errors[SEPARATIONS[0]][k]
+    # Error grows as dimensionality shrinks where there is signal to
+    # lose (at the smallest separation everything sits at the ~2/3
+    # random-guessing ceiling, so compare at the largest).
+    assert errors[SEPARATIONS[-1]][3] >= errors[SEPARATIONS[-1]][12] - 0.02
+    # At the largest separation the error approaches the Bayes floor
+    # (~10.6% pairwise for unit Gaussians at distance 2.5; three
+    # clusters roughly double the confusable mass).
+    assert errors[SEPARATIONS[-1]][12] < 0.30
+    # And the drop from the closest to the farthest setting is large.
+    assert errors[SEPARATIONS[-1]][12] < 0.5 * errors[SEPARATIONS[0]][12]
+
+
+def test_shape_invariance_of_inverse_scheme():
+    """Figures 14 vs 15: spherical ~ elliptical for the inverse scheme."""
+    for separation in (1.5, 2.5):
+        spherical = np.mean(
+            [
+                classification.error_rate("spherical", "inverse", separation, 12, seed)
+                for seed in range(3)
+            ]
+        )
+        elliptical = np.mean(
+            [
+                classification.error_rate("elliptical", "inverse", separation, 12, seed)
+                for seed in range(3)
+            ]
+        )
+        print(
+            f"separation {separation}: spherical {spherical:.3f}, "
+            f"elliptical {elliptical:.3f}"
+        )
+        assert abs(spherical - elliptical) < 0.1

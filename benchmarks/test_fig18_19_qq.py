@@ -1,0 +1,38 @@
+"""Figures 18-19: Q-Q plot of T^2 values vs random critical values.
+
+Paper finding asserted here: same-mean pairs produce T^2 values on/near
+the T^2 = c^2 line (both axes draw from approximately the same F
+distribution), different-mean pairs sit far above it, and the statistic
+cleanly separates the two populations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import t2_accuracy
+
+
+@pytest.mark.parametrize("scheme_name", ["inverse", "diagonal"])
+def test_fig18_19_qq_plot(benchmark, scheme_name):
+    result = benchmark.pedantic(
+        t2_accuracy.qq_data, args=(scheme_name,), rounds=1, iterations=1
+    )
+    result.as_table().print()
+
+    sorted_statistics, sorted_labels, sorted_criticals = result.sorted_pairs()
+    ratios = sorted_statistics / sorted_criticals
+    lower_quarter = ratios[: len(ratios) // 4]
+    upper_quarter = ratios[3 * len(ratios) // 4 :]
+
+    assert np.median(lower_quarter) < 1.8
+    assert np.median(upper_quarter) > 2.0
+    assert np.median(upper_quarter) > 1.5 * np.median(lower_quarter)
+    # The lower half of the ranking is same-mean pairs, the upper half
+    # different-mean pairs.
+    assert sorted_labels[: len(ratios) // 4].all()
+    assert not sorted_labels[3 * len(ratios) // 4 :].any()
+    assert result.statistics[~result.same_mean].min() > np.median(
+        result.statistics[result.same_mean]
+    )

@@ -1,0 +1,74 @@
+"""Extension bench: does non-relevant feedback help?
+
+Not a paper figure — the paper's protocol is positive-only — but its
+related-work section motivates negative information (Rocchio [14],
+Ashwin et al. [1]).  This bench runs Qcluster with and without the
+negative-penalty re-ranker over the same queries and reports the
+per-iteration precision delta.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.reporting import ResultTable
+from repro.extensions.session import NegativeFeedbackSession
+from repro.retrieval import FeedbackSession, QclusterMethod
+
+def print_table(title, headers, rows):
+    """Render rows through the shared ResultTable reporter."""
+    table = ResultTable(title, headers)
+    for row in rows:
+        table.add_row(*row)
+    table.print()
+
+
+N_ITERATIONS = 4
+K = 100
+N_QUERIES = 10
+
+
+@pytest.fixture(scope="module")
+def paired_runs(color_database):
+    rng = np.random.default_rng(31)
+    queries = rng.choice(color_database.size, N_QUERIES, replace=False)
+    positive = []
+    with_negatives = []
+    for query_index in queries:
+        positive.append(
+            FeedbackSession(color_database, QclusterMethod(), k=K)
+            .run(int(query_index), n_iterations=N_ITERATIONS)
+            .precisions
+        )
+        with_negatives.append(
+            NegativeFeedbackSession(color_database, QclusterMethod(), k=K, gamma=1.5)
+            .run(int(query_index), n_iterations=N_ITERATIONS)
+            .precisions
+        )
+    return np.vstack(positive), np.vstack(with_negatives)
+
+
+def test_negative_feedback_does_not_hurt(benchmark, paired_runs):
+    positive, with_negatives = benchmark.pedantic(
+        lambda: paired_runs, rounds=1, iterations=1
+    )
+    rows = []
+    for iteration in range(N_ITERATIONS + 1):
+        rows.append(
+            [
+                iteration,
+                f"{positive[:, iteration].mean():.3f}",
+                f"{with_negatives[:, iteration].mean():.3f}",
+                f"{with_negatives[:, iteration].mean() - positive[:, iteration].mean():+.3f}",
+            ]
+        )
+    print_table(
+        "Extension: positive-only vs +negative-penalty precision",
+        ["iteration", "positive-only", "with negatives", "delta"],
+        rows,
+    )
+    # Negatives must not make the final iteration meaningfully worse.
+    assert (
+        with_negatives[:, -1].mean() >= positive[:, -1].mean() - 0.03
+    )

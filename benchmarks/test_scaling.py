@@ -1,0 +1,95 @@
+"""Scaling behaviour of the index search (beyond the paper's Figure 7).
+
+The paper fixes the database at 30,000 images; this bench sweeps the
+database size and verifies that the best-first tree search scales
+sub-linearly in I/O for a selective multipoint query while the full
+scan grows linearly — the property that makes the index worth having.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.reporting import ResultTable
+from repro.core.distance import DisjunctiveQuery, QueryPoint
+from repro.index import HybridTree, LinearScan
+
+def print_table(title, headers, rows):
+    """Render rows through the shared ResultTable reporter."""
+    table = ResultTable(title, headers)
+    for row in rows:
+        table.add_row(*row)
+    table.print()
+
+
+SIZES = [1_000, 4_000, 16_000]
+DIM = 3
+K = 100
+
+
+def clustered_vectors(n: int, rng: np.random.Generator) -> np.ndarray:
+    """A mixture of 20 tight blobs — the shape of real image features."""
+    centers = rng.uniform(-10.0, 10.0, (20, DIM))
+    assignments = rng.integers(0, 20, n)
+    return centers[assignments] + rng.normal(0.0, 0.4, (n, DIM))
+
+
+def selective_query(vectors: np.ndarray) -> DisjunctiveQuery:
+    inverse = np.eye(DIM) * 4.0  # tight ellipsoids, selective contours
+    return DisjunctiveQuery(
+        [
+            QueryPoint(center=vectors[0], inverse=inverse, weight=1.0),
+            QueryPoint(center=vectors[1], inverse=inverse, weight=1.0),
+        ]
+    )
+
+
+@pytest.fixture(scope="module")
+def sweep_results():
+    rng = np.random.default_rng(17)
+    rows = []
+    measurements = []
+    for size in SIZES:
+        vectors = clustered_vectors(size, rng)
+        tree = HybridTree(vectors, node_size_bytes=4096)
+        scan = LinearScan(vectors)
+        query = selective_query(vectors)
+        tree_result = tree.knn(query, K)
+        rows.append(
+            [
+                size,
+                tree_result.cost.io_accesses,
+                scan.n_pages,
+                tree_result.cost.distance_evaluations,
+            ]
+        )
+        measurements.append(
+            (size, tree_result.cost.io_accesses, scan.n_pages,
+             tree_result.cost.distance_evaluations)
+        )
+    print_table(
+        "Index scaling: selective 2-point k-NN vs database size",
+        ["database size", "tree I/O", "scan pages", "tree distance evals"],
+        rows,
+    )
+    return measurements
+
+
+def test_tree_io_scales_sublinearly(benchmark, sweep_results):
+    def ratio():
+        smallest = sweep_results[0]
+        largest = sweep_results[-1]
+        size_growth = largest[0] / smallest[0]
+        io_growth = largest[1] / max(smallest[1], 1)
+        return size_growth, io_growth
+
+    size_growth, io_growth = benchmark.pedantic(ratio, rounds=1, iterations=1)
+    # 16x more data must not mean 16x more I/O for a selective query.
+    assert io_growth < 0.6 * size_growth
+
+
+def test_tree_beats_scan_at_scale(sweep_results):
+    largest = sweep_results[-1]
+    assert largest[1] < largest[2]          # tree I/O < scan pages
+    assert largest[3] < 0.5 * SIZES[-1]     # most vectors never touched

@@ -1,0 +1,99 @@
+"""The adaptive classification + cluster-merging machinery, up close.
+
+Drives the two core algorithms directly on synthetic data:
+
+1. Algorithm 2 (Bayesian classification): new points are placed in the
+   nearest cluster by the discriminant of Equation 10, or open a new
+   cluster when they fall outside the effective radius (Equation 6).
+2. Algorithm 3 (cluster merging): Hotelling's T^2 (Equations 14-16)
+   decides which clusters describe the same population.
+3. Theorem 1 (linear invariance): the same decisions are taken after an
+   arbitrary invertible linear transformation of the space.
+
+Run:  python examples/adaptive_clustering_demo.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.classifier import BayesianClassifier
+from repro.core.cluster import Cluster
+from repro.core.covariance import InverseScheme
+from repro.core.merging import ClusterMerger, pairwise_merge_test
+from repro.stats.chi2 import effective_radius
+
+
+def classification_demo(rng: np.random.Generator) -> None:
+    print("=== Algorithm 2: adaptive Bayesian classification ===\n")
+    clusters = [
+        Cluster(rng.normal(0.0, 0.7, (25, 2))),
+        Cluster(rng.normal(6.0, 0.7, (25, 2))),
+    ]
+    classifier = BayesianClassifier(significance_level=0.05)
+    radius = effective_radius(2, 0.05)
+    print(f"two clusters at (0,0) and (6,6); effective radius chi2_2(0.05) = {radius:.2f}\n")
+
+    probes = {
+        "near cluster 0": np.array([0.3, -0.2]),
+        "near cluster 1": np.array([6.1, 5.8]),
+        "between them": np.array([3.0, 3.0]),
+        "far away": np.array([20.0, -15.0]),
+    }
+    state = classifier.prepare(clusters)
+    print(f"{'probe':<16} {'winner':<7} {'d^2 to winner':<14} outcome")
+    for name, point in probes.items():
+        decision = classifier.classify(state, point)
+        outcome = "NEW CLUSTER" if decision.is_outlier else f"joins cluster {decision.cluster_index}"
+        print(
+            f"{name:<16} {decision.cluster_index:<7} "
+            f"{decision.radius_distance:<14.2f} {outcome}"
+        )
+
+
+def merging_demo(rng: np.random.Generator) -> None:
+    print("\n=== Algorithm 3: cluster merging via Hotelling's T^2 ===\n")
+    shared = rng.normal(0.0, 1.0, (60, 2))
+    fragments = [
+        Cluster(shared[:20]),
+        Cluster(shared[20:40]),
+        Cluster(shared[40:]),
+        Cluster(rng.normal(10.0, 1.0, (20, 2))),
+    ]
+    print("four clusters: three fragments of one population + one distant blob\n")
+    for i in range(len(fragments)):
+        for j in range(i + 1, len(fragments)):
+            result = pairwise_merge_test(fragments[i], fragments[j], significance_level=0.001)
+            verdict = "merge" if result.should_merge else "keep separate"
+            print(
+                f"pair ({i},{j}): T^2 = {result.statistic:8.2f}, "
+                f"c^2 = {result.critical:8.2f}  ->  {verdict}"
+            )
+
+    merged, records = ClusterMerger(significance_level=0.001, max_clusters=5).merge(fragments)
+    print(f"\nafter the merge loop: {len(merged)} clusters "
+          f"(sizes {[c.size for c in merged]}), {len(records)} merges executed")
+
+
+def invariance_demo(rng: np.random.Generator) -> None:
+    print("\n=== Theorem 1: linear-transformation invariance ===\n")
+    points_a = rng.normal(0.0, 1.0, (30, 3))
+    points_b = rng.normal(1.2, 1.0, (30, 3))
+    transform = rng.standard_normal((3, 3)) + 2.5 * np.eye(3)
+    scheme = InverseScheme(regularization=1e-12)
+
+    original = pairwise_merge_test(Cluster(points_a), Cluster(points_b), scheme)
+    mapped = pairwise_merge_test(
+        Cluster(points_a @ transform.T), Cluster(points_b @ transform.T), scheme
+    )
+    print(f"T^2 in the original space:     {original.statistic:.6f}")
+    print(f"T^2 after an invertible map A: {mapped.statistic:.6f}")
+    print("identical (up to round-off) — the merge decision cannot depend on")
+    print("whether the feature space is stretched, rotated or sheared.")
+
+
+if __name__ == "__main__":
+    generator = np.random.default_rng(0)
+    classification_demo(generator)
+    merging_demo(generator)
+    invariance_demo(generator)

@@ -1,0 +1,82 @@
+"""Compare Qcluster against QPM, QEX, FALCON and MindReader.
+
+Reproduces the shape of the paper's Figures 10-13 in miniature: all
+methods see the same random initial queries and the same simulated
+user; recall and precision per iteration are averaged over queries.
+
+Run:  python examples/baseline_comparison.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines import Falcon, MindReader, QueryExpansion, QueryPointMovement
+from repro.datasets import generate_collection
+from repro.features import color_pipeline
+from repro.retrieval import (
+    FeatureDatabase,
+    QclusterMethod,
+    compare_methods,
+    sample_query_indices,
+)
+
+METHODS = {
+    "qcluster": QclusterMethod,
+    "qex": QueryExpansion,
+    "qpm": QueryPointMovement,
+    "falcon": Falcon,
+    "mindreader": MindReader,
+}
+
+
+def main() -> None:
+    print("Building the collection and color features...")
+    collection = generate_collection(
+        n_categories=15, images_per_category=100, image_size=20,
+        complex_fraction=0.4, seed=42,
+    )
+    database = FeatureDatabase(color_pipeline().fit(collection.images), collection.labels)
+
+    # Sample queries with a bias toward complex (bimodal) categories —
+    # the population the multipoint machinery exists for.  The paper's
+    # Corel subset is implicitly rich in such categories (Example 1).
+    rng = np.random.default_rng(4)
+    complex_ids = {s.category_id for s in collection.categories if s.is_complex}
+    complex_pool = np.nonzero(np.isin(collection.labels, list(complex_ids)))[0]
+    queries = np.concatenate(
+        [
+            rng.choice(complex_pool, size=10, replace=False),
+            sample_query_indices(database, 5, rng),
+        ]
+    )
+
+    print(f"Running {len(METHODS)} methods x {len(queries)} queries x 5 iterations...")
+    results = compare_methods(database, METHODS, queries, k=100, n_iterations=5)
+
+    for metric in ("mean_recall", "mean_precision"):
+        label = metric.replace("mean_", "")
+        print(f"\n{label} per iteration")
+        print("iter  " + "  ".join(f"{name:>10}" for name in METHODS))
+        for iteration in range(6):
+            cells = "  ".join(
+                f"{getattr(results[name], metric)[iteration]:>10.3f}" for name in METHODS
+            )
+            print(f"{iteration:^4}  {cells}")
+
+    qcluster = results["qcluster"]
+    print("\nRelative improvement of Qcluster at the final iteration:")
+    for name in ("qex", "qpm", "falcon", "mindreader"):
+        other = results[name]
+        print(
+            f"  vs {name:<10}: recall {qcluster.mean_recall[-1] / other.mean_recall[-1] - 1:+7.1%}, "
+            f"precision {qcluster.mean_precision[-1] / other.mean_precision[-1] - 1:+7.1%}"
+        )
+    print(
+        "\n(The paper reports ~+22% recall / +20% precision vs QEX and ~+34% / +33%"
+        "\nvs QPM on the 30,000-image Corel/Mantan collection.)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+"""The paper's Example 3 / Figure 5: a disjunctive query in R^3.
+
+10,000 points are drawn uniformly in the cube (-2,-2,-2) ~ (2,2,2).
+A multipoint query with representatives at (-1,-1,-1) and (1,1,1) is
+evaluated with the aggregate distance function (Equation 5).  The
+retrieved set forms two disjoint balls — the contour of the aggregate
+distance is two separate surfaces, which no single-point query and no
+convex (QEX-style) combination can produce.
+
+Run:  python examples/disjunctive_query_demo.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import PowerMeanQuery
+from repro.core.distance import DisjunctiveQuery, QueryPoint
+from repro.datasets.uniform import ball_membership, uniform_cube
+
+CENTERS = [np.array([-1.0, -1.0, -1.0]), np.array([1.0, 1.0, 1.0])]
+
+
+def ascii_slice(points: np.ndarray, mask: np.ndarray, width: int = 56, height: int = 24) -> str:
+    """Project retrieved points onto the x = y plane diagonal for display."""
+    # Coordinates along the main diagonal and one transverse axis.
+    diagonal = points @ np.ones(3) / np.sqrt(3.0)
+    transverse = points @ np.array([1.0, -1.0, 0.0]) / np.sqrt(2.0)
+    grid = [[" "] * width for _ in range(height)]
+    for d, t, retrieved in zip(diagonal, transverse, mask):
+        if not retrieved:
+            continue
+        column = int((d + 3.5) / 7.0 * (width - 1))
+        row = int((t + 3.0) / 6.0 * (height - 1))
+        if 0 <= row < height and 0 <= column < width:
+            grid[row][column] = "*"
+    return "\n".join("".join(row) for row in grid)
+
+
+def main() -> None:
+    rng = np.random.default_rng(42)
+    points = uniform_cube(10_000, rng=rng)
+
+    query = DisjunctiveQuery(
+        [QueryPoint(center=c, inverse=np.eye(3), weight=1.0) for c in CENTERS]
+    )
+    distances = query.distances(points)
+
+    truth = ball_membership(points, CENTERS, radius=1.0)
+    n_target = int(truth.sum())
+    retrieved = np.argsort(distances)[:n_target]
+    mask = np.zeros(points.shape[0], dtype=bool)
+    mask[retrieved] = True
+
+    print(f"Points within 1.0 of either center: {n_target}")
+    print(f"Retrieved the same number by aggregate distance (Equation 5).")
+    overlap = int((mask & truth).sum())
+    print(f"Agreement with the two-ball ground truth: {overlap / n_target:.1%}\n")
+
+    print("Retrieved points projected onto the cube's main diagonal")
+    print("(two disjoint blobs — the disjunctive contour of Figure 5):\n")
+    print(ascii_slice(points, mask))
+
+    # Contrast: the conjunctive (QEX-style) aggregate of the same two
+    # representatives retrieves a single blob *between* the centers.
+    convex = PowerMeanQuery(
+        centers=np.stack(CENTERS),
+        inverses=(np.eye(3), np.eye(3)),
+        weights=np.ones(2),
+        alpha=1.0,
+    )
+    convex_retrieved = np.argsort(convex.distances(points))[:n_target]
+    convex_mask = np.zeros(points.shape[0], dtype=bool)
+    convex_mask[convex_retrieved] = True
+    in_balls = int((convex_mask & truth).sum())
+    print(
+        f"\nFor comparison, a convex (average-distance) combination of the same"
+        f"\ntwo representatives retrieves only {in_balls / n_target:.1%} of the two-ball"
+        "\ntarget — its single contour covers the middle of the cube instead:\n"
+    )
+    print(ascii_slice(points, convex_mask))
+
+
+if __name__ == "__main__":
+    main()

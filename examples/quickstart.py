@@ -1,0 +1,60 @@
+"""Quickstart: one Qcluster relevance-feedback session, end to end.
+
+Builds a small procedural image collection, extracts the paper's color
+feature (HSV moments, PCA-reduced to 3 dims), runs five feedback
+iterations with a simulated user, and prints the per-iteration recall
+and precision.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets import generate_collection
+from repro.features import color_pipeline
+from repro.retrieval import (
+    FeatureDatabase,
+    FeedbackSession,
+    QclusterMethod,
+)
+
+
+def main() -> None:
+    print("Generating a 1,200-image collection (12 categories x 100 images)...")
+    collection = generate_collection(
+        n_categories=12, images_per_category=100, image_size=20, seed=42
+    )
+    print("Extracting HSV color moments and reducing to 3 dims with PCA...")
+    features = color_pipeline().fit(collection.images)
+    database = FeatureDatabase(features, collection.labels)
+
+    query_index = int(collection.indices_of(0)[0])
+    print(f"\nQuery image: index {query_index} (category 0, "
+          f"{'complex' if collection.categories[0].is_complex else 'simple'} category)")
+
+    method = QclusterMethod()
+    session = FeedbackSession(database, method, k=100)
+    result = session.run(query_index, n_iterations=5)
+
+    print("\niteration  precision  recall  clusters")
+    print("-" * 42)
+    for record in result.records:
+        print(
+            f"{record.iteration:^9}  {record.precision:^9.3f}  "
+            f"{record.recall:^6.3f}  {method.n_clusters:^8}"
+        )
+
+    improvement = result.recalls[-1] - result.recalls[0]
+    print(f"\nRecall improved by {improvement:+.3f} over five feedback rounds.")
+    if method.n_clusters > 1:
+        print(
+            f"The refined query is disjunctive: {method.n_clusters} clusters, "
+            "one hyper-ellipsoid contour each."
+        )
+
+
+if __name__ == "__main__":
+    np.set_printoptions(precision=3, suppress=True)
+    main()

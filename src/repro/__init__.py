@@ -1,0 +1,60 @@
+"""Qcluster: relevance feedback using adaptive clustering for CBIR.
+
+A full reproduction of Kim & Chung, SIGMOD 2003.  The public API is the
+union of the subpackages:
+
+* :mod:`repro.core` — the paper's contribution: adaptive Bayesian
+  classification, Hotelling-``T^2`` cluster merging, the disjunctive
+  aggregate distance and the :class:`~repro.core.qcluster.QclusterEngine`
+  feedback loop.
+* :mod:`repro.stats` — from-scratch chi-square/F quantiles, weighted
+  moments and Hotelling's two-sample test.
+* :mod:`repro.clustering` — agglomerative clustering for the initial
+  feedback round.
+* :mod:`repro.features` — HSV color moments and GLCM texture extraction.
+* :mod:`repro.datasets` — synthetic Gaussian data and the procedural
+  image-collection surrogate for Corel/Mantan.
+* :mod:`repro.index` — page-bucketed kd tree with cached multipoint k-NN.
+* :mod:`repro.retrieval` — databases, simulated users, feedback
+  sessions, metrics and batch runners.
+* :mod:`repro.baselines` — QPM, QEX, FALCON and MindReader.
+
+Quickstart::
+
+    from repro.core import QclusterEngine
+    from repro.retrieval import FeatureDatabase, FeedbackSession, QclusterMethod
+
+    database = FeatureDatabase(vectors, labels)
+    session = FeedbackSession(database, QclusterMethod(), k=100)
+    result = session.run(query_index=0, n_iterations=5)
+    print(result.recalls)
+"""
+
+from .core import (
+    BayesianClassifier,
+    Cluster,
+    ClusterMerger,
+    DisjunctiveQuery,
+    QclusterConfig,
+    QclusterEngine,
+)
+from .retrieval import FeatureDatabase, FeedbackSession, QclusterMethod, SimulatedUser
+from .system import ImageRetrievalSystem, ResultPage
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BayesianClassifier",
+    "Cluster",
+    "ClusterMerger",
+    "DisjunctiveQuery",
+    "QclusterConfig",
+    "QclusterEngine",
+    "FeatureDatabase",
+    "FeedbackSession",
+    "QclusterMethod",
+    "SimulatedUser",
+    "ImageRetrievalSystem",
+    "ResultPage",
+    "__version__",
+]

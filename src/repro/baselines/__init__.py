@@ -1,0 +1,17 @@
+"""Comparison baselines: QPM (MARS/Rocchio), QEX, FALCON and MindReader."""
+
+from .base import AccumulatingMethod, PowerMeanQuery, diagonal_inverse_from_points
+from .falcon import Falcon
+from .mindreader import MindReader
+from .qex import QueryExpansion
+from .qpm import QueryPointMovement
+
+__all__ = [
+    "AccumulatingMethod",
+    "PowerMeanQuery",
+    "diagonal_inverse_from_points",
+    "Falcon",
+    "MindReader",
+    "QueryExpansion",
+    "QueryPointMovement",
+]

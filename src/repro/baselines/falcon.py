@@ -1,0 +1,59 @@
+"""FALCON baseline (Wu, Faloutsos, Sycara & Payne [20]).
+
+FALCON's aggregate dissimilarity treats **every relevant point as a
+query point** (no clustering, no representatives) and combines their
+distances with a strongly negative power mean,
+
+    d_agg(Q, x)^alpha = (1/g) sum_i d(q_i, x)^alpha,  alpha < 0
+
+(the original paper recommends ``alpha = -5``).  The negative exponent
+mimics a fuzzy OR, so FALCON *can* learn disjunctive queries — but, as
+the Qcluster paper notes, "the proposed aggregate dissimilarity model
+depends on ad hoc heuristics and assumes all relevant points are query
+points", which makes every distance evaluation cost ``O(g)`` in the
+number of relevant images rather than the number of clusters.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import AccumulatingMethod, PowerMeanQuery
+
+__all__ = ["Falcon"]
+
+
+class Falcon(AccumulatingMethod):
+    """All relevant points as query points, fuzzy-OR aggregate.
+
+    Args:
+        alpha: the (negative) aggregate exponent; -5 per the FALCON paper.
+        max_query_points: optional cap on the pooled relevant set size
+            (keeps distance evaluation tractable in long sessions; the
+            most recently added points are kept).
+    """
+
+    name = "falcon"
+
+    def __init__(self, alpha: float = -5.0, max_query_points: int = None) -> None:
+        super().__init__()
+        if alpha >= 0:
+            raise ValueError(f"FALCON requires a negative alpha, got {alpha}")
+        if max_query_points is not None and max_query_points < 1:
+            raise ValueError(
+                f"max_query_points must be at least 1, got {max_query_points}"
+            )
+        self.alpha = alpha
+        self.max_query_points = max_query_points
+
+    def build_query(self, points: np.ndarray, scores: np.ndarray) -> PowerMeanQuery:
+        if self.max_query_points is not None and points.shape[0] > self.max_query_points:
+            points = points[-self.max_query_points :]
+            scores = scores[-self.max_query_points :]
+        identity = np.eye(points.shape[1])
+        return PowerMeanQuery(
+            centers=points,
+            inverses=tuple(identity for _ in range(points.shape[0])),
+            weights=scores,
+            alpha=self.alpha,
+        )

@@ -1,0 +1,50 @@
+"""MindReader baseline (Ishikawa, Subramanya & Faloutsos [11]).
+
+MindReader is query-point movement with a **full** covariance model: the
+single query point is the weighted mean of the relevant set and the
+distance is the generalized Euclidean form with the full (regularized)
+inverse covariance, so arbitrarily *oriented* ellipsoids are learnable
+(unlike MARS, whose diagonal weights only stretch along coordinate
+axes).
+
+In Qcluster terms this is the ``g = 1`` special case with the inverse
+scheme: "when all relevant images are included in a single cluster, it
+is the same as MindReader's" (Section 4).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.covariance import InverseScheme
+from ..stats.descriptive import weighted_covariance, weighted_mean
+from .base import AccumulatingMethod, PowerMeanQuery
+
+__all__ = ["MindReader"]
+
+
+class MindReader(AccumulatingMethod):
+    """Single point, full inverse-covariance distance.
+
+    Args:
+        regularization: diagonal loading for the covariance inversion
+            (the singularity fix of Section 3.2 — needed whenever fewer
+            relevant images than dimensions are available).
+    """
+
+    name = "mindreader"
+
+    def __init__(self, regularization: float = 1e-6) -> None:
+        super().__init__()
+        self.scheme = InverseScheme(regularization=regularization)
+
+    def build_query(self, points: np.ndarray, scores: np.ndarray) -> PowerMeanQuery:
+        center = weighted_mean(points, scores)
+        covariance = weighted_covariance(points, scores, center)
+        inverse = self.scheme.invert(covariance).inverse
+        return PowerMeanQuery(
+            centers=center[None, :],
+            inverses=(inverse,),
+            weights=np.ones(1),
+            alpha=1.0,
+        )

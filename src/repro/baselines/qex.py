@@ -1,0 +1,76 @@
+"""Query-expansion baseline (Porkaew & Chakrabarti [13], MARS).
+
+QEX also uses multiple query points — it clusters the relevant set and
+keeps cluster centroids as representatives — but then "all local
+clusters are merged to form a **single large contour** that covers all
+query points": the aggregate is a *weighted average* (convex /
+conjunctive combination) of per-representative distances, so the
+iso-distance surface is one connected region enclosing every
+representative (Figure 1(b)).
+
+That convexity is exactly what fails on complex queries: when the
+relevant images form disjoint feature-space clusters, the single large
+contour covers the (irrelevant) region between them.  Qcluster's
+harmonic (fuzzy-OR) aggregate keeps the contours separate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..clustering.agglomerative import AgglomerativeClusterer
+from .base import AccumulatingMethod, PowerMeanQuery, diagonal_inverse_from_points
+
+__all__ = ["QueryExpansion"]
+
+
+class QueryExpansion(AccumulatingMethod):
+    """Cluster the relevant set; combine representatives conjunctively.
+
+    Args:
+        n_representatives: number of local clusters to keep (the MARS
+            query-expansion work uses a handful; 3 is its common choice).
+        linkage: linkage criterion for the local clustering.
+        regularization: variance floor for the per-representative
+            re-weighting.
+    """
+
+    name = "qex"
+
+    def __init__(
+        self,
+        n_representatives: int = 3,
+        linkage: str = "average",
+        regularization: float = 1e-6,
+    ) -> None:
+        super().__init__()
+        if n_representatives < 1:
+            raise ValueError(
+                f"n_representatives must be at least 1, got {n_representatives}"
+            )
+        self.n_representatives = n_representatives
+        self.linkage = linkage
+        self.regularization = regularization
+
+    def build_query(self, points: np.ndarray, scores: np.ndarray) -> PowerMeanQuery:
+        n_clusters = min(self.n_representatives, points.shape[0])
+        clustering = AgglomerativeClusterer(
+            n_clusters=n_clusters, linkage=self.linkage
+        ).fit(points)
+        centers = []
+        weights = []
+        # One shared shape matrix: the single-large-contour model weights
+        # dimensions from the *whole* relevant set, not per cluster.
+        shared_inverse = diagonal_inverse_from_points(points, scores, self.regularization)
+        for label in range(clustering.n_clusters):
+            members = clustering.members(label)
+            member_scores = scores[members]
+            centers.append(member_scores @ points[members] / member_scores.sum())
+            weights.append(float(member_scores.sum()))
+        centers = np.vstack(centers)
+        return PowerMeanQuery(
+            centers=centers,
+            inverses=tuple(shared_inverse for _ in range(centers.shape[0])),
+            weights=np.asarray(weights),
+            alpha=1.0,  # arithmetic mean -> one convex covering contour
+        )

@@ -1,0 +1,65 @@
+"""Query-point movement baseline (MARS [15] / Rocchio [14]).
+
+QPM represents the refined query as a **single point**:
+
+* the point moves toward the relevant examples via Rocchio's formula
+  ``q' = a q + b x̄_relevant`` (good matches only — the evaluation
+  protocol produces no explicit negative judgments), and
+* each dimension is re-weighted inversely to the variance of the
+  relevant points along it (the MARS re-weighting rule), producing an
+  axis-aligned ellipsoidal contour.
+
+This is Figure 1(a): one contour, one point — the approach Qcluster
+beats by ~34 % recall / ~33 % precision on complex queries because a
+single convex contour cannot cover disjoint clusters.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..stats.descriptive import weighted_mean
+from .base import AccumulatingMethod, PowerMeanQuery, diagonal_inverse_from_points
+
+__all__ = ["QueryPointMovement"]
+
+
+class QueryPointMovement(AccumulatingMethod):
+    """Rocchio movement + MARS diagonal re-weighting.
+
+    Args:
+        query_weight: Rocchio's ``a`` — how much the original example
+            keeps pulling the query point.
+        relevant_weight: Rocchio's ``b`` — the pull of the relevant mean.
+        regularization: variance floor for the re-weighting.
+    """
+
+    name = "qpm"
+
+    def __init__(
+        self,
+        query_weight: float = 0.3,
+        relevant_weight: float = 0.7,
+        regularization: float = 1e-6,
+    ) -> None:
+        super().__init__()
+        if query_weight < 0 or relevant_weight <= 0:
+            raise ValueError("Rocchio weights must be non-negative (relevant > 0)")
+        self.query_weight = query_weight
+        self.relevant_weight = relevant_weight
+        self.regularization = regularization
+
+    def build_query(self, points: np.ndarray, scores: np.ndarray) -> PowerMeanQuery:
+        relevant_mean = weighted_mean(points, scores)
+        total = self.query_weight + self.relevant_weight
+        moved = (
+            self.query_weight * self.initial_point
+            + self.relevant_weight * relevant_mean
+        ) / total
+        inverse = diagonal_inverse_from_points(points, scores, self.regularization)
+        return PowerMeanQuery(
+            centers=moved[None, :],
+            inverses=(inverse,),
+            weights=np.ones(1),
+            alpha=1.0,
+        )

@@ -1,0 +1,297 @@
+"""Command-line interface for the Qcluster reproduction.
+
+Four subcommands:
+
+* ``demo`` — a self-contained feedback session on a freshly generated
+  collection, printing per-iteration quality (the quickstart, as a CLI).
+* ``compare`` — Qcluster vs the baselines over a query batch.
+* ``disjunctive`` — the Example 3 / Figure 5 scatter demonstration.
+* ``figure`` — regenerate any of the paper's tables/figures by id
+  (``fig5`` ... ``fig19``, ``table2``, ``table3``, ``headline``),
+  optionally exporting CSV.
+* ``export-collection`` — write a procedural collection to disk as a
+  PPM directory tree (one subdirectory per category), loadable back via
+  :func:`repro.datasets.load_directory_collection`.
+
+Run:  python -m repro.cli <subcommand> [options]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from .baselines import Falcon, MindReader, QueryExpansion, QueryPointMovement
+from .core.distance import DisjunctiveQuery, QueryPoint
+from .datasets import generate_collection
+from .datasets.uniform import ball_membership, uniform_cube
+from .features import color_pipeline
+from .retrieval import (
+    FeatureDatabase,
+    FeedbackSession,
+    QclusterMethod,
+    compare_methods,
+    sample_query_indices,
+)
+
+_METHODS = {
+    "qcluster": QclusterMethod,
+    "qex": QueryExpansion,
+    "qpm": QueryPointMovement,
+    "falcon": Falcon,
+    "mindreader": MindReader,
+}
+
+
+def _build_database(args) -> FeatureDatabase:
+    collection = generate_collection(
+        n_categories=args.categories,
+        images_per_category=args.images_per_category,
+        image_size=20,
+        complex_fraction=args.complex_fraction,
+        seed=args.seed,
+    )
+    features = color_pipeline().fit(collection.images)
+    return FeatureDatabase(features, collection.labels)
+
+
+def cmd_demo(args) -> int:
+    """One feedback session with per-iteration quality output."""
+    database = _build_database(args)
+    method = QclusterMethod()
+    session = FeedbackSession(database, method, k=args.k)
+    result = session.run(args.query, n_iterations=args.iterations)
+    print("iteration  precision  recall  clusters")
+    for record in result.records:
+        print(
+            f"{record.iteration:^9}  {record.precision:^9.3f}  "
+            f"{record.recall:^6.3f}  {method.n_clusters:^8}"
+        )
+    return 0
+
+
+def cmd_compare(args) -> int:
+    """Paired comparison of the selected methods."""
+    database = _build_database(args)
+    names = args.methods.split(",")
+    unknown = [name for name in names if name not in _METHODS]
+    if unknown:
+        print(f"unknown methods: {', '.join(unknown)}", file=sys.stderr)
+        print(f"available: {', '.join(_METHODS)}", file=sys.stderr)
+        return 2
+    rng = np.random.default_rng(args.seed)
+    queries = sample_query_indices(database, args.queries, rng)
+    results = compare_methods(
+        database,
+        {name: _METHODS[name] for name in names},
+        queries,
+        k=args.k,
+        n_iterations=args.iterations,
+    )
+    print("recall per iteration")
+    print("iter  " + "  ".join(f"{name:>10}" for name in names))
+    for iteration in range(args.iterations + 1):
+        cells = "  ".join(
+            f"{results[name].mean_recall[iteration]:>10.3f}" for name in names
+        )
+        print(f"{iteration:^4}  {cells}")
+    return 0
+
+
+def cmd_disjunctive(args) -> int:
+    """The Example 3 two-ball retrieval counts."""
+    rng = np.random.default_rng(args.seed)
+    points = uniform_cube(args.points, rng=rng)
+    centers = [np.full(3, -1.0), np.full(3, 1.0)]
+    query = DisjunctiveQuery(
+        [QueryPoint(center=c, inverse=np.eye(3), weight=1.0) for c in centers]
+    )
+    truth = ball_membership(points, centers, radius=1.0)
+    n_target = int(truth.sum())
+    retrieved = np.argsort(query.distances(points))[:n_target]
+    mask = np.zeros(args.points, dtype=bool)
+    mask[retrieved] = True
+    overlap = int((mask & truth).sum())
+    print(f"points within 1.0 of either center: {n_target}")
+    print(f"retrieved by the Equation-5 aggregate: {len(retrieved)}")
+    print(f"agreement with the two-ball ground truth: {overlap / n_target:.1%}")
+    return 0
+
+
+def _figure_tables(figure_id: str, scale: str):
+    """Produce the ResultTables for one figure/table id."""
+    from .experiments import (
+        ProtocolConfig,
+        ProtocolData,
+        classification,
+        fig05,
+        fig06,
+        fig07,
+        quality,
+        t2_accuracy,
+    )
+
+    if figure_id == "fig5":
+        return [fig05.run().as_table()]
+    if figure_id == "fig6":
+        return [fig06.run().as_table()]
+
+    if figure_id in ("fig14", "fig15", "fig16", "fig17"):
+        shape, scheme = {
+            "fig14": ("spherical", "inverse"),
+            "fig15": ("elliptical", "inverse"),
+            "fig16": ("spherical", "diagonal"),
+            "fig17": ("elliptical", "diagonal"),
+        }[figure_id]
+        return [classification.sweep(shape, scheme).as_table()]
+    if figure_id in ("table2", "table3"):
+        same_mean = figure_id == "table2"
+        return [
+            t2_accuracy.run_table(same_mean, scheme).as_table()
+            for scheme in ("inverse", "diagonal")
+        ]
+    if figure_id in ("fig18", "fig19"):
+        scheme = "inverse" if figure_id == "fig18" else "diagonal"
+        return [t2_accuracy.qq_data(scheme).as_table()]
+
+    # The remaining figures need the full retrieval protocol.
+    config = ProtocolConfig() if scale == "default" else ProtocolConfig(
+        n_categories=6, images_per_category=40, n_queries=8
+    )
+    data = ProtocolData.build(config)
+    if figure_id == "fig7":
+        return [fig07.run(data.color_database).as_table()]
+    if figure_id in ("fig8", "fig9"):
+        feature = "color" if figure_id == "fig8" else "texture"
+        return [quality.pr_curves(data, feature).as_table()]
+    if figure_id in ("fig10", "fig11", "fig12", "fig13"):
+        feature = "color" if figure_id in ("fig10", "fig12") else "texture"
+        tables = quality.comparison(data, feature).as_tables()
+        wanted = "recall" if figure_id in ("fig10", "fig11") else "precision"
+        return [table for table in tables if wanted in table.title]
+    if figure_id == "headline":
+        return [quality.headline(data).as_table()]
+    raise KeyError(figure_id)
+
+
+FIGURE_IDS = (
+    "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
+    "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19",
+    "table2", "table3", "headline",
+)
+
+
+def cmd_figure(args) -> int:
+    """Regenerate one of the paper's tables/figures."""
+    if args.id not in FIGURE_IDS:
+        print(f"unknown figure id {args.id!r}", file=sys.stderr)
+        print(f"available: {', '.join(FIGURE_IDS)}", file=sys.stderr)
+        return 2
+    tables = _figure_tables(args.id, args.scale)
+    for position, table in enumerate(tables):
+        table.print()
+        if args.csv:
+            suffix = f"_{position}" if len(tables) > 1 else ""
+            path = f"{args.csv}/{args.id}{suffix}.csv"
+            table.to_csv(path)
+            print(f"wrote {path}")
+    return 0
+
+
+def cmd_export_collection(args) -> int:
+    """Write a generated collection as a PPM directory tree."""
+    from pathlib import Path
+
+    from .datasets import generate_collection
+    from .datasets.ppm import save_ppm
+
+    collection = generate_collection(
+        n_categories=args.categories,
+        images_per_category=args.images_per_category,
+        image_size=args.image_size,
+        complex_fraction=args.complex_fraction,
+        seed=args.seed,
+    )
+    root = Path(args.output)
+    counters = {}
+    for image, label in zip(collection.images, collection.labels):
+        index = counters.get(int(label), 0)
+        counters[int(label)] = index + 1
+        save_ppm(image, root / f"category_{label:03d}" / f"{index:04d}.ppm")
+    print(
+        f"wrote {len(collection)} images across {args.categories} categories to {root}"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Qcluster (SIGMOD 2003) reproduction CLI"
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    def add_collection_arguments(sub):
+        sub.add_argument("--categories", type=int, default=12)
+        sub.add_argument("--images-per-category", type=int, default=100)
+        sub.add_argument("--complex-fraction", type=float, default=0.4)
+        sub.add_argument("--seed", type=int, default=42)
+        sub.add_argument("--k", type=int, default=100)
+        sub.add_argument("--iterations", type=int, default=5)
+
+    demo = subparsers.add_parser("demo", help="run one feedback session")
+    add_collection_arguments(demo)
+    demo.add_argument("--query", type=int, default=0, help="query image index")
+    demo.set_defaults(func=cmd_demo)
+
+    compare = subparsers.add_parser("compare", help="compare feedback methods")
+    add_collection_arguments(compare)
+    compare.add_argument(
+        "--methods", default="qcluster,qex,qpm", help="comma-separated method names"
+    )
+    compare.add_argument("--queries", type=int, default=10)
+    compare.set_defaults(func=cmd_compare)
+
+    disjunctive = subparsers.add_parser(
+        "disjunctive", help="the Example 3 / Figure 5 demo"
+    )
+    disjunctive.add_argument("--points", type=int, default=10_000)
+    disjunctive.add_argument("--seed", type=int, default=42)
+    disjunctive.set_defaults(func=cmd_disjunctive)
+
+    figure = subparsers.add_parser(
+        "figure", help="regenerate a paper table/figure by id"
+    )
+    figure.add_argument("id", help=f"one of: {', '.join(FIGURE_IDS)}")
+    figure.add_argument(
+        "--scale",
+        choices=("default", "small"),
+        default="default",
+        help="protocol scale for the retrieval figures (small = quick look)",
+    )
+    figure.add_argument("--csv", help="directory to export CSV into")
+    figure.set_defaults(func=cmd_figure)
+
+    export = subparsers.add_parser(
+        "export-collection", help="write a generated collection as PPM files"
+    )
+    export.add_argument("output", help="target directory")
+    export.add_argument("--categories", type=int, default=8)
+    export.add_argument("--images-per-category", type=int, default=20)
+    export.add_argument("--image-size", type=int, default=24)
+    export.add_argument("--complex-fraction", type=float, default=0.3)
+    export.add_argument("--seed", type=int, default=0)
+    export.set_defaults(func=cmd_export_collection)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,32 @@
+"""Hierarchical clustering substrate for the initial feedback round."""
+
+from .agglomerative import (
+    AgglomerativeClusterer,
+    AgglomerativeResult,
+    MergeStep,
+    pairwise_sq_euclidean,
+)
+from .kmeans import KMeansResult, kmeans, kmeans_plus_plus_init
+from .linkage import LINKAGES, lance_williams_update
+from .validation import (
+    adjusted_rand_index,
+    contingency_table,
+    rand_index,
+    silhouette_score,
+)
+
+__all__ = [
+    "AgglomerativeClusterer",
+    "AgglomerativeResult",
+    "MergeStep",
+    "pairwise_sq_euclidean",
+    "KMeansResult",
+    "kmeans",
+    "kmeans_plus_plus_init",
+    "LINKAGES",
+    "lance_williams_update",
+    "adjusted_rand_index",
+    "contingency_table",
+    "rand_index",
+    "silhouette_score",
+]

@@ -1,0 +1,158 @@
+"""Agglomerative hierarchical clustering (paper Section 4.1 bootstrap).
+
+Implements the textbook bottom-up procedure the paper sketches in
+Section 3.1: start with every point in its own cluster, repeatedly merge
+the closest pair, stop at a target cluster count and/or a distance
+threshold.  Distances between merged clusters are maintained with the
+Lance-Williams recurrence from :mod:`repro.clustering.linkage`.
+
+This is only used for the *initial* feedback round (Algorithm 1 step 1);
+subsequent rounds use the adaptive classification + merging machinery,
+which is the paper's whole point ("constructs clusters and changes them
+without performing complete re-clustering").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from .linkage import LINKAGES, lance_williams_update
+
+__all__ = ["MergeStep", "AgglomerativeResult", "AgglomerativeClusterer", "pairwise_sq_euclidean"]
+
+
+def pairwise_sq_euclidean(points: np.ndarray) -> np.ndarray:
+    """Dense ``(n, n)`` matrix of squared Euclidean distances."""
+    points = np.atleast_2d(np.asarray(points, dtype=float))
+    squared_norms = np.einsum("ij,ij->i", points, points)
+    gram = points @ points.T
+    distances = squared_norms[:, None] + squared_norms[None, :] - 2.0 * gram
+    np.fill_diagonal(distances, 0.0)
+    return np.maximum(distances, 0.0)
+
+
+@dataclass(frozen=True)
+class MergeStep:
+    """One merge of the dendrogram: clusters ``first``/``second`` at ``distance``."""
+
+    first: int
+    second: int
+    distance: float
+    size: int
+
+
+@dataclass(frozen=True)
+class AgglomerativeResult:
+    """Flat clustering extracted from the dendrogram.
+
+    Attributes:
+        labels: length-``n`` cluster index per input point (0-based,
+            contiguous).
+        n_clusters: number of distinct labels.
+        merges: the merge steps actually executed, in order.
+    """
+
+    labels: np.ndarray
+    n_clusters: int
+    merges: Tuple[MergeStep, ...]
+
+    def members(self, cluster: int) -> np.ndarray:
+        """Indices of the points assigned to ``cluster``."""
+        return np.nonzero(self.labels == cluster)[0]
+
+
+class AgglomerativeClusterer:
+    """Bottom-up clustering with a Lance-Williams distance matrix.
+
+    Args:
+        n_clusters: stop when this many clusters remain (default 1, i.e.
+            build the full dendrogram unless a threshold stops earlier).
+        linkage: one of ``single``, ``complete``, ``average``, ``weighted``,
+            ``ward``.  Ward interprets distances as squared Euclidean,
+            which is also what :func:`pairwise_sq_euclidean` produces, so
+            all criteria share one distance matrix convention here.
+        distance_threshold: optional; stop before any merge whose linkage
+            distance exceeds it (yields a data-driven cluster count).
+    """
+
+    def __init__(
+        self,
+        n_clusters: int = 1,
+        linkage: str = "average",
+        distance_threshold: Optional[float] = None,
+    ) -> None:
+        if n_clusters < 1:
+            raise ValueError(f"n_clusters must be at least 1, got {n_clusters}")
+        if linkage not in LINKAGES:
+            valid = ", ".join(sorted(LINKAGES))
+            raise ValueError(f"unknown linkage {linkage!r}; expected one of: {valid}")
+        if distance_threshold is not None and distance_threshold < 0:
+            raise ValueError(
+                f"distance_threshold must be non-negative, got {distance_threshold}"
+            )
+        self.n_clusters = n_clusters
+        self.linkage = linkage
+        self.distance_threshold = distance_threshold
+
+    def fit(self, points: np.ndarray) -> AgglomerativeResult:
+        """Cluster the rows of ``points``."""
+        points = np.atleast_2d(np.asarray(points, dtype=float))
+        n = points.shape[0]
+        if n == 0:
+            raise ValueError("cannot cluster an empty point set")
+        if n <= self.n_clusters:
+            labels = np.arange(n)
+            return AgglomerativeResult(labels=labels, n_clusters=n, merges=())
+
+        distances = pairwise_sq_euclidean(points)
+        active = list(range(n))
+        sizes = {i: 1 for i in range(n)}
+        membership = {i: [i] for i in range(n)}
+        merges: List[MergeStep] = []
+
+        while len(active) > self.n_clusters:
+            best = (np.inf, -1, -1)
+            for a_pos in range(len(active)):
+                i = active[a_pos]
+                row = distances[i]
+                for b_pos in range(a_pos + 1, len(active)):
+                    j = active[b_pos]
+                    if row[j] < best[0]:
+                        best = (row[j], i, j)
+            merge_distance, i, j = best
+            if (
+                self.distance_threshold is not None
+                and merge_distance > self.distance_threshold
+            ):
+                break
+            # Merge j into i; update distances via Lance-Williams.
+            for k in active:
+                if k in (i, j):
+                    continue
+                updated = lance_williams_update(
+                    self.linkage,
+                    distances[k, i],
+                    distances[k, j],
+                    merge_distance,
+                    sizes[i],
+                    sizes[j],
+                    sizes[k],
+                )
+                distances[k, i] = updated
+                distances[i, k] = updated
+            membership[i].extend(membership.pop(j))
+            sizes[i] += sizes.pop(j)
+            active.remove(j)
+            merges.append(
+                MergeStep(first=i, second=j, distance=float(merge_distance), size=sizes[i])
+            )
+
+        labels = np.empty(n, dtype=int)
+        for new_label, representative in enumerate(active):
+            labels[membership[representative]] = new_label
+        return AgglomerativeResult(
+            labels=labels, n_clusters=len(active), merges=tuple(merges)
+        )

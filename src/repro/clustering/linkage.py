@@ -1,0 +1,75 @@
+"""Linkage criteria for agglomerative clustering (Lance-Williams form).
+
+The paper's Algorithm 1 bootstraps the very first feedback round with a
+hierarchical clustering of the relevant images.  This module provides
+the classic linkage criteria — single, complete, average (UPGMA),
+weighted (WPGMA) and Ward — via their Lance-Williams recurrence
+
+    d(k, i∪j) = a_i d(k,i) + a_j d(k,j) + b d(i,j) + c |d(k,i) - d(k,j)|
+
+so a merge updates the distance matrix in O(n) without revisiting raw
+points.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+__all__ = ["lance_williams_update", "LINKAGES"]
+
+Updater = Callable[[float, float, float, int, int, int], float]
+
+
+def _single(d_ki: float, d_kj: float, d_ij: float, n_i: int, n_j: int, n_k: int) -> float:
+    return min(d_ki, d_kj)
+
+
+def _complete(d_ki: float, d_kj: float, d_ij: float, n_i: int, n_j: int, n_k: int) -> float:
+    return max(d_ki, d_kj)
+
+
+def _average(d_ki: float, d_kj: float, d_ij: float, n_i: int, n_j: int, n_k: int) -> float:
+    total = n_i + n_j
+    return (n_i * d_ki + n_j * d_kj) / total
+
+
+def _weighted(d_ki: float, d_kj: float, d_ij: float, n_i: int, n_j: int, n_k: int) -> float:
+    return 0.5 * (d_ki + d_kj)
+
+
+def _ward(d_ki: float, d_kj: float, d_ij: float, n_i: int, n_j: int, n_k: int) -> float:
+    # Ward on *squared* Euclidean distances.
+    total = n_i + n_j + n_k
+    return (
+        (n_i + n_k) * d_ki + (n_j + n_k) * d_kj - n_k * d_ij
+    ) / total
+
+
+#: Registry of supported linkage criteria.  Ward assumes the distance
+#: matrix holds squared Euclidean distances; the others work with any
+#: dissimilarity.
+LINKAGES: Dict[str, Updater] = {
+    "single": _single,
+    "complete": _complete,
+    "average": _average,
+    "weighted": _weighted,
+    "ward": _ward,
+}
+
+
+def lance_williams_update(
+    linkage: str,
+    d_ki: float,
+    d_kj: float,
+    d_ij: float,
+    n_i: int,
+    n_j: int,
+    n_k: int,
+) -> float:
+    """Distance from cluster ``k`` to the merge of ``i`` and ``j``."""
+    try:
+        updater = LINKAGES[linkage]
+    except KeyError:
+        valid = ", ".join(sorted(LINKAGES))
+        raise ValueError(f"unknown linkage {linkage!r}; expected one of: {valid}")
+    return updater(d_ki, d_kj, d_ij, n_i, n_j, n_k)

@@ -1,0 +1,99 @@
+"""Cluster-validation indices used by tests and ablation benches.
+
+These are standard external/internal validation measures: the Rand
+index and adjusted Rand index compare a clustering against ground-truth
+labels (used to sanity-check the initial hierarchical clustering and
+the synthetic classification experiments), and the silhouette
+coefficient gives a label-free quality signal.
+"""
+
+from __future__ import annotations
+
+from math import comb
+from typing import Sequence
+
+import numpy as np
+
+from .agglomerative import pairwise_sq_euclidean
+
+__all__ = ["rand_index", "adjusted_rand_index", "silhouette_score", "contingency_table"]
+
+
+def contingency_table(labels_a: Sequence[int], labels_b: Sequence[int]) -> np.ndarray:
+    """Cross-tabulation of two label assignments over the same points."""
+    a = np.asarray(labels_a)
+    b = np.asarray(labels_b)
+    if a.shape != b.shape:
+        raise ValueError(f"label vectors differ in length: {a.shape} vs {b.shape}")
+    values_a, inverse_a = np.unique(a, return_inverse=True)
+    values_b, inverse_b = np.unique(b, return_inverse=True)
+    table = np.zeros((values_a.size, values_b.size), dtype=int)
+    np.add.at(table, (inverse_a, inverse_b), 1)
+    return table
+
+
+def rand_index(labels_a: Sequence[int], labels_b: Sequence[int]) -> float:
+    """Fraction of point pairs on which the two clusterings agree."""
+    table = contingency_table(labels_a, labels_b)
+    n = int(table.sum())
+    if n < 2:
+        raise ValueError("rand index needs at least two points")
+    pairs_total = comb(n, 2)
+    pairs_same_both = sum(comb(int(x), 2) for x in table.ravel())
+    pairs_same_a = sum(comb(int(x), 2) for x in table.sum(axis=1))
+    pairs_same_b = sum(comb(int(x), 2) for x in table.sum(axis=0))
+    agreements = pairs_total + 2 * pairs_same_both - pairs_same_a - pairs_same_b
+    return agreements / pairs_total
+
+
+def adjusted_rand_index(labels_a: Sequence[int], labels_b: Sequence[int]) -> float:
+    """Chance-corrected Rand index (Hubert & Arabie)."""
+    table = contingency_table(labels_a, labels_b)
+    n = int(table.sum())
+    if n < 2:
+        raise ValueError("adjusted rand index needs at least two points")
+    sum_cells = sum(comb(int(x), 2) for x in table.ravel())
+    sum_rows = sum(comb(int(x), 2) for x in table.sum(axis=1))
+    sum_cols = sum(comb(int(x), 2) for x in table.sum(axis=0))
+    pairs_total = comb(n, 2)
+    expected = sum_rows * sum_cols / pairs_total
+    maximum = 0.5 * (sum_rows + sum_cols)
+    if maximum == expected:
+        return 1.0 if sum_cells == expected else 0.0
+    return (sum_cells - expected) / (maximum - expected)
+
+
+def silhouette_score(points: np.ndarray, labels: Sequence[int]) -> float:
+    """Mean silhouette coefficient over all points (Euclidean distances).
+
+    For each point, ``a`` is its mean distance to its own cluster and
+    ``b`` the smallest mean distance to any other cluster; the silhouette
+    is ``(b - a) / max(a, b)``.  Points in singleton clusters contribute 0
+    by the usual convention.
+    """
+    points = np.atleast_2d(np.asarray(points, dtype=float))
+    labels = np.asarray(labels)
+    if labels.shape[0] != points.shape[0]:
+        raise ValueError("need one label per point")
+    unique = np.unique(labels)
+    if unique.size < 2:
+        raise ValueError("silhouette requires at least two clusters")
+    distances = np.sqrt(pairwise_sq_euclidean(points))
+    scores = np.zeros(points.shape[0])
+    for idx in range(points.shape[0]):
+        own = labels[idx]
+        own_mask = labels == own
+        own_count = int(own_mask.sum())
+        if own_count <= 1:
+            scores[idx] = 0.0
+            continue
+        a = distances[idx, own_mask].sum() / (own_count - 1)
+        b = np.inf
+        for other in unique:
+            if other == own:
+                continue
+            other_mask = labels == other
+            b = min(b, float(distances[idx, other_mask].mean()))
+        denominator = max(a, b)
+        scores[idx] = 0.0 if denominator == 0 else (b - a) / denominator
+    return float(scores.mean())

@@ -1,0 +1,229 @@
+"""Adaptive Bayesian classification stage (paper Section 4.2, Algorithm 2).
+
+Each newly marked relevant image must be placed into one of the current
+clusters or become a new cluster.  The classifier:
+
+1. computes the pooled covariance across clusters (Equation 7),
+2. evaluates the Bayesian discriminant
+   ``d̂_i(x) = -1/2 (x - x̄_i)' S_pooled^{-1} (x - x̄_i) + ln(w_i)``
+   (Equation 10) for every cluster, where ``w_i = m_i / Σ m_k`` is the
+   normalized relevance mass acting as the prior,
+3. picks the cluster with maximal discriminant, and
+4. admits the point only if it lies within that cluster's *effective
+   radius*: ``(x - x̄_k)' S_k^{-1} (x - x̄_k) < chi2_p(alpha)``
+   (Equation 6 / Algorithm 2 line 4); otherwise the point seeds a new
+   cluster.
+
+The classifier is stateless with respect to the cluster list; the
+expensive pooled inversion can be shared across many points via
+:meth:`BayesianClassifier.prepare`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..stats.chi2 import effective_radius
+from ..stats.descriptive import pooled_covariance
+from .cluster import Cluster
+from .covariance import CovarianceScheme, DiagonalScheme
+
+__all__ = ["ClassifierState", "ClassificationDecision", "BayesianClassifier"]
+
+
+@dataclass(frozen=True)
+class ClassifierState:
+    """Precomputed quantities shared by every classification in a round.
+
+    Attributes:
+        centroids: ``(g, p)`` matrix of cluster centroids.
+        pooled_inverse: ``S_pooled^{-1}`` under the active scheme (Eq. 7).
+        log_priors: ``ln w_i`` for each cluster.
+        cluster_inverses: each cluster's own ``S_i^{-1}`` for the radius
+            check of Algorithm 2 line 4 (and for the quadratic
+            discriminant variant).
+        cluster_log_dets: ``ln |S_i|`` per cluster (quadratic variant's
+            normalization term).
+        radius: the effective radius ``chi2_p(alpha)``.
+    """
+
+    centroids: np.ndarray
+    pooled_inverse: np.ndarray
+    log_priors: np.ndarray
+    cluster_inverses: List[np.ndarray]
+    cluster_log_dets: np.ndarray
+    radius: float
+
+
+@dataclass(frozen=True)
+class ClassificationDecision:
+    """Outcome of classifying one point.
+
+    Attributes:
+        cluster_index: index of the winning cluster (always set — it is the
+            argmax of the discriminants even when the point is an outlier).
+        is_outlier: ``True`` when the point fell outside the winner's
+            effective radius and should seed a new cluster.
+        discriminants: the per-cluster ``d̂_i(x)`` values (Equation 10).
+        radius_distance: the ``(x - x̄_k)' S_k^{-1} (x - x̄_k)`` value the
+            radius check used.
+    """
+
+    cluster_index: int
+    is_outlier: bool
+    discriminants: np.ndarray
+    radius_distance: float
+
+    @property
+    def assigned_index(self) -> Optional[int]:
+        """The winning index, or ``None`` for outliers (new-cluster signal)."""
+        return None if self.is_outlier else self.cluster_index
+
+
+class BayesianClassifier:
+    """Algorithm 2: allocate points to clusters via Bayesian discriminants.
+
+    Args:
+        scheme: covariance inversion scheme (diagonal or full inverse).
+        significance_level: the ``alpha`` of the effective-radius test.
+        discriminant: ``"pooled"`` uses Equation 10's linear discriminant
+            (one shared ``S_pooled``, the paper's operational choice);
+            ``"quadratic"`` keeps each cluster's own covariance in the
+            quadratic term — the full normal-density "important special
+            case" of Equation 8,
+            ``d̂_i(x) = ln w_i − ½ ln|S_i| − ½ (x−x̄_i)' S_i^{-1} (x−x̄_i)``,
+            which can separate clusters that differ in *shape* even when
+            their means coincide.
+    """
+
+    def __init__(
+        self,
+        scheme: Optional[CovarianceScheme] = None,
+        significance_level: float = 0.05,
+        discriminant: str = "pooled",
+    ) -> None:
+        if not 0.0 < significance_level < 1.0:
+            raise ValueError(
+                f"significance level must lie strictly in (0, 1), got {significance_level}"
+            )
+        if discriminant not in ("pooled", "quadratic"):
+            raise ValueError(
+                f"discriminant must be 'pooled' or 'quadratic', got {discriminant!r}"
+            )
+        self.scheme = scheme if scheme is not None else DiagonalScheme()
+        self.significance_level = significance_level
+        self.discriminant = discriminant
+
+    # ------------------------------------------------------------------
+    # State preparation
+    # ------------------------------------------------------------------
+
+    def prepare(self, clusters: Sequence[Cluster]) -> ClassifierState:
+        """Precompute pooled statistics for a fixed cluster list (Eq. 7)."""
+        if not clusters:
+            raise ValueError("the classifier needs at least one cluster")
+        dimension = clusters[0].dimension
+        if any(c.dimension != dimension for c in clusters):
+            raise ValueError("clusters disagree on dimensionality")
+        centroids = np.stack([c.centroid for c in clusters])
+        weights = [c.weight for c in clusters]
+        pooled = pooled_covariance([c.covariance for c in clusters], weights)
+        pooled_inverse = self.scheme.invert(pooled).inverse
+        total = sum(weights)
+        log_priors = np.log(np.asarray(weights) / total)
+        cluster_infos = [self.scheme.invert(c.covariance) for c in clusters]
+        radius = effective_radius(dimension, self.significance_level)
+        return ClassifierState(
+            centroids=centroids,
+            pooled_inverse=pooled_inverse,
+            log_priors=log_priors,
+            cluster_inverses=[info.inverse for info in cluster_infos],
+            cluster_log_dets=np.array(
+                [info.log_det_covariance for info in cluster_infos]
+            ),
+            radius=radius,
+        )
+
+    # ------------------------------------------------------------------
+    # Classification (Equation 10 + radius check)
+    # ------------------------------------------------------------------
+
+    def discriminants(self, state: ClassifierState, x: np.ndarray) -> np.ndarray:
+        """Evaluate ``d̂_i(x)`` for every cluster.
+
+        Pooled mode is Equation 10; quadratic mode is the full normal
+        log-density of Equation 8 (constant terms dropped).
+        """
+        x = np.asarray(x, dtype=float)
+        diff = state.centroids - x
+        if self.discriminant == "quadratic":
+            quadratic = np.array(
+                [
+                    float(d @ inverse @ d)
+                    for d, inverse in zip(diff, state.cluster_inverses)
+                ]
+            )
+            return -0.5 * quadratic - 0.5 * state.cluster_log_dets + state.log_priors
+        transformed = diff @ state.pooled_inverse
+        quadratic = np.einsum("ij,ij->i", transformed, diff)
+        return -0.5 * quadratic + state.log_priors
+
+    def classify(
+        self,
+        state: ClassifierState,
+        x: np.ndarray,
+    ) -> ClassificationDecision:
+        """Run Algorithm 2 for one point against prepared state."""
+        x = np.asarray(x, dtype=float)
+        scores = self.discriminants(state, x)
+        winner = int(np.argmax(scores))
+        diff = x - state.centroids[winner]
+        radius_distance = float(diff @ state.cluster_inverses[winner] @ diff)
+        return ClassificationDecision(
+            cluster_index=winner,
+            is_outlier=radius_distance >= state.radius,
+            discriminants=scores,
+            radius_distance=radius_distance,
+        )
+
+    def classify_points(
+        self,
+        clusters: Sequence[Cluster],
+        points: np.ndarray,
+    ) -> List[ClassificationDecision]:
+        """Classify many points against one cluster list (state built once).
+
+        Note: decisions are taken against the *same* snapshot of cluster
+        statistics, mirroring the paper's batch treatment of a feedback
+        round (clusters are re-estimated after the round, Algorithm 1
+        lines 11-12).
+        """
+        state = self.prepare(clusters)
+        points = np.atleast_2d(np.asarray(points, dtype=float))
+        return [self.classify(state, point) for point in points]
+
+    def assign(
+        self,
+        clusters: List[Cluster],
+        x: np.ndarray,
+        score: float = 1.0,
+    ) -> int:
+        """Classify ``x`` and mutate ``clusters`` accordingly.
+
+        Places the point in the winning cluster when it falls inside the
+        effective radius, otherwise appends a fresh single-point cluster
+        (Algorithm 2 lines 4-6).
+
+        Returns:
+            The index of the cluster that received the point.
+        """
+        state = self.prepare(clusters)
+        decision = self.classify(state, x)
+        if decision.is_outlier:
+            clusters.append(Cluster(np.asarray(x, dtype=float)[None, :], [score]))
+            return len(clusters) - 1
+        clusters[decision.cluster_index].add(x, score)
+        return decision.cluster_index

@@ -1,0 +1,217 @@
+"""Cluster model: weighted moments and incremental combination.
+
+A :class:`Cluster` is the unit the whole Qcluster machinery operates on.
+It tracks its member feature vectors and their relevance scores and
+derives the paper's sufficient statistics:
+
+* ``centroid`` — the relevance-weighted mean (Definition 1),
+* ``covariance`` — the relevance-weighted covariance (Definition 2,
+  normalized form) and ``scatter`` (the un-normalized Equation 3 form),
+* ``weight`` — the relevance mass ``m_i = Σ v_ik``,
+* ``size`` — the member count ``n_i``.
+
+Merging two clusters uses the moment-combination formulas of
+Equations 11-13, so no raw points need to be revisited; the member lists
+are still concatenated because the leave-one-out quality measure of
+Section 4.5 and re-estimation in later iterations require them.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..stats.descriptive import as_weights
+
+__all__ = ["Cluster", "merge_moments"]
+
+
+class Cluster:
+    """A weighted cluster of feature vectors.
+
+    Args:
+        points: ``(n, p)`` array-like of member feature vectors.
+        scores: optional length-``n`` relevance scores ``v_ik``; default 1.
+
+    The statistics are computed eagerly at construction and after every
+    mutation, which keeps reads cheap (the engine reads statistics far
+    more often than it mutates clusters).
+    """
+
+    __slots__ = ("_points", "_scores", "_centroid", "_scatter")
+
+    def __init__(
+        self,
+        points: Iterable[Sequence[float]],
+        scores: Optional[Sequence[float]] = None,
+    ) -> None:
+        array = np.atleast_2d(np.asarray(list(points) if not isinstance(points, np.ndarray) else points, dtype=float))
+        if array.size == 0:
+            raise ValueError("a cluster must contain at least one point")
+        if array.ndim != 2:
+            raise ValueError(f"points must be a 2-d array, got shape {array.shape}")
+        if not np.all(np.isfinite(array)):
+            raise ValueError("cluster points must be finite (no NaN/inf)")
+        self._points = array
+        self._scores = as_weights(scores, array.shape[0])
+        self._refresh()
+
+    # ------------------------------------------------------------------
+    # Statistics (Definitions 1-2)
+    # ------------------------------------------------------------------
+
+    def _refresh(self) -> None:
+        weight = self._scores.sum()
+        self._centroid = self._scores @ self._points / weight
+        centered = self._points - self._centroid
+        self._scatter = (centered * self._scores[:, None]).T @ centered
+
+    @property
+    def points(self) -> np.ndarray:
+        """Read-only view of the ``(n, p)`` member matrix."""
+        view = self._points.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def scores(self) -> np.ndarray:
+        """Read-only view of the relevance scores ``v_ik``."""
+        view = self._scores.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def size(self) -> int:
+        """Member count ``n_i``."""
+        return self._points.shape[0]
+
+    @property
+    def dimension(self) -> int:
+        """Feature-space dimensionality ``p``."""
+        return self._points.shape[1]
+
+    @property
+    def weight(self) -> float:
+        """Relevance mass ``m_i = Σ v_ik`` (the cluster's weight in Eq. 5/8)."""
+        return float(self._scores.sum())
+
+    @property
+    def centroid(self) -> np.ndarray:
+        """Relevance-weighted centroid ``x̄_i`` (Definition 1)."""
+        return self._centroid.copy()
+
+    @property
+    def scatter(self) -> np.ndarray:
+        """Un-normalized weighted scatter ``Σ v (x - x̄)(x - x̄)'`` (Eq. 3)."""
+        return self._scatter.copy()
+
+    @property
+    def covariance(self) -> np.ndarray:
+        """Weight-normalized covariance ``scatter / m_i``."""
+        return self._scatter / self.weight
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+
+    def add(self, point: Sequence[float], score: float = 1.0) -> None:
+        """Append one member with relevance ``score`` and refresh statistics."""
+        if score <= 0:
+            raise ValueError(f"relevance score must be positive, got {score}")
+        point = np.asarray(point, dtype=float).reshape(1, -1)
+        if not np.all(np.isfinite(point)):
+            raise ValueError("cluster points must be finite (no NaN/inf)")
+        if point.shape[1] != self.dimension:
+            raise ValueError(
+                f"point has dimension {point.shape[1]}, cluster has {self.dimension}"
+            )
+        self._points = np.vstack([self._points, point])
+        self._scores = np.append(self._scores, float(score))
+        self._refresh()
+
+    def without_member(self, index: int) -> "Cluster":
+        """Return a copy with member ``index`` removed (for leave-one-out).
+
+        Raises:
+            ValueError: if the cluster holds a single point — removing it
+                would leave an empty cluster.
+        """
+        if self.size <= 1:
+            raise ValueError("cannot remove the only member of a cluster")
+        mask = np.ones(self.size, dtype=bool)
+        mask[index] = False
+        return Cluster(self._points[mask], self._scores[mask])
+
+    def merged_with(self, other: "Cluster") -> "Cluster":
+        """Merge two clusters, concatenating members.
+
+        The resulting cluster's moments coincide (up to the paper's
+        ``m-1`` vs ``m`` normalization convention) with the closed-form
+        combination of :func:`merge_moments`; carrying the members along
+        keeps leave-one-out quality assessment possible.
+        """
+        if other.dimension != self.dimension:
+            raise ValueError("cannot merge clusters of different dimensionality")
+        return Cluster(
+            np.vstack([self._points, other._points]),
+            np.concatenate([self._scores, other._scores]),
+        )
+
+    # ------------------------------------------------------------------
+    # Dunder conveniences
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Cluster(size={self.size}, weight={self.weight:.3f}, "
+            f"dimension={self.dimension})"
+        )
+
+
+def merge_moments(
+    mean_i: np.ndarray,
+    covariance_i: np.ndarray,
+    weight_i: float,
+    mean_j: np.ndarray,
+    covariance_j: np.ndarray,
+    weight_j: float,
+) -> Tuple[float, np.ndarray, np.ndarray]:
+    """Combine two clusters' moments without touching raw points (Eq. 11-13).
+
+    Args:
+        mean_i, covariance_i, weight_i: first cluster's ``x̄``, ``S``
+            (sample covariance, i.e. normalized by ``m - 1``) and mass.
+        mean_j, covariance_j, weight_j: second cluster's statistics.
+
+    Returns:
+        ``(m_new, x̄_new, S_new)`` per Equations 11, 12 and 13:
+
+        * ``m_new = m_i + m_j``
+        * ``x̄_new = (m_i x̄_i + m_j x̄_j) / m_new``
+        * ``S_new = [(m_i - 1) S_i + (m_j - 1) S_j] / (m_new - 1)
+          + m_i m_j / (m_new (m_new - 1)) (x̄_i - x̄_j)(x̄_i - x̄_j)'``
+    """
+    if weight_i <= 0 or weight_j <= 0:
+        raise ValueError("cluster weights must be strictly positive")
+    mean_i = np.asarray(mean_i, dtype=float)
+    mean_j = np.asarray(mean_j, dtype=float)
+    covariance_i = np.asarray(covariance_i, dtype=float)
+    covariance_j = np.asarray(covariance_j, dtype=float)
+    weight_new = weight_i + weight_j
+    if weight_new <= 1.0:
+        raise ValueError(
+            "combined weight must exceed 1 for the sample-covariance form "
+            f"(got {weight_new})"
+        )
+    mean_new = (weight_i * mean_i + weight_j * mean_j) / weight_new
+    diff = (mean_i - mean_j)[:, None]
+    covariance_new = (
+        (weight_i - 1.0) * covariance_i + (weight_j - 1.0) * covariance_j
+    ) / (weight_new - 1.0) + (
+        weight_i * weight_j / (weight_new * (weight_new - 1.0))
+    ) * (diff @ diff.T)
+    return float(weight_new), mean_new, covariance_new

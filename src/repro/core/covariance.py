@@ -1,0 +1,158 @@
+"""Covariance inversion schemes (paper Sections 3.2 and 4.4.4).
+
+The quadratic forms at the heart of Qcluster — the per-cluster distance
+``d^2`` (Equation 1), the classifier discriminant (Equation 10) and
+Hotelling's ``T^2`` (Equation 14) — all need ``S^{-1}`` for a weighted
+covariance ``S``.  The paper evaluates two estimation schemes:
+
+* the **inverse-matrix scheme** (MindReader style): a full matrix
+  inverse, regularized on the diagonal when the number of relevant
+  images is smaller than the dimensionality (the singularity issue of
+  Section 3.2), and
+* the **diagonal-matrix scheme** (MARS style): invert only the diagonal,
+  i.e. weight each dimension by the reciprocal of its variance.
+
+Figure 6 and Tables 2-3 show that the diagonal scheme is far cheaper with
+near-identical quality; the engine therefore defaults to it.  Both
+schemes are exposed behind one small strategy interface so every
+downstream measure can switch with a single parameter.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "CovarianceScheme",
+    "DiagonalScheme",
+    "InverseScheme",
+    "InverseInfo",
+    "get_scheme",
+]
+
+#: Variance floor applied before inversion.  A cluster that is degenerate
+#: along some axis (e.g. a single point, or identical feature values)
+#: would otherwise produce an infinite weight on that axis.
+DEFAULT_REGULARIZATION = 1e-6
+
+
+@dataclass(frozen=True)
+class InverseInfo:
+    """An inverted covariance together with its log-determinant.
+
+    Attributes:
+        inverse: the ``(p, p)`` matrix standing in for ``S^{-1}``.
+        log_det_covariance: ``ln |S|`` of the (regularized) covariance the
+            inverse was derived from; the Bayesian classifier's normal
+            density needs it (Equation 8).
+    """
+
+    inverse: np.ndarray
+    log_det_covariance: float
+
+
+class CovarianceScheme(ABC):
+    """Strategy interface turning a covariance matrix into a usable inverse."""
+
+    #: Human-readable scheme name, used in benchmark tables.
+    name: str = "abstract"
+
+    def __init__(self, regularization: float = DEFAULT_REGULARIZATION) -> None:
+        if regularization < 0:
+            raise ValueError(f"regularization must be non-negative, got {regularization}")
+        self.regularization = regularization
+
+    @abstractmethod
+    def invert(self, covariance: np.ndarray) -> InverseInfo:
+        """Return the scheme's stand-in for ``S^{-1}`` plus ``ln |S|``."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(regularization={self.regularization!r})"
+
+
+class DiagonalScheme(CovarianceScheme):
+    """MARS-style diagonal approximation: ``S^{-1} ~ diag(1 / S_jj)``.
+
+    Equivalent to the classic re-weighting rule where each dimension's
+    weight is inversely proportional to the variance of the relevant
+    images along that dimension.  Cost is O(p) per inversion and the
+    singularity problem cannot arise (Section 4.4.4).
+    """
+
+    name = "diagonal"
+
+    def invert(self, covariance: np.ndarray) -> InverseInfo:
+        covariance = np.asarray(covariance, dtype=float)
+        _check_square(covariance)
+        variances = np.diag(covariance).copy()
+        variances = np.maximum(variances, self.regularization)
+        inverse = np.diag(1.0 / variances)
+        log_det = float(np.sum(np.log(variances)))
+        return InverseInfo(inverse=inverse, log_det_covariance=log_det)
+
+
+class InverseScheme(CovarianceScheme):
+    """MindReader-style full matrix inverse with diagonal regularization.
+
+    Adds ``regularization * max(trace/p, 1)`` to the diagonal before
+    inversion whenever the matrix is not safely positive definite, the
+    standard fix the paper cites from Zhou & Huang [21] for the case of
+    fewer relevant images than dimensions.
+    """
+
+    name = "inverse"
+
+    def invert(self, covariance: np.ndarray) -> InverseInfo:
+        covariance = np.asarray(covariance, dtype=float)
+        _check_square(covariance)
+        p = covariance.shape[0]
+        scale = max(float(np.trace(covariance)) / p, 1.0)
+        ridge = self.regularization * scale
+        regularized = covariance + ridge * np.eye(p)
+        try:
+            # Cholesky doubles as a positive-definiteness check and gives
+            # the log-determinant for free.
+            chol = np.linalg.cholesky(regularized)
+        except np.linalg.LinAlgError:
+            # Fall back to an eigenvalue floor for pathological inputs
+            # (e.g. negative variances from accumulated round-off).
+            eigenvalues, eigenvectors = np.linalg.eigh(regularized)
+            eigenvalues = np.maximum(eigenvalues, max(ridge, DEFAULT_REGULARIZATION))
+            inverse = (eigenvectors / eigenvalues) @ eigenvectors.T
+            log_det = float(np.sum(np.log(eigenvalues)))
+            return InverseInfo(inverse=inverse, log_det_covariance=log_det)
+        identity = np.eye(p)
+        chol_inverse = np.linalg.solve(chol, identity)
+        inverse = chol_inverse.T @ chol_inverse
+        log_det = 2.0 * float(np.sum(np.log(np.diag(chol))))
+        return InverseInfo(inverse=inverse, log_det_covariance=log_det)
+
+
+def _check_square(matrix: np.ndarray) -> None:
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        raise ValueError(f"covariance must be a square matrix, got shape {matrix.shape}")
+    if not np.all(np.isfinite(matrix)):
+        raise ValueError("covariance contains non-finite entries")
+
+
+_SCHEMES = {
+    DiagonalScheme.name: DiagonalScheme,
+    InverseScheme.name: InverseScheme,
+}
+
+
+def get_scheme(
+    name: str,
+    regularization: float = DEFAULT_REGULARIZATION,
+) -> CovarianceScheme:
+    """Look up a covariance scheme by name (``"diagonal"`` or ``"inverse"``)."""
+    try:
+        factory = _SCHEMES[name]
+    except KeyError:
+        valid = ", ".join(sorted(_SCHEMES))
+        raise ValueError(f"unknown covariance scheme {name!r}; expected one of: {valid}")
+    return factory(regularization=regularization)

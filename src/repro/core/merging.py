@@ -1,0 +1,272 @@
+"""Cluster-merging stage (paper Section 4.3, Algorithm 3).
+
+After classification the cluster list may be fragmented; this stage
+shrinks it by merging any pair whose mean vectors are statistically
+indistinguishable under Hotelling's two-sample ``T^2`` test
+(Equations 14-16).  The paper's Algorithm 3:
+
+1. compute ``T^2`` and critical distance ``c^2`` for all pairs,
+2. process pairs in ascending order of how decisively they pass,
+3. merge a pair whenever ``T^2 <= c^2``,
+4. if no pair passes but the cluster budget is still exceeded, *increase
+   the critical distance* by relaxing ``alpha`` (line 8) and retry,
+5. stop once the number of clusters is within the given size.
+
+Merging combines cluster statistics with the closed-form Equations 11-13
+— no re-clustering of raw points — though members are concatenated so
+that later rounds and the quality measure retain them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..stats.chi2 import chi2_ppf
+from ..stats.hotelling import HotellingResult, critical_distance, hotelling_t2
+from .cluster import Cluster
+from .covariance import CovarianceScheme, DiagonalScheme
+
+__all__ = ["MergeRecord", "ClusterMerger", "pairwise_merge_test"]
+
+
+def pairwise_merge_test(
+    cluster_i: Cluster,
+    cluster_j: Cluster,
+    scheme: Optional[CovarianceScheme] = None,
+    significance_level: float = 0.05,
+) -> HotellingResult:
+    """Hotelling two-sample test between two clusters (Equations 14-16).
+
+    The pooled covariance follows Equation 15: the sum of the two
+    weighted scatter matrices divided by the combined relevance mass,
+    inverted under the chosen scheme.
+    """
+    if scheme is None:
+        scheme = DiagonalScheme()
+    if cluster_i.dimension != cluster_j.dimension:
+        raise ValueError("clusters disagree on dimensionality")
+    total_weight = cluster_i.weight + cluster_j.weight
+    pooled = (cluster_i.scatter + cluster_j.scatter) / total_weight
+    pooled_inverse = scheme.invert(pooled).inverse
+    statistic = hotelling_t2(
+        cluster_i.centroid,
+        cluster_j.centroid,
+        pooled_inverse,
+        cluster_i.weight,
+        cluster_j.weight,
+    )
+    critical = critical_distance(
+        cluster_i.dimension, cluster_i.weight, cluster_j.weight, significance_level
+    )
+    return HotellingResult(
+        statistic=statistic,
+        critical=critical,
+        reject_equal_means=statistic > critical,
+        df1=float(cluster_i.dimension),
+        df2=total_weight - cluster_i.dimension - 1.0,
+    )
+
+
+@dataclass(frozen=True)
+class MergeRecord:
+    """Audit record of one executed merge.
+
+    Attributes:
+        first, second: indices (into the pre-merge list) of the merged pair.
+        statistic: the ``T^2`` value at merge time.
+        critical: the critical distance it was compared against.
+        significance_level: the (possibly relaxed) alpha in force.
+        forced: ``True`` when the merge was imposed by the cluster budget
+            after alpha bottomed out, not by the statistical test.
+    """
+
+    first: int
+    second: int
+    statistic: float
+    critical: float
+    significance_level: float
+    forced: bool
+
+
+class ClusterMerger:
+    """Algorithm 3: reduce the cluster list via Hotelling ``T^2`` tests.
+
+    Args:
+        scheme: covariance inversion scheme shared with the classifier.
+        significance_level: initial alpha of the merge test.
+        max_clusters: the "given size" the paper stops at.
+        min_alpha: floor of the relaxation loop; below it remaining
+            over-budget clusters are merged by closest ``T^2`` regardless
+            of the test.
+        relax_factor: multiplicative alpha relaxation per round (paper
+            line 8 "increase critical distance using alpha").
+        low_power_margin: slack multiplier on the chi-square radius used
+            for pairs whose mass is too small for the F test (see
+            ``_pair_result``).
+    """
+
+    def __init__(
+        self,
+        scheme: Optional[CovarianceScheme] = None,
+        significance_level: float = 0.05,
+        max_clusters: int = 5,
+        min_alpha: float = 1e-4,
+        relax_factor: float = 0.5,
+        low_power_margin: float = 3.0,
+    ) -> None:
+        if max_clusters < 1:
+            raise ValueError(f"max_clusters must be at least 1, got {max_clusters}")
+        if not 0.0 < relax_factor < 1.0:
+            raise ValueError(f"relax_factor must lie strictly in (0, 1), got {relax_factor}")
+        if not 0.0 < min_alpha <= significance_level:
+            raise ValueError(
+                f"min_alpha must lie in (0, significance_level], got {min_alpha}"
+            )
+        if low_power_margin < 1.0:
+            raise ValueError(
+                f"low_power_margin must be at least 1, got {low_power_margin}"
+            )
+        self.scheme = scheme if scheme is not None else DiagonalScheme()
+        self.significance_level = significance_level
+        self.max_clusters = max_clusters
+        self.min_alpha = min_alpha
+        self.relax_factor = relax_factor
+        self.low_power_margin = low_power_margin
+
+    # ------------------------------------------------------------------
+
+    def _global_pooled_inverse(self, clusters: Sequence[Cluster]) -> np.ndarray:
+        """Inverse of the all-cluster pooled covariance (prior information).
+
+        Used as the reference scale for pairs whose combined relevance
+        mass is too small for the F test (``m_i + m_j <= p + 1``): the
+        paper's framework treats previous-iteration statistics as priors,
+        and the pooled within-cluster covariance of *all* clusters is the
+        best available estimate of the local data scale.
+        """
+        dimension = clusters[0].dimension
+        total_scatter = np.zeros((dimension, dimension))
+        total_weight = 0.0
+        for cluster in clusters:
+            total_scatter += cluster.scatter
+            total_weight += cluster.weight
+        return self.scheme.invert(total_scatter / total_weight).inverse
+
+    def _pair_result(
+        self,
+        cluster_i: Cluster,
+        cluster_j: Cluster,
+        alpha: float,
+        global_inverse: np.ndarray,
+    ) -> HotellingResult:
+        """Merge test for one pair, robust to low-mass clusters.
+
+        When the pair's combined relevance mass gives the F test real
+        power (``m_i + m_j - p - 1 >= p``), this is exactly Equation 16.
+
+        Below that, the pair's own scatter is uninformative and the F
+        quantile explodes (with one denominator degree of freedom the
+        99.9th percentile is ~10^5, accepting arbitrarily distant pairs),
+        so the decision falls back to an *effective-radius* criterion in
+        the spirit of Lemma 1: merge only if the centroid separation,
+        measured in the global pooled within-cluster covariance, is
+        within ``low_power_margin * chi2_p(1 - alpha)``.  The margin
+        absorbs the scatter deflation that hierarchical splitting of one
+        mode introduces; distant modes exceed the threshold by orders of
+        magnitude regardless.
+        """
+        dimension = cluster_i.dimension
+        f_result = pairwise_merge_test(cluster_i, cluster_j, self.scheme, alpha)
+        if f_result.df2 >= dimension:
+            return f_result
+        diff = cluster_i.centroid - cluster_j.centroid
+        separation = float(diff @ global_inverse @ diff)
+        critical = self.low_power_margin * chi2_ppf(1.0 - alpha, float(dimension))
+        return HotellingResult(
+            statistic=separation,
+            critical=critical,
+            reject_equal_means=separation > critical,
+            df1=float(dimension),
+            df2=max(f_result.df2, 0.0),
+        )
+
+    def _best_pair(
+        self,
+        clusters: Sequence[Cluster],
+        alpha: float,
+    ) -> Tuple[Optional[Tuple[int, int]], Optional[HotellingResult]]:
+        """Return the pair with the smallest ``T^2 / c^2`` ratio.
+
+        Ordering by the ratio rather than raw ``T^2`` matches the spirit
+        of Algorithm 3's ascending queue while staying well-defined when
+        pairs have different degrees of freedom (different weights give
+        different critical values).
+        """
+        best_key = np.inf
+        best_pair: Optional[Tuple[int, int]] = None
+        best_result: Optional[HotellingResult] = None
+        global_inverse = self._global_pooled_inverse(clusters)
+        for i in range(len(clusters)):
+            for j in range(i + 1, len(clusters)):
+                result = self._pair_result(clusters[i], clusters[j], alpha, global_inverse)
+                key = result.statistic / result.critical
+                if key < best_key:
+                    best_key = key
+                    best_pair = (i, j)
+                    best_result = result
+        return best_pair, best_result
+
+    def merge(self, clusters: Sequence[Cluster]) -> Tuple[List[Cluster], List[MergeRecord]]:
+        """Run the full merging loop and return the reduced cluster list.
+
+        The input sequence is not mutated; merged clusters are rebuilt via
+        :meth:`Cluster.merged_with`.
+        """
+        working = list(clusters)
+        records: List[MergeRecord] = []
+        if len(working) <= 1:
+            return working, records
+        alpha = self.significance_level
+        while len(working) > 1:
+            pair, result = self._best_pair(working, alpha)
+            assert pair is not None and result is not None  # len > 1 guarantees a pair
+            i, j = pair
+            if result.should_merge:
+                merged = working[i].merged_with(working[j])
+                records.append(
+                    MergeRecord(
+                        first=i,
+                        second=j,
+                        statistic=result.statistic,
+                        critical=result.critical,
+                        significance_level=alpha,
+                        forced=False,
+                    )
+                )
+                working = [c for k, c in enumerate(working) if k not in (i, j)]
+                working.append(merged)
+                continue
+            if len(working) <= self.max_clusters:
+                break  # within budget and nothing statistically mergeable
+            # Over budget: relax alpha (grow the critical distance) and, at
+            # the floor, force-merge the closest pair.
+            if alpha > self.min_alpha:
+                alpha = max(alpha * self.relax_factor, self.min_alpha)
+                continue
+            merged = working[i].merged_with(working[j])
+            records.append(
+                MergeRecord(
+                    first=i,
+                    second=j,
+                    statistic=result.statistic,
+                    critical=result.critical,
+                    significance_level=alpha,
+                    forced=True,
+                )
+            )
+            working = [c for k, c in enumerate(working) if k not in (i, j)]
+            working.append(merged)
+        return working, records

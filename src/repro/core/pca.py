@@ -1,0 +1,221 @@
+"""Principal component analysis and quadratic forms in the PC basis
+(paper Section 4.4).
+
+High-dimensional image descriptors make the sample covariance singular,
+so the paper reduces dimensionality with sample principal components and
+exploits Theorem 1 (linear-transformation invariance of ``T^2``, ``d^2``
+and ``d̂``): computed in the full PC basis the quadratic forms are
+unchanged (Equation 17), and in the *truncated* basis they collapse to
+cheap diagonal quadratic forms ``Σ (z_xj - z_yj)^2 / l_j``
+(Equations 18-19).
+
+:class:`PCA` is a from-scratch eigendecomposition-based implementation
+(no sklearn dependency) with the usual fit/transform interface plus the
+paper-specific helpers :meth:`PCA.select_components` (retained-variance
+rule ``(λ_1 + ... + λ_k) / Σ λ >= 1 - ε`` with ``ε <= 0.15``) and
+:func:`t2_in_pc_basis`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+__all__ = [
+    "PCA",
+    "t2_in_pc_basis",
+    "distance_in_pc_basis",
+    "discriminant_in_pc_basis",
+    "select_dimension_by_variance",
+]
+
+
+class PCA:
+    """Sample principal components via eigendecomposition of the covariance.
+
+    Args:
+        n_components: number of components to keep; ``None`` keeps all.
+
+    Attributes (after :meth:`fit`):
+        mean_: the sample mean that is subtracted before projection.
+        components_: ``(k, p)`` matrix whose rows are the eigenvectors
+            ``g_(i)`` ordered by decreasing eigenvalue.
+        explained_variance_: the eigenvalues ``λ_i`` (variances of the
+            principal components).
+        explained_variance_ratio_: ``λ_i / Σ λ``.
+    """
+
+    def __init__(self, n_components: Optional[int] = None) -> None:
+        if n_components is not None and n_components < 1:
+            raise ValueError(f"n_components must be at least 1, got {n_components}")
+        self.n_components = n_components
+        self.mean_: Optional[np.ndarray] = None
+        self.components_: Optional[np.ndarray] = None
+        self.explained_variance_: Optional[np.ndarray] = None
+        self.explained_variance_ratio_: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+
+    def fit(self, data: np.ndarray) -> "PCA":
+        """Estimate components from an ``(n, p)`` sample matrix."""
+        data = np.atleast_2d(np.asarray(data, dtype=float))
+        n, p = data.shape
+        if n < 2:
+            raise ValueError(f"PCA needs at least two samples, got {n}")
+        if self.n_components is not None and self.n_components > p:
+            raise ValueError(
+                f"cannot keep {self.n_components} components of {p}-dimensional data"
+            )
+        self.mean_ = data.mean(axis=0)
+        centered = data - self.mean_
+        covariance = centered.T @ centered / (n - 1)
+        eigenvalues, eigenvectors = np.linalg.eigh(covariance)
+        order = np.argsort(eigenvalues)[::-1]
+        eigenvalues = np.maximum(eigenvalues[order], 0.0)
+        eigenvectors = eigenvectors[:, order]
+        k = self.n_components if self.n_components is not None else p
+        total = float(eigenvalues.sum())
+        self.components_ = eigenvectors[:, :k].T
+        self.explained_variance_ = eigenvalues[:k]
+        self.explained_variance_ratio_ = (
+            eigenvalues[:k] / total if total > 0 else np.zeros(k)
+        )
+        return self
+
+    def _require_fitted(self) -> None:
+        if self.components_ is None:
+            raise RuntimeError("PCA has not been fitted; call fit() first")
+
+    def transform(self, data: np.ndarray) -> np.ndarray:
+        """Project data into the PC basis: ``z = (x - mean) G_k``."""
+        self._require_fitted()
+        data = np.atleast_2d(np.asarray(data, dtype=float))
+        return (data - self.mean_) @ self.components_.T
+
+    def fit_transform(self, data: np.ndarray) -> np.ndarray:
+        """Fit on ``data`` and return its projection."""
+        return self.fit(data).transform(data)
+
+    def inverse_transform(self, projected: np.ndarray) -> np.ndarray:
+        """Map PC-space points back to the original space (lossy if k < p)."""
+        self._require_fitted()
+        projected = np.atleast_2d(np.asarray(projected, dtype=float))
+        return projected @ self.components_ + self.mean_
+
+    def select_components(self, retained_variance: float = 0.85) -> int:
+        """Smallest ``k`` with cumulative variance ratio >= ``retained_variance``.
+
+        Implements the paper's rule ``(λ_1 + ... + λ_k)/Σλ >= 1 - ε`` with
+        ``ε <= 0.15`` (Section 4.4.4).
+        """
+        self._require_fitted()
+        if not 0.0 < retained_variance <= 1.0:
+            raise ValueError(
+                f"retained_variance must lie in (0, 1], got {retained_variance}"
+            )
+        cumulative = np.cumsum(self.explained_variance_ratio_)
+        indices = np.nonzero(cumulative >= retained_variance - 1e-12)[0]
+        if indices.size == 0:
+            return len(cumulative)
+        return int(indices[0]) + 1
+
+    def truncated(self, k: int) -> "PCA":
+        """A copy keeping only the first ``k`` components (no refit needed)."""
+        self._require_fitted()
+        if not 1 <= k <= self.components_.shape[0]:
+            raise ValueError(
+                f"k must lie in [1, {self.components_.shape[0]}], got {k}"
+            )
+        clone = PCA(n_components=k)
+        clone.mean_ = self.mean_.copy()
+        clone.components_ = self.components_[:k].copy()
+        clone.explained_variance_ = self.explained_variance_[:k].copy()
+        clone.explained_variance_ratio_ = self.explained_variance_ratio_[:k].copy()
+        return clone
+
+
+def select_dimension_by_variance(data: np.ndarray, epsilon: float = 0.15) -> int:
+    """Convenience: fit a full PCA and apply the ``1 - ε`` retention rule."""
+    if not 0.0 <= epsilon < 1.0:
+        raise ValueError(f"epsilon must lie in [0, 1), got {epsilon}")
+    pca = PCA().fit(data)
+    return pca.select_components(1.0 - epsilon)
+
+
+def t2_in_pc_basis(
+    mean_x: np.ndarray,
+    mean_y: np.ndarray,
+    eigenvalues: np.ndarray,
+    weight_x: float,
+    weight_y: float,
+) -> float:
+    """Hotelling ``T^2`` as a diagonal quadratic form in the PC basis.
+
+    Implements Equation 18/19: once means are expressed in principal
+    components of the pooled covariance (``S_pooled = G L G'``),
+
+        T^2 = C Σ_j (z_xj - z_yj)^2 / λ_j,   C = m_x m_y / (m_x + m_y).
+
+    Args:
+        mean_x, mean_y: PC-space mean vectors ``z̄_x``, ``z̄_y``.
+        eigenvalues: the eigenvalues ``λ_j`` (or leading ``l_j`` for the
+            truncated Equation 19 form).
+        weight_x, weight_y: cluster relevance masses.
+    """
+    if weight_x <= 0 or weight_y <= 0:
+        raise ValueError("weights must be strictly positive")
+    mean_x = np.asarray(mean_x, dtype=float)
+    mean_y = np.asarray(mean_y, dtype=float)
+    eigenvalues = np.asarray(eigenvalues, dtype=float)
+    if mean_x.shape != mean_y.shape or mean_x.shape != eigenvalues.shape:
+        raise ValueError(
+            "mean_x, mean_y and eigenvalues must share one shape, got "
+            f"{mean_x.shape}, {mean_y.shape}, {eigenvalues.shape}"
+        )
+    if np.any(eigenvalues <= 0):
+        raise ValueError("eigenvalues must be strictly positive")
+    scale = weight_x * weight_y / (weight_x + weight_y)
+    diff = mean_x - mean_y
+    return float(scale * np.sum(diff**2 / eigenvalues))
+
+
+def distance_in_pc_basis(
+    z_x: np.ndarray,
+    z_center: np.ndarray,
+    eigenvalues: np.ndarray,
+) -> float:
+    """The quadratic distance ``d^2`` as a diagonal form in the PC basis.
+
+    Section 4.4.3's closing remark: "Likewise, we have a simpler form of
+    ``d̂_i``, ``d^2`` with principal components" — once points are
+    expressed in the principal components of the cluster covariance
+    (``S = G L G'``), Equation 1 collapses to
+    ``Σ_j (z_xj - z_cj)^2 / λ_j``.
+    """
+    z_x = np.asarray(z_x, dtype=float)
+    z_center = np.asarray(z_center, dtype=float)
+    eigenvalues = np.asarray(eigenvalues, dtype=float)
+    if z_x.shape != z_center.shape or z_x.shape != eigenvalues.shape:
+        raise ValueError(
+            "z_x, z_center and eigenvalues must share one shape, got "
+            f"{z_x.shape}, {z_center.shape}, {eigenvalues.shape}"
+        )
+    if np.any(eigenvalues <= 0):
+        raise ValueError("eigenvalues must be strictly positive")
+    diff = z_x - z_center
+    return float(np.sum(diff**2 / eigenvalues))
+
+
+def discriminant_in_pc_basis(
+    z_x: np.ndarray,
+    z_center: np.ndarray,
+    eigenvalues: np.ndarray,
+    log_prior: float,
+) -> float:
+    """The Bayesian discriminant ``d̂_i`` (Equation 10) in the PC basis.
+
+    With the pooled covariance diagonalized to its eigenvalues,
+    ``d̂_i(x) = -1/2 Σ_j (z_xj - z_cj)^2 / λ_j + ln(w_i)``.
+    """
+    return -0.5 * distance_in_pc_basis(z_x, z_center, eigenvalues) + float(log_prior)

@@ -1,0 +1,38 @@
+"""Synthetic datasets: Gaussian clusters, uniform cubes, image collections."""
+
+from .gaussian import (
+    GaussianSample,
+    cluster_pair,
+    elliptical_clusters,
+    random_linear_map,
+    simplex_centers,
+    spherical_clusters,
+)
+from .synthetic_images import (
+    CategorySpec,
+    ModeSpec,
+    SyntheticCollection,
+    generate_collection,
+    render_mode_image,
+)
+from .ppm import load_directory_collection, load_ppm, save_ppm
+from .uniform import ball_membership, uniform_cube
+
+__all__ = [
+    "GaussianSample",
+    "cluster_pair",
+    "elliptical_clusters",
+    "random_linear_map",
+    "simplex_centers",
+    "spherical_clusters",
+    "CategorySpec",
+    "ModeSpec",
+    "SyntheticCollection",
+    "generate_collection",
+    "render_mode_image",
+    "ball_membership",
+    "uniform_cube",
+    "load_directory_collection",
+    "load_ppm",
+    "save_ppm",
+]

@@ -1,0 +1,116 @@
+"""PPM image I/O and a directory-based collection loader.
+
+The reproduction runs on a procedural collection by default, but the
+system is meant to be usable on real images.  PPM (P6/P3) is the one
+raster format that needs no imaging dependency — pure byte wrangling —
+so this module provides:
+
+* :func:`load_ppm` / :func:`save_ppm` — binary (P6) and ASCII (P3)
+  readers and a P6 writer, 8-bit channels;
+* :func:`load_directory_collection` — build a labelled collection from
+  a directory tree where each subdirectory is one category (the layout
+  of essentially every image-classification dataset).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Tuple, Union
+
+import numpy as np
+
+from ..features.image import Image
+
+__all__ = ["load_ppm", "save_ppm", "load_directory_collection"]
+
+
+def _read_tokens(data: bytes, count: int, offset: int) -> Tuple[List[bytes], int]:
+    """Read ``count`` whitespace-delimited tokens, skipping # comments."""
+    tokens: List[bytes] = []
+    position = offset
+    length = len(data)
+    while len(tokens) < count:
+        while position < length and data[position : position + 1].isspace():
+            position += 1
+        if position < length and data[position : position + 1] == b"#":
+            while position < length and data[position : position + 1] != b"\n":
+                position += 1
+            continue
+        start = position
+        while position < length and not data[position : position + 1].isspace():
+            position += 1
+        if start == position:
+            raise ValueError("truncated PPM header")
+        tokens.append(data[start:position])
+    return tokens, position
+
+
+def load_ppm(path: Union[str, Path], label: int = -1) -> Image:
+    """Read a P6 (binary) or P3 (ASCII) PPM file into an :class:`Image`."""
+    data = Path(path).read_bytes()
+    if len(data) < 2 or data[:2] not in (b"P6", b"P3"):
+        raise ValueError(f"{path}: not a P6/P3 PPM file")
+    magic = data[:2]
+    (width_token, height_token, maxval_token), position = _read_tokens(data, 3, 2)
+    width, height, maxval = int(width_token), int(height_token), int(maxval_token)
+    if width < 1 or height < 1:
+        raise ValueError(f"{path}: invalid dimensions {width}x{height}")
+    if not 0 < maxval < 65536:
+        raise ValueError(f"{path}: invalid maxval {maxval}")
+    n_values = width * height * 3
+    if magic == b"P6":
+        position += 1  # single whitespace after maxval
+        bytes_per_value = 1 if maxval < 256 else 2
+        raw = data[position : position + n_values * bytes_per_value]
+        if len(raw) < n_values * bytes_per_value:
+            raise ValueError(f"{path}: truncated pixel data")
+        dtype = np.uint8 if bytes_per_value == 1 else ">u2"
+        values = np.frombuffer(raw, dtype=dtype, count=n_values).astype(float)
+    else:
+        tokens, _ = _read_tokens(data, n_values, position)
+        values = np.array([int(token) for token in tokens], dtype=float)
+    pixels = (values.reshape(height, width, 3) / maxval * 255.0 + 0.5).astype(np.uint8)
+    return Image(pixels=pixels, label=label)
+
+
+def save_ppm(image: Image, path: Union[str, Path]) -> None:
+    """Write an :class:`Image` as binary P6 PPM."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    height, width = image.shape
+    header = f"P6\n{width} {height}\n255\n".encode("ascii")
+    path.write_bytes(header + image.pixels.tobytes())
+
+
+def load_directory_collection(
+    root: Union[str, Path],
+    pattern: str = "*.ppm",
+) -> Tuple[List[Image], np.ndarray, List[str]]:
+    """Load a subdirectory-per-category tree of PPM images.
+
+    Args:
+        root: directory whose immediate subdirectories are categories.
+        pattern: filename glob within each category directory.
+
+    Returns:
+        ``(images, labels, category_names)`` — labels index into
+        ``category_names`` (sorted for determinism).
+    """
+    root = Path(root)
+    if not root.is_dir():
+        raise ValueError(f"{root} is not a directory")
+    category_directories = sorted(p for p in root.iterdir() if p.is_dir())
+    if not category_directories:
+        raise ValueError(f"{root} contains no category subdirectories")
+    images: List[Image] = []
+    labels: List[int] = []
+    names: List[str] = []
+    for label, directory in enumerate(category_directories):
+        names.append(directory.name)
+        files = sorted(directory.glob(pattern))
+        for file in files:
+            images.append(load_ppm(file, label=label))
+            labels.append(label)
+    if not images:
+        raise ValueError(f"no images matching {pattern!r} under {root}")
+    return images, np.asarray(labels), names

@@ -1,0 +1,304 @@
+"""Procedural image collection — the Corel/Mantan surrogate.
+
+The paper evaluates on 30,000 Corel + Mantan color images grouped by
+domain professionals into categories of roughly 100 images; category
+membership is the relevance ground truth.  That collection is
+proprietary, so we synthesize a collection with the properties the
+evaluation actually depends on:
+
+* images are genuine pixel arrays — color moments and GLCM texture are
+  extracted from them by the same math the paper describes;
+* each category has a coherent visual identity (a palette and a
+  procedural texture), so same-category images are close in feature
+  space;
+* a configurable fraction of categories is **multi-modal**: their
+  members split between two visually distinct modes (e.g. the paper's
+  bird images on light-green vs dark-blue backgrounds, Example 1).
+  These are the "complex queries" that disjunctive multipoint queries
+  exist for — a single contour cannot cover both modes.
+
+Textures available: flat, horizontal/vertical/diagonal stripes,
+checkerboard, blobs (band-limited noise), and radial gradient.  Each
+mode fixes a texture kind, a frequency, a base HSV palette and a noise
+level; individual images jitter all of them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..features.hsv import hsv_to_rgb
+from ..features.image import Image
+
+__all__ = [
+    "ModeSpec",
+    "CategorySpec",
+    "SyntheticCollection",
+    "render_mode_image",
+    "generate_collection",
+]
+
+_TEXTURES = ("flat", "stripes_h", "stripes_v", "stripes_d", "checker", "blobs", "radial")
+
+
+@dataclass(frozen=True)
+class ModeSpec:
+    """One visual mode of a category.
+
+    Attributes:
+        hue: base hue in [0, 1).
+        saturation: base saturation in [0, 1].
+        value: base brightness in [0, 1].
+        texture: one of flat / stripes_h / stripes_v / stripes_d /
+            checker / blobs / radial.
+        frequency: texture spatial frequency (cycles across the image).
+        contrast: amplitude of the texture modulation on the value channel.
+        noise: per-pixel Gaussian noise level.
+    """
+
+    hue: float
+    saturation: float
+    value: float
+    texture: str
+    frequency: float = 4.0
+    contrast: float = 0.35
+    noise: float = 0.03
+
+    def __post_init__(self) -> None:
+        if self.texture not in _TEXTURES:
+            raise ValueError(
+                f"unknown texture {self.texture!r}; expected one of {_TEXTURES}"
+            )
+        if not 0.0 <= self.saturation <= 1.0 or not 0.0 <= self.value <= 1.0:
+            raise ValueError("saturation and value must lie in [0, 1]")
+
+
+@dataclass(frozen=True)
+class CategorySpec:
+    """A category: one or more visual modes sharing a semantic label."""
+
+    category_id: int
+    modes: Tuple[ModeSpec, ...]
+
+    def __post_init__(self) -> None:
+        if not self.modes:
+            raise ValueError("a category needs at least one mode")
+
+    @property
+    def is_complex(self) -> bool:
+        """True for multi-modal (disjunctive-query-requiring) categories."""
+        return len(self.modes) > 1
+
+
+@dataclass
+class SyntheticCollection:
+    """The generated collection: images, labels and their specs.
+
+    Attributes:
+        images: the rendered images, label already attached.
+        labels: ``(n,)`` category id per image.
+        modes: ``(n,)`` within-category mode index per image (useful for
+            verifying that multipoint queries recover both modes).
+        categories: the category specifications used.
+        related: symmetric related-category relation (the paper's
+            "flowers and plants": visually adjacent categories whose
+            images count as relevant at a reduced score).  Pass this to
+            :class:`~repro.retrieval.database.FeatureDatabase`.
+    """
+
+    images: List[Image]
+    labels: np.ndarray
+    modes: np.ndarray
+    categories: List[CategorySpec] = field(default_factory=list)
+    related: Dict[int, Set[int]] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.images)
+
+    def indices_of(self, category_id: int) -> np.ndarray:
+        """Indices of all images in ``category_id``."""
+        return np.nonzero(self.labels == category_id)[0]
+
+
+def _texture_field(
+    texture: str,
+    size: int,
+    frequency: float,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """A [−1, 1] modulation field of shape ``(size, size)``."""
+    coords = np.linspace(0.0, 1.0, size, endpoint=False)
+    y, x = np.meshgrid(coords, coords, indexing="ij")
+    phase = rng.uniform(0.0, 2.0 * np.pi)
+    if texture == "flat":
+        return np.zeros((size, size))
+    if texture == "stripes_h":
+        return np.sin(2.0 * np.pi * frequency * y + phase)
+    if texture == "stripes_v":
+        return np.sin(2.0 * np.pi * frequency * x + phase)
+    if texture == "stripes_d":
+        return np.sin(2.0 * np.pi * frequency * (x + y) / np.sqrt(2.0) + phase)
+    if texture == "checker":
+        return np.sign(
+            np.sin(2.0 * np.pi * frequency * x + phase)
+            * np.sin(2.0 * np.pi * frequency * y + phase)
+        )
+    if texture == "blobs":
+        # Band-limited noise: random low-resolution grid upsampled by
+        # separable linear interpolation.
+        grid_size = max(2, int(frequency))
+        grid = rng.standard_normal((grid_size, grid_size))
+        xp = np.linspace(0.0, grid_size - 1.0, size)
+        rows = np.empty((grid_size, size))
+        for i in range(grid_size):
+            rows[i] = np.interp(xp, np.arange(grid_size), grid[i])
+        columns = np.empty((size, size))
+        for j in range(size):
+            columns[:, j] = np.interp(xp, np.arange(grid_size), rows[:, j])
+        peak = np.abs(columns).max()
+        return columns / peak if peak > 0 else columns
+    if texture == "radial":
+        radius = np.sqrt((x - 0.5) ** 2 + (y - 0.5) ** 2)
+        return np.cos(2.0 * np.pi * frequency * radius + phase)
+    raise ValueError(f"unknown texture {texture!r}")  # pragma: no cover
+
+
+def render_mode_image(
+    mode: ModeSpec,
+    size: int,
+    rng: np.random.Generator,
+    label: int = -1,
+) -> Image:
+    """Render one image of a mode with per-image jitter.
+
+    Jitter: hue ±0.02, saturation/value ±0.05, frequency ±15 %, plus the
+    mode's pixel noise — enough intra-mode variance for covariance
+    estimation to be meaningful, small enough to keep modes separable.
+    """
+    jittered_frequency = mode.frequency * rng.uniform(0.85, 1.15)
+    base_field = _texture_field(mode.texture, size, jittered_frequency, rng)
+    value = np.clip(
+        mode.value
+        + rng.normal(0.0, 0.05)
+        + mode.contrast * base_field
+        + rng.normal(0.0, mode.noise, (size, size)),
+        0.0,
+        1.0,
+    )
+    hue = (mode.hue + rng.normal(0.0, 0.02) + rng.normal(0.0, 0.01, (size, size))) % 1.0
+    saturation = np.clip(
+        mode.saturation + rng.normal(0.0, 0.05) + rng.normal(0.0, 0.02, (size, size)),
+        0.0,
+        1.0,
+    )
+    hsv = np.stack([hue, saturation, value], axis=-1)
+    rgb = np.clip(hsv_to_rgb(hsv), 0.0, 1.0)
+    return Image(pixels=rgb, label=label)
+
+
+def _random_mode(rng: np.random.Generator) -> ModeSpec:
+    return ModeSpec(
+        hue=float(rng.uniform(0.0, 1.0)),
+        saturation=float(rng.uniform(0.35, 0.95)),
+        value=float(rng.uniform(0.35, 0.85)),
+        texture=str(rng.choice(_TEXTURES)),
+        frequency=float(rng.uniform(2.0, 8.0)),
+        contrast=float(rng.uniform(0.2, 0.45)),
+        noise=float(rng.uniform(0.01, 0.05)),
+    )
+
+
+def _related_mode(mode: ModeSpec, rng: np.random.Generator) -> ModeSpec:
+    """A visually adjacent variation of ``mode`` (same texture family)."""
+    return replace(
+        mode,
+        hue=float((mode.hue + rng.uniform(0.04, 0.09)) % 1.0),
+        saturation=float(np.clip(mode.saturation + rng.uniform(-0.1, 0.1), 0.2, 1.0)),
+        value=float(np.clip(mode.value + rng.uniform(-0.1, 0.1), 0.2, 0.95)),
+        frequency=float(mode.frequency * rng.uniform(0.9, 1.1)),
+    )
+
+
+def generate_collection(
+    n_categories: int = 20,
+    images_per_category: int = 100,
+    image_size: int = 24,
+    complex_fraction: float = 0.3,
+    related_pairs: int = 0,
+    seed: int = 0,
+) -> SyntheticCollection:
+    """Generate the surrogate collection.
+
+    Args:
+        n_categories: number of semantic categories (the paper has ~300;
+            20 × 100 keeps Python-side feature extraction tractable while
+            preserving the evaluation's structure).
+        images_per_category: the paper's "about 100 images per category".
+        image_size: square image edge in pixels.
+        complex_fraction: fraction of categories given **two** visual
+            modes (the complex-query population).
+        related_pairs: number of category pairs made visually adjacent
+            and recorded in :attr:`SyntheticCollection.related` (the
+            paper's flowers/plants graded-relevance setting).  Pairs are
+            taken from the tail of the simple categories.
+        seed: RNG seed — the collection is fully deterministic given it.
+    """
+    if n_categories < 1:
+        raise ValueError(f"n_categories must be at least 1, got {n_categories}")
+    if images_per_category < 1:
+        raise ValueError(
+            f"images_per_category must be at least 1, got {images_per_category}"
+        )
+    if not 0.0 <= complex_fraction <= 1.0:
+        raise ValueError(f"complex_fraction must lie in [0, 1], got {complex_fraction}")
+    if related_pairs < 0:
+        raise ValueError(f"related_pairs must be non-negative, got {related_pairs}")
+    rng = np.random.default_rng(seed)
+    n_complex = int(round(complex_fraction * n_categories))
+    if 2 * related_pairs > n_categories - n_complex:
+        raise ValueError(
+            f"{related_pairs} related pairs need {2 * related_pairs} simple "
+            f"categories; only {n_categories - n_complex} available"
+        )
+    categories: List[CategorySpec] = []
+    for category_id in range(n_categories):
+        n_modes = 2 if category_id < n_complex else 1
+        modes = tuple(_random_mode(rng) for _ in range(n_modes))
+        categories.append(CategorySpec(category_id=category_id, modes=modes))
+
+    # Make the last 2*related_pairs simple categories pairwise adjacent:
+    # the second of each pair re-derives its mode from the first's.
+    related: Dict[int, Set[int]] = {}
+    for pair in range(related_pairs):
+        first = n_categories - 2 * related_pairs + 2 * pair
+        second = first + 1
+        base_mode = categories[first].modes[0]
+        categories[second] = CategorySpec(
+            category_id=second, modes=(_related_mode(base_mode, rng),)
+        )
+        related.setdefault(first, set()).add(second)
+        related.setdefault(second, set()).add(first)
+
+    images: List[Image] = []
+    labels: List[int] = []
+    mode_indices: List[int] = []
+    for spec in categories:
+        for image_index in range(images_per_category):
+            mode_index = image_index % len(spec.modes)
+            images.append(
+                render_mode_image(
+                    spec.modes[mode_index], image_size, rng, label=spec.category_id
+                )
+            )
+            labels.append(spec.category_id)
+            mode_indices.append(mode_index)
+    return SyntheticCollection(
+        images=images,
+        labels=np.asarray(labels),
+        modes=np.asarray(mode_indices),
+        categories=categories,
+        related=related,
+    )

@@ -1,0 +1,29 @@
+"""Experiment library: regenerate every table and figure of the paper.
+
+Each module owns one experiment; the pytest benchmarks in
+``benchmarks/`` and the CLI's ``figure`` subcommand are thin wrappers
+around these functions, so a downstream user can rerun any figure
+programmatically:
+
+    from repro.experiments import ProtocolData, quality
+    data = ProtocolData.build()
+    result = quality.comparison(data, "color")
+    for table in result.as_tables():
+        table.print()
+"""
+
+from . import classification, fig05, fig06, fig07, quality, t2_accuracy
+from .protocol import ProtocolConfig, ProtocolData
+from .reporting import ResultTable
+
+__all__ = [
+    "classification",
+    "fig05",
+    "fig06",
+    "fig07",
+    "quality",
+    "t2_accuracy",
+    "ProtocolConfig",
+    "ProtocolData",
+    "ResultTable",
+]

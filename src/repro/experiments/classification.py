@@ -1,0 +1,109 @@
+"""Figures 14-17: classification error vs inter-cluster distance.
+
+Synthetic protocol (paper Section 5): three Gaussian clusters in R^16
+with inter-cluster distance 0.5-2.5, spherical and elliptical shapes,
+PCA-reduced to 12/9/6/3 dims, Bayesian-classifier error rates under the
+inverse and diagonal schemes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ..core.classifier import BayesianClassifier
+from ..core.cluster import Cluster
+from ..core.covariance import get_scheme
+from ..core.pca import PCA
+from ..core.quality import labelled_classification_error
+from ..datasets.gaussian import elliptical_clusters, spherical_clusters
+from .reporting import ResultTable
+
+__all__ = ["SEPARATIONS", "DIMENSIONS", "ClassificationSweep", "error_rate", "sweep"]
+
+SEPARATIONS = (0.5, 1.0, 1.5, 2.0, 2.5)
+DIMENSIONS = (12, 9, 6, 3)
+RAW_DIM = 16
+N_PER_CLUSTER = 60
+
+_FIGURES = {
+    ("spherical", "inverse"): "Figure 14",
+    ("elliptical", "inverse"): "Figure 15",
+    ("spherical", "diagonal"): "Figure 16",
+    ("elliptical", "diagonal"): "Figure 17",
+}
+
+
+def error_rate(
+    shape: str,
+    scheme_name: str,
+    separation: float,
+    k: int,
+    seed: int,
+) -> float:
+    """One trial: train clusters, classify held-out points in PC space."""
+    rng = np.random.default_rng(seed)
+    generator = spherical_clusters if shape == "spherical" else elliptical_clusters
+    train = generator(3, RAW_DIM, separation, N_PER_CLUSTER, rng)
+    test = generator(3, RAW_DIM, separation, N_PER_CLUSTER, rng)
+    if shape == "elliptical":
+        # Same clustering problem for train and test: reuse the train map.
+        test_points = (test.points @ np.linalg.inv(test.transform).T) @ train.transform.T
+    else:
+        test_points = test.points
+    pca = PCA(n_components=k).fit(train.points)
+    clusters = [
+        Cluster(pca.transform(train.points)[train.labels == label])
+        for label in range(3)
+    ]
+    classifier = BayesianClassifier(scheme=get_scheme(scheme_name))
+    return labelled_classification_error(
+        pca.transform(test_points), test.labels, clusters, [0, 1, 2], classifier
+    )
+
+
+@dataclass(frozen=True)
+class ClassificationSweep:
+    """Error matrix over separations x retained dimensions."""
+
+    shape: str
+    scheme_name: str
+    errors: Dict[float, Dict[int, float]]
+
+    def as_table(self) -> ResultTable:
+        figure = _FIGURES[(self.shape, self.scheme_name)]
+        table = ResultTable(
+            f"{figure}: classification error, {self.shape} data, "
+            f"{self.scheme_name} matrix",
+            ["inter-cluster distance", *(f"dim {k}" for k in DIMENSIONS)],
+        )
+        for separation in sorted(self.errors):
+            table.add_row(
+                separation,
+                *(f"{self.errors[separation][k]:.3f}" for k in DIMENSIONS),
+            )
+        return table
+
+
+def sweep(
+    shape: str,
+    scheme_name: str,
+    separations: Sequence[float] = SEPARATIONS,
+    dimensions: Sequence[int] = DIMENSIONS,
+    n_trials: int = 3,
+) -> ClassificationSweep:
+    """Mean error over trials for every (separation, dimension) pair."""
+    if shape not in ("spherical", "elliptical"):
+        raise ValueError(f"shape must be 'spherical' or 'elliptical', got {shape!r}")
+    errors: Dict[float, Dict[int, float]] = {}
+    for separation in separations:
+        errors[separation] = {}
+        for k in dimensions:
+            trials: List[float] = [
+                error_rate(shape, scheme_name, separation, k, seed)
+                for seed in range(n_trials)
+            ]
+            errors[separation][k] = float(np.mean(trials))
+    return ClassificationSweep(shape=shape, scheme_name=scheme_name, errors=errors)

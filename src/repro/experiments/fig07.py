@@ -1,0 +1,90 @@
+"""Figure 7: execution cost of the three query-evaluation strategies."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from ..core.config import QclusterConfig
+from ..core.qcluster import QclusterEngine
+from ..index import CentroidSearcher, HybridTree, LinearScan, MultipointSearcher
+from ..retrieval import FeatureDatabase, SimulatedUser
+from .reporting import ResultTable
+
+__all__ = ["Fig07Result", "session_queries", "run"]
+
+
+def session_queries(
+    database: FeatureDatabase,
+    query_index: int = 0,
+    k: int = 100,
+    n_iterations: int = 5,
+) -> List:
+    """The per-iteration refined queries of one real feedback session."""
+    engine = QclusterEngine(QclusterConfig())
+    user = SimulatedUser(database, database.category_of(query_index))
+    queries = [engine.start(database.vectors[query_index])]
+    for _ in range(n_iterations):
+        distances = queries[-1].distances(database.vectors)
+        top = np.argsort(distances)[:k]
+        judgment = user.judge(top)
+        if judgment.count == 0:
+            break
+        queries.append(
+            engine.feedback(database.vectors[judgment.relevant_indices], judgment.scores)
+        )
+    return queries
+
+
+@dataclass(frozen=True)
+class Fig07Result:
+    """Per-iteration I/O of the three strategies."""
+
+    multipoint_io: List[int]
+    centroid_io: List[int]
+    scan_pages: int
+
+    @property
+    def multipoint_total(self) -> int:
+        return sum(self.multipoint_io)
+
+    @property
+    def centroid_total(self) -> int:
+        return sum(self.centroid_io)
+
+    def as_table(self) -> ResultTable:
+        table = ResultTable(
+            "Figure 7: I/O node accesses per iteration",
+            ["iteration", "multipoint (cached)", "centroid-based", "full scan pages"],
+        )
+        for iteration, (m, c) in enumerate(zip(self.multipoint_io, self.centroid_io)):
+            table.add_row(iteration, m, c, self.scan_pages)
+        table.notes.append(
+            f"session totals: multipoint {self.multipoint_total}, "
+            f"centroid {self.centroid_total}"
+        )
+        return table
+
+
+def run(
+    database: FeatureDatabase,
+    query_index: int = 0,
+    k: int = 100,
+    n_iterations: int = 5,
+    node_size_bytes: int = 4096,
+) -> Fig07Result:
+    """Replay one session's queries through both searchers."""
+    queries = session_queries(database, query_index, k, n_iterations)
+    tree = HybridTree(database.vectors, node_size_bytes=node_size_bytes)
+    multipoint = MultipointSearcher(tree)
+    centroid = CentroidSearcher(tree)
+    for query in queries:
+        multipoint.search(query, k)
+        centroid.search(query, k)
+    return Fig07Result(
+        multipoint_io=multipoint.log.io_accesses,
+        centroid_io=centroid.log.io_accesses,
+        scan_pages=LinearScan(database.vectors, node_size_bytes).n_pages,
+    )

@@ -1,0 +1,175 @@
+"""Retrieval-quality experiments: Figures 8-13 and the headline claim.
+
+* :func:`pr_curves` — per-iteration precision-recall curves for one
+  method (Figures 8 and 9).
+* :func:`comparison` — recall/precision per iteration for Qcluster, QEX
+  and QPM over the same queries (Figures 10-13).
+* :func:`headline` — the abstract's relative-improvement numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+import numpy as np
+
+from ..baselines import QueryExpansion, QueryPointMovement
+from ..retrieval import BatchResult, QclusterMethod, compare_methods, run_batch
+from .protocol import ProtocolData
+from .reporting import ResultTable
+
+__all__ = [
+    "METHODS",
+    "PRCurvesResult",
+    "ComparisonResult",
+    "HeadlineResult",
+    "pr_curves",
+    "comparison",
+    "headline",
+]
+
+#: The paper's three compared approaches, in its naming.
+METHODS: Dict[str, Callable] = {
+    "qcluster": QclusterMethod,
+    "qex": QueryExpansion,
+    "qpm": QueryPointMovement,
+}
+
+_CHECKPOINTS = (1, 10, 25, 50, 100)
+
+
+@dataclass(frozen=True)
+class PRCurvesResult:
+    """Per-iteration P-R curves of one method (Figures 8/9)."""
+
+    feature: str
+    batch: BatchResult
+
+    @property
+    def mean_precision_per_iteration(self) -> List[float]:
+        return [curve.average_precision for curve in self.batch.curves]
+
+    def as_table(self) -> ResultTable:
+        figure = "Figure 8 (color moments)" if self.feature == "color" else "Figure 9 (texture)"
+        table = ResultTable(
+            f"{figure}: P/R at result-list checkpoints per iteration",
+            ["iteration", "retrieved", "precision", "recall"],
+        )
+        for iteration, curve in enumerate(self.batch.curves):
+            for checkpoint in _CHECKPOINTS:
+                index = min(checkpoint, curve.precisions.shape[0]) - 1
+                table.add_row(
+                    iteration,
+                    checkpoint,
+                    f"{curve.precisions[index]:.3f}",
+                    f"{curve.recalls[index]:.3f}",
+                )
+        return table
+
+
+def pr_curves(data: ProtocolData, feature: str) -> PRCurvesResult:
+    """Run Qcluster over the protocol queries and collect P-R curves."""
+    batch = run_batch(
+        data.database_for(feature),
+        QclusterMethod,
+        data.query_indices,
+        k=data.config.k,
+        n_iterations=data.config.n_iterations,
+    )
+    return PRCurvesResult(feature=feature, batch=batch)
+
+
+@dataclass(frozen=True)
+class ComparisonResult:
+    """Three-approach quality series (Figures 10-13)."""
+
+    feature: str
+    results: Dict[str, BatchResult]
+
+    def series(self, metric: str) -> Dict[str, np.ndarray]:
+        """``metric`` is ``mean_recall`` or ``mean_precision``."""
+        return {name: getattr(batch, metric) for name, batch in self.results.items()}
+
+    def as_tables(self) -> List[ResultTable]:
+        tables = []
+        figure_ids = {
+            ("color", "mean_recall"): "Figure 10",
+            ("texture", "mean_recall"): "Figure 11",
+            ("color", "mean_precision"): "Figure 12",
+            ("texture", "mean_precision"): "Figure 13",
+        }
+        for metric in ("mean_recall", "mean_precision"):
+            label = metric.replace("mean_", "")
+            figure = figure_ids[(self.feature, metric)]
+            table = ResultTable(
+                f"{figure}: {label} per iteration ({self.feature})",
+                ["iteration", *self.results],
+            )
+            series = self.series(metric)
+            iterations = len(next(iter(series.values())))
+            for iteration in range(iterations):
+                table.add_row(
+                    iteration,
+                    *(f"{series[name][iteration]:.3f}" for name in self.results),
+                )
+            tables.append(table)
+        return tables
+
+
+def comparison(data: ProtocolData, feature: str) -> ComparisonResult:
+    """Paired three-approach comparison over the protocol queries."""
+    results = compare_methods(
+        data.database_for(feature),
+        METHODS,
+        data.query_indices,
+        k=data.config.k,
+        n_iterations=data.config.n_iterations,
+    )
+    return ComparisonResult(feature=feature, results=results)
+
+
+@dataclass(frozen=True)
+class HeadlineResult:
+    """Relative improvements per feature/baseline/metric (the abstract)."""
+
+    improvements: Dict  # (feature, baseline, metric) -> float
+
+    def pooled(self, baseline: str, metric: str) -> float:
+        values = [
+            value
+            for (feature, b, m), value in self.improvements.items()
+            if b == baseline and m == metric
+        ]
+        return float(np.mean(values))
+
+    def as_table(self) -> ResultTable:
+        table = ResultTable(
+            "Headline: Qcluster's relative improvement "
+            "(paper: +22%/+20% vs QEX, +34%/+33% vs QPM)",
+            ["feature", "baseline", "metric", "improvement"],
+        )
+        for (feature, baseline, metric), value in self.improvements.items():
+            table.add_row(feature, baseline, metric, f"{value:+.1%}")
+        for baseline in ("qex", "qpm"):
+            for metric in ("recall", "precision"):
+                table.add_row("POOLED", baseline, metric, f"{self.pooled(baseline, metric):+.1%}")
+        return table
+
+
+def headline(data: ProtocolData) -> HeadlineResult:
+    """Compute the abstract's relative-improvement numbers on both features."""
+    improvements = {}
+    for feature in ("color", "texture"):
+        compared = comparison(data, feature)
+        for baseline in ("qex", "qpm"):
+            for metric_name, metric_attr in (
+                ("recall", "mean_recall"),
+                ("precision", "mean_precision"),
+            ):
+                ours = getattr(compared.results["qcluster"], metric_attr)[1:]
+                theirs = getattr(compared.results[baseline], metric_attr)[1:]
+                improvements[(feature, baseline, metric_name)] = float(
+                    np.mean(ours / theirs - 1.0)
+                )
+    return HeadlineResult(improvements=improvements)

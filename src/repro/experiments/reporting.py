@@ -1,0 +1,75 @@
+"""Result tables: text rendering and CSV export.
+
+Every experiment returns a :class:`ResultTable`; the CLI prints it and
+(optionally) writes a CSV so the series can be plotted elsewhere —
+there is no plotting dependency in this package.
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Sequence, Union
+
+__all__ = ["ResultTable"]
+
+
+@dataclass
+class ResultTable:
+    """A titled table of experiment output.
+
+    Attributes:
+        title: the figure/table this regenerates.
+        headers: column names.
+        rows: cell values; rendered with ``str``.
+        notes: free-form lines printed below the table.
+    """
+
+    title: str
+    headers: Sequence[str]
+    rows: List[Sequence[object]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, *cells: object) -> None:
+        """Append one row (cells in header order)."""
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"expected {len(self.headers)} cells, got {len(cells)}"
+            )
+        self.rows.append(list(cells))
+
+    def render(self) -> str:
+        """Aligned plain-text rendering."""
+        string_rows = [[str(cell) for cell in row] for row in self.rows]
+        headers = [str(header) for header in self.headers]
+        widths = [
+            max(len(headers[i]), *(len(row[i]) for row in string_rows))
+            if string_rows
+            else len(headers[i])
+            for i in range(len(headers))
+        ]
+        header_line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+        lines = [f"=== {self.title} ===", header_line, "-" * len(header_line)]
+        for row in string_rows:
+            lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+        lines.extend(self.notes)
+        return "\n".join(lines)
+
+    def print(self) -> None:
+        """Print the rendered table (with a leading blank line)."""
+        print("\n" + self.render())
+
+    def to_csv(self, path: Union[str, Path]) -> None:
+        """Write headers + rows as CSV (notes go into a trailing comment)."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(self.headers)
+            for row in self.rows:
+                writer.writerow([str(cell) for cell in row])
+        if self.notes:
+            with path.open("a") as handle:
+                for note in self.notes:
+                    handle.write(f"# {note}\n")

@@ -1,0 +1,201 @@
+"""Tables 2-3 and Figures 18-19: accuracy of the T^2 merge decision.
+
+100 pairs of size-30 clusters in R^16, PCA-reduced to 12/9/6/3 dims;
+the F-scaled two-sample statistic is compared against the quantile-F
+critical value (Tables 2-3) and against random Equation-20 draws in a
+Q-Q construction (Figures 18-19).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+from ..core.covariance import get_scheme
+from ..core.pca import PCA
+from ..datasets.gaussian import cluster_pair
+from ..stats.fdist import f_upper_quantile, random_f
+from ..stats.hotelling import hotelling_t2
+from .reporting import ResultTable
+
+__all__ = [
+    "DIMENSIONS",
+    "f_scaled_t2",
+    "T2Table",
+    "run_table",
+    "QQData",
+    "qq_data",
+]
+
+DIMENSIONS = (12, 9, 6, 3)
+RAW_DIM = 16
+PAIR_SIZE = 30
+ALPHA = 0.05
+SEPARATION = 2.0
+
+
+def f_scaled_t2(points_a: np.ndarray, points_b: np.ndarray, scheme_name: str) -> float:
+    """The F-scaled two-sample statistic the tables report.
+
+    ``T^2 (n - p - 1) / ((n - 2) p)`` follows F(p, n - p - 1) under H0,
+    directly comparable to the quantile-F column.
+    """
+    n_a, p = points_a.shape
+    n_b = points_b.shape[0]
+    pooled = (
+        (points_a - points_a.mean(0)).T @ (points_a - points_a.mean(0))
+        + (points_b - points_b.mean(0)).T @ (points_b - points_b.mean(0))
+    ) / (n_a + n_b - 2.0)
+    inverse = get_scheme(scheme_name, regularization=1e-10).invert(pooled).inverse
+    t2 = hotelling_t2(points_a.mean(0), points_b.mean(0), inverse, float(n_a), float(n_b))
+    n = n_a + n_b
+    return t2 * (n - p - 1.0) / ((n - 2.0) * p)
+
+
+@dataclass(frozen=True)
+class T2Table:
+    """One of Tables 2/3: per-dimension statistics and error ratios."""
+
+    same_mean: bool
+    scheme_name: str
+    #: dim -> (variation ratio, mean statistic, quantile-F, error ratio)
+    per_dim: Dict[int, Tuple[float, float, float, float]]
+
+    def as_table(self) -> ResultTable:
+        which = "2" if self.same_mean else "3"
+        kind = "SAME" if self.same_mean else "DIFFERENT"
+        table = ResultTable(
+            f"Table {which}: T^2 with {self.scheme_name} matrix, "
+            f"pairs with {kind} means",
+            ["dim", "variation ratio", "avg T^2 (F-scaled)", "quantile-F", "error-ratio (%)"],
+        )
+        for dim in DIMENSIONS:
+            variation, mean_stat, quantile, errors = self.per_dim[dim]
+            table.add_row(
+                dim,
+                f"{variation:.3f}",
+                f"{mean_stat:.2f}",
+                f"{quantile:.2f}",
+                f"{100 * errors:.0f}",
+            )
+        return table
+
+
+def run_table(
+    same_mean: bool,
+    scheme_name: str,
+    n_pairs: int = 100,
+    seed: int = None,
+) -> T2Table:
+    """Generate pairs, compute statistics, count decision errors."""
+    if seed is None:
+        seed = 42 if same_mean else 43
+    rng = np.random.default_rng(seed)
+    statistics: Dict[int, list] = {k: [] for k in DIMENSIONS}
+    variation: Dict[int, list] = {k: [] for k in DIMENSIONS}
+    for _ in range(n_pairs):
+        points_a, points_b = cluster_pair(
+            same_mean=same_mean,
+            size=PAIR_SIZE,
+            dim=RAW_DIM,
+            separation=SEPARATION,
+            rng=rng,
+        )
+        pca = PCA().fit(np.vstack([points_a, points_b]))
+        cumulative = np.cumsum(pca.explained_variance_ratio_)
+        for k in DIMENSIONS:
+            truncated = pca.truncated(k)
+            statistics[k].append(
+                f_scaled_t2(
+                    truncated.transform(points_a),
+                    truncated.transform(points_b),
+                    scheme_name,
+                )
+            )
+            variation[k].append(float(cumulative[k - 1]))
+    per_dim = {}
+    for k in DIMENSIONS:
+        values = np.asarray(statistics[k])
+        df2 = 2 * PAIR_SIZE - k - 1
+        quantile = f_upper_quantile(ALPHA, float(k), float(df2))
+        if same_mean:
+            errors = float(np.mean(values > quantile))  # wrongly separated
+        else:
+            errors = float(np.mean(values <= quantile))  # wrongly merged
+        per_dim[k] = (float(np.mean(variation[k])), float(values.mean()), quantile, errors)
+    return T2Table(same_mean=same_mean, scheme_name=scheme_name, per_dim=per_dim)
+
+
+@dataclass(frozen=True)
+class QQData:
+    """Sorted statistic/critical pairs for the Figures 18-19 Q-Q plot."""
+
+    scheme_name: str
+    statistics: np.ndarray
+    same_mean: np.ndarray
+    criticals: np.ndarray
+
+    def sorted_pairs(self):
+        """(sorted statistics, their labels, sorted criticals)."""
+        order = np.argsort(self.statistics)
+        return (
+            self.statistics[order],
+            self.same_mean[order],
+            np.sort(self.criticals),
+        )
+
+    def as_table(self) -> ResultTable:
+        figure = "Figure 18" if self.scheme_name == "inverse" else "Figure 19"
+        table = ResultTable(
+            f"{figure}: Q-Q of F-scaled T^2 vs Equation-20 criticals "
+            f"({self.scheme_name})",
+            ["quantile", "T^2", "critical", "T^2/critical", "pair type at this rank"],
+        )
+        sorted_statistics, sorted_labels, sorted_criticals = self.sorted_pairs()
+        for quantile in (0.1, 0.25, 0.5, 0.75, 0.9):
+            index = int(quantile * (len(sorted_statistics) - 1))
+            ratio = sorted_statistics[index] / sorted_criticals[index]
+            table.add_row(
+                f"{quantile:.2f}",
+                f"{sorted_statistics[index]:.2f}",
+                f"{sorted_criticals[index]:.2f}",
+                f"{ratio:.2f}",
+                "same" if sorted_labels[index] else "different",
+            )
+        return table
+
+
+def qq_data(scheme_name: str, n_each: int = 50, k: int = 12, seed: int = 7) -> QQData:
+    """Statistics for 50 same + 50 different pairs, plus random criticals."""
+    rng = np.random.default_rng(seed)
+    statistics = []
+    labels = []
+    for same_mean in (True, False):
+        for _ in range(n_each):
+            points_a, points_b = cluster_pair(
+                same_mean=same_mean,
+                size=PAIR_SIZE,
+                dim=RAW_DIM,
+                separation=SEPARATION,
+                rng=rng,
+            )
+            pca = PCA(n_components=k).fit(np.vstack([points_a, points_b]))
+            statistics.append(
+                f_scaled_t2(pca.transform(points_a), pca.transform(points_b), scheme_name)
+            )
+            labels.append(same_mean)
+    # Equation 20's chi-square ratio, normalized to the F scale so it is
+    # comparable to the F-scaled statistic.
+    df1 = k
+    df2 = 2 * PAIR_SIZE - k
+    criticals = np.array(
+        [random_f(df1, df2, rng) * df2 / df1 for _ in range(2 * n_each)]
+    )
+    return QQData(
+        scheme_name=scheme_name,
+        statistics=np.asarray(statistics),
+        same_mean=np.asarray(labels),
+        criticals=criticals,
+    )

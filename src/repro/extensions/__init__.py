@@ -1,0 +1,29 @@
+"""Extensions beyond the paper's core evaluation.
+
+* negative feedback (Rocchio's negative term; a kernel penalty around
+  non-relevant examples, in the spirit of Ashwin et al. [1]),
+* retrieval-time PCA reduction (Section 4.4 as a deployment feature),
+* engine persistence (pause/resume feedback sessions).
+"""
+
+from .negative import (
+    NegativePenaltyQuery,
+    RocchioQueryPointMovement,
+    SimulatedUserWithNegatives,
+)
+from .persistence import engine_from_dict, engine_to_dict, load_engine, save_engine
+from .reduced import PCAReducedMethod, ReducedSpaceQuery
+from .session import NegativeFeedbackSession
+
+__all__ = [
+    "NegativeFeedbackSession",
+    "NegativePenaltyQuery",
+    "RocchioQueryPointMovement",
+    "SimulatedUserWithNegatives",
+    "engine_from_dict",
+    "engine_to_dict",
+    "load_engine",
+    "save_engine",
+    "PCAReducedMethod",
+    "ReducedSpaceQuery",
+]

@@ -1,0 +1,94 @@
+"""Serialization of engine state — pause and resume feedback sessions.
+
+A production retrieval system keeps feedback sessions alive across
+requests; this module round-trips a :class:`~repro.core.qcluster.
+QclusterEngine` (its configuration, clusters, relevance masses, merge
+history and dedup state) through a plain JSON-compatible dict, and
+through files via :func:`save_engine` / :func:`load_engine`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from ..core.cluster import Cluster
+from ..core.config import QclusterConfig
+from ..core.merging import MergeRecord
+from ..core.qcluster import QclusterEngine
+
+__all__ = ["engine_to_dict", "engine_from_dict", "save_engine", "load_engine"]
+
+_CONFIG_FIELDS = (
+    "scheme",
+    "discriminant",
+    "significance_level",
+    "merge_significance_level",
+    "max_clusters",
+    "min_merge_alpha",
+    "alpha_relax_factor",
+    "regularization",
+    "initial_method",
+    "initial_linkage",
+    "initial_clusters",
+    "deduplicate",
+    "batch_classification",
+)
+
+
+def engine_to_dict(engine: QclusterEngine) -> dict:
+    """Snapshot an engine into a JSON-serializable dict."""
+    state = {
+        "config": {field: getattr(engine.config, field) for field in _CONFIG_FIELDS},
+        "iteration": engine.iteration,
+        "initial_point": (
+            engine._initial_point.tolist() if engine._initial_point is not None else None
+        ),
+        "clusters": [
+            {"points": cluster.points.tolist(), "scores": cluster.scores.tolist()}
+            for cluster in engine.clusters
+        ],
+        "merge_history": [asdict(record) for record in engine.merge_history],
+    }
+    return state
+
+
+def engine_from_dict(state: dict) -> QclusterEngine:
+    """Rebuild an engine from :func:`engine_to_dict` output.
+
+    The deduplication set is reconstructed from the stored cluster
+    members, so re-feeding an already-absorbed point is still a no-op
+    after a round trip.
+    """
+    config = QclusterConfig(**state["config"])
+    engine = QclusterEngine(config)
+    engine.iteration = int(state["iteration"])
+    if state["initial_point"] is not None:
+        engine._initial_point = np.asarray(state["initial_point"], dtype=float)
+    engine.clusters = [
+        Cluster(np.asarray(entry["points"], dtype=float), entry["scores"])
+        for entry in state["clusters"]
+    ]
+    engine.merge_history = [MergeRecord(**record) for record in state["merge_history"]]
+    if config.deduplicate:
+        engine._seen = {
+            np.asarray(point, dtype=float).tobytes()
+            for entry in state["clusters"]
+            for point in entry["points"]
+        }
+    return engine
+
+
+def save_engine(engine: QclusterEngine, path: Union[str, Path]) -> None:
+    """Write the engine snapshot as JSON."""
+    path = Path(path)
+    path.write_text(json.dumps(engine_to_dict(engine)))
+
+
+def load_engine(path: Union[str, Path]) -> QclusterEngine:
+    """Read an engine snapshot written by :func:`save_engine`."""
+    return engine_from_dict(json.loads(Path(path).read_text()))

@@ -1,0 +1,87 @@
+"""Retrieval-time PCA reduction (Section 4.4 as a deployment feature).
+
+The paper reduces descriptor dimensionality offline (color 9→3,
+texture 16→4) and proves (Theorem 1 / Equations 17-19) that the
+quadratic measures are preserved in the principal-component basis.
+This module turns that into a runtime wrapper: fit a PCA on the raw
+feature database once, then run *any* feedback method entirely in the
+reduced space, transforming queries and feedback points transparently.
+
+With ``n_components = p`` (no truncation) and the full-inverse scheme,
+results are identical to the unreduced run — Theorem 1 end-to-end.
+Truncation trades a controlled quality loss (the discarded variance)
+for cheaper distance evaluations.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from ..core.pca import PCA
+from ..retrieval.methods import FeedbackMethod
+
+__all__ = ["ReducedSpaceQuery", "PCAReducedMethod"]
+
+
+class ReducedSpaceQuery:
+    """Evaluate a reduced-space query against raw-space database rows."""
+
+    def __init__(self, inner, pca: PCA) -> None:
+        self._inner = inner
+        self._pca = pca
+
+    def distances(self, database: np.ndarray) -> np.ndarray:
+        """Project rows into the PC basis, then delegate."""
+        return self._inner.distances(self._pca.transform(database))
+
+    @property
+    def inner(self):
+        """The wrapped reduced-space query (for introspection)."""
+        return self._inner
+
+
+class PCAReducedMethod(FeedbackMethod):
+    """Run a feedback method in a PCA-reduced feature space.
+
+    Args:
+        method_factory: builds the inner method (e.g. ``QclusterMethod``).
+        pca: a fitted :class:`~repro.core.pca.PCA`; alternatively pass
+            ``training_data`` and ``n_components`` to fit one here.
+        training_data: raw vectors to fit the PCA on (typically the
+            whole database).
+        n_components: components to keep when fitting internally.
+    """
+
+    name = "pca-reduced"
+
+    def __init__(
+        self,
+        method_factory: Callable[[], FeedbackMethod],
+        pca: Optional[PCA] = None,
+        training_data: Optional[np.ndarray] = None,
+        n_components: Optional[int] = None,
+    ) -> None:
+        if pca is None:
+            if training_data is None:
+                raise ValueError("provide either a fitted pca or training_data")
+            pca = PCA(n_components=n_components).fit(np.asarray(training_data, dtype=float))
+        elif pca.components_ is None:
+            raise ValueError("the provided PCA has not been fitted")
+        self.pca = pca
+        self.method = method_factory()
+
+    def _project_one(self, point: np.ndarray) -> np.ndarray:
+        return self.pca.transform(np.asarray(point, dtype=float)[None, :])[0]
+
+    def start(self, query_point: np.ndarray) -> ReducedSpaceQuery:
+        return ReducedSpaceQuery(self.method.start(self._project_one(query_point)), self.pca)
+
+    def feedback(
+        self,
+        relevant_points: np.ndarray,
+        scores: Optional[Sequence[float]] = None,
+    ) -> ReducedSpaceQuery:
+        projected = self.pca.transform(np.atleast_2d(np.asarray(relevant_points, dtype=float)))
+        return ReducedSpaceQuery(self.method.feedback(projected, scores), self.pca)

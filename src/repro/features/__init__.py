@@ -1,0 +1,55 @@
+"""Image feature substrate: HSV color moments and GLCM texture."""
+
+from .color_moments import COLOR_MOMENT_NAMES, color_moments
+from .glcm import (
+    DEFAULT_OFFSETS,
+    TEXTURE_FEATURE_NAMES,
+    cooccurrence_matrix,
+    quantize_gray,
+    texture_features,
+)
+from .histogram import (
+    chi2_histogram_distance,
+    color_histogram,
+    histogram_intersection,
+    histogram_l1,
+)
+from .hsv import hsv_to_rgb, rgb_to_hsv
+from .image import Image, to_gray
+from .pipeline import (
+    FeaturePipeline,
+    color_pipeline,
+    combine_features,
+    extract_matrix,
+    histogram_pipeline,
+    texture_pipeline,
+    wavelet_pipeline,
+)
+from .wavelet import haar_decompose_2d, wavelet_features
+
+__all__ = [
+    "COLOR_MOMENT_NAMES",
+    "color_moments",
+    "DEFAULT_OFFSETS",
+    "TEXTURE_FEATURE_NAMES",
+    "cooccurrence_matrix",
+    "quantize_gray",
+    "texture_features",
+    "hsv_to_rgb",
+    "rgb_to_hsv",
+    "Image",
+    "to_gray",
+    "FeaturePipeline",
+    "color_pipeline",
+    "combine_features",
+    "extract_matrix",
+    "histogram_pipeline",
+    "texture_pipeline",
+    "wavelet_pipeline",
+    "chi2_histogram_distance",
+    "color_histogram",
+    "histogram_intersection",
+    "histogram_l1",
+    "haar_decompose_2d",
+    "wavelet_features",
+]

@@ -1,0 +1,53 @@
+"""HSV color-moment features (paper Section 5).
+
+For each of the three HSV channels the paper extracts the mean, the
+standard deviation and the skewness, giving a 9-dimensional raw color
+descriptor, then reduces it to 3 dimensions with PCA.  This module
+computes the raw 9-dimensional descriptor; the PCA projection lives in
+:mod:`repro.features.pipeline` because it must be fitted on the whole
+collection.
+
+Skewness follows the "third root of the third central moment" form that
+is conventional in the color-moments literature (Stricker & Orengo):
+``sign(mu3) * |mu3|^(1/3)`` — keeping the feature on a scale comparable
+to the mean and standard deviation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .hsv import rgb_to_hsv
+from .image import Image
+
+__all__ = ["color_moments", "COLOR_MOMENT_NAMES"]
+
+#: Feature names in output order (channel-major).
+COLOR_MOMENT_NAMES = tuple(
+    f"{channel}_{moment}"
+    for channel in ("hue", "saturation", "value")
+    for moment in ("mean", "std", "skewness")
+)
+
+
+def _channel_moments(channel: np.ndarray) -> np.ndarray:
+    """Mean, standard deviation and cube-root skewness of one channel."""
+    mean = float(channel.mean())
+    centered = channel - mean
+    variance = float(np.mean(centered**2))
+    std = variance**0.5
+    mu3 = float(np.mean(centered**3))
+    skewness = np.sign(mu3) * abs(mu3) ** (1.0 / 3.0)
+    return np.array([mean, std, skewness])
+
+
+def color_moments(image: Image) -> np.ndarray:
+    """9-dimensional HSV color-moment descriptor of one image.
+
+    Returns ``[H_mean, H_std, H_skew, S_mean, S_std, S_skew,
+    V_mean, V_std, V_skew]``.
+    """
+    hsv = rgb_to_hsv(image.as_float)
+    return np.concatenate(
+        [_channel_moments(hsv[..., channel].ravel()) for channel in range(3)]
+    )

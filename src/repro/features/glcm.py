@@ -1,0 +1,186 @@
+"""Gray-level co-occurrence matrix (GLCM) texture features (paper Section 5).
+
+The paper builds the co-occurrence matrix by counting pixel pairs with
+gray levels ``(i, j)`` at a fixed adjacency, then derives a
+16-dimensional texture vector "whose elements are energy, inertia,
+entropy, homogeneity, etc." and reduces it to 4 dimensions with PCA.
+
+This module implements the full construction:
+
+* quantization of gray levels (the classic trick to keep the matrix
+  tractable — 256 levels would be 65,536 cells per offset),
+* symmetric, normalized co-occurrence accumulation over one or more
+  displacement offsets, and
+* the 16 Haralick-style descriptors listed in :data:`TEXTURE_FEATURE_NAMES`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from .image import Image, to_gray
+
+__all__ = [
+    "quantize_gray",
+    "cooccurrence_matrix",
+    "texture_features",
+    "TEXTURE_FEATURE_NAMES",
+    "DEFAULT_OFFSETS",
+]
+
+#: Default displacement offsets (distance 1 in 4 directions); aggregating
+#: several directions gives approximate rotation invariance.
+DEFAULT_OFFSETS: Tuple[Tuple[int, int], ...] = ((0, 1), (1, 0), (1, 1), (1, -1))
+
+#: The 16 texture descriptors, in output order.
+TEXTURE_FEATURE_NAMES = (
+    "energy",
+    "inertia",            # a.k.a. contrast
+    "entropy",
+    "homogeneity",        # inverse difference moment
+    "correlation",
+    "variance",
+    "sum_average",
+    "sum_variance",
+    "sum_entropy",
+    "difference_average",
+    "difference_variance",
+    "difference_entropy",
+    "max_probability",
+    "dissimilarity",
+    "cluster_shade",
+    "cluster_prominence",
+)
+
+_LOG_EPS = 1e-12
+
+
+def quantize_gray(gray: np.ndarray, levels: int = 16) -> np.ndarray:
+    """Quantize a [0, 255] gray image into ``levels`` integer bins."""
+    if levels < 2:
+        raise ValueError(f"levels must be at least 2, got {levels}")
+    gray = np.asarray(gray, dtype=float)
+    clipped = np.clip(gray, 0.0, 255.0)
+    quantized = np.floor(clipped * levels / 256.0).astype(int)
+    return np.minimum(quantized, levels - 1)
+
+
+def cooccurrence_matrix(
+    quantized: np.ndarray,
+    offsets: Sequence[Tuple[int, int]] = DEFAULT_OFFSETS,
+    levels: int = 16,
+    symmetric: bool = True,
+) -> np.ndarray:
+    """Normalized gray-level co-occurrence matrix.
+
+    Args:
+        quantized: ``(h, w)`` integer image with values in ``[0, levels)``.
+        offsets: displacement vectors ``(dy, dx)`` to accumulate over.
+        levels: number of gray levels.
+        symmetric: also count each pair in the reverse direction, making
+            the matrix symmetric (the standard Haralick convention).
+
+    Returns:
+        ``(levels, levels)`` matrix summing to 1.
+    """
+    quantized = np.asarray(quantized)
+    if quantized.ndim != 2:
+        raise ValueError(f"expected a 2-d quantized image, got shape {quantized.shape}")
+    if quantized.min() < 0 or quantized.max() >= levels:
+        raise ValueError("quantized values must lie in [0, levels)")
+    matrix = np.zeros((levels, levels), dtype=float)
+    h, w = quantized.shape
+    for dy, dx in offsets:
+        if abs(dy) >= h or abs(dx) >= w:
+            continue
+        # Slices selecting the anchor and neighbour pixel for this offset.
+        y0, y1 = max(0, -dy), min(h, h - dy)
+        x0, x1 = max(0, -dx), min(w, w - dx)
+        anchors = quantized[y0:y1, x0:x1].ravel()
+        neighbours = quantized[y0 + dy : y1 + dy, x0 + dx : x1 + dx].ravel()
+        np.add.at(matrix, (anchors, neighbours), 1.0)
+        if symmetric:
+            np.add.at(matrix, (neighbours, anchors), 1.0)
+    total = matrix.sum()
+    if total == 0:
+        raise ValueError("no valid pixel pairs for the given offsets")
+    return matrix / total
+
+
+def texture_features(
+    image: Image,
+    levels: int = 16,
+    offsets: Sequence[Tuple[int, int]] = DEFAULT_OFFSETS,
+) -> np.ndarray:
+    """16-dimensional GLCM texture descriptor of one image.
+
+    Each element is a weighted sum over the co-occurrence matrix, as the
+    paper describes ("weighting each of the co-occurrence matrix elements
+    and then summing these weighted values").
+    """
+    gray = to_gray(image.pixels.astype(float))
+    quantized = quantize_gray(gray, levels)
+    matrix = cooccurrence_matrix(quantized, offsets, levels)
+
+    indices = np.arange(levels, dtype=float)
+    i_grid, j_grid = np.meshgrid(indices, indices, indexing="ij")
+    diff = i_grid - j_grid
+    total = i_grid + j_grid
+
+    # Marginal statistics.
+    p_i = matrix.sum(axis=1)
+    mean_i = float(np.sum(indices * p_i))
+    var_i = float(np.sum((indices - mean_i) ** 2 * p_i))
+
+    # Sum (i + j) and difference |i - j| distributions.
+    sum_values = np.arange(2 * levels - 1, dtype=float)
+    p_sum = np.zeros(2 * levels - 1)
+    np.add.at(p_sum, (i_grid + j_grid).astype(int).ravel(), matrix.ravel())
+    diff_values = np.arange(levels, dtype=float)
+    p_diff = np.zeros(levels)
+    np.add.at(p_diff, np.abs(diff).astype(int).ravel(), matrix.ravel())
+
+    energy = float(np.sum(matrix**2))
+    inertia = float(np.sum(diff**2 * matrix))
+    entropy = float(-np.sum(matrix * np.log(matrix + _LOG_EPS)))
+    homogeneity = float(np.sum(matrix / (1.0 + diff**2)))
+    if var_i > 0:
+        correlation = float(np.sum((i_grid - mean_i) * (j_grid - mean_i) * matrix) / var_i)
+    else:
+        correlation = 0.0
+    variance = var_i
+    sum_average = float(np.sum(sum_values * p_sum))
+    sum_variance = float(np.sum((sum_values - sum_average) ** 2 * p_sum))
+    sum_entropy = float(-np.sum(p_sum * np.log(p_sum + _LOG_EPS)))
+    difference_average = float(np.sum(diff_values * p_diff))
+    difference_variance = float(np.sum((diff_values - difference_average) ** 2 * p_diff))
+    difference_entropy = float(-np.sum(p_diff * np.log(p_diff + _LOG_EPS)))
+    max_probability = float(matrix.max())
+    dissimilarity = float(np.sum(np.abs(diff) * matrix))
+    cluster_shade = float(np.sum((total - 2.0 * mean_i) ** 3 * matrix))
+    cluster_prominence = float(np.sum((total - 2.0 * mean_i) ** 4 * matrix))
+
+    return np.array(
+        [
+            energy,
+            inertia,
+            entropy,
+            homogeneity,
+            correlation,
+            variance,
+            sum_average,
+            sum_variance,
+            sum_entropy,
+            difference_average,
+            difference_variance,
+            difference_entropy,
+            max_probability,
+            dissimilarity,
+            cluster_shade,
+            cluster_prominence,
+        ]
+    )
+
+

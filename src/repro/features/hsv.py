@@ -1,0 +1,73 @@
+"""Vectorized RGB ↔ HSV conversion.
+
+The paper computes color moments in HSV space "because of its
+perceptual uniformity of color" (Section 5).  This is the standard
+hexcone model: H in [0, 1) (fraction of the full 360° hue circle),
+S and V in [0, 1].
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["rgb_to_hsv", "hsv_to_rgb"]
+
+
+def rgb_to_hsv(rgb: np.ndarray) -> np.ndarray:
+    """Convert ``(..., 3)`` RGB in [0, 1] to HSV in [0, 1].
+
+    Gray pixels (max == min) get hue 0 and saturation 0 by convention.
+    """
+    rgb = np.asarray(rgb, dtype=float)
+    if rgb.shape[-1] != 3:
+        raise ValueError(f"last axis must have size 3, got shape {rgb.shape}")
+    if rgb.min() < 0.0 or rgb.max() > 1.0:
+        raise ValueError("RGB values must lie in [0, 1]")
+    r, g, b = rgb[..., 0], rgb[..., 1], rgb[..., 2]
+    maximum = rgb.max(axis=-1)
+    minimum = rgb.min(axis=-1)
+    chroma = maximum - minimum
+
+    hue = np.zeros_like(maximum)
+    nonzero = chroma > 0
+    # Piecewise hue: which channel attains the maximum decides the sector.
+    red_max = nonzero & (maximum == r)
+    green_max = nonzero & (maximum == g) & ~red_max
+    blue_max = nonzero & ~red_max & ~green_max
+    safe_chroma = np.where(nonzero, chroma, 1.0)
+    hue = np.where(red_max, ((g - b) / safe_chroma) % 6.0, hue)
+    hue = np.where(green_max, (b - r) / safe_chroma + 2.0, hue)
+    hue = np.where(blue_max, (r - g) / safe_chroma + 4.0, hue)
+    hue = hue / 6.0
+
+    saturation = np.where(maximum > 0, chroma / np.where(maximum > 0, maximum, 1.0), 0.0)
+    return np.stack([hue, saturation, maximum], axis=-1)
+
+
+def hsv_to_rgb(hsv: np.ndarray) -> np.ndarray:
+    """Convert ``(..., 3)`` HSV in [0, 1] back to RGB in [0, 1]."""
+    hsv = np.asarray(hsv, dtype=float)
+    if hsv.shape[-1] != 3:
+        raise ValueError(f"last axis must have size 3, got shape {hsv.shape}")
+    h, s, v = hsv[..., 0] % 1.0, hsv[..., 1], hsv[..., 2]
+    if s.min() < 0.0 or s.max() > 1.0 or v.min() < 0.0 or v.max() > 1.0:
+        raise ValueError("saturation and value must lie in [0, 1]")
+    sector = h * 6.0
+    index = np.floor(sector).astype(int) % 6
+    fraction = sector - np.floor(sector)
+    p = v * (1.0 - s)
+    q = v * (1.0 - s * fraction)
+    t = v * (1.0 - s * (1.0 - fraction))
+    # Stack the six sector layouts and pick per pixel.
+    candidates = np.stack(
+        [
+            np.stack([v, t, p], axis=-1),
+            np.stack([q, v, p], axis=-1),
+            np.stack([p, v, t], axis=-1),
+            np.stack([p, q, v], axis=-1),
+            np.stack([t, p, v], axis=-1),
+            np.stack([v, p, q], axis=-1),
+        ],
+        axis=0,
+    )
+    return np.take_along_axis(candidates, index[None, ..., None], axis=0)[0]

@@ -1,0 +1,66 @@
+"""Minimal image representation for the feature substrate.
+
+The paper extracts features from the Corel/Mantan color image
+collection.  Our substitute collection is generated procedurally
+(:mod:`repro.datasets.synthetic_images`), and this module defines the
+image carrier both sides agree on: an ``(h, w, 3)`` uint8 RGB array with
+a few convenience accessors.  Keeping it a thin wrapper (rather than a
+framework) means every feature extractor works directly on numpy data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["Image", "to_gray"]
+
+
+@dataclass(frozen=True)
+class Image:
+    """An RGB image with 8-bit channels.
+
+    Attributes:
+        pixels: ``(h, w, 3)`` uint8 array.
+        label: optional category identifier (ground truth for evaluation).
+    """
+
+    pixels: np.ndarray
+    label: int = field(default=-1)
+
+    def __post_init__(self) -> None:
+        pixels = np.asarray(self.pixels)
+        if pixels.ndim != 3 or pixels.shape[2] != 3:
+            raise ValueError(f"pixels must be (h, w, 3), got shape {pixels.shape}")
+        if pixels.dtype != np.uint8:
+            if np.issubdtype(pixels.dtype, np.floating):
+                if pixels.min() < 0.0 or pixels.max() > 1.0:
+                    raise ValueError("float pixels must lie in [0, 1]")
+                pixels = (pixels * 255.0 + 0.5).astype(np.uint8)
+            else:
+                pixels = np.clip(pixels, 0, 255).astype(np.uint8)
+            object.__setattr__(self, "pixels", pixels)
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        """``(height, width)``."""
+        return self.pixels.shape[0], self.pixels.shape[1]
+
+    @property
+    def as_float(self) -> np.ndarray:
+        """Pixels scaled to ``[0, 1]`` floats (h, w, 3)."""
+        return self.pixels.astype(float) / 255.0
+
+
+def to_gray(pixels: np.ndarray) -> np.ndarray:
+    """Luma conversion (ITU-R BT.601) to an ``(h, w)`` float array in [0, 255].
+
+    The co-occurrence texture features of Section 5 are computed on gray
+    levels; the paper quotes "gray-level (usually 0-255)".
+    """
+    pixels = np.asarray(pixels, dtype=float)
+    if pixels.ndim != 3 or pixels.shape[2] != 3:
+        raise ValueError(f"expected (h, w, 3) pixels, got shape {pixels.shape}")
+    return 0.299 * pixels[..., 0] + 0.587 * pixels[..., 1] + 0.114 * pixels[..., 2]

@@ -1,0 +1,191 @@
+"""Collection-level feature extraction pipelines (paper Section 5).
+
+The paper's feature setup:
+
+* **color**: 9 HSV color moments per image, PCA-reduced to **3** dims;
+* **texture**: 16 co-occurrence descriptors per image, PCA-reduced to
+  **4** dims.
+
+PCA must be fitted on the whole collection, so extraction is a two-step
+affair wrapped in :class:`FeaturePipeline`: ``fit`` on the collection,
+then ``transform`` any image (including unseen query images) into the
+reduced space.  Raw descriptors are standardized (zero mean, unit
+variance per dimension) before PCA so that descriptors with wildly
+different scales (e.g. cluster prominence vs energy) do not dominate
+the principal components.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.pca import PCA
+from .color_moments import color_moments
+from .glcm import texture_features
+from .histogram import color_histogram
+from .image import Image
+from .wavelet import wavelet_features
+
+__all__ = [
+    "FeaturePipeline",
+    "color_pipeline",
+    "texture_pipeline",
+    "histogram_pipeline",
+    "wavelet_pipeline",
+    "extract_matrix",
+    "combine_features",
+]
+
+
+def extract_matrix(
+    images: Iterable[Image],
+    extractor: Callable[[Image], np.ndarray],
+) -> np.ndarray:
+    """Stack one descriptor per image into an ``(n, d)`` matrix."""
+    rows: List[np.ndarray] = [extractor(image) for image in images]
+    if not rows:
+        raise ValueError("no images to extract features from")
+    return np.stack(rows)
+
+
+class FeaturePipeline:
+    """Descriptor extraction → standardization → PCA reduction.
+
+    Args:
+        extractor: maps an :class:`Image` to a raw descriptor vector.
+        n_components: output dimensionality (the paper uses 3 for color
+            and 4 for texture).
+        standardize: z-score raw descriptors before PCA.
+
+    After :meth:`fit`, :meth:`transform` maps images (or precomputed raw
+    descriptor matrices via :meth:`transform_raw`) into the reduced
+    feature space that retrieval operates in.
+    """
+
+    def __init__(
+        self,
+        extractor: Callable[[Image], np.ndarray],
+        n_components: int,
+        standardize: bool = True,
+    ) -> None:
+        if n_components < 1:
+            raise ValueError(f"n_components must be at least 1, got {n_components}")
+        self.extractor = extractor
+        self.n_components = n_components
+        self.standardize = standardize
+        self._pca: Optional[PCA] = None
+        self._mean: Optional[np.ndarray] = None
+        self._std: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+
+    def fit(self, images: Sequence[Image]) -> np.ndarray:
+        """Fit on a collection and return its ``(n, n_components)`` features."""
+        raw = extract_matrix(images, self.extractor)
+        if raw.shape[1] < self.n_components:
+            raise ValueError(
+                f"raw descriptors have {raw.shape[1]} dims, cannot keep "
+                f"{self.n_components}"
+            )
+        if self.standardize:
+            self._mean = raw.mean(axis=0)
+            std = raw.std(axis=0)
+            self._std = np.where(std > 0, std, 1.0)
+            raw = (raw - self._mean) / self._std
+        self._pca = PCA(n_components=self.n_components).fit(raw)
+        return self._pca.transform(raw)
+
+    def _require_fitted(self) -> None:
+        if self._pca is None:
+            raise RuntimeError("pipeline has not been fitted; call fit() first")
+
+    def transform_raw(self, raw: np.ndarray) -> np.ndarray:
+        """Project precomputed raw descriptors into the reduced space."""
+        self._require_fitted()
+        raw = np.atleast_2d(np.asarray(raw, dtype=float))
+        if self.standardize:
+            raw = (raw - self._mean) / self._std
+        return self._pca.transform(raw)
+
+    def transform(self, images: Sequence[Image]) -> np.ndarray:
+        """Extract + project features for images unseen at fit time."""
+        raw = extract_matrix(images, self.extractor)
+        return self.transform_raw(raw)
+
+    def transform_one(self, image: Image) -> np.ndarray:
+        """Reduced feature vector of a single image."""
+        return self.transform([image])[0]
+
+    @property
+    def explained_variance_ratio(self) -> np.ndarray:
+        """Variance ratio captured by each retained component."""
+        self._require_fitted()
+        return self._pca.explained_variance_ratio_.copy()
+
+
+def color_pipeline(n_components: int = 3) -> FeaturePipeline:
+    """The paper's color feature: HSV moments PCA-reduced to 3 dims."""
+    return FeaturePipeline(color_moments, n_components)
+
+
+def texture_pipeline(n_components: int = 4, levels: int = 16) -> FeaturePipeline:
+    """The paper's texture feature: 16 GLCM descriptors reduced to 4 dims."""
+
+    def extractor(image: Image) -> np.ndarray:
+        return texture_features(image, levels=levels)
+
+    return FeaturePipeline(extractor, n_components)
+
+
+def histogram_pipeline(
+    n_components: int = 8,
+    bins=(8, 3, 3),
+) -> FeaturePipeline:
+    """MARS-style HSV color histogram, PCA-reduced.
+
+    Not one of the paper's two features, but part of any practical CBIR
+    feature set; the 72-bin joint histogram is reduced like the others.
+    """
+
+    def extractor(image: Image) -> np.ndarray:
+        return color_histogram(image, bins=bins)
+
+    return FeaturePipeline(extractor, n_components)
+
+
+def wavelet_pipeline(
+    n_components: int = 4,
+    levels: int = 3,
+) -> FeaturePipeline:
+    """Haar subband-energy texture, PCA-reduced (MARS's other texture)."""
+
+    def extractor(image: Image) -> np.ndarray:
+        return wavelet_features(image, levels=levels)
+
+    return FeaturePipeline(extractor, n_components)
+
+
+def combine_features(*feature_matrices: np.ndarray) -> np.ndarray:
+    """Concatenate per-image feature matrices with per-block scaling.
+
+    Each block is divided by its mean row norm so no single feature
+    dominates the concatenated Euclidean geometry — the standard trick
+    when mixing color and texture descriptors in one space.
+    """
+    if not feature_matrices:
+        raise ValueError("no feature matrices to combine")
+    blocks = []
+    n_rows = None
+    for matrix in feature_matrices:
+        matrix = np.atleast_2d(np.asarray(matrix, dtype=float))
+        if n_rows is None:
+            n_rows = matrix.shape[0]
+        elif matrix.shape[0] != n_rows:
+            raise ValueError(
+                f"feature matrices disagree on row count: {matrix.shape[0]} vs {n_rows}"
+            )
+        scale = float(np.linalg.norm(matrix, axis=1).mean())
+        blocks.append(matrix / scale if scale > 0 else matrix)
+    return np.hstack(blocks)

@@ -1,0 +1,17 @@
+"""Indexing substrate: linear scan, bucketed kd tree, cached multipoint search."""
+
+from .hybridtree import HybridTree, TreeNode
+from .linear import KnnResult, LinearScan, SearchCost, page_capacity_for
+from .multipoint import CentroidSearcher, MultipointSearcher, SessionCostLog
+
+__all__ = [
+    "HybridTree",
+    "TreeNode",
+    "KnnResult",
+    "LinearScan",
+    "SearchCost",
+    "page_capacity_for",
+    "CentroidSearcher",
+    "MultipointSearcher",
+    "SessionCostLog",
+]

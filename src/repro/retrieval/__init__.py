@@ -1,0 +1,40 @@
+"""Retrieval layer: database, simulated user, sessions, metrics, runners."""
+
+from .database import FeatureDatabase
+from .methods import FeedbackMethod, QclusterMethod
+from .metrics import (
+    PrecisionRecallCurve,
+    average_curves,
+    average_precision,
+    f1_score,
+    precision,
+    precision_recall_curve,
+    r_precision,
+    recall,
+)
+from .runners import BatchResult, compare_methods, run_batch, sample_query_indices
+from .session import FeedbackSession, IterationRecord, SessionResult
+from .user import Judgment, SimulatedUser
+
+__all__ = [
+    "FeatureDatabase",
+    "FeedbackMethod",
+    "QclusterMethod",
+    "PrecisionRecallCurve",
+    "average_curves",
+    "average_precision",
+    "f1_score",
+    "precision",
+    "precision_recall_curve",
+    "r_precision",
+    "recall",
+    "BatchResult",
+    "compare_methods",
+    "run_batch",
+    "sample_query_indices",
+    "FeedbackSession",
+    "IterationRecord",
+    "SessionResult",
+    "Judgment",
+    "SimulatedUser",
+]

@@ -1,0 +1,90 @@
+"""Feature database with category ground truth (paper Section 5 protocol).
+
+The paper evaluates against high-level category labels assigned by
+domain professionals: "images from the same category are considered
+most relevant and images from related categories ... are considered
+relevant".  :class:`FeatureDatabase` bundles the feature matrix with
+those labels and an optional related-category relation so the simulated
+user and the metrics share one source of truth.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Mapping, Optional, Sequence, Set
+
+import numpy as np
+
+__all__ = ["FeatureDatabase"]
+
+
+class FeatureDatabase:
+    """An ``(n, p)`` feature matrix plus per-row category labels.
+
+    Args:
+        vectors: the feature matrix.
+        labels: length-``n`` category id per row.
+        related: optional symmetric relation mapping a category to the
+            categories "related" to it (e.g. flowers ↔ plants).  Used by
+            the graded relevance judgments.
+    """
+
+    def __init__(
+        self,
+        vectors: np.ndarray,
+        labels: Sequence[int],
+        related: Optional[Mapping[int, Set[int]]] = None,
+    ) -> None:
+        vectors = np.atleast_2d(np.asarray(vectors, dtype=float))
+        labels_array = np.asarray(labels, dtype=int)
+        if labels_array.shape != (vectors.shape[0],):
+            raise ValueError(
+                f"need one label per vector: {labels_array.shape} labels for "
+                f"{vectors.shape[0]} vectors"
+            )
+        self.vectors = vectors
+        self.labels = labels_array
+        self._related: Dict[int, FrozenSet[int]] = {}
+        if related:
+            for category, neighbours in related.items():
+                self._related[int(category)] = frozenset(int(c) for c in neighbours)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        """Number of database objects."""
+        return self.vectors.shape[0]
+
+    @property
+    def dimension(self) -> int:
+        """Feature dimensionality."""
+        return self.vectors.shape[1]
+
+    @property
+    def categories(self) -> np.ndarray:
+        """Sorted distinct category ids."""
+        return np.unique(self.labels)
+
+    def __len__(self) -> int:
+        return self.size
+
+    def category_of(self, index: int) -> int:
+        """Category label of one database object."""
+        return int(self.labels[index])
+
+    def members_of(self, category: int) -> np.ndarray:
+        """Indices of all objects in ``category``."""
+        return np.nonzero(self.labels == category)[0]
+
+    def category_size(self, category: int) -> int:
+        """Number of objects in ``category`` (the recall denominator)."""
+        return int(np.sum(self.labels == category))
+
+    def related_to(self, category: int) -> FrozenSet[int]:
+        """Categories declared related to ``category`` (may be empty)."""
+        return self._related.get(int(category), frozenset())
+
+    def is_relevant(self, index: int, target_category: int) -> bool:
+        """Same-category or related-category membership."""
+        label = self.category_of(index)
+        return label == target_category or label in self.related_to(target_category)

@@ -1,0 +1,76 @@
+"""The relevance-feedback method interface and the Qcluster adapter.
+
+Every approach in the paper's comparison — Qcluster, query-point
+movement (QPM), query expansion (QEX), FALCON — fits one contract:
+start from an example point, then repeatedly absorb relevance judgments
+and emit a refined query whose ``distances`` rank the database.
+:class:`FeedbackMethod` fixes that contract; the baselines in
+:mod:`repro.baselines` and the :class:`QclusterMethod` wrapper here
+implement it, so the session runner treats them interchangeably.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Optional, Protocol, Sequence, runtime_checkable
+
+import numpy as np
+
+from ..core.config import QclusterConfig
+from ..core.distance import DisjunctiveQuery
+from ..core.qcluster import QclusterEngine
+
+__all__ = ["QueryLike", "FeedbackMethod", "QclusterMethod"]
+
+
+@runtime_checkable
+class QueryLike(Protocol):
+    """Anything that can rank a database: exposes ``distances``."""
+
+    def distances(self, database: np.ndarray) -> np.ndarray:
+        """Length-``N`` dissimilarities for the rows of ``database``."""
+        ...
+
+
+class FeedbackMethod(ABC):
+    """One relevance-feedback strategy in the comparative evaluation."""
+
+    #: Identifier used in benchmark tables/legends.
+    name: str = "abstract"
+
+    @abstractmethod
+    def start(self, query_point: np.ndarray) -> QueryLike:
+        """Begin a session from an example feature vector."""
+
+    @abstractmethod
+    def feedback(
+        self,
+        relevant_points: np.ndarray,
+        scores: Optional[Sequence[float]] = None,
+    ) -> QueryLike:
+        """Absorb one round of judgments; return the refined query."""
+
+
+class QclusterMethod(FeedbackMethod):
+    """The paper's method, exposed through the common interface."""
+
+    name = "qcluster"
+
+    def __init__(self, config: Optional[QclusterConfig] = None) -> None:
+        self.config = config if config is not None else QclusterConfig()
+        self.engine = QclusterEngine(self.config)
+
+    def start(self, query_point: np.ndarray) -> DisjunctiveQuery:
+        return self.engine.start(query_point)
+
+    def feedback(
+        self,
+        relevant_points: np.ndarray,
+        scores: Optional[Sequence[float]] = None,
+    ) -> DisjunctiveQuery:
+        return self.engine.feedback(relevant_points, scores)
+
+    @property
+    def n_clusters(self) -> int:
+        """Current cluster count (exposed for instrumentation)."""
+        return self.engine.n_clusters

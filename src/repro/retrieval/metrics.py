@@ -1,0 +1,144 @@
+"""Retrieval-quality metrics: precision, recall and P-R curves.
+
+Definitions follow the paper's usage:
+
+* **precision** at a result list = relevant retrieved / retrieved,
+* **recall** at a result list = relevant retrieved / all relevant in the
+  database,
+* the **precision-recall graphs** of Figures 8-9 plot one (P, R) point
+  per result-list size from 1 to k, one curve per feedback iteration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+__all__ = [
+    "precision",
+    "recall",
+    "f1_score",
+    "r_precision",
+    "average_precision",
+    "PrecisionRecallCurve",
+    "precision_recall_curve",
+    "average_curves",
+]
+
+
+def _validate(relevance_mask: np.ndarray, total_relevant: int) -> np.ndarray:
+    mask = np.asarray(relevance_mask, dtype=bool)
+    if mask.ndim != 1:
+        raise ValueError(f"relevance mask must be 1-d, got shape {mask.shape}")
+    if total_relevant < 0:
+        raise ValueError(f"total_relevant must be non-negative, got {total_relevant}")
+    if int(mask.sum()) > total_relevant:
+        raise ValueError(
+            f"result list contains {int(mask.sum())} relevant items but "
+            f"total_relevant claims only {total_relevant}"
+        )
+    return mask
+
+
+def precision(relevance_mask: Sequence[bool]) -> float:
+    """Fraction of the result list that is relevant."""
+    mask = np.asarray(relevance_mask, dtype=bool)
+    if mask.size == 0:
+        raise ValueError("cannot compute precision of an empty result list")
+    return float(mask.mean())
+
+
+def recall(relevance_mask: Sequence[bool], total_relevant: int) -> float:
+    """Fraction of all relevant objects that the result list retrieved."""
+    mask = _validate(np.asarray(relevance_mask), total_relevant)
+    if total_relevant == 0:
+        return 0.0
+    return float(mask.sum()) / total_relevant
+
+
+def f1_score(relevance_mask: Sequence[bool], total_relevant: int) -> float:
+    """Harmonic mean of precision and recall for one result list."""
+    p = precision(relevance_mask)
+    r = recall(relevance_mask, total_relevant)
+    if p + r == 0.0:
+        return 0.0
+    return 2.0 * p * r / (p + r)
+
+
+def r_precision(relevance_mask: Sequence[bool], total_relevant: int) -> float:
+    """Precision at rank R, where R is the relevant-population size.
+
+    A classic single-number IR summary: at rank R, precision and recall
+    coincide.  If the result list is shorter than R, the available
+    prefix is used (a lower bound on the true value).
+    """
+    mask = _validate(np.asarray(relevance_mask), total_relevant)
+    if total_relevant == 0:
+        return 0.0
+    cutoff = min(total_relevant, mask.size)
+    if cutoff == 0:
+        return 0.0
+    return float(mask[:cutoff].sum()) / total_relevant
+
+
+def average_precision(relevance_mask: Sequence[bool], total_relevant: int) -> float:
+    """Mean of precision-at-hit over all relevant documents (AP).
+
+    Unretrieved relevant documents contribute zero, so this is the
+    standard rank-sensitive summary of the whole result list.
+    """
+    mask = _validate(np.asarray(relevance_mask), total_relevant)
+    if total_relevant == 0:
+        return 0.0
+    hits = np.cumsum(mask)
+    ranks = np.arange(1, mask.size + 1)
+    precisions_at_hits = (hits / ranks)[mask]
+    return float(precisions_at_hits.sum()) / total_relevant
+
+
+@dataclass(frozen=True)
+class PrecisionRecallCurve:
+    """P-R values at every result-list prefix (Figures 8-9 format).
+
+    Attributes:
+        precisions: ``precisions[i]`` = precision of the top ``i + 1``.
+        recalls: ``recalls[i]`` = recall of the top ``i + 1``.
+    """
+
+    precisions: np.ndarray
+    recalls: np.ndarray
+
+    @property
+    def average_precision(self) -> float:
+        """Mean precision over prefixes — a scalar summary for tests."""
+        return float(self.precisions.mean())
+
+
+def precision_recall_curve(
+    relevance_mask: Sequence[bool],
+    total_relevant: int,
+) -> PrecisionRecallCurve:
+    """P-R at each prefix of a ranked result list."""
+    mask = _validate(np.asarray(relevance_mask), total_relevant)
+    if mask.size == 0:
+        raise ValueError("cannot compute a curve from an empty result list")
+    hits = np.cumsum(mask)
+    sizes = np.arange(1, mask.size + 1)
+    precisions = hits / sizes
+    recalls = hits / total_relevant if total_relevant > 0 else np.zeros_like(precisions)
+    return PrecisionRecallCurve(precisions=precisions, recalls=recalls)
+
+
+def average_curves(curves: List[PrecisionRecallCurve]) -> PrecisionRecallCurve:
+    """Pointwise mean of same-length curves (the 100-query averaging)."""
+    if not curves:
+        raise ValueError("no curves to average")
+    lengths = {curve.precisions.shape[0] for curve in curves}
+    if len(lengths) != 1:
+        raise ValueError(f"curves have mismatched lengths: {sorted(lengths)}")
+    return PrecisionRecallCurve(
+        precisions=np.mean([c.precisions for c in curves], axis=0),
+        recalls=np.mean([c.recalls for c in curves], axis=0),
+    )

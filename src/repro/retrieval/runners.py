@@ -1,0 +1,110 @@
+"""Batch evaluation runners (the "averaged over 100 queries" protocol).
+
+The paper's quality numbers are averages over 100 random initial
+queries.  :func:`run_batch` executes one method over a set of query
+images and aggregates per-iteration precision/recall and P-R curves;
+:func:`compare_methods` runs several method factories over the *same*
+queries so the comparison is paired (identical starting conditions for
+every approach, as in Figures 10-13 which "produce the same precision
+and the same recall for the initial query").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .database import FeatureDatabase
+from .methods import FeedbackMethod
+from .metrics import PrecisionRecallCurve, average_curves
+from .session import FeedbackSession
+
+__all__ = ["BatchResult", "run_batch", "compare_methods", "sample_query_indices"]
+
+
+@dataclass(frozen=True)
+class BatchResult:
+    """Aggregated quality of one method over a query batch.
+
+    Attributes:
+        mean_precision: per-iteration mean top-k precision.
+        mean_recall: per-iteration mean top-k recall.
+        curves: per-iteration P-R curve, averaged over queries.
+        per_query_precision: ``(n_queries, n_iterations + 1)`` raw matrix.
+        per_query_recall: same for recall.
+    """
+
+    mean_precision: np.ndarray
+    mean_recall: np.ndarray
+    curves: List[PrecisionRecallCurve]
+    per_query_precision: np.ndarray
+    per_query_recall: np.ndarray
+
+
+def sample_query_indices(
+    database: FeatureDatabase,
+    n_queries: int,
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """Random query images, at most one per database object."""
+    rng = rng if rng is not None else np.random.default_rng()
+    if n_queries < 1:
+        raise ValueError(f"n_queries must be at least 1, got {n_queries}")
+    n_queries = min(n_queries, database.size)
+    return rng.choice(database.size, size=n_queries, replace=False)
+
+
+def run_batch(
+    database: FeatureDatabase,
+    method_factory: Callable[[], FeedbackMethod],
+    query_indices: Sequence[int],
+    k: int = 100,
+    n_iterations: int = 5,
+) -> BatchResult:
+    """Run fresh method instances over each query and average the quality.
+
+    A new method instance per query keeps sessions independent (feedback
+    state must not leak between queries).
+    """
+    query_indices = list(query_indices)
+    if not query_indices:
+        raise ValueError("query_indices must not be empty")
+    precisions: List[np.ndarray] = []
+    recalls: List[np.ndarray] = []
+    curves_per_iteration: List[List[PrecisionRecallCurve]] = [
+        [] for _ in range(n_iterations + 1)
+    ]
+    for query_index in query_indices:
+        session = FeedbackSession(database, method_factory(), k=k)
+        outcome = session.run(int(query_index), n_iterations=n_iterations)
+        precisions.append(outcome.precisions)
+        recalls.append(outcome.recalls)
+        for iteration, curve in enumerate(outcome.curves):
+            curves_per_iteration[iteration].append(curve)
+    precision_matrix = np.vstack(precisions)
+    recall_matrix = np.vstack(recalls)
+    return BatchResult(
+        mean_precision=precision_matrix.mean(axis=0),
+        mean_recall=recall_matrix.mean(axis=0),
+        curves=[average_curves(curves) for curves in curves_per_iteration],
+        per_query_precision=precision_matrix,
+        per_query_recall=recall_matrix,
+    )
+
+
+def compare_methods(
+    database: FeatureDatabase,
+    method_factories: Dict[str, Callable[[], FeedbackMethod]],
+    query_indices: Sequence[int],
+    k: int = 100,
+    n_iterations: int = 5,
+) -> Dict[str, BatchResult]:
+    """Paired comparison: every method sees the same query batch."""
+    if not method_factories:
+        raise ValueError("no methods to compare")
+    return {
+        name: run_batch(database, factory, query_indices, k=k, n_iterations=n_iterations)
+        for name, factory in method_factories.items()
+    }

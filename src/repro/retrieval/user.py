@@ -1,0 +1,112 @@
+"""Simulated relevance judgments (paper Section 5 evaluation protocol).
+
+The paper uses "high-level category information as the ground truth to
+obtain the relevance feedback": images of the query's category are most
+relevant, images of related categories are relevant.  The simulated
+user reproduces that: shown a result list, it marks members of the
+target category with the full relevance score and members of related
+categories with a reduced score.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from .database import FeatureDatabase
+
+__all__ = ["Judgment", "SimulatedUser"]
+
+
+@dataclass(frozen=True)
+class Judgment:
+    """One round of user feedback.
+
+    Attributes:
+        relevant_indices: database indices the user marked relevant.
+        scores: the relevance score given to each marked index.
+    """
+
+    relevant_indices: np.ndarray
+    scores: np.ndarray
+
+    @property
+    def count(self) -> int:
+        return self.relevant_indices.shape[0]
+
+
+class SimulatedUser:
+    """Category-oracle user.
+
+    Args:
+        database: ground-truth source.
+        target_category: the category the user is "looking for".
+        same_category_score: relevance score for exact-category hits
+            (the paper's "most relevant").
+        related_category_score: reduced score for related-category hits
+            (the paper's "relevant"); only used when the database declares
+            related categories.
+        max_marked: optional cap on how many images the user marks per
+            round (real users do not label 100 thumbnails; the paper's
+            protocol marks all same-category results, which remains the
+            default ``None``).
+    """
+
+    def __init__(
+        self,
+        database: FeatureDatabase,
+        target_category: int,
+        same_category_score: float = 1.0,
+        related_category_score: float = 0.5,
+        max_marked: int = None,
+    ) -> None:
+        if same_category_score <= 0 or related_category_score <= 0:
+            raise ValueError("relevance scores must be strictly positive")
+        if max_marked is not None and max_marked < 1:
+            raise ValueError(f"max_marked must be at least 1, got {max_marked}")
+        self.database = database
+        self.target_category = int(target_category)
+        self.same_category_score = same_category_score
+        self.related_category_score = related_category_score
+        self.max_marked = max_marked
+
+    def judge(self, result_indices: Sequence[int]) -> Judgment:
+        """Mark the relevant members of a result list."""
+        relevant = []
+        scores = []
+        related = self.database.related_to(self.target_category)
+        for index in result_indices:
+            label = self.database.category_of(int(index))
+            if label == self.target_category:
+                relevant.append(int(index))
+                scores.append(self.same_category_score)
+            elif label in related:
+                relevant.append(int(index))
+                scores.append(self.related_category_score)
+            if self.max_marked is not None and len(relevant) >= self.max_marked:
+                break
+        return Judgment(
+            relevant_indices=np.asarray(relevant, dtype=int),
+            scores=np.asarray(scores, dtype=float),
+        )
+
+    def relevance_mask(self, result_indices: Sequence[int]) -> Tuple[np.ndarray, int]:
+        """Boolean relevance per result plus the total relevant population.
+
+        Convenience for metric computation: the second element is the
+        recall denominator (all database members of the target category
+        and its related categories).
+        """
+        mask = np.array(
+            [
+                self.database.is_relevant(int(index), self.target_category)
+                for index in result_indices
+            ],
+            dtype=bool,
+        )
+        total = self.database.category_size(self.target_category)
+        for related in self.database.related_to(self.target_category):
+            total += self.database.category_size(related)
+        return mask, total

@@ -1,0 +1,164 @@
+"""Weighted descriptive statistics used throughout the Qcluster pipeline.
+
+These are the estimators of Definitions 1 and 2 in the paper:
+
+* the relevance-score-weighted mean vector (Equation 2),
+* the relevance-score-weighted covariance matrix (Equation 3), and
+* the pooled covariance matrix used by both the Bayesian classifier
+  (Equation 7) and Hotelling's two-sample ``T^2`` (Equation 15).
+
+All functions accept ``(n, p)`` data arrays and length-``n`` weight
+vectors and return numpy arrays; they are deliberately free of any
+cluster bookkeeping so they can be reused by the classifier, the merge
+test and the PCA module alike.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "as_weights",
+    "weighted_mean",
+    "weighted_scatter",
+    "weighted_covariance",
+    "pooled_covariance",
+    "pooled_scatter",
+]
+
+
+def as_weights(weights: Optional[Sequence[float]], n: int) -> np.ndarray:
+    """Normalize a weight specification into a positive float vector.
+
+    ``None`` means every point carries relevance score 1 — the behaviour the
+    paper prescribes when the user gives binary relevance judgments.
+
+    Raises:
+        ValueError: on length mismatch, non-positive or non-finite weights.
+    """
+    if weights is None:
+        return np.ones(n, dtype=float)
+    array = np.asarray(weights, dtype=float)
+    if array.shape != (n,):
+        raise ValueError(f"expected {n} weights, got shape {array.shape}")
+    if not np.all(np.isfinite(array)):
+        raise ValueError("weights must be finite")
+    if np.any(array <= 0.0):
+        raise ValueError("relevance scores must be strictly positive")
+    return array
+
+
+def weighted_mean(points: np.ndarray, weights: Optional[Sequence[float]] = None) -> np.ndarray:
+    """Relevance-score-weighted mean vector (paper Equation 2).
+
+    Args:
+        points: ``(n, p)`` array of feature vectors.
+        weights: optional length-``n`` relevance scores ``v_ik``.
+
+    Returns:
+        The ``(p,)`` weighted centroid ``x̄ = Σ v_k x_k / Σ v_k``.
+    """
+    points = np.atleast_2d(np.asarray(points, dtype=float))
+    w = as_weights(weights, points.shape[0])
+    return w @ points / w.sum()
+
+
+def weighted_scatter(
+    points: np.ndarray,
+    weights: Optional[Sequence[float]] = None,
+    center: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Relevance-score-weighted scatter matrix (paper Equation 3).
+
+    ``S = Σ_k v_k (x_k - x̄)(x_k - x̄)'`` — note the paper does **not**
+    normalize by the weight sum; the scatter enters the pooled covariance
+    of Equation 15 un-normalized, so we keep that convention and expose
+    :func:`weighted_covariance` for the normalized variant.
+    """
+    points = np.atleast_2d(np.asarray(points, dtype=float))
+    w = as_weights(weights, points.shape[0])
+    if center is None:
+        center = w @ points / w.sum()
+    centered = points - np.asarray(center, dtype=float)
+    return (centered * w[:, None]).T @ centered
+
+
+def weighted_covariance(
+    points: np.ndarray,
+    weights: Optional[Sequence[float]] = None,
+    center: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Weight-sum-normalized covariance ``S / Σ v_k``.
+
+    This is the per-cluster shape matrix used by the quadratic distance of
+    Equation 1 once inverted (or diagonalized).
+    """
+    points = np.atleast_2d(np.asarray(points, dtype=float))
+    w = as_weights(weights, points.shape[0])
+    return weighted_scatter(points, w, center) / w.sum()
+
+
+def pooled_scatter(
+    groups: Sequence[Tuple[np.ndarray, Optional[Sequence[float]]]],
+) -> Tuple[np.ndarray, float]:
+    """Pooled weighted scatter across groups (paper Equation 15 numerator).
+
+    Args:
+        groups: sequence of ``(points, weights)`` pairs, one per cluster.
+
+    Returns:
+        ``(scatter, total_weight)`` where ``scatter`` is the sum of the
+        per-group weighted scatter matrices and ``total_weight`` the sum of
+        all relevance scores.
+    """
+    if not groups:
+        raise ValueError("pooled_scatter requires at least one group")
+    first_points = np.atleast_2d(np.asarray(groups[0][0], dtype=float))
+    p = first_points.shape[1]
+    scatter = np.zeros((p, p))
+    total_weight = 0.0
+    for points, weights in groups:
+        points = np.atleast_2d(np.asarray(points, dtype=float))
+        if points.shape[1] != p:
+            raise ValueError(
+                f"inconsistent dimensionality: expected {p}, got {points.shape[1]}"
+            )
+        w = as_weights(weights, points.shape[0])
+        scatter += weighted_scatter(points, w)
+        total_weight += float(w.sum())
+    return scatter, total_weight
+
+
+def pooled_covariance(
+    scatters: Sequence[np.ndarray],
+    weights: Sequence[float],
+) -> np.ndarray:
+    """Weight-combined pooled covariance (paper Equation 7 denominator).
+
+    ``S_pooled = Σ (m_i - 1) S_i / (Σ m_i - g)`` where ``m_i`` is the weight
+    (relevance mass) of cluster ``i`` and ``S_i`` its covariance.  When the
+    denominator is not positive (e.g. a single cluster of unit mass) the
+    plain weight-proportional average is returned instead, which keeps the
+    classifier well-defined during the first feedback round.
+    """
+    if len(scatters) != len(weights):
+        raise ValueError("need one weight per scatter matrix")
+    if not scatters:
+        raise ValueError("pooled_covariance requires at least one cluster")
+    weights = [float(w) for w in weights]
+    if any(w <= 0 for w in weights):
+        raise ValueError("cluster weights must be strictly positive")
+    g = len(scatters)
+    total = sum(weights)
+    denominator = total - g
+    p = np.asarray(scatters[0]).shape[0]
+    combined = np.zeros((p, p))
+    if denominator > 0:
+        for s, m in zip(scatters, weights):
+            combined += (m - 1.0) * np.asarray(s, dtype=float)
+        return combined / denominator
+    for s, m in zip(scatters, weights):
+        combined += m * np.asarray(s, dtype=float)
+    return combined / total

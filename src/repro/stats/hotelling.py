@@ -1,0 +1,136 @@
+"""Hotelling's two-sample ``T^2`` test (paper Section 4.3).
+
+The cluster-merging stage decides whether two clusters describe the same
+underlying population of relevant images by testing the equality of
+their mean vectors:
+
+    H0: mu_i = mu_j        H1: mu_i != mu_j
+
+with the statistic of Equation 14/16,
+
+    T^2 = (x̄_i - x̄_j)' [ (1/m_i + 1/m_j) S_pooled ]^{-1} (x̄_i - x̄_j)
+
+and critical distance
+
+    c^2 = (m_i + m_j - 2) p / (m_i + m_j - p - 1) * F_{p, m_i+m_j-p-1}(alpha).
+
+``H0`` is rejected (the clusters stay separate) when ``T^2 > c^2``.
+
+This module works on plain arrays; :mod:`repro.core.merging` wraps it
+with cluster bookkeeping and diagonal/inverse scheme selection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .fdist import f_upper_quantile
+
+__all__ = [
+    "HotellingResult",
+    "hotelling_t2",
+    "critical_distance",
+    "two_sample_test",
+]
+
+
+@dataclass(frozen=True)
+class HotellingResult:
+    """Outcome of a two-sample Hotelling test between two clusters.
+
+    Attributes:
+        statistic: the ``T^2`` value (Equation 16 form).
+        critical: the critical distance ``c^2`` at the chosen significance.
+        reject_equal_means: ``True`` when ``T^2 > c^2`` — the clusters are
+            statistically different and must not be merged.
+        df1: numerator degrees of freedom ``p``.
+        df2: denominator degrees of freedom ``m_i + m_j - p - 1``.
+    """
+
+    statistic: float
+    critical: float
+    reject_equal_means: bool
+    df1: float
+    df2: float
+
+    @property
+    def should_merge(self) -> bool:
+        """Convenience inverse of :attr:`reject_equal_means`."""
+        return not self.reject_equal_means
+
+
+def hotelling_t2(
+    mean_i: np.ndarray,
+    mean_j: np.ndarray,
+    pooled_inverse: np.ndarray,
+    weight_i: float,
+    weight_j: float,
+) -> float:
+    """Evaluate the ``T^2`` statistic of Equation 14.
+
+    Args:
+        mean_i, mean_j: the two cluster centroids.
+        pooled_inverse: ``S_pooled^{-1}`` (full or diagonalized — the caller
+            chooses the scheme).
+        weight_i, weight_j: cluster relevance masses ``m_i``, ``m_j``.
+
+    Returns:
+        ``m_i m_j / (m_i + m_j) * diff' S_pooled^{-1} diff``.
+    """
+    if weight_i <= 0 or weight_j <= 0:
+        raise ValueError("cluster weights must be strictly positive")
+    diff = np.asarray(mean_i, dtype=float) - np.asarray(mean_j, dtype=float)
+    scale = weight_i * weight_j / (weight_i + weight_j)
+    return float(scale * diff @ np.asarray(pooled_inverse, dtype=float) @ diff)
+
+
+def critical_distance(
+    dimension: int,
+    weight_i: float,
+    weight_j: float,
+    significance_level: float,
+) -> float:
+    """Critical distance ``c^2`` of Equation 16.
+
+    Returns ``inf`` when the denominator degrees of freedom
+    ``m_i + m_j - p - 1`` are not positive: with so little relevance mass
+    the test has no power, and an infinite threshold means "always merge",
+    matching the paper's initial iteration where every cluster holds a
+    single point.
+    """
+    if dimension <= 0:
+        raise ValueError(f"dimension must be positive, got {dimension}")
+    if not 0.0 < significance_level < 1.0:
+        raise ValueError(
+            f"significance level must lie strictly in (0, 1), got {significance_level}"
+        )
+    total = weight_i + weight_j
+    df2 = total - dimension - 1.0
+    if df2 <= 0.0:
+        return float("inf")
+    scale = (total - 2.0) * dimension / df2
+    return scale * f_upper_quantile(significance_level, float(dimension), df2)
+
+
+def two_sample_test(
+    mean_i: np.ndarray,
+    mean_j: np.ndarray,
+    pooled_inverse: np.ndarray,
+    weight_i: float,
+    weight_j: float,
+    significance_level: float = 0.05,
+) -> HotellingResult:
+    """Run the full merge test of Equation 16 and package the outcome."""
+    mean_i = np.asarray(mean_i, dtype=float)
+    dimension = mean_i.shape[0]
+    statistic = hotelling_t2(mean_i, mean_j, pooled_inverse, weight_i, weight_j)
+    critical = critical_distance(dimension, weight_i, weight_j, significance_level)
+    return HotellingResult(
+        statistic=statistic,
+        critical=critical,
+        reject_equal_means=statistic > critical,
+        df1=float(dimension),
+        df2=weight_i + weight_j - dimension - 1.0,
+    )

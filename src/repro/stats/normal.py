@@ -1,0 +1,68 @@
+"""Multivariate normal density helpers for the Bayesian classifier.
+
+The classifier of Section 4.2 allocates a point to the cluster with the
+largest ``w_i f_i(x)`` where ``f_i`` is a multivariate normal density
+(Equation 8/9).  Only *log* densities are ever compared, so this module
+exposes log-space evaluation that remains finite for near-singular
+covariance matrices.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["log_mvn_density", "mvn_density", "mahalanobis_sq"]
+
+_LOG_2PI = math.log(2.0 * math.pi)
+
+
+def mahalanobis_sq(
+    x: np.ndarray,
+    mean: np.ndarray,
+    inverse_covariance: np.ndarray,
+) -> float:
+    """Squared Mahalanobis distance ``(x - mean)' S^{-1} (x - mean)``."""
+    diff = np.asarray(x, dtype=float) - np.asarray(mean, dtype=float)
+    return float(diff @ np.asarray(inverse_covariance, dtype=float) @ diff)
+
+
+def log_mvn_density(
+    x: np.ndarray,
+    mean: np.ndarray,
+    inverse_covariance: np.ndarray,
+    log_det_covariance: Optional[float] = None,
+) -> float:
+    """Log of the multivariate normal density at ``x``.
+
+    Args:
+        x: point to evaluate.
+        mean: distribution mean.
+        inverse_covariance: ``S^{-1}`` (full or diagonal scheme).
+        log_det_covariance: ``ln |S|``; computed from the inverse when not
+            supplied (``-ln |S^{-1}|``).
+
+    Returns:
+        ``-p/2 ln(2 pi) - 1/2 ln |S| - 1/2 (x-mean)' S^{-1} (x-mean)``.
+    """
+    mean = np.asarray(mean, dtype=float)
+    p = mean.shape[0]
+    if log_det_covariance is None:
+        sign, log_det_inverse = np.linalg.slogdet(np.asarray(inverse_covariance, dtype=float))
+        if sign <= 0:
+            raise np.linalg.LinAlgError("inverse covariance is not positive definite")
+        log_det_covariance = -log_det_inverse
+    quad = mahalanobis_sq(x, mean, inverse_covariance)
+    return -0.5 * (p * _LOG_2PI + log_det_covariance + quad)
+
+
+def mvn_density(
+    x: np.ndarray,
+    mean: np.ndarray,
+    inverse_covariance: np.ndarray,
+    log_det_covariance: Optional[float] = None,
+) -> float:
+    """Multivariate normal density ``f(x)`` (Equation 8's likelihood)."""
+    return math.exp(log_mvn_density(x, mean, inverse_covariance, log_det_covariance))

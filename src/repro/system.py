@@ -1,0 +1,181 @@
+"""The complete CBIR system of the paper's Figure 2, as one object.
+
+:class:`ImageRetrievalSystem` wires every layer together — feature
+extraction, the index, the Qcluster engine and session bookkeeping —
+behind the interaction the paper describes:
+
+1. build the system over an image collection (features are extracted
+   and indexed once),
+2. ``query_by_image`` with an example image (the parse step of
+   Figure 2) to get the first result page,
+3. ``give_feedback`` with the ids the user marked relevant (optionally
+   scored) to get a refined result page,
+4. repeat 3 until satisfied.
+
+Any :class:`~repro.retrieval.methods.FeedbackMethod` can be plugged in,
+so the same system object also runs the baselines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from .features.image import Image
+from .features.pipeline import FeaturePipeline, color_pipeline, texture_pipeline
+from .index.hybridtree import HybridTree
+from .index.multipoint import MultipointSearcher
+from .retrieval.methods import FeedbackMethod, QclusterMethod
+
+__all__ = ["ResultPage", "ImageRetrievalSystem"]
+
+
+@dataclass(frozen=True)
+class ResultPage:
+    """One page of ranked results.
+
+    Attributes:
+        ids: database image ids, best first.
+        distances: aggregate distances, aligned with ``ids``.
+        iteration: 0 for the initial query, then 1, 2, ...
+    """
+
+    ids: np.ndarray
+    distances: np.ndarray
+    iteration: int
+
+    def __len__(self) -> int:
+        return self.ids.shape[0]
+
+
+@dataclass
+class _Session:
+    """Mutable per-query state."""
+
+    method: FeedbackMethod
+    query: object
+    iteration: int = 0
+    seen_relevant: set = field(default_factory=set)
+
+
+class ImageRetrievalSystem:
+    """Content-based image retrieval with relevance feedback.
+
+    Args:
+        images: the collection to index.
+        feature: ``"color"`` (HSV moments → 3-d), ``"texture"``
+            (GLCM → 4-d) or a ready :class:`FeaturePipeline`.
+        method_factory: feedback strategy per session (default Qcluster).
+        k: result-page size.
+        use_index: route ranking through the cached multipoint tree
+            search; ``False`` uses an exact vectorized scan (identical
+            results, often faster for small collections).
+    """
+
+    def __init__(
+        self,
+        images: Sequence[Image],
+        feature: object = "color",
+        method_factory: Callable[[], FeedbackMethod] = QclusterMethod,
+        k: int = 20,
+        use_index: bool = True,
+    ) -> None:
+        if not images:
+            raise ValueError("cannot build a retrieval system over zero images")
+        if k < 1:
+            raise ValueError(f"k must be at least 1, got {k}")
+        if isinstance(feature, FeaturePipeline):
+            self.pipeline = feature
+        elif feature == "color":
+            self.pipeline = color_pipeline()
+        elif feature == "texture":
+            self.pipeline = texture_pipeline()
+        else:
+            raise ValueError(
+                f"feature must be 'color', 'texture' or a FeaturePipeline, got {feature!r}"
+            )
+        self.images = list(images)
+        self.vectors = self.pipeline.fit(self.images)
+        self.k = min(k, len(self.images))
+        self.method_factory = method_factory
+        self._tree = HybridTree(self.vectors) if use_index else None
+        self._searcher: Optional[MultipointSearcher] = None
+        self._session: Optional[_Session] = None
+
+    # ------------------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        """Number of indexed images."""
+        return len(self.images)
+
+    @property
+    def iteration(self) -> int:
+        """Feedback iterations completed in the active session."""
+        if self._session is None:
+            raise RuntimeError("no active session; call query_by_image first")
+        return self._session.iteration
+
+    def _rank(self, query) -> ResultPage:
+        assert self._session is not None
+        if self._searcher is not None:
+            result = self._searcher.search(query, self.k)
+            ids, distances = result.indices, result.distances
+        else:
+            all_distances = query.distances(self.vectors)
+            top = np.argpartition(all_distances, self.k - 1)[: self.k]
+            ids = top[np.argsort(all_distances[top], kind="stable")]
+            distances = all_distances[ids]
+        return ResultPage(ids=ids, distances=distances, iteration=self._session.iteration)
+
+    # ------------------------------------------------------------------
+    # The Figure 2 loop
+    # ------------------------------------------------------------------
+
+    def query_by_image(self, example: Image) -> ResultPage:
+        """Start a session from an example image (query parsing step)."""
+        feature_vector = self.pipeline.transform_one(example)
+        method = self.method_factory()
+        query = method.start(feature_vector)
+        if self._tree is not None:
+            self._searcher = MultipointSearcher(self._tree)
+        self._session = _Session(method=method, query=query)
+        return self._rank(query)
+
+    def query_by_id(self, image_id: int) -> ResultPage:
+        """Start a session from an image already in the collection."""
+        if not 0 <= image_id < self.size:
+            raise IndexError(f"image id {image_id} out of range")
+        method = self.method_factory()
+        query = method.start(self.vectors[image_id])
+        if self._tree is not None:
+            self._searcher = MultipointSearcher(self._tree)
+        self._session = _Session(method=method, query=query)
+        return self._rank(query)
+
+    def give_feedback(
+        self,
+        relevant_ids: Sequence[int],
+        scores: Optional[Sequence[float]] = None,
+    ) -> ResultPage:
+        """Refine the active session's query with the user's judgments."""
+        if self._session is None:
+            raise RuntimeError("no active session; call query_by_image first")
+        ids: List[int] = [int(i) for i in relevant_ids]
+        for image_id in ids:
+            if not 0 <= image_id < self.size:
+                raise IndexError(f"image id {image_id} out of range")
+            self._session.seen_relevant.add(image_id)
+        if ids:
+            self._session.query = self._session.method.feedback(
+                self.vectors[ids], scores
+            )
+        self._session.iteration += 1
+        return self._rank(self._session.query)
+
+    def end_session(self) -> None:
+        """Drop session state (the index itself stays warm)."""
+        self._session = None
+        self._searcher = None

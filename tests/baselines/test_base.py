@@ -1,0 +1,144 @@
+"""Shared baseline machinery: PowerMeanQuery and accumulation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.base import (
+    AccumulatingMethod,
+    PowerMeanQuery,
+    diagonal_inverse_from_points,
+)
+
+
+class TestDiagonalInverse:
+    def test_reciprocal_variances(self, rng):
+        points = rng.standard_normal((50, 3)) * np.array([1.0, 2.0, 0.5])
+        inverse = diagonal_inverse_from_points(points)
+        variances = points.var(axis=0)
+        np.testing.assert_allclose(np.diag(inverse), 1.0 / variances, rtol=1e-9)
+
+    def test_weighted_variances(self, rng):
+        points = np.array([[0.0], [1.0]])
+        # Heavy weight on one point shrinks the weighted variance.
+        heavy = diagonal_inverse_from_points(points, scores=[9.0, 1.0])
+        even = diagonal_inverse_from_points(points, scores=[1.0, 1.0])
+        assert heavy[0, 0] > even[0, 0]
+
+    def test_regularization_floor(self):
+        inverse = diagonal_inverse_from_points(np.ones((5, 2)), regularization=1e-4)
+        np.testing.assert_allclose(np.diag(inverse), 1e4)
+
+
+class TestPowerMeanQuery:
+    def test_single_point_is_quadratic(self, rng):
+        center = rng.standard_normal(3)
+        query = PowerMeanQuery(
+            centers=center[None, :], inverses=(np.eye(3),), weights=np.ones(1), alpha=1.0
+        )
+        x = rng.standard_normal((4, 3))
+        expected = np.sum((x - center) ** 2, axis=1)
+        np.testing.assert_allclose(query.distances(x), expected)
+
+    def test_alpha_one_weighted_average(self):
+        query = PowerMeanQuery(
+            centers=np.array([[0.0], [4.0]]),
+            inverses=(np.eye(1), np.eye(1)),
+            weights=np.array([1.0, 3.0]),
+            alpha=1.0,
+        )
+        # At x = 0: distances (0, 16); weighted mean = (0*1 + 16*3)/4 = 12.
+        assert query.distances(np.array([[0.0]]))[0] == pytest.approx(12.0)
+
+    def test_negative_alpha_is_disjunctive(self):
+        query = PowerMeanQuery(
+            centers=np.array([[0.0], [100.0]]),
+            inverses=(np.eye(1), np.eye(1)),
+            weights=np.ones(2),
+            alpha=-5.0,
+        )
+        near_either = query.distances(np.array([[0.5], [99.5]]))
+        midpoint = query.distances(np.array([[50.0]]))
+        assert near_either.max() < midpoint[0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PowerMeanQuery(np.empty((0, 2)), (), np.empty(0), 1.0)
+        with pytest.raises(ValueError):
+            PowerMeanQuery(np.zeros((1, 2)), (np.eye(2),), np.ones(2), 1.0)
+        with pytest.raises(ValueError):
+            PowerMeanQuery(np.zeros((1, 2)), (np.eye(2),), np.ones(1), 0.0)
+        with pytest.raises(ValueError):
+            PowerMeanQuery(np.zeros((1, 2)), (np.eye(2),), np.zeros(1), 1.0)
+
+
+class RecordingMethod(AccumulatingMethod):
+    """Test double exposing the pooled relevant set."""
+
+    name = "recording"
+
+    def build_query(self, points, scores):
+        self.last_points = points
+        self.last_scores = scores
+        return PowerMeanQuery(
+            centers=points.mean(axis=0)[None, :],
+            inverses=(np.eye(points.shape[1]),),
+            weights=np.ones(1),
+            alpha=1.0,
+        )
+
+
+class TestAccumulatingMethod:
+    def test_accumulates_across_rounds(self, rng):
+        method = RecordingMethod()
+        method.start(np.zeros(3))
+        method.feedback(rng.standard_normal((4, 3)))
+        method.feedback(rng.standard_normal((3, 3)))
+        assert method.last_points.shape == (7, 3)
+
+    def test_deduplicates(self, rng):
+        method = RecordingMethod()
+        method.start(np.zeros(3))
+        points = rng.standard_normal((4, 3))
+        method.feedback(points)
+        method.feedback(points)
+        assert method.last_points.shape == (4, 3)
+
+    def test_start_resets(self, rng):
+        method = RecordingMethod()
+        method.start(np.zeros(3))
+        method.feedback(rng.standard_normal((4, 3)))
+        method.start(np.ones(3))
+        method.feedback(rng.standard_normal((2, 3)))
+        assert method.last_points.shape == (2, 3)
+        np.testing.assert_array_equal(method.initial_point, np.ones(3))
+
+    def test_initial_query_is_euclidean_around_example(self, rng):
+        method = RecordingMethod()
+        point = rng.standard_normal(3)
+        query = method.start(point)
+        x = rng.standard_normal((5, 3))
+        np.testing.assert_allclose(
+            query.distances(x), np.sum((x - point) ** 2, axis=1)
+        )
+
+    def test_empty_feedback_returns_initial_style_query(self, rng):
+        method = RecordingMethod()
+        point = rng.standard_normal(3)
+        method.start(point)
+        query = method.feedback(np.empty((0, 3)))
+        x = rng.standard_normal((3, 3))
+        np.testing.assert_allclose(
+            query.distances(x), np.sum((x - point) ** 2, axis=1)
+        )
+
+    def test_score_validation(self, rng):
+        method = RecordingMethod()
+        method.start(np.zeros(3))
+        with pytest.raises(ValueError):
+            method.feedback(rng.standard_normal((3, 3)), scores=[1.0])
+
+    def test_rejects_matrix_start(self, rng):
+        with pytest.raises(ValueError):
+            RecordingMethod().start(rng.standard_normal((2, 3)))

@@ -1,0 +1,152 @@
+"""Behavioural tests of the four baselines (QPM, QEX, FALCON, MindReader)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.falcon import Falcon
+from repro.baselines.mindreader import MindReader
+from repro.baselines.qex import QueryExpansion
+from repro.baselines.qpm import QueryPointMovement
+
+
+def bimodal_relevant(rng, separation=10.0, n=10, dim=3):
+    half = n // 2
+    return np.vstack(
+        [
+            rng.normal(0.0, 0.4, (half, dim)),
+            rng.normal(0.0, 0.4, (n - half, dim)) + separation,
+        ]
+    )
+
+
+class TestQueryPointMovement:
+    def test_query_moves_toward_relevant_mean(self, rng):
+        method = QueryPointMovement(query_weight=0.5, relevant_weight=0.5)
+        method.start(np.zeros(3))
+        relevant = rng.normal(4.0, 0.1, (20, 3))
+        query = method.feedback(relevant)
+        # Rocchio midpoint between origin and ~4.
+        np.testing.assert_allclose(query.centers[0], np.full(3, 2.0), atol=0.2)
+
+    def test_reweighting_respects_variance(self, rng):
+        method = QueryPointMovement()
+        method.start(np.zeros(2))
+        relevant = np.column_stack(
+            [rng.normal(0, 0.1, 40), rng.normal(0, 2.0, 40)]
+        )
+        query = method.feedback(relevant)
+        inverse = query.inverses[0]
+        # Tighter dimension gets the larger weight.
+        assert inverse[0, 0] > inverse[1, 1] * 10
+
+    def test_single_contour_fails_bimodal(self, rng):
+        """QPM's single point lands between modes — the paper's failure case."""
+        method = QueryPointMovement()
+        method.start(np.zeros(3))
+        query = method.feedback(bimodal_relevant(rng))
+        # One center, roughly midway between the modes.
+        assert query.size == 1
+        assert 3.0 < query.centers[0][0] < 7.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            QueryPointMovement(query_weight=-1.0)
+        with pytest.raises(ValueError):
+            QueryPointMovement(relevant_weight=0.0)
+
+
+class TestQueryExpansion:
+    def test_multiple_representatives(self, rng):
+        method = QueryExpansion(n_representatives=3)
+        method.start(np.zeros(3))
+        query = method.feedback(bimodal_relevant(rng, n=12))
+        assert query.size == 3
+        assert query.alpha == 1.0  # one convex covering contour
+
+    def test_representatives_cover_modes(self, rng):
+        method = QueryExpansion(n_representatives=2)
+        method.start(np.zeros(3))
+        query = method.feedback(bimodal_relevant(rng))
+        first_coordinates = sorted(query.centers[:, 0])
+        assert first_coordinates[0] < 2.0
+        assert first_coordinates[-1] > 8.0
+
+    def test_convex_contour_covers_the_gap(self, rng):
+        """QEX's conjunctive aggregate ranks the inter-mode gap well —
+        which is exactly why it loses to Qcluster on complex queries."""
+        method = QueryExpansion(n_representatives=2)
+        method.start(np.zeros(3))
+        query = method.feedback(bimodal_relevant(rng))
+        midpoint = np.full((1, 3), 5.0)
+        on_mode = np.full((1, 3), 0.0)
+        # With the arithmetic mean, the midpoint is at least competitive
+        # with a point on one mode (sum of distances is what matters).
+        assert query.distances(midpoint)[0] < 2.0 * query.distances(on_mode)[0]
+
+    def test_fewer_points_than_representatives(self, rng):
+        method = QueryExpansion(n_representatives=5)
+        method.start(np.zeros(3))
+        query = method.feedback(rng.standard_normal((2, 3)))
+        assert query.size == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            QueryExpansion(n_representatives=0)
+
+
+class TestFalcon:
+    def test_all_relevant_points_are_query_points(self, rng):
+        method = Falcon()
+        method.start(np.zeros(3))
+        relevant = rng.standard_normal((15, 3))
+        query = method.feedback(relevant)
+        assert query.size == 15
+        assert query.alpha == -5.0
+
+    def test_handles_disjunctive_shape(self, rng):
+        method = Falcon()
+        method.start(np.zeros(3))
+        query = method.feedback(bimodal_relevant(rng))
+        near_mode = np.zeros((1, 3)) + 0.2
+        midpoint = np.full((1, 3), 5.0)
+        assert query.distances(near_mode)[0] < query.distances(midpoint)[0]
+
+    def test_max_query_points_cap(self, rng):
+        method = Falcon(max_query_points=5)
+        method.start(np.zeros(3))
+        query = method.feedback(rng.standard_normal((12, 3)))
+        assert query.size == 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Falcon(alpha=1.0)
+        with pytest.raises(ValueError):
+            Falcon(max_query_points=0)
+
+
+class TestMindReader:
+    def test_single_point_full_covariance(self, rng):
+        method = MindReader()
+        method.start(np.zeros(2))
+        # Correlated relevant set: the full inverse captures orientation.
+        latent = rng.standard_normal(50)
+        relevant = np.column_stack([latent, latent * 0.9 + rng.normal(0, 0.1, 50)])
+        query = method.feedback(relevant)
+        assert query.size == 1
+        inverse = query.inverses[0]
+        # Full matrix: off-diagonal structure present (negative correlation
+        # term in the inverse of a positively correlated covariance).
+        assert inverse[0, 1] < 0
+
+    def test_distance_is_mahalanobis(self, rng):
+        method = MindReader(regularization=1e-10)
+        method.start(np.zeros(2))
+        relevant = rng.standard_normal((100, 2)) * np.array([1.0, 3.0])
+        query = method.feedback(relevant)
+        center = query.centers[0]
+        covariance = np.cov(relevant, rowvar=False, bias=True)
+        x = np.array([1.0, 1.0])
+        expected = (x - center) @ np.linalg.inv(covariance) @ (x - center)
+        assert query.distances(x[None, :])[0] == pytest.approx(float(expected), rel=0.05)

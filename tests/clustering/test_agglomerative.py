@@ -1,0 +1,97 @@
+"""Agglomerative clustering: blob recovery, stopping rules, edge cases."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.cluster.hierarchy as sch
+from scipy.spatial.distance import pdist
+
+from repro.clustering.agglomerative import AgglomerativeClusterer
+from repro.clustering.validation import adjusted_rand_index
+
+
+def three_blobs(rng, n_per=15, dim=3, separation=8.0):
+    centers = np.array([[0.0] * dim, [separation] + [0.0] * (dim - 1), [0.0, separation] + [0.0] * (dim - 2)])
+    points = np.vstack([c + rng.standard_normal((n_per, dim)) * 0.5 for c in centers])
+    labels = np.repeat(np.arange(3), n_per)
+    return points, labels
+
+
+class TestClustering:
+    @pytest.mark.parametrize("linkage", ["single", "complete", "average", "weighted", "ward"])
+    def test_recovers_three_blobs(self, linkage, rng):
+        points, labels = three_blobs(rng)
+        result = AgglomerativeClusterer(n_clusters=3, linkage=linkage).fit(points)
+        assert result.n_clusters == 3
+        assert adjusted_rand_index(result.labels, labels) == 1.0
+
+    def test_labels_are_contiguous(self, rng):
+        points, _ = three_blobs(rng)
+        result = AgglomerativeClusterer(n_clusters=3).fit(points)
+        assert set(result.labels) == {0, 1, 2}
+
+    def test_members_partition_points(self, rng):
+        points, _ = three_blobs(rng)
+        result = AgglomerativeClusterer(n_clusters=3).fit(points)
+        all_members = np.concatenate([result.members(c) for c in range(3)])
+        assert sorted(all_members) == list(range(points.shape[0]))
+
+    def test_distance_threshold_stops_early(self, rng):
+        points, _ = three_blobs(rng, separation=20.0)
+        # Threshold below the inter-blob distance: merging stops with the
+        # three blobs intact, never merging across.
+        result = AgglomerativeClusterer(
+            n_clusters=1, linkage="single", distance_threshold=25.0
+        ).fit(points)
+        assert result.n_clusters == 3
+
+    def test_full_dendrogram_reaches_one_cluster(self, rng):
+        points, _ = three_blobs(rng, n_per=5)
+        result = AgglomerativeClusterer(n_clusters=1).fit(points)
+        assert result.n_clusters == 1
+        assert len(result.merges) == points.shape[0] - 1
+
+    def test_merge_distances_monotone_for_complete_linkage(self, rng):
+        # Complete/average linkage are monotone: merge distances never
+        # decrease along the dendrogram.
+        points, _ = three_blobs(rng, n_per=8)
+        result = AgglomerativeClusterer(n_clusters=1, linkage="complete").fit(points)
+        distances = [m.distance for m in result.merges]
+        assert all(b >= a - 1e-9 for a, b in zip(distances, distances[1:]))
+
+    def test_matches_scipy_average_linkage(self, rng):
+        points = rng.standard_normal((20, 3))
+        ours = AgglomerativeClusterer(n_clusters=4, linkage="average").fit(points)
+        # scipy's average linkage on *squared* distances = ours.
+        condensed = pdist(points, metric="sqeuclidean")
+        scipy_labels = sch.fcluster(
+            sch.linkage(condensed, method="average"), t=4, criterion="maxclust"
+        )
+        assert adjusted_rand_index(ours.labels, scipy_labels) == pytest.approx(1.0)
+
+    def test_fewer_points_than_clusters(self, rng):
+        points = rng.standard_normal((2, 3))
+        result = AgglomerativeClusterer(n_clusters=5).fit(points)
+        assert result.n_clusters == 2
+        assert result.merges == ()
+
+    def test_single_point(self):
+        result = AgglomerativeClusterer(n_clusters=1).fit(np.array([[1.0, 2.0]]))
+        assert result.n_clusters == 1
+        np.testing.assert_array_equal(result.labels, [0])
+
+    def test_duplicate_points(self):
+        points = np.ones((6, 2))
+        result = AgglomerativeClusterer(n_clusters=2).fit(points)
+        assert result.n_clusters == 2  # ties broken arbitrarily but validly
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AgglomerativeClusterer(n_clusters=0)
+        with pytest.raises(ValueError):
+            AgglomerativeClusterer(linkage="banana")
+        with pytest.raises(ValueError):
+            AgglomerativeClusterer(distance_threshold=-1.0)
+        with pytest.raises(ValueError):
+            AgglomerativeClusterer().fit(np.empty((0, 2)))

@@ -1,0 +1,105 @@
+"""Lloyd's k-means with k-means++ seeding."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.clustering.kmeans import kmeans, kmeans_plus_plus_init
+from repro.clustering.validation import adjusted_rand_index
+
+
+def three_blobs(rng, n_per=20, separation=10.0):
+    centers = np.array([[0.0, 0.0], [separation, 0.0], [0.0, separation]])
+    points = np.vstack([c + rng.standard_normal((n_per, 2)) * 0.5 for c in centers])
+    labels = np.repeat(np.arange(3), n_per)
+    return points, labels
+
+
+class TestInit:
+    def test_centers_are_data_points(self, rng):
+        points = rng.standard_normal((30, 3))
+        centers = kmeans_plus_plus_init(points, 4, rng)
+        assert centers.shape == (4, 3)
+        for center in centers:
+            assert any(np.allclose(center, point) for point in points)
+
+    def test_spreads_across_blobs(self, rng):
+        points, _ = three_blobs(rng)
+        centers = kmeans_plus_plus_init(points, 3, rng)
+        # All three blobs should receive one seed.
+        blob_of = lambda c: int(np.argmin([np.sum((c - b) ** 2) for b in
+                                           ([0, 0], [10, 0], [0, 10])]))
+        assert len({blob_of(c) for c in centers}) == 3
+
+    def test_duplicate_points_handled(self, rng):
+        points = np.ones((10, 2))
+        centers = kmeans_plus_plus_init(points, 3, rng)
+        assert centers.shape == (3, 2)
+
+
+class TestKMeans:
+    def test_recovers_three_blobs(self, rng):
+        points, labels = three_blobs(rng)
+        result = kmeans(points, 3, rng)
+        assert adjusted_rand_index(result.labels, labels) == 1.0
+        assert result.inertia < 2.0 * points.shape[0]
+
+    def test_labels_contiguous(self, rng):
+        points, _ = three_blobs(rng)
+        result = kmeans(points, 3, rng)
+        assert set(result.labels) == {0, 1, 2}
+
+    def test_members_partition(self, rng):
+        points, _ = three_blobs(rng)
+        result = kmeans(points, 3, rng)
+        members = np.concatenate([result.members(c) for c in range(3)])
+        assert sorted(members) == list(range(points.shape[0]))
+
+    def test_k_clamped_to_n(self, rng):
+        result = kmeans(rng.standard_normal((3, 2)), 10, rng)
+        assert result.centers.shape[0] <= 3
+
+    def test_single_cluster(self, rng):
+        points = rng.standard_normal((20, 3))
+        result = kmeans(points, 1, rng)
+        np.testing.assert_allclose(result.centers[0], points.mean(axis=0))
+
+    def test_deterministic_with_seed(self):
+        rng_points = np.random.default_rng(1)
+        points, _ = three_blobs(rng_points)
+        first = kmeans(points, 3, np.random.default_rng(5))
+        second = kmeans(points, 3, np.random.default_rng(5))
+        np.testing.assert_array_equal(first.labels, second.labels)
+
+    def test_inertia_decreases_with_more_clusters(self, rng):
+        points = rng.standard_normal((100, 3))
+        inertia_2 = kmeans(points, 2, np.random.default_rng(0)).inertia
+        inertia_8 = kmeans(points, 8, np.random.default_rng(0)).inertia
+        assert inertia_8 < inertia_2
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            kmeans(np.empty((0, 2)), 2, rng)
+        with pytest.raises(ValueError):
+            kmeans(rng.standard_normal((5, 2)), 0, rng)
+
+
+class TestEngineIntegration:
+    def test_kmeans_initial_method(self, rng):
+        from repro.core.config import QclusterConfig
+        from repro.core.qcluster import QclusterEngine
+
+        engine = QclusterEngine(QclusterConfig(initial_method="kmeans"))
+        engine.start(np.zeros(3))
+        relevant = np.vstack(
+            [rng.normal(0.0, 0.4, (10, 3)), rng.normal(10.0, 0.4, (10, 3))]
+        )
+        engine.feedback(relevant)
+        assert engine.n_clusters == 2
+
+    def test_unknown_initial_method_rejected(self):
+        from repro.core.config import QclusterConfig
+
+        with pytest.raises(ValueError):
+            QclusterConfig(initial_method="spectral")

@@ -1,0 +1,88 @@
+"""Lance-Williams updates vs direct inter-cluster distance computation."""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.clustering.agglomerative import pairwise_sq_euclidean
+from repro.clustering.linkage import LINKAGES, lance_williams_update
+
+
+def direct_linkage(linkage, group_a, group_b):
+    """Inter-cluster distance computed from raw points (squared Euclidean)."""
+    distances = [
+        float(np.sum((a - b) ** 2)) for a, b in itertools.product(group_a, group_b)
+    ]
+    if linkage == "single":
+        return min(distances)
+    if linkage == "complete":
+        return max(distances)
+    if linkage == "average":
+        return float(np.mean(distances))
+    raise ValueError(linkage)
+
+
+class TestLanceWilliams:
+    @pytest.mark.parametrize("linkage", ["single", "complete", "average"])
+    def test_update_matches_direct(self, linkage, rng):
+        """Merging i and j, the updated distance to k matches recomputation."""
+        group_i = rng.standard_normal((3, 2))
+        group_j = rng.standard_normal((4, 2)) + 1.0
+        group_k = rng.standard_normal((5, 2)) - 1.0
+        d_ki = direct_linkage(linkage, group_k, group_i)
+        d_kj = direct_linkage(linkage, group_k, group_j)
+        d_ij = direct_linkage(linkage, group_i, group_j)
+        updated = lance_williams_update(linkage, d_ki, d_kj, d_ij, 3, 4, 5)
+        merged = np.vstack([group_i, group_j])
+        assert updated == pytest.approx(direct_linkage(linkage, group_k, merged))
+
+    def test_weighted_is_midpoint(self):
+        assert lance_williams_update("weighted", 2.0, 6.0, 1.0, 3, 5, 2) == 4.0
+
+    def test_ward_update_matches_variance_formula(self, rng):
+        """Ward on singletons: D({x,y},{z}) = (4/3) ||(x+y)/2 - z||^2.
+
+        With squared-Euclidean initial distances, Ward's cluster distance
+        is ``2 n_a n_b / (n_a + n_b) ||mean_a - mean_b||^2``; for the
+        merge of two singletons vs a third point that is (4/3) times the
+        squared distance from the midpoint.
+        """
+        x, y, z = rng.standard_normal((3, 4))
+        d_xy = float(np.sum((x - y) ** 2))
+        d_xz = float(np.sum((x - z) ** 2))
+        d_yz = float(np.sum((y - z) ** 2))
+        updated = lance_williams_update("ward", d_xz, d_yz, d_xy, 1, 1, 1)
+        midpoint = (x + y) / 2.0
+        expected = 4.0 / 3.0 * float(np.sum((midpoint - z) ** 2))
+        assert updated == pytest.approx(expected)
+
+    def test_unknown_linkage(self):
+        with pytest.raises(ValueError, match="unknown linkage"):
+            lance_williams_update("banana", 1.0, 1.0, 1.0, 1, 1, 1)
+
+    def test_registry_contents(self):
+        assert set(LINKAGES) == {"single", "complete", "average", "weighted", "ward"}
+
+
+class TestPairwiseSqEuclidean:
+    def test_matches_direct_computation(self, rng):
+        points = rng.standard_normal((10, 3))
+        matrix = pairwise_sq_euclidean(points)
+        for i in range(10):
+            for j in range(10):
+                assert matrix[i, j] == pytest.approx(
+                    float(np.sum((points[i] - points[j]) ** 2)), abs=1e-9
+                )
+
+    def test_diagonal_is_zero(self, rng):
+        matrix = pairwise_sq_euclidean(rng.standard_normal((6, 4)))
+        np.testing.assert_array_equal(np.diag(matrix), np.zeros(6))
+
+    def test_never_negative(self, rng):
+        # The expansion-based formula can go slightly negative; must clamp.
+        points = np.repeat(rng.standard_normal((1, 5)), 8, axis=0)
+        matrix = pairwise_sq_euclidean(points * 1e8)
+        assert matrix.min() >= 0.0

@@ -1,0 +1,81 @@
+"""Cluster validation indices: Rand, adjusted Rand, silhouette."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.clustering.validation import (
+    adjusted_rand_index,
+    contingency_table,
+    rand_index,
+    silhouette_score,
+)
+
+
+class TestContingency:
+    def test_basic_table(self):
+        table = contingency_table([0, 0, 1, 1], [0, 1, 1, 1])
+        np.testing.assert_array_equal(table, [[1, 1], [0, 2]])
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            contingency_table([0, 1], [0, 1, 2])
+
+    def test_non_contiguous_labels(self):
+        table = contingency_table([5, 5, 9], [2, 7, 7])
+        assert table.sum() == 3
+
+
+class TestRandIndices:
+    def test_identical_clusterings(self):
+        labels = [0, 0, 1, 1, 2]
+        assert rand_index(labels, labels) == 1.0
+        assert adjusted_rand_index(labels, labels) == 1.0
+
+    def test_permuted_labels_are_identical(self):
+        assert adjusted_rand_index([0, 0, 1, 1], [1, 1, 0, 0]) == 1.0
+
+    def test_known_value(self):
+        # Two partitions of 6 points; by hand: N11 = 2 pairs together in
+        # both, N00 = 8 pairs separated in both -> RI = 10/15.
+        a = [0, 0, 0, 1, 1, 1]
+        b = [0, 0, 1, 1, 2, 2]
+        assert rand_index(a, b) == pytest.approx(10.0 / 15.0)
+
+    def test_ari_near_zero_for_random(self, rng):
+        a = rng.integers(0, 4, 400)
+        b = rng.integers(0, 4, 400)
+        assert abs(adjusted_rand_index(a, b)) < 0.05
+
+    def test_requires_two_points(self):
+        with pytest.raises(ValueError):
+            rand_index([0], [0])
+
+
+class TestSilhouette:
+    def test_well_separated_blobs_score_high(self, rng):
+        points = np.vstack(
+            [rng.standard_normal((20, 2)) * 0.3, rng.standard_normal((20, 2)) * 0.3 + 10.0]
+        )
+        labels = [0] * 20 + [1] * 20
+        assert silhouette_score(points, labels) > 0.9
+
+    def test_random_labels_score_low(self, rng):
+        points = rng.standard_normal((40, 2))
+        labels = rng.integers(0, 2, 40)
+        assert silhouette_score(points, labels) < 0.2
+
+    def test_singleton_cluster_contributes_zero(self, rng):
+        points = np.vstack([rng.standard_normal((10, 2)), [[100.0, 100.0]]])
+        labels = [0] * 10 + [1]
+        score = silhouette_score(points, labels)
+        assert np.isfinite(score)
+
+    def test_requires_two_clusters(self, rng):
+        with pytest.raises(ValueError):
+            silhouette_score(rng.standard_normal((5, 2)), [0] * 5)
+
+    def test_label_length_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            silhouette_score(rng.standard_normal((5, 2)), [0, 1])

@@ -1,0 +1,42 @@
+"""Shared fixtures for the Qcluster reproduction test-suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import generate_collection
+from repro.features import color_pipeline
+from repro.retrieval import FeatureDatabase
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic RNG; tests must not depend on global seeding."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def small_collection():
+    """A small procedural image collection shared across feature tests."""
+    return generate_collection(
+        n_categories=5, images_per_category=20, image_size=16, complex_fraction=0.4, seed=7
+    )
+
+
+@pytest.fixture(scope="session")
+def color_database(small_collection) -> FeatureDatabase:
+    """Color-moment features of the small collection, as a database."""
+    pipeline = color_pipeline()
+    features = pipeline.fit(small_collection.images)
+    return FeatureDatabase(features, small_collection.labels)
+
+
+@pytest.fixture
+def two_blob_data(rng):
+    """Two well-separated Gaussian blobs in 4-d, with labels."""
+    a = rng.normal(loc=-3.0, scale=0.5, size=(40, 4))
+    b = rng.normal(loc=3.0, scale=0.5, size=(40, 4))
+    points = np.vstack([a, b])
+    labels = np.array([0] * 40 + [1] * 40)
+    return points, labels

@@ -1,0 +1,197 @@
+"""Bayesian classifier (Algorithm 2): allocation, radius check, invariance."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.classifier import BayesianClassifier
+from repro.core.cluster import Cluster
+from repro.core.covariance import DiagonalScheme, InverseScheme
+
+
+def make_two_clusters(rng, separation=8.0, size=25, dim=3):
+    a = Cluster(rng.standard_normal((size, dim)))
+    b = Cluster(rng.standard_normal((size, dim)) + separation)
+    return [a, b]
+
+
+class TestPrepare:
+    def test_state_shapes(self, rng):
+        clusters = make_two_clusters(rng)
+        state = BayesianClassifier().prepare(clusters)
+        assert state.centroids.shape == (2, 3)
+        assert state.pooled_inverse.shape == (3, 3)
+        assert state.log_priors.shape == (2,)
+        assert len(state.cluster_inverses) == 2
+        assert state.radius > 0
+
+    def test_priors_are_normalized_masses(self, rng):
+        a = Cluster(rng.standard_normal((10, 2)), scores=np.full(10, 3.0))
+        b = Cluster(rng.standard_normal((10, 2)))
+        state = BayesianClassifier().prepare([a, b])
+        np.testing.assert_allclose(np.exp(state.log_priors), [0.75, 0.25])
+
+    def test_rejects_empty_and_mismatched(self, rng):
+        classifier = BayesianClassifier()
+        with pytest.raises(ValueError):
+            classifier.prepare([])
+        with pytest.raises(ValueError):
+            classifier.prepare(
+                [Cluster(rng.standard_normal((3, 2))), Cluster(rng.standard_normal((3, 3)))]
+            )
+
+    def test_rejects_bad_significance(self):
+        with pytest.raises(ValueError):
+            BayesianClassifier(significance_level=0.0)
+
+
+class TestClassify:
+    def test_assigns_to_nearest_cluster(self, rng):
+        clusters = make_two_clusters(rng)
+        classifier = BayesianClassifier()
+        state = classifier.prepare(clusters)
+        near_a = classifier.classify(state, np.zeros(3) + 0.1)
+        near_b = classifier.classify(state, np.full(3, 8.0) + 0.1)
+        assert near_a.cluster_index == 0
+        assert near_b.cluster_index == 1
+        assert not near_a.is_outlier
+        assert not near_b.is_outlier
+
+    def test_far_point_is_outlier(self, rng):
+        clusters = make_two_clusters(rng)
+        classifier = BayesianClassifier()
+        state = classifier.prepare(clusters)
+        decision = classifier.classify(state, np.full(3, 100.0))
+        assert decision.is_outlier
+        assert decision.assigned_index is None
+
+    def test_prior_breaks_ties(self, rng):
+        # Two overlapping clusters of different masses: the midpoint goes
+        # to the heavier one (Equation 8's prior term).
+        points = rng.standard_normal((30, 2))
+        heavy = Cluster(points, scores=np.full(30, 5.0))
+        light = Cluster(points + 4.0)
+        classifier = BayesianClassifier()
+        state = classifier.prepare([heavy, light])
+        midpoint = np.full(2, 2.0)
+        decision = classifier.classify(state, midpoint)
+        assert decision.cluster_index == 0
+
+    def test_discriminants_equation_10(self, rng):
+        clusters = make_two_clusters(rng)
+        classifier = BayesianClassifier(scheme=InverseScheme())
+        state = classifier.prepare(clusters)
+        x = rng.standard_normal(3)
+        scores = classifier.discriminants(state, x)
+        for i, cluster in enumerate(clusters):
+            diff = x - cluster.centroid
+            expected = -0.5 * diff @ state.pooled_inverse @ diff + state.log_priors[i]
+            assert scores[i] == pytest.approx(expected)
+
+    def test_classify_points_batch(self, rng):
+        clusters = make_two_clusters(rng)
+        classifier = BayesianClassifier()
+        decisions = classifier.classify_points(clusters, rng.standard_normal((5, 3)))
+        assert len(decisions) == 5
+
+
+class TestAssign:
+    def test_inlier_joins_cluster(self, rng):
+        clusters = make_two_clusters(rng)
+        size_before = clusters[0].size
+        index = BayesianClassifier().assign(clusters, np.zeros(3))
+        assert index == 0
+        assert clusters[0].size == size_before + 1
+        assert len(clusters) == 2
+
+    def test_outlier_creates_cluster(self, rng):
+        clusters = make_two_clusters(rng)
+        index = BayesianClassifier().assign(clusters, np.full(3, 100.0), score=2.0)
+        assert index == 2
+        assert len(clusters) == 3
+        assert clusters[2].size == 1
+        assert clusters[2].weight == pytest.approx(2.0)
+
+
+class TestInvariance:
+    def test_theorem_1_linear_invariance(self, rng):
+        """Classification decisions are unchanged under invertible maps.
+
+        Theorem 1 holds exactly for the full-inverse scheme (the diagonal
+        approximation is axis-dependent by construction).
+        """
+        clusters = make_two_clusters(rng, separation=4.0)
+        test_points = np.vstack(
+            [rng.standard_normal((10, 3)), rng.standard_normal((10, 3)) + 4.0]
+        )
+        transform = rng.standard_normal((3, 3)) + 3.0 * np.eye(3)
+        classifier = BayesianClassifier(scheme=InverseScheme(regularization=1e-10))
+
+        original_state = classifier.prepare(clusters)
+        transformed_clusters = [
+            Cluster(c.points @ transform.T, c.scores) for c in clusters
+        ]
+        transformed_state = classifier.prepare(transformed_clusters)
+
+        for point in test_points:
+            original = classifier.classify(original_state, point)
+            transformed = classifier.classify(transformed_state, transform @ point)
+            assert original.cluster_index == transformed.cluster_index
+            assert original.radius_distance == pytest.approx(
+                transformed.radius_distance, rel=1e-5
+            )
+
+    def test_quadratic_discriminant_separates_by_shape(self, rng):
+        """QDA mode: concentric clusters of different spread are
+        separable by shape, which the pooled (linear) discriminant
+        fundamentally cannot do."""
+        tight = Cluster(rng.normal(0.0, 0.3, (60, 2)))
+        wide = Cluster(rng.normal(0.0, 4.0, (60, 2)))
+        qda = BayesianClassifier(
+            scheme=InverseScheme(), discriminant="quadratic", significance_level=0.001
+        )
+        state = qda.prepare([tight, wide])
+        near_center = qda.classify(state, np.array([0.1, -0.1]))
+        far_out = qda.classify(state, np.array([6.0, -5.0]))
+        assert near_center.cluster_index == 0  # tight cluster explains it best
+        assert far_out.cluster_index == 1      # only the wide cluster can
+
+    def test_quadratic_matches_pooled_for_identical_shapes(self, rng):
+        """With equal covariances QDA and the pooled form agree."""
+        clusters = make_two_clusters(rng, separation=6.0)
+        probes = np.vstack(
+            [rng.standard_normal((15, 3)), rng.standard_normal((15, 3)) + 6.0]
+        )
+        pooled = BayesianClassifier(scheme=InverseScheme())
+        quadratic = BayesianClassifier(scheme=InverseScheme(), discriminant="quadratic")
+        pooled_state = pooled.prepare(clusters)
+        quadratic_state = quadratic.prepare(clusters)
+        agreement = np.mean(
+            [
+                pooled.classify(pooled_state, p).cluster_index
+                == quadratic.classify(quadratic_state, p).cluster_index
+                for p in probes
+            ]
+        )
+        assert agreement > 0.95
+
+    def test_discriminant_validation(self):
+        with pytest.raises(ValueError):
+            BayesianClassifier(discriminant="cubic")
+
+    def test_diagonal_scheme_quality_close_to_inverse(self, rng):
+        """Section 4's claim: diagonal performance ~ inverse performance."""
+        clusters = make_two_clusters(rng, separation=6.0)
+        points = np.vstack(
+            [rng.standard_normal((50, 3)), rng.standard_normal((50, 3)) + 6.0]
+        )
+        labels = np.array([0] * 50 + [1] * 50)
+        agreement = {}
+        for scheme in (DiagonalScheme(), InverseScheme()):
+            classifier = BayesianClassifier(scheme=scheme)
+            state = classifier.prepare(clusters)
+            predicted = [classifier.classify(state, p).cluster_index for p in points]
+            agreement[scheme.name] = float(np.mean(np.asarray(predicted) == labels))
+        assert agreement["diagonal"] > 0.95
+        assert abs(agreement["diagonal"] - agreement["inverse"]) < 0.05

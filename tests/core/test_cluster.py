@@ -1,0 +1,157 @@
+"""Cluster model: Definitions 1-2 and the merge formulas (Eq. 11-13)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as hst
+from hypothesis.extra.numpy import arrays
+
+from repro.core.cluster import Cluster, merge_moments
+
+
+class TestConstruction:
+    def test_single_point_cluster(self):
+        cluster = Cluster(np.array([[1.0, 2.0]]))
+        assert cluster.size == 1
+        assert cluster.dimension == 2
+        assert cluster.weight == 1.0
+        np.testing.assert_array_equal(cluster.centroid, [1.0, 2.0])
+        np.testing.assert_array_equal(cluster.scatter, np.zeros((2, 2)))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Cluster(np.empty((0, 3)))
+
+    def test_rejects_bad_scores(self):
+        with pytest.raises(ValueError):
+            Cluster(np.ones((2, 2)), [1.0, -1.0])
+
+    def test_views_are_read_only(self):
+        cluster = Cluster(np.ones((2, 2)))
+        with pytest.raises(ValueError):
+            cluster.points[0, 0] = 5.0
+        with pytest.raises(ValueError):
+            cluster.scores[0] = 5.0
+
+
+class TestStatistics:
+    def test_weighted_centroid(self):
+        cluster = Cluster(np.array([[0.0], [10.0]]), [1.0, 4.0])
+        assert cluster.centroid[0] == pytest.approx(8.0)
+        assert cluster.weight == pytest.approx(5.0)
+
+    def test_scatter_matches_definition(self, rng):
+        points = rng.standard_normal((8, 3))
+        scores = rng.uniform(0.5, 2.0, 8)
+        cluster = Cluster(points, scores)
+        center = (scores[:, None] * points).sum(axis=0) / scores.sum()
+        expected = sum(s * np.outer(x - center, x - center) for s, x in zip(scores, points))
+        np.testing.assert_allclose(cluster.scatter, expected)
+        np.testing.assert_allclose(cluster.covariance, expected / scores.sum())
+
+    def test_len_matches_size(self):
+        cluster = Cluster(np.ones((5, 2)))
+        assert len(cluster) == 5
+
+
+class TestMutation:
+    def test_add_updates_statistics(self):
+        cluster = Cluster(np.array([[0.0, 0.0]]))
+        cluster.add([2.0, 2.0])
+        assert cluster.size == 2
+        np.testing.assert_allclose(cluster.centroid, [1.0, 1.0])
+
+    def test_add_with_score(self):
+        cluster = Cluster(np.array([[0.0]]))
+        cluster.add([3.0], score=3.0)
+        assert cluster.centroid[0] == pytest.approx(2.25)
+
+    def test_add_rejects_bad_input(self):
+        cluster = Cluster(np.array([[0.0, 0.0]]))
+        with pytest.raises(ValueError):
+            cluster.add([1.0, 2.0, 3.0])
+        with pytest.raises(ValueError):
+            cluster.add([1.0, 2.0], score=0.0)
+
+    def test_without_member(self):
+        cluster = Cluster(np.array([[0.0], [1.0], [2.0]]))
+        reduced = cluster.without_member(1)
+        assert reduced.size == 2
+        np.testing.assert_allclose(reduced.points.ravel(), [0.0, 2.0])
+        # Original untouched.
+        assert cluster.size == 3
+
+    def test_without_member_rejects_singleton(self):
+        with pytest.raises(ValueError):
+            Cluster(np.array([[1.0]])).without_member(0)
+
+
+class TestMerging:
+    def test_merged_with_concatenates(self, rng):
+        a = Cluster(rng.standard_normal((4, 2)))
+        b = Cluster(rng.standard_normal((6, 2)))
+        merged = a.merged_with(b)
+        assert merged.size == 10
+        assert merged.weight == pytest.approx(10.0)
+
+    def test_merged_with_rejects_dimension_mismatch(self, rng):
+        a = Cluster(rng.standard_normal((3, 2)))
+        b = Cluster(rng.standard_normal((3, 3)))
+        with pytest.raises(ValueError):
+            a.merged_with(b)
+
+    def test_merge_moments_mean_equation_12(self):
+        _, mean, _ = merge_moments(
+            np.array([0.0]), np.zeros((1, 1)), 2.0, np.array([3.0]), np.zeros((1, 1)), 4.0
+        )
+        assert mean[0] == pytest.approx(2.0)
+
+    def test_merge_moments_matches_pooled_recompute(self, rng):
+        """Equations 11-13 must agree with recomputing from raw points."""
+        points_a = rng.standard_normal((12, 3))
+        points_b = rng.standard_normal((9, 3)) + 2.0
+        all_points = np.vstack([points_a, points_b])
+
+        def sample_cov(points):
+            centered = points - points.mean(axis=0)
+            return centered.T @ centered / (points.shape[0] - 1)
+
+        weight, mean, covariance = merge_moments(
+            points_a.mean(axis=0),
+            sample_cov(points_a),
+            float(points_a.shape[0]),
+            points_b.mean(axis=0),
+            sample_cov(points_b),
+            float(points_b.shape[0]),
+        )
+        assert weight == pytest.approx(21.0)
+        np.testing.assert_allclose(mean, all_points.mean(axis=0))
+        np.testing.assert_allclose(covariance, sample_cov(all_points), rtol=1e-10)
+
+    @given(
+        arrays(np.float64, (5, 2), elements=hst.floats(-50, 50)),
+        arrays(np.float64, (7, 2), elements=hst.floats(-50, 50)),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_merge_moments_property(self, points_a, points_b):
+        """Property form of the same invariant over arbitrary data."""
+        all_points = np.vstack([points_a, points_b])
+
+        def sample_cov(points):
+            centered = points - points.mean(axis=0)
+            return centered.T @ centered / (points.shape[0] - 1)
+
+        _, mean, covariance = merge_moments(
+            points_a.mean(axis=0), sample_cov(points_a), 5.0,
+            points_b.mean(axis=0), sample_cov(points_b), 7.0,
+        )
+        np.testing.assert_allclose(mean, all_points.mean(axis=0), atol=1e-8)
+        np.testing.assert_allclose(covariance, sample_cov(all_points), atol=1e-7)
+
+    def test_merge_moments_rejects_tiny_weights(self):
+        with pytest.raises(ValueError):
+            merge_moments(np.zeros(1), np.zeros((1, 1)), 0.5, np.zeros(1), np.zeros((1, 1)), 0.4)
+        with pytest.raises(ValueError):
+            merge_moments(np.zeros(1), np.zeros((1, 1)), -1.0, np.zeros(1), np.zeros((1, 1)), 2.0)

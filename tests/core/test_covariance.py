@@ -1,0 +1,109 @@
+"""Covariance inversion schemes (diagonal vs full inverse)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.covariance import (
+    DiagonalScheme,
+    InverseScheme,
+    get_scheme,
+)
+
+
+def random_spd(rng, dim=4, scale=1.0):
+    raw = rng.standard_normal((dim + 3, dim)) * scale
+    return raw.T @ raw / (dim + 3)
+
+
+class TestDiagonalScheme:
+    def test_inverts_only_the_diagonal(self, rng):
+        covariance = random_spd(rng)
+        info = DiagonalScheme().invert(covariance)
+        np.testing.assert_allclose(
+            np.diag(info.inverse), 1.0 / np.diag(covariance), rtol=1e-12
+        )
+        off_diagonal = info.inverse - np.diag(np.diag(info.inverse))
+        np.testing.assert_array_equal(off_diagonal, np.zeros_like(off_diagonal))
+
+    def test_log_det_of_diagonalized_matrix(self, rng):
+        covariance = random_spd(rng)
+        info = DiagonalScheme().invert(covariance)
+        assert info.log_det_covariance == pytest.approx(
+            float(np.sum(np.log(np.diag(covariance))))
+        )
+
+    def test_regularizes_zero_variance(self):
+        covariance = np.diag([1.0, 0.0])
+        info = DiagonalScheme(regularization=1e-4).invert(covariance)
+        assert info.inverse[1, 1] == pytest.approx(1e4)
+
+    def test_handles_singular_matrix_without_error(self):
+        # The singularity issue of Section 3.2: one point, zero scatter.
+        info = DiagonalScheme().invert(np.zeros((3, 3)))
+        assert np.all(np.isfinite(info.inverse))
+
+
+class TestInverseScheme:
+    def test_near_exact_inverse_for_spd(self, rng):
+        covariance = random_spd(rng)
+        info = InverseScheme(regularization=1e-12).invert(covariance)
+        np.testing.assert_allclose(info.inverse, np.linalg.inv(covariance), rtol=1e-4)
+
+    def test_log_det_matches_slogdet(self, rng):
+        covariance = random_spd(rng)
+        info = InverseScheme(regularization=1e-12).invert(covariance)
+        _, expected = np.linalg.slogdet(covariance)
+        assert info.log_det_covariance == pytest.approx(expected, abs=1e-4)
+
+    def test_singular_matrix_is_regularized(self):
+        info = InverseScheme(regularization=1e-6).invert(np.zeros((3, 3)))
+        assert np.all(np.isfinite(info.inverse))
+        assert info.inverse[0, 0] > 0
+
+    def test_pathological_negative_matrix_falls_back(self):
+        # Accumulated round-off can push eigenvalues negative; the
+        # eigenvalue-floor fallback must still return a usable inverse.
+        matrix = np.diag([1.0, -0.5, 2.0])
+        info = InverseScheme(regularization=1e-6).invert(matrix)
+        assert np.all(np.isfinite(info.inverse))
+        eigenvalues = np.linalg.eigvalsh(info.inverse)
+        assert eigenvalues.min() > 0
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            InverseScheme().invert(np.ones((2, 3)))
+
+    def test_rejects_non_finite(self):
+        matrix = np.eye(2)
+        matrix[0, 1] = np.nan
+        with pytest.raises(ValueError):
+            InverseScheme().invert(matrix)
+
+
+class TestSchemeRegistry:
+    def test_lookup(self):
+        assert isinstance(get_scheme("diagonal"), DiagonalScheme)
+        assert isinstance(get_scheme("inverse"), InverseScheme)
+
+    def test_regularization_passthrough(self):
+        scheme = get_scheme("diagonal", regularization=0.5)
+        assert scheme.regularization == 0.5
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown covariance scheme"):
+            get_scheme("cholesky")
+
+    def test_rejects_negative_regularization(self):
+        with pytest.raises(ValueError):
+            DiagonalScheme(regularization=-1.0)
+
+
+class TestSchemesAgreeWhenDiagonal:
+    def test_diagonal_covariance_gives_same_inverse(self, rng):
+        variances = rng.uniform(0.5, 3.0, 4)
+        covariance = np.diag(variances)
+        diag_info = DiagonalScheme(regularization=0.0).invert(covariance)
+        inv_info = InverseScheme(regularization=1e-14).invert(covariance)
+        np.testing.assert_allclose(diag_info.inverse, inv_info.inverse, rtol=1e-6)

@@ -1,0 +1,128 @@
+"""Property-based tests of the engine's invariants (hypothesis)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as hst
+from hypothesis.extra.numpy import arrays
+
+from repro.core.config import QclusterConfig
+from repro.core.qcluster import QclusterEngine
+
+finite_points = arrays(
+    np.float64,
+    hst.tuples(hst.integers(min_value=1, max_value=25), hst.just(3)),
+    elements=hst.floats(min_value=-100.0, max_value=100.0, allow_nan=False),
+)
+
+
+class TestEngineInvariants:
+    @given(finite_points)
+    @settings(max_examples=40, deadline=None)
+    def test_feedback_never_crashes_and_respects_budget(self, points):
+        """Any finite relevant set yields a valid query within budget."""
+        engine = QclusterEngine(QclusterConfig(max_clusters=4))
+        engine.start(np.zeros(3))
+        query = engine.feedback(points)
+        assert 1 <= engine.n_clusters <= 4
+        assert query.size == engine.n_clusters
+        distances = query.distances(np.zeros((5, 3)))
+        assert np.all(np.isfinite(distances))
+        assert np.all(distances >= 0)
+
+    @given(finite_points)
+    @settings(max_examples=40, deadline=None)
+    def test_relevance_mass_equals_unique_point_count(self, points):
+        """With unit scores, total mass = number of distinct points."""
+        engine = QclusterEngine()
+        engine.start(np.zeros(3))
+        engine.feedback(points)
+        unique = {p.tobytes() for p in points}
+        assert engine.total_relevance_mass == pytest.approx(len(unique))
+
+    @given(finite_points, finite_points)
+    @settings(max_examples=25, deadline=None)
+    def test_two_rounds_accumulate(self, first, second):
+        """Mass never decreases; cluster count stays within budget."""
+        engine = QclusterEngine(QclusterConfig(max_clusters=5))
+        engine.start(np.zeros(3))
+        engine.feedback(first)
+        mass_after_first = engine.total_relevance_mass
+        engine.feedback(second)
+        assert engine.total_relevance_mass >= mass_after_first - 1e-9
+        assert engine.n_clusters <= 5
+
+    @given(
+        finite_points,
+        hst.floats(min_value=0.1, max_value=10.0),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_uniform_score_scaling_preserves_grand_centroid(self, points, scale):
+        """Scaling all scores uniformly cannot move the grand centroid.
+
+        Individual clusterings MAY differ — relevance mass feeds the
+        merge test's degrees of freedom, so more mass means more test
+        power (Equation 16) — but the mass-weighted mean over all
+        clusters is the weighted mean of all absorbed points, invariant
+        to a uniform score scale.
+        """
+
+        def grand_centroid(engine):
+            total = sum(c.weight for c in engine.clusters)
+            return sum(c.weight * c.centroid for c in engine.clusters) / total
+
+        base = QclusterEngine()
+        base.start(np.zeros(3))
+        base.feedback(points)
+        scaled = QclusterEngine()
+        scaled.start(np.zeros(3))
+        scaled.feedback(points, scores=np.full(points.shape[0], scale))
+        np.testing.assert_allclose(
+            grand_centroid(base), grand_centroid(scaled), atol=1e-6
+        )
+
+
+class TestFailureInjection:
+    def test_nan_points_rejected(self, rng):
+        engine = QclusterEngine()
+        engine.start(np.zeros(3))
+        bad = rng.standard_normal((4, 3))
+        bad[1, 2] = np.nan
+        with pytest.raises(ValueError, match="finite"):
+            engine.feedback(bad)
+
+    def test_inf_points_rejected(self, rng):
+        engine = QclusterEngine()
+        engine.start(np.zeros(3))
+        bad = rng.standard_normal((4, 3))
+        bad[0, 0] = np.inf
+        with pytest.raises(ValueError, match="finite"):
+            engine.feedback(bad)
+
+    def test_engine_state_intact_after_rejected_feedback(self, rng):
+        engine = QclusterEngine()
+        engine.start(np.zeros(3))
+        engine.feedback(rng.standard_normal((10, 3)))
+        clusters_before = engine.n_clusters
+        bad = np.full((2, 3), np.nan)
+        with pytest.raises(ValueError):
+            engine.feedback(bad)
+        assert engine.n_clusters == clusters_before
+
+    def test_dimension_mismatch_between_rounds(self, rng):
+        engine = QclusterEngine()
+        engine.start(np.zeros(3))
+        engine.feedback(rng.standard_normal((5, 3)))
+        with pytest.raises(ValueError):
+            engine.feedback(rng.standard_normal((5, 4)))
+
+    def test_all_identical_points(self):
+        """Zero-variance relevant set: regularization keeps things finite."""
+        engine = QclusterEngine()
+        engine.start(np.zeros(3))
+        query = engine.feedback(np.ones((8, 3)) * 2.5)
+        distances = query.distances(np.array([[2.5, 2.5, 2.5], [0.0, 0.0, 0.0]]))
+        assert np.all(np.isfinite(distances))
+        assert distances[0] < distances[1]

@@ -1,0 +1,128 @@
+"""Cluster merging (Algorithm 3): the Hotelling merge loop."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.cluster import Cluster
+from repro.core.covariance import InverseScheme
+from repro.core.merging import ClusterMerger, pairwise_merge_test
+
+
+class TestPairwiseMergeTest:
+    def test_same_population_merges(self, rng):
+        a = Cluster(rng.standard_normal((30, 3)))
+        b = Cluster(rng.standard_normal((30, 3)))
+        result = pairwise_merge_test(a, b, significance_level=0.05)
+        assert result.should_merge
+
+    def test_distant_populations_stay_separate(self, rng):
+        a = Cluster(rng.standard_normal((30, 3)))
+        b = Cluster(rng.standard_normal((30, 3)) + 10.0)
+        result = pairwise_merge_test(a, b, significance_level=0.05)
+        assert not result.should_merge
+        assert result.statistic > result.critical
+
+    def test_dimension_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            pairwise_merge_test(
+                Cluster(rng.standard_normal((5, 2))), Cluster(rng.standard_normal((5, 3)))
+            )
+
+    def test_invariance_under_linear_transform(self, rng):
+        """Theorem 1 applied to the merge statistic (inverse scheme)."""
+        a_points = rng.standard_normal((20, 3))
+        b_points = rng.standard_normal((20, 3)) + 1.0
+        transform = rng.standard_normal((3, 3)) + 2.0 * np.eye(3)
+        scheme = InverseScheme(regularization=1e-12)
+        original = pairwise_merge_test(Cluster(a_points), Cluster(b_points), scheme)
+        mapped = pairwise_merge_test(
+            Cluster(a_points @ transform.T), Cluster(b_points @ transform.T), scheme
+        )
+        assert mapped.statistic == pytest.approx(original.statistic, rel=1e-6)
+        assert mapped.critical == pytest.approx(original.critical)
+
+
+class TestClusterMerger:
+    def test_merges_coincident_clusters(self, rng):
+        shared = rng.standard_normal((60, 3))
+        clusters = [Cluster(shared[:30]), Cluster(shared[30:])]
+        merged, records = ClusterMerger().merge(clusters)
+        assert len(merged) == 1
+        assert len(records) == 1
+        assert not records[0].forced
+
+    def test_keeps_distant_clusters(self, rng):
+        clusters = [
+            Cluster(rng.standard_normal((30, 3))),
+            Cluster(rng.standard_normal((30, 3)) + 12.0),
+        ]
+        merged, records = ClusterMerger(max_clusters=5).merge(clusters)
+        assert len(merged) == 2
+        assert records == []
+
+    def test_enforces_max_clusters_by_forcing(self, rng):
+        # Five well-separated blobs, budget of 2: forced merges must occur.
+        clusters = [
+            Cluster(rng.standard_normal((20, 2)) + offset)
+            for offset in (0.0, 20.0, 40.0, 60.0, 80.0)
+        ]
+        merged, records = ClusterMerger(max_clusters=2).merge(clusters)
+        assert len(merged) == 2
+        assert any(record.forced for record in records)
+
+    def test_input_not_mutated(self, rng):
+        shared = rng.standard_normal((40, 2))
+        clusters = [Cluster(shared[:20]), Cluster(shared[20:])]
+        ClusterMerger().merge(clusters)
+        assert len(clusters) == 2
+
+    def test_single_cluster_is_noop(self, rng):
+        clusters = [Cluster(rng.standard_normal((10, 2)))]
+        merged, records = ClusterMerger().merge(clusters)
+        assert merged == clusters
+        assert records == []
+
+    def test_merged_weight_accumulates(self, rng):
+        shared = rng.standard_normal((40, 2))
+        clusters = [
+            Cluster(shared[:20], scores=np.full(20, 2.0)),
+            Cluster(shared[20:], scores=np.full(20, 3.0)),
+        ]
+        merged, _ = ClusterMerger().merge(clusters)
+        assert merged[0].weight == pytest.approx(100.0)
+
+    def test_three_blobs_two_coincident(self, rng):
+        shared = rng.standard_normal((40, 3))
+        clusters = [
+            Cluster(shared[:20]),
+            Cluster(shared[20:]),
+            Cluster(rng.standard_normal((20, 3)) + 15.0),
+        ]
+        merged, _ = ClusterMerger(max_clusters=5).merge(clusters)
+        assert len(merged) == 2
+
+    def test_tiny_clusters_merge_despite_no_test_power(self, rng):
+        # Single-point clusters: df2 <= 0 so the critical distance is
+        # infinite and the pair merges (the paper's initial iteration).
+        clusters = [
+            Cluster(np.array([[0.0, 0.0]])),
+            Cluster(np.array([[0.5, 0.5]])),
+        ]
+        merged, _ = ClusterMerger(max_clusters=1).merge(clusters)
+        assert len(merged) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ClusterMerger(max_clusters=0)
+        with pytest.raises(ValueError):
+            ClusterMerger(relax_factor=1.0)
+        with pytest.raises(ValueError):
+            ClusterMerger(min_alpha=0.5, significance_level=0.05)
+
+    def test_merge_records_carry_significance(self, rng):
+        shared = rng.standard_normal((40, 2))
+        clusters = [Cluster(shared[:20]), Cluster(shared[20:])]
+        _, records = ClusterMerger(significance_level=0.03).merge(clusters)
+        assert records[0].significance_level == pytest.approx(0.03)

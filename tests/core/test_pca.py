@@ -1,0 +1,143 @@
+"""PCA and the quadratic forms in the principal-component basis (Sec. 4.4)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.pca import PCA, select_dimension_by_variance, t2_in_pc_basis
+from repro.stats.hotelling import hotelling_t2
+
+
+def correlated_data(rng, n=200, dim=6):
+    latent = rng.standard_normal((n, 2))
+    mixing = rng.standard_normal((2, dim))
+    return latent @ mixing + 0.05 * rng.standard_normal((n, dim))
+
+
+class TestPCA:
+    def test_components_are_orthonormal(self, rng):
+        data = correlated_data(rng)
+        pca = PCA().fit(data)
+        gram = pca.components_ @ pca.components_.T
+        np.testing.assert_allclose(gram, np.eye(6), atol=1e-10)
+
+    def test_variances_are_sorted(self, rng):
+        pca = PCA().fit(correlated_data(rng))
+        variances = pca.explained_variance_
+        assert np.all(np.diff(variances) <= 1e-12)
+
+    def test_transform_decorrelates(self, rng):
+        data = correlated_data(rng)
+        projected = PCA().fit_transform(data)
+        covariance = np.cov(projected, rowvar=False)
+        off_diagonal = covariance - np.diag(np.diag(covariance))
+        assert np.abs(off_diagonal).max() < 1e-8
+
+    def test_full_roundtrip(self, rng):
+        data = correlated_data(rng)
+        pca = PCA().fit(data)
+        np.testing.assert_allclose(
+            pca.inverse_transform(pca.transform(data)), data, atol=1e-8
+        )
+
+    def test_truncated_reconstruction_captures_structure(self, rng):
+        data = correlated_data(rng)
+        pca = PCA(n_components=2).fit(data)
+        reconstructed = pca.inverse_transform(pca.transform(data))
+        residual = np.linalg.norm(data - reconstructed) / np.linalg.norm(data)
+        assert residual < 0.1  # 2 latent dims -> 2 PCs suffice
+
+    def test_select_components_rule(self, rng):
+        data = correlated_data(rng)
+        pca = PCA().fit(data)
+        k = pca.select_components(0.85)
+        cumulative = np.cumsum(pca.explained_variance_ratio_)
+        assert cumulative[k - 1] >= 0.85 - 1e-9
+        if k > 1:
+            assert cumulative[k - 2] < 0.85
+
+    def test_select_dimension_helper(self, rng):
+        data = correlated_data(rng)
+        # epsilon = 0.15 -> retain 85% variance; 2 latent dims -> k = 2.
+        assert select_dimension_by_variance(data, epsilon=0.15) == 2
+
+    def test_truncated_copy(self, rng):
+        pca = PCA().fit(correlated_data(rng))
+        truncated = pca.truncated(3)
+        assert truncated.components_.shape == (3, 6)
+        np.testing.assert_allclose(truncated.components_, pca.components_[:3])
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            PCA(n_components=0)
+        with pytest.raises(ValueError):
+            PCA(n_components=10).fit(rng.standard_normal((20, 3)))
+        with pytest.raises(ValueError):
+            PCA().fit(rng.standard_normal((1, 3)))
+        with pytest.raises(RuntimeError):
+            PCA().transform(rng.standard_normal((5, 3)))
+
+
+class TestT2InPCBasis:
+    def test_equation_17_invariance(self, rng):
+        """T^2 computed in the full PC basis equals the original T^2."""
+        points_a = rng.standard_normal((40, 5))
+        points_b = rng.standard_normal((40, 5)) + 0.8
+        pooled = np.vstack([points_a - points_a.mean(0), points_b - points_b.mean(0)])
+        pooled_cov = pooled.T @ pooled / 80.0
+        eigenvalues, eigenvectors = np.linalg.eigh(pooled_cov)
+        order = np.argsort(eigenvalues)[::-1]
+        eigenvalues, eigenvectors = eigenvalues[order], eigenvectors[:, order]
+
+        original = hotelling_t2(
+            points_a.mean(0), points_b.mean(0), np.linalg.inv(pooled_cov), 40.0, 40.0
+        )
+        in_pc = t2_in_pc_basis(
+            eigenvectors.T @ points_a.mean(0),
+            eigenvectors.T @ points_b.mean(0),
+            eigenvalues,
+            40.0,
+            40.0,
+        )
+        assert in_pc == pytest.approx(original, rel=1e-8)
+
+    def test_truncation_approximates(self, rng):
+        """Equation 19: leading components approximate the full T^2."""
+        # Strongly anisotropic pooled covariance: most variance in 2 dims.
+        scales = np.array([5.0, 3.0, 0.1, 0.1, 0.1])
+        points_a = rng.standard_normal((60, 5)) * scales
+        points_b = rng.standard_normal((60, 5)) * scales + np.array([2.0, 1.0, 0, 0, 0])
+        pooled = np.vstack([points_a - points_a.mean(0), points_b - points_b.mean(0)])
+        pooled_cov = pooled.T @ pooled / 120.0
+        eigenvalues, eigenvectors = np.linalg.eigh(pooled_cov)
+        order = np.argsort(eigenvalues)[::-1]
+        eigenvalues, eigenvectors = eigenvalues[order], eigenvectors[:, order]
+
+        full = t2_in_pc_basis(
+            eigenvectors.T @ points_a.mean(0),
+            eigenvectors.T @ points_b.mean(0),
+            eigenvalues,
+            60.0,
+            60.0,
+        )
+        k = 2
+        truncated = t2_in_pc_basis(
+            (eigenvectors[:, :k]).T @ points_a.mean(0),
+            (eigenvectors[:, :k]).T @ points_b.mean(0),
+            eigenvalues[:k],
+            60.0,
+            60.0,
+        )
+        # The mean shift lives in the top-2 subspace, so the truncated
+        # statistic must capture the bulk of the full one.
+        assert truncated == pytest.approx(full, rel=0.35)
+        assert truncated <= full + 1e-9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            t2_in_pc_basis(np.zeros(2), np.zeros(3), np.ones(2), 1.0, 1.0)
+        with pytest.raises(ValueError):
+            t2_in_pc_basis(np.zeros(2), np.zeros(2), np.array([1.0, 0.0]), 1.0, 1.0)
+        with pytest.raises(ValueError):
+            t2_in_pc_basis(np.zeros(2), np.zeros(2), np.ones(2), 0.0, 1.0)

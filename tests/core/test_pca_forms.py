@@ -1,0 +1,51 @@
+"""The d^2 and d̂ diagonal forms in the PC basis (Section 4.4.3 remark)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.pca import discriminant_in_pc_basis, distance_in_pc_basis
+
+
+class TestDistanceInPCBasis:
+    def test_equals_full_quadratic_form(self, rng):
+        """In the eigenbasis of S, (x-c)' S^-1 (x-c) = sum((z-zc)^2/lambda)."""
+        raw = rng.standard_normal((40, 4))
+        covariance = raw.T @ raw / 40.0 + 0.1 * np.eye(4)
+        eigenvalues, eigenvectors = np.linalg.eigh(covariance)
+        x = rng.standard_normal(4)
+        center = rng.standard_normal(4)
+        full = (x - center) @ np.linalg.inv(covariance) @ (x - center)
+        in_pc = distance_in_pc_basis(
+            eigenvectors.T @ x, eigenvectors.T @ center, eigenvalues
+        )
+        assert in_pc == pytest.approx(float(full), rel=1e-9)
+
+    def test_zero_at_center(self):
+        z = np.array([1.0, 2.0])
+        assert distance_in_pc_basis(z, z, np.ones(2)) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            distance_in_pc_basis(np.zeros(2), np.zeros(3), np.ones(2))
+        with pytest.raises(ValueError):
+            distance_in_pc_basis(np.zeros(2), np.zeros(2), np.array([1.0, 0.0]))
+
+
+class TestDiscriminantInPCBasis:
+    def test_equation_10_form(self, rng):
+        z_x = rng.standard_normal(3)
+        z_c = rng.standard_normal(3)
+        eigenvalues = rng.uniform(0.5, 2.0, 3)
+        log_prior = -0.7
+        expected = -0.5 * distance_in_pc_basis(z_x, z_c, eigenvalues) + log_prior
+        assert discriminant_in_pc_basis(z_x, z_c, eigenvalues, log_prior) == pytest.approx(
+            expected
+        )
+
+    def test_prior_orders_ties(self):
+        z = np.zeros(2)
+        heavy = discriminant_in_pc_basis(z, z, np.ones(2), np.log(0.8))
+        light = discriminant_in_pc_basis(z, z, np.ones(2), np.log(0.2))
+        assert heavy > light

@@ -1,0 +1,218 @@
+"""QclusterEngine: the full Algorithm 1 loop."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import QclusterConfig
+from repro.core.distance import DisjunctiveQuery
+from repro.core.qcluster import QclusterEngine
+
+
+def bimodal_relevant_set(rng, n=20, dim=4, separation=10.0):
+    half = n // 2
+    a = rng.normal(0.0, 0.4, (half, dim))
+    b = rng.normal(0.0, 0.4, (n - half, dim)) + separation
+    return np.vstack([a, b])
+
+
+class TestConfig:
+    def test_defaults_follow_paper(self):
+        config = QclusterConfig()
+        assert config.scheme == "diagonal"
+        assert config.significance_level == 0.05
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            QclusterConfig(significance_level=0.0)
+        with pytest.raises(ValueError):
+            QclusterConfig(max_clusters=0)
+        with pytest.raises(ValueError):
+            QclusterConfig(alpha_relax_factor=1.5)
+        with pytest.raises(ValueError):
+            QclusterConfig(min_merge_alpha=0.5)
+        with pytest.raises(ValueError):
+            QclusterConfig(scheme="banana")
+        with pytest.raises(ValueError):
+            QclusterConfig(initial_clusters=0)
+
+    def test_scheme_instance(self):
+        assert QclusterConfig(scheme="inverse").covariance_scheme.name == "inverse"
+
+
+class TestStart:
+    def test_initial_query_is_euclidean(self, rng):
+        engine = QclusterEngine()
+        point = rng.standard_normal(3)
+        query = engine.start(point)
+        assert isinstance(query, DisjunctiveQuery)
+        assert query.size == 1
+        np.testing.assert_array_equal(query.points[0].inverse, np.eye(3))
+        assert engine.iteration == 0
+        assert engine.n_clusters == 0
+
+    def test_start_resets_state(self, rng):
+        engine = QclusterEngine()
+        engine.start(rng.standard_normal(3))
+        engine.feedback(bimodal_relevant_set(rng, dim=3))
+        assert engine.n_clusters > 0
+        engine.start(rng.standard_normal(3))
+        assert engine.n_clusters == 0
+        assert engine.iteration == 0
+
+    def test_rejects_matrix_query(self, rng):
+        with pytest.raises(ValueError):
+            QclusterEngine().start(rng.standard_normal((2, 3)))
+
+
+class TestFeedback:
+    def test_bimodal_set_yields_two_clusters(self, rng):
+        engine = QclusterEngine()
+        engine.start(np.zeros(4))
+        query = engine.feedback(bimodal_relevant_set(rng))
+        assert engine.n_clusters == 2
+        assert query.size == 2
+
+    def test_unimodal_set_yields_one_cluster(self, rng):
+        engine = QclusterEngine()
+        engine.start(np.zeros(4))
+        engine.feedback(rng.normal(0.0, 0.5, (20, 4)))
+        assert engine.n_clusters == 1
+
+    def test_weights_accumulate_relevance_scores(self, rng):
+        engine = QclusterEngine()
+        engine.start(np.zeros(3))
+        points = rng.normal(0.0, 0.3, (10, 3))
+        engine.feedback(points, scores=np.full(10, 2.0))
+        assert engine.total_relevance_mass == pytest.approx(20.0)
+
+    def test_deduplication_skips_repeats(self, rng):
+        engine = QclusterEngine()
+        engine.start(np.zeros(3))
+        points = rng.normal(0.0, 0.3, (10, 3))
+        engine.feedback(points)
+        mass_before = engine.total_relevance_mass
+        engine.feedback(points)  # identical points again
+        assert engine.total_relevance_mass == pytest.approx(mass_before)
+
+    def test_dedup_can_be_disabled(self, rng):
+        engine = QclusterEngine(QclusterConfig(deduplicate=False))
+        engine.start(np.zeros(3))
+        points = rng.normal(0.0, 0.3, (10, 3))
+        engine.feedback(points)
+        engine.feedback(points)
+        assert engine.total_relevance_mass == pytest.approx(20.0)
+
+    def test_second_round_uses_adaptive_classification(self, rng):
+        engine = QclusterEngine()
+        engine.start(np.zeros(4))
+        engine.feedback(rng.normal(0.0, 0.4, (15, 4)))
+        assert engine.n_clusters == 1
+        # A far-away batch must open a new cluster via the radius check.
+        engine.feedback(rng.normal(0.0, 0.4, (15, 4)) + 20.0)
+        assert engine.n_clusters == 2
+
+    def test_empty_feedback_keeps_query(self, rng):
+        engine = QclusterEngine()
+        engine.start(rng.standard_normal(3))
+        query = engine.feedback(np.empty((0, 3)))
+        assert query.size == 1
+        assert engine.iteration == 1
+
+    def test_score_validation(self, rng):
+        engine = QclusterEngine()
+        engine.start(np.zeros(3))
+        with pytest.raises(ValueError):
+            engine.feedback(rng.standard_normal((5, 3)), scores=[1.0, 2.0])
+        with pytest.raises(ValueError):
+            engine.feedback(rng.standard_normal((2, 3)), scores=[1.0, -1.0])
+
+    def test_max_clusters_budget_is_respected(self, rng):
+        config = QclusterConfig(max_clusters=2)
+        engine = QclusterEngine(config)
+        engine.start(np.zeros(3))
+        # Four well-separated blobs; budget forces down to 2.
+        blobs = np.vstack(
+            [rng.normal(offset, 0.3, (8, 3)) for offset in (0.0, 30.0, 60.0, 90.0)]
+        )
+        engine.feedback(blobs)
+        assert engine.n_clusters <= 2
+
+    def test_current_query_without_start_raises(self):
+        with pytest.raises(RuntimeError):
+            QclusterEngine().current_query()
+
+
+class TestRetrievalBehaviour:
+    def test_disjunctive_query_ranks_both_modes_high(self, rng):
+        """The refined query must retrieve both modes of a complex query."""
+        mode_a = rng.normal(-5.0, 0.4, (100, 3))
+        mode_b = rng.normal(5.0, 0.4, (100, 3))
+        noise = rng.uniform(-10.0, 10.0, (300, 3))
+        database = np.vstack([mode_a, mode_b, noise])
+
+        engine = QclusterEngine()
+        engine.start(database[0])
+        relevant = np.vstack([mode_a[:10], mode_b[:10]])
+        query = engine.feedback(relevant)
+
+        top = np.argsort(query.distances(database))[:100]
+        hits_a = np.sum(top < 100)
+        hits_b = np.sum((top >= 100) & (top < 200))
+        assert hits_a > 30
+        assert hits_b > 30
+
+    def test_g_equals_one_matches_mindreader_form(self, rng):
+        """With one cluster the query is a single quadratic contour."""
+        engine = QclusterEngine(QclusterConfig(scheme="inverse", max_clusters=1))
+        engine.start(np.zeros(3))
+        relevant = rng.normal(2.0, 0.5, (30, 3))
+        query = engine.feedback(relevant)
+        assert query.size == 1
+        # Distance is exactly the quadratic form around the weighted mean.
+        x = rng.standard_normal(3)
+        diff = x - query.points[0].center
+        expected = diff @ query.points[0].inverse @ diff
+        assert query.distance(x) == pytest.approx(float(expected))
+
+    def test_merge_history_records(self, rng):
+        engine = QclusterEngine(QclusterConfig(initial_clusters=6, max_clusters=2))
+        engine.start(np.zeros(3))
+        engine.feedback(rng.normal(0.0, 0.5, (30, 3)))
+        # Hierarchical start at 6 clusters of one blob -> merges happened.
+        assert len(engine.merge_history) >= 1
+
+
+class TestBatchClassification:
+    def test_batch_round_places_points(self, rng):
+        engine = QclusterEngine(QclusterConfig(batch_classification=True))
+        engine.start(np.zeros(3))
+        engine.feedback(rng.normal(0.0, 0.4, (15, 3)))
+        assert engine.n_clusters == 1
+        engine.feedback(rng.normal(0.0, 0.4, (10, 3)))
+        assert engine.n_clusters == 1
+        assert engine.total_relevance_mass == pytest.approx(25.0)
+
+    def test_batch_outliers_open_clusters_then_merge(self, rng):
+        engine = QclusterEngine(QclusterConfig(batch_classification=True))
+        engine.start(np.zeros(3))
+        engine.feedback(rng.normal(0.0, 0.4, (15, 3)))
+        # A far-away batch: every point is an outlier against the fixed
+        # snapshot; merging consolidates them into one new cluster.
+        engine.feedback(rng.normal(12.0, 0.4, (10, 3)))
+        assert engine.n_clusters == 2
+
+    def test_batch_and_sequential_similar_outcome(self, rng):
+        points_round1 = rng.normal(0.0, 0.4, (12, 3))
+        points_round2 = np.vstack(
+            [rng.normal(0.0, 0.4, (6, 3)), rng.normal(10.0, 0.4, (6, 3))]
+        )
+        outcomes = {}
+        for batch in (False, True):
+            engine = QclusterEngine(QclusterConfig(batch_classification=batch))
+            engine.start(np.zeros(3))
+            engine.feedback(points_round1)
+            engine.feedback(points_round2)
+            outcomes[batch] = engine.n_clusters
+        assert outcomes[False] == outcomes[True]

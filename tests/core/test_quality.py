@@ -1,0 +1,120 @@
+"""Clustering-quality measures (paper Section 4.5)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.classifier import BayesianClassifier
+from repro.core.cluster import Cluster
+from repro.core.quality import (
+    labelled_classification_error,
+    leave_one_out_error,
+)
+
+
+class TestLeaveOneOut:
+    def test_well_separated_clusters_have_zero_error(self, rng):
+        clusters = [
+            Cluster(rng.standard_normal((25, 3))),
+            Cluster(rng.standard_normal((25, 3)) + 15.0),
+        ]
+        report = leave_one_out_error(clusters)
+        assert report.total == 50
+        assert report.error_rate == 0.0
+        assert report.skipped_singletons == 0
+
+    def test_interleaved_clusters_have_errors(self, rng):
+        # Two clusters drawn from the same population: membership is
+        # arbitrary, so leave-one-out must misplace many points.
+        shared = rng.standard_normal((40, 3))
+        clusters = [Cluster(shared[:20]), Cluster(shared[20:])]
+        report = leave_one_out_error(clusters)
+        assert report.error_rate > 0.2
+
+    def test_singletons_are_skipped(self, rng):
+        clusters = [
+            Cluster(rng.standard_normal((10, 2))),
+            Cluster(np.array([[50.0, 50.0]])),
+        ]
+        report = leave_one_out_error(clusters)
+        assert report.skipped_singletons == 1
+        assert report.total == 10
+
+    def test_empty_evaluation_reports_zero(self):
+        clusters = [Cluster(np.array([[0.0, 0.0]]))]
+        report = leave_one_out_error(clusters)
+        assert report.total == 0
+        assert report.error_rate == 0.0
+
+
+class TestLabelledError:
+    def test_perfect_separation(self, rng):
+        train_a = rng.standard_normal((30, 3))
+        train_b = rng.standard_normal((30, 3)) + 12.0
+        clusters = [Cluster(train_a), Cluster(train_b)]
+        test_points = np.vstack(
+            [rng.standard_normal((20, 3)), rng.standard_normal((20, 3)) + 12.0]
+        )
+        labels = [0] * 20 + [1] * 20
+        error = labelled_classification_error(test_points, labels, clusters, [0, 1])
+        assert error == 0.0
+
+    def test_overlapping_clusters_err(self, rng):
+        train_a = rng.standard_normal((30, 3))
+        train_b = rng.standard_normal((30, 3)) + 0.5
+        clusters = [Cluster(train_a), Cluster(train_b)]
+        test_points = np.vstack(
+            [rng.standard_normal((50, 3)), rng.standard_normal((50, 3)) + 0.5]
+        )
+        labels = [0] * 50 + [1] * 50
+        error = labelled_classification_error(test_points, labels, clusters, [0, 1])
+        assert 0.1 < error < 0.8
+
+    def test_error_decreases_with_separation(self, rng):
+        errors = []
+        for separation in (0.5, 1.5, 3.0, 6.0):
+            train_a = rng.standard_normal((30, 4))
+            train_b = rng.standard_normal((30, 4)) + separation
+            clusters = [Cluster(train_a), Cluster(train_b)]
+            test = np.vstack(
+                [rng.standard_normal((50, 4)), rng.standard_normal((50, 4)) + separation]
+            )
+            labels = [0] * 50 + [1] * 50
+            errors.append(
+                labelled_classification_error(test, labels, clusters, [0, 1])
+            )
+        # Not necessarily strictly monotone on one draw, but the ends must
+        # order correctly and by a wide margin.
+        assert errors[-1] < errors[0]
+        assert errors[-1] <= 0.05
+
+    def test_count_outliers_option(self, rng):
+        clusters = [Cluster(rng.standard_normal((30, 2)))]
+        far_point = np.full((1, 2), 50.0)
+        lenient = labelled_classification_error(far_point, [0], clusters, [0])
+        strict = labelled_classification_error(
+            far_point, [0], clusters, [0], count_outliers_as_errors=True
+        )
+        assert lenient == 0.0
+        assert strict == 1.0
+
+    def test_validation(self, rng):
+        clusters = [Cluster(rng.standard_normal((5, 2)))]
+        with pytest.raises(ValueError):
+            labelled_classification_error(rng.standard_normal((3, 2)), [0], clusters, [0])
+        with pytest.raises(ValueError):
+            labelled_classification_error(
+                rng.standard_normal((3, 2)), [0, 0, 0], clusters, [0, 1]
+            )
+
+    def test_custom_classifier_is_used(self, rng):
+        clusters = [
+            Cluster(rng.standard_normal((20, 2))),
+            Cluster(rng.standard_normal((20, 2)) + 10.0),
+        ]
+        strict_classifier = BayesianClassifier(significance_level=0.5)
+        error = labelled_classification_error(
+            np.zeros((1, 2)), [0], clusters, [0, 1], classifier=strict_classifier
+        )
+        assert error == 0.0

@@ -1,0 +1,114 @@
+"""Synthetic Gaussian generators for the paper's Section 5 experiments."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.gaussian import (
+    cluster_pair,
+    elliptical_clusters,
+    random_linear_map,
+    simplex_centers,
+    spherical_clusters,
+)
+
+
+class TestSimplexCenters:
+    @pytest.mark.parametrize("n_clusters", [2, 3, 4])
+    def test_pairwise_distances_equal_separation(self, n_clusters):
+        centers = simplex_centers(n_clusters, dim=16, separation=2.5)
+        for i in range(n_clusters):
+            for j in range(i + 1, n_clusters):
+                distance = float(np.linalg.norm(centers[i] - centers[j]))
+                assert distance == pytest.approx(2.5, rel=1e-9)
+
+    def test_full_simplex_in_low_dimension(self):
+        # dim + 1 vertices: the regular simplex needs the extra vertex.
+        centers = simplex_centers(4, dim=3, separation=1.0)
+        for i in range(4):
+            for j in range(i + 1, 4):
+                assert np.linalg.norm(centers[i] - centers[j]) == pytest.approx(1.0)
+
+    def test_centered_at_origin(self):
+        centers = simplex_centers(3, dim=8, separation=1.7)
+        np.testing.assert_allclose(centers.mean(axis=0), np.zeros(8), atol=1e-12)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            simplex_centers(5, dim=3, separation=1.0)
+        with pytest.raises(ValueError):
+            simplex_centers(0, dim=3, separation=1.0)
+        with pytest.raises(ValueError):
+            simplex_centers(2, dim=3, separation=-1.0)
+
+
+class TestSphericalClusters:
+    def test_shapes_and_labels(self, rng):
+        sample = spherical_clusters(3, 16, 1.5, 30, rng)
+        assert sample.points.shape == (90, 16)
+        assert sample.labels.shape == (90,)
+        assert sample.centers.shape == (3, 16)
+        assert sample.transform is None
+
+    def test_cluster_means_near_centers(self, rng):
+        sample = spherical_clusters(3, 8, 5.0, 500, rng)
+        for label in range(3):
+            members = sample.points[sample.labels == label]
+            np.testing.assert_allclose(
+                members.mean(axis=0), sample.centers[label], atol=0.2
+            )
+
+    def test_unit_covariance(self, rng):
+        sample = spherical_clusters(1, 6, 0.0, 5000, rng)
+        covariance = np.cov(sample.points, rowvar=False)
+        np.testing.assert_allclose(covariance, np.eye(6), atol=0.15)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            spherical_clusters(3, 16, 1.0, 0, rng)
+
+
+class TestEllipticalClusters:
+    def test_covariance_is_aat(self, rng):
+        sample = elliptical_clusters(1, 4, 0.0, 8000, rng)
+        covariance = np.cov(sample.points, rowvar=False)
+        expected = sample.transform @ sample.transform.T
+        scale = float(np.abs(expected).max())
+        np.testing.assert_allclose(covariance, expected, atol=0.08 * scale)
+
+    def test_labels_preserved(self, rng):
+        sample = elliptical_clusters(3, 8, 2.0, 20, rng)
+        assert sample.points.shape == (60, 8)
+        np.testing.assert_array_equal(np.bincount(sample.labels), [20, 20, 20])
+
+    def test_transform_is_well_conditioned(self, rng):
+        transform = random_linear_map(10, rng, condition_number=4.0)
+        singular_values = np.linalg.svd(transform, compute_uv=False)
+        assert singular_values.max() / singular_values.min() == pytest.approx(4.0, rel=1e-6)
+
+    def test_condition_number_validation(self, rng):
+        with pytest.raises(ValueError):
+            random_linear_map(4, rng, condition_number=0.5)
+
+
+class TestClusterPair:
+    def test_same_mean_pair(self, rng):
+        a, b = cluster_pair(same_mean=True, size=500, dim=8, rng=rng)
+        assert a.shape == b.shape == (500, 8)
+        assert np.linalg.norm(a.mean(0) - b.mean(0)) < 0.3
+
+    def test_different_mean_pair(self, rng):
+        a, b = cluster_pair(same_mean=False, size=500, dim=8, separation=3.0, rng=rng)
+        assert np.linalg.norm(a.mean(0) - b.mean(0)) == pytest.approx(3.0, abs=0.3)
+
+    def test_elliptical_pair_shares_transform(self, rng):
+        a, b = cluster_pair(same_mean=True, size=2000, dim=4, rng=rng, elliptical=True)
+        cov_a = np.cov(a, rowvar=False)
+        cov_b = np.cov(b, rowvar=False)
+        scale = float(np.abs(cov_a).max())
+        np.testing.assert_allclose(cov_a, cov_b, atol=0.15 * scale)
+
+    def test_size_validation(self, rng):
+        with pytest.raises(ValueError):
+            cluster_pair(same_mean=True, size=1, rng=rng)

@@ -1,0 +1,106 @@
+"""PPM I/O and the directory collection loader."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.ppm import load_directory_collection, load_ppm, save_ppm
+from repro.features.image import Image
+
+
+@pytest.fixture
+def random_image(rng):
+    return Image(rng.integers(0, 256, (6, 9, 3), dtype=np.uint8), label=4)
+
+
+class TestRoundTrip:
+    def test_p6_round_trip(self, random_image, tmp_path):
+        path = tmp_path / "image.ppm"
+        save_ppm(random_image, path)
+        loaded = load_ppm(path, label=4)
+        np.testing.assert_array_equal(loaded.pixels, random_image.pixels)
+        assert loaded.label == 4
+        assert loaded.shape == (6, 9)
+
+    def test_save_creates_parents(self, random_image, tmp_path):
+        path = tmp_path / "deep" / "nested" / "image.ppm"
+        save_ppm(random_image, path)
+        assert path.exists()
+
+    def test_p3_ascii(self, tmp_path):
+        path = tmp_path / "ascii.ppm"
+        path.write_text("P3\n# a comment\n2 1\n255\n255 0 0  0 0 255\n")
+        image = load_ppm(path)
+        np.testing.assert_array_equal(image.pixels[0, 0], [255, 0, 0])
+        np.testing.assert_array_equal(image.pixels[0, 1], [0, 0, 255])
+
+    def test_header_comments_in_p6(self, random_image, tmp_path):
+        path = tmp_path / "image.ppm"
+        height, width = random_image.shape
+        header = f"P6\n# made by a scanner\n{width} {height}\n255\n".encode()
+        path.write_bytes(header + random_image.pixels.tobytes())
+        loaded = load_ppm(path)
+        np.testing.assert_array_equal(loaded.pixels, random_image.pixels)
+
+    def test_sixteen_bit_maxval(self, tmp_path):
+        path = tmp_path / "deep.ppm"
+        values = np.array([[0, 32768, 65535]], dtype=">u2")  # one RGB pixel
+        path.write_bytes(b"P6\n1 1\n65535\n" + values.tobytes())
+        image = load_ppm(path)
+        np.testing.assert_array_equal(image.pixels[0, 0], [0, 128, 255])
+
+    def test_rejects_wrong_magic(self, tmp_path):
+        path = tmp_path / "bad.ppm"
+        path.write_bytes(b"P5\n1 1\n255\n\x00")
+        with pytest.raises(ValueError, match="P6/P3"):
+            load_ppm(path)
+
+    def test_rejects_truncated_data(self, tmp_path):
+        path = tmp_path / "short.ppm"
+        path.write_bytes(b"P6\n4 4\n255\n\x00\x00")
+        with pytest.raises(ValueError, match="truncated"):
+            load_ppm(path)
+
+    def test_rejects_bad_dimensions(self, tmp_path):
+        path = tmp_path / "zero.ppm"
+        path.write_bytes(b"P6\n0 4\n255\n")
+        with pytest.raises(ValueError, match="dimensions"):
+            load_ppm(path)
+
+
+class TestDirectoryCollection:
+    @pytest.fixture
+    def image_tree(self, tmp_path, rng):
+        for category in ("birds", "cars"):
+            for index in range(3):
+                image = Image(rng.integers(0, 256, (4, 4, 3), dtype=np.uint8))
+                save_ppm(image, tmp_path / category / f"{index}.ppm")
+        return tmp_path
+
+    def test_loads_all_with_labels(self, image_tree):
+        images, labels, names = load_directory_collection(image_tree)
+        assert len(images) == 6
+        assert names == ["birds", "cars"]
+        np.testing.assert_array_equal(labels, [0, 0, 0, 1, 1, 1])
+        assert all(image.label == label for image, label in zip(images, labels))
+
+    def test_usable_with_retrieval_system(self, image_tree):
+        from repro import ImageRetrievalSystem
+
+        images, labels, _ = load_directory_collection(image_tree)
+        system = ImageRetrievalSystem(images, k=4, use_index=False)
+        page = system.query_by_id(0)
+        assert len(page) == 4
+
+    def test_rejects_missing_directory(self, tmp_path):
+        with pytest.raises(ValueError):
+            load_directory_collection(tmp_path / "nope")
+
+    def test_rejects_empty_tree(self, tmp_path):
+        with pytest.raises(ValueError):
+            load_directory_collection(tmp_path)
+
+    def test_rejects_no_matches(self, image_tree):
+        with pytest.raises(ValueError, match="no images"):
+            load_directory_collection(image_tree, pattern="*.png")

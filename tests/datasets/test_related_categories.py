@@ -1,0 +1,98 @@
+"""Related-category generation and the graded-relevance protocol."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import generate_collection
+from repro.features import color_pipeline
+from repro.retrieval import FeatureDatabase, SimulatedUser
+
+
+@pytest.fixture(scope="module")
+def related_collection():
+    return generate_collection(
+        n_categories=8,
+        images_per_category=15,
+        image_size=14,
+        complex_fraction=0.25,
+        related_pairs=2,
+        seed=13,
+    )
+
+
+class TestGeneration:
+    def test_related_map_is_symmetric(self, related_collection):
+        related = related_collection.related
+        assert len(related) == 4  # 2 pairs -> 4 categories involved
+        for category, partners in related.items():
+            for partner in partners:
+                assert category in related[partner]
+
+    def test_related_categories_are_feature_close(self, related_collection):
+        features = color_pipeline().fit(related_collection.images)
+        labels = related_collection.labels
+
+        def centroid(category):
+            return features[labels == category].mean(axis=0)
+
+        related = related_collection.related
+        related_distances = []
+        for a, partners in related.items():
+            for b in partners:
+                if a < b:
+                    related_distances.append(
+                        float(np.linalg.norm(centroid(a) - centroid(b)))
+                    )
+        unrelated_distances = []
+        categories = sorted({int(c) for c in labels})
+        for a in categories:
+            for b in categories:
+                if a < b and b not in related.get(a, set()):
+                    unrelated_distances.append(
+                        float(np.linalg.norm(centroid(a) - centroid(b)))
+                    )
+        assert np.mean(related_distances) < np.mean(unrelated_distances)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            generate_collection(n_categories=4, images_per_category=2, related_pairs=-1)
+        with pytest.raises(ValueError):
+            # 3 pairs need 6 simple categories; only 4 exist.
+            generate_collection(
+                n_categories=4, images_per_category=2, complex_fraction=0.0,
+                related_pairs=3,
+            )
+
+    def test_zero_pairs_default(self):
+        collection = generate_collection(n_categories=3, images_per_category=2)
+        assert collection.related == {}
+
+
+class TestGradedRelevanceProtocol:
+    def test_user_scores_related_lower(self, related_collection):
+        features = color_pipeline().fit(related_collection.images)
+        database = FeatureDatabase(
+            features, related_collection.labels, related=related_collection.related
+        )
+        related = related_collection.related
+        target = next(iter(related))
+        partner = next(iter(related[target]))
+        user = SimulatedUser(
+            database, target, same_category_score=1.0, related_category_score=0.5
+        )
+        target_member = int(np.nonzero(related_collection.labels == target)[0][0])
+        partner_member = int(np.nonzero(related_collection.labels == partner)[0][0])
+        judgment = user.judge([target_member, partner_member])
+        np.testing.assert_array_equal(judgment.scores, [1.0, 0.5])
+
+    def test_recall_denominator_includes_related(self, related_collection):
+        features = color_pipeline().fit(related_collection.images)
+        database = FeatureDatabase(
+            features, related_collection.labels, related=related_collection.related
+        )
+        target = next(iter(related_collection.related))
+        user = SimulatedUser(database, target)
+        _, total = user.relevance_mask([0])
+        assert total == 30  # own 15 + related partner's 15

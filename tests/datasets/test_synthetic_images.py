@@ -1,0 +1,108 @@
+"""Procedural image collection (the Corel/Mantan surrogate)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic_images import (
+    CategorySpec,
+    ModeSpec,
+    generate_collection,
+    render_mode_image,
+)
+from repro.features.color_moments import color_moments
+
+
+class TestModeSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ModeSpec(hue=0.5, saturation=0.5, value=0.5, texture="banana")
+        with pytest.raises(ValueError):
+            ModeSpec(hue=0.5, saturation=2.0, value=0.5, texture="flat")
+
+    def test_category_requires_modes(self):
+        with pytest.raises(ValueError):
+            CategorySpec(category_id=0, modes=())
+
+    def test_is_complex(self):
+        mode = ModeSpec(hue=0.2, saturation=0.5, value=0.5, texture="flat")
+        assert not CategorySpec(0, (mode,)).is_complex
+        assert CategorySpec(0, (mode, mode)).is_complex
+
+
+class TestRenderModeImage:
+    @pytest.mark.parametrize(
+        "texture", ["flat", "stripes_h", "stripes_v", "stripes_d", "checker", "blobs", "radial"]
+    )
+    def test_all_textures_render(self, texture, rng):
+        mode = ModeSpec(hue=0.3, saturation=0.7, value=0.6, texture=texture)
+        image = render_mode_image(mode, size=16, rng=rng, label=2)
+        assert image.pixels.shape == (16, 16, 3)
+        assert image.label == 2
+
+    def test_hue_controls_color(self, rng):
+        red_mode = ModeSpec(hue=0.0, saturation=0.9, value=0.7, texture="flat", noise=0.0)
+        blue_mode = ModeSpec(hue=2.0 / 3.0, saturation=0.9, value=0.7, texture="flat", noise=0.0)
+        red = render_mode_image(red_mode, 16, rng).pixels.astype(float).mean(axis=(0, 1))
+        blue = render_mode_image(blue_mode, 16, rng).pixels.astype(float).mean(axis=(0, 1))
+        assert red[0] > red[2]
+        assert blue[2] > blue[0]
+
+    def test_same_mode_images_are_feature_close(self, rng):
+        mode = ModeSpec(hue=0.4, saturation=0.6, value=0.5, texture="stripes_h")
+        other = ModeSpec(hue=0.9, saturation=0.9, value=0.8, texture="checker")
+        same = [render_mode_image(mode, 16, rng) for _ in range(6)]
+        different = render_mode_image(other, 16, rng)
+        descriptors = np.stack([color_moments(img) for img in same])
+        centroid = descriptors.mean(axis=0)
+        intra = np.linalg.norm(descriptors - centroid, axis=1).mean()
+        inter = float(np.linalg.norm(color_moments(different) - centroid))
+        assert inter > 2.0 * intra
+
+
+class TestGenerateCollection:
+    def test_sizes_and_labels(self):
+        collection = generate_collection(4, 10, image_size=12, seed=3)
+        assert len(collection) == 40
+        np.testing.assert_array_equal(np.bincount(collection.labels), [10] * 4)
+
+    def test_deterministic_given_seed(self):
+        a = generate_collection(2, 4, image_size=10, seed=9)
+        b = generate_collection(2, 4, image_size=10, seed=9)
+        for img_a, img_b in zip(a.images, b.images):
+            np.testing.assert_array_equal(img_a.pixels, img_b.pixels)
+
+    def test_different_seeds_differ(self):
+        a = generate_collection(2, 4, image_size=10, seed=1)
+        b = generate_collection(2, 4, image_size=10, seed=2)
+        assert any(
+            not np.array_equal(x.pixels, y.pixels) for x, y in zip(a.images, b.images)
+        )
+
+    def test_complex_fraction(self):
+        collection = generate_collection(10, 4, image_size=8, complex_fraction=0.3, seed=0)
+        complex_count = sum(spec.is_complex for spec in collection.categories)
+        assert complex_count == 3
+
+    def test_complex_categories_have_two_modes_in_data(self):
+        collection = generate_collection(4, 10, image_size=8, complex_fraction=0.5, seed=5)
+        for spec in collection.categories:
+            member_modes = collection.modes[collection.labels == spec.category_id]
+            if spec.is_complex:
+                assert set(member_modes) == {0, 1}
+            else:
+                assert set(member_modes) == {0}
+
+    def test_indices_of(self):
+        collection = generate_collection(3, 5, image_size=8, seed=1)
+        indices = collection.indices_of(1)
+        assert list(indices) == list(range(5, 10))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            generate_collection(0, 10)
+        with pytest.raises(ValueError):
+            generate_collection(2, 0)
+        with pytest.raises(ValueError):
+            generate_collection(2, 2, complex_fraction=1.5)

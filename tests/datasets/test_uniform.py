@@ -1,0 +1,57 @@
+"""Uniform cube data for the Example 3 / Figure 5 demo."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.uniform import ball_membership, uniform_cube
+
+
+class TestUniformCube:
+    def test_bounds_and_shape(self, rng):
+        points = uniform_cube(500, dim=3, rng=rng)
+        assert points.shape == (500, 3)
+        assert points.min() >= -2.0
+        assert points.max() <= 2.0
+
+    def test_custom_range(self, rng):
+        points = uniform_cube(100, dim=2, low=0.0, high=1.0, rng=rng)
+        assert points.min() >= 0.0
+        assert points.max() <= 1.0
+
+    def test_roughly_uniform(self, rng):
+        points = uniform_cube(20_000, dim=1, rng=rng)
+        # Mean ~ 0, variance ~ (4^2)/12.
+        assert abs(points.mean()) < 0.05
+        assert points.var() == pytest.approx(16.0 / 12.0, rel=0.05)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            uniform_cube(0, rng=rng)
+        with pytest.raises(ValueError):
+            uniform_cube(10, low=2.0, high=-2.0, rng=rng)
+
+
+class TestBallMembership:
+    def test_single_ball(self):
+        points = np.array([[0.0, 0.0], [0.5, 0.0], [2.0, 0.0]])
+        mask = ball_membership(points, [[0.0, 0.0]], radius=1.0)
+        np.testing.assert_array_equal(mask, [True, True, False])
+
+    def test_union_of_balls(self):
+        points = np.array([[0.0, 0.0], [5.0, 0.0], [2.5, 0.0]])
+        mask = ball_membership(points, [[0.0, 0.0], [5.0, 0.0]], radius=1.0)
+        np.testing.assert_array_equal(mask, [True, True, False])
+
+    def test_example_3_expected_fraction(self, rng):
+        """Two radius-1 balls in the [-2,2]^3 cube cover ~13.1% of it."""
+        points = uniform_cube(50_000, rng=rng)
+        mask = ball_membership(points, [[-1.0] * 3, [1.0] * 3], radius=1.0)
+        fraction = mask.mean()
+        expected = 2.0 * (4.0 / 3.0) * np.pi / 64.0
+        assert fraction == pytest.approx(expected, rel=0.05)
+
+    def test_negative_radius_rejected(self):
+        with pytest.raises(ValueError):
+            ball_membership(np.zeros((2, 3)), [[0.0] * 3], radius=-1.0)

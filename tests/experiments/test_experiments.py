@@ -1,0 +1,165 @@
+"""Experiment library: small-scale smoke + structural checks.
+
+The full-scale shape assertions live in ``benchmarks/``; these tests
+verify the library API itself — result structures, table generation and
+basic sanity — at a scale that keeps the unit suite fast.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    ProtocolConfig,
+    ProtocolData,
+    classification,
+    fig05,
+    fig06,
+    fig07,
+    quality,
+    t2_accuracy,
+)
+
+SMALL = ProtocolConfig(
+    n_categories=4,
+    images_per_category=20,
+    image_size=14,
+    n_queries=4,
+    k=20,
+    n_iterations=2,
+)
+
+
+@pytest.fixture(scope="module")
+def small_data():
+    return ProtocolData.build(SMALL)
+
+
+class TestProtocol:
+    def test_build_shapes(self, small_data):
+        assert small_data.color_database.size == 80
+        assert small_data.color_database.dimension == 3
+        assert small_data.texture_database.dimension == 4
+        assert small_data.query_indices.shape == (4,)
+
+    def test_database_for(self, small_data):
+        assert small_data.database_for("color") is small_data.color_database
+        assert small_data.database_for("texture") is small_data.texture_database
+        with pytest.raises(ValueError):
+            small_data.database_for("banana")
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ProtocolConfig(n_categories=0)
+        with pytest.raises(ValueError):
+            ProtocolConfig(k=0)
+
+
+class TestFig05:
+    def test_run_small(self):
+        result = fig05.run(n_points=3000, seed=1)
+        assert result.n_retrieved == result.n_in_balls
+        assert result.in_gap == 0
+        assert 0.8 < result.agreement <= 1.0
+        table = result.as_table()
+        assert "Figure 5" in table.title
+        assert len(table.rows) == 6
+
+
+class TestFig06:
+    def test_run_small(self):
+        result = fig06.run(dim=6, repeats=2)
+        assert result.diagonal_seconds > 0
+        assert result.inverse_seconds > 0
+        assert result.speedup > 0
+        assert "Figure 6" in result.as_table().title
+
+    def test_dimension_sweep_structure(self):
+        results = fig06.dimension_sweep(dims=(4, 8), repeats=2)
+        assert [r.dim for r in results] == [4, 8]
+        for result in results:
+            assert result.diagonal_seconds > 0
+
+
+class TestFig07:
+    def test_run_small(self, small_data):
+        result = fig07.run(small_data.color_database, k=20, n_iterations=2)
+        assert len(result.multipoint_io) == len(result.centroid_io)
+        assert result.scan_pages > 0
+        table = result.as_table()
+        assert len(table.rows) == len(result.multipoint_io)
+
+
+class TestQuality:
+    def test_pr_curves_structure(self, small_data):
+        result = quality.pr_curves(small_data, "color")
+        assert len(result.batch.curves) == SMALL.n_iterations + 1
+        assert len(result.mean_precision_per_iteration) == SMALL.n_iterations + 1
+        assert len(result.as_table().rows) > 0
+
+    def test_comparison_structure(self, small_data):
+        result = quality.comparison(small_data, "color")
+        assert set(result.results) == {"qcluster", "qex", "qpm"}
+        recalls = result.series("mean_recall")
+        # Paired protocol: same iteration 0 everywhere.
+        values = {round(float(series[0]), 9) for series in recalls.values()}
+        assert len(values) == 1
+        tables = result.as_tables()
+        assert len(tables) == 2
+        assert any("Figure 10" in t.title for t in tables)
+
+    def test_headline_structure(self, small_data):
+        result = quality.headline(small_data)
+        assert len(result.improvements) == 8  # 2 features x 2 baselines x 2 metrics
+        assert np.isfinite(result.pooled("qex", "recall"))
+        assert len(result.as_table().rows) == 12
+
+
+class TestClassification:
+    def test_sweep_structure(self):
+        result = classification.sweep(
+            "spherical", "diagonal", separations=(0.5, 2.5), dimensions=(6, 3), n_trials=1
+        )
+        assert set(result.errors) == {0.5, 2.5}
+        assert set(result.errors[0.5]) == {6, 3}
+        for per_dim in result.errors.values():
+            for error in per_dim.values():
+                assert 0.0 <= error <= 1.0
+
+    def test_error_decreases_with_separation(self):
+        near = classification.error_rate("spherical", "diagonal", 0.5, 6, seed=0)
+        far = classification.error_rate("spherical", "diagonal", 4.0, 6, seed=0)
+        assert far < near
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            classification.sweep("cubic", "diagonal")
+
+
+class TestT2Accuracy:
+    def test_run_table_structure(self):
+        result = t2_accuracy.run_table(True, "diagonal", n_pairs=20)
+        assert set(result.per_dim) == set(t2_accuracy.DIMENSIONS)
+        for variation, mean_stat, quantile, errors in result.per_dim.values():
+            assert 0.0 < variation <= 1.0
+            assert mean_stat > 0
+            assert quantile > 0
+            assert 0.0 <= errors <= 1.0
+        assert "Table 2" in result.as_table().title
+
+    def test_different_means_larger_statistics(self):
+        same = t2_accuracy.run_table(True, "diagonal", n_pairs=20)
+        different = t2_accuracy.run_table(False, "diagonal", n_pairs=20)
+        for dim in t2_accuracy.DIMENSIONS:
+            assert different.per_dim[dim][1] > same.per_dim[dim][1]
+
+    def test_qq_data_structure(self):
+        result = t2_accuracy.qq_data("diagonal", n_each=10)
+        assert result.statistics.shape == (20,)
+        assert result.criticals.shape == (20,)
+        assert result.same_mean.sum() == 10
+        sorted_statistics, _, sorted_criticals = result.sorted_pairs()
+        assert np.all(np.diff(sorted_statistics) >= 0)
+        assert np.all(np.diff(sorted_criticals) >= 0)
+        assert "Q-Q" in result.as_table().title

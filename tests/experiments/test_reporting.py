@@ -1,0 +1,49 @@
+"""ResultTable rendering and CSV export."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.reporting import ResultTable
+
+
+class TestResultTable:
+    def test_add_row_and_render(self):
+        table = ResultTable("Demo", ["a", "b"])
+        table.add_row(1, "x")
+        table.add_row(22, "yy")
+        rendered = table.render()
+        assert "=== Demo ===" in rendered
+        assert "22" in rendered
+        lines = rendered.splitlines()
+        assert len(lines) == 5  # title, header, rule, 2 rows
+
+    def test_row_length_validation(self):
+        table = ResultTable("Demo", ["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_notes_appended(self):
+        table = ResultTable("Demo", ["a"], notes=["a note"])
+        table.add_row(1)
+        assert table.render().endswith("a note")
+
+    def test_empty_table_renders(self):
+        table = ResultTable("Empty", ["col"])
+        assert "Empty" in table.render()
+
+    def test_csv_round_trip(self, tmp_path):
+        table = ResultTable("Demo", ["a", "b"], notes=["hello"])
+        table.add_row(1, 2.5)
+        path = tmp_path / "out" / "demo.csv"
+        table.to_csv(path)
+        content = path.read_text()
+        assert content.startswith("a,b")
+        assert "1,2.5" in content
+        assert "# hello" in content
+
+    def test_print_outputs(self, capsys):
+        table = ResultTable("Demo", ["a"])
+        table.add_row("value")
+        table.print()
+        assert "value" in capsys.readouterr().out

@@ -1,0 +1,124 @@
+"""Negative-feedback extension: Rocchio negative term, kernel penalty."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.base import PowerMeanQuery
+from repro.extensions.negative import (
+    NegativePenaltyQuery,
+    RocchioQueryPointMovement,
+    SimulatedUserWithNegatives,
+)
+from repro.retrieval.database import FeatureDatabase
+
+
+def euclidean_query(center):
+    center = np.asarray(center, dtype=float)
+    return PowerMeanQuery(
+        centers=center[None, :],
+        inverses=(np.eye(center.shape[0]),),
+        weights=np.ones(1),
+        alpha=1.0,
+    )
+
+
+class TestNegativePenaltyQuery:
+    def test_no_negatives_is_identity(self, rng):
+        base = euclidean_query(np.zeros(3))
+        wrapped = NegativePenaltyQuery(base, np.empty((0, 3)))
+        points = rng.standard_normal((10, 3))
+        np.testing.assert_allclose(wrapped.distances(points), base.distances(points))
+
+    def test_penalty_peaks_at_negative_example(self):
+        base = euclidean_query(np.zeros(2))
+        negative = np.array([[2.0, 0.0]])
+        wrapped = NegativePenaltyQuery(base, negative, gamma=1.0, sigma=0.5)
+        on_negative = wrapped.distances(negative)[0]
+        base_on_negative = base.distances(negative)[0]
+        assert on_negative == pytest.approx(2.0 * base_on_negative)
+
+    def test_penalty_decays_with_distance(self):
+        base = euclidean_query(np.zeros(2))
+        wrapped = NegativePenaltyQuery(base, np.array([[5.0, 0.0]]), gamma=2.0, sigma=0.5)
+        far = np.array([[0.0, 5.0]])
+        np.testing.assert_allclose(
+            wrapped.distances(far), base.distances(far), rtol=1e-6
+        )
+
+    def test_reranking_demotes_region_near_negatives(self, rng):
+        # Two equidistant blobs; negatives mark one of them.
+        blob_a = rng.normal(0.0, 0.3, (20, 2)) + np.array([3.0, 0.0])
+        blob_b = rng.normal(0.0, 0.3, (20, 2)) + np.array([-3.0, 0.0])
+        database = np.vstack([blob_a, blob_b])
+        base = euclidean_query(np.zeros(2))
+        wrapped = NegativePenaltyQuery(base, blob_a[:5], gamma=3.0, sigma=1.0)
+        ranking = np.argsort(wrapped.distances(database))
+        top_half = ranking[:20]
+        # Blob B (indices 20..39) dominates the top of the ranking.
+        assert np.sum(top_half >= 20) > 15
+
+    def test_validation(self):
+        base = euclidean_query(np.zeros(2))
+        with pytest.raises(ValueError):
+            NegativePenaltyQuery(base, np.zeros((1, 2)), gamma=-1.0)
+        with pytest.raises(ValueError):
+            NegativePenaltyQuery(base, np.zeros((1, 2)), sigma=0.0)
+
+
+class TestRocchioWithNegatives:
+    def test_negative_term_pushes_away(self, rng):
+        relevant = rng.normal(0.0, 0.2, (20, 2)) + np.array([2.0, 0.0])
+        negatives = np.array([[2.0, 3.0]])
+
+        plain = RocchioQueryPointMovement(nonrelevant_weight=0.0)
+        plain.start(np.zeros(2))
+        plain_query = plain.feedback(relevant)
+
+        pushed = RocchioQueryPointMovement(nonrelevant_weight=0.5)
+        pushed.start(np.zeros(2))
+        pushed.add_negatives(negatives)
+        pushed_query = pushed.feedback(relevant)
+
+        # The negative example sits "above" the relevant mean; the pushed
+        # query's center must move down relative to the plain one.
+        assert pushed_query.centers[0][1] < plain_query.centers[0][1]
+
+    def test_start_clears_negatives(self, rng):
+        method = RocchioQueryPointMovement()
+        method.start(np.zeros(2))
+        method.add_negatives(np.ones((3, 2)))
+        method.start(np.zeros(2))
+        assert method._negatives == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RocchioQueryPointMovement(nonrelevant_weight=-0.1)
+
+
+class TestSimulatedUserWithNegatives:
+    @pytest.fixture
+    def database(self, rng):
+        vectors = rng.standard_normal((20, 2))
+        labels = [0] * 10 + [1] * 10
+        return FeatureDatabase(vectors, labels)
+
+    def test_non_relevant_marks_other_categories(self, database):
+        user = SimulatedUserWithNegatives(database, target_category=0)
+        negatives = user.non_relevant([0, 10, 11, 5])
+        np.testing.assert_array_equal(negatives, [10, 11])
+
+    def test_max_negatives_cap(self, database):
+        user = SimulatedUserWithNegatives(database, 0, max_negatives=1)
+        negatives = user.non_relevant([10, 11, 12])
+        assert negatives.shape == (1,)
+
+    def test_positive_judgments_unchanged(self, database):
+        user = SimulatedUserWithNegatives(database, 0)
+        judgment = user.judge([0, 1, 10])
+        np.testing.assert_array_equal(judgment.relevant_indices, [0, 1])
+
+    def test_validation(self, database):
+        with pytest.raises(ValueError):
+            SimulatedUserWithNegatives(database, 0, max_negatives=0)

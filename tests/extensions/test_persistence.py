@@ -1,0 +1,96 @@
+"""Engine serialization: pause/resume a feedback session."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import QclusterConfig
+from repro.core.qcluster import QclusterEngine
+from repro.extensions.persistence import (
+    engine_from_dict,
+    engine_to_dict,
+    load_engine,
+    save_engine,
+)
+
+
+@pytest.fixture
+def engine_with_state(rng):
+    engine = QclusterEngine(QclusterConfig(max_clusters=3, significance_level=0.02))
+    engine.start(rng.standard_normal(3))
+    engine.feedback(
+        np.vstack([rng.normal(0.0, 0.4, (10, 3)), rng.normal(8.0, 0.4, (10, 3))]),
+        scores=np.linspace(1.0, 2.0, 20),
+    )
+    return engine
+
+
+class TestRoundTrip:
+    def test_dict_round_trip_preserves_clusters(self, engine_with_state):
+        restored = engine_from_dict(engine_to_dict(engine_with_state))
+        assert restored.n_clusters == engine_with_state.n_clusters
+        assert restored.iteration == engine_with_state.iteration
+        for original, copy in zip(engine_with_state.clusters, restored.clusters):
+            np.testing.assert_allclose(copy.points, original.points)
+            np.testing.assert_allclose(copy.scores, original.scores)
+            np.testing.assert_allclose(copy.centroid, original.centroid)
+
+    def test_config_preserved(self, engine_with_state):
+        restored = engine_from_dict(engine_to_dict(engine_with_state))
+        assert restored.config.max_clusters == 3
+        assert restored.config.significance_level == 0.02
+
+    def test_query_identical_after_round_trip(self, engine_with_state, rng):
+        restored = engine_from_dict(engine_to_dict(engine_with_state))
+        probes = rng.standard_normal((15, 3))
+        np.testing.assert_allclose(
+            restored.current_query().distances(probes),
+            engine_with_state.current_query().distances(probes),
+        )
+
+    def test_dedup_state_survives(self, engine_with_state):
+        restored = engine_from_dict(engine_to_dict(engine_with_state))
+        mass_before = restored.total_relevance_mass
+        # Re-feeding an absorbed point must still be a no-op.
+        restored.feedback(engine_with_state.clusters[0].points[:3])
+        assert restored.total_relevance_mass == pytest.approx(mass_before)
+
+    def test_merge_history_preserved(self, engine_with_state):
+        restored = engine_from_dict(engine_to_dict(engine_with_state))
+        assert len(restored.merge_history) == len(engine_with_state.merge_history)
+
+    def test_resumed_session_continues(self, engine_with_state, rng):
+        restored = engine_from_dict(engine_to_dict(engine_with_state))
+        query = restored.feedback(rng.normal(0.0, 0.4, (5, 3)))
+        assert query.size == restored.n_clusters
+
+    def test_file_round_trip(self, engine_with_state, tmp_path, rng):
+        path = tmp_path / "engine.json"
+        save_engine(engine_with_state, path)
+        restored = load_engine(path)
+        probes = rng.standard_normal((5, 3))
+        np.testing.assert_allclose(
+            restored.current_query().distances(probes),
+            engine_with_state.current_query().distances(probes),
+        )
+
+    def test_fresh_engine_round_trip(self, rng):
+        engine = QclusterEngine()
+        engine.start(rng.standard_normal(4))
+        restored = engine_from_dict(engine_to_dict(engine))
+        assert restored.n_clusters == 0
+        assert restored.current_query().size == 1
+
+    def test_config_fields_cover_the_dataclass(self):
+        """Guard: adding a QclusterConfig field must update persistence."""
+        import dataclasses
+
+        from repro.extensions.persistence import _CONFIG_FIELDS
+
+        declared = {
+            field.name
+            for field in dataclasses.fields(QclusterConfig)
+            if field.init
+        }
+        assert set(_CONFIG_FIELDS) == declared

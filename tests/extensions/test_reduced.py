@@ -1,0 +1,69 @@
+"""Retrieval-time PCA reduction (Section 4.4 end-to-end)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import QclusterConfig
+from repro.core.pca import PCA
+from repro.extensions.reduced import PCAReducedMethod
+from repro.retrieval import FeatureDatabase, FeedbackSession, QclusterMethod
+
+
+@pytest.fixture
+def anisotropic_database(rng):
+    """Two categories separated along a high-variance latent direction,
+    embedded in 8-d with low-variance nuisance dimensions."""
+    latent_a = rng.normal(-2.0, 0.5, (40, 2))
+    latent_b = rng.normal(2.0, 0.5, (40, 2))
+    latent = np.vstack([latent_a, latent_b])
+    mixing = rng.standard_normal((2, 8)) * 2.0
+    noise = 0.05 * rng.standard_normal((80, 8))
+    return FeatureDatabase(latent @ mixing + noise, [0] * 40 + [1] * 40)
+
+
+class TestPCAReducedMethod:
+    def test_full_rank_reduction_preserves_results(self, anisotropic_database):
+        """No truncation + inverse scheme: identical rankings (Theorem 1)."""
+        config = QclusterConfig(scheme="inverse", regularization=1e-10)
+        plain = FeedbackSession(
+            anisotropic_database, QclusterMethod(config), k=30
+        ).run(0, n_iterations=2)
+        reduced = FeedbackSession(
+            anisotropic_database,
+            PCAReducedMethod(
+                lambda: QclusterMethod(config),
+                training_data=anisotropic_database.vectors,
+            ),
+            k=30,
+        ).run(0, n_iterations=2)
+        np.testing.assert_allclose(plain.recalls, reduced.recalls, atol=0.05)
+
+    def test_truncated_reduction_keeps_quality(self, anisotropic_database):
+        """2 latent dims: keeping 2 of 8 components loses nothing."""
+        reduced = FeedbackSession(
+            anisotropic_database,
+            PCAReducedMethod(
+                QclusterMethod,
+                training_data=anisotropic_database.vectors,
+                n_components=2,
+            ),
+            k=30,
+        ).run(0, n_iterations=2)
+        assert reduced.recalls[-1] > 0.6
+
+    def test_accepts_prefitted_pca(self, anisotropic_database):
+        pca = PCA(n_components=3).fit(anisotropic_database.vectors)
+        method = PCAReducedMethod(QclusterMethod, pca=pca)
+        query = method.start(anisotropic_database.vectors[0])
+        distances = query.distances(anisotropic_database.vectors)
+        assert distances.shape == (80,)
+        # The wrapped query operates in 3 dims.
+        assert query.inner.dimension == 3
+
+    def test_validation(self, anisotropic_database):
+        with pytest.raises(ValueError):
+            PCAReducedMethod(QclusterMethod)
+        with pytest.raises(ValueError):
+            PCAReducedMethod(QclusterMethod, pca=PCA(n_components=2))

@@ -1,0 +1,58 @@
+"""HSV color-moment extraction (the paper's color feature)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.features.color_moments import COLOR_MOMENT_NAMES, color_moments
+from repro.features.image import Image
+
+
+class TestColorMoments:
+    def test_output_dimension(self, rng):
+        image = Image(rng.integers(0, 256, (8, 8, 3), dtype=np.uint8))
+        descriptor = color_moments(image)
+        assert descriptor.shape == (9,)
+        assert len(COLOR_MOMENT_NAMES) == 9
+
+    def test_flat_image_has_zero_spread(self):
+        # A constant-color image: std and skewness vanish for all channels.
+        pixels = np.full((8, 8, 3), 0.25)
+        descriptor = color_moments(Image(pixels))
+        stds = descriptor[1::3]
+        skews = descriptor[2::3]
+        np.testing.assert_allclose(stds, 0.0, atol=1e-9)
+        np.testing.assert_allclose(skews, 0.0, atol=1e-9)
+
+    def test_value_mean_of_flat_gray(self):
+        pixels = np.full((4, 4, 3), 0.5)
+        descriptor = color_moments(Image(pixels))
+        # V channel mean (index 6) equals the gray level.
+        assert descriptor[6] == pytest.approx(0.5, abs=0.01)
+        # Saturation of gray is zero.
+        assert descriptor[3] == pytest.approx(0.0, abs=1e-9)
+
+    def test_skewness_sign(self):
+        # Mostly dark with a few bright pixels -> positive V skewness.
+        pixels = np.zeros((10, 10, 3))
+        pixels[0, :3] = 1.0
+        descriptor = color_moments(Image(pixels))
+        assert descriptor[8] > 0.0
+
+    def test_symmetric_distribution_has_no_skew(self):
+        pixels = np.zeros((2, 2, 3))
+        pixels[0, :, :] = 0.25
+        pixels[1, :, :] = 0.75
+        descriptor = color_moments(Image(pixels))
+        assert descriptor[8] == pytest.approx(0.0, abs=1e-6)
+
+    def test_brightness_shift_moves_value_mean_only_slightly_changes_hue(self, rng):
+        base = rng.uniform(0.2, 0.5, (8, 8, 3))
+        dark = color_moments(Image(base))
+        bright = color_moments(Image(np.clip(base + 0.3, 0.0, 1.0)))
+        assert bright[6] > dark[6]  # V mean up
+
+    def test_deterministic(self, rng):
+        image = Image(rng.integers(0, 256, (8, 8, 3), dtype=np.uint8))
+        np.testing.assert_array_equal(color_moments(image), color_moments(image))

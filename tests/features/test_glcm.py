@@ -1,0 +1,124 @@
+"""Gray-level co-occurrence matrix and the 16 texture descriptors."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.features.glcm import (
+    TEXTURE_FEATURE_NAMES,
+    cooccurrence_matrix,
+    quantize_gray,
+    texture_features,
+)
+from repro.features.image import Image
+
+
+class TestQuantize:
+    def test_range(self, rng):
+        gray = rng.uniform(0.0, 255.0, (10, 10))
+        quantized = quantize_gray(gray, levels=8)
+        assert quantized.min() >= 0
+        assert quantized.max() <= 7
+
+    def test_boundaries(self):
+        assert quantize_gray(np.array([[0.0]]), 16)[0, 0] == 0
+        assert quantize_gray(np.array([[255.0]]), 16)[0, 0] == 15
+        assert quantize_gray(np.array([[127.0]]), 2)[0, 0] == 0
+        assert quantize_gray(np.array([[128.0]]), 2)[0, 0] == 1
+
+    def test_rejects_too_few_levels(self):
+        with pytest.raises(ValueError):
+            quantize_gray(np.zeros((2, 2)), levels=1)
+
+
+class TestCooccurrence:
+    def test_known_small_matrix(self):
+        # 2x2 image [[0,1],[0,1]] with offset (0,1): pairs (0,1) twice.
+        quantized = np.array([[0, 1], [0, 1]])
+        matrix = cooccurrence_matrix(quantized, offsets=[(0, 1)], levels=2)
+        # Symmetric: (0,1) and (1,0) each get 2 counts of 4 total.
+        np.testing.assert_allclose(matrix, [[0.0, 0.5], [0.5, 0.0]])
+
+    def test_asymmetric_mode(self):
+        quantized = np.array([[0, 1], [0, 1]])
+        matrix = cooccurrence_matrix(
+            quantized, offsets=[(0, 1)], levels=2, symmetric=False
+        )
+        np.testing.assert_allclose(matrix, [[0.0, 1.0], [0.0, 0.0]])
+
+    def test_normalization(self, rng):
+        quantized = rng.integers(0, 8, (12, 12))
+        matrix = cooccurrence_matrix(quantized, levels=8)
+        assert matrix.sum() == pytest.approx(1.0)
+        assert matrix.min() >= 0.0
+
+    def test_constant_image_concentrates_mass(self):
+        quantized = np.full((6, 6), 3)
+        matrix = cooccurrence_matrix(quantized, levels=8)
+        assert matrix[3, 3] == pytest.approx(1.0)
+
+    def test_oversized_offset_skipped(self):
+        quantized = np.zeros((3, 3), dtype=int)
+        matrix = cooccurrence_matrix(quantized, offsets=[(0, 1), (10, 0)], levels=2)
+        assert matrix.sum() == pytest.approx(1.0)
+
+    def test_all_offsets_invalid_raises(self):
+        with pytest.raises(ValueError):
+            cooccurrence_matrix(np.zeros((2, 2), dtype=int), offsets=[(5, 5)], levels=2)
+
+    def test_value_validation(self):
+        with pytest.raises(ValueError):
+            cooccurrence_matrix(np.array([[0, 9]]), levels=4)
+        with pytest.raises(ValueError):
+            cooccurrence_matrix(np.zeros(4, dtype=int), levels=4)
+
+
+class TestTextureFeatures:
+    def test_sixteen_descriptors(self, rng):
+        image = Image(rng.integers(0, 256, (16, 16, 3), dtype=np.uint8))
+        descriptor = texture_features(image)
+        assert descriptor.shape == (16,)
+        assert len(TEXTURE_FEATURE_NAMES) == 16
+        assert np.all(np.isfinite(descriptor))
+
+    def test_constant_image_extremes(self):
+        image = Image(np.full((8, 8, 3), 0.5))
+        descriptor = dict(zip(TEXTURE_FEATURE_NAMES, texture_features(image)))
+        assert descriptor["energy"] == pytest.approx(1.0)      # all mass in one cell
+        assert descriptor["inertia"] == pytest.approx(0.0)     # no gray transitions
+        assert descriptor["entropy"] == pytest.approx(0.0, abs=1e-6)
+        assert descriptor["homogeneity"] == pytest.approx(1.0)
+        assert descriptor["max_probability"] == pytest.approx(1.0)
+
+    def test_checkerboard_maximizes_contrast(self):
+        # Alternating black/white pixels: strong inertia, low homogeneity.
+        pattern = np.indices((8, 8)).sum(axis=0) % 2
+        pixels = np.repeat(pattern[..., None].astype(float), 3, axis=2)
+        descriptor = dict(
+            zip(TEXTURE_FEATURE_NAMES, texture_features(Image(pixels), levels=2))
+        )
+        smooth = np.zeros((8, 8, 3))
+        smooth[:, :4] = 1.0  # one big edge only
+        smooth_descriptor = dict(
+            zip(TEXTURE_FEATURE_NAMES, texture_features(Image(smooth), levels=2))
+        )
+        assert descriptor["inertia"] > smooth_descriptor["inertia"]
+        assert descriptor["homogeneity"] < smooth_descriptor["homogeneity"]
+
+    def test_noise_has_high_entropy(self, rng):
+        noisy = Image(rng.uniform(0.0, 1.0, (16, 16, 3)))
+        flat = Image(np.full((16, 16, 3), 0.5))
+        noisy_entropy = texture_features(noisy)[2]
+        flat_entropy = texture_features(flat)[2]
+        assert noisy_entropy > flat_entropy + 1.0
+
+    def test_rotation_swaps_directional_structure(self, rng):
+        # With symmetric multi-direction offsets, a 90-degree rotation
+        # leaves the descriptor nearly unchanged.
+        stripes = np.zeros((16, 16, 3))
+        stripes[::2, :, :] = 1.0
+        rotated = np.transpose(stripes, (1, 0, 2))
+        a = texture_features(Image(stripes))
+        b = texture_features(Image(rotated))
+        np.testing.assert_allclose(a, b, rtol=1e-9)

@@ -1,0 +1,98 @@
+"""HSV color histograms and histogram dissimilarities."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as hst
+from hypothesis.extra.numpy import arrays
+
+from repro.features.histogram import (
+    chi2_histogram_distance,
+    color_histogram,
+    histogram_intersection,
+    histogram_l1,
+)
+from repro.features.image import Image
+
+
+class TestColorHistogram:
+    def test_dimension_and_normalization(self, rng):
+        image = Image(rng.integers(0, 256, (12, 12, 3), dtype=np.uint8))
+        histogram = color_histogram(image)
+        assert histogram.shape == (72,)
+        assert histogram.sum() == pytest.approx(1.0)
+        assert histogram.min() >= 0.0
+
+    def test_custom_bins(self, rng):
+        image = Image(rng.integers(0, 256, (8, 8, 3), dtype=np.uint8))
+        histogram = color_histogram(image, bins=(4, 4, 4))
+        assert histogram.shape == (64,)
+
+    def test_flat_image_single_bin(self):
+        image = Image(np.full((6, 6, 3), 0.5))
+        histogram = color_histogram(image)
+        assert np.count_nonzero(histogram) == 1
+        assert histogram.max() == pytest.approx(1.0)
+
+    def test_distinct_colors_distinct_bins(self):
+        red = Image(np.zeros((4, 4, 3)) + np.array([1.0, 0.0, 0.0]))
+        blue = Image(np.zeros((4, 4, 3)) + np.array([0.0, 0.0, 1.0]))
+        assert np.argmax(color_histogram(red)) != np.argmax(color_histogram(blue))
+
+    def test_size_invariance(self, rng):
+        # Same color distribution, different image sizes -> same histogram.
+        small = Image(np.full((4, 4, 3), 0.3))
+        large = Image(np.full((32, 32, 3), 0.3))
+        np.testing.assert_allclose(color_histogram(small), color_histogram(large))
+
+    def test_bin_validation(self, rng):
+        image = Image(rng.integers(0, 256, (4, 4, 3), dtype=np.uint8))
+        with pytest.raises(ValueError):
+            color_histogram(image, bins=(0, 3, 3))
+
+
+normalized_histograms = arrays(
+    np.float64, (16,), elements=hst.floats(min_value=0.0, max_value=1.0)
+).map(lambda a: a / a.sum() if a.sum() > 0 else np.full(16, 1.0 / 16.0))
+
+
+class TestDistances:
+    def test_identical_histograms_are_zero(self, rng):
+        h = color_histogram(Image(rng.integers(0, 256, (8, 8, 3), dtype=np.uint8)))
+        assert histogram_intersection(h, h) == pytest.approx(0.0)
+        assert histogram_l1(h, h) == pytest.approx(0.0)
+        assert chi2_histogram_distance(h, h) == pytest.approx(0.0)
+
+    def test_disjoint_histograms_are_maximal(self):
+        a = np.array([1.0, 0.0])
+        b = np.array([0.0, 1.0])
+        assert histogram_intersection(a, b) == pytest.approx(1.0)
+        assert histogram_l1(a, b) == pytest.approx(2.0)
+        assert chi2_histogram_distance(a, b) == pytest.approx(1.0)
+
+    @given(normalized_histograms, normalized_histograms)
+    @settings(max_examples=100, deadline=None)
+    def test_intersection_vs_l1_identity(self, a, b):
+        # For normalized histograms: L1 = 2 * intersection dissimilarity.
+        assert histogram_l1(a, b) == pytest.approx(
+            2.0 * histogram_intersection(a, b), abs=1e-9
+        )
+
+    @given(normalized_histograms, normalized_histograms)
+    @settings(max_examples=100, deadline=None)
+    def test_symmetry_and_bounds(self, a, b):
+        assert histogram_intersection(a, b) == pytest.approx(
+            histogram_intersection(b, a)
+        )
+        assert -1e-12 <= histogram_intersection(a, b) <= 1.0 + 1e-12
+        assert chi2_histogram_distance(a, b) == pytest.approx(
+            chi2_histogram_distance(b, a)
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            histogram_intersection(np.ones(3), np.ones(4))
+        with pytest.raises(ValueError):
+            histogram_l1(np.array([-0.1, 1.1]), np.array([0.5, 0.5]))

@@ -1,0 +1,73 @@
+"""RGB <-> HSV conversion."""
+
+from __future__ import annotations
+
+import colorsys
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as hst
+
+from repro.features.hsv import hsv_to_rgb, rgb_to_hsv
+
+
+KNOWN_COLORS = [
+    # (rgb, hsv) in [0, 1]
+    ((1.0, 0.0, 0.0), (0.0, 1.0, 1.0)),          # red
+    ((0.0, 1.0, 0.0), (1.0 / 3.0, 1.0, 1.0)),    # green
+    ((0.0, 0.0, 1.0), (2.0 / 3.0, 1.0, 1.0)),    # blue
+    ((1.0, 1.0, 1.0), (0.0, 0.0, 1.0)),          # white
+    ((0.0, 0.0, 0.0), (0.0, 0.0, 0.0)),          # black
+    ((0.5, 0.5, 0.5), (0.0, 0.0, 0.5)),          # gray
+    ((1.0, 1.0, 0.0), (1.0 / 6.0, 1.0, 1.0)),    # yellow
+]
+
+
+class TestRgbToHsv:
+    @pytest.mark.parametrize("rgb,hsv", KNOWN_COLORS)
+    def test_known_colors(self, rgb, hsv):
+        np.testing.assert_allclose(rgb_to_hsv(np.array(rgb)), hsv, atol=1e-12)
+
+    def test_matches_colorsys(self, rng):
+        for rgb in rng.uniform(0.0, 1.0, (50, 3)):
+            expected = colorsys.rgb_to_hsv(*rgb)
+            np.testing.assert_allclose(rgb_to_hsv(rgb), expected, atol=1e-12)
+
+    def test_vectorized_over_images(self, rng):
+        image = rng.uniform(0.0, 1.0, (4, 5, 3))
+        hsv = rgb_to_hsv(image)
+        assert hsv.shape == (4, 5, 3)
+        np.testing.assert_allclose(hsv[2, 3], rgb_to_hsv(image[2, 3]))
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            rgb_to_hsv(np.array([1.5, 0.0, 0.0]))
+        with pytest.raises(ValueError):
+            rgb_to_hsv(np.array([1.0, 0.0]))
+
+
+class TestHsvToRgb:
+    @pytest.mark.parametrize("rgb,hsv", KNOWN_COLORS)
+    def test_known_colors(self, rgb, hsv):
+        np.testing.assert_allclose(hsv_to_rgb(np.array(hsv)), rgb, atol=1e-12)
+
+    @given(
+        hst.floats(min_value=0.0, max_value=1.0),
+        hst.floats(min_value=0.0, max_value=1.0),
+        hst.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_roundtrip_rgb(self, r, g, b):
+        rgb = np.array([r, g, b])
+        recovered = hsv_to_rgb(rgb_to_hsv(rgb))
+        np.testing.assert_allclose(recovered, rgb, atol=1e-9)
+
+    def test_matches_colorsys(self, rng):
+        for hsv in rng.uniform(0.0, 1.0, (50, 3)):
+            expected = colorsys.hsv_to_rgb(*hsv)
+            np.testing.assert_allclose(hsv_to_rgb(hsv), expected, atol=1e-12)
+
+    def test_rejects_bad_saturation(self):
+        with pytest.raises(ValueError):
+            hsv_to_rgb(np.array([0.5, 2.0, 0.5]))

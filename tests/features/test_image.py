@@ -1,0 +1,60 @@
+"""Image carrier and gray conversion."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.features.image import Image, to_gray
+
+
+class TestImage:
+    def test_uint8_passthrough(self, rng):
+        pixels = rng.integers(0, 256, (8, 6, 3), dtype=np.uint8)
+        image = Image(pixels)
+        assert image.pixels.dtype == np.uint8
+        assert image.shape == (8, 6)
+
+    def test_float_pixels_are_scaled(self):
+        image = Image(np.full((2, 2, 3), 0.5))
+        assert image.pixels.dtype == np.uint8
+        assert int(image.pixels[0, 0, 0]) in (127, 128)
+
+    def test_float_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            Image(np.full((2, 2, 3), 1.5))
+
+    def test_integer_pixels_are_clipped(self):
+        image = Image(np.full((2, 2, 3), 300, dtype=np.int64))
+        assert image.pixels.max() == 255
+
+    def test_shape_validation(self, rng):
+        with pytest.raises(ValueError):
+            Image(rng.integers(0, 255, (4, 4), dtype=np.uint8))
+        with pytest.raises(ValueError):
+            Image(rng.integers(0, 255, (4, 4, 4), dtype=np.uint8))
+
+    def test_as_float_range(self, rng):
+        image = Image(rng.integers(0, 256, (4, 4, 3), dtype=np.uint8))
+        as_float = image.as_float
+        assert as_float.min() >= 0.0
+        assert as_float.max() <= 1.0
+
+    def test_label_attached(self):
+        image = Image(np.zeros((2, 2, 3), dtype=np.uint8), label=7)
+        assert image.label == 7
+
+
+class TestToGray:
+    def test_white_is_255(self):
+        gray = to_gray(np.full((2, 2, 3), 255.0))
+        np.testing.assert_allclose(gray, 255.0)
+
+    def test_luma_weights(self):
+        pure_green = np.zeros((1, 1, 3))
+        pure_green[..., 1] = 100.0
+        assert to_gray(pure_green)[0, 0] == pytest.approx(58.7)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            to_gray(np.zeros((4, 4)))

@@ -1,0 +1,91 @@
+"""Feature pipelines: extraction + standardization + PCA reduction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.features.pipeline import (
+    FeaturePipeline,
+    color_pipeline,
+    extract_matrix,
+    texture_pipeline,
+)
+
+
+class TestExtractMatrix:
+    def test_stacks_descriptors(self, small_collection):
+        matrix = extract_matrix(
+            small_collection.images[:5], lambda img: np.array([float(img.label)])
+        )
+        assert matrix.shape == (5, 1)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            extract_matrix([], lambda img: np.zeros(3))
+
+
+class TestFeaturePipeline:
+    def test_color_pipeline_dimensions(self, small_collection):
+        pipeline = color_pipeline()
+        features = pipeline.fit(small_collection.images)
+        assert features.shape == (len(small_collection), 3)
+
+    def test_texture_pipeline_dimensions(self, small_collection):
+        pipeline = texture_pipeline()
+        features = pipeline.fit(small_collection.images[:40])
+        assert features.shape == (40, 4)
+
+    def test_transform_matches_fit_output(self, small_collection):
+        pipeline = color_pipeline()
+        fitted = pipeline.fit(small_collection.images)
+        transformed = pipeline.transform(small_collection.images[:10])
+        np.testing.assert_allclose(transformed, fitted[:10], atol=1e-9)
+
+    def test_transform_one(self, small_collection):
+        pipeline = color_pipeline()
+        fitted = pipeline.fit(small_collection.images)
+        single = pipeline.transform_one(small_collection.images[3])
+        np.testing.assert_allclose(single, fitted[3], atol=1e-9)
+
+    def test_requires_fit_before_transform(self, small_collection):
+        with pytest.raises(RuntimeError):
+            color_pipeline().transform(small_collection.images[:2])
+
+    def test_same_category_closer_than_random(self, small_collection):
+        """Feature-space structure: intra-category distances < global."""
+        pipeline = color_pipeline()
+        features = pipeline.fit(small_collection.images)
+        labels = small_collection.labels
+        intra = []
+        inter = []
+        rng = np.random.default_rng(0)
+        for _ in range(300):
+            i, j = rng.integers(0, len(labels), 2)
+            distance = float(np.sum((features[i] - features[j]) ** 2))
+            (intra if labels[i] == labels[j] else inter).append(distance)
+        assert np.mean(intra) < np.mean(inter)
+
+    def test_explained_variance_ratio(self, small_collection):
+        pipeline = color_pipeline()
+        pipeline.fit(small_collection.images)
+        ratio = pipeline.explained_variance_ratio
+        assert ratio.shape == (3,)
+        assert np.all(ratio >= 0.0)
+        assert np.all(np.diff(ratio) <= 1e-12)
+
+    def test_standardization_off(self, small_collection):
+        pipeline = FeaturePipeline(
+            lambda img: np.array([1.0, float(img.pixels.mean()), 2.0]),
+            n_components=2,
+            standardize=False,
+        )
+        features = pipeline.fit(small_collection.images[:10])
+        assert features.shape == (10, 2)
+
+    def test_validation(self, small_collection):
+        with pytest.raises(ValueError):
+            FeaturePipeline(lambda img: np.zeros(3), n_components=0)
+        pipeline = FeaturePipeline(lambda img: np.zeros(2), n_components=3)
+        with pytest.raises(ValueError):
+            pipeline.fit(small_collection.images[:4])

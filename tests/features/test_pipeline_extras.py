@@ -1,0 +1,89 @@
+"""Extra feature pipelines (histogram, wavelet) and feature combination."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.features.pipeline import (
+    combine_features,
+    histogram_pipeline,
+    wavelet_pipeline,
+)
+from repro.retrieval import FeatureDatabase, FeedbackSession, QclusterMethod
+
+
+class TestExtraPipelines:
+    def test_histogram_pipeline_dimensions(self, small_collection):
+        pipeline = histogram_pipeline(n_components=8)
+        features = pipeline.fit(small_collection.images[:40])
+        assert features.shape == (40, 8)
+
+    def test_wavelet_pipeline_dimensions(self, small_collection):
+        pipeline = wavelet_pipeline(n_components=4, levels=2)
+        features = pipeline.fit(small_collection.images[:40])
+        assert features.shape == (40, 4)
+
+    def test_histogram_features_separate_categories(self, small_collection):
+        pipeline = histogram_pipeline(n_components=8)
+        features = pipeline.fit(small_collection.images)
+        labels = small_collection.labels
+        rng = np.random.default_rng(0)
+        intra, inter = [], []
+        for _ in range(300):
+            i, j = rng.integers(0, len(labels), 2)
+            distance = float(np.sum((features[i] - features[j]) ** 2))
+            (intra if labels[i] == labels[j] else inter).append(distance)
+        assert np.mean(intra) < np.mean(inter)
+
+    def test_wavelet_features_usable_for_retrieval(self, small_collection):
+        pipeline = wavelet_pipeline(n_components=3, levels=2)
+        features = pipeline.fit(small_collection.images)
+        database = FeatureDatabase(features, small_collection.labels)
+        session = FeedbackSession(database, QclusterMethod(), k=20)
+        result = session.run(0, n_iterations=2)
+        assert len(result.records) == 3
+        assert result.recalls[-1] >= result.recalls[0] - 0.1
+
+
+class TestCombineFeatures:
+    def test_concatenates_columns(self, rng):
+        a = rng.standard_normal((10, 3))
+        b = rng.standard_normal((10, 4))
+        combined = combine_features(a, b)
+        assert combined.shape == (10, 7)
+
+    def test_blocks_are_scale_balanced(self, rng):
+        small_scale = rng.standard_normal((20, 3)) * 0.001
+        large_scale = rng.standard_normal((20, 3)) * 1000.0
+        combined = combine_features(small_scale, large_scale)
+        norm_first = np.linalg.norm(combined[:, :3], axis=1).mean()
+        norm_second = np.linalg.norm(combined[:, 3:], axis=1).mean()
+        assert norm_first == pytest.approx(norm_second, rel=1e-9)
+
+    def test_zero_block_passes_through(self):
+        zero = np.zeros((5, 2))
+        other = np.ones((5, 2))
+        combined = combine_features(zero, other)
+        np.testing.assert_array_equal(combined[:, :2], zero)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            combine_features()
+        with pytest.raises(ValueError):
+            combine_features(rng.standard_normal((5, 2)), rng.standard_normal((6, 2)))
+
+    def test_combined_features_retrieval_quality(self, small_collection, color_database):
+        """Color + histogram combined at least matches color alone."""
+        from repro.features.pipeline import color_pipeline
+
+        color = color_pipeline().fit(small_collection.images)
+        histogram = histogram_pipeline(n_components=6).fit(small_collection.images)
+        combined = FeatureDatabase(
+            combine_features(color, histogram), small_collection.labels
+        )
+        session_combined = FeedbackSession(combined, QclusterMethod(), k=20)
+        session_color = FeedbackSession(color_database, QclusterMethod(), k=20)
+        recall_combined = session_combined.run(0, n_iterations=2).recalls[-1]
+        recall_color = session_color.run(0, n_iterations=2).recalls[-1]
+        assert recall_combined >= recall_color - 0.15

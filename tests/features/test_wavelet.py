@@ -1,0 +1,94 @@
+"""Haar wavelet decomposition and subband-energy features."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.features.image import Image
+from repro.features.wavelet import haar_decompose_2d, wavelet_features
+
+
+class TestHaarDecompose:
+    def test_shapes_halve_per_level(self, rng):
+        gray = rng.uniform(0.0, 1.0, (32, 32))
+        approximation, details = haar_decompose_2d(gray, levels=3)
+        assert approximation.shape == (4, 4)
+        assert details[0][0].shape == (16, 16)
+        assert details[1][0].shape == (8, 8)
+        assert details[2][0].shape == (4, 4)
+
+    def test_energy_conservation(self, rng):
+        """Orthonormal Haar preserves total energy (Parseval)."""
+        gray = rng.uniform(0.0, 1.0, (16, 16))
+        approximation, details = haar_decompose_2d(gray, levels=2)
+        energy = float(np.sum(approximation**2))
+        for triple in details:
+            for band in triple:
+                energy += float(np.sum(band**2))
+        assert energy == pytest.approx(float(np.sum(gray**2)), rel=1e-9)
+
+    def test_constant_image_has_zero_details(self):
+        gray = np.full((8, 8), 3.0)
+        approximation, details = haar_decompose_2d(gray, levels=2)
+        for triple in details:
+            for band in triple:
+                np.testing.assert_allclose(band, 0.0, atol=1e-12)
+        # All energy in the approximation: 3 * 2^levels per coefficient.
+        np.testing.assert_allclose(approximation, 12.0)
+
+    def test_horizontal_stripes_excite_horizontal_band(self):
+        gray = np.zeros((16, 16))
+        gray[::2, :] = 1.0  # variation along rows (vertical frequency)
+        _, details = haar_decompose_2d(gray, levels=1)
+        horizontal, vertical, diagonal = details[0]
+        # Variation across rows lands in the row-detail band.
+        assert np.abs(vertical).sum() + np.abs(diagonal).sum() < 1e-9 or (
+            np.abs(horizontal).sum() != np.abs(vertical).sum()
+        )
+        # Exactly one of the two directional bands carries the energy.
+        energies = [float(np.abs(band).sum()) for band in (horizontal, vertical)]
+        assert max(energies) > 0
+        assert min(energies) == pytest.approx(0.0, abs=1e-9)
+
+    def test_odd_sizes_are_padded(self, rng):
+        gray = rng.uniform(0.0, 1.0, (15, 17))
+        approximation, details = haar_decompose_2d(gray, levels=2)
+        assert approximation.size > 0
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            haar_decompose_2d(rng.uniform(0, 1, (8, 8, 3)))
+        with pytest.raises(ValueError):
+            haar_decompose_2d(rng.uniform(0, 1, (8, 8)), levels=0)
+        with pytest.raises(ValueError):
+            haar_decompose_2d(rng.uniform(0, 1, (4, 4)), levels=5)
+
+
+class TestWaveletFeatures:
+    def test_dimension(self, rng):
+        image = Image(rng.integers(0, 256, (32, 32, 3), dtype=np.uint8))
+        descriptor = wavelet_features(image, levels=3)
+        assert descriptor.shape == (18,)
+        without_std = wavelet_features(image, levels=3, include_std=False)
+        assert without_std.shape == (9,)
+
+    def test_flat_image_is_zero(self):
+        image = Image(np.full((16, 16, 3), 0.5))
+        np.testing.assert_allclose(wavelet_features(image, levels=2), 0.0, atol=1e-9)
+
+    def test_textured_beats_flat(self, rng):
+        textured = Image(rng.uniform(0.0, 1.0, (16, 16, 3)))
+        flat = Image(np.full((16, 16, 3), 0.5))
+        assert wavelet_features(textured, levels=2).sum() > 0.1
+        assert wavelet_features(flat, levels=2).sum() == pytest.approx(0.0, abs=1e-9)
+
+    def test_directional_sensitivity(self):
+        stripes_h = np.zeros((16, 16, 3))
+        stripes_h[::2, :, :] = 1.0
+        stripes_v = np.transpose(stripes_h, (1, 0, 2))
+        features_h = wavelet_features(Image(stripes_h), levels=1, include_std=False)
+        features_v = wavelet_features(Image(stripes_v), levels=1, include_std=False)
+        # The two orientations swap the (horizontal, vertical) bands.
+        np.testing.assert_allclose(features_h[0], features_v[1], rtol=1e-9)
+        np.testing.assert_allclose(features_h[1], features_v[0], rtol=1e-9)

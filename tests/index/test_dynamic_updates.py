@@ -1,0 +1,122 @@
+"""Dynamic insert/delete on the tree index."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.distance import DisjunctiveQuery, QueryPoint
+from repro.index.hybridtree import HybridTree
+
+
+def euclidean_query(center: np.ndarray) -> DisjunctiveQuery:
+    return DisjunctiveQuery(
+        [QueryPoint(center=center, inverse=np.eye(center.shape[0]), weight=1.0)]
+    )
+
+
+def brute_knn(vectors: np.ndarray, alive: np.ndarray, center: np.ndarray, k: int):
+    live_indices = np.nonzero(alive)[0]
+    distances = np.sum((vectors[live_indices] - center) ** 2, axis=1)
+    order = np.argsort(distances, kind="stable")[:k]
+    return live_indices[order], distances[order]
+
+
+class TestInsert:
+    def test_inserted_vector_is_found(self, rng):
+        tree = HybridTree(rng.standard_normal((50, 3)), leaf_capacity=8)
+        new_vector = np.array([100.0, 100.0, 100.0])
+        index = tree.insert(new_vector)
+        assert index == 50
+        result = tree.knn(euclidean_query(new_vector), 1)
+        assert result.indices[0] == index
+        assert result.distances[0] == pytest.approx(0.0, abs=1e-12)
+
+    def test_many_inserts_match_brute_force(self, rng):
+        base = rng.standard_normal((40, 3))
+        tree = HybridTree(base, leaf_capacity=8)
+        for vector in rng.standard_normal((60, 3)) * 2.0:
+            tree.insert(vector)
+        assert tree.size == 100
+        center = rng.standard_normal(3)
+        tree_result = tree.knn(euclidean_query(center), 10)
+        brute_indices, brute_distances = brute_knn(
+            tree.vectors, tree._alive, center, 10
+        )
+        np.testing.assert_allclose(
+            np.sort(tree_result.distances), np.sort(brute_distances), atol=1e-9
+        )
+
+    def test_leaf_splits_keep_capacity(self, rng):
+        tree = HybridTree(rng.standard_normal((10, 2)), leaf_capacity=4)
+        for vector in rng.standard_normal((50, 2)):
+            tree.insert(vector)
+
+        def max_leaf(node):
+            if node.is_leaf:
+                return node.indices.shape[0]
+            return max(max_leaf(node.left), max_leaf(node.right))
+
+        # Duplicate-heavy leaves may exceed capacity (unsplittable), but
+        # random data must stay bounded.
+        assert max_leaf(tree.root) <= tree.leaf_capacity
+
+    def test_insert_validation(self, rng):
+        tree = HybridTree(rng.standard_normal((10, 3)), leaf_capacity=4)
+        with pytest.raises(ValueError):
+            tree.insert(np.zeros(4))
+        with pytest.raises(ValueError):
+            tree.insert(np.array([1.0, np.nan, 0.0]))
+
+
+class TestDelete:
+    def test_deleted_vector_not_returned(self, rng):
+        vectors = rng.standard_normal((30, 3))
+        tree = HybridTree(vectors, leaf_capacity=8)
+        target = euclidean_query(vectors[5])
+        assert tree.knn(target, 1).indices[0] == 5
+        assert tree.delete(5) is True
+        assert tree.knn(target, 1).indices[0] != 5
+        assert tree.size == 29
+
+    def test_double_delete_reports_false(self, rng):
+        tree = HybridTree(rng.standard_normal((10, 3)), leaf_capacity=4)
+        assert tree.delete(3) is True
+        assert tree.delete(3) is False
+
+    def test_delete_then_range_query(self, rng):
+        vectors = rng.standard_normal((40, 2))
+        tree = HybridTree(vectors, leaf_capacity=8)
+        tree.delete(0)
+        result = tree.range_query(euclidean_query(vectors[0]), radius=100.0)
+        assert 0 not in result.indices
+        assert result.indices.shape[0] == 39
+
+    def test_delete_everything(self, rng):
+        tree = HybridTree(rng.standard_normal((5, 2)), leaf_capacity=4)
+        for index in range(5):
+            tree.delete(index)
+        result = tree.knn(euclidean_query(np.zeros(2)), 3)
+        assert result.indices.shape == (0,)
+
+    def test_index_out_of_range(self, rng):
+        tree = HybridTree(rng.standard_normal((5, 2)), leaf_capacity=4)
+        with pytest.raises(IndexError):
+            tree.delete(99)
+
+
+class TestChurn:
+    def test_interleaved_inserts_and_deletes(self, rng):
+        tree = HybridTree(rng.standard_normal((20, 3)), leaf_capacity=8)
+        for step in range(40):
+            if step % 3 == 0 and tree.size > 5:
+                live = np.nonzero(tree._alive)[0]
+                tree.delete(int(live[rng.integers(live.shape[0])]))
+            else:
+                tree.insert(rng.standard_normal(3) * 3.0)
+        center = rng.standard_normal(3)
+        tree_result = tree.knn(euclidean_query(center), 8)
+        brute_indices, brute_distances = brute_knn(tree.vectors, tree._alive, center, 8)
+        np.testing.assert_allclose(
+            np.sort(tree_result.distances), np.sort(brute_distances), atol=1e-9
+        )

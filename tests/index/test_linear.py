@@ -1,0 +1,63 @@
+"""Linear scan k-NN: the correctness reference."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.distance import DisjunctiveQuery, QueryPoint
+from repro.index.linear import LinearScan, page_capacity_for
+
+
+def euclidean_query(center):
+    center = np.asarray(center, dtype=float)
+    return DisjunctiveQuery(
+        [QueryPoint(center=center, inverse=np.eye(center.shape[0]), weight=1.0)]
+    )
+
+
+class TestPageCapacity:
+    def test_paper_configuration(self):
+        # 4 KB nodes, 8-byte components: 3-d vectors -> 170 per page.
+        assert page_capacity_for(3, 4096) == 170
+        assert page_capacity_for(16, 4096) == 32
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            page_capacity_for(0)
+        with pytest.raises(ValueError):
+            page_capacity_for(1000, 4096)
+
+
+class TestLinearScan:
+    def test_exact_neighbours(self, rng):
+        vectors = rng.standard_normal((200, 4))
+        scan = LinearScan(vectors)
+        query = euclidean_query(vectors[7])
+        result = scan.knn(query, 5)
+        assert result.indices[0] == 7
+        # Distances sorted ascending.
+        assert np.all(np.diff(result.distances) >= 0)
+        # Brute-force check.
+        brute = np.argsort(np.sum((vectors - vectors[7]) ** 2, axis=1))[:5]
+        np.testing.assert_array_equal(np.sort(result.indices), np.sort(brute))
+
+    def test_k_larger_than_database(self, rng):
+        scan = LinearScan(rng.standard_normal((10, 3)))
+        result = scan.knn(euclidean_query(np.zeros(3)), 50)
+        assert result.indices.shape == (10,)
+
+    def test_cost_accounting(self, rng):
+        vectors = rng.standard_normal((341, 3))  # 171 per page at 4KB? 170 -> 3 pages
+        scan = LinearScan(vectors)
+        result = scan.knn(euclidean_query(np.zeros(3)), 1)
+        assert result.cost.node_accesses == scan.n_pages
+        assert result.cost.io_accesses == scan.n_pages
+        assert result.cost.distance_evaluations == 341
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            LinearScan(np.empty((0, 3)))
+        scan = LinearScan(rng.standard_normal((5, 3)))
+        with pytest.raises(ValueError):
+            scan.knn(euclidean_query(np.zeros(3)), 0)

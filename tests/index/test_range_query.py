@@ -1,0 +1,97 @@
+"""Range queries against the aggregate distance (tree and scan)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.distance import DisjunctiveQuery, QueryPoint
+from repro.index.hybridtree import HybridTree
+from repro.index.linear import LinearScan
+
+
+def query_of(centers, dim):
+    return DisjunctiveQuery(
+        [
+            QueryPoint(center=np.asarray(c, dtype=float), inverse=np.eye(dim), weight=1.0)
+            for c in centers
+        ]
+    )
+
+
+@pytest.fixture
+def vectors(rng):
+    return np.vstack(
+        [rng.normal(0.0, 1.0, (200, 3)), rng.normal(10.0, 1.0, (200, 3))]
+    )
+
+
+class TestLinearRange:
+    def test_matches_brute_force(self, vectors):
+        scan = LinearScan(vectors)
+        query = query_of([[0.0] * 3], 3)
+        result = scan.range_query(query, radius=4.0)
+        brute = np.nonzero(query.distances(vectors) <= 4.0)[0]
+        np.testing.assert_array_equal(np.sort(result.indices), np.sort(brute))
+        assert np.all(np.diff(result.distances) >= -1e-12)
+
+    def test_empty_result(self, vectors):
+        scan = LinearScan(vectors)
+        query = query_of([[100.0] * 3], 3)
+        result = scan.range_query(query, radius=1.0)
+        assert result.indices.shape == (0,)
+
+    def test_negative_radius_rejected(self, vectors):
+        with pytest.raises(ValueError):
+            LinearScan(vectors).range_query(query_of([[0.0] * 3], 3), -1.0)
+
+
+class TestTreeRange:
+    def test_matches_linear_scan(self, vectors, rng):
+        tree = HybridTree(vectors, leaf_capacity=16)
+        scan = LinearScan(vectors)
+        for _ in range(5):
+            centers = vectors[rng.choice(vectors.shape[0], 2, replace=False)]
+            query = query_of(centers, 3)
+            radius = float(rng.uniform(0.5, 10.0))
+            tree_result = tree.range_query(query, radius)
+            scan_result = scan.range_query(query, radius)
+            np.testing.assert_array_equal(
+                np.sort(tree_result.indices), np.sort(scan_result.indices)
+            )
+
+    def test_disjunctive_range_covers_both_blobs(self, vectors):
+        tree = HybridTree(vectors, leaf_capacity=16)
+        query = query_of([[0.0] * 3, [10.0] * 3], 3)
+        result = tree.range_query(query, radius=8.0)
+        assert np.any(result.indices < 200)
+        assert np.any(result.indices >= 200)
+
+    def test_pruning_skips_far_subtrees(self, vectors):
+        tree = HybridTree(vectors, leaf_capacity=16)
+        query = query_of([[0.0] * 3], 3)
+        result = tree.range_query(query, radius=2.0)
+        # The blob at 10 should be pruned: far fewer evaluations than N.
+        assert result.cost.distance_evaluations < vectors.shape[0]
+
+    def test_node_cache_accounting(self, vectors):
+        tree = HybridTree(vectors, leaf_capacity=16)
+        query = query_of([[0.0] * 3], 3)
+        cache: set = set()
+        first = tree.range_query(query, 3.0, node_cache=cache)
+        second = tree.range_query(query, 3.0, node_cache=cache)
+        assert first.cost.io_accesses > 0
+        assert second.cost.io_accesses == 0
+        assert second.cost.cached_accesses == second.cost.node_accesses
+
+    def test_dimension_mismatch_rejected(self, vectors):
+        tree = HybridTree(vectors, leaf_capacity=16)
+        with pytest.raises(ValueError):
+            tree.range_query(query_of([[0.0] * 4], 4), 1.0)
+
+    def test_zero_radius(self, vectors):
+        tree = HybridTree(vectors, leaf_capacity=16)
+        # A query point placed exactly on a database vector: distance 0.
+        query = query_of([vectors[5]], 3)
+        result = tree.range_query(query, radius=0.0)
+        assert 5 in result.indices

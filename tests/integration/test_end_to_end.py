@@ -1,0 +1,146 @@
+"""End-to-end integration: the paper's headline comparisons, in miniature.
+
+These tests run the complete pipeline — procedural image collection →
+HSV color-moment features → PCA → feedback sessions → metrics — and
+assert the *shape* of the paper's findings:
+
+* retrieval quality improves per iteration, with the biggest jump at
+  iteration 1 (Figures 8-9 observation),
+* Qcluster beats query expansion, which beats query-point movement
+  (Figures 10-13), and
+* the whole method is invariant to linear transformations of the
+  feature space when the full-inverse scheme is used (Theorem 1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import Falcon, QueryExpansion, QueryPointMovement
+from repro.core.config import QclusterConfig
+from repro.datasets import generate_collection
+from repro.features import color_pipeline
+from repro.retrieval import (
+    FeatureDatabase,
+    QclusterMethod,
+    compare_methods,
+    run_batch,
+    sample_query_indices,
+)
+
+
+@pytest.fixture(scope="module")
+def image_database():
+    """Color-moment features of a collection with complex categories."""
+    collection = generate_collection(
+        n_categories=8,
+        images_per_category=40,
+        image_size=16,
+        complex_fraction=0.5,
+        seed=11,
+    )
+    features = color_pipeline().fit(collection.images)
+    return FeatureDatabase(features, collection.labels)
+
+
+@pytest.fixture(scope="module")
+def comparison(image_database):
+    queries = sample_query_indices(image_database, 10, np.random.default_rng(3))
+    return compare_methods(
+        image_database,
+        {
+            "qcluster": QclusterMethod,
+            "qex": QueryExpansion,
+            "qpm": QueryPointMovement,
+            "falcon": Falcon,
+        },
+        queries,
+        k=40,
+        n_iterations=4,
+    )
+
+
+class TestHeadlineComparison:
+    def test_identical_initial_iteration(self, comparison):
+        recalls = {name: r.mean_recall[0] for name, r in comparison.items()}
+        assert len(set(np.round(list(recalls.values()), 9))) == 1
+
+    def test_qcluster_beats_qex_beats_qpm_in_recall(self, comparison):
+        final = {name: r.mean_recall[-1] for name, r in comparison.items()}
+        assert final["qcluster"] > final["qex"]
+        assert final["qex"] >= final["qpm"]
+
+    def test_qcluster_beats_qex_beats_qpm_in_precision(self, comparison):
+        final = {name: r.mean_precision[-1] for name, r in comparison.items()}
+        assert final["qcluster"] > final["qex"]
+        assert final["qex"] >= final["qpm"]
+
+    def test_improvement_margins(self, comparison):
+        """The paper reports ~+22% recall vs QEX and ~+34% vs QPM on its
+        30,000-image collection; on this miniature we assert the same
+        direction with a nontrivial margin."""
+        final = {name: r.mean_recall[-1] for name, r in comparison.items()}
+        assert final["qcluster"] / final["qex"] > 1.03
+        assert final["qcluster"] / final["qpm"] > 1.05
+
+    def test_quality_improves_over_iterations(self, comparison):
+        recalls = comparison["qcluster"].mean_recall
+        assert recalls[-1] > recalls[0]
+        # Biggest jump at the first feedback iteration (paper observation).
+        jumps = np.diff(recalls)
+        assert jumps[0] == max(jumps)
+
+    def test_falcon_also_handles_disjunctive_queries(self, comparison):
+        """FALCON's fuzzy-OR over all relevant points is quality-
+        competitive (its weakness is execution cost, Figure 7)."""
+        final = {name: r.mean_recall[-1] for name, r in comparison.items()}
+        assert final["falcon"] > final["qpm"]
+
+
+class TestSchemes:
+    def test_diagonal_and_inverse_schemes_similar_quality(self, image_database):
+        queries = [0, 45, 90, 200]
+        diagonal = run_batch(
+            image_database,
+            lambda: QclusterMethod(QclusterConfig(scheme="diagonal")),
+            queries,
+            k=40,
+            n_iterations=3,
+        )
+        inverse = run_batch(
+            image_database,
+            lambda: QclusterMethod(QclusterConfig(scheme="inverse")),
+            queries,
+            k=40,
+            n_iterations=3,
+        )
+        assert abs(diagonal.mean_recall[-1] - inverse.mean_recall[-1]) < 0.12
+
+
+class TestLinearInvariance:
+    def test_full_pipeline_invariance(self, image_database):
+        """Theorem 1 end-to-end: map the whole feature space through an
+        invertible linear transform; with the inverse scheme, per-query
+        recall trajectories must match."""
+        rng = np.random.default_rng(5)
+        dim = image_database.dimension
+        transform = rng.standard_normal((dim, dim)) + 3.0 * np.eye(dim)
+        mapped = FeatureDatabase(
+            image_database.vectors @ transform.T, image_database.labels
+        )
+        config = QclusterConfig(scheme="inverse", regularization=1e-10)
+        queries = [0, 60, 170]
+        original = run_batch(
+            image_database, lambda: QclusterMethod(config), queries, k=40, n_iterations=2
+        )
+        transformed = run_batch(
+            mapped, lambda: QclusterMethod(config), queries, k=40, n_iterations=2
+        )
+        # Iteration 0 uses a Euclidean query (not invariant by design), so
+        # compare feedback iterations only.
+        np.testing.assert_allclose(
+            original.per_query_recall[:, 1:],
+            transformed.per_query_recall[:, 1:],
+            atol=0.05,
+        )

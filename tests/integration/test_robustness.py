@@ -1,0 +1,93 @@
+"""Robustness integration tests: long sessions, odd inputs, stability."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import QclusterConfig
+from repro.core.qcluster import QclusterEngine
+from repro.retrieval import FeatureDatabase, FeedbackSession, QclusterMethod
+from repro.retrieval.user import SimulatedUser
+
+
+class TestLongSessions:
+    def test_twenty_iterations_stay_bounded(self, rng):
+        """Cluster count and mass stay sane over a long session."""
+        database = np.vstack(
+            [rng.normal(offset, 0.6, (80, 3)) for offset in (0.0, 6.0, -6.0)]
+        )
+        engine = QclusterEngine(QclusterConfig(max_clusters=5))
+        query = engine.start(database[0])
+        for _ in range(20):
+            ranking = np.argsort(query.distances(database))[:40]
+            relevant = database[[i for i in ranking if i < 80][:15]]
+            query = engine.feedback(relevant)
+            assert 1 <= engine.n_clusters <= 5
+            assert np.isfinite(engine.total_relevance_mass)
+        # Dedup means the mass is bounded by the target population.
+        assert engine.total_relevance_mass <= 80.0
+
+    def test_recall_never_collapses(self, color_database):
+        """Quality may plateau but must not fall off a cliff."""
+        session = FeedbackSession(color_database, QclusterMethod(), k=30)
+        result = session.run(0, n_iterations=10)
+        assert result.recalls[-1] >= result.recalls[0] - 0.1
+        assert result.recalls.min() >= result.recalls[0] - 0.15
+
+
+class TestDegenerateFeedback:
+    def test_single_relevant_point_per_round(self, rng):
+        engine = QclusterEngine()
+        query = engine.start(np.zeros(3))
+        for i in range(5):
+            query = engine.feedback(rng.standard_normal((1, 3)))
+        assert engine.n_clusters >= 1
+        assert np.all(np.isfinite(query.distances(rng.standard_normal((10, 3)))))
+
+    def test_alternating_modes_one_point_each(self, rng):
+        """Outlier singletons from alternating modes get consolidated."""
+        engine = QclusterEngine(QclusterConfig(max_clusters=3))
+        engine.start(np.zeros(2))
+        for i in range(12):
+            center = np.zeros(2) if i % 2 == 0 else np.full(2, 20.0)
+            engine.feedback(center[None, :] + rng.normal(0.0, 0.3, (1, 2)))
+        assert engine.n_clusters <= 3
+
+    def test_user_marks_nothing_relevant(self, color_database):
+        """A category oracle for a category absent from the top-k."""
+        user = SimulatedUser(color_database, target_category=-99)
+        session = FeedbackSession(color_database, QclusterMethod(), k=10)
+        result = session.run(0, n_iterations=3, user=user)
+        # No judgments -> query never refines -> flat zero quality; the
+        # session must complete without errors.
+        assert len(result.records) == 4
+        assert result.recalls.max() == 0.0
+
+    def test_tiny_database(self, rng):
+        database = FeatureDatabase(rng.standard_normal((4, 2)), [0, 0, 1, 1])
+        session = FeedbackSession(database, QclusterMethod(), k=10)
+        result = session.run(0, n_iterations=2)
+        assert len(result.records) == 3
+
+    def test_one_dimensional_features(self, rng):
+        vectors = np.concatenate(
+            [rng.normal(0.0, 0.3, 30), rng.normal(5.0, 0.3, 30)]
+        )[:, None]
+        database = FeatureDatabase(vectors, [0] * 30 + [1] * 30)
+        session = FeedbackSession(database, QclusterMethod(), k=20)
+        result = session.run(0, n_iterations=2)
+        assert result.recalls[-1] > 0.5
+
+
+class TestDeterminism:
+    def test_identical_runs_identical_results(self, color_database):
+        first = FeedbackSession(color_database, QclusterMethod(), k=25).run(
+            3, n_iterations=3
+        )
+        second = FeedbackSession(color_database, QclusterMethod(), k=25).run(
+            3, n_iterations=3
+        )
+        np.testing.assert_array_equal(first.recalls, second.recalls)
+        for a, b in zip(first.records, second.records):
+            np.testing.assert_array_equal(a.result_indices, b.result_indices)

@@ -1,0 +1,42 @@
+"""FeatureDatabase: labels, categories, related-category relation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.retrieval.database import FeatureDatabase
+
+
+@pytest.fixture
+def database(rng):
+    vectors = rng.standard_normal((30, 4))
+    labels = [i // 10 for i in range(30)]
+    return FeatureDatabase(vectors, labels, related={0: {1}, 1: {0}})
+
+
+class TestFeatureDatabase:
+    def test_basic_properties(self, database):
+        assert database.size == 30
+        assert len(database) == 30
+        assert database.dimension == 4
+        np.testing.assert_array_equal(database.categories, [0, 1, 2])
+
+    def test_category_lookup(self, database):
+        assert database.category_of(0) == 0
+        assert database.category_of(29) == 2
+        np.testing.assert_array_equal(database.members_of(1), np.arange(10, 20))
+        assert database.category_size(2) == 10
+
+    def test_related_relation(self, database):
+        assert database.related_to(0) == frozenset({1})
+        assert database.related_to(2) == frozenset()
+
+    def test_is_relevant_same_and_related(self, database):
+        assert database.is_relevant(5, 0)       # same category
+        assert database.is_relevant(15, 0)      # related category
+        assert not database.is_relevant(25, 0)  # unrelated
+
+    def test_label_length_validation(self, rng):
+        with pytest.raises(ValueError):
+            FeatureDatabase(rng.standard_normal((5, 2)), [0, 1])

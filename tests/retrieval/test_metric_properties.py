@@ -1,0 +1,90 @@
+"""Property-based tests of the retrieval metrics (hypothesis)."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as hst
+from hypothesis.extra.numpy import arrays
+
+from repro.retrieval.metrics import (
+    average_precision,
+    f1_score,
+    precision,
+    precision_recall_curve,
+    r_precision,
+    recall,
+)
+
+masks = arrays(np.bool_, hst.integers(min_value=1, max_value=60))
+totals = hst.integers(min_value=0, max_value=100)
+
+
+class TestMetricProperties:
+    @given(masks, totals)
+    @settings(max_examples=150, deadline=None)
+    def test_all_metrics_bounded(self, mask, total):
+        total = max(total, int(mask.sum()))  # consistent population claim
+        assert 0.0 <= precision(mask) <= 1.0
+        assert 0.0 <= recall(mask, total) <= 1.0
+        assert 0.0 <= f1_score(mask, total) <= 1.0 + 1e-12
+        assert 0.0 <= r_precision(mask, total) <= 1.0 + 1e-12
+        assert 0.0 <= average_precision(mask, total) <= 1.0 + 1e-12
+
+    @given(masks)
+    @settings(max_examples=50, deadline=None)
+    def test_inconsistent_population_rejected(self, mask):
+        n_hits = int(np.sum(mask))
+        if n_hits == 0:
+            return
+        import pytest
+
+        with pytest.raises(ValueError, match="total_relevant"):
+            recall(mask, n_hits - 1)
+
+    @given(masks, hst.integers(min_value=1, max_value=100))
+    @settings(max_examples=150, deadline=None)
+    def test_f1_between_min_and_max_of_p_and_r(self, mask, total):
+        total = max(total, int(mask.sum()))
+        p = precision(mask)
+        r = recall(mask, total)
+        f1 = f1_score(mask, total)
+        assert min(p, r) - 1e-12 <= f1 <= max(p, r) + 1e-12
+
+    @given(masks, hst.integers(min_value=1, max_value=100))
+    @settings(max_examples=150, deadline=None)
+    def test_curve_endpoints(self, mask, total):
+        total = max(total, int(mask.sum()))
+        curve = precision_recall_curve(mask, total)
+        assert curve.precisions[-1] == precision(mask)
+        assert curve.recalls[-1] == recall(mask, total)
+        assert np.all(np.diff(curve.recalls) >= -1e-12)
+
+    @given(masks)
+    @settings(max_examples=100, deadline=None)
+    def test_ap_is_one_for_perfect_prefix_ranking(self, mask):
+        """All relevant items ranked first -> AP = 1 (if any relevant)."""
+        n_relevant = int(mask.sum())
+        if n_relevant == 0:
+            return
+        perfect = np.zeros(mask.size, dtype=bool)
+        perfect[:n_relevant] = True
+        assert average_precision(perfect, n_relevant) == 1.0
+
+    @given(masks, hst.integers(min_value=1, max_value=100))
+    @settings(max_examples=100, deadline=None)
+    def test_moving_a_hit_earlier_never_lowers_ap(self, mask, total):
+        mask = np.array(mask)
+        total = max(total, int(mask.sum()))
+        hits = np.nonzero(mask)[0]
+        misses = np.nonzero(~mask)[0]
+        if hits.size == 0 or misses.size == 0:
+            return
+        last_hit = hits[-1]
+        earlier_misses = misses[misses < last_hit]
+        if earlier_misses.size == 0:
+            return
+        improved = mask.copy()
+        improved[last_hit] = False
+        improved[earlier_misses[0]] = True
+        assert average_precision(improved, total) >= average_precision(mask, total) - 1e-12

@@ -1,0 +1,125 @@
+"""Precision, recall and precision-recall curves."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.retrieval.metrics import (
+    PrecisionRecallCurve,
+    average_curves,
+    average_precision,
+    f1_score,
+    precision,
+    precision_recall_curve,
+    r_precision,
+    recall,
+)
+
+
+class TestScalars:
+    def test_precision(self):
+        assert precision([True, True, False, False]) == 0.5
+
+    def test_recall(self):
+        assert recall([True, True, False], total_relevant=10) == 0.2
+
+    def test_recall_zero_population(self):
+        assert recall([False], total_relevant=0) == 0.0
+
+    def test_precision_empty(self):
+        with pytest.raises(ValueError):
+            precision([])
+
+    def test_recall_negative_total(self):
+        with pytest.raises(ValueError):
+            recall([True], total_relevant=-1)
+
+
+class TestF1:
+    def test_perfect(self):
+        assert f1_score([True, True], total_relevant=2) == 1.0
+
+    def test_harmonic_mean(self):
+        # P = 0.5, R = 0.25 -> F1 = 1/3.
+        assert f1_score([True, False], total_relevant=4) == pytest.approx(1.0 / 3.0)
+
+    def test_zero_when_nothing_found(self):
+        assert f1_score([False, False], total_relevant=3) == 0.0
+
+
+class TestRPrecision:
+    def test_at_population_cutoff(self):
+        # R = 3: precision over the first 3 results only.
+        assert r_precision([True, False, True, True], total_relevant=3) == pytest.approx(
+            2.0 / 3.0
+        )
+
+    def test_short_result_list(self):
+        assert r_precision([True], total_relevant=4) == pytest.approx(0.25)
+
+    def test_zero_population(self):
+        assert r_precision([False], total_relevant=0) == 0.0
+
+    def test_inconsistent_population_rejected(self):
+        with pytest.raises(ValueError, match="total_relevant"):
+            r_precision([True], total_relevant=0)
+
+
+class TestAveragePrecision:
+    def test_perfect_ranking(self):
+        assert average_precision([True, True, False], total_relevant=2) == 1.0
+
+    def test_textbook_example(self):
+        # Relevant at ranks 1 and 3 of 2 total: (1/1 + 2/3) / 2 = 5/6.
+        assert average_precision([True, False, True], total_relevant=2) == pytest.approx(
+            5.0 / 6.0
+        )
+
+    def test_unretrieved_relevant_penalized(self):
+        # Only 1 of 4 relevant retrieved, at rank 1: AP = 1/4.
+        assert average_precision([True, False], total_relevant=4) == pytest.approx(0.25)
+
+    def test_late_hits_score_lower(self):
+        early = average_precision([True, False, False, False], total_relevant=1)
+        late = average_precision([False, False, False, True], total_relevant=1)
+        assert early > late
+
+
+class TestCurve:
+    def test_prefix_semantics(self):
+        curve = precision_recall_curve([True, False, True], total_relevant=4)
+        np.testing.assert_allclose(curve.precisions, [1.0, 0.5, 2.0 / 3.0])
+        np.testing.assert_allclose(curve.recalls, [0.25, 0.25, 0.5])
+
+    def test_recall_monotone(self, rng):
+        mask = rng.uniform(size=50) < 0.3
+        curve = precision_recall_curve(mask, total_relevant=30)
+        assert np.all(np.diff(curve.recalls) >= 0)
+
+    def test_average_precision_summary(self):
+        curve = precision_recall_curve([True, True], total_relevant=2)
+        assert curve.average_precision == 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            precision_recall_curve([], total_relevant=1)
+
+
+class TestAverageCurves:
+    def test_pointwise_mean(self):
+        a = PrecisionRecallCurve(np.array([1.0, 0.5]), np.array([0.1, 0.2]))
+        b = PrecisionRecallCurve(np.array([0.0, 0.5]), np.array([0.3, 0.4]))
+        mean = average_curves([a, b])
+        np.testing.assert_allclose(mean.precisions, [0.5, 0.5])
+        np.testing.assert_allclose(mean.recalls, [0.2, 0.3])
+
+    def test_mismatched_lengths(self):
+        a = PrecisionRecallCurve(np.ones(2), np.ones(2))
+        b = PrecisionRecallCurve(np.ones(3), np.ones(3))
+        with pytest.raises(ValueError):
+            average_curves([a, b])
+
+    def test_empty_list(self):
+        with pytest.raises(ValueError):
+            average_curves([])

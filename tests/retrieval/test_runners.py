@@ -1,0 +1,70 @@
+"""Batch evaluation runners (averaged-over-queries protocol)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.qpm import QueryPointMovement
+from repro.retrieval.methods import QclusterMethod
+from repro.retrieval.runners import compare_methods, run_batch, sample_query_indices
+
+
+class TestSampleQueries:
+    def test_unique_and_in_range(self, color_database, rng):
+        indices = sample_query_indices(color_database, 10, rng)
+        assert len(set(indices.tolist())) == 10
+        assert indices.min() >= 0
+        assert indices.max() < color_database.size
+
+    def test_clamped_to_database_size(self, color_database, rng):
+        indices = sample_query_indices(color_database, 10_000, rng)
+        assert indices.shape[0] == color_database.size
+
+    def test_validation(self, color_database, rng):
+        with pytest.raises(ValueError):
+            sample_query_indices(color_database, 0, rng)
+
+
+class TestRunBatch:
+    def test_shapes(self, color_database):
+        result = run_batch(
+            color_database, QclusterMethod, [0, 25, 50], k=20, n_iterations=2
+        )
+        assert result.mean_precision.shape == (3,)
+        assert result.mean_recall.shape == (3,)
+        assert result.per_query_precision.shape == (3, 3)
+        assert len(result.curves) == 3
+        assert result.curves[0].precisions.shape == (20,)
+
+    def test_mean_is_average_of_per_query(self, color_database):
+        result = run_batch(color_database, QclusterMethod, [0, 40], k=20, n_iterations=1)
+        np.testing.assert_allclose(
+            result.mean_recall, result.per_query_recall.mean(axis=0)
+        )
+
+    def test_empty_queries_rejected(self, color_database):
+        with pytest.raises(ValueError):
+            run_batch(color_database, QclusterMethod, [], k=10)
+
+
+class TestCompareMethods:
+    def test_paired_initial_iteration(self, color_database):
+        """All methods share iteration 0 (the paper's protocol)."""
+        results = compare_methods(
+            color_database,
+            {"qcluster": QclusterMethod, "qpm": QueryPointMovement},
+            [0, 30, 60],
+            k=20,
+            n_iterations=2,
+        )
+        np.testing.assert_allclose(
+            results["qcluster"].mean_recall[0], results["qpm"].mean_recall[0]
+        )
+        np.testing.assert_allclose(
+            results["qcluster"].mean_precision[0], results["qpm"].mean_precision[0]
+        )
+
+    def test_empty_method_map_rejected(self, color_database):
+        with pytest.raises(ValueError):
+            compare_methods(color_database, {}, [0])

@@ -1,0 +1,62 @@
+"""SimulatedUser: the category-oracle feedback protocol."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.retrieval.database import FeatureDatabase
+from repro.retrieval.user import SimulatedUser
+
+
+@pytest.fixture
+def database(rng):
+    vectors = rng.standard_normal((30, 3))
+    labels = [i // 10 for i in range(30)]
+    return FeatureDatabase(vectors, labels, related={0: {1}})
+
+
+class TestJudge:
+    def test_marks_same_category(self, database):
+        user = SimulatedUser(database, target_category=0)
+        judgment = user.judge([0, 5, 25, 9])
+        np.testing.assert_array_equal(judgment.relevant_indices, [0, 5, 9])
+        np.testing.assert_array_equal(judgment.scores, [1.0, 1.0, 1.0])
+        assert judgment.count == 3
+
+    def test_related_category_reduced_score(self, database):
+        user = SimulatedUser(
+            database, 0, same_category_score=2.0, related_category_score=0.5
+        )
+        judgment = user.judge([0, 12, 25])
+        np.testing.assert_array_equal(judgment.relevant_indices, [0, 12])
+        np.testing.assert_array_equal(judgment.scores, [2.0, 0.5])
+
+    def test_max_marked_cap(self, database):
+        user = SimulatedUser(database, 0, max_marked=2)
+        judgment = user.judge(list(range(10)))
+        assert judgment.count == 2
+
+    def test_empty_result_list(self, database):
+        judgment = SimulatedUser(database, 0).judge([])
+        assert judgment.count == 0
+
+    def test_validation(self, database):
+        with pytest.raises(ValueError):
+            SimulatedUser(database, 0, same_category_score=0.0)
+        with pytest.raises(ValueError):
+            SimulatedUser(database, 0, max_marked=0)
+
+
+class TestRelevanceMask:
+    def test_mask_and_total(self, database):
+        user = SimulatedUser(database, 0)
+        mask, total = user.relevance_mask([0, 15, 25])
+        np.testing.assert_array_equal(mask, [True, True, False])
+        # 10 in category 0 + 10 in related category 1.
+        assert total == 20
+
+    def test_total_without_related(self, database):
+        user = SimulatedUser(database, 2)
+        _, total = user.relevance_mask([0])
+        assert total == 10

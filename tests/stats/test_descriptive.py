@@ -1,0 +1,136 @@
+"""Weighted moment estimators (paper Definitions 1-2 and Equation 7)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as hst
+from hypothesis.extra.numpy import arrays
+
+from repro.stats.descriptive import (
+    as_weights,
+    pooled_covariance,
+    pooled_scatter,
+    weighted_covariance,
+    weighted_mean,
+    weighted_scatter,
+)
+
+
+class TestAsWeights:
+    def test_default_is_ones(self):
+        np.testing.assert_array_equal(as_weights(None, 4), np.ones(4))
+
+    def test_rejects_wrong_length(self):
+        with pytest.raises(ValueError):
+            as_weights([1.0, 2.0], 3)
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            as_weights([1.0, 0.0], 2)
+
+    def test_rejects_non_finite(self):
+        with pytest.raises(ValueError):
+            as_weights([1.0, np.inf], 2)
+
+
+class TestWeightedMean:
+    def test_unweighted_equals_numpy(self, rng):
+        points = rng.standard_normal((20, 5))
+        np.testing.assert_allclose(weighted_mean(points), points.mean(axis=0))
+
+    def test_weights_shift_toward_heavy_points(self):
+        points = np.array([[0.0], [10.0]])
+        mean = weighted_mean(points, [1.0, 9.0])
+        assert mean[0] == pytest.approx(9.0)
+
+    def test_equation_2_definition(self, rng):
+        points = rng.standard_normal((7, 3))
+        scores = rng.uniform(0.5, 3.0, 7)
+        expected = (scores[:, None] * points).sum(axis=0) / scores.sum()
+        np.testing.assert_allclose(weighted_mean(points, scores), expected)
+
+
+class TestWeightedScatterAndCovariance:
+    def test_equation_3_definition(self, rng):
+        points = rng.standard_normal((9, 4))
+        scores = rng.uniform(0.5, 2.0, 9)
+        center = weighted_mean(points, scores)
+        expected = sum(
+            s * np.outer(x - center, x - center) for s, x in zip(scores, points)
+        )
+        np.testing.assert_allclose(weighted_scatter(points, scores), expected)
+
+    def test_covariance_is_normalized_scatter(self, rng):
+        points = rng.standard_normal((9, 4))
+        scores = rng.uniform(0.5, 2.0, 9)
+        np.testing.assert_allclose(
+            weighted_covariance(points, scores),
+            weighted_scatter(points, scores) / scores.sum(),
+        )
+
+    def test_unweighted_matches_numpy_population_covariance(self, rng):
+        points = rng.standard_normal((50, 3))
+        np.testing.assert_allclose(
+            weighted_covariance(points),
+            np.cov(points, rowvar=False, bias=True),
+            atol=1e-12,
+        )
+
+    @given(
+        arrays(
+            np.float64,
+            (6, 3),
+            elements=hst.floats(min_value=-100, max_value=100, allow_nan=False),
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_scatter_is_positive_semidefinite(self, points):
+        scatter = weighted_scatter(points)
+        eigenvalues = np.linalg.eigvalsh(scatter)
+        assert eigenvalues.min() >= -1e-6 * max(1.0, abs(eigenvalues).max())
+
+    def test_explicit_center_is_respected(self, rng):
+        points = rng.standard_normal((5, 2))
+        shifted = weighted_scatter(points, center=np.array([100.0, 100.0]))
+        default = weighted_scatter(points)
+        assert np.trace(shifted) > np.trace(default)
+
+
+class TestPooled:
+    def test_pooled_scatter_sums_groups(self, rng):
+        group_a = rng.standard_normal((10, 3))
+        group_b = rng.standard_normal((8, 3))
+        scatter, total = pooled_scatter([(group_a, None), (group_b, None)])
+        expected = weighted_scatter(group_a) + weighted_scatter(group_b)
+        np.testing.assert_allclose(scatter, expected)
+        assert total == pytest.approx(18.0)
+
+    def test_pooled_scatter_rejects_dimension_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            pooled_scatter(
+                [(rng.standard_normal((4, 3)), None), (rng.standard_normal((4, 2)), None)]
+            )
+
+    def test_pooled_covariance_equation_7(self):
+        s1 = np.eye(2) * 2.0
+        s2 = np.eye(2) * 4.0
+        # S_pooled = [(m1-1) S1 + (m2-1) S2] / (m1 + m2 - g)
+        pooled = pooled_covariance([s1, s2], [5.0, 3.0])
+        expected = (4.0 * s1 + 2.0 * s2) / 6.0
+        np.testing.assert_allclose(pooled, expected)
+
+    def test_pooled_covariance_degenerate_weights(self):
+        # With total weight <= g the sample form is undefined; the
+        # weight-proportional average keeps the classifier alive.
+        pooled = pooled_covariance([np.eye(2)], [1.0])
+        np.testing.assert_allclose(pooled, np.eye(2))
+
+    def test_pooled_covariance_validation(self):
+        with pytest.raises(ValueError):
+            pooled_covariance([np.eye(2)], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            pooled_covariance([], [])
+        with pytest.raises(ValueError):
+            pooled_covariance([np.eye(2)], [0.0])

@@ -1,0 +1,105 @@
+"""Hotelling's two-sample T^2 (paper Equations 14-16)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.stats as st
+
+from repro.stats.hotelling import critical_distance, hotelling_t2, two_sample_test
+
+
+class TestStatistic:
+    def test_zero_for_equal_means(self):
+        mean = np.array([1.0, 2.0, 3.0])
+        assert hotelling_t2(mean, mean, np.eye(3), 10.0, 10.0) == 0.0
+
+    def test_equation_14_by_hand(self):
+        mean_i = np.array([1.0, 0.0])
+        mean_j = np.array([0.0, 0.0])
+        inverse = np.diag([2.0, 1.0])
+        # scale = 4*6/10 = 2.4; diff' S^-1 diff = 2.0  ->  T^2 = 4.8
+        assert hotelling_t2(mean_i, mean_j, inverse, 4.0, 6.0) == pytest.approx(4.8)
+
+    def test_scales_with_weights(self):
+        mean_i = np.array([1.0, 0.0])
+        mean_j = np.zeros(2)
+        small = hotelling_t2(mean_i, mean_j, np.eye(2), 2.0, 2.0)
+        large = hotelling_t2(mean_i, mean_j, np.eye(2), 20.0, 20.0)
+        assert large == pytest.approx(10.0 * small)
+
+    def test_rejects_non_positive_weights(self):
+        with pytest.raises(ValueError):
+            hotelling_t2(np.zeros(2), np.ones(2), np.eye(2), 0.0, 1.0)
+
+    def test_invariance_under_linear_transform(self, rng):
+        """Theorem 1: T^2(Ax) == T^2(x) for invertible A (full inverse)."""
+        p = 4
+        points_i = rng.standard_normal((15, p))
+        points_j = rng.standard_normal((15, p)) + 0.5
+        transform = rng.standard_normal((p, p)) + np.eye(p) * 2.0
+
+        def t2_of(points_a, points_b):
+            mean_a, mean_b = points_a.mean(axis=0), points_b.mean(axis=0)
+            centered_a = points_a - mean_a
+            centered_b = points_b - mean_b
+            pooled = (centered_a.T @ centered_a + centered_b.T @ centered_b) / 30.0
+            return hotelling_t2(mean_a, mean_b, np.linalg.inv(pooled), 15.0, 15.0)
+
+        original = t2_of(points_i, points_j)
+        transformed = t2_of(points_i @ transform.T, points_j @ transform.T)
+        assert transformed == pytest.approx(original, rel=1e-8)
+
+
+class TestCriticalDistance:
+    def test_equation_16_form(self):
+        p, m_i, m_j, alpha = 3, 15.0, 15.0, 0.05
+        df2 = m_i + m_j - p - 1
+        expected = (m_i + m_j - 2) * p / df2 * st.f.ppf(1 - alpha, p, df2)
+        assert critical_distance(p, m_i, m_j, alpha) == pytest.approx(expected, rel=1e-9)
+
+    def test_decreasing_alpha_grows_distance(self):
+        # "As alpha decreases, critical distance c^2 increases."
+        values = [critical_distance(3, 10, 10, a) for a in (0.2, 0.1, 0.05, 0.01)]
+        assert values == sorted(values)
+
+    def test_infinite_when_no_power(self):
+        # m_i + m_j - p - 1 <= 0 -> always merge.
+        assert critical_distance(5, 2.0, 2.0, 0.05) == np.inf
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            critical_distance(0, 10, 10, 0.05)
+        with pytest.raises(ValueError):
+            critical_distance(3, 10, 10, 1.5)
+
+
+class TestTwoSampleTest:
+    def test_same_population_usually_accepts(self, rng):
+        rejections = 0
+        trials = 200
+        for _ in range(trials):
+            a = rng.standard_normal((20, 3))
+            b = rng.standard_normal((20, 3))
+            pooled = ((a - a.mean(0)).T @ (a - a.mean(0)) + (b - b.mean(0)).T @ (b - b.mean(0))) / 40.0
+            result = two_sample_test(
+                a.mean(0), b.mean(0), np.linalg.inv(pooled), 20.0, 20.0, 0.05
+            )
+            rejections += result.reject_equal_means
+        # Rejection rate should be near the 5% significance level.
+        assert rejections / trials < 0.15
+
+    def test_distant_populations_reject(self, rng):
+        a = rng.standard_normal((20, 3))
+        b = rng.standard_normal((20, 3)) + 5.0
+        pooled = ((a - a.mean(0)).T @ (a - a.mean(0)) + (b - b.mean(0)).T @ (b - b.mean(0))) / 40.0
+        result = two_sample_test(a.mean(0), b.mean(0), np.linalg.inv(pooled), 20.0, 20.0)
+        assert result.reject_equal_means
+        assert not result.should_merge
+
+    def test_result_fields(self):
+        result = two_sample_test(np.zeros(2), np.zeros(2), np.eye(2), 10.0, 12.0, 0.05)
+        assert result.statistic == 0.0
+        assert result.df1 == 2.0
+        assert result.df2 == 19.0
+        assert result.should_merge

@@ -1,0 +1,49 @@
+"""Multivariate normal log-density helpers vs scipy."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy.stats import multivariate_normal
+
+from repro.stats.normal import log_mvn_density, mahalanobis_sq, mvn_density
+
+
+class TestMahalanobis:
+    def test_identity_is_squared_euclidean(self):
+        x = np.array([3.0, 4.0])
+        assert mahalanobis_sq(x, np.zeros(2), np.eye(2)) == pytest.approx(25.0)
+
+    def test_diagonal_weights(self):
+        x = np.array([1.0, 1.0])
+        inverse = np.diag([4.0, 0.25])
+        assert mahalanobis_sq(x, np.zeros(2), inverse) == pytest.approx(4.25)
+
+
+class TestDensity:
+    def test_matches_scipy(self, rng):
+        mean = rng.standard_normal(3)
+        raw = rng.standard_normal((10, 3))
+        covariance = raw.T @ raw / 10.0 + np.eye(3) * 0.1
+        x = rng.standard_normal(3)
+        expected = multivariate_normal(mean=mean, cov=covariance).logpdf(x)
+        computed = log_mvn_density(x, mean, np.linalg.inv(covariance))
+        assert computed == pytest.approx(expected, rel=1e-9)
+
+    def test_explicit_log_det(self):
+        covariance = np.diag([2.0, 3.0])
+        x = np.array([1.0, -1.0])
+        with_log_det = log_mvn_density(
+            x, np.zeros(2), np.linalg.inv(covariance), float(np.log(6.0))
+        )
+        without = log_mvn_density(x, np.zeros(2), np.linalg.inv(covariance))
+        assert with_log_det == pytest.approx(without)
+
+    def test_density_exponentiates(self):
+        x = np.zeros(2)
+        assert mvn_density(x, x, np.eye(2)) == pytest.approx(1.0 / (2.0 * np.pi))
+
+    def test_rejects_non_positive_definite(self):
+        # Odd dimension so the negative-definite matrix has negative det.
+        with pytest.raises(np.linalg.LinAlgError):
+            log_mvn_density(np.zeros(3), np.zeros(3), -np.eye(3))

@@ -1,0 +1,115 @@
+"""CLI entry points."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_demo_defaults(self):
+        args = build_parser().parse_args(["demo"])
+        assert args.k == 100
+        assert args.iterations == 5
+
+    def test_compare_method_list(self):
+        args = build_parser().parse_args(["compare", "--methods", "qcluster,falcon"])
+        assert args.methods == "qcluster,falcon"
+
+
+class TestCommands:
+    def test_disjunctive_smoke(self, capsys):
+        exit_code = main(["disjunctive", "--points", "2000", "--seed", "1"])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "agreement with the two-ball ground truth" in output
+
+    def test_demo_smoke(self, capsys):
+        exit_code = main(
+            [
+                "demo",
+                "--categories", "4",
+                "--images-per-category", "20",
+                "--iterations", "2",
+                "--k", "20",
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "iteration" in output
+        assert output.count("\n") >= 4  # header + 3 iterations
+
+    def test_compare_smoke(self, capsys):
+        exit_code = main(
+            [
+                "compare",
+                "--categories", "4",
+                "--images-per-category", "20",
+                "--iterations", "1",
+                "--k", "20",
+                "--queries", "2",
+                "--methods", "qcluster,qpm",
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "qcluster" in output
+        assert "qpm" in output
+
+    def test_compare_unknown_method(self, capsys):
+        exit_code = main(
+            ["compare", "--methods", "banana", "--categories", "2",
+             "--images-per-category", "5"]
+        )
+        assert exit_code == 2
+        assert "unknown methods" in capsys.readouterr().err
+
+
+class TestFigureCommand:
+    def test_fig5(self, capsys):
+        exit_code = main(["figure", "fig5"])
+        assert exit_code == 0
+        assert "Figure 5" in capsys.readouterr().out
+
+    def test_unknown_id(self, capsys):
+        exit_code = main(["figure", "fig99"])
+        assert exit_code == 2
+        assert "unknown figure id" in capsys.readouterr().err
+
+    def test_csv_export(self, capsys, tmp_path):
+        exit_code = main(["figure", "fig5", "--csv", str(tmp_path)])
+        assert exit_code == 0
+        assert (tmp_path / "fig5.csv").exists()
+
+    def test_table2_produces_both_schemes(self, capsys):
+        exit_code = main(["figure", "table2"])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "inverse" in output
+        assert "diagonal" in output
+
+
+class TestExportCollection:
+    def test_round_trip_through_disk(self, capsys, tmp_path):
+        exit_code = main(
+            [
+                "export-collection", str(tmp_path / "corel"),
+                "--categories", "3",
+                "--images-per-category", "4",
+                "--image-size", "10",
+            ]
+        )
+        assert exit_code == 0
+        assert "wrote 12 images" in capsys.readouterr().out
+
+        from repro.datasets import load_directory_collection
+
+        images, labels, names = load_directory_collection(tmp_path / "corel")
+        assert len(images) == 12
+        assert names == ["category_000", "category_001", "category_002"]
+        assert images[0].shape == (10, 10)

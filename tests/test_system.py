@@ -1,0 +1,124 @@
+"""ImageRetrievalSystem: the full Figure 2 loop behind one facade."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import QueryPointMovement
+from repro.datasets import generate_collection, render_mode_image
+from repro.datasets.synthetic_images import ModeSpec
+from repro.system import ImageRetrievalSystem
+
+
+@pytest.fixture(scope="module")
+def collection():
+    return generate_collection(
+        n_categories=5, images_per_category=20, image_size=14,
+        complex_fraction=0.4, seed=3,
+    )
+
+
+@pytest.fixture(scope="module")
+def system(collection):
+    return ImageRetrievalSystem(collection.images, feature="color", k=15)
+
+
+class TestConstruction:
+    def test_vectors_extracted(self, system, collection):
+        assert system.size == len(collection)
+        assert system.vectors.shape == (len(collection), 3)
+
+    def test_validation(self, collection):
+        with pytest.raises(ValueError):
+            ImageRetrievalSystem([], feature="color")
+        with pytest.raises(ValueError):
+            ImageRetrievalSystem(collection.images, feature="banana")
+        with pytest.raises(ValueError):
+            ImageRetrievalSystem(collection.images, k=0)
+
+    def test_texture_feature(self, collection):
+        system = ImageRetrievalSystem(collection.images[:30], feature="texture", k=5)
+        assert system.vectors.shape[1] == 4
+
+
+class TestQueryLoop:
+    def test_query_by_id_returns_page(self, system):
+        page = system.query_by_id(0)
+        assert len(page) == 15
+        assert page.iteration == 0
+        assert page.ids[0] == 0  # the query image is its own best match
+        assert np.all(np.diff(page.distances) >= -1e-12)
+
+    def test_query_by_image_unseen_example(self, system, collection):
+        # Render a fresh image of an existing category's mode.
+        spec = collection.categories[1]
+        example = render_mode_image(spec.modes[0], 14, np.random.default_rng(9))
+        page = system.query_by_image(example)
+        assert len(page) == 15
+        # Most of the first page should come from the right category.
+        labels = collection.labels[page.ids]
+        assert np.sum(labels == 1) > 5
+
+    def test_feedback_improves_category_purity(self, system, collection):
+        page = system.query_by_id(0)
+        target = collection.labels[0]
+
+        def purity(result_page):
+            return float(np.mean(collection.labels[result_page.ids] == target))
+
+        initial_purity = purity(page)
+        for _ in range(3):
+            relevant = [i for i in page.ids if collection.labels[i] == target]
+            page = system.give_feedback(relevant)
+        assert page.iteration == 3
+        assert purity(page) >= initial_purity - 0.05
+
+    def test_feedback_requires_session(self, collection):
+        system = ImageRetrievalSystem(collection.images[:20], k=5)
+        with pytest.raises(RuntimeError):
+            system.give_feedback([1, 2])
+        with pytest.raises(RuntimeError):
+            system.iteration
+
+    def test_feedback_id_validation(self, system):
+        system.query_by_id(0)
+        with pytest.raises(IndexError):
+            system.give_feedback([10_000])
+
+    def test_empty_feedback_keeps_page_valid(self, system):
+        system.query_by_id(0)
+        page = system.give_feedback([])
+        assert len(page) == 15
+        assert page.iteration == 1
+
+    def test_end_session(self, system):
+        system.query_by_id(0)
+        system.end_session()
+        with pytest.raises(RuntimeError):
+            system.give_feedback([0])
+
+    def test_query_by_id_out_of_range(self, system):
+        with pytest.raises(IndexError):
+            system.query_by_id(10_000)
+
+
+class TestInterchangeableMethods:
+    def test_baseline_method_plugs_in(self, collection):
+        system = ImageRetrievalSystem(
+            collection.images, method_factory=QueryPointMovement, k=10,
+        )
+        page = system.query_by_id(0)
+        page = system.give_feedback(list(page.ids[:5]))
+        assert len(page) == 10
+
+
+class TestIndexVsScan:
+    def test_identical_rankings(self, collection):
+        indexed = ImageRetrievalSystem(collection.images, k=12, use_index=True)
+        scanned = ImageRetrievalSystem(collection.images, k=12, use_index=False)
+        page_indexed = indexed.query_by_id(3)
+        page_scanned = scanned.query_by_id(3)
+        np.testing.assert_allclose(
+            np.sort(page_indexed.distances), np.sort(page_scanned.distances), atol=1e-9
+        )
