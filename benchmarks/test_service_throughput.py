@@ -1,0 +1,136 @@
+"""Service-layer throughput: sessions/sec, cache hit rate, degradation.
+
+Unlike the other benchmarks in this directory, this one measures no
+paper figure — it exercises the scale subsystem (`repro.service`): many
+concurrent simulated users driving independent feedback sessions
+through one `RetrievalService`, with the result cache absorbing
+repeated page fetches and the degradation machinery accounted for.
+
+Reported per run (printed, and asserted qualitatively):
+
+* sessions/sec over the concurrent workload,
+* cache hit rate — a warm repeated-page workload must show a non-zero
+  rate,
+* degradation count — zero on the healthy path, non-zero when a
+  too-tight soft deadline forces the exact-scan fallback.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.retrieval import SimulatedUser
+from repro.service import RetrievalService
+
+N_USERS = 12
+N_ITERATIONS = 3
+PAGE_FETCHES_PER_ITERATION = 3  # repeated fetches → cache hits
+
+
+@pytest.fixture(scope="module")
+def service_database(color_database):
+    return color_database
+
+
+def drive_user(service, database, query_id: int, n_iterations: int) -> None:
+    session = service.create_session(query_id)
+    user = SimulatedUser(database, database.category_of(query_id))
+    page = service.query(session)
+    for _ in range(n_iterations):
+        for _ in range(PAGE_FETCHES_PER_ITERATION):
+            page = service.query(session)  # warm repeated-page workload
+        judgment = user.judge(page.ids)
+        page = service.feedback(session, judgment.relevant_indices, judgment.scores)
+    service.close(session)
+
+
+def run_workload(service, database, query_ids, n_iterations=N_ITERATIONS) -> float:
+    threads = [
+        threading.Thread(
+            target=drive_user, args=(service, database, int(query_id), n_iterations)
+        )
+        for query_id in query_ids
+    ]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return time.perf_counter() - start
+
+
+class TestServiceThroughput:
+    def test_concurrent_workload_reports_headline_numbers(self, service_database):
+        rng = np.random.default_rng(11)
+        query_ids = rng.integers(0, service_database.size, size=N_USERS)
+        service = RetrievalService(service_database, k=50, capacity=64)
+        elapsed = run_workload(service, service_database, query_ids)
+        snapshot = service.metrics_snapshot()
+        service.shutdown()
+
+        sessions_per_sec = N_USERS / elapsed
+        print(
+            f"\nservice throughput: {sessions_per_sec:.2f} sessions/sec "
+            f"({N_USERS} users x {N_ITERATIONS} iterations in {elapsed:.2f}s)"
+        )
+        print(f"cache hit rate:     {snapshot['cache_hit_rate']:.3f}")
+        print(f"degradations:       {snapshot['degradations']}")
+        print(
+            "query p50/p95 ms:   "
+            f"{snapshot['latency']['query']['p50'] * 1e3:.2f} / "
+            f"{snapshot['latency']['query']['p95'] * 1e3:.2f}"
+        )
+
+        counters = snapshot["counters"]
+        assert sessions_per_sec > 0
+        assert counters["sessions_created"] == N_USERS
+        assert counters["sessions_closed"] == N_USERS
+        assert counters["feedbacks"] == N_USERS * N_ITERATIONS
+        # The warm repeated-page workload must actually hit the cache.
+        assert counters["cache_hits"] > 0
+        assert snapshot["cache_hit_rate"] > 0.0
+        # Healthy path: the index never degraded.
+        assert snapshot["degradations"] == 0
+
+    def test_tight_deadline_degrades_but_serves_identically(self, service_database):
+        """An impossible soft deadline downgrades to the exact scan."""
+        rng = np.random.default_rng(13)
+        query_ids = rng.integers(0, service_database.size, size=4)
+        degraded = RetrievalService(
+            service_database, k=50, soft_deadline_s=1e-12, cache_size=0
+        )
+        healthy = RetrievalService(service_database, k=50, cache_size=0)
+        for query_id in query_ids:
+            session_a = degraded.create_session(int(query_id))
+            session_b = healthy.create_session(int(query_id))
+            page_a = degraded.query(session_a)
+            page_b = healthy.query(session_b)
+            np.testing.assert_array_equal(page_a.ids, page_b.ids)
+        snapshot = degraded.metrics_snapshot()
+        degraded.shutdown()
+        healthy.shutdown()
+        print(f"\ndeadline degradations: {snapshot['degradations']}")
+        assert snapshot["degradations"] > 0
+        assert snapshot["counters"]["degraded_deadline"] > 0
+
+    def test_cache_speedup_on_repeated_pages(self, service_database):
+        """Repeated fetches of the same page are at least as fast warm."""
+        service = RetrievalService(service_database, k=100)
+        session = service.create_session(0)
+        start = time.perf_counter()
+        service.query(session)
+        cold = time.perf_counter() - start
+        start = time.perf_counter()
+        for _ in range(10):
+            service.query(session)
+        warm_average = (time.perf_counter() - start) / 10
+        service.shutdown()
+        print(f"\ncold page fetch: {cold * 1e3:.2f} ms, warm: {warm_average * 1e3:.3f} ms")
+        assert service.cache.hits >= 10
+        # Cached fetches skip ranking entirely; allow generous slack for
+        # timer noise at these microsecond scales.
+        assert warm_average <= cold * 2

@@ -1,0 +1,127 @@
+"""The retrieval service: many concurrent users, one collection.
+
+Demonstrates the `repro.service` subsystem end to end:
+
+1. build a procedural collection and serve it through one
+   `RetrievalService`,
+2. drive eight concurrent simulated users, each running the paper's
+   feedback loop in its own session (repeated page fetches exercise the
+   result cache),
+3. evict a session to its disk checkpoint and resume it losslessly,
+4. degrade gracefully when the index misses an (artificially
+   impossible) soft deadline,
+5. print the operational metrics snapshot.
+
+Run:  PYTHONPATH=src python examples/service_demo.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+import threading
+import time
+
+import numpy as np
+
+from repro.datasets import generate_collection
+from repro.features import color_pipeline
+from repro.retrieval import FeatureDatabase, SimulatedUser
+from repro.service import RetrievalService
+
+
+def build_database() -> FeatureDatabase:
+    collection = generate_collection(
+        n_categories=8, images_per_category=40, image_size=16, seed=42
+    )
+    features = color_pipeline().fit(collection.images)
+    return FeatureDatabase(features, collection.labels)
+
+
+def drive_user(service, database, query_id: int, rounds: int = 3) -> None:
+    session = service.create_session(query_id)
+    user = SimulatedUser(database, database.category_of(query_id))
+    page = service.query(session)
+    for _ in range(rounds):
+        page = service.query(session)  # a page refresh — served from cache
+        judgment = user.judge(page.ids)
+        page = service.feedback(session, judgment.relevant_indices, judgment.scores)
+    service.close(session)
+
+
+def concurrent_users(database: FeatureDatabase) -> None:
+    print("== eight concurrent users ==")
+    service = RetrievalService(database, k=40, capacity=64)
+    query_ids = np.random.default_rng(0).integers(0, database.size, size=8)
+    threads = [
+        threading.Thread(target=drive_user, args=(service, database, int(query_id)))
+        for query_id in query_ids
+    ]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - start
+    snapshot = service.metrics_snapshot()
+    service.shutdown()
+    print(f"  {len(threads) / elapsed:.1f} sessions/sec")
+    print(f"  cache hit rate: {snapshot['cache_hit_rate']:.2f}")
+    print(f"  query p95: {snapshot['latency']['query']['p95'] * 1e3:.2f} ms")
+
+
+def evict_and_resume(database: FeatureDatabase) -> None:
+    print("== eviction checkpoint and lossless resume ==")
+    with tempfile.TemporaryDirectory() as checkpoint_dir:
+        service = RetrievalService(
+            database, k=40, capacity=1, checkpoint_dir=checkpoint_dir
+        )
+        user = SimulatedUser(database, database.category_of(0))
+        session = service.create_session(0, session_id="alice")
+        page = service.query(session)
+        judgment = user.judge(page.ids)
+        before = service.feedback(session, judgment.relevant_indices, judgment.scores)
+
+        service.create_session(1, session_id="bob")  # alice is evicted to disk
+        service.query("bob")
+        print(f"  archived sessions: {service.store.archived_ids}")
+
+        resumed = service.query("alice")  # transparently restored
+        identical = np.array_equal(before.ids, resumed.ids)
+        print(f"  resumed ranking identical: {identical}")
+        print(
+            f"  restored: {service.metrics.counter('sessions_restored')}, "
+            f"evicted: {service.metrics.counter('sessions_evicted')}"
+        )
+        service.shutdown()
+
+
+def graceful_degradation(database: FeatureDatabase) -> None:
+    print("== graceful degradation on a missed deadline ==")
+    service = RetrievalService(database, k=40, soft_deadline_s=1e-12, cache_size=0)
+    reference = RetrievalService(database, k=40, use_index=False, cache_size=0)
+    session = service.create_session(5)
+    ref_session = reference.create_session(5)
+    page = service.query(session)  # index path: misses the deadline
+    fallback = service.query(session)  # now served by the exact scan
+    expected = reference.query(ref_session)
+    print(f"  degradations recorded: {service.metrics_snapshot()['degradations']}")
+    print(
+        "  fallback ranking exact: "
+        f"{np.array_equal(fallback.ids, expected.ids) and np.array_equal(page.ids, expected.ids)}"
+    )
+    service.shutdown()
+    reference.shutdown()
+
+
+def main() -> None:
+    database = build_database()
+    print(f"serving {database.size} images, {database.dimension}-d features\n")
+    concurrent_users(database)
+    print()
+    evict_and_resume(database)
+    print()
+    graceful_degradation(database)
+
+
+if __name__ == "__main__":
+    main()

@@ -18,6 +18,9 @@ union of the subpackages:
 * :mod:`repro.retrieval` — databases, simulated users, feedback
   sessions, metrics and batch runners.
 * :mod:`repro.baselines` — QPM, QEX, FALCON and MindReader.
+* :mod:`repro.service` — the concurrent multi-session retrieval
+  service: session store with TTL/LRU eviction and checkpoints, result
+  caching, graceful degradation and operational metrics.
 
 Quickstart::
 
@@ -38,7 +41,16 @@ from .core import (
     QclusterConfig,
     QclusterEngine,
 )
-from .retrieval import FeatureDatabase, FeedbackSession, QclusterMethod, SimulatedUser
+from .index import HybridTree, MultipointSearcher
+from .retrieval import (
+    FeatureDatabase,
+    FeedbackMethod,
+    FeedbackSession,
+    QclusterMethod,
+    SimulatedUser,
+)
+from .retrieval.methods import QueryLike
+from .service import RetrievalService, ServiceMetrics, SessionStore
 from .system import ImageRetrievalSystem, ResultPage
 
 __version__ = "1.0.0"
@@ -50,10 +62,17 @@ __all__ = [
     "DisjunctiveQuery",
     "QclusterConfig",
     "QclusterEngine",
+    "HybridTree",
+    "MultipointSearcher",
     "FeatureDatabase",
+    "FeedbackMethod",
     "FeedbackSession",
     "QclusterMethod",
+    "QueryLike",
     "SimulatedUser",
+    "RetrievalService",
+    "ServiceMetrics",
+    "SessionStore",
     "ImageRetrievalSystem",
     "ResultPage",
     "__version__",

@@ -1,11 +1,14 @@
 """Command-line interface for the Qcluster reproduction.
 
-Four subcommands:
+Subcommands:
 
 * ``demo`` — a self-contained feedback session on a freshly generated
   collection, printing per-iteration quality (the quickstart, as a CLI).
 * ``compare`` — Qcluster vs the baselines over a query batch.
 * ``disjunctive`` — the Example 3 / Figure 5 scatter demonstration.
+* ``service`` — drive N concurrent simulated users through the
+  :class:`~repro.service.RetrievalService` and print throughput plus
+  the operational metrics snapshot.
 * ``figure`` — regenerate any of the paper's tables/figures by id
   (``fig5`` ... ``fig19``, ``table2``, ``table3``, ``headline``),
   optionally exporting CSV.
@@ -118,6 +121,84 @@ def cmd_disjunctive(args) -> int:
     print(f"points within 1.0 of either center: {n_target}")
     print(f"retrieved by the Equation-5 aggregate: {len(retrieved)}")
     print(f"agreement with the two-ball ground truth: {overlap / n_target:.1%}")
+    return 0
+
+
+def cmd_service(args) -> int:
+    """N concurrent simulated users against one RetrievalService."""
+    import threading
+    import time
+
+    from .retrieval import SimulatedUser
+    from .service import RetrievalService
+
+    if args.users < 1:
+        print(f"--users must be at least 1, got {args.users}", file=sys.stderr)
+        return 2
+    database = _build_database(args)
+    service = RetrievalService(
+        database,
+        k=args.k,
+        capacity=args.capacity,
+        cache_size=args.cache_size,
+        soft_deadline_s=args.deadline,
+        max_workers=args.workers,
+    )
+    rng = np.random.default_rng(args.seed)
+    query_ids = rng.integers(0, database.size, size=args.users)
+    errors: List[BaseException] = []
+
+    def drive(query_id: int) -> None:
+        try:
+            session_id = service.create_session(query_id)
+            user = SimulatedUser(database, database.category_of(query_id))
+            page = service.query(session_id)
+            for _ in range(args.iterations):
+                page = service.query(session_id)  # repeated page fetch: cached
+                judgment = user.judge(page.ids)
+                page = service.feedback(
+                    session_id, judgment.relevant_indices, judgment.scores
+                )
+            service.close(session_id)
+        except BaseException as error:  # surfaced after join
+            errors.append(error)
+
+    start = time.perf_counter()
+    if args.users > 1:
+        threads = [
+            threading.Thread(target=drive, args=(int(query_id),))
+            for query_id in query_ids
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+    else:
+        drive(int(query_ids[0]))
+    elapsed = time.perf_counter() - start
+    snapshot = service.metrics_snapshot()
+    service.shutdown()
+    if errors:
+        print(f"{len(errors)} session(s) failed: {errors[0]!r}", file=sys.stderr)
+        return 1
+
+    print(
+        f"served {args.users} sessions x {args.iterations} feedback rounds "
+        f"in {elapsed:.2f}s ({args.users / elapsed:.2f} sessions/sec)"
+    )
+    print()
+    print(f"{'counter':<28} value")
+    for name, value in sorted(snapshot["counters"].items()):
+        print(f"{name:<28} {value}")
+    print(f"{'cache_hit_rate':<28} {snapshot['cache_hit_rate']:.3f}")
+    print(f"{'degradations':<28} {snapshot['degradations']}")
+    print()
+    print(f"{'stage':<16} {'count':>6} {'p50_ms':>8} {'p95_ms':>8} {'max_ms':>8}")
+    for stage, summary in sorted(snapshot["latency"].items()):
+        print(
+            f"{stage:<16} {summary['count']:>6} {summary['p50'] * 1e3:>8.2f} "
+            f"{summary['p95'] * 1e3:>8.2f} {summary['max'] * 1e3:>8.2f}"
+        )
     return 0
 
 
@@ -253,6 +334,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     compare.add_argument("--queries", type=int, default=10)
     compare.set_defaults(func=cmd_compare)
+
+    service = subparsers.add_parser(
+        "service", help="concurrent multi-session service demo with metrics"
+    )
+    add_collection_arguments(service)
+    service.add_argument("--users", type=int, default=8, help="concurrent sessions")
+    service.add_argument("--capacity", type=int, default=256, help="max live sessions")
+    service.add_argument("--cache-size", type=int, default=128, help="result-cache pages")
+    service.add_argument(
+        "--deadline", type=float, default=None, help="per-query soft deadline (s)"
+    )
+    service.add_argument(
+        "--workers", type=int, default=None, help="ranking thread-pool size"
+    )
+    service.set_defaults(func=cmd_service)
 
     disjunctive = subparsers.add_parser(
         "disjunctive", help="the Example 3 / Figure 5 demo"

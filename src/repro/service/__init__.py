@@ -1,0 +1,43 @@
+"""Service layer: concurrent multi-session retrieval at scale.
+
+Everything below this package exists to make the faithful core
+*deployable*: many users, each running the paper's stateful feedback
+loop, against one shared collection — without unbounded memory, without
+losing feedback state, and without a slow index taking the whole
+service down.
+
+* :mod:`~repro.service.engine` — :class:`RetrievalService`, the
+  ``create_session / query / feedback / close`` facade with sharded
+  parallel ranking.
+* :mod:`~repro.service.sessions` — thread-safe :class:`SessionStore`
+  with TTL + LRU eviction and persistence-backed checkpoints.
+* :mod:`~repro.service.cache` — content-addressed LRU
+  :class:`ResultCache` over ranked pages.
+* :mod:`~repro.service.degrade` — :class:`DegradationPolicy` /
+  :class:`SessionGuard`, falling back to the exact scan on index
+  failure or soft-deadline misses.
+* :mod:`~repro.service.metrics` — :class:`ServiceMetrics` counters and
+  latency percentiles behind a plain-dict snapshot.
+
+See ``docs/SERVICE.md`` for the architecture and policies.
+"""
+
+from .cache import ResultCache, fingerprint_query
+from .degrade import DegradationPolicy, SessionGuard
+from .engine import RetrievalService
+from .metrics import LatencyStage, ServiceMetrics, percentile
+from .sessions import ManagedSession, SessionNotFound, SessionStore
+
+__all__ = [
+    "RetrievalService",
+    "SessionStore",
+    "ManagedSession",
+    "SessionNotFound",
+    "ResultCache",
+    "fingerprint_query",
+    "DegradationPolicy",
+    "SessionGuard",
+    "ServiceMetrics",
+    "LatencyStage",
+    "percentile",
+]

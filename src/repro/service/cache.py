@@ -1,0 +1,136 @@
+"""LRU result-page cache keyed by a fingerprint of the query state.
+
+Within one feedback iteration a user (or a paging UI) fetches the same
+ranked list repeatedly — page 1, page 2, a refresh — while the
+disjunctive query does not change.  The ranking is a pure function of
+the query's cluster statistics (means, ``S_i^{-1}``, relevance masses)
+and ``k`` over a fixed database, so those repeated fetches can be
+served from memory.
+
+:func:`fingerprint_query` hashes exactly that state, which makes the
+cache *content-addressed*: a feedback round changes the cluster
+statistics, the fingerprint moves, and stale entries simply age out of
+the LRU.  Entries are additionally tagged with the owning session id so
+:meth:`ResultCache.invalidate` can drop a session's pages eagerly on
+feedback or close.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+import threading
+from collections import OrderedDict
+from typing import Dict, Hashable, Optional, Set, Tuple
+
+import numpy as np
+
+__all__ = ["fingerprint_query", "ResultCache"]
+
+
+def fingerprint_query(query, k: int) -> str:
+    """Digest of a disjunctive query's ranking-relevant state plus ``k``.
+
+    Two queries with byte-identical cluster means, inverse covariance
+    matrices and relevance masses (in order) and the same ``k`` produce
+    the same fingerprint; any change to any of those produces a
+    different one.
+    """
+    digest = hashlib.blake2b(digest_size=16)
+    digest.update(struct.pack("<q", int(k)))
+    for point in query.points:
+        digest.update(np.ascontiguousarray(point.center, dtype=float).tobytes())
+        digest.update(np.ascontiguousarray(point.inverse, dtype=float).tobytes())
+        digest.update(struct.pack("<d", float(point.weight)))
+    return digest.hexdigest()
+
+
+class ResultCache:
+    """Thread-safe LRU cache of ranked result pages.
+
+    Args:
+        capacity: maximum number of cached pages; the least recently
+            used entry is discarded on overflow.  ``0`` disables caching
+            (every :meth:`get` misses).
+    """
+
+    def __init__(self, capacity: int = 128) -> None:
+        if capacity < 0:
+            raise ValueError(f"capacity must be non-negative, got {capacity}")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._pages: "OrderedDict[str, Tuple[np.ndarray, np.ndarray]]" = OrderedDict()
+        self._owner_keys: Dict[Hashable, Set[str]] = {}
+        self._key_owner: Dict[str, Hashable] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._pages)
+
+    @property
+    def hit_rate(self) -> float:
+        """``hits / (hits + misses)`` since construction (0 when cold)."""
+        with self._lock:
+            total = self.hits + self.misses
+            return self.hits / total if total else 0.0
+
+    def get(self, key: str) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+        """``(ids, distances)`` for ``key``, or ``None`` on a miss."""
+        with self._lock:
+            entry = self._pages.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._pages.move_to_end(key)
+            self.hits += 1
+            return entry
+
+    def put(
+        self,
+        key: str,
+        ids: np.ndarray,
+        distances: np.ndarray,
+        owner: Optional[Hashable] = None,
+    ) -> None:
+        """Insert a page, tagging it with ``owner`` for invalidation."""
+        if self.capacity == 0:
+            return
+        with self._lock:
+            if key in self._pages:
+                self._pages.move_to_end(key)
+                self._pages[key] = (ids, distances)
+                return
+            self._pages[key] = (ids, distances)
+            if owner is not None:
+                self._owner_keys.setdefault(owner, set()).add(key)
+                self._key_owner[key] = owner
+            while len(self._pages) > self.capacity:
+                evicted, _ = self._pages.popitem(last=False)
+                self._untag(evicted)
+
+    def invalidate(self, owner: Hashable) -> int:
+        """Drop every page tagged with ``owner``; returns how many."""
+        with self._lock:
+            keys = self._owner_keys.pop(owner, set())
+            for key in keys:
+                self._pages.pop(key, None)
+                self._key_owner.pop(key, None)
+            return len(keys)
+
+    def clear(self) -> None:
+        """Drop every cached page (hit/miss counters are kept)."""
+        with self._lock:
+            self._pages.clear()
+            self._owner_keys.clear()
+            self._key_owner.clear()
+
+    def _untag(self, key: str) -> None:
+        owner = self._key_owner.pop(key, None)
+        if owner is not None:
+            remaining = self._owner_keys.get(owner)
+            if remaining is not None:
+                remaining.discard(key)
+                if not remaining:
+                    del self._owner_keys[owner]

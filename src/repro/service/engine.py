@@ -1,0 +1,348 @@
+"""`RetrievalService` — the concurrent multi-session facade.
+
+One service object fronts one indexed collection and serves many
+relevance-feedback sessions at once:
+
+* ``create_session`` / ``query`` / ``feedback`` / ``close`` mirror the
+  paper's Figure 2 interaction, per session id;
+* per-session access is serialized by the session's own lock while
+  distinct sessions run fully in parallel (the store-level lock is held
+  only for map lookups);
+* ranking executes across database shards on a shared
+  :class:`~concurrent.futures.ThreadPoolExecutor` — the quadratic-form
+  hot path is NumPy ``matmul``/``einsum`` which releases the GIL, so
+  shards genuinely overlap;
+* repeated page fetches within an iteration are served by the
+  content-addressed :class:`~repro.service.cache.ResultCache`;
+* index failures and soft-deadline misses degrade gracefully to the
+  exact sharded scan (see :mod:`repro.service.degrade`);
+* everything is observable through :meth:`metrics_snapshot`.
+
+Results are bit-identical whether a session is served serially or
+interleaved with others, through the index or the fallback scan, live
+or restored from an eviction checkpoint — concurrency and degradation
+change cost, never rankings.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import uuid
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+from typing import Callable, List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..index.hybridtree import HybridTree
+from ..index.linear import page_capacity_for
+from ..index.multipoint import MultipointSearcher
+from ..retrieval.database import FeatureDatabase
+from ..retrieval.methods import FeedbackMethod, QclusterMethod, QueryLike
+from ..system import ResultPage
+from .cache import ResultCache, fingerprint_query
+from .degrade import DegradationPolicy, SessionGuard
+from .metrics import ServiceMetrics
+from .sessions import ManagedSession, SessionNotFound, SessionStore
+
+__all__ = ["RetrievalService"]
+
+#: Below this many rows per shard, thread fan-out costs more than the
+#: NumPy kernel it parallelizes.
+_MIN_SHARD_ROWS = 1024
+
+
+class RetrievalService:
+    """Serve many concurrent feedback sessions over one collection.
+
+    Args:
+        database: a :class:`FeatureDatabase` or a raw ``(n, p)`` feature
+            matrix.
+        method_factory: feedback strategy per session (default
+            Qcluster; only Qcluster-backed sessions are checkpointable).
+        k: default result-page size.
+        use_index: serve queries through the :class:`HybridTree` with
+            per-session node caches; ``False`` always uses the exact
+            sharded scan.
+        n_shards: shards for the parallel scan path; default sizes
+            shards to at least ``_MIN_SHARD_ROWS`` rows and at most the
+            worker count.
+        max_workers: threads in the shared ranking pool (default: CPU
+            count, capped at 8).
+        capacity: maximum in-memory sessions (LRU-evicted beyond).
+        ttl_seconds: idle session lifetime before eviction.
+        checkpoint_dir: where eviction checkpoints live; enables
+            sessions to survive process restarts.
+        cache_size: result-cache capacity in pages (0 disables).
+        soft_deadline_s: per-query latency budget for the index path.
+        deadline_trip: consecutive deadline misses before a session is
+            pinned to the fallback scan.
+        metrics: share an external :class:`ServiceMetrics` if desired.
+    """
+
+    def __init__(
+        self,
+        database: Union[FeatureDatabase, np.ndarray],
+        *,
+        method_factory: Callable[[], FeedbackMethod] = QclusterMethod,
+        k: int = 20,
+        use_index: bool = True,
+        n_shards: Optional[int] = None,
+        max_workers: Optional[int] = None,
+        capacity: int = 256,
+        ttl_seconds: Optional[float] = None,
+        checkpoint_dir: Optional[Union[str, Path]] = None,
+        cache_size: int = 128,
+        soft_deadline_s: Optional[float] = None,
+        deadline_trip: int = 1,
+        metrics: Optional[ServiceMetrics] = None,
+    ) -> None:
+        if isinstance(database, FeatureDatabase):
+            vectors = database.vectors
+        else:
+            vectors = np.atleast_2d(np.asarray(database, dtype=float))
+        if vectors.shape[0] == 0:
+            raise ValueError("cannot serve an empty database")
+        if k < 1:
+            raise ValueError(f"k must be at least 1, got {k}")
+        self.vectors = vectors
+        self.k = min(k, vectors.shape[0])
+        self.metrics = metrics if metrics is not None else ServiceMetrics()
+        self.policy = DegradationPolicy(
+            soft_deadline_s=soft_deadline_s, trip_after=deadline_trip
+        )
+        self.store = SessionStore(
+            capacity=capacity,
+            ttl_seconds=ttl_seconds,
+            checkpoint_dir=checkpoint_dir,
+            method_factory=method_factory,
+            metrics=self.metrics,
+        )
+        self.cache = ResultCache(cache_size)
+        self._method_factory = method_factory
+        self._tree = HybridTree(vectors) if use_index else None
+        if max_workers is None:
+            max_workers = min(8, os.cpu_count() or 1)
+        if n_shards is None:
+            n_shards = max(1, min(max_workers, vectors.shape[0] // _MIN_SHARD_ROWS))
+        if n_shards < 1:
+            raise ValueError(f"n_shards must be at least 1, got {n_shards}")
+        bounds = np.linspace(0, vectors.shape[0], n_shards + 1, dtype=int)
+        self._shards: List[np.ndarray] = [
+            vectors[bounds[i] : bounds[i + 1]] for i in range(n_shards)
+        ]
+        self._executor = (
+            ThreadPoolExecutor(
+                max_workers=min(max_workers, n_shards),
+                thread_name_prefix="repro-rank",
+            )
+            if n_shards > 1
+            else None
+        )
+        self._clock = time.monotonic
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        """Number of served database objects."""
+        return self.vectors.shape[0]
+
+    @property
+    def n_shards(self) -> int:
+        """Shards the parallel scan path fans out over."""
+        return len(self._shards)
+
+    def __enter__(self) -> "RetrievalService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    def shutdown(self) -> None:
+        """Release the ranking thread pool (sessions stay restorable)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+
+    # ------------------------------------------------------------------
+    # The service API
+    # ------------------------------------------------------------------
+
+    def create_session(
+        self,
+        query: Union[int, Sequence[float], np.ndarray],
+        *,
+        session_id: Optional[str] = None,
+    ) -> str:
+        """Open a feedback session; returns its id.
+
+        Args:
+            query: a database row index (query-by-id) or an explicit
+                feature vector (query-by-example).
+            session_id: caller-chosen id; defaults to a fresh UUID hex.
+        """
+        with self.metrics.time("create"):
+            if isinstance(query, (int, np.integer)):
+                if not 0 <= int(query) < self.size:
+                    raise IndexError(f"query id {query} out of range")
+                point = self.vectors[int(query)]
+            else:
+                point = np.asarray(query, dtype=float)
+                if point.ndim != 1 or point.shape[0] != self.vectors.shape[1]:
+                    raise ValueError(
+                        f"query vector must have shape ({self.vectors.shape[1]},), "
+                        f"got {point.shape}"
+                    )
+            if session_id is None:
+                session_id = uuid.uuid4().hex
+            elif session_id in self.store:
+                raise ValueError(f"session id {session_id!r} already exists")
+            method = self._method_factory()
+            session = ManagedSession(
+                session_id=session_id,
+                method=method,
+                query=method.start(point),
+                guard=SessionGuard(self.policy),
+            )
+            self.store.put(session)
+            self.metrics.increment("sessions_created")
+        return session_id
+
+    def query(self, session_id: str, k: Optional[int] = None) -> ResultPage:
+        """Current ranked result page for a session (cached)."""
+        k = self._clamp_k(k)
+        with self.store.lease(session_id) as session:
+            with self.metrics.time("query"):
+                page = self._rank(session, k)
+        self.metrics.increment("queries")
+        return page
+
+    def feedback(
+        self,
+        session_id: str,
+        relevant_ids: Sequence[int],
+        scores: Optional[Sequence[float]] = None,
+        k: Optional[int] = None,
+    ) -> ResultPage:
+        """Absorb one round of judgments; returns the refreshed page.
+
+        Args:
+            relevant_ids: database ids the user marked relevant.
+            scores: optional per-id relevance scores.
+            k: page size for the refreshed ranking.
+        """
+        k = self._clamp_k(k)
+        ids = [int(i) for i in relevant_ids]
+        for image_id in ids:
+            if not 0 <= image_id < self.size:
+                raise IndexError(f"image id {image_id} out of range")
+        with self.store.lease(session_id) as session:
+            with self.metrics.time("feedback"):
+                if ids:
+                    session.query = session.method.feedback(self.vectors[ids], scores)
+                session.iteration += 1
+                if session.guard is not None:
+                    session.guard.reset_for_new_query()
+                self.cache.invalidate(session_id)
+            with self.metrics.time("query"):
+                page = self._rank(session, k)
+        self.metrics.increment("feedbacks")
+        return page
+
+    def close(self, session_id: str) -> None:
+        """End a session, dropping its state, checkpoint and cache."""
+        if not self.store.remove(session_id):
+            raise SessionNotFound(session_id)
+        self.cache.invalidate(session_id)
+        self.metrics.increment("sessions_closed")
+
+    def metrics_snapshot(self) -> dict:
+        """Operational snapshot: counters, latencies, cache, store."""
+        snapshot = self.metrics.snapshot()
+        snapshot["store"] = {
+            "live_sessions": len(self.store),
+            "archived_sessions": len(self.store.archived_ids),
+            "capacity": self.store.capacity,
+        }
+        snapshot["cache"] = {
+            "pages": len(self.cache),
+            "capacity": self.cache.capacity,
+            "hit_rate": self.cache.hit_rate,
+        }
+        return snapshot
+
+    # ------------------------------------------------------------------
+    # Ranking internals
+    # ------------------------------------------------------------------
+
+    def _clamp_k(self, k: Optional[int]) -> int:
+        if k is None:
+            return self.k
+        if k < 1:
+            raise ValueError(f"k must be at least 1, got {k}")
+        return min(k, self.size)
+
+    def _rank(self, session: ManagedSession, k: int) -> ResultPage:
+        key = fingerprint_query(session.query, k)
+        cached = self.cache.get(key)
+        if cached is not None:
+            self.metrics.increment("cache_hits")
+            ids, distances = cached
+        else:
+            self.metrics.increment("cache_misses")
+            ids, distances = self._compute_rank(session, k)
+            self.cache.put(key, ids, distances, owner=session.session_id)
+        return ResultPage(ids=ids, distances=distances, iteration=session.iteration)
+
+    def _compute_rank(self, session: ManagedSession, k: int):
+        guard = session.guard
+        if self._tree is not None and (guard is None or not guard.active):
+            if session.searcher is None:
+                session.searcher = MultipointSearcher(self._tree)
+            start = self._clock()
+            try:
+                result = session.searcher.search(session.query, k)
+            except Exception:
+                self.metrics.increment("degraded_error")
+                if guard is not None:
+                    guard.record_error()
+            else:
+                elapsed = self._clock() - start
+                self.metrics.observe("index_search", elapsed)
+                self.metrics.increment(
+                    "index_node_accesses", result.cost.node_accesses
+                )
+                self.metrics.increment("index_io_accesses", result.cost.io_accesses)
+                if guard is not None and guard.record_elapsed(elapsed):
+                    self.metrics.increment("degraded_deadline")
+                return result.indices, result.distances
+        with self.metrics.time("fallback_scan"):
+            self.metrics.increment("fallback_scans")
+            self.metrics.increment(
+                "fallback_node_accesses",
+                -(-self.size // page_capacity_for(self.vectors.shape[1])),
+            )
+            return self._sharded_scan(session.query, k)
+
+    def _sharded_scan(self, query: QueryLike, k: int):
+        """Exact top-``k`` by scanning all shards, in parallel when possible.
+
+        Each row's aggregate distance depends on that row alone, so the
+        shard-wise concatenation equals the single-matrix scan exactly
+        and the ranking is deterministic regardless of thread timing
+        (futures are gathered in shard order).
+        """
+        if self._executor is None:
+            distances = query.distances(self.vectors)
+        else:
+            futures = [
+                self._executor.submit(query.distances, shard)
+                for shard in self._shards
+            ]
+            distances = np.concatenate([future.result() for future in futures])
+        top = np.argpartition(distances, k - 1)[:k]
+        ids = top[np.argsort(distances[top], kind="stable")]
+        return ids, distances[ids]

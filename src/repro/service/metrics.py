@@ -1,0 +1,144 @@
+"""Operational metrics for the retrieval service.
+
+A production retrieval deployment is judged by counters (sessions
+created/evicted, cache hits, degradations) and latency distributions
+(per-stage p50/p95), not by precision/recall alone.  This module keeps
+both behind one thread-safe object with a plain-dict :meth:`snapshot`
+so the CLI, benchmarks and external scrapers need no special client.
+
+Everything is in-process and allocation-light: counters are plain
+integers under a lock, and each latency stage keeps a bounded ring
+buffer of recent observations (old samples age out, so percentiles
+track current behaviour rather than cold-start transients).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+from typing import Deque, Dict, Iterator, Sequence
+
+__all__ = ["percentile", "LatencyStage", "ServiceMetrics"]
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of ``values`` (``q`` in [0, 100]).
+
+    The nearest-rank method never interpolates, so the reported value is
+    always an observed latency — the convention operators expect from a
+    monitoring system.
+    """
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"q must lie in [0, 100], got {q}")
+    ordered = sorted(values)
+    if not ordered:
+        raise ValueError("percentile of an empty sequence is undefined")
+    rank = max(1, -(-int(len(ordered) * q) // 100))  # ceil(n*q/100), 1-based
+    return float(ordered[rank - 1])
+
+
+class LatencyStage:
+    """Bounded reservoir of latency observations for one pipeline stage.
+
+    Args:
+        reservoir_size: how many recent observations feed the
+            percentiles; the count and sum cover *all* observations.
+    """
+
+    def __init__(self, reservoir_size: int = 4096) -> None:
+        if reservoir_size < 1:
+            raise ValueError(f"reservoir_size must be at least 1, got {reservoir_size}")
+        self.count = 0
+        self.total = 0.0
+        self.max = 0.0
+        self._recent: Deque[float] = deque(maxlen=reservoir_size)
+
+    def observe(self, seconds: float) -> None:
+        """Record one observation (in seconds)."""
+        if seconds < 0:
+            raise ValueError(f"latency must be non-negative, got {seconds}")
+        self.count += 1
+        self.total += seconds
+        if seconds > self.max:
+            self.max = seconds
+        self._recent.append(seconds)
+
+    def summary(self) -> Dict[str, float]:
+        """``{count, mean, p50, p95, max}`` over the stage so far."""
+        recent = list(self._recent)
+        return {
+            "count": self.count,
+            "mean": self.total / self.count if self.count else 0.0,
+            "p50": percentile(recent, 50.0) if recent else 0.0,
+            "p95": percentile(recent, 95.0) if recent else 0.0,
+            "max": self.max,
+        }
+
+
+class ServiceMetrics:
+    """Thread-safe counters plus per-stage latency histograms.
+
+    All mutating methods may be called concurrently from request
+    threads; :meth:`snapshot` returns an isolated plain dict safe to
+    serialize or print.
+    """
+
+    def __init__(self, reservoir_size: int = 4096, clock=time.monotonic) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, int] = {}
+        self._stages: Dict[str, LatencyStage] = {}
+        self._reservoir_size = reservoir_size
+        self._clock = clock
+
+    def increment(self, counter: str, amount: int = 1) -> None:
+        """Add ``amount`` to a named counter (created on first use)."""
+        with self._lock:
+            self._counters[counter] = self._counters.get(counter, 0) + amount
+
+    def counter(self, name: str) -> int:
+        """Current value of a counter (0 if never incremented)."""
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def observe(self, stage: str, seconds: float) -> None:
+        """Record one latency observation for ``stage``."""
+        with self._lock:
+            if stage not in self._stages:
+                self._stages[stage] = LatencyStage(self._reservoir_size)
+            self._stages[stage].observe(seconds)
+
+    @contextmanager
+    def time(self, stage: str) -> Iterator[None]:
+        """Context manager timing its body into ``stage``."""
+        start = self._clock()
+        try:
+            yield
+        finally:
+            self.observe(stage, self._clock() - start)
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """``hits / (hits + misses)`` over the result cache (0 when cold)."""
+        with self._lock:
+            hits = self._counters.get("cache_hits", 0)
+            misses = self._counters.get("cache_misses", 0)
+        total = hits + misses
+        return hits / total if total else 0.0
+
+    def snapshot(self) -> dict:
+        """Plain-dict view: counters, latency summaries, derived rates."""
+        with self._lock:
+            counters = dict(self._counters)
+            latency = {name: stage.summary() for name, stage in self._stages.items()}
+        hits = counters.get("cache_hits", 0)
+        misses = counters.get("cache_misses", 0)
+        total = hits + misses
+        return {
+            "counters": counters,
+            "latency": latency,
+            "cache_hit_rate": hits / total if total else 0.0,
+            "degradations": counters.get("degraded_error", 0)
+            + counters.get("degraded_deadline", 0),
+        }

@@ -1,0 +1,316 @@
+"""Thread-safe session store with TTL/LRU eviction and checkpoints.
+
+Relevance feedback is stateful by construction: the whole point of the
+paper's loop is per-user cluster state carried across rounds.  A
+service therefore needs a place where many concurrent
+:class:`~repro.core.qcluster.QclusterEngine`-backed sessions live,
+bounded in memory, without ever *losing* a user's accumulated feedback.
+
+:class:`SessionStore` provides that:
+
+* sessions are keyed by id and handed out through :meth:`lease`, which
+  pins the session (so the evictor skips it) and holds its per-session
+  lock for the duration of the request — distinct sessions proceed in
+  parallel, operations on one session serialize;
+* capacity overflow evicts the least recently used unpinned session and
+  idle sessions past their TTL are evicted on the next store operation;
+* eviction is not deletion: the engine state is checkpointed through
+  :mod:`repro.extensions.persistence` (to ``checkpoint_dir`` when
+  given, else to an in-memory archive) and transparently restored on
+  the next lease, so an evicted session resumes exactly where it left
+  off — and with a ``checkpoint_dir`` it survives a process restart.
+
+Sessions whose feedback method does not expose a checkpointable
+``QclusterEngine`` (e.g. the baselines) are still stored and served;
+they are simply dropped on eviction, counted as ``sessions_lost``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, Iterator, List, Optional, Union
+
+from ..core.qcluster import QclusterEngine
+from ..extensions.persistence import engine_from_dict, engine_to_dict
+from ..retrieval.methods import FeedbackMethod, QclusterMethod, QueryLike
+from .degrade import SessionGuard
+from .metrics import ServiceMetrics
+
+__all__ = ["SessionNotFound", "ManagedSession", "SessionStore"]
+
+
+class SessionNotFound(KeyError):
+    """The session id is unknown, expired without a checkpoint, or closed."""
+
+
+@dataclass
+class ManagedSession:
+    """One live feedback session plus its service bookkeeping.
+
+    Attributes:
+        session_id: the store key.
+        method: the feedback strategy owning the engine state.
+        query: the current :class:`~repro.retrieval.methods.QueryLike`.
+        iteration: feedback rounds completed (0 = initial query).
+        searcher: per-session index searcher (node cache), if any.
+        guard: degradation state machine, attached by the service.
+        lock: serializes all operations on this session.
+        pins: active leases; a pinned session is never evicted.
+        last_access: store clock at the most recent lease.
+        created: store clock at insertion.
+    """
+
+    session_id: str
+    method: FeedbackMethod
+    query: QueryLike
+    iteration: int = 0
+    searcher: Optional[object] = None
+    guard: Optional[SessionGuard] = None
+    lock: threading.RLock = field(default_factory=threading.RLock)
+    pins: int = 0
+    last_access: float = 0.0
+    created: float = 0.0
+
+
+class SessionStore:
+    """Bounded, thread-safe home for many concurrent feedback sessions.
+
+    Args:
+        capacity: maximum number of *live* (in-memory) sessions; the
+            least recently used unpinned session is evicted past this.
+        ttl_seconds: idle time after which a session is evicted on the
+            next store operation; ``None`` disables TTL eviction.
+        checkpoint_dir: directory for eviction checkpoints.  When given,
+            checkpoints are JSON files named ``<session_id>.json`` and
+            restorable by a *new* store instance (process restart);
+            when ``None`` an in-memory archive is used instead.
+        method_factory: builds the method shell a checkpoint is
+            restored into (its engine is then replaced wholesale).
+        metrics: eviction/restore counters land here when provided.
+        clock: monotonic time source (injectable for tests).
+    """
+
+    def __init__(
+        self,
+        capacity: int = 256,
+        ttl_seconds: Optional[float] = None,
+        checkpoint_dir: Optional[Union[str, Path]] = None,
+        method_factory: Callable[[], FeedbackMethod] = QclusterMethod,
+        metrics: Optional[ServiceMetrics] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be at least 1, got {capacity}")
+        if ttl_seconds is not None and ttl_seconds <= 0:
+            raise ValueError(f"ttl_seconds must be positive, got {ttl_seconds}")
+        self.capacity = capacity
+        self.ttl_seconds = ttl_seconds
+        self.checkpoint_dir = Path(checkpoint_dir) if checkpoint_dir else None
+        if self.checkpoint_dir is not None:
+            self.checkpoint_dir.mkdir(parents=True, exist_ok=True)
+        self._method_factory = method_factory
+        self._metrics = metrics if metrics is not None else ServiceMetrics()
+        self._clock = clock
+        self._lock = threading.RLock()
+        self._live: Dict[str, ManagedSession] = {}
+        self._archive: Dict[str, Optional[dict]] = {}
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._live)
+
+    def __contains__(self, session_id: str) -> bool:
+        with self._lock:
+            return (
+                session_id in self._live
+                or session_id in self._archive
+                or self._checkpoint_path(session_id) is not None
+            )
+
+    @property
+    def live_ids(self) -> List[str]:
+        """Ids of sessions currently resident in memory."""
+        with self._lock:
+            return list(self._live)
+
+    @property
+    def archived_ids(self) -> List[str]:
+        """Ids of evicted sessions restorable from their checkpoint."""
+        with self._lock:
+            ids = {
+                session_id
+                for session_id, state in self._archive.items()
+                if state is not None
+            }
+            if self.checkpoint_dir is not None:
+                ids.update(path.stem for path in self.checkpoint_dir.glob("*.json"))
+            return sorted(ids - set(self._live))
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def put(self, session: ManagedSession) -> None:
+        """Insert a freshly created session (evicting LRU on overflow)."""
+        with self._lock:
+            now = self._clock()
+            session.created = now
+            session.last_access = now
+            self._live[session.session_id] = session
+            self._archive.pop(session.session_id, None)
+            self._sweep_expired()
+            self._enforce_capacity()
+
+    @contextmanager
+    def lease(self, session_id: str) -> Iterator[ManagedSession]:
+        """Borrow a session for one request.
+
+        Restores from checkpoint when the session was evicted, pins it
+        against eviction, and holds its per-session lock for the body.
+
+        Raises:
+            SessionNotFound: unknown id, or evicted without a
+                checkpoint, or closed.
+        """
+        with self._lock:
+            self._sweep_expired()
+            session = self._live.get(session_id)
+            if session is None:
+                session = self._restore(session_id)
+            # Pin BEFORE enforcing capacity: a freshly restored session
+            # must not be chosen as its own eviction victim, or the
+            # caller would mutate an orphaned object while the archive
+            # keeps the stale checkpoint (a lost update).
+            session.pins += 1
+            session.last_access = self._clock()
+            self._enforce_capacity()
+        try:
+            with session.lock:
+                yield session
+        finally:
+            with self._lock:
+                session.pins -= 1
+                session.last_access = self._clock()
+
+    def remove(self, session_id: str) -> bool:
+        """Delete a session and its checkpoint; True if anything existed."""
+        with self._lock:
+            existed = self._live.pop(session_id, None) is not None
+            existed = (self._archive.pop(session_id, None) is not None) or existed
+            path = self._checkpoint_path(session_id)
+            if path is not None:
+                path.unlink()
+                existed = True
+            return existed
+
+    def sweep(self) -> int:
+        """Evict every idle-past-TTL session now; returns how many."""
+        with self._lock:
+            return self._sweep_expired()
+
+    # ------------------------------------------------------------------
+    # Eviction and checkpointing
+    # ------------------------------------------------------------------
+
+    def checkpoint_state(self, session: ManagedSession) -> Optional[dict]:
+        """JSON-compatible snapshot of a session, or ``None``.
+
+        Only methods carrying a :class:`QclusterEngine` (the service
+        default) are checkpointable; everything the ranking depends on
+        — cluster means, covariances, relevance masses, dedup state —
+        round-trips through :mod:`repro.extensions.persistence`.
+        """
+        engine = getattr(session.method, "engine", None)
+        if not isinstance(engine, QclusterEngine):
+            return None
+        return {
+            "engine": engine_to_dict(engine),
+            "iteration": session.iteration,
+        }
+
+    def _evict(self, session: ManagedSession, reason: str) -> None:
+        state = self.checkpoint_state(session)
+        del self._live[session.session_id]
+        if state is None:
+            self._archive[session.session_id] = None
+            self._metrics.increment("sessions_lost")
+        elif self.checkpoint_dir is not None:
+            path = self.checkpoint_dir / f"{session.session_id}.json"
+            path.write_text(json.dumps(state))
+        else:
+            self._archive[session.session_id] = state
+        self._metrics.increment("sessions_evicted")
+        self._metrics.increment(f"sessions_evicted_{reason}")
+
+    def _enforce_capacity(self) -> None:
+        while len(self._live) > self.capacity:
+            victims = sorted(
+                (s for s in self._live.values() if s.pins == 0),
+                key=lambda s: s.last_access,
+            )
+            if not victims:
+                return  # everything is pinned; allow temporary overshoot
+            self._evict(victims[0], reason="capacity")
+
+    def _sweep_expired(self) -> int:
+        if self.ttl_seconds is None:
+            return 0
+        cutoff = self._clock() - self.ttl_seconds
+        expired = [
+            s for s in self._live.values() if s.pins == 0 and s.last_access < cutoff
+        ]
+        for session in expired:
+            self._evict(session, reason="ttl")
+        return len(expired)
+
+    def _checkpoint_path(self, session_id: str) -> Optional[Path]:
+        if self.checkpoint_dir is None:
+            return None
+        path = self.checkpoint_dir / f"{session_id}.json"
+        return path if path.exists() else None
+
+    def _restore(self, session_id: str) -> ManagedSession:
+        if session_id in self._archive:
+            state = self._archive.pop(session_id)
+            if state is None:
+                raise SessionNotFound(
+                    f"{session_id}: evicted without a checkpoint "
+                    "(its feedback method is not persistable)"
+                )
+        else:
+            path = self._checkpoint_path(session_id)
+            if path is None:
+                raise SessionNotFound(session_id)
+            state = json.loads(path.read_text())
+            path.unlink()
+        engine = engine_from_dict(state["engine"])
+        method = self._method_factory()
+        if not hasattr(method, "engine"):
+            raise SessionNotFound(
+                f"{session_id}: checkpoint exists but method factory "
+                f"{self._method_factory!r} cannot host a restored engine"
+            )
+        method.engine = engine
+        if hasattr(method, "config"):
+            method.config = engine.config
+        session = ManagedSession(
+            session_id=session_id,
+            method=method,
+            query=engine.current_query(),
+            iteration=int(state["iteration"]),
+        )
+        now = self._clock()
+        session.created = now
+        session.last_access = now
+        self._live[session_id] = session
+        self._metrics.increment("sessions_restored")
+        return session

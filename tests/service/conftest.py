@@ -1,0 +1,27 @@
+"""Shared fixtures for the service-layer tests.
+
+One small labelled database, built once per test session: big enough
+for multi-cluster feedback to happen, small enough that the whole
+directory stays fast.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.retrieval import FeatureDatabase
+
+
+@pytest.fixture(scope="session")
+def database() -> FeatureDatabase:
+    """120 points in 3-d: four well-separated Gaussian categories."""
+    rng = np.random.default_rng(7)
+    centers = np.array(
+        [[0.0, 0.0, 0.0], [4.0, 0.0, 0.0], [0.0, 4.0, 0.0], [4.0, 4.0, 4.0]]
+    )
+    vectors = np.concatenate(
+        [center + 0.4 * rng.standard_normal((30, 3)) for center in centers]
+    )
+    labels = np.repeat(np.arange(4), 30)
+    return FeatureDatabase(vectors, labels)

@@ -1,0 +1,108 @@
+"""ResultCache and the query-state fingerprint."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.distance import DisjunctiveQuery, QueryPoint
+from repro.service import ResultCache, fingerprint_query
+
+
+def make_query(center=(0.0, 0.0), weight=1.0, scale=1.0):
+    return DisjunctiveQuery(
+        [
+            QueryPoint(
+                center=np.asarray(center, dtype=float),
+                inverse=scale * np.eye(2),
+                weight=weight,
+            )
+        ]
+    )
+
+
+class TestFingerprint:
+    def test_identical_state_same_fingerprint(self):
+        assert fingerprint_query(make_query(), 10) == fingerprint_query(make_query(), 10)
+
+    def test_k_changes_fingerprint(self):
+        assert fingerprint_query(make_query(), 10) != fingerprint_query(make_query(), 11)
+
+    def test_mean_changes_fingerprint(self):
+        assert fingerprint_query(make_query(), 10) != fingerprint_query(
+            make_query(center=(0.0, 1e-9)), 10
+        )
+
+    def test_covariance_changes_fingerprint(self):
+        assert fingerprint_query(make_query(), 10) != fingerprint_query(
+            make_query(scale=2.0), 10
+        )
+
+    def test_mass_changes_fingerprint(self):
+        assert fingerprint_query(make_query(), 10) != fingerprint_query(
+            make_query(weight=2.0), 10
+        )
+
+    def test_multipoint_order_matters(self):
+        a = QueryPoint(center=np.zeros(2), inverse=np.eye(2), weight=1.0)
+        b = QueryPoint(center=np.ones(2), inverse=np.eye(2), weight=2.0)
+        assert fingerprint_query(DisjunctiveQuery([a, b]), 5) != fingerprint_query(
+            DisjunctiveQuery([b, a]), 5
+        )
+
+
+class TestResultCache:
+    def page(self, seed: int):
+        return np.arange(seed, seed + 3), np.linspace(0.0, 1.0, 3)
+
+    def test_miss_then_hit(self):
+        cache = ResultCache(capacity=4)
+        assert cache.get("a") is None
+        cache.put("a", *self.page(0))
+        ids, distances = cache.get("a")
+        np.testing.assert_array_equal(ids, np.arange(3))
+        assert cache.hits == 1 and cache.misses == 1
+        assert cache.hit_rate == pytest.approx(0.5)
+
+    def test_lru_eviction_order(self):
+        cache = ResultCache(capacity=2)
+        cache.put("a", *self.page(0))
+        cache.put("b", *self.page(1))
+        cache.get("a")  # refresh a; b is now LRU
+        cache.put("c", *self.page(2))
+        assert cache.get("b") is None
+        assert cache.get("a") is not None
+        assert cache.get("c") is not None
+
+    def test_invalidate_by_owner(self):
+        cache = ResultCache(capacity=8)
+        cache.put("a1", *self.page(0), owner="s1")
+        cache.put("a2", *self.page(1), owner="s1")
+        cache.put("b1", *self.page(2), owner="s2")
+        assert cache.invalidate("s1") == 2
+        assert cache.get("a1") is None and cache.get("a2") is None
+        assert cache.get("b1") is not None
+        assert cache.invalidate("s1") == 0
+
+    def test_eviction_untags_owner(self):
+        cache = ResultCache(capacity=1)
+        cache.put("a", *self.page(0), owner="s1")
+        cache.put("b", *self.page(1), owner="s1")  # evicts a
+        assert cache.invalidate("s1") == 1  # only b was still tagged
+
+    def test_zero_capacity_disables(self):
+        cache = ResultCache(capacity=0)
+        cache.put("a", *self.page(0))
+        assert cache.get("a") is None
+        assert len(cache) == 0
+
+    def test_clear(self):
+        cache = ResultCache(capacity=4)
+        cache.put("a", *self.page(0), owner="s1")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.get("a") is None
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            ResultCache(capacity=-1)

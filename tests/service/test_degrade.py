@@ -1,0 +1,124 @@
+"""Degradation policy/guard plus the service-level fallback paths."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.service import DegradationPolicy, RetrievalService, SessionGuard
+
+
+class TestPolicyValidation:
+    def test_defaults(self):
+        policy = DegradationPolicy()
+        assert policy.soft_deadline_s is None
+        assert policy.trip_after == 1
+
+    def test_non_positive_deadline_rejected(self):
+        with pytest.raises(ValueError):
+            DegradationPolicy(soft_deadline_s=0.0)
+
+    def test_zero_trip_rejected(self):
+        with pytest.raises(ValueError):
+            DegradationPolicy(trip_after=0)
+
+
+class TestSessionGuard:
+    def test_no_deadline_never_trips(self):
+        guard = SessionGuard(DegradationPolicy())
+        assert guard.record_elapsed(1e9) is False
+        assert not guard.active
+
+    def test_single_miss_trips_by_default(self):
+        guard = SessionGuard(DegradationPolicy(soft_deadline_s=0.1))
+        assert guard.record_elapsed(0.2) is True
+        assert guard.active and guard.tripped_by == "deadline"
+
+    def test_trip_after_counts_consecutive_misses(self):
+        guard = SessionGuard(DegradationPolicy(soft_deadline_s=0.1, trip_after=3))
+        assert guard.record_elapsed(0.2) is True
+        assert guard.record_elapsed(0.05) is False  # resets the streak
+        guard.record_elapsed(0.2)
+        guard.record_elapsed(0.2)
+        assert not guard.active
+        guard.record_elapsed(0.2)
+        assert guard.active
+
+    def test_error_trip_is_sticky_across_feedback(self):
+        guard = SessionGuard(DegradationPolicy(soft_deadline_s=0.1))
+        guard.record_error()
+        guard.reset_for_new_query()
+        assert guard.active and guard.tripped_by == "error"
+
+    def test_deadline_trip_resets_on_feedback(self):
+        guard = SessionGuard(DegradationPolicy(soft_deadline_s=0.1))
+        guard.record_elapsed(0.2)
+        assert guard.active
+        guard.reset_for_new_query()
+        assert not guard.active and guard.strikes == 0
+
+
+class TestServiceDegradation:
+    def test_index_error_falls_back_to_exact_scan(self, database):
+        service = RetrievalService(database, k=12, cache_size=0)
+        reference = RetrievalService(database, k=12, use_index=False, cache_size=0)
+        session = service.create_session(0)
+        ref_session = reference.create_session(0)
+
+        class Exploding:
+            def search(self, query, k):
+                raise RuntimeError("index corrupted")
+
+        with service.store.lease(session) as managed:
+            managed.searcher = Exploding()
+        page = service.query(session)
+        expected = reference.query(ref_session)
+        np.testing.assert_array_equal(page.ids, expected.ids)
+        np.testing.assert_array_equal(page.distances, expected.distances)
+        counters = service.metrics_snapshot()["counters"]
+        assert counters["degraded_error"] == 1
+        assert counters["fallback_scans"] == 1
+
+    def test_error_trip_pins_session_to_fallback(self, database):
+        service = RetrievalService(database, k=12, cache_size=0)
+        session = service.create_session(0)
+
+        class Exploding:
+            def search(self, query, k):
+                raise RuntimeError("index corrupted")
+
+        with service.store.lease(session) as managed:
+            managed.searcher = Exploding()
+        service.query(session)
+        service.query(session)  # guard active: the index is not retried
+        counters = service.metrics_snapshot()["counters"]
+        assert counters["degraded_error"] == 1
+        assert counters["fallback_scans"] == 2
+
+    def test_deadline_miss_degrades_and_is_recorded(self, database):
+        service = RetrievalService(database, k=12, cache_size=0, soft_deadline_s=1e-12)
+        session = service.create_session(0)
+        first = service.query(session)  # index path, misses the deadline
+        second = service.query(session)  # degraded: exact fallback scan
+        np.testing.assert_array_equal(first.ids, second.ids)
+        counters = service.metrics_snapshot()["counters"]
+        assert counters["degraded_deadline"] == 1
+        assert counters["fallback_scans"] == 1
+
+    def test_feedback_gives_index_another_chance_after_deadline(self, database):
+        service = RetrievalService(database, k=12, cache_size=0, soft_deadline_s=1e-12)
+        session = service.create_session(0)
+        service.query(session)
+        relevant = database.members_of(database.category_of(0))[:5]
+        service.feedback(session, relevant)
+        # Feedback reset the deadline trip, so the index ran again (and
+        # missed again): two deadline degradations total.
+        assert service.metrics.counter("degraded_deadline") == 2
+
+    def test_generous_deadline_never_degrades(self, database):
+        service = RetrievalService(database, k=12, soft_deadline_s=60.0)
+        session = service.create_session(0)
+        service.query(session)
+        snapshot = service.metrics_snapshot()
+        assert snapshot["degradations"] == 0
+        assert snapshot["counters"].get("fallback_scans", 0) == 0

@@ -1,0 +1,119 @@
+"""ServiceMetrics: counters, percentiles, snapshots, thread safety."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.service import LatencyStage, ServiceMetrics, percentile
+
+
+class TestPercentile:
+    def test_median_of_odd(self):
+        assert percentile([3.0, 1.0, 2.0], 50.0) == 2.0
+
+    def test_p95_is_an_observed_value(self):
+        values = [float(i) for i in range(1, 101)]
+        assert percentile(values, 95.0) == 95.0
+
+    def test_extremes(self):
+        values = [5.0, 1.0, 3.0]
+        assert percentile(values, 0.0) == 1.0
+        assert percentile(values, 100.0) == 5.0
+
+    def test_single_value(self):
+        assert percentile([7.0], 95.0) == 7.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([], 50.0)
+
+    def test_out_of_range_q_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 101.0)
+
+
+class TestLatencyStage:
+    def test_summary_tracks_all_observations(self):
+        stage = LatencyStage()
+        for value in (0.1, 0.2, 0.3):
+            stage.observe(value)
+        summary = stage.summary()
+        assert summary["count"] == 3
+        assert summary["mean"] == pytest.approx(0.2)
+        assert summary["p50"] == pytest.approx(0.2)
+        assert summary["max"] == pytest.approx(0.3)
+
+    def test_reservoir_ages_out_but_count_does_not(self):
+        stage = LatencyStage(reservoir_size=2)
+        for value in (1.0, 2.0, 3.0):
+            stage.observe(value)
+        summary = stage.summary()
+        assert summary["count"] == 3
+        # Percentiles see only the two most recent observations.
+        assert summary["p50"] == pytest.approx(2.0)
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyStage().observe(-0.1)
+
+
+class TestServiceMetrics:
+    def test_counters_default_to_zero(self):
+        assert ServiceMetrics().counter("nonexistent") == 0
+
+    def test_increment_with_amount(self):
+        metrics = ServiceMetrics()
+        metrics.increment("node_accesses", 17)
+        metrics.increment("node_accesses", 3)
+        assert metrics.counter("node_accesses") == 20
+
+    def test_timer_context_observes_stage(self):
+        ticks = iter([0.0, 1.5])
+        metrics = ServiceMetrics(clock=lambda: next(ticks))
+        with metrics.time("query"):
+            pass
+        assert metrics.snapshot()["latency"]["query"]["p50"] == pytest.approx(1.5)
+
+    def test_cache_hit_rate(self):
+        metrics = ServiceMetrics()
+        assert metrics.cache_hit_rate == 0.0
+        metrics.increment("cache_hits", 3)
+        metrics.increment("cache_misses", 1)
+        assert metrics.cache_hit_rate == pytest.approx(0.75)
+
+    def test_snapshot_is_plain_and_isolated(self):
+        metrics = ServiceMetrics()
+        metrics.increment("queries")
+        snapshot = metrics.snapshot()
+        snapshot["counters"]["queries"] = 99
+        assert metrics.counter("queries") == 1
+        assert set(snapshot) == {
+            "counters",
+            "latency",
+            "cache_hit_rate",
+            "degradations",
+        }
+
+    def test_degradations_aggregates_both_kinds(self):
+        metrics = ServiceMetrics()
+        metrics.increment("degraded_error", 2)
+        metrics.increment("degraded_deadline", 3)
+        assert metrics.snapshot()["degradations"] == 5
+
+    def test_concurrent_increments_do_not_lose_updates(self):
+        metrics = ServiceMetrics()
+
+        def bump():
+            for _ in range(1000):
+                metrics.increment("hits")
+                metrics.observe("stage", 0.001)
+
+        threads = [threading.Thread(target=bump) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert metrics.counter("hits") == 8000
+        assert metrics.snapshot()["latency"]["stage"]["count"] == 8000

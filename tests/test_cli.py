@@ -70,6 +70,52 @@ class TestCommands:
         assert "unknown methods" in capsys.readouterr().err
 
 
+class TestServiceCommand:
+    def test_service_smoke(self, capsys):
+        """create → query → feedback → metrics snapshot via the CLI path."""
+        exit_code = main(
+            [
+                "service",
+                "--users", "3",
+                "--categories", "4",
+                "--images-per-category", "15",
+                "--iterations", "2",
+                "--k", "10",
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "sessions/sec" in output
+        assert "sessions_created" in output
+        assert "sessions_closed" in output
+        assert "feedbacks" in output
+        assert "cache_hit_rate" in output
+        assert "degradations" in output
+        # Latency stages of the snapshot are printed too.
+        assert "query" in output and "feedback" in output
+
+    def test_service_single_user(self, capsys):
+        exit_code = main(
+            [
+                "service",
+                "--users", "1",
+                "--categories", "3",
+                "--images-per-category", "10",
+                "--iterations", "1",
+                "--k", "5",
+            ]
+        )
+        assert exit_code == 0
+        assert "served 1 sessions" in capsys.readouterr().out
+
+    def test_service_defaults(self):
+        args = build_parser().parse_args(["service"])
+        assert args.users == 8
+        assert args.capacity == 256
+        assert args.cache_size == 128
+        assert args.deadline is None
+
+
 class TestFigureCommand:
     def test_fig5(self, capsys):
         exit_code = main(["figure", "fig5"])

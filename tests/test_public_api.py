@@ -19,6 +19,7 @@ PACKAGES = [
     "repro.baselines",
     "repro.extensions",
     "repro.experiments",
+    "repro.service",
 ]
 
 
