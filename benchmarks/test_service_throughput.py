@@ -23,6 +23,7 @@ import time
 import numpy as np
 import pytest
 
+from repro.core.kernels import use_kernels
 from repro.retrieval import SimulatedUser
 from repro.service import RetrievalService
 
@@ -116,6 +117,57 @@ class TestServiceThroughput:
         print(f"\ndeadline degradations: {snapshot['degradations']}")
         assert snapshot["degradations"] > 0
         assert snapshot["counters"]["degraded_deadline"] > 0
+
+    def test_compiled_kernels_speed_up_end_to_end_sessions(self):
+        """The kernel layer must be a *measurable* end-to-end win, not
+        just a microbenchmark one: full query→feedback sessions through
+        the service (clustering, aggregation, ranking, bookkeeping)
+        finish faster with compiled kernels than with the naive
+        quadratic-form scan they replace."""
+        rng = np.random.default_rng(47)
+        n, p = 24_000, 48
+        vectors = 4.0 * rng.standard_normal((n, p))
+
+        def run_session(service):
+            session = service.create_session(vectors[3])
+            page = service.query(session)
+            for _ in range(3):
+                page = service.feedback(session, [int(i) for i in page.ids[:10]])
+            service.close(session)
+
+        def timed_session(naive: bool) -> float:
+            service = RetrievalService(
+                vectors, k=50, use_index=False, n_shards=1, cache_size=0
+            )
+            try:
+                if naive:
+                    with use_kernels(False):
+                        start = time.perf_counter()
+                        run_session(service)
+                        return time.perf_counter() - start
+                start = time.perf_counter()
+                run_session(service)
+                return time.perf_counter() - start
+            finally:
+                service.shutdown()
+
+        timed_session(naive=False)  # warm-up both paths (allocators, BLAS)
+        timed_session(naive=True)
+        kernel_times, naive_times = [], []
+        for _ in range(5):  # interleaved so noise bursts hit both paths
+            kernel_times.append(timed_session(naive=False))
+            naive_times.append(timed_session(naive=True))
+        kernel_best = min(kernel_times)
+        naive_best = min(naive_times)
+        speedup = naive_best / kernel_best
+        print(
+            f"\nend-to-end session at N={n}, p={p}: kernels "
+            f"{kernel_best * 1e3:.1f} ms vs naive {naive_best * 1e3:.1f} ms "
+            f"({speedup:.2f}x)"
+        )
+        # Lenient floor: the session includes clustering and service
+        # bookkeeping that the kernel layer does not touch.
+        assert speedup >= 1.05
 
     def test_cache_speedup_on_repeated_pages(self, service_database):
         """Repeated fetches of the same page are at least as fast warm."""

@@ -37,9 +37,12 @@ from .core import (
     BayesianClassifier,
     Cluster,
     ClusterMerger,
+    CompiledQuery,
     DisjunctiveQuery,
     QclusterConfig,
     QclusterEngine,
+    compile_query,
+    use_kernels,
 )
 from .index import HybridTree, MultipointSearcher
 from .retrieval import (
@@ -59,6 +62,9 @@ __all__ = [
     "BayesianClassifier",
     "Cluster",
     "ClusterMerger",
+    "CompiledQuery",
+    "compile_query",
+    "use_kernels",
     "DisjunctiveQuery",
     "QclusterConfig",
     "QclusterEngine",

@@ -16,6 +16,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..core import kernels as _kernels
 from ..core.distance import QueryPoint, quadratic_distance_many
 from ..retrieval.methods import FeedbackMethod
 
@@ -117,8 +118,16 @@ class PowerMeanQuery:
         return mean_power ** (1.0 / self.alpha)
 
     def per_point_distances(self, database: np.ndarray) -> np.ndarray:
-        """``(g, N)`` per-query-point quadratic distances."""
+        """``(g, N)`` per-query-point quadratic distances.
+
+        Shares the compiled-kernel layer with the disjunctive query, so
+        the baselines' rankings enjoy the same diagonal fast path and
+        fused whitening matmul (and the same cross-call kernel cache)
+        as Qcluster's own.
+        """
         database = np.atleast_2d(np.asarray(database, dtype=float))
+        if _kernels.kernels_enabled():
+            return _kernels.ensure_compiled(self).per_cluster_distances(database)
         return np.stack(
             [
                 quadratic_distance_many(database, center, inverse)

@@ -19,6 +19,16 @@ from .distance import (
     quadratic_distance,
     quadratic_distance_many,
 )
+from .kernels import (
+    CompiledQuery,
+    KernelCache,
+    compile_query,
+    default_kernel_cache,
+    ensure_compiled,
+    fingerprint_cluster_state,
+    kernels_enabled,
+    use_kernels,
+)
 from .merging import ClusterMerger, MergeRecord, pairwise_merge_test
 from .pca import PCA, select_dimension_by_variance, t2_in_pc_basis
 from .qcluster import QclusterEngine
@@ -43,6 +53,14 @@ __all__ = [
     "disjunctive_distance",
     "quadratic_distance",
     "quadratic_distance_many",
+    "CompiledQuery",
+    "KernelCache",
+    "compile_query",
+    "default_kernel_cache",
+    "ensure_compiled",
+    "fingerprint_cluster_state",
+    "kernels_enabled",
+    "use_kernels",
     "ClusterMerger",
     "MergeRecord",
     "pairwise_merge_test",

@@ -23,6 +23,7 @@ from __future__ import annotations
 import math
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 
@@ -49,10 +50,17 @@ class InverseInfo:
         log_det_covariance: ``ln |S|`` of the (regularized) covariance the
             inverse was derived from; the Bayesian classifier's normal
             density needs it (Equation 8).
+        diagonal: for the diagonal scheme, the length-``p`` vector of
+            reciprocal (regularized) variances — i.e. ``diag(S^{-1})``.
+            Carrying the vector lets the distance kernels skip the dense
+            matrix entirely (O(N·p) scoring, the cost Figure 6 claims);
+            the dense ``inverse`` is kept for backward compatibility.
+            ``None`` for full-matrix schemes.
     """
 
     inverse: np.ndarray
     log_det_covariance: float
+    diagonal: Optional[np.ndarray] = None
 
 
 class CovarianceScheme(ABC):
@@ -90,9 +98,12 @@ class DiagonalScheme(CovarianceScheme):
         _check_square(covariance)
         variances = np.diag(covariance).copy()
         variances = np.maximum(variances, self.regularization)
-        inverse = np.diag(1.0 / variances)
+        reciprocal = 1.0 / variances
+        inverse = np.diag(reciprocal)
         log_det = float(np.sum(np.log(variances)))
-        return InverseInfo(inverse=inverse, log_det_covariance=log_det)
+        return InverseInfo(
+            inverse=inverse, log_det_covariance=log_det, diagonal=reciprocal
+        )
 
 
 class InverseScheme(CovarianceScheme):

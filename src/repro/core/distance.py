@@ -22,9 +22,11 @@ arrays; they are what the retrieval engine uses to rank a database.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
+
+from . import kernels as _kernels
 
 __all__ = [
     "quadratic_distance",
@@ -121,11 +123,17 @@ class QueryPoint:
         center: cluster centroid ``x̄_i``.
         inverse: the cluster's ``S_i^{-1}`` under the active scheme.
         weight: relevance mass ``m_i``.
+        diagonal: the diagonal of ``S_i^{-1}`` when the matrix is exactly
+            diagonal (the diagonal covariance scheme), else ``None``.
+            Lets the compiled-kernel layer take its O(N·p) fast path
+            without inspecting the dense matrix; the dense ``inverse``
+            stays authoritative for every other consumer.
     """
 
     center: np.ndarray
     inverse: np.ndarray
     weight: float
+    diagonal: Optional[np.ndarray] = None
 
     def __post_init__(self) -> None:
         if self.weight <= 0:
@@ -165,9 +173,22 @@ class DisjunctiveQuery:
         """Per-cluster relevance masses ``m_i``."""
         return np.array([qp.weight for qp in self.points])
 
+    def compiled(self) -> "_kernels.CompiledQuery":
+        """This query's compiled kernels (built at most once, cached)."""
+        return _kernels.ensure_compiled(self)
+
     def per_cluster_distances(self, database: np.ndarray) -> np.ndarray:
-        """``(g, N)`` quadratic distances of every database row to each point."""
+        """``(g, N)`` quadratic distances of every database row to each point.
+
+        Served by the compiled-kernel layer (:mod:`repro.core.kernels`):
+        diagonal ``S^{-1}`` points cost O(N·p), full matrices go through
+        one fused whitening matmul.  The naive quadratic form remains
+        available behind :func:`repro.core.kernels.use_kernels` for
+        equivalence testing and benchmarking.
+        """
         database = np.atleast_2d(np.asarray(database, dtype=float))
+        if _kernels.kernels_enabled():
+            return self.compiled().per_cluster_distances(database)
         return np.stack(
             [
                 quadratic_distance_many(database, qp.center, qp.inverse)

@@ -88,7 +88,16 @@ class QclusterEngine:
         self._seen = set()
         self._initial_point = point
         identity = np.eye(point.shape[0])
-        return DisjunctiveQuery([QueryPoint(center=point, inverse=identity, weight=1.0)])
+        return DisjunctiveQuery(
+            [
+                QueryPoint(
+                    center=point,
+                    inverse=identity,
+                    weight=1.0,
+                    diagonal=np.ones(point.shape[0]),
+                )
+            ]
+        )
 
     def feedback(
         self,
@@ -123,17 +132,27 @@ class QclusterEngine:
                 raise RuntimeError("engine has no state; call start() first")
             identity = np.eye(self._initial_point.shape[0])
             return DisjunctiveQuery(
-                [QueryPoint(center=self._initial_point, inverse=identity, weight=1.0)]
+                [
+                    QueryPoint(
+                        center=self._initial_point,
+                        inverse=identity,
+                        weight=1.0,
+                        diagonal=np.ones(self._initial_point.shape[0]),
+                    )
+                ]
             )
         scheme = self.config.covariance_scheme
-        query_points = [
-            QueryPoint(
-                center=cluster.centroid,
-                inverse=scheme.invert(cluster.covariance).inverse,
-                weight=cluster.weight,
+        query_points = []
+        for cluster in self.clusters:
+            info = scheme.invert(cluster.covariance)
+            query_points.append(
+                QueryPoint(
+                    center=cluster.centroid,
+                    inverse=info.inverse,
+                    weight=cluster.weight,
+                    diagonal=info.diagonal,
+                )
             )
-            for cluster in self.clusters
-        ]
         return DisjunctiveQuery(query_points)
 
     # ------------------------------------------------------------------

@@ -32,6 +32,7 @@ from typing import List, Optional, Set, Tuple
 import numpy as np
 
 from ..core.distance import DisjunctiveQuery
+from ..core.kernels import ensure_compiled
 from .linear import KnnResult, SearchCost, page_capacity_for
 
 __all__ = ["TreeNode", "HybridTree"]
@@ -75,7 +76,7 @@ class HybridTree:
         node_size_bytes: int = 4096,
         leaf_capacity: Optional[int] = None,
     ) -> None:
-        vectors = np.atleast_2d(np.asarray(vectors, dtype=float))
+        vectors = np.ascontiguousarray(np.atleast_2d(vectors), dtype=float)
         if vectors.shape[0] == 0:
             raise ValueError("cannot index an empty database")
         self.vectors = vectors
@@ -120,18 +121,12 @@ class HybridTree:
         """Per query point: (center, diagonal or None, lambda_min).
 
         Diagonal inverses get the exact per-axis bound; full matrices fall
-        back to the smallest-eigenvalue bound.
+        back to the smallest-eigenvalue bound.  Served by the compiled
+        kernel layer: the eigen-decomposition for a full matrix happens
+        once per cluster state, not once per k-NN call, and is reused
+        across the feedback rounds and sessions sharing the query.
         """
-        prepared = []
-        for qp in query.points:
-            inverse = np.asarray(qp.inverse, dtype=float)
-            off_diagonal = inverse - np.diag(np.diag(inverse))
-            if np.allclose(off_diagonal, 0.0):
-                prepared.append((qp.center, np.diag(inverse).copy(), 0.0))
-            else:
-                eigenvalues = np.linalg.eigvalsh(inverse)
-                prepared.append((qp.center, None, float(max(eigenvalues.min(), 0.0))))
-        return prepared
+        return ensure_compiled(query).bound_infos()
 
     @staticmethod
     def _box_lower_bounds(

@@ -66,7 +66,10 @@ class LinearScan:
     """
 
     def __init__(self, vectors: np.ndarray, node_size_bytes: int = 4096) -> None:
-        vectors = np.atleast_2d(np.asarray(vectors, dtype=float))
+        # One C-contiguous float64 copy up front: every knn/range call
+        # then hands the kernels an array they can scan without any
+        # further conversion or copying.
+        vectors = np.ascontiguousarray(np.atleast_2d(vectors), dtype=float)
         if vectors.shape[0] == 0:
             raise ValueError("cannot index an empty database")
         self.vectors = vectors

@@ -24,6 +24,7 @@ from typing import List, Set
 import numpy as np
 
 from ..core.distance import DisjunctiveQuery
+from ..core.kernels import ensure_compiled
 from .hybridtree import HybridTree
 from .linear import KnnResult, SearchCost
 
@@ -97,6 +98,10 @@ class CentroidSearcher:
 
     def search(self, query: DisjunctiveQuery, k: int) -> KnnResult:
         """Per-representative k-NNs merged into one ranking."""
+        # Compile the aggregate query up front: the per-representative
+        # sub-searches and the final merge ranking below then share one
+        # kernel set instead of rebuilding evaluators mid-search.
+        ensure_compiled(query)
         candidate_indices: Set[int] = set()
         node_accesses = 0
         io_accesses = 0

@@ -25,6 +25,8 @@ from typing import Dict, Hashable, Optional, Set, Tuple
 
 import numpy as np
 
+from ..core.kernels import fingerprint_cluster_state
+
 __all__ = ["fingerprint_query", "ResultCache"]
 
 
@@ -35,13 +37,16 @@ def fingerprint_query(query, k: int) -> str:
     matrices and relevance masses (in order) and the same ``k`` produce
     the same fingerprint; any change to any of those produces a
     different one.
+
+    The cluster-state part is the same
+    :func:`~repro.core.kernels.fingerprint_cluster_state` digest that
+    content-addresses compiled distance kernels, so a result-cache key
+    and a kernel-cache key for the same query state derive from one
+    hash of the underlying statistics.
     """
     digest = hashlib.blake2b(digest_size=16)
     digest.update(struct.pack("<q", int(k)))
-    for point in query.points:
-        digest.update(np.ascontiguousarray(point.center, dtype=float).tobytes())
-        digest.update(np.ascontiguousarray(point.inverse, dtype=float).tobytes())
-        digest.update(struct.pack("<d", float(point.weight)))
+    digest.update(fingerprint_cluster_state(query).encode("ascii"))
     return digest.hexdigest()
 
 

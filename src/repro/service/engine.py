@@ -35,6 +35,7 @@ from typing import Callable, List, Optional, Sequence, Union
 
 import numpy as np
 
+from ..core.kernels import default_kernel_cache, ensure_compiled
 from ..index.hybridtree import HybridTree
 from ..index.linear import page_capacity_for
 from ..index.multipoint import MultipointSearcher
@@ -102,6 +103,10 @@ class RetrievalService:
             vectors = database.vectors
         else:
             vectors = np.atleast_2d(np.asarray(database, dtype=float))
+        # Stored once, C-contiguous float64: shards are then contiguous
+        # row views and the distance kernels never re-convert or copy
+        # the database on the hot path.
+        vectors = np.ascontiguousarray(vectors, dtype=float)
         if vectors.shape[0] == 0:
             raise ValueError("cannot serve an empty database")
         if k < 1:
@@ -272,6 +277,7 @@ class RetrievalService:
             "capacity": self.cache.capacity,
             "hit_rate": self.cache.hit_rate,
         }
+        snapshot["kernels"] = default_kernel_cache().stats()
         return snapshot
 
     # ------------------------------------------------------------------
@@ -297,7 +303,16 @@ class RetrievalService:
             self.cache.put(key, ids, distances, owner=session.session_id)
         return ResultPage(ids=ids, distances=distances, iteration=session.iteration)
 
+    def _kernel_cache_event(self, event: str) -> None:
+        self.metrics.increment(f"kernel_cache_{event}")
+
     def _compute_rank(self, session: ManagedSession, k: int):
+        # Compile the query's distance kernels exactly once per ranking
+        # — the index path, every shard of the fallback scan, and any
+        # later page fetch for this query all reuse the same compiled
+        # evaluators (shared process-wide, content-addressed by cluster
+        # state, so sessions asking the same question share them too).
+        ensure_compiled(session.query, on_event=self._kernel_cache_event)
         guard = session.guard
         if self._tree is not None and (guard is None or not guard.active):
             if session.searcher is None:

@@ -135,10 +135,14 @@ class ServiceMetrics:
         hits = counters.get("cache_hits", 0)
         misses = counters.get("cache_misses", 0)
         total = hits + misses
+        kernel_hits = counters.get("kernel_cache_hits", 0)
+        kernel_misses = counters.get("kernel_cache_misses", 0)
+        kernel_total = kernel_hits + kernel_misses
         return {
             "counters": counters,
             "latency": latency,
             "cache_hit_rate": hits / total if total else 0.0,
+            "kernel_cache_hit_rate": kernel_hits / kernel_total if kernel_total else 0.0,
             "degradations": counters.get("degraded_error", 0)
             + counters.get("degraded_deadline", 0),
         }

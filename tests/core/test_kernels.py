@@ -1,0 +1,361 @@
+"""Compiled distance kernels: equivalence with the naive quadratic form.
+
+The kernel layer (`repro.core.kernels`) must be a pure optimization:
+for every query — diagonal scheme, inverse scheme, mixed, single-point,
+PCA-reduced — the compiled evaluators must reproduce
+``quadratic_distance_many`` to tight tolerance and produce *identical*
+rankings, or the paper's quality figures would silently change with the
+speedup.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as hst
+
+from repro.core.covariance import DiagonalScheme, InverseScheme, get_scheme
+from repro.core.distance import DisjunctiveQuery, QueryPoint, quadratic_distance_many
+from repro.core.kernels import (
+    CholeskyKernel,
+    CompiledQuery,
+    DiagonalKernel,
+    KernelCache,
+    MatmulKernel,
+    compile_query,
+    default_kernel_cache,
+    ensure_compiled,
+    fingerprint_cluster_state,
+    kernels_enabled,
+    use_kernels,
+)
+from repro.core.pca import PCA
+
+RTOL = 1e-9
+ATOL = 1e-12
+
+
+def random_query(
+    rng: np.random.Generator,
+    scheme_name: str,
+    g: int,
+    p: int,
+    spread: float = 4.0,
+) -> DisjunctiveQuery:
+    """A g-point query with covariances estimated from random clouds."""
+    scheme = get_scheme(scheme_name)
+    points = []
+    for _ in range(g):
+        center = spread * rng.standard_normal(p)
+        cloud = center + rng.standard_normal((max(p + 2, 8), p))
+        covariance = np.cov(cloud, rowvar=False)
+        info = scheme.invert(covariance)
+        points.append(
+            QueryPoint(
+                center=cloud.mean(axis=0),
+                inverse=info.inverse,
+                weight=float(rng.uniform(0.5, 3.0)),
+                diagonal=info.diagonal,
+            )
+        )
+    return DisjunctiveQuery(points)
+
+
+def naive_per_cluster(query, database: np.ndarray) -> np.ndarray:
+    return np.stack(
+        [
+            quadratic_distance_many(database, qp.center, qp.inverse)
+            for qp in query.points
+        ]
+    )
+
+
+class TestKernelSelection:
+    def test_diagonal_inverse_compiles_to_diagonal_kernel(self):
+        rng = np.random.default_rng(0)
+        query = random_query(rng, "diagonal", g=3, p=6)
+        compiled = compile_query(query)
+        assert all(isinstance(k, DiagonalKernel) for k in compiled.kernels)
+
+    def test_full_inverse_compiles_to_cholesky_kernel(self):
+        rng = np.random.default_rng(1)
+        query = random_query(rng, "inverse", g=3, p=6)
+        compiled = compile_query(query)
+        assert all(isinstance(k, CholeskyKernel) for k in compiled.kernels)
+
+    def test_diagonal_detected_without_explicit_hint(self):
+        """A dense np.diag matrix (baseline style) still takes the fast path."""
+        query = DisjunctiveQuery(
+            [QueryPoint(center=np.zeros(4), inverse=np.diag([1.0, 2.0, 3.0, 4.0]), weight=1.0)]
+        )
+        compiled = compile_query(query)
+        assert isinstance(compiled.kernels[0], DiagonalKernel)
+
+    def test_indefinite_matrix_falls_back_to_matmul_kernel(self):
+        indefinite = np.array([[1.0, 2.0], [2.0, 1.0]])  # eigenvalues 3, -1
+        query = DisjunctiveQuery(
+            [QueryPoint(center=np.zeros(2), inverse=indefinite, weight=1.0)]
+        )
+        compiled = compile_query(query)
+        assert isinstance(compiled.kernels[0], MatmulKernel)
+        db = np.random.default_rng(2).standard_normal((50, 2))
+        np.testing.assert_allclose(
+            compiled.per_cluster_distances(db),
+            naive_per_cluster(query, db),
+            rtol=RTOL,
+            atol=ATOL,
+        )
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("scheme", ["diagonal", "inverse"])
+    @pytest.mark.parametrize("g,p", [(1, 3), (2, 8), (5, 16), (3, 33)])
+    def test_per_cluster_matches_naive(self, scheme, g, p):
+        rng = np.random.default_rng(1000 * g + p + (scheme == "inverse"))
+        query = random_query(rng, scheme, g=g, p=p)
+        database = 4.0 * rng.standard_normal((257, p))
+        np.testing.assert_allclose(
+            compile_query(query).per_cluster_distances(database),
+            naive_per_cluster(query, database),
+            rtol=RTOL,
+            atol=ATOL,
+        )
+
+    @pytest.mark.parametrize("scheme", ["diagonal", "inverse"])
+    def test_aggregate_distances_and_ranking_match_naive(self, scheme):
+        rng = np.random.default_rng(42)
+        query = random_query(rng, scheme, g=4, p=12)
+        database = 4.0 * rng.standard_normal((500, 12))
+        kernel_distances = query.distances(database)
+        with use_kernels(False):
+            naive_distances = query.distances(database)
+        np.testing.assert_allclose(kernel_distances, naive_distances, rtol=RTOL, atol=ATOL)
+        np.testing.assert_array_equal(
+            np.argsort(kernel_distances, kind="stable"),
+            np.argsort(naive_distances, kind="stable"),
+        )
+
+    def test_mixed_diagonal_and_full_query(self):
+        rng = np.random.default_rng(3)
+        diag_part = random_query(rng, "diagonal", g=2, p=5)
+        full_part = random_query(rng, "inverse", g=2, p=5)
+        query = DisjunctiveQuery(diag_part.points + full_part.points)
+        database = rng.standard_normal((200, 5))
+        np.testing.assert_allclose(
+            compile_query(query).per_cluster_distances(database),
+            naive_per_cluster(query, database),
+            rtol=RTOL,
+            atol=ATOL,
+        )
+
+    def test_database_row_at_centroid_ranks_first(self):
+        """Whitening cancellation must not displace an exact match."""
+        rng = np.random.default_rng(4)
+        query = random_query(rng, "inverse", g=3, p=8)
+        database = 4.0 * rng.standard_normal((100, 8))
+        database[17] = query.points[1].center
+        distances = query.distances(database)
+        assert int(np.argmin(distances)) == 17
+
+    def test_subset_evaluation_matches_full_scan_rows(self):
+        """Tree leaves see row subsets; values must match the full scan."""
+        rng = np.random.default_rng(5)
+        query = random_query(rng, "diagonal", g=3, p=7)
+        database = rng.standard_normal((300, 7))
+        full = query.distances(database)
+        subset = rng.choice(300, size=40, replace=False)
+        np.testing.assert_array_equal(query.distances(database[subset]), full[subset])
+
+    @given(seed=hst.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_property_kernel_equals_naive_both_schemes(self, seed):
+        """Seeded property test: random geometry, both schemes, ≤1e-9."""
+        rng = np.random.default_rng(seed)
+        g = int(rng.integers(1, 6))
+        p = int(rng.integers(2, 24))
+        database = 4.0 * rng.standard_normal((64, p))
+        for scheme in ("diagonal", "inverse"):
+            query = random_query(rng, scheme, g=g, p=p)
+            kernel = compile_query(query).per_cluster_distances(database)
+            naive = naive_per_cluster(query, database)
+            np.testing.assert_allclose(kernel, naive, rtol=RTOL, atol=ATOL)
+            np.testing.assert_array_equal(
+                np.argsort(kernel[0], kind="stable"),
+                np.argsort(naive[0], kind="stable"),
+            )
+
+
+class TestPCAReducedBasis:
+    """Theorem 1: quadratic forms survive the principal-component basis."""
+
+    def test_kernel_matches_naive_in_reduced_basis(self):
+        rng = np.random.default_rng(6)
+        raw = rng.standard_normal((400, 10)) @ rng.standard_normal((10, 10))
+        pca = PCA(n_components=10).fit(raw)
+        reduced = pca.transform(raw)
+        relevant = reduced[rng.choice(400, size=30, replace=False)]
+        scheme = InverseScheme()
+        info = scheme.invert(np.cov(relevant, rowvar=False))
+        query = DisjunctiveQuery(
+            [QueryPoint(center=relevant.mean(axis=0), inverse=info.inverse, weight=1.0)]
+        )
+        np.testing.assert_allclose(
+            compile_query(query).per_cluster_distances(reduced),
+            naive_per_cluster(query, reduced),
+            rtol=RTOL,
+            atol=ATOL,
+        )
+
+    def test_distance_invariance_under_rotation(self):
+        """d^2 computed via kernels is invariant under the PC rotation."""
+        rng = np.random.default_rng(7)
+        raw = rng.standard_normal((300, 8)) @ rng.standard_normal((8, 8))
+        pca = PCA(n_components=8).fit(raw)
+        reduced = pca.transform(raw)
+        picks = rng.choice(300, size=25, replace=False)
+        scheme = InverseScheme(regularization=0.0)
+
+        raw_info = scheme.invert(np.cov(raw[picks], rowvar=False))
+        raw_query = DisjunctiveQuery(
+            [QueryPoint(center=raw[picks].mean(axis=0), inverse=raw_info.inverse, weight=1.0)]
+        )
+        red_info = scheme.invert(np.cov(reduced[picks], rowvar=False))
+        red_query = DisjunctiveQuery(
+            [
+                QueryPoint(
+                    center=reduced[picks].mean(axis=0),
+                    inverse=red_info.inverse,
+                    weight=1.0,
+                )
+            ]
+        )
+        np.testing.assert_allclose(
+            raw_query.distances(raw), red_query.distances(reduced), rtol=1e-7, atol=1e-9
+        )
+
+
+class TestCachingContract:
+    def test_fingerprint_stable_and_sensitive(self):
+        rng = np.random.default_rng(8)
+        a = random_query(rng, "diagonal", g=2, p=4)
+        b = DisjunctiveQuery(list(a.points))
+        assert fingerprint_cluster_state(a) == fingerprint_cluster_state(b)
+        nudged = DisjunctiveQuery(
+            [a.points[0]]
+            + [
+                QueryPoint(
+                    center=a.points[1].center + 1e-12,
+                    inverse=a.points[1].inverse,
+                    weight=a.points[1].weight,
+                )
+            ]
+        )
+        assert fingerprint_cluster_state(a) != fingerprint_cluster_state(nudged)
+
+    def test_memoized_fingerprint_matches_fresh_hash(self):
+        rng = np.random.default_rng(12)
+        query = random_query(rng, "inverse", g=2, p=5)
+        fresh = fingerprint_cluster_state(query)
+        ensure_compiled(query)  # installs the memo
+        assert fingerprint_cluster_state(query) == fresh
+
+    def test_same_state_shares_one_compiled_kernel(self):
+        rng = np.random.default_rng(9)
+        a = random_query(rng, "inverse", g=3, p=6)
+        b = DisjunctiveQuery(list(a.points))
+        cache = KernelCache(capacity=8)
+        compiled_a = ensure_compiled(a, cache=cache)
+        compiled_b = ensure_compiled(b, cache=cache)
+        assert compiled_a is compiled_b
+        assert cache.stats()["hits"] == 1
+        assert cache.stats()["misses"] == 1
+
+    def test_memoization_skips_cache_on_repeat(self):
+        rng = np.random.default_rng(10)
+        query = random_query(rng, "diagonal", g=2, p=4)
+        cache = KernelCache(capacity=8)
+        first = ensure_compiled(query, cache=cache)
+        second = ensure_compiled(query, cache=cache)
+        assert first is second
+        assert cache.stats()["misses"] == 1
+        assert cache.stats()["hits"] == 0  # memo answered, not the cache
+
+    def test_lru_eviction_bounds_residency(self):
+        rng = np.random.default_rng(11)
+        cache = KernelCache(capacity=2)
+        for _ in range(5):
+            ensure_compiled(random_query(rng, "diagonal", g=1, p=3), cache=cache)
+        assert len(cache) == 2
+
+    def test_zero_capacity_disables_caching(self):
+        rng = np.random.default_rng(13)
+        cache = KernelCache(capacity=0)
+        query = random_query(rng, "diagonal", g=1, p=3)
+        ensure_compiled(query, cache=cache)
+        assert len(cache) == 0
+
+    def test_on_event_reports_hits_and_misses(self):
+        rng = np.random.default_rng(14)
+        events = []
+        cache = KernelCache(capacity=8)
+        query = random_query(rng, "inverse", g=2, p=4)
+        ensure_compiled(query, cache=cache, on_event=events.append)
+        ensure_compiled(query, cache=cache, on_event=events.append)
+        twin = DisjunctiveQuery(list(query.points))
+        ensure_compiled(twin, cache=cache, on_event=events.append)
+        assert events == ["misses", "hits", "hits"]
+
+    def test_default_cache_is_shared_and_usable(self):
+        cache = default_kernel_cache()
+        assert cache is default_kernel_cache()
+        rng = np.random.default_rng(15)
+        query = random_query(rng, "diagonal", g=1, p=3)
+        assert ensure_compiled(query) is ensure_compiled(query)
+
+    def test_use_kernels_toggle_restores_state(self):
+        assert kernels_enabled()
+        with use_kernels(False):
+            assert not kernels_enabled()
+            rng = np.random.default_rng(16)
+            query = random_query(rng, "diagonal", g=2, p=4)
+            database = rng.standard_normal((50, 4))
+            np.testing.assert_array_equal(
+                query.per_cluster_distances(database),
+                naive_per_cluster(query, database),
+            )
+        assert kernels_enabled()
+
+
+class TestValidation:
+    def test_empty_kernel_list_rejected(self):
+        with pytest.raises(ValueError, match="at least one kernel"):
+            CompiledQuery([], fingerprint="deadbeef")
+
+    def test_dimension_mismatch_rejected(self):
+        rng = np.random.default_rng(17)
+        query = random_query(rng, "diagonal", g=1, p=4)
+        with pytest.raises(ValueError, match="dimension"):
+            compile_query(query).per_cluster_distances(np.zeros((3, 5)))
+
+    def test_negative_cache_capacity_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            KernelCache(capacity=-1)
+
+    def test_bound_infos_match_tree_expectations(self):
+        """Diagonal points expose the exact per-axis bound; full points
+        expose a non-negative smallest eigenvalue."""
+        rng = np.random.default_rng(18)
+        diag_query = random_query(rng, "diagonal", g=2, p=5)
+        for (center, diagonal, lam), qp in zip(
+            compile_query(diag_query).bound_infos(), diag_query.points
+        ):
+            np.testing.assert_array_equal(diagonal, np.diag(qp.inverse))
+            assert lam == 0.0
+        full_query = random_query(rng, "inverse", g=2, p=5)
+        for (center, diagonal, lam), qp in zip(
+            compile_query(full_query).bound_infos(), full_query.points
+        ):
+            assert diagonal is None
+            smallest = float(np.linalg.eigvalsh(np.asarray(qp.inverse)).min())
+            assert lam == pytest.approx(max(smallest, 0.0))

@@ -118,6 +118,37 @@ class TestCaching:
         assert service.metrics_snapshot()["counters"]["cache_misses"] == 2
 
 
+class TestKernelCounters:
+    def test_kernel_cache_events_are_counted(self, database):
+        service = RetrievalService(database, k=10, cache_size=0)
+        session = service.create_session(3)
+        service.query(session)
+        counters = service.metrics_snapshot()["counters"]
+        first_total = counters.get("kernel_cache_hits", 0) + counters.get(
+            "kernel_cache_misses", 0
+        )
+        assert first_total == 1
+        service.query(session)  # same query object → memoized kernel, a hit
+        snapshot = service.metrics_snapshot()
+        assert snapshot["counters"].get("kernel_cache_hits", 0) >= 1
+        assert 0.0 <= snapshot["kernel_cache_hit_rate"] <= 1.0
+        assert snapshot["kernels"]["capacity"] > 0
+        service.shutdown()
+
+    def test_sessions_sharing_state_share_compiled_kernels(self, database):
+        """Content addressing: a second session asking the same question
+        reuses the first session's compiled kernels."""
+        service = RetrievalService(database, k=10, cache_size=0)
+        first = service.create_session(5)
+        second = service.create_session(5)
+        service.query(first)
+        before = service.metrics_snapshot()["counters"].get("kernel_cache_hits", 0)
+        service.query(second)  # same cluster state, distinct query object
+        after = service.metrics_snapshot()["counters"].get("kernel_cache_hits", 0)
+        assert after == before + 1
+        service.shutdown()
+
+
 class TestShardedScan:
     def test_sharded_scan_matches_single_scan(self, database):
         sharded = RetrievalService(

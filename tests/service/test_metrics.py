@@ -93,6 +93,7 @@ class TestServiceMetrics:
             "counters",
             "latency",
             "cache_hit_rate",
+            "kernel_cache_hit_rate",
             "degradations",
         }
 
