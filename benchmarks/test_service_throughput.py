@@ -81,6 +81,10 @@ class TestServiceThroughput:
         print(f"cache hit rate:     {snapshot['cache_hit_rate']:.3f}")
         print(f"degradations:       {snapshot['degradations']}")
         print(
+            f"refine fraction:    {snapshot['refine_fraction']:.4f} "
+            f"({snapshot['candidates_pruned']} candidates pruned)"
+        )
+        print(
             "query p50/p95 ms:   "
             f"{snapshot['latency']['query']['p50'] * 1e3:.2f} / "
             f"{snapshot['latency']['query']['p95'] * 1e3:.2f}"
@@ -96,6 +100,10 @@ class TestServiceThroughput:
         assert snapshot["cache_hit_rate"] > 0.0
         # Healthy path: the index never degraded.
         assert snapshot["degradations"] == 0
+        # Progressive accounting is always populated (refine_fraction is
+        # 1.0 whenever the filter never engaged — never out of range).
+        assert 0.0 < snapshot["refine_fraction"] <= 1.0
+        assert snapshot["candidates_pruned"] >= 0
 
     def test_tight_deadline_degrades_but_serves_identically(self, service_database):
         """An impossible soft deadline downgrades to the exact scan."""

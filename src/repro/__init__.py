@@ -39,10 +39,12 @@ from .core import (
     ClusterMerger,
     CompiledQuery,
     DisjunctiveQuery,
+    ProgressiveScan,
     QclusterConfig,
     QclusterEngine,
     compile_query,
     use_kernels,
+    use_progressive,
 )
 from .index import HybridTree, MultipointSearcher
 from .retrieval import (
@@ -65,6 +67,8 @@ __all__ = [
     "CompiledQuery",
     "compile_query",
     "use_kernels",
+    "ProgressiveScan",
+    "use_progressive",
     "DisjunctiveQuery",
     "QclusterConfig",
     "QclusterEngine",

@@ -102,20 +102,25 @@ class PowerMeanQuery:
             for center, inverse, weight in zip(self.centers, self.inverses, self.weights)
         ]
 
-    def lower_bound_from_center_distance(self, center_distances) -> np.ndarray:
-        """Aggregate lower bound from per-point lower bounds.
+    def combine_per_cluster(self, per_point: np.ndarray) -> np.ndarray:
+        """Fold a ``(g, N)`` per-point matrix into the power-mean aggregate.
 
         The weighted power mean is monotone increasing in every
-        coordinate (for any non-zero exponent), so substituting valid
-        per-point lower bounds yields a valid aggregate lower bound —
-        exactly what the tree search needs for pruning.
+        coordinate (for any non-zero exponent), so per-point *lower
+        bounds* — box bounds or progressive coordinate prefixes —
+        combine into a valid aggregate lower bound.
         """
-        per_point = np.asarray(center_distances, dtype=float)[:, None]
+        per_point = np.atleast_2d(np.asarray(per_point, dtype=float))
         normalized = self.weights / self.weights.sum()
         if self.alpha < 0:
             per_point = np.maximum(per_point, _DISTANCE_FLOOR)
         mean_power = np.tensordot(normalized, per_point**self.alpha, axes=1)
         return mean_power ** (1.0 / self.alpha)
+
+    def lower_bound_from_center_distance(self, center_distances) -> np.ndarray:
+        """Aggregate lower bound from per-point lower bounds."""
+        per_point = np.asarray(center_distances, dtype=float)[:, None]
+        return self.combine_per_cluster(per_point)
 
     def per_point_distances(self, database: np.ndarray) -> np.ndarray:
         """``(g, N)`` per-query-point quadratic distances.
@@ -137,12 +142,7 @@ class PowerMeanQuery:
 
     def distances(self, database: np.ndarray) -> np.ndarray:
         """Weighted ``alpha``-power mean of per-point distances."""
-        per_point = self.per_point_distances(database)
-        normalized = self.weights / self.weights.sum()
-        if self.alpha < 0:
-            per_point = np.maximum(per_point, _DISTANCE_FLOOR)
-        mean_power = np.tensordot(normalized, per_point**self.alpha, axes=1)
-        return mean_power ** (1.0 / self.alpha)
+        return self.combine_per_cluster(self.per_point_distances(database))
 
 
 class AccumulatingMethod(FeedbackMethod):

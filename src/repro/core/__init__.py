@@ -30,6 +30,16 @@ from .kernels import (
     use_kernels,
 )
 from .merging import ClusterMerger, MergeRecord, pairwise_merge_test
+from .progressive import (
+    ProgressivePlan,
+    ProgressiveResult,
+    ProgressiveScan,
+    ScanStats,
+    exact_top_k,
+    progressive_enabled,
+    progressive_topk,
+    use_progressive,
+)
 from .pca import PCA, select_dimension_by_variance, t2_in_pc_basis
 from .qcluster import QclusterEngine
 from .quality import QualityReport, labelled_classification_error, leave_one_out_error
@@ -64,6 +74,14 @@ __all__ = [
     "ClusterMerger",
     "MergeRecord",
     "pairwise_merge_test",
+    "ProgressivePlan",
+    "ProgressiveResult",
+    "ProgressiveScan",
+    "ScanStats",
+    "exact_top_k",
+    "progressive_enabled",
+    "progressive_topk",
+    "use_progressive",
     "PCA",
     "select_dimension_by_variance",
     "t2_in_pc_basis",

@@ -196,14 +196,25 @@ class DisjunctiveQuery:
             ]
         )
 
-    def distances(self, database: np.ndarray) -> np.ndarray:
-        """Length-``N`` disjunctive aggregate distances (Equation 5)."""
-        per_cluster = self.per_cluster_distances(database)
+    def combine_per_cluster(self, per_cluster: np.ndarray) -> np.ndarray:
+        """Fold a ``(g, N)`` per-cluster matrix into aggregate distances.
+
+        The harmonic combination is monotone increasing in every
+        per-cluster entry, so feeding per-cluster *lower bounds* (tree
+        boxes, progressive coordinate prefixes) yields a valid lower
+        bound on the aggregate — the hook the filter-and-refine scan
+        builds on.
+        """
+        per_cluster = np.atleast_2d(np.asarray(per_cluster, dtype=float))
         if self.size == 1:
             # A single query point degenerates to the plain quadratic
             # distance — exactly MindReader's model.
             return per_cluster[0]
         return disjunctive_distance(per_cluster, self.weights)
+
+    def distances(self, database: np.ndarray) -> np.ndarray:
+        """Length-``N`` disjunctive aggregate distances (Equation 5)."""
+        return self.combine_per_cluster(self.per_cluster_distances(database))
 
     def distance(self, x: np.ndarray) -> float:
         """Aggregate distance for one point (scalar convenience)."""
@@ -219,10 +230,7 @@ class DisjunctiveQuery:
         aggregate is monotone in each coordinate).
         """
         per_cluster = np.asarray(center_distances, dtype=float)[:, None]
-        if self.size == 1:
-            # No harmonic division for a single point: the bound passes
-            # through exactly (a zero bound must stay zero).
-            return per_cluster[0]
-        return disjunctive_distance(
-            np.maximum(per_cluster, _DISTANCE_FLOOR), self.weights
-        )
+        # For a single point the bound passes through exactly (a zero
+        # bound must stay zero); otherwise the harmonic combination
+        # (which clamps internally) applies.
+        return self.combine_per_cluster(per_cluster)

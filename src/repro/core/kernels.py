@@ -401,11 +401,18 @@ class KernelCache:
             caching (every lookup misses).
     """
 
+    _N_STRIPES = 16
+
     def __init__(self, capacity: int = 512) -> None:
         if capacity < 0:
             raise ValueError(f"capacity must be non-negative, got {capacity}")
         self.capacity = capacity
         self._lock = threading.Lock()
+        # Per-fingerprint-stripe compile locks: concurrent misses on the
+        # same fingerprint serialize on a stripe so the compilation runs
+        # once, while misses on different fingerprints compile freely in
+        # parallel (the map lock above is never held during compilation).
+        self._stripes = [threading.Lock() for _ in range(self._N_STRIPES)]
         self._entries: "OrderedDict[str, CompiledQuery]" = OrderedDict()
         self.hits = 0
         self.misses = 0
@@ -434,6 +441,52 @@ class KernelCache:
             self._entries.move_to_end(fingerprint)
             while len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
+
+    def _peek(self, fingerprint: str) -> Optional[CompiledQuery]:
+        """Like :meth:`get` but without touching the hit/miss counters."""
+        with self._lock:
+            entry = self._entries.get(fingerprint)
+            if entry is not None:
+                self._entries.move_to_end(fingerprint)
+            return entry
+
+    def get_or_create(
+        self,
+        fingerprint: str,
+        factory: Callable[[], "CompiledQuery"],
+        on_event: Optional[Callable[[str], None]] = None,
+    ) -> "CompiledQuery":
+        """The entry for ``fingerprint``, compiling it at most once.
+
+        A miss acquires the fingerprint's stripe lock and re-checks the
+        map before calling ``factory``, so two threads racing on the
+        same cluster state never compile twice: the loser of the race
+        finds the winner's entry on the double-check (it still counts
+        its original miss — it did arrive before the entry existed).
+
+        Args:
+            fingerprint: cluster-state fingerprint key.
+            factory: zero-argument compiler, invoked on a genuine miss.
+            on_event: optional ``"hits"``/``"misses"`` callback
+                (exactly one event per call).
+        """
+        compiled = self.get(fingerprint)
+        if compiled is not None:
+            if on_event is not None:
+                on_event("hits")
+            return compiled
+        if on_event is not None:
+            on_event("misses")
+        if self.capacity == 0:
+            # Caching disabled: nothing to publish or double-check.
+            return factory()
+        stripe = self._stripes[hash(fingerprint) % self._N_STRIPES]
+        with stripe:
+            compiled = self._peek(fingerprint)
+            if compiled is None:
+                compiled = factory()
+                self.put(fingerprint, compiled)
+        return compiled
 
     def clear(self) -> None:
         """Drop every entry (hit/miss counters are kept)."""
@@ -521,12 +574,11 @@ def ensure_compiled(
     if cache is None:
         cache = _DEFAULT_CACHE
     fingerprint = fingerprint_cluster_state(query)
-    compiled = cache.get(fingerprint)
-    if on_event is not None:
-        on_event("hits" if compiled is not None else "misses")
-    if compiled is None:
-        compiled = compile_query(query, fingerprint=fingerprint)
-        cache.put(fingerprint, compiled)
+    compiled = cache.get_or_create(
+        fingerprint,
+        lambda: compile_query(query, fingerprint=fingerprint),
+        on_event=on_event,
+    )
     try:
         object.__setattr__(query, _MEMO_ATTRIBUTE, compiled)
     except (AttributeError, TypeError):  # __slots__ or exotic query types

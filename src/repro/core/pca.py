@@ -71,7 +71,10 @@ class PCA:
         centered = data - self.mean_
         covariance = centered.T @ centered / (n - 1)
         eigenvalues, eigenvectors = np.linalg.eigh(covariance)
-        order = np.argsort(eigenvalues)[::-1]
+        # Stable descending sort: reversing an unstable ascending sort
+        # would make tie order platform-dependent, and downstream prefix
+        # schedules need a deterministic basis.
+        order = np.argsort(-eigenvalues, kind="stable")
         eigenvalues = np.maximum(eigenvalues[order], 0.0)
         eigenvectors = eigenvectors[:, order]
         k = self.n_components if self.n_components is not None else p

@@ -32,7 +32,13 @@ from typing import List, Optional, Set, Tuple
 import numpy as np
 
 from ..core.distance import DisjunctiveQuery
-from ..core.kernels import ensure_compiled
+from ..core.kernels import ensure_compiled, kernels_enabled
+from ..core.progressive import (
+    ProgressivePlan,
+    plan_for,
+    progressive_enabled,
+    prune_threshold,
+)
 from .linear import KnnResult, SearchCost, page_capacity_for
 
 __all__ = ["TreeNode", "HybridTree"]
@@ -129,6 +135,21 @@ class HybridTree:
         return ensure_compiled(query).bound_infos()
 
     @staticmethod
+    def _progressive_plan(query: DisjunctiveQuery) -> Optional[ProgressivePlan]:
+        """The query's prefix plan when progressive pruning applies.
+
+        ``None`` routes the search through the classic bounds/full-leaf
+        path — the plan only ever *tightens* node bounds and *filters*
+        leaf candidates on valid lower bounds, so both paths return
+        identical results.
+        """
+        if not (progressive_enabled() and kernels_enabled()):
+            return None
+        if getattr(query, "combine_per_cluster", None) is None:
+            return None
+        return plan_for(ensure_compiled(query))
+
+    @staticmethod
     def _box_lower_bounds(
         prepared: List[Tuple[np.ndarray, Optional[np.ndarray], float]],
         low: np.ndarray,
@@ -181,9 +202,16 @@ class HybridTree:
                 cost=SearchCost(0, 0, 0, 0),
             )
         prepared = self._prepare_bounds(query)
+        plan = self._progressive_plan(query)
 
         def aggregate_bound(node: TreeNode) -> float:
-            per_point = self._box_lower_bounds(prepared, node.low, node.high)
+            if plan is not None:
+                # Interval-arithmetic prefix bounds: never looser than
+                # the classic per-point bounds (each takes the max with
+                # its classic counterpart), so pruning only improves.
+                per_point = plan.box_lower_bounds(node.low, node.high)
+            else:
+                per_point = self._box_lower_bounds(prepared, node.low, node.high)
             return float(query.lower_bound_from_center_distance(per_point)[0])
 
         counter = itertools.count()
@@ -196,6 +224,7 @@ class HybridTree:
         io_accesses = 0
         cached_accesses = 0
         distance_evaluations = 0
+        candidates_pruned = 0
 
         while frontier:
             bound, _, node = heapq.heappop(frontier)
@@ -212,6 +241,25 @@ class HybridTree:
                 candidates = node.indices[self._alive[node.indices]]
                 if candidates.shape[0] == 0:
                     continue
+                if plan is not None and len(best) == k and candidates.shape[0] >= 8:
+                    # Leaf filter: lower-bound the bucket on the first
+                    # prefix level; only survivors pay an exact
+                    # distance.  A pruned candidate's distance exceeds
+                    # the current k-th best, so it could never enter
+                    # the heap (strict < below) — results unchanged.
+                    cut = prune_threshold(-best[0][0])
+                    leaf_bounds = query.combine_per_cluster(
+                        plan.prefix_distances(
+                            self.vectors[candidates], 0, plan.schedule[0]
+                        )
+                    )
+                    keep = leaf_bounds <= cut
+                    candidates_pruned += int(
+                        candidates.shape[0] - np.count_nonzero(keep)
+                    )
+                    candidates = candidates[keep]
+                    if candidates.shape[0] == 0:
+                        continue
                 distances = query.distances(self.vectors[candidates])
                 distance_evaluations += candidates.shape[0]
                 for distance, index in zip(distances, candidates):
@@ -233,6 +281,7 @@ class HybridTree:
             io_accesses=io_accesses,
             cached_accesses=cached_accesses,
             distance_evaluations=distance_evaluations,
+            candidates_pruned=candidates_pruned,
         )
         return KnnResult(indices=indices, distances=distances, cost=cost)
 
@@ -256,15 +305,20 @@ class HybridTree:
                 f"{self.vectors.shape[1]}"
             )
         prepared = self._prepare_bounds(query)
+        plan = self._progressive_plan(query)
         hits: List[Tuple[float, int]] = []
         node_accesses = 0
         io_accesses = 0
         cached_accesses = 0
         distance_evaluations = 0
+        candidates_pruned = 0
         stack = [self.root]
         while stack:
             node = stack.pop()
-            per_point = self._box_lower_bounds(prepared, node.low, node.high)
+            if plan is not None:
+                per_point = plan.box_lower_bounds(node.low, node.high)
+            else:
+                per_point = self._box_lower_bounds(prepared, node.low, node.high)
             bound = float(query.lower_bound_from_center_distance(per_point)[0])
             if bound > radius:
                 continue
@@ -279,6 +333,24 @@ class HybridTree:
                 candidates = node.indices[self._alive[node.indices]]
                 if candidates.shape[0] == 0:
                     continue
+                if plan is not None and candidates.shape[0] >= 8:
+                    # A candidate whose prefix lower bound already
+                    # exceeds the radius cannot be a hit (its distance
+                    # is at least the bound); filter it before paying
+                    # the exact evaluation.
+                    cut = prune_threshold(radius)
+                    leaf_bounds = query.combine_per_cluster(
+                        plan.prefix_distances(
+                            self.vectors[candidates], 0, plan.schedule[0]
+                        )
+                    )
+                    keep = leaf_bounds <= cut
+                    candidates_pruned += int(
+                        candidates.shape[0] - np.count_nonzero(keep)
+                    )
+                    candidates = candidates[keep]
+                    if candidates.shape[0] == 0:
+                        continue
                 distances = query.distances(self.vectors[candidates])
                 distance_evaluations += candidates.shape[0]
                 for distance, index in zip(distances, candidates):
@@ -293,6 +365,7 @@ class HybridTree:
             io_accesses=io_accesses,
             cached_accesses=cached_accesses,
             distance_evaluations=distance_evaluations,
+            candidates_pruned=candidates_pruned,
         )
         return KnnResult(
             indices=np.array([index for _, index in hits], dtype=int),

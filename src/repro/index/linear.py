@@ -15,6 +15,7 @@ from typing import Tuple
 import numpy as np
 
 from ..core.distance import DisjunctiveQuery
+from ..core.progressive import exact_top_k, progressive_topk
 
 __all__ = ["SearchCost", "KnnResult", "LinearScan", "page_capacity_for"]
 
@@ -40,12 +41,26 @@ class SearchCost:
         cached_accesses: nodes served from the iteration cache.
         distance_evaluations: candidate vectors whose aggregate distance
             was computed.
+        candidates_pruned: candidate vectors discarded by the
+            progressive filter on a lower bound alone (no exact
+            distance ever computed).
     """
 
     node_accesses: int
     io_accesses: int
     cached_accesses: int
     distance_evaluations: int
+    candidates_pruned: int = 0
+
+    @property
+    def refine_fraction(self) -> float:
+        """Exactly-evaluated share of the candidates the query touched.
+
+        ``1.0`` means every candidate was refined (no progressive
+        pruning); small values mean the filter did most of the work.
+        """
+        touched = self.distance_evaluations + self.candidates_pruned
+        return self.distance_evaluations / touched if touched else 1.0
 
 
 @dataclass(frozen=True)
@@ -90,9 +105,27 @@ class LinearScan:
         if k < 1:
             raise ValueError(f"k must be at least 1, got {k}")
         k = min(k, self.size)
+        # Filter-and-refine fast path: lower-bound every row on a
+        # coordinate prefix, compute exact distances only for survivors.
+        # Byte-identical to the full scan below; pages are still read in
+        # full (the filter touches every row), only distance arithmetic
+        # is saved.
+        progressive = progressive_topk(self.vectors, query, k)
+        if progressive is not None:
+            cost = SearchCost(
+                node_accesses=self.n_pages,
+                io_accesses=self.n_pages,
+                cached_accesses=0,
+                distance_evaluations=progressive.stats.refined,
+                candidates_pruned=progressive.stats.pruned,
+            )
+            return KnnResult(
+                indices=progressive.indices,
+                distances=progressive.distances,
+                cost=cost,
+            )
         distances = query.distances(self.vectors)
-        order = np.argpartition(distances, k - 1)[:k]
-        order = order[np.argsort(distances[order], kind="stable")]
+        order = exact_top_k(distances, k)
         cost = SearchCost(
             node_accesses=self.n_pages,
             io_accesses=self.n_pages,

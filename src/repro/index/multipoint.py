@@ -25,6 +25,7 @@ import numpy as np
 
 from ..core.distance import DisjunctiveQuery
 from ..core.kernels import ensure_compiled
+from ..core.progressive import exact_top_k
 from .hybridtree import HybridTree
 from .linear import KnnResult, SearchCost
 
@@ -115,7 +116,10 @@ class CentroidSearcher:
             distance_evaluations += result.cost.distance_evaluations
         candidates = np.fromiter(candidate_indices, dtype=int)
         distances = query.distances(self.tree.vectors[candidates])
-        order = np.argsort(distances, kind="stable")[:k]
+        # O(N + k log k) selection instead of a full O(N log N) sort;
+        # tie-breaking on the database id keeps the merge deterministic
+        # regardless of set-iteration order.
+        order = exact_top_k(distances, min(k, candidates.shape[0]), tie_break=candidates)
         cost = SearchCost(
             node_accesses=node_accesses,
             io_accesses=io_accesses,

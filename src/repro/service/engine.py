@@ -36,6 +36,7 @@ from typing import Callable, List, Optional, Sequence, Union
 import numpy as np
 
 from ..core.kernels import default_kernel_cache, ensure_compiled
+from ..core.progressive import exact_top_k, progressive_topk
 from ..index.hybridtree import HybridTree
 from ..index.linear import page_capacity_for
 from ..index.multipoint import MultipointSearcher
@@ -137,6 +138,9 @@ class RetrievalService:
         self._shards: List[np.ndarray] = [
             vectors[bounds[i] : bounds[i + 1]] for i in range(n_shards)
         ]
+        # Global row id of each shard's first row: per-shard top-k
+        # results are translated back to database ids before merging.
+        self._shard_offsets: List[int] = [int(b) for b in bounds[:-1]]
         self._executor = (
             ThreadPoolExecutor(
                 max_workers=min(max_workers, n_shards),
@@ -331,6 +335,13 @@ class RetrievalService:
                     "index_node_accesses", result.cost.node_accesses
                 )
                 self.metrics.increment("index_io_accesses", result.cost.io_accesses)
+                if result.cost.candidates_pruned:
+                    self.metrics.increment(
+                        "candidates_pruned", result.cost.candidates_pruned
+                    )
+                self.metrics.increment(
+                    "candidates_refined", result.cost.distance_evaluations
+                )
                 if guard is not None and guard.record_elapsed(elapsed):
                     self.metrics.increment("degraded_deadline")
                 return result.indices, result.distances
@@ -342,22 +353,51 @@ class RetrievalService:
             )
             return self._sharded_scan(session.query, k)
 
+    @staticmethod
+    def _shard_topk(query: QueryLike, shard: np.ndarray, offset: int, k: int):
+        """Exact per-shard top-``k``: ``(global ids, distances, pruned, refined)``.
+
+        Routed through the progressive filter-and-refine scan when it
+        applies (large shard, eligible query); the fallback computes
+        every distance.  Either way the ids/distances returned are the
+        shard's exact top-k under the ``(distance, id)`` order.
+        """
+        k = min(k, shard.shape[0])
+        progressive = progressive_topk(shard, query, k)
+        if progressive is not None:
+            return (
+                progressive.indices + offset,
+                progressive.distances,
+                progressive.stats.pruned,
+                progressive.stats.refined,
+            )
+        distances = query.distances(shard)
+        top = exact_top_k(distances, k)
+        return top + offset, distances[top], 0, shard.shape[0]
+
     def _sharded_scan(self, query: QueryLike, k: int):
         """Exact top-``k`` by scanning all shards, in parallel when possible.
 
-        Each row's aggregate distance depends on that row alone, so the
-        shard-wise concatenation equals the single-matrix scan exactly
-        and the ranking is deterministic regardless of thread timing
-        (futures are gathered in shard order).
+        Each row's aggregate distance depends on that row alone, so
+        merging per-shard top-k candidates under the deterministic
+        ``(distance, id)`` order equals the single-matrix scan exactly,
+        regardless of thread timing (futures are gathered in shard
+        order) and of how much each shard's progressive filter pruned.
         """
         if self._executor is None:
-            distances = query.distances(self.vectors)
+            parts = [self._shard_topk(query, self.vectors, 0, k)]
         else:
             futures = [
-                self._executor.submit(query.distances, shard)
-                for shard in self._shards
+                self._executor.submit(self._shard_topk, query, shard, offset, k)
+                for shard, offset in zip(self._shards, self._shard_offsets)
             ]
-            distances = np.concatenate([future.result() for future in futures])
-        top = np.argpartition(distances, k - 1)[:k]
-        ids = top[np.argsort(distances[top], kind="stable")]
-        return ids, distances[ids]
+            parts = [future.result() for future in futures]
+        ids = np.concatenate([part[0] for part in parts])
+        distances = np.concatenate([part[1] for part in parts])
+        pruned = sum(part[2] for part in parts)
+        refined = sum(part[3] for part in parts)
+        if pruned:
+            self.metrics.increment("candidates_pruned", int(pruned))
+        self.metrics.increment("candidates_refined", int(refined))
+        top = exact_top_k(distances, min(k, ids.shape[0]), tie_break=ids)
+        return ids[top], distances[top]

@@ -138,11 +138,18 @@ class ServiceMetrics:
         kernel_hits = counters.get("kernel_cache_hits", 0)
         kernel_misses = counters.get("kernel_cache_misses", 0)
         kernel_total = kernel_hits + kernel_misses
+        pruned = counters.get("candidates_pruned", 0)
+        refined = counters.get("candidates_refined", 0)
+        touched = pruned + refined
         return {
             "counters": counters,
             "latency": latency,
             "cache_hit_rate": hits / total if total else 0.0,
             "kernel_cache_hit_rate": kernel_hits / kernel_total if kernel_total else 0.0,
+            # Progressive-scan effectiveness: the exactly-refined share
+            # of all ranking candidates (1.0 = no pruning anywhere).
+            "refine_fraction": refined / touched if touched else 1.0,
+            "candidates_pruned": pruned,
             "degradations": counters.get("degraded_error", 0)
             + counters.get("degraded_deadline", 0),
         }

@@ -1,0 +1,196 @@
+"""KernelCache under contention: no lost entries, no double compiles.
+
+The cache is shared process-wide across shards, sessions and service
+instances, so every operation may race.  These tests hammer the map
+from many threads and pin the three guarantees the service relies on:
+entries are never lost, the hit/miss counters stay consistent with the
+number of calls, and ``get_or_create`` invokes its factory at most
+once per fingerprint no matter how many threads miss simultaneously.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import Counter
+
+import numpy as np
+
+from repro.core.distance import DisjunctiveQuery, QueryPoint
+from repro.core.kernels import KernelCache, compile_query, ensure_compiled
+
+N_THREADS = 8
+
+
+def run_threads(worker, n_threads=N_THREADS):
+    barrier = threading.Barrier(n_threads)
+    errors = []
+
+    def wrapped(thread_id):
+        barrier.wait()  # maximise contention: everyone starts together
+        try:
+            worker(thread_id)
+        except Exception as error:  # pragma: no cover - failure path
+            errors.append(error)
+
+    threads = [
+        threading.Thread(target=wrapped, args=(i,)) for i in range(n_threads)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert not errors, errors
+
+
+def simple_query(seed: int) -> DisjunctiveQuery:
+    rng = np.random.default_rng(seed)
+    return DisjunctiveQuery(
+        [
+            QueryPoint(
+                center=rng.standard_normal(8),
+                inverse=np.diag(rng.uniform(0.5, 2.0, size=8)),
+                weight=1.0,
+                diagonal=True,
+            )
+        ]
+    )
+
+
+class TestNoLostEntries:
+    def test_concurrent_puts_all_land(self):
+        cache = KernelCache(capacity=4096)
+        per_thread = 64
+
+        def worker(thread_id):
+            for i in range(per_thread):
+                cache.put(f"fp-{thread_id}-{i}", object())
+
+        run_threads(worker)
+        assert len(cache) == N_THREADS * per_thread
+        for thread_id in range(N_THREADS):
+            for i in range(per_thread):
+                assert cache.get(f"fp-{thread_id}-{i}") is not None
+
+    def test_eviction_respects_capacity_under_contention(self):
+        cache = KernelCache(capacity=16)
+
+        def worker(thread_id):
+            for i in range(200):
+                cache.put(f"fp-{thread_id}-{i}", object())
+                cache.get(f"fp-{thread_id}-{i % 7}")
+
+        run_threads(worker)
+        assert len(cache) <= 16
+        # The most recent insertions survived the LRU churn.
+        assert len(cache) > 0
+
+
+class TestCounterConsistency:
+    def test_hits_plus_misses_equals_calls(self):
+        cache = KernelCache(capacity=256)
+        calls_per_thread = 500
+
+        def worker(thread_id):
+            rng = np.random.default_rng(thread_id)
+            for _ in range(calls_per_thread):
+                key = f"fp-{rng.integers(0, 32)}"
+                if cache.get(key) is None:
+                    cache.put(key, object())
+
+        run_threads(worker)
+        stats = cache.stats()
+        assert stats["hits"] + stats["misses"] == N_THREADS * calls_per_thread
+        assert stats["hits"] > 0 and stats["misses"] > 0
+
+    def test_get_or_create_emits_exactly_one_event_per_call(self):
+        cache = KernelCache(capacity=256)
+        events = Counter()
+        events_lock = threading.Lock()
+        calls_per_thread = 300
+
+        def on_event(kind):
+            with events_lock:
+                events[kind] += 1
+
+        def worker(thread_id):
+            rng = np.random.default_rng(100 + thread_id)
+            for _ in range(calls_per_thread):
+                key = f"fp-{rng.integers(0, 16)}"
+                assert (
+                    cache.get_or_create(key, object, on_event=on_event)
+                    is not None
+                )
+
+        run_threads(worker)
+        total = N_THREADS * calls_per_thread
+        assert events["hits"] + events["misses"] == total
+        assert cache.hits + cache.misses == total
+
+
+class TestSingleCompilation:
+    def test_racing_threads_compile_each_fingerprint_once(self):
+        cache = KernelCache(capacity=256)
+        factory_calls = Counter()
+        factory_lock = threading.Lock()
+        fingerprints = [f"fp-{i}" for i in range(4)]
+        winners = {}
+
+        def factory_for(key):
+            def factory():
+                with factory_lock:
+                    factory_calls[key] += 1
+                return object()
+
+            return factory
+
+        def worker(thread_id):
+            for _ in range(50):
+                for key in fingerprints:
+                    compiled = cache.get_or_create(key, factory_for(key))
+                    previous = winners.setdefault(key, compiled)
+                    # Every thread observes the same published object.
+                    assert compiled is previous
+
+        run_threads(worker)
+        for key in fingerprints:
+            assert factory_calls[key] == 1
+
+    def test_capacity_zero_compiles_every_time_and_stores_nothing(self):
+        cache = KernelCache(capacity=0)
+        factory_calls = Counter()
+        factory_lock = threading.Lock()
+
+        def factory():
+            with factory_lock:
+                factory_calls["fp"] += 1
+            return object()
+
+        def worker(thread_id):
+            for _ in range(20):
+                assert cache.get_or_create("fp", factory) is not None
+
+        run_threads(worker)
+        assert factory_calls["fp"] == N_THREADS * 20
+        assert len(cache) == 0
+
+    def test_ensure_compiled_shares_one_kernel_across_threads(self):
+        cache = KernelCache(capacity=64)
+        results = [None] * N_THREADS
+
+        def worker(thread_id):
+            # One fresh query object per thread, identical cluster
+            # state: the fingerprint collides and only one compile runs.
+            query = simple_query(seed=7)
+            results[thread_id] = ensure_compiled(query, cache=cache)
+
+        run_threads(worker)
+        first = results[0]
+        assert all(compiled is first for compiled in results)
+        assert cache.stats()["entries"] == 1
+
+    def test_compiled_queries_survive_round_trip(self):
+        cache = KernelCache(capacity=8)
+        query = simple_query(seed=11)
+        compiled = compile_query(query)
+        cache.put("fp", compiled)
+        assert cache.get("fp") is compiled

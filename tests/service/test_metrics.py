@@ -94,6 +94,8 @@ class TestServiceMetrics:
             "latency",
             "cache_hit_rate",
             "kernel_cache_hit_rate",
+            "refine_fraction",
+            "candidates_pruned",
             "degradations",
         }
 
