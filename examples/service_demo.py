@@ -10,13 +10,17 @@ Demonstrates the `repro.service` subsystem end to end:
 3. evict a session to its disk checkpoint and resume it losslessly,
 4. degrade gracefully when the index misses an (artificially
    impossible) soft deadline,
-5. print the operational metrics snapshot.
+5. print the operational metrics snapshot,
+6. trace one full feedback session and render its span tree, write the
+   JSONL event log (path via ``REPRO_TRACE_JSONL``, default
+   ``service_demo_trace.jsonl``), and print the Prometheus exposition.
 
 Run:  PYTHONPATH=src python examples/service_demo.py
 """
 
 from __future__ import annotations
 
+import os
 import tempfile
 import threading
 import time
@@ -25,6 +29,7 @@ import numpy as np
 
 from repro.datasets import generate_collection
 from repro.features import color_pipeline
+from repro.obs import JsonlTraceLog, Tracer, render_span_tree
 from repro.retrieval import FeatureDatabase, SimulatedUser
 from repro.service import RetrievalService
 
@@ -113,6 +118,32 @@ def graceful_degradation(database: FeatureDatabase) -> None:
     reference.shutdown()
 
 
+def traced_session(database: FeatureDatabase) -> None:
+    print("== structured tracing of one feedback session ==")
+    tracer = Tracer(max_traces=16)
+    service = RetrievalService(database, k=40, tracer=tracer)
+    drive_user(service, database, query_id=3, rounds=2)
+    snapshot = service.metrics_snapshot()
+    prometheus = service.prometheus_metrics()
+    service.shutdown()
+
+    feedback_traces = [t for t in tracer.traces() if t["name"] == "feedback"]
+    print(render_span_tree(feedback_traces[0]))
+
+    jsonl_path = os.environ.get("REPRO_TRACE_JSONL", "service_demo_trace.jsonl")
+    log = JsonlTraceLog(jsonl_path)
+    written = log.export_all(tracer)
+    print(f"  wrote {written} spans to {jsonl_path}")
+
+    aggregates = tracer.aggregates()
+    print(f"  span aggregates: {sorted(aggregates['spans'])}")
+    print(f"  event counts: {aggregates['events']}")
+    print(f"  uptime: {snapshot['uptime_seconds']:.2f}s")
+    print("  prometheus exposition (first lines):")
+    for line in prometheus.splitlines()[:6]:
+        print(f"    {line}")
+
+
 def main() -> None:
     database = build_database()
     print(f"serving {database.size} images, {database.dimension}-d features\n")
@@ -121,6 +152,8 @@ def main() -> None:
     evict_and_resume(database)
     print()
     graceful_degradation(database)
+    print()
+    traced_session(database)
 
 
 if __name__ == "__main__":

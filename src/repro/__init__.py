@@ -21,6 +21,9 @@ union of the subpackages:
 * :mod:`repro.service` — the concurrent multi-session retrieval
   service: session store with TTL/LRU eviction and checkpoints, result
   caching, graceful degradation and operational metrics.
+* :mod:`repro.obs` — structured tracing across the pipeline: nested
+  timed spans with algorithmic events, JSONL / console / Prometheus
+  exporters, and a no-op default tracer for production hot paths.
 
 Quickstart::
 
@@ -47,6 +50,14 @@ from .core import (
     use_progressive,
 )
 from .index import HybridTree, MultipointSearcher
+from .obs import (
+    NULL_TRACER,
+    JsonlTraceLog,
+    NullTracer,
+    Tracer,
+    prometheus_text,
+    render_span_tree,
+)
 from .retrieval import (
     FeatureDatabase,
     FeedbackMethod,
@@ -83,6 +94,12 @@ __all__ = [
     "RetrievalService",
     "ServiceMetrics",
     "SessionStore",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "JsonlTraceLog",
+    "render_span_tree",
+    "prometheus_text",
     "ImageRetrievalSystem",
     "ResultPage",
     "__version__",

@@ -9,6 +9,9 @@ Subcommands:
 * ``service`` — drive N concurrent simulated users through the
   :class:`~repro.service.RetrievalService` and print throughput plus
   the operational metrics snapshot.
+* ``obs`` — run a traced feedback workload and dump the observability
+  surface: rendered span trees of the last N rounds, the raw JSONL
+  event log, or a Prometheus text-format exposition.
 * ``figure`` — regenerate any of the paper's tables/figures by id
   (``fig5`` ... ``fig19``, ``table2``, ``table3``, ``headline``),
   optionally exporting CSV.
@@ -202,6 +205,48 @@ def cmd_service(args) -> int:
     return 0
 
 
+def cmd_obs(args) -> int:
+    """Traced feedback workload, dumped as span trees / JSONL / Prometheus."""
+    from .obs import Tracer, render_span_tree, trace_to_jsonl_lines
+    from .retrieval import SimulatedUser
+    from .service import RetrievalService
+
+    database = _build_database(args)
+    tracer = Tracer(max_traces=args.max_traces, sample_every=args.sample_every)
+    service = RetrievalService(database, k=args.k, tracer=tracer)
+    rng = np.random.default_rng(args.seed)
+    try:
+        for query_id in rng.integers(0, database.size, size=args.sessions):
+            session_id = service.create_session(int(query_id))
+            user = SimulatedUser(database, database.category_of(int(query_id)))
+            page = service.query(session_id)
+            for _ in range(args.iterations):
+                judgment = user.judge(page.ids)
+                page = service.feedback(
+                    session_id, judgment.relevant_indices, judgment.scores
+                )
+            service.close(session_id)
+        traces = tracer.traces(last=args.last)
+        if args.format == "prometheus":
+            output = service.prometheus_metrics()
+        elif args.format == "jsonl":
+            output = "\n".join(
+                line for trace in traces for line in trace_to_jsonl_lines(trace)
+            )
+        else:
+            output = "\n\n".join(render_span_tree(trace) for trace in traces)
+    finally:
+        service.shutdown()
+    if args.output:
+        from pathlib import Path
+
+        Path(args.output).write_text(output + "\n", encoding="utf-8")
+        print(f"wrote {args.output}")
+    else:
+        print(output)
+    return 0
+
+
 def _figure_tables(figure_id: str, scale: str):
     """Produce the ResultTables for one figure/table id."""
     from .experiments import (
@@ -349,6 +394,30 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=None, help="ranking thread-pool size"
     )
     service.set_defaults(func=cmd_service)
+
+    obs = subparsers.add_parser(
+        "obs", help="trace a feedback workload and dump spans/events/metrics"
+    )
+    add_collection_arguments(obs)
+    obs.add_argument("--sessions", type=int, default=2, help="sessions to drive")
+    obs.add_argument(
+        "--format",
+        choices=("tree", "jsonl", "prometheus"),
+        default="tree",
+        help="tree = rendered span trees, jsonl = raw event log, "
+        "prometheus = text-format metrics exposition",
+    )
+    obs.add_argument(
+        "--last", type=int, default=None, help="only the last N traces"
+    )
+    obs.add_argument(
+        "--max-traces", type=int, default=64, help="trace ring-buffer size"
+    )
+    obs.add_argument(
+        "--sample-every", type=int, default=1, help="trace every N-th request"
+    )
+    obs.add_argument("--output", help="write to this file instead of stdout")
+    obs.set_defaults(func=cmd_obs)
 
     disjunctive = subparsers.add_parser(
         "disjunctive", help="the Example 3 / Figure 5 demo"

@@ -26,6 +26,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from ..obs import add_event
 from ..stats.chi2 import effective_radius
 from ..stats.descriptive import pooled_covariance
 from .cluster import Cluster
@@ -223,6 +224,14 @@ class BayesianClassifier:
         state = self.prepare(clusters)
         decision = self.classify(state, x)
         if decision.is_outlier:
+            # Algorithm 2 line 5: the point fell outside the winner's
+            # effective radius chi2_p(alpha) and seeds a new cluster.
+            add_event(
+                "cluster_seeded",
+                radius_distance=decision.radius_distance,
+                radius=state.radius,
+                nearest_cluster=decision.cluster_index,
+            )
             clusters.append(Cluster(np.asarray(x, dtype=float)[None, :], [score]))
             return len(clusters) - 1
         clusters[decision.cluster_index].add(x, score)

@@ -52,6 +52,8 @@ from typing import Callable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..obs import add_event, current_tracer
+
 __all__ = [
     "fingerprint_cluster_state",
     "DiagonalKernel",
@@ -574,11 +576,29 @@ def ensure_compiled(
     if cache is None:
         cache = _DEFAULT_CACHE
     fingerprint = fingerprint_cluster_state(query)
-    compiled = cache.get_or_create(
-        fingerprint,
-        lambda: compile_query(query, fingerprint=fingerprint),
-        on_event=on_event,
-    )
+
+    def _compile() -> CompiledQuery:
+        # A genuine miss: the compilation (Cholesky factorization, kernel
+        # selection, fusion layout) is a traced stage of its own.
+        with current_tracer().span(
+            "compile", fingerprint=fingerprint, points=len(query.points)
+        ) as span:
+            built = compile_query(query, fingerprint=fingerprint)
+            span.set("kinds", sorted({kernel.kind for kernel in built.kernels}))
+            return built
+
+    def _observe(event: str) -> None:
+        # One "hits"/"misses" event per cache consult — mirrored to the
+        # ambient trace so operators can see cache behaviour per round.
+        add_event(
+            "kernel_cache",
+            outcome="hit" if event == "hits" else "miss",
+            fingerprint=fingerprint,
+        )
+        if on_event is not None:
+            on_event(event)
+
+    compiled = cache.get_or_create(fingerprint, _compile, on_event=_observe)
     try:
         object.__setattr__(query, _MEMO_ATTRIBUTE, compiled)
     except (AttributeError, TypeError):  # __slots__ or exotic query types

@@ -24,6 +24,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..obs import add_event
 from ..stats.chi2 import chi2_ppf
 from ..stats.hotelling import HotellingResult, critical_distance, hotelling_t2
 from .cluster import Cluster
@@ -235,6 +236,14 @@ class ClusterMerger:
             assert pair is not None and result is not None  # len > 1 guarantees a pair
             i, j = pair
             if result.should_merge:
+                add_event(
+                    "t2_merge",
+                    accepted=True,
+                    statistic=result.statistic,
+                    critical=result.critical,
+                    alpha=alpha,
+                    forced=False,
+                )
                 merged = working[i].merged_with(working[j])
                 records.append(
                     MergeRecord(
@@ -250,12 +259,32 @@ class ClusterMerger:
                 working.append(merged)
                 continue
             if len(working) <= self.max_clusters:
-                break  # within budget and nothing statistically mergeable
+                # Within budget and nothing statistically mergeable: the
+                # closest pair's T^2 exceeded its critical distance.
+                add_event(
+                    "t2_merge",
+                    accepted=False,
+                    statistic=result.statistic,
+                    critical=result.critical,
+                    alpha=alpha,
+                    forced=False,
+                )
+                break
             # Over budget: relax alpha (grow the critical distance) and, at
             # the floor, force-merge the closest pair.
             if alpha > self.min_alpha:
-                alpha = max(alpha * self.relax_factor, self.min_alpha)
+                relaxed = max(alpha * self.relax_factor, self.min_alpha)
+                add_event("alpha_relaxed", alpha_from=alpha, alpha_to=relaxed)
+                alpha = relaxed
                 continue
+            add_event(
+                "t2_merge",
+                accepted=True,
+                statistic=result.statistic,
+                critical=result.critical,
+                alpha=alpha,
+                forced=True,
+            )
             merged = working[i].merged_with(working[j])
             records.append(
                 MergeRecord(

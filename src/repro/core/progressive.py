@@ -52,6 +52,7 @@ from typing import Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..obs import add_event, current_tracer
 from . import kernels as _kernels
 from .kernels import CholeskyKernel, CompiledQuery, DiagonalKernel, ensure_compiled
 
@@ -585,23 +586,25 @@ def progressive_topk(
     bounds = bounds[order]
     block = max(_MIN_REFINE_BLOCK, 4 * k)
     position = 0
-    while position < alive.shape[0]:
-        cut = prune_threshold(tau)
-        if bounds[position] > cut:
-            break  # sorted by bound: everything left is pruned too
-        chunk = alive[position : position + block]
-        chunk = chunk[bounds[position : position + block] <= cut]
-        position += block
-        if chunk.shape[0] == 0:
-            continue
-        chunk_distances = np.asarray(query.distances(vectors[chunk]))
-        refined += int(chunk.shape[0])
-        merged_ids = np.concatenate([best_ids, chunk])
-        merged_distances = np.concatenate([best_distances, chunk_distances])
-        top = exact_top_k(merged_distances, k, tie_break=merged_ids)
-        best_ids = merged_ids[top]
-        best_distances = merged_distances[top]
-        tau = float(best_distances[-1])
+    with current_tracer().span("refine", candidates=int(alive.shape[0])) as span:
+        while position < alive.shape[0]:
+            cut = prune_threshold(tau)
+            if bounds[position] > cut:
+                break  # sorted by bound: everything left is pruned too
+            chunk = alive[position : position + block]
+            chunk = chunk[bounds[position : position + block] <= cut]
+            position += block
+            if chunk.shape[0] == 0:
+                continue
+            chunk_distances = np.asarray(query.distances(vectors[chunk]))
+            refined += int(chunk.shape[0])
+            merged_ids = np.concatenate([best_ids, chunk])
+            merged_distances = np.concatenate([best_distances, chunk_distances])
+            top = exact_top_k(merged_distances, k, tie_break=merged_ids)
+            best_ids = merged_ids[top]
+            best_distances = merged_distances[top]
+            tau = float(best_distances[-1])
+        span.set("refined", refined)
 
     stats = ScanStats(
         filtered=n,
@@ -609,6 +612,14 @@ def progressive_topk(
         pruned=n - refined,
         schedule=schedule,
         survivors_per_level=tuple(survivors_per_level),
+    )
+    add_event(
+        "progressive_scan",
+        filtered=stats.filtered,
+        refined=stats.refined,
+        pruned=stats.pruned,
+        schedule=list(schedule),
+        survivors_per_level=list(stats.survivors_per_level),
     )
     return ProgressiveResult(
         indices=best_ids, distances=best_distances, stats=stats

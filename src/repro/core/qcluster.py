@@ -26,6 +26,7 @@ import numpy as np
 
 from ..clustering.agglomerative import AgglomerativeClusterer
 from ..clustering.kmeans import kmeans
+from ..obs import add_event, current_tracer
 from .classifier import BayesianClassifier
 from .cluster import Cluster  # noqa: F401 - used by both round styles
 from .config import QclusterConfig
@@ -116,11 +117,21 @@ class QclusterEngine:
         """
         points, point_scores = self._prepare_feedback(relevant_points, scores)
         if points.shape[0] > 0:
-            if not self.clusters:
-                self._initial_clustering(points, point_scores)
-            else:
-                self._adaptive_round(points, point_scores)
-            self.clusters, records = self.merger.merge(self.clusters)
+            tracer = current_tracer()
+            with tracer.span(
+                "classify",
+                points=int(points.shape[0]),
+                clusters_in=len(self.clusters),
+            ) as span:
+                if not self.clusters:
+                    self._initial_clustering(points, point_scores)
+                else:
+                    self._adaptive_round(points, point_scores)
+                span.set("clusters_out", len(self.clusters))
+            with tracer.span("merge", clusters_in=len(self.clusters)) as span:
+                self.clusters, records = self.merger.merge(self.clusters)
+                span.set("clusters_out", len(self.clusters))
+                span.set("merges", len(records))
             self.merge_history.extend(records)
         self.iteration += 1
         return self.current_query()
@@ -241,6 +252,12 @@ class QclusterEngine:
         for point, score in zip(points, scores):
             decision = self.classifier.classify(state, point)
             if decision.is_outlier:
+                add_event(
+                    "cluster_seeded",
+                    radius_distance=decision.radius_distance,
+                    radius=state.radius,
+                    nearest_cluster=decision.cluster_index,
+                )
                 outliers.append((point, float(score)))
             else:
                 assignments.append((decision.cluster_index, point, float(score)))

@@ -33,6 +33,7 @@ import numpy as np
 
 from ..core.distance import DisjunctiveQuery
 from ..core.kernels import ensure_compiled, kernels_enabled
+from ..obs import add_event
 from ..core.progressive import (
     ProgressivePlan,
     plan_for,
@@ -282,6 +283,14 @@ class HybridTree:
             cached_accesses=cached_accesses,
             distance_evaluations=distance_evaluations,
             candidates_pruned=candidates_pruned,
+        )
+        add_event(
+            "index_knn",
+            node_accesses=node_accesses,
+            io_accesses=io_accesses,
+            cached_accesses=cached_accesses,
+            refined=distance_evaluations,
+            pruned=candidates_pruned,
         )
         return KnnResult(indices=indices, distances=distances, cost=cost)
 

@@ -16,6 +16,7 @@ import numpy as np
 
 from ..core.distance import DisjunctiveQuery
 from ..core.progressive import exact_top_k, progressive_topk
+from ..obs import add_event
 
 __all__ = ["SearchCost", "KnnResult", "LinearScan", "page_capacity_for"]
 
@@ -132,6 +133,7 @@ class LinearScan:
             cached_accesses=0,
             distance_evaluations=self.size,
         )
+        add_event("linear_scan", pages=self.n_pages, refined=self.size, pruned=0)
         return KnnResult(indices=order, distances=distances[order], cost=cost)
 
     def range_query(self, query: DisjunctiveQuery, radius: float) -> KnnResult:

@@ -1,0 +1,58 @@
+"""Observability: structured tracing, event logs, metrics exposition.
+
+The window into the retrieval pipeline: what the adaptive clustering
+decided (new-cluster seeds, Hotelling ``T^2`` merges), what the kernel
+and progressive-scan layers saved, and where each feedback round spent
+its time — exposed as nested spans, an append-only JSONL event log,
+and Prometheus text-format metrics, behind a no-op default tracer
+whose disabled cost is negligible.
+
+* :mod:`~repro.obs.tracer` — :class:`Tracer`, :class:`Span`, events,
+  the :data:`NULL_TRACER` default and the ambient
+  :func:`activate` / :func:`current_tracer` / :func:`add_event` hooks.
+* :mod:`~repro.obs.export` — JSONL span log and the console span tree.
+* :mod:`~repro.obs.prometheus` — text-format (v0.0.4) exposition from
+  :class:`~repro.service.metrics.ServiceMetrics` snapshots plus tracer
+  aggregates.
+
+See ``docs/OBSERVABILITY.md`` for the span/event schema and scrape
+examples.
+"""
+
+from .export import (
+    JsonlTraceLog,
+    render_span_tree,
+    spans_from_jsonl,
+    trace_to_jsonl_lines,
+    tree_from_spans,
+)
+from .prometheus import prometheus_text
+from .tracer import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    SpanEvent,
+    Tracer,
+    activate,
+    add_event,
+    current_span,
+    current_tracer,
+)
+
+__all__ = [
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "Span",
+    "SpanEvent",
+    "activate",
+    "add_event",
+    "current_span",
+    "current_tracer",
+    "JsonlTraceLog",
+    "trace_to_jsonl_lines",
+    "spans_from_jsonl",
+    "tree_from_spans",
+    "render_span_tree",
+    "prometheus_text",
+]

@@ -1,0 +1,184 @@
+"""Trace exporters: JSONL event log and human-readable span trees.
+
+Both exporters consume the same nested-dict form
+(:meth:`~repro.obs.tracer.Span.to_dict`), so they are views of one
+payload — the identity test in ``tests/obs`` reconstructs the tree from
+the JSONL lines and asserts it equals the renderer's input.
+
+* :func:`trace_to_jsonl_lines` — one JSON object per span, pre-order
+  (parents before children), linked by ``span_id`` / ``parent_id``.
+  Machine-friendly: greppable, streamable, diffable, and loadable back
+  with :func:`spans_from_jsonl` / :func:`tree_from_spans`.
+* :class:`JsonlTraceLog` — append-only JSONL file sink.
+* :func:`render_span_tree` — the console view: indented tree with
+  durations, attributes and per-span algorithmic events.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Union
+
+__all__ = [
+    "trace_to_jsonl_lines",
+    "spans_from_jsonl",
+    "tree_from_spans",
+    "JsonlTraceLog",
+    "render_span_tree",
+]
+
+
+def _as_dict(trace: Union[Dict[str, Any], Any]) -> Dict[str, Any]:
+    """Accept either a :class:`Span` or its ``to_dict`` form."""
+    if hasattr(trace, "to_dict"):
+        return trace.to_dict()
+    return trace
+
+
+def _json_default(value: Any) -> Any:
+    """Serialize numpy scalars/arrays and tuples without a numpy import."""
+    if hasattr(value, "item") and not hasattr(value, "__len__"):
+        return value.item()
+    if hasattr(value, "tolist"):
+        return value.tolist()
+    if isinstance(value, (set, frozenset)):
+        return sorted(value)
+    raise TypeError(f"not JSON-serializable: {value!r} ({type(value).__name__})")
+
+
+def trace_to_jsonl_lines(trace: Union[Dict[str, Any], Any]) -> List[str]:
+    """One JSON line per span of ``trace``, pre-order (parent first).
+
+    Each line carries the flat span record (``children`` replaced by
+    the ``parent_id`` links), so a log of many traces is a single
+    append-only stream that tools can filter by ``trace_id``.
+    """
+    lines: List[str] = []
+
+    def emit(node: Dict[str, Any]) -> None:
+        record = {key: value for key, value in node.items() if key != "children"}
+        lines.append(
+            json.dumps(record, sort_keys=True, default=_json_default)
+        )
+        for child in node.get("children", ()):
+            emit(child)
+
+    emit(_as_dict(trace))
+    return lines
+
+
+def spans_from_jsonl(lines: Iterable[str]) -> List[Dict[str, Any]]:
+    """Parse JSONL span records back into flat dicts (blank lines skipped)."""
+    records = []
+    for line in lines:
+        line = line.strip()
+        if line:
+            records.append(json.loads(line))
+    return records
+
+
+def tree_from_spans(records: Iterable[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """Rebuild nested trace trees from flat span records.
+
+    The inverse of :func:`trace_to_jsonl_lines` (for every trace whose
+    root is present): children are re-attached under their
+    ``parent_id`` in record order, and the roots are returned.
+    """
+    by_id: Dict[str, Dict[str, Any]] = {}
+    roots: List[Dict[str, Any]] = []
+    for record in records:
+        node = dict(record)
+        node["children"] = []
+        by_id[node["span_id"]] = node
+        parent = by_id.get(node.get("parent_id"))
+        if parent is None:
+            roots.append(node)
+        else:
+            parent["children"].append(node)
+    return roots
+
+
+class JsonlTraceLog:
+    """Append-only JSONL sink for completed traces.
+
+    Args:
+        path: target file; parent directory must exist.
+
+    Not internally locked: export traces from one thread (e.g. after a
+    workload completes, or from a dedicated drain loop).
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = str(path)
+        self.spans_written = 0
+
+    def export(self, trace: Union[Dict[str, Any], Any]) -> int:
+        """Append one trace; returns the number of span lines written."""
+        lines = trace_to_jsonl_lines(trace)
+        with open(self.path, "a", encoding="utf-8") as sink:
+            for line in lines:
+                sink.write(line + "\n")
+        self.spans_written += len(lines)
+        return len(lines)
+
+    def export_all(self, tracer, last: Optional[int] = None) -> int:
+        """Append every retained trace of ``tracer``; returns span lines."""
+        written = 0
+        for trace in tracer.traces(last=last):
+            written += self.export(trace)
+        return written
+
+
+def _format_value(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+def _format_fields(fields: Dict[str, Any]) -> str:
+    return ", ".join(
+        f"{key}={_format_value(value)}" for key, value in sorted(fields.items())
+    )
+
+
+def _render_node(
+    node: Dict[str, Any], prefix: str, is_last: bool, is_root: bool
+) -> Iterator[str]:
+    connector = "" if is_root else ("└─ " if is_last else "├─ ")
+    attributes = node.get("attributes") or {}
+    attr_text = f" [{_format_fields(attributes)}]" if attributes else ""
+    yield (
+        f"{prefix}{connector}{node['name']}"
+        f" ({node.get('duration_s', 0.0) * 1e3:.2f} ms){attr_text}"
+    )
+    child_prefix = prefix if is_root else prefix + ("   " if is_last else "│  ")
+    events = node.get("events") or []
+    children = node.get("children") or []
+    for event in events:
+        stem = "│  " if children else "   "
+        yield (
+            f"{child_prefix}{stem}• {event['name']}"
+            f" @{event.get('offset_s', 0.0) * 1e3:.2f}ms"
+            + (
+                f" {{{_format_fields(event.get('fields') or {})}}}"
+                if event.get("fields")
+                else ""
+            )
+        )
+    for position, child in enumerate(children):
+        yield from _render_node(
+            child, child_prefix, position == len(children) - 1, False
+        )
+
+
+def render_span_tree(trace: Union[Dict[str, Any], Any]) -> str:
+    """The human-readable console view of one trace.
+
+    Every span and every event of the trace appears exactly once, with
+    millisecond durations and event offsets — the same payload the
+    JSONL exporter writes, formatted for a terminal.
+    """
+    node = _as_dict(trace)
+    header = f"trace {node.get('trace_id', '?')}"
+    body = "\n".join(_render_node(node, "", True, True))
+    return f"{header}\n{body}"

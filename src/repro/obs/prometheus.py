@@ -1,0 +1,193 @@
+"""Prometheus text-format (v0.0.4) exposition for the retrieval service.
+
+Turns a :meth:`~repro.service.metrics.ServiceMetrics.snapshot` dict
+plus a tracer's aggregates into the plain-text exposition format every
+Prometheus-compatible scraper understands:
+
+* counters → ``repro_<name>_total``;
+* per-stage latency summaries → one ``summary`` family
+  ``repro_stage_duration_seconds`` with ``quantile`` labels plus the
+  ``_sum`` / ``_count`` series;
+* derived rates and gauges (cache hit rates, refine fraction, uptime,
+  store/cache occupancy) → ``gauge`` families;
+* tracer aggregates → ``repro_span_duration_seconds_total`` /
+  ``repro_spans_total`` per span name and ``repro_trace_events_total``
+  per algorithmic event name.
+
+Everything is generated, never scraped from global state: callers pass
+the snapshot (and optionally the tracer) explicitly, so exposition is
+as testable as any pure function.  The output is validated against the
+text-format grammar in ``tests/obs/test_prometheus.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = ["prometheus_text"]
+
+#: Quantiles exposed per latency stage: the snapshot's nearest-rank
+#: p50/p95 reservoir percentiles.
+_QUANTILES: Tuple[Tuple[str, str], ...] = (("0.5", "p50"), ("0.95", "p95"))
+
+
+def _sanitize_name(name: str) -> str:
+    """Make a metric-name-safe token: ``[a-zA-Z_][a-zA-Z0-9_]*``."""
+    cleaned = "".join(
+        char if char.isalnum() or char == "_" else "_" for char in name
+    )
+    if not cleaned or cleaned[0].isdigit():
+        cleaned = "_" + cleaned
+    return cleaned
+
+
+def _escape_label(value: str) -> str:
+    """Escape a label value per the text-format rules."""
+    return value.replace("\\", "\\\\").replace("\n", "\\n").replace('"', '\\"')
+
+
+def _format_number(value: Any) -> str:
+    number = float(value)
+    if number != number:  # NaN
+        return "NaN"
+    if number in (float("inf"), float("-inf")):
+        return "+Inf" if number > 0 else "-Inf"
+    if number == int(number) and abs(number) < 1e15:
+        return str(int(number))
+    return repr(number)
+
+
+class _Writer:
+    """Accumulates exposition lines with one HELP/TYPE header per family."""
+
+    def __init__(self) -> None:
+        self._lines: List[str] = []
+
+    def family(self, name: str, kind: str, help_text: str) -> None:
+        self._lines.append(f"# HELP {name} {help_text}")
+        self._lines.append(f"# TYPE {name} {kind}")
+
+    def sample(
+        self,
+        name: str,
+        value: Any,
+        labels: Optional[Dict[str, str]] = None,
+    ) -> None:
+        if labels:
+            body = ",".join(
+                f'{key}="{_escape_label(str(val))}"'
+                for key, val in sorted(labels.items())
+            )
+            self._lines.append(f"{name}{{{body}}} {_format_number(value)}")
+        else:
+            self._lines.append(f"{name} {_format_number(value)}")
+
+    def text(self) -> str:
+        return "\n".join(self._lines) + "\n"
+
+
+def prometheus_text(
+    snapshot: Dict[str, Any],
+    tracer=None,
+    namespace: str = "repro",
+) -> str:
+    """Render one scrape of the service's operational state.
+
+    Args:
+        snapshot: a :meth:`ServiceMetrics.snapshot` /
+            :meth:`RetrievalService.metrics_snapshot` dict.
+        tracer: optional :class:`~repro.obs.tracer.Tracer`; its
+            per-span-name timings and per-event-name counts are
+            appended as counter families.
+        namespace: metric-name prefix.
+
+    Returns:
+        The complete exposition body (text format v0.0.4), one
+        ``# HELP`` / ``# TYPE`` header per family, newline-terminated.
+    """
+    writer = _Writer()
+    prefix = _sanitize_name(namespace)
+
+    counters = snapshot.get("counters", {})
+    if counters:
+        name = f"{prefix}_events_total"
+        writer.family(name, "counter", "Monotonic service counters by name.")
+        for counter, value in sorted(counters.items()):
+            writer.sample(name, value, {"counter": _sanitize_name(counter)})
+
+    latency = snapshot.get("latency", {})
+    if latency:
+        family = f"{prefix}_stage_duration_seconds"
+        writer.family(
+            family,
+            "summary",
+            "Per-stage latency: nearest-rank reservoir quantiles plus "
+            "all-time sum and count.",
+        )
+        for stage, summary in sorted(latency.items()):
+            labels = {"stage": stage}
+            for quantile, key in _QUANTILES:
+                writer.sample(
+                    family, summary.get(key, 0.0), {**labels, "quantile": quantile}
+                )
+            mean = float(summary.get("mean", 0.0))
+            count = float(summary.get("count", 0))
+            writer.sample(f"{family}_sum", mean * count, labels)
+            writer.sample(f"{family}_count", count, labels)
+
+    gauges = [
+        ("cache_hit_rate", "Result-cache hit rate over the service lifetime."),
+        ("kernel_cache_hit_rate", "Compiled-kernel cache hit rate."),
+        ("refine_fraction", "Exactly-refined share of all ranking candidates."),
+        ("uptime_seconds", "Seconds since the metrics object was (re)started."),
+        ("degradations", "Total degraded rankings (errors + deadline misses)."),
+    ]
+    for key, help_text in gauges:
+        if key in snapshot:
+            name = f"{prefix}_{_sanitize_name(key)}"
+            writer.family(name, "gauge", help_text)
+            writer.sample(name, snapshot[key])
+
+    for section, help_text in (
+        ("store", "Session-store occupancy."),
+        ("cache", "Result-cache occupancy and hit rate."),
+        ("kernels", "Kernel-cache occupancy and hit/miss totals."),
+    ):
+        values = snapshot.get(section)
+        if isinstance(values, dict):
+            name = f"{prefix}_{section}_info"
+            writer.family(name, "gauge", help_text)
+            for field, value in sorted(values.items()):
+                if isinstance(value, (int, float)) and not isinstance(value, bool):
+                    writer.sample(name, value, {"field": _sanitize_name(field)})
+
+    if tracer is not None:
+        aggregates = tracer.aggregates()
+        span_stats = aggregates.get("spans", {})
+        if span_stats:
+            counts = f"{prefix}_spans_total"
+            writer.family(counts, "counter", "Completed trace spans by name.")
+            for span_name, stats in sorted(span_stats.items()):
+                writer.sample(
+                    counts, stats.get("count", 0), {"name": _sanitize_name(span_name)}
+                )
+            seconds = f"{prefix}_span_duration_seconds_total"
+            writer.family(
+                seconds, "counter", "Cumulative seconds spent in spans by name."
+            )
+            for span_name, stats in sorted(span_stats.items()):
+                writer.sample(
+                    seconds,
+                    stats.get("total_s", 0.0),
+                    {"name": _sanitize_name(span_name)},
+                )
+        event_counts = aggregates.get("events", {})
+        if event_counts:
+            name = f"{prefix}_trace_events_total"
+            writer.family(
+                name, "counter", "Algorithmic trace events by event name."
+            )
+            for event_name, count in sorted(event_counts.items()):
+                writer.sample(name, count, {"event": _sanitize_name(event_name)})
+
+    return writer.text()

@@ -26,6 +26,7 @@ change cost, never rankings.
 
 from __future__ import annotations
 
+import contextvars
 import os
 import time
 import uuid
@@ -40,6 +41,7 @@ from ..core.progressive import exact_top_k, progressive_topk
 from ..index.hybridtree import HybridTree
 from ..index.linear import page_capacity_for
 from ..index.multipoint import MultipointSearcher
+from ..obs import NULL_TRACER, activate, add_event, prometheus_text
 from ..retrieval.database import FeatureDatabase
 from ..retrieval.methods import FeedbackMethod, QclusterMethod, QueryLike
 from ..system import ResultPage
@@ -81,6 +83,11 @@ class RetrievalService:
         deadline_trip: consecutive deadline misses before a session is
             pinned to the fallback scan.
         metrics: share an external :class:`ServiceMetrics` if desired.
+        tracer: a :class:`~repro.obs.Tracer` recording per-request span
+            trees (classify/merge/compile/scan/refine stages with
+            algorithmic events); default is the no-op
+            :data:`~repro.obs.NULL_TRACER`, whose overhead is
+            negligible (see ``benchmarks/test_obs_overhead.py``).
     """
 
     def __init__(
@@ -99,6 +106,7 @@ class RetrievalService:
         soft_deadline_s: Optional[float] = None,
         deadline_trip: int = 1,
         metrics: Optional[ServiceMetrics] = None,
+        tracer=None,
     ) -> None:
         if isinstance(database, FeatureDatabase):
             vectors = database.vectors
@@ -115,6 +123,7 @@ class RetrievalService:
         self.vectors = vectors
         self.k = min(k, vectors.shape[0])
         self.metrics = metrics if metrics is not None else ServiceMetrics()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.policy = DegradationPolicy(
             soft_deadline_s=soft_deadline_s, trip_after=deadline_trip
         )
@@ -193,7 +202,7 @@ class RetrievalService:
                 feature vector (query-by-example).
             session_id: caller-chosen id; defaults to a fresh UUID hex.
         """
-        with self.metrics.time("create"):
+        with activate(self.tracer), self.tracer.span("create_session") as span, self.metrics.time("create"):
             if isinstance(query, (int, np.integer)):
                 if not 0 <= int(query) < self.size:
                     raise IndexError(f"query id {query} out of range")
@@ -218,14 +227,18 @@ class RetrievalService:
             )
             self.store.put(session)
             self.metrics.increment("sessions_created")
+            span.set("session_id", session_id)
         return session_id
 
     def query(self, session_id: str, k: Optional[int] = None) -> ResultPage:
         """Current ranked result page for a session (cached)."""
         k = self._clamp_k(k)
-        with self.store.lease(session_id) as session:
-            with self.metrics.time("query"):
-                page = self._rank(session, k)
+        with activate(self.tracer), self.tracer.span(
+            "query", session_id=session_id, k=k
+        ):
+            with self.store.lease(session_id) as session:
+                with self.metrics.time("query"):
+                    page = self._rank(session, k)
         self.metrics.increment("queries")
         return page
 
@@ -248,16 +261,22 @@ class RetrievalService:
         for image_id in ids:
             if not 0 <= image_id < self.size:
                 raise IndexError(f"image id {image_id} out of range")
-        with self.store.lease(session_id) as session:
-            with self.metrics.time("feedback"):
-                if ids:
-                    session.query = session.method.feedback(self.vectors[ids], scores)
-                session.iteration += 1
-                if session.guard is not None:
-                    session.guard.reset_for_new_query()
-                self.cache.invalidate(session_id)
-            with self.metrics.time("query"):
-                page = self._rank(session, k)
+        with activate(self.tracer), self.tracer.span(
+            "feedback", session_id=session_id, n_relevant=len(ids), k=k
+        ) as span:
+            with self.store.lease(session_id) as session:
+                with self.metrics.time("feedback"):
+                    if ids:
+                        session.query = session.method.feedback(
+                            self.vectors[ids], scores
+                        )
+                    session.iteration += 1
+                    if session.guard is not None:
+                        session.guard.reset_for_new_query()
+                    self.cache.invalidate(session_id)
+                with self.metrics.time("query"):
+                    page = self._rank(session, k)
+                span.set("iteration", session.iteration)
         self.metrics.increment("feedbacks")
         return page
 
@@ -284,6 +303,14 @@ class RetrievalService:
         snapshot["kernels"] = default_kernel_cache().stats()
         return snapshot
 
+    def prometheus_metrics(self) -> str:
+        """The operational snapshot in Prometheus text format (v0.0.4).
+
+        Includes span/event aggregates when the service was built with a
+        recording tracer.
+        """
+        return prometheus_text(self.metrics_snapshot(), tracer=self.tracer)
+
     # ------------------------------------------------------------------
     # Ranking internals
     # ------------------------------------------------------------------
@@ -300,9 +327,11 @@ class RetrievalService:
         cached = self.cache.get(key)
         if cached is not None:
             self.metrics.increment("cache_hits")
+            add_event("result_cache", outcome="hit")
             ids, distances = cached
         else:
             self.metrics.increment("cache_misses")
+            add_event("result_cache", outcome="miss")
             ids, distances = self._compute_rank(session, k)
             self.cache.put(key, ids, distances, owner=session.session_id)
         return ResultPage(ids=ids, distances=distances, iteration=session.iteration)
@@ -322,13 +351,16 @@ class RetrievalService:
             if session.searcher is None:
                 session.searcher = MultipointSearcher(self._tree)
             start = self._clock()
-            try:
-                result = session.searcher.search(session.query, k)
-            except Exception:
-                self.metrics.increment("degraded_error")
-                if guard is not None:
-                    guard.record_error()
-            else:
+            with self.tracer.span("scan", path="index", k=k) as span:
+                result = None
+                try:
+                    result = session.searcher.search(session.query, k)
+                except Exception:
+                    span.set("error", True)
+                    self.metrics.increment("degraded_error")
+                    if guard is not None:
+                        guard.record_error()
+            if result is not None:
                 elapsed = self._clock() - start
                 self.metrics.observe("index_search", elapsed)
                 self.metrics.increment(
@@ -345,13 +377,16 @@ class RetrievalService:
                 if guard is not None and guard.record_elapsed(elapsed):
                     self.metrics.increment("degraded_deadline")
                 return result.indices, result.distances
-        with self.metrics.time("fallback_scan"):
-            self.metrics.increment("fallback_scans")
-            self.metrics.increment(
-                "fallback_node_accesses",
-                -(-self.size // page_capacity_for(self.vectors.shape[1])),
-            )
-            return self._sharded_scan(session.query, k)
+        with self.tracer.span(
+            "scan", path="fallback", k=k, shards=self.n_shards
+        ):
+            with self.metrics.time("fallback_scan"):
+                self.metrics.increment("fallback_scans")
+                self.metrics.increment(
+                    "fallback_node_accesses",
+                    -(-self.size // page_capacity_for(self.vectors.shape[1])),
+                )
+                return self._sharded_scan(session.query, k)
 
     @staticmethod
     def _shard_topk(query: QueryLike, shard: np.ndarray, offset: int, k: int):
@@ -387,8 +422,19 @@ class RetrievalService:
         if self._executor is None:
             parts = [self._shard_topk(query, self.vectors, 0, k)]
         else:
+            # Each worker runs under a copy of the caller's context so
+            # trace spans/events recorded on shard threads attach to
+            # this request's scan span (a Context can only be entered
+            # once, hence one copy per future).
             futures = [
-                self._executor.submit(self._shard_topk, query, shard, offset, k)
+                self._executor.submit(
+                    contextvars.copy_context().run,
+                    self._shard_topk,
+                    query,
+                    shard,
+                    offset,
+                    k,
+                )
                 for shard, offset in zip(self._shards, self._shard_offsets)
             ]
             parts = [future.result() for future in futures]

@@ -14,6 +14,7 @@ track current behaviour rather than cold-start transients).
 
 from __future__ import annotations
 
+import math
 import threading
 import time
 from collections import deque
@@ -35,7 +36,10 @@ def percentile(values: Sequence[float], q: float) -> float:
     ordered = sorted(values)
     if not ordered:
         raise ValueError("percentile of an empty sequence is undefined")
-    rank = max(1, -(-int(len(ordered) * q) // 100))  # ceil(n*q/100), 1-based
+    # Nearest rank is ceil(n*q/100), 1-based; the ceiling must see the
+    # exact product (truncating n*q to int first deflates ranks — e.g.
+    # n=601, q=0.5 gave rank 3 instead of 4).
+    rank = max(1, math.ceil(len(ordered) * q / 100.0))
     return float(ordered[rank - 1])
 
 
@@ -91,6 +95,24 @@ class ServiceMetrics:
         self._stages: Dict[str, LatencyStage] = {}
         self._reservoir_size = reservoir_size
         self._clock = clock
+        self._started = clock()
+
+    @property
+    def uptime_seconds(self) -> float:
+        """Seconds since construction (or the last :meth:`reset`)."""
+        return self._clock() - self._started
+
+    def reset(self) -> None:
+        """Drop all counters and latency stages; restart the uptime clock.
+
+        Lets a long-lived service start a fresh measurement window (e.g.
+        between benchmark phases) without rebuilding the object shared
+        with its :class:`~repro.service.sessions.SessionStore`.
+        """
+        with self._lock:
+            self._counters.clear()
+            self._stages.clear()
+            self._started = self._clock()
 
     def increment(self, counter: str, amount: int = 1) -> None:
         """Add ``amount`` to a named counter (created on first use)."""
@@ -144,6 +166,7 @@ class ServiceMetrics:
         return {
             "counters": counters,
             "latency": latency,
+            "uptime_seconds": self.uptime_seconds,
             "cache_hit_rate": hits / total if total else 0.0,
             "kernel_cache_hit_rate": kernel_hits / kernel_total if kernel_total else 0.0,
             # Progressive-scan effectiveness: the exactly-refined share

@@ -1,0 +1,116 @@
+"""Exporters: JSONL round trips, file sink, console renderer."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+from repro.obs import (
+    JsonlTraceLog,
+    Tracer,
+    render_span_tree,
+    spans_from_jsonl,
+    trace_to_jsonl_lines,
+    tree_from_spans,
+)
+
+
+def build_trace():
+    tracer = Tracer()
+    with tracer.span("feedback", session="s1") as root:
+        root.event("result_cache", outcome="miss")
+        with tracer.span("classify", points=4) as classify:
+            classify.event("cluster_seeded", radius_distance=2.5, radius=1.0)
+        with tracer.span("scan", path="index"):
+            with tracer.span("refine", candidates=10):
+                pass
+    return tracer.traces()[0]
+
+
+class TestJsonl:
+    def test_one_line_per_span_preorder(self):
+        trace = build_trace()
+        lines = trace_to_jsonl_lines(trace)
+        names = [json.loads(line)["name"] for line in lines]
+        assert names == ["feedback", "classify", "scan", "refine"]
+        for line in lines:
+            assert "children" not in json.loads(line)
+
+    def test_round_trip_rebuilds_identical_tree(self):
+        trace = build_trace()
+        lines = trace_to_jsonl_lines(trace)
+        (rebuilt,) = tree_from_spans(spans_from_jsonl(lines))
+        assert rebuilt == trace
+
+    def test_round_trip_matches_console_renderer(self):
+        """The acceptance identity: JSONL and the console view render
+        the same payload."""
+        trace = build_trace()
+        (rebuilt,) = tree_from_spans(spans_from_jsonl(trace_to_jsonl_lines(trace)))
+        assert render_span_tree(rebuilt) == render_span_tree(trace)
+
+    def test_numpy_values_serialize(self):
+        tracer = Tracer()
+        with tracer.span("scan", k=np.int64(5)) as span:
+            span.event("stats", pruned=np.int64(3), survivors=np.array([4, 2]))
+        lines = trace_to_jsonl_lines(tracer.traces()[0])
+        record = json.loads(lines[0])
+        assert record["attributes"]["k"] == 5
+        assert record["events"][0]["fields"] == {"pruned": 3, "survivors": [4, 2]}
+
+    def test_multiple_traces_in_one_stream(self):
+        lines = trace_to_jsonl_lines(build_trace()) + trace_to_jsonl_lines(
+            build_trace()
+        )
+        roots = tree_from_spans(spans_from_jsonl(lines))
+        assert len(roots) == 2
+
+    def test_blank_lines_skipped(self):
+        lines = ["", *trace_to_jsonl_lines(build_trace()), "   "]
+        assert len(spans_from_jsonl(lines)) == 4
+
+
+class TestJsonlTraceLog:
+    def test_appends_and_counts(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        log = JsonlTraceLog(str(path))
+        assert log.export(build_trace()) == 4
+        assert log.export(build_trace()) == 4
+        assert log.spans_written == 8
+        content = path.read_text(encoding="utf-8").splitlines()
+        assert len(content) == 8
+        roots = tree_from_spans(spans_from_jsonl(content))
+        assert [root["name"] for root in roots] == ["feedback", "feedback"]
+
+    def test_export_all_drains_tracer(self, tmp_path):
+        tracer = Tracer()
+        for _ in range(3):
+            with tracer.span("round"):
+                pass
+        log = JsonlTraceLog(str(tmp_path / "all.jsonl"))
+        assert log.export_all(tracer) == 3
+        assert log.export_all(tracer, last=1) == 1
+
+
+class TestRenderSpanTree:
+    def test_renders_every_span_and_event_once(self):
+        trace = build_trace()
+        text = render_span_tree(trace)
+        for name in ("feedback", "classify", "scan", "refine"):
+            assert text.count(f"{name} (") == 1
+        assert text.count("• cluster_seeded") == 1
+        assert text.count("• result_cache") == 1
+
+    def test_shows_attributes_and_header(self):
+        text = render_span_tree(build_trace())
+        assert text.startswith("trace t")
+        assert "[session=s1]" in text
+        assert "[points=4]" in text
+        assert "path=index" in text
+
+    def test_tree_connectors(self):
+        text = render_span_tree(build_trace())
+        assert "├─ classify" in text
+        assert "└─ scan" in text
+        assert "└─ refine" in text

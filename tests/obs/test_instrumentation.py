@@ -1,0 +1,185 @@
+"""End-to-end instrumentation: traced pipeline stages and events.
+
+The PR's acceptance test lives here: one traced feedback round must
+produce a span tree containing at least the classify, merge, compile
+and scan stages with at least one algorithmic event attached, and that
+trace must export identically through the JSONL log and the console
+renderer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.obs import (
+    Tracer,
+    render_span_tree,
+    spans_from_jsonl,
+    trace_to_jsonl_lines,
+    tree_from_spans,
+)
+from repro.service import RetrievalService
+
+
+def collect(node, into):
+    into.append(node)
+    for child in node.get("children", ()):
+        collect(child, into)
+    return into
+
+
+def span_names(trace):
+    return {span["name"] for span in collect(trace, [])}
+
+
+def all_events(trace):
+    return [event for span in collect(trace, []) for event in span["events"]]
+
+
+@pytest.fixture()
+def clustered_vectors():
+    rng = np.random.default_rng(7)
+    centers = rng.normal(scale=4.0, size=(6, 8))
+    return np.concatenate(
+        [center + rng.normal(scale=0.5, size=(80, 8)) for center in centers]
+    )
+
+
+class TestTracedFeedbackRound:
+    def test_feedback_trace_contains_required_stages_and_events(
+        self, clustered_vectors
+    ):
+        tracer = Tracer()
+        with RetrievalService(clustered_vectors, k=12, tracer=tracer) as service:
+            session = service.create_session(0)
+            page = service.query(session)
+            service.feedback(session, page.ids[:6])
+
+        feedback = [t for t in tracer.traces() if t["name"] == "feedback"][-1]
+        names = span_names(feedback)
+        assert {"feedback", "classify", "merge", "compile", "scan"} <= names
+        assert len(all_events(feedback)) >= 1
+        event_names = {event["name"] for event in all_events(feedback)}
+        assert "kernel_cache" in event_names
+
+        # Export identity: JSONL round trip == console renderer input.
+        lines = trace_to_jsonl_lines(feedback)
+        (rebuilt,) = tree_from_spans(spans_from_jsonl(lines))
+        assert rebuilt == feedback
+        assert render_span_tree(rebuilt) == render_span_tree(feedback)
+
+    def test_merge_events_carry_t2_statistics(self, clustered_vectors):
+        tracer = Tracer()
+        with RetrievalService(clustered_vectors, k=20, tracer=tracer) as service:
+            session = service.create_session(0)
+            page = service.query(session)
+            service.feedback(session, page.ids[:10])
+        events = [
+            event
+            for trace in tracer.traces()
+            for event in all_events(trace)
+            if event["name"] == "t2_merge"
+        ]
+        assert events, "expected at least one Hotelling T^2 merge decision"
+        for event in events:
+            fields = event["fields"]
+            assert set(fields) >= {"accepted", "statistic", "critical", "alpha"}
+            assert isinstance(fields["accepted"], bool)
+
+    def test_index_scan_events_report_costs(self, clustered_vectors):
+        tracer = Tracer()
+        with RetrievalService(clustered_vectors, k=12, tracer=tracer) as service:
+            session = service.create_session(0)
+            service.query(session)
+        query_trace = [t for t in tracer.traces() if t["name"] == "query"][-1]
+        scan = [s for s in collect(query_trace, []) if s["name"] == "scan"]
+        assert scan and scan[0]["attributes"]["path"] == "index"
+        knn_events = [e for e in all_events(query_trace) if e["name"] == "index_knn"]
+        assert knn_events
+        assert knn_events[0]["fields"]["node_accesses"] >= 1
+
+    def test_fallback_scan_collects_shard_events(self, clustered_vectors):
+        tracer = Tracer()
+        with RetrievalService(
+            clustered_vectors, k=12, use_index=False, n_shards=3, tracer=tracer
+        ) as service:
+            session = service.create_session(0)
+            service.query(session)
+        query_trace = [t for t in tracer.traces() if t["name"] == "query"][-1]
+        scan = [s for s in collect(query_trace, []) if s["name"] == "scan"]
+        assert scan and scan[0]["attributes"]["path"] == "fallback"
+        assert scan[0]["attributes"]["shards"] == 3
+
+    def test_untraced_service_records_nothing_but_ranks_identically(
+        self, clustered_vectors
+    ):
+        tracer = Tracer()
+        with RetrievalService(clustered_vectors, k=12, tracer=tracer) as traced:
+            session = traced.create_session(0)
+            page = traced.query(session)
+            traced_page = traced.feedback(session, page.ids[:6])
+        with RetrievalService(clustered_vectors, k=12) as plain:
+            session = plain.create_session(0)
+            page = plain.query(session)
+            plain_page = plain.feedback(session, page.ids[:6])
+        assert np.array_equal(traced_page.ids, plain_page.ids)
+        assert np.array_equal(traced_page.distances, plain_page.distances)
+        assert tracer.traces()  # traced service recorded spans
+        assert plain.tracer.traces() == []  # NULL_TRACER records nothing
+
+    def test_sampled_service_traces_subset(self, clustered_vectors):
+        tracer = Tracer(sample_every=2)
+        with RetrievalService(clustered_vectors, k=12, tracer=tracer) as service:
+            session = service.create_session(0)  # root 1: sampled
+            for _ in range(4):
+                service.query(session)  # cached after the first
+        roots = [t["name"] for t in tracer.traces()]
+        assert roots == ["create_session", "query", "query"]
+
+
+class TestCoreInstrumentationEvents:
+    def test_cluster_seeded_event_fields(self):
+        tracer = Tracer()
+        rng = np.random.default_rng(3)
+        from repro.obs import activate
+        from repro.retrieval.methods import QclusterMethod
+
+        method = QclusterMethod()
+        method.start(rng.normal(size=6))
+        with activate(tracer), tracer.span("round"):
+            method.feedback(rng.normal(size=(6, 6)))
+            # A far-away second batch forces outlier seeding (Eq. 6).
+            method.feedback(rng.normal(size=(6, 6)) + 50.0)
+        events = [
+            event
+            for trace in tracer.traces()
+            for event in all_events(trace)
+            if event["name"] == "cluster_seeded"
+        ]
+        assert events
+        for event in events:
+            assert set(event["fields"]) >= {"radius_distance", "radius"}
+
+    def test_kernel_cache_hit_and_miss_events(self, clustered_vectors):
+        from repro.core.kernels import default_kernel_cache
+
+        default_kernel_cache().clear()  # process-wide: drop earlier fingerprints
+        tracer = Tracer()
+        # cache_size=0: the twin's identical query must reach the kernel
+        # layer instead of being served from the result cache.
+        with RetrievalService(
+            clustered_vectors, k=12, cache_size=0, tracer=tracer
+        ) as service:
+            first = service.create_session(0)
+            service.query(first)
+            second = service.create_session(0, session_id="twin")
+            service.query(second)
+        outcomes = [
+            event["fields"]["outcome"]
+            for trace in tracer.traces()
+            for event in all_events(trace)
+            if event["name"] == "kernel_cache"
+        ]
+        assert "miss" in outcomes
+        assert "hit" in outcomes

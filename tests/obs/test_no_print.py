@@ -1,0 +1,68 @@
+"""Lint gate: no ``print()`` calls in library hot-path modules.
+
+Operational output must flow through :mod:`repro.obs` (spans, events,
+metrics exposition) — a stray ``print`` in the core/index/service
+layers bypasses sampling, breaks machine-readable logs, and costs
+stdout I/O on hot paths.  The interactive surfaces are exempt: the CLI
+and the experiment/figure reporters exist to print.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+import repro
+
+SRC_ROOT = Path(repro.__file__).resolve().parent
+
+#: Interactive surfaces whose whole purpose is console output.
+EXEMPT = ("cli.py", "experiments/")
+
+
+def is_exempt(path: Path) -> bool:
+    relative = path.relative_to(SRC_ROOT).as_posix()
+    return any(
+        relative == entry or relative.startswith(entry) for entry in EXEMPT
+    )
+
+
+def print_calls(path: Path):
+    tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+    return [
+        node.lineno
+        for node in ast.walk(tree)
+        if isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id == "print"
+    ]
+
+
+def test_library_modules_do_not_print():
+    offenders = {}
+    checked = 0
+    for path in sorted(SRC_ROOT.rglob("*.py")):
+        if is_exempt(path):
+            continue
+        checked += 1
+        lines = print_calls(path)
+        if lines:
+            offenders[path.relative_to(SRC_ROOT).as_posix()] = lines
+    assert checked > 30, "lint gate scanned suspiciously few modules"
+    assert not offenders, (
+        "print() calls in library modules (route output through repro.obs "
+        f"instead): {offenders}"
+    )
+
+
+def test_exemptions_are_narrow():
+    """The exemption list covers only the interactive surfaces."""
+    exempt_files = [
+        path
+        for path in SRC_ROOT.rglob("*.py")
+        if is_exempt(path)
+    ]
+    assert all(
+        "cli" in path.name or "experiments" in path.parts
+        for path in exempt_files
+    )

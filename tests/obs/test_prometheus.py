@@ -1,0 +1,171 @@
+"""Prometheus exposition: values, families, and text-format grammar."""
+
+from __future__ import annotations
+
+import re
+
+import pytest
+
+from repro.obs import Tracer, prometheus_text
+from repro.service import ServiceMetrics
+
+_METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_NAME = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+_SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>\S+)(?: (?P<timestamp>\S+))?$"
+)
+_LABEL = re.compile(r'^(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\]|\\.)*)"$')
+
+
+def parse_exposition(text: str):
+    """Validate ``text`` against the text-format (v0.0.4) grammar.
+
+    Returns ``{family: {"type": ..., "samples": [(name, labels, value)]}}``
+    and raises AssertionError on any malformed line, unknown family, or
+    sample appearing before its TYPE header.
+    """
+    assert text.endswith("\n"), "exposition must end with a newline"
+    families = {}
+    current = None
+    for line in text.splitlines():
+        assert line == line.strip(), f"stray whitespace: {line!r}"
+        if line.startswith("# HELP "):
+            _, _, rest = line.partition("# HELP ")
+            name, _, help_text = rest.partition(" ")
+            assert _METRIC_NAME.match(name), name
+            assert help_text, f"HELP without text: {line!r}"
+            families[name] = {"type": None, "help": help_text, "samples": []}
+            current = name
+            continue
+        if line.startswith("# TYPE "):
+            _, _, rest = line.partition("# TYPE ")
+            name, _, kind = rest.partition(" ")
+            assert name == current, "TYPE must follow its HELP line"
+            assert kind in ("counter", "gauge", "summary", "histogram", "untyped")
+            families[name]["type"] = kind
+            continue
+        assert not line.startswith("#"), f"unknown comment: {line!r}"
+        match = _SAMPLE.match(line)
+        assert match, f"malformed sample line: {line!r}"
+        name = match.group("name")
+        base = name
+        for suffix in ("_sum", "_count", "_bucket"):
+            if base.endswith(suffix) and base[: -len(suffix)] in families:
+                base = base[: -len(suffix)]
+        assert base in families, f"sample {name} outside any declared family"
+        assert families[base]["type"] is not None
+        labels = {}
+        raw = match.group("labels")
+        if raw:
+            for part in raw.split(","):
+                label = _LABEL.match(part)
+                assert label, f"malformed label: {part!r} in {line!r}"
+                assert _LABEL_NAME.match(label.group("key"))
+                labels[label.group("key")] = label.group("value")
+        value = match.group("value")
+        if value not in ("+Inf", "-Inf", "NaN"):
+            float(value)  # must parse
+        families[base]["samples"].append((name, labels, value))
+    return families
+
+
+def make_snapshot():
+    metrics = ServiceMetrics()
+    metrics.increment("queries", 7)
+    metrics.increment("cache_hits", 3)
+    metrics.increment("cache_misses", 1)
+    for value in (0.010, 0.020, 0.030, 0.040):
+        metrics.observe("query", value)
+    snapshot = metrics.snapshot()
+    snapshot["store"] = {"live_sessions": 2, "capacity": 64}
+    snapshot["cache"] = {"pages": 5, "capacity": 128, "hit_rate": 0.75}
+    return snapshot
+
+
+class TestGrammar:
+    def test_full_exposition_parses(self):
+        tracer = Tracer()
+        with tracer.span("feedback"):
+            with tracer.span("classify") as span:
+                span.event("cluster_seeded", radius=1.0)
+        text = prometheus_text(make_snapshot(), tracer=tracer)
+        families = parse_exposition(text)
+        assert "repro_events_total" in families
+        assert "repro_stage_duration_seconds" in families
+        assert "repro_spans_total" in families
+        assert "repro_trace_events_total" in families
+
+    def test_every_family_has_samples_and_one_header(self):
+        text = prometheus_text(make_snapshot())
+        families = parse_exposition(text)
+        for name, family in families.items():
+            assert family["samples"], f"family {name} has no samples"
+        assert text.count("# TYPE repro_events_total ") == 1
+
+
+class TestValues:
+    def test_counter_values(self):
+        families = parse_exposition(prometheus_text(make_snapshot()))
+        samples = {
+            labels["counter"]: value
+            for _, labels, value in families["repro_events_total"]["samples"]
+        }
+        assert samples["queries"] == "7"
+        assert samples["cache_hits"] == "3"
+
+    def test_summary_quantiles_sum_count(self):
+        families = parse_exposition(prometheus_text(make_snapshot()))
+        samples = families["repro_stage_duration_seconds"]["samples"]
+        assert families["repro_stage_duration_seconds"]["type"] == "summary"
+        by_name = {}
+        for name, labels, value in samples:
+            by_name.setdefault(name, []).append((labels, value))
+        quantiles = {
+            labels["quantile"]
+            for labels, _ in by_name["repro_stage_duration_seconds"]
+        }
+        assert quantiles == {"0.5", "0.95"}
+        (labels, count) = by_name["repro_stage_duration_seconds_count"][0]
+        assert labels == {"stage": "query"}
+        assert float(count) == 4.0
+        (_, total) = by_name["repro_stage_duration_seconds_sum"][0]
+        assert float(total) == pytest.approx(0.1)
+
+    def test_gauges_present(self):
+        families = parse_exposition(prometheus_text(make_snapshot()))
+        assert families["repro_cache_hit_rate"]["samples"][0][2] == "0.75"
+        assert "repro_uptime_seconds" in families
+        assert "repro_store_info" in families
+
+    def test_tracer_aggregates_exported(self):
+        tracer = Tracer()
+        for _ in range(2):
+            with tracer.span("scan") as span:
+                span.event("index_knn", refined=10)
+        families = parse_exposition(prometheus_text({}, tracer=tracer))
+        spans = {
+            labels["name"]: value
+            for _, labels, value in families["repro_spans_total"]["samples"]
+        }
+        assert spans["scan"] == "2"
+        events = {
+            labels["event"]: value
+            for _, labels, value in families["repro_trace_events_total"]["samples"]
+        }
+        assert events["index_knn"] == "2"
+
+    def test_label_escaping(self):
+        snapshot = {"counters": {'weird"name\\with\nstuff': 1}}
+        text = prometheus_text(snapshot)
+        parse_exposition(text)  # must still satisfy the grammar
+
+    def test_namespace_override(self):
+        families = parse_exposition(
+            prometheus_text(make_snapshot(), namespace="imgsearch")
+        )
+        assert "imgsearch_events_total" in families
+
+    def test_empty_snapshot_yields_valid_empty_exposition(self):
+        assert prometheus_text({}) == "\n"

@@ -1,0 +1,223 @@
+"""Tracer core: span nesting, events, sampling, thread propagation."""
+
+from __future__ import annotations
+
+import contextvars
+import threading
+
+import pytest
+
+from repro.obs import (
+    NULL_TRACER,
+    NullTracer,
+    Tracer,
+    activate,
+    add_event,
+    current_span,
+    current_tracer,
+)
+from repro.obs.tracer import NULL_SPAN
+
+
+class TestSpanNesting:
+    def test_root_and_children(self):
+        tracer = Tracer()
+        with tracer.span("feedback", session="s1"):
+            with tracer.span("classify", points=5) as classify:
+                classify.set("clusters_out", 2)
+            with tracer.span("merge"):
+                pass
+        (trace,) = tracer.traces()
+        assert trace["name"] == "feedback"
+        assert trace["attributes"] == {"session": "s1"}
+        assert [child["name"] for child in trace["children"]] == [
+            "classify",
+            "merge",
+        ]
+        classify = trace["children"][0]
+        assert classify["attributes"] == {"points": 5, "clusters_out": 2}
+        assert classify["parent_id"] == trace["span_id"]
+        assert classify["trace_id"] == trace["trace_id"]
+
+    def test_grandchildren_nest(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                with tracer.span("c"):
+                    pass
+        (trace,) = tracer.traces()
+        assert trace["children"][0]["children"][0]["name"] == "c"
+
+    def test_sibling_roots_are_separate_traces(self):
+        tracer = Tracer()
+        with tracer.span("first"):
+            pass
+        with tracer.span("second"):
+            pass
+        names = [trace["name"] for trace in tracer.traces()]
+        assert names == ["first", "second"]
+        ids = {trace["trace_id"] for trace in tracer.traces()}
+        assert len(ids) == 2
+
+    def test_durations_use_injected_clock(self):
+        ticks = iter([0.0, 1.0, 3.0, 6.0])  # outer start, inner start/end, outer end
+        tracer = Tracer(clock=lambda: next(ticks))
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        (trace,) = tracer.traces()
+        assert trace["duration_s"] == pytest.approx(6.0)
+        assert trace["children"][0]["duration_s"] == pytest.approx(2.0)
+
+
+class TestEvents:
+    def test_events_attach_to_current_span(self):
+        tracer = Tracer()
+        with tracer.span("merge") as span:
+            span.event("t2_merge", accepted=True, statistic=1.5)
+        (trace,) = tracer.traces()
+        (event,) = trace["events"]
+        assert event["name"] == "t2_merge"
+        assert event["fields"] == {"accepted": True, "statistic": 1.5}
+
+    def test_add_event_targets_ambient_span(self):
+        tracer = Tracer()
+        with tracer.span("scan"):
+            add_event("progressive_scan", pruned=99)
+        (trace,) = tracer.traces()
+        assert trace["events"][0]["fields"] == {"pruned": 99}
+
+    def test_add_event_outside_any_trace_is_noop(self):
+        add_event("orphan", x=1)  # must not raise
+
+    def test_event_offsets_are_relative_to_span(self):
+        ticks = iter([0.0, 2.5, 3.0])
+        tracer = Tracer(clock=lambda: next(ticks))
+        with tracer.span("stage") as span:
+            span.event("marker")
+        (trace,) = tracer.traces()
+        assert trace["events"][0]["offset_s"] == pytest.approx(2.5)
+
+
+class TestRingBufferAndAggregates:
+    def test_ring_buffer_drops_oldest(self):
+        tracer = Tracer(max_traces=2)
+        for name in ("a", "b", "c"):
+            with tracer.span(name):
+                pass
+        assert [t["name"] for t in tracer.traces()] == ["b", "c"]
+
+    def test_traces_last_n(self):
+        tracer = Tracer()
+        for name in ("a", "b", "c"):
+            with tracer.span(name):
+                pass
+        assert [t["name"] for t in tracer.traces(last=2)] == ["b", "c"]
+        assert tracer.traces(last=0) == []
+        with pytest.raises(ValueError):
+            tracer.traces(last=-1)
+
+    def test_aggregates_count_spans_and_events(self):
+        tracer = Tracer()
+        for _ in range(3):
+            with tracer.span("scan") as span:
+                span.event("index_knn", refined=10)
+        aggregates = tracer.aggregates()
+        assert aggregates["spans"]["scan"]["count"] == 3
+        assert aggregates["spans"]["scan"]["total_s"] >= 0.0
+        assert aggregates["events"]["index_knn"] == 3
+
+    def test_clear_drops_traces_and_aggregates(self):
+        tracer = Tracer()
+        with tracer.span("x"):
+            pass
+        tracer.clear()
+        assert tracer.traces() == []
+        assert tracer.aggregates() == {"spans": {}, "events": {}}
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            Tracer(max_traces=0)
+        with pytest.raises(ValueError):
+            Tracer(sample_every=0)
+
+
+class TestSampling:
+    def test_sample_every_traces_only_nth_root(self):
+        tracer = Tracer(sample_every=3)
+        for index in range(7):
+            with tracer.span("round", index=index):
+                with tracer.span("inner"):
+                    pass
+        traces = tracer.traces()
+        assert [t["attributes"]["index"] for t in traces] == [0, 3, 6]
+        # Unsampled roots record nothing, not even aggregates.
+        assert tracer.aggregates()["spans"]["round"]["count"] == 3
+        assert tracer.aggregates()["spans"]["inner"]["count"] == 3
+
+    def test_unsampled_root_darkens_descendants_and_events(self):
+        tracer = Tracer(sample_every=2)
+        with tracer.span("kept"):
+            pass
+        with tracer.span("dropped"):
+            assert current_span() is None
+            add_event("ghost")
+            with tracer.span("child"):
+                pass
+        with tracer.span("kept_again"):
+            pass
+        assert [t["name"] for t in tracer.traces()] == ["kept", "kept_again"]
+        assert "ghost" not in tracer.aggregates()["events"]
+
+
+class TestAmbientPlumbing:
+    def test_default_tracer_is_null(self):
+        assert current_tracer() is NULL_TRACER
+
+    def test_activate_scopes_the_tracer(self):
+        tracer = Tracer()
+        with activate(tracer):
+            assert current_tracer() is tracer
+        assert current_tracer() is NULL_TRACER
+
+    def test_activate_none_means_null(self):
+        with activate(None):
+            assert current_tracer() is NULL_TRACER
+
+    def test_null_tracer_is_inert(self):
+        tracer = NullTracer()
+        with tracer.span("anything", attr=1) as span:
+            span.set("k", "v")
+            span.event("e")
+        assert span is NULL_SPAN
+        assert tracer.traces() == []
+        assert tracer.aggregates() == {"spans": {}, "events": {}}
+        assert not tracer.enabled
+        assert Tracer().enabled
+
+    def test_copied_context_carries_span_into_worker_thread(self):
+        tracer = Tracer()
+        with activate(tracer), tracer.span("scan") as scan:
+            contexts = [contextvars.copy_context() for _ in range(4)]
+
+            def work(i):
+                assert current_tracer() is tracer
+                with tracer.span("shard", index=i):
+                    add_event("progressive_scan", shard=i)
+
+            threads = [
+                threading.Thread(target=ctx.run, args=(work, i))
+                for i, ctx in enumerate(contexts)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        (trace,) = tracer.traces()
+        shards = trace["children"]
+        assert {child["name"] for child in shards} == {"shard"}
+        assert len(shards) == 4
+        assert sorted(c["attributes"]["index"] for c in shards) == [0, 1, 2, 3]
+        for child in shards:
+            assert child["parent_id"] == trace["span_id"]
+            assert child["events"][0]["name"] == "progressive_scan"

@@ -25,6 +25,31 @@ class TestPercentile:
     def test_single_value(self):
         assert percentile([7.0], 95.0) == 7.0
 
+    def test_single_value_all_q(self):
+        for q in (0.0, 0.5, 50.0, 99.9, 100.0):
+            assert percentile([7.0], q) == 7.0
+
+    def test_fractional_q_does_not_truncate_rank(self):
+        # Regression: ceil used to be applied to int(n*q), so the
+        # fractional part of the product was lost before rounding up.
+        # n=601, q=0.5 -> n*q/100 = 3.005 -> nearest rank 4, but the
+        # truncated form computed ceil(int(300.5)/100) = 3.
+        values = [float(i) for i in range(1, 602)]
+        assert percentile(values, 0.5) == 4.0
+
+    def test_fractional_q_small_sequence(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        # n*q/100 = 0.1 -> rank max(1, ceil(0.1)) = 1.
+        assert percentile(values, 2.5) == 1.0
+        # n*q/100 = 2.04 -> rank 3.
+        assert percentile(values, 51.0) == 3.0
+
+    def test_q_zero_returns_minimum(self):
+        assert percentile([9.0, 4.0, 6.0], 0.0) == 4.0
+
+    def test_q_hundred_returns_maximum(self):
+        assert percentile([9.0, 4.0, 6.0], 100.0) == 9.0
+
     def test_empty_rejected(self):
         with pytest.raises(ValueError):
             percentile([], 50.0)
@@ -70,11 +95,13 @@ class TestServiceMetrics:
         assert metrics.counter("node_accesses") == 20
 
     def test_timer_context_observes_stage(self):
-        ticks = iter([0.0, 1.5])
+        # First tick is consumed by the constructor's uptime clock.
+        ticks = iter([0.0, 1.0, 2.5])
         metrics = ServiceMetrics(clock=lambda: next(ticks))
         with metrics.time("query"):
             pass
-        assert metrics.snapshot()["latency"]["query"]["p50"] == pytest.approx(1.5)
+        summary = metrics._stages["query"].summary()
+        assert summary["p50"] == pytest.approx(1.5)
 
     def test_cache_hit_rate(self):
         metrics = ServiceMetrics()
@@ -92,12 +119,31 @@ class TestServiceMetrics:
         assert set(snapshot) == {
             "counters",
             "latency",
+            "uptime_seconds",
             "cache_hit_rate",
             "kernel_cache_hit_rate",
             "refine_fraction",
             "candidates_pruned",
             "degradations",
         }
+
+    def test_uptime_tracks_clock(self):
+        ticks = iter([10.0, 17.5])
+        metrics = ServiceMetrics(clock=lambda: next(ticks))
+        assert metrics.uptime_seconds == pytest.approx(7.5)
+
+    def test_reset_clears_state_and_restarts_uptime(self):
+        ticks = iter([0.0, 1.0, 3.0, 50.0, 51.0])
+        metrics = ServiceMetrics(clock=lambda: next(ticks))
+        metrics.increment("queries", 5)
+        with metrics.time("query"):  # consumes ticks 1.0 and 3.0
+            pass
+        metrics.reset()  # restarts uptime at tick 50.0
+        assert metrics.counter("queries") == 0
+        snapshot = metrics.snapshot()
+        assert snapshot["counters"] == {}
+        assert snapshot["latency"] == {}
+        assert snapshot["uptime_seconds"] == pytest.approx(1.0)
 
     def test_degradations_aggregates_both_kinds(self):
         metrics = ServiceMetrics()
@@ -120,3 +166,49 @@ class TestServiceMetrics:
             thread.join()
         assert metrics.counter("hits") == 8000
         assert metrics.snapshot()["latency"]["stage"]["count"] == 8000
+
+    def test_snapshot_races_mutators_without_error(self):
+        """Racing observe/increment/snapshot threads never raise, and
+        counters sum exactly once the mutators finish."""
+        metrics = ServiceMetrics(reservoir_size=64)
+        stop = threading.Event()
+        errors = []
+
+        def mutate(counter):
+            try:
+                for i in range(2000):
+                    metrics.increment(counter)
+                    metrics.increment("shared", 2)
+                    metrics.observe("stage", 0.001 * (i % 7 + 1))
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        def scrape():
+            try:
+                while not stop.is_set():
+                    snapshot = metrics.snapshot()
+                    assert isinstance(snapshot["counters"], dict)
+                    assert snapshot["uptime_seconds"] >= 0.0
+                    latency = snapshot["latency"].get("stage")
+                    if latency is not None:
+                        assert latency["p50"] > 0.0
+                        assert latency["count"] >= 1
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        mutators = [
+            threading.Thread(target=mutate, args=(f"c{i}",)) for i in range(4)
+        ]
+        scrapers = [threading.Thread(target=scrape) for _ in range(2)]
+        for thread in mutators + scrapers:
+            thread.start()
+        for thread in mutators:
+            thread.join()
+        stop.set()
+        for thread in scrapers:
+            thread.join()
+        assert errors == []
+        assert metrics.counter("shared") == 4 * 2000 * 2
+        for i in range(4):
+            assert metrics.counter(f"c{i}") == 2000
+        assert metrics.snapshot()["latency"]["stage"]["count"] == 4 * 2000

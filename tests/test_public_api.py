@@ -20,6 +20,7 @@ PACKAGES = [
     "repro.extensions",
     "repro.experiments",
     "repro.service",
+    "repro.obs",
 ]
 
 
