@@ -1,0 +1,258 @@
+#!/usr/bin/env python
+"""Benchmark regression gate against committed baselines.
+
+Runs two deterministic smoke workloads through the retrieval service —
+the HybridTree index path and the sharded exact-scan path — and reduces
+each to *scale-free, machine-independent* metrics: retrieval precision,
+index node/IO accesses per query, progressive-scan pruning fraction,
+cache hit rate, result-quality mix.  For a fixed seed these are
+bit-deterministic, so they can be compared across CI runners where
+absolute wall-clock timings cannot; a committed baseline under
+``benchmarks/baselines/`` is the contract and any metric that moves in
+the *bad* direction by more than the tolerance (default 25%) fails the
+gate.
+
+Usage::
+
+    python benchmarks/compare_bench.py --check            # CI gate
+    python benchmarks/compare_bench.py --check --report bench-report.json
+    python benchmarks/compare_bench.py --record           # refresh baseline
+
+``--record`` rewrites the baseline file; commit the result when a PR
+intentionally changes the algorithmic profile.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.core.config import QclusterConfig  # noqa: E402
+from repro.retrieval import FeatureDatabase, QclusterMethod, SimulatedUser  # noqa: E402
+from repro.service import RetrievalService  # noqa: E402
+
+DEFAULT_BASELINE = REPO_ROOT / "benchmarks" / "baselines" / "smoke.json"
+DEFAULT_TOLERANCE = 0.25
+
+#: Whether a larger value is an improvement, per metric.  Metrics absent
+#: here are recorded for the report but never gated.
+DIRECTIONS = {
+    "index.precision_at_k": "higher",
+    "index.node_accesses_per_query": "lower",
+    "index.io_accesses_per_query": "lower",
+    "index.cache_hit_rate": "higher",
+    "scan.precision_at_k": "higher",
+    "scan.pruned_fraction": "higher",
+    "scan.exact_page_fraction": "higher",
+}
+
+# Sized so each workload is informative: >2048 rows per scan shard and
+# >=16 dimensions so the progressive filter engages (its plan needs a
+# coordinate prefix worth filtering on), and enough category overlap
+# that precision sits below 1.0 with headroom to regress.
+N_CATEGORIES = 12
+POINTS_PER_CATEGORY = 220
+DIMENSIONS = 16
+N_QUERIES = 8
+N_ROUNDS = 3
+K = 20
+SEED = 7
+
+
+def build_database() -> FeatureDatabase:
+    """Synthetic Gaussian categories, deterministic for ``SEED``."""
+    rng = np.random.default_rng(SEED)
+    centers = 2.0 * rng.standard_normal((N_CATEGORIES, DIMENSIONS))
+    vectors = np.concatenate(
+        [
+            center + 1.5 * rng.standard_normal((POINTS_PER_CATEGORY, DIMENSIONS))
+            for center in centers
+        ]
+    )
+    labels = np.repeat(np.arange(N_CATEGORIES), POINTS_PER_CATEGORY)
+    return FeatureDatabase(vectors, labels)
+
+
+def drive_queries(service: RetrievalService, database: FeatureDatabase) -> float:
+    """Run the feedback protocol; returns mean final-round precision@k."""
+    rng = np.random.default_rng(SEED + 1)
+    query_ids = rng.integers(0, database.size, size=N_QUERIES)
+    precisions = []
+    for query_id in query_ids:
+        query_id = int(query_id)
+        target = database.category_of(query_id)
+        session = service.create_session(query_id)
+        user = SimulatedUser(database, target)
+        page = service.query(session)
+        page = service.query(session)  # identical re-ask: exercises the cache
+        for _ in range(N_ROUNDS):
+            judgment = user.judge(page.ids)
+            page = service.feedback(
+                session, judgment.relevant_indices, judgment.scores
+            )
+        hits = sum(1 for i in page.ids if database.category_of(int(i)) == target)
+        precisions.append(hits / len(page.ids))
+        service.close(session)
+    return float(np.mean(precisions))
+
+
+def collect_metrics() -> dict:
+    """The full metric set from both smoke workloads."""
+    database = build_database()
+    metrics = {}
+
+    with RetrievalService(database, k=K, use_index=True, cache_size=64) as service:
+        precision = drive_queries(service, database)
+        snapshot = service.metrics_snapshot()
+        counters = snapshot["counters"]
+        queries = counters["queries"] + counters["feedbacks"]
+        metrics["index.precision_at_k"] = precision
+        metrics["index.node_accesses_per_query"] = (
+            counters.get("index_node_accesses", 0) / queries
+        )
+        metrics["index.io_accesses_per_query"] = (
+            counters.get("index_io_accesses", 0) / queries
+        )
+        metrics["index.cache_hit_rate"] = snapshot["cache"]["hit_rate"]
+
+    # Single shard keeps the whole database above the progressive
+    # filter's minimum scan size, and the full-inverse covariance
+    # scheme produces the whitened kernels its plan filters on, so
+    # pruned_fraction is exercised.
+    with RetrievalService(
+        database,
+        k=K,
+        use_index=False,
+        n_shards=1,
+        cache_size=0,
+        method_factory=lambda: QclusterMethod(QclusterConfig(scheme="inverse")),
+    ) as service:
+        precision = drive_queries(service, database)
+        snapshot = service.metrics_snapshot()
+        counters = snapshot["counters"]
+        pruned = counters.get("candidates_pruned", 0)
+        refined = counters.get("candidates_refined", 0)
+        pages = counters.get("results_exact", 0) + counters.get("results_degraded", 0)
+        metrics["scan.precision_at_k"] = precision
+        metrics["scan.pruned_fraction"] = (
+            pruned / (pruned + refined) if pruned + refined else 0.0
+        )
+        metrics["scan.exact_page_fraction"] = (
+            counters.get("results_exact", 0) / pages if pages else 0.0
+        )
+
+    return {name: round(float(value), 6) for name, value in metrics.items()}
+
+
+def compare(current: dict, baseline: dict, tolerance: float) -> list:
+    """Regressions (worse than baseline beyond ``tolerance``), as dicts."""
+    regressions = []
+    for name, direction in DIRECTIONS.items():
+        if name not in baseline:
+            continue
+        base = baseline[name]
+        if name not in current:
+            regressions.append(
+                {"metric": name, "baseline": base, "current": None,
+                 "detail": "metric missing from the current run"}
+            )
+            continue
+        value = current[name]
+        if direction == "higher":
+            floor = base * (1.0 - tolerance)
+            regressed = value < floor and not np.isclose(value, floor)
+        else:
+            ceiling = base * (1.0 + tolerance)
+            regressed = value > ceiling and not np.isclose(value, ceiling)
+        if regressed:
+            change = (value - base) / base if base else float("inf")
+            regressions.append(
+                {"metric": name, "baseline": base, "current": value,
+                 "detail": f"{change:+.1%} ({direction} is better)"}
+            )
+    return regressions
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    action = parser.add_mutually_exclusive_group()
+    action.add_argument(
+        "--check", action="store_true", help="gate against the baseline (default)"
+    )
+    action.add_argument(
+        "--record", action="store_true", help="rewrite the baseline file"
+    )
+    parser.add_argument(
+        "--baseline", type=Path, default=DEFAULT_BASELINE,
+        help=f"baseline JSON path (default: {DEFAULT_BASELINE})",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=DEFAULT_TOLERANCE,
+        help="allowed relative regression before the gate fails",
+    )
+    parser.add_argument(
+        "--report", type=Path, default=None,
+        help="write a JSON comparison report here (the CI artifact)",
+    )
+    args = parser.parse_args(argv)
+
+    current = collect_metrics()
+    for name in sorted(current):
+        print(f"  {name:38s} {current[name]:.6f}")
+
+    if args.record:
+        args.baseline.parent.mkdir(parents=True, exist_ok=True)
+        args.baseline.write_text(
+            json.dumps({"tolerance": args.tolerance, "metrics": current}, indent=2)
+            + "\n"
+        )
+        print(f"baseline written to {args.baseline}")
+        return 0
+
+    if not args.baseline.exists():
+        print(f"no baseline at {args.baseline}; run with --record", file=sys.stderr)
+        return 2
+    recorded = json.loads(args.baseline.read_text())
+    baseline = recorded["metrics"]
+    tolerance = args.tolerance if args.tolerance != DEFAULT_TOLERANCE else recorded.get(
+        "tolerance", DEFAULT_TOLERANCE
+    )
+    regressions = compare(current, baseline, tolerance)
+
+    if args.report is not None:
+        args.report.write_text(
+            json.dumps(
+                {
+                    "tolerance": tolerance,
+                    "baseline": baseline,
+                    "current": current,
+                    "regressions": regressions,
+                },
+                indent=2,
+            )
+            + "\n"
+        )
+        print(f"report written to {args.report}")
+
+    if regressions:
+        print(f"\n{len(regressions)} regression(s) beyond {tolerance:.0%}:")
+        for regression in regressions:
+            print(
+                f"  {regression['metric']}: {regression['baseline']} -> "
+                f"{regression['current']} ({regression['detail']})"
+            )
+        return 1
+    print(f"\nall {len(baseline)} gated metrics within {tolerance:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -91,6 +91,40 @@ class TestDisabledOverhead:
         )
         assert share < OVERHEAD_BUDGET
 
+    def test_disabled_fault_point_fits_round_budget(self, color_database):
+        """The fault layer rides the same budget: with no plan armed a
+        ``fault_point`` is one context-variable read, and a round's worth
+        of them must stay under the 2% overhead criterion."""
+        from repro.faults import fault_point, faults_active, register_site
+
+        site = register_site("bench.overhead", "disabled-cost measurement site")
+        assert not faults_active()
+        n = 200_000
+        start = time.perf_counter()
+        for _ in range(n):
+            fault_point(site, key="k")
+        per_call = (time.perf_counter() - start) / n
+
+        service = RetrievalService(color_database, k=50, cache_size=0)
+        try:
+            session = service.create_session(0)
+            user = SimulatedUser(color_database, color_database.category_of(0))
+            page = service.query(session)
+            judgment = user.judge(page.ids)
+            start = time.perf_counter()
+            service.feedback(session, judgment.relevant_indices, judgment.scores)
+            round_seconds = time.perf_counter() - start
+        finally:
+            service.shutdown()
+
+        share = per_call * CALLS_PER_ROUND / round_seconds
+        print(
+            f"\ndisabled fault point: {per_call * 1e9:.0f} ns; "
+            f"{CALLS_PER_ROUND} points/round over a {round_seconds * 1e3:.1f} ms "
+            f"round = {share:.4%} overhead"
+        )
+        assert share < OVERHEAD_BUDGET
+
     def test_null_tracer_is_the_default(self, color_database):
         service = RetrievalService(color_database)
         try:

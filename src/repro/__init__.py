@@ -24,6 +24,9 @@ union of the subpackages:
 * :mod:`repro.obs` — structured tracing across the pipeline: nested
   timed spans with algorithmic events, JSONL / console / Prometheus
   exporters, and a no-op default tracer for production hot paths.
+* :mod:`repro.faults` — deterministic, seeded fault injection behind
+  named sites, plus the chaos plans the CI resilience suite replays;
+  fully inert unless a :class:`~repro.faults.FaultPlan` is activated.
 
 Quickstart::
 
@@ -49,6 +52,8 @@ from .core import (
     use_kernels,
     use_progressive,
 )
+from .faults import FaultClock, FaultPlan, FaultSpec, InjectedFault, activate_faults
+from .faults.plans import builtin_plan, builtin_plans
 from .index import HybridTree, MultipointSearcher
 from .obs import (
     NULL_TRACER,
@@ -66,8 +71,15 @@ from .retrieval import (
     SimulatedUser,
 )
 from .retrieval.methods import QueryLike
-from .service import RetrievalService, ServiceMetrics, SessionStore
-from .system import ImageRetrievalSystem, ResultPage
+from .service import (
+    CheckpointCorruption,
+    ResiliencePolicy,
+    RetrievalService,
+    ServiceMetrics,
+    SessionNotFound,
+    SessionStore,
+)
+from .system import EXACT_QUALITY, ImageRetrievalSystem, ResultPage, ResultQuality
 
 __version__ = "1.0.0"
 
@@ -93,7 +105,17 @@ __all__ = [
     "SimulatedUser",
     "RetrievalService",
     "ServiceMetrics",
+    "SessionNotFound",
     "SessionStore",
+    "CheckpointCorruption",
+    "ResiliencePolicy",
+    "FaultPlan",
+    "FaultSpec",
+    "FaultClock",
+    "InjectedFault",
+    "activate_faults",
+    "builtin_plan",
+    "builtin_plans",
     "Tracer",
     "NullTracer",
     "NULL_TRACER",
@@ -102,5 +124,7 @@ __all__ = [
     "prometheus_text",
     "ImageRetrievalSystem",
     "ResultPage",
+    "ResultQuality",
+    "EXACT_QUALITY",
     "__version__",
 ]

@@ -12,6 +12,10 @@ Subcommands:
 * ``obs`` — run a traced feedback workload and dump the observability
   surface: rendered span trees of the last N rounds, the raw JSONL
   event log, or a Prometheus text-format exposition.
+* ``chaos`` — replay a deterministic feedback workload twice, fault-free
+  and under a seeded :class:`~repro.faults.FaultPlan`, and verify the
+  resilience contract: every page served under faults is either
+  byte-identical to its fault-free twin or explicitly marked degraded.
 * ``figure`` — regenerate any of the paper's tables/figures by id
   (``fig5`` ... ``fig19``, ``table2``, ``table3``, ``headline``),
   optionally exporting CSV.
@@ -202,6 +206,176 @@ def cmd_service(args) -> int:
             f"{stage:<16} {summary['count']:>6} {summary['p50'] * 1e3:>8.2f} "
             f"{summary['p95'] * 1e3:>8.2f} {summary['max'] * 1e3:>8.2f}"
         )
+    return 0
+
+
+def cmd_chaos(args) -> int:
+    """Deterministic fault-plan replay with the byte-identical-or-degraded check."""
+    import tempfile
+    from contextlib import nullcontext
+    from pathlib import Path
+
+    from .faults import FaultPlan, activate_faults
+    from .faults.plans import BUILTIN_PLAN_NAMES, builtin_plan
+    from .retrieval import SimulatedUser
+    from .service import RetrievalService
+
+    if args.plan_file:
+        plan = FaultPlan.from_json(Path(args.plan_file).read_text())
+    elif args.plan in BUILTIN_PLAN_NAMES:
+        plan = builtin_plan(args.plan, seed=args.fault_seed)
+    else:
+        print(f"unknown plan: {args.plan}", file=sys.stderr)
+        print(f"available: {', '.join(BUILTIN_PLAN_NAMES)}", file=sys.stderr)
+        return 2
+    if args.save_plan:
+        Path(args.save_plan).write_text(plan.to_json())
+        print(f"plan written to {args.save_plan}")
+
+    database = _build_database(args)
+    rng = np.random.default_rng(args.seed)
+    query_ids = [int(q) for q in rng.integers(0, database.size, size=args.sessions)]
+
+    def run_workload(fault_plan):
+        """One sequential round-robin workload; returns (records, stats)."""
+        records = []
+        with tempfile.TemporaryDirectory() as checkpoint_dir:
+            service = RetrievalService(
+                database,
+                k=args.k,
+                use_index=args.use_index,
+                n_shards=args.shards,
+                capacity=args.capacity,
+                checkpoint_dir=checkpoint_dir,
+                cache_size=args.cache_size,
+            )
+            context = (
+                activate_faults(fault_plan)
+                if fault_plan is not None
+                else nullcontext(None)
+            )
+            try:
+                with context as active:
+                    session_ids = [
+                        service.create_session(q, session_id=f"chaos-{i}")
+                        for i, q in enumerate(query_ids)
+                    ]
+                    users = [
+                        SimulatedUser(database, database.category_of(q))
+                        for q in query_ids
+                    ]
+                    last_pages = {}
+                    # Round-robin across sessions so a small store
+                    # capacity forces checkpoint evict/restore cycles.
+                    for round_index in range(args.iterations + 1):
+                        for index, session_id in enumerate(session_ids):
+                            record = {"key": (index, round_index)}
+                            try:
+                                if round_index == 0 or index not in last_pages:
+                                    page = service.query(session_id)
+                                else:
+                                    judgment = users[index].judge(
+                                        last_pages[index].ids
+                                    )
+                                    page = service.feedback(
+                                        session_id,
+                                        judgment.relevant_indices,
+                                        judgment.scores,
+                                    )
+                            except Exception as error:
+                                record["error"] = repr(error)
+                            else:
+                                last_pages[index] = page
+                                record["ids"] = page.ids.tobytes()
+                                record["distances"] = page.distances.tobytes()
+                                record["quality"] = page.quality.level
+                                record["reasons"] = page.quality.reasons
+                            records.append(record)
+                    fire_stats = active.stats() if active is not None else None
+            finally:
+                snapshot = service.metrics_snapshot()
+                service.shutdown()
+        return records, fire_stats, snapshot
+
+    baseline, _, _ = run_workload(None)
+    faulted, fire_stats, snapshot = run_workload(plan)
+
+    baseline_errors = sum(1 for record in baseline if "error" in record)
+    if baseline_errors:
+        print(
+            f"{baseline_errors} step(s) failed in the fault-free baseline",
+            file=sys.stderr,
+        )
+        return 1
+
+    by_key = {record["key"]: record for record in baseline}
+    violations = []
+    exact_pages = degraded_pages = errored = excluded = 0
+    diverged = set()
+    for record in faulted:
+        session_index = record["key"][0]
+        if "error" in record:
+            # The caller saw the exception, so nothing was silently
+            # wrong — but the session's feedback trajectory now differs
+            # from the baseline's, so its later pages are incomparable.
+            errored += 1
+            diverged.add(session_index)
+            continue
+        if session_index in diverged:
+            excluded += 1
+            continue
+        if record["quality"] == "exact":
+            exact_pages += 1
+            twin = by_key[record["key"]]
+            if (
+                record["ids"] != twin["ids"]
+                or record["distances"] != twin["distances"]
+            ):
+                violations.append(record["key"])
+        else:
+            degraded_pages += 1
+
+    counters = snapshot["counters"]
+    print(f"plan: {plan.name or '<unnamed>'} (seed {plan.seed}, {len(plan.specs)} specs)")
+    print(f"workload: {args.sessions} sessions x {args.iterations} rounds")
+    print()
+    print("injected faults by site:")
+    for site, kinds in fire_stats["by_site"].items():
+        detail = ", ".join(f"{kind}={count}" for kind, count in sorted(kinds.items()))
+        print(f"  {site:<22} {detail}")
+    if not fire_stats["by_site"]:
+        print("  (none fired)")
+    print()
+    print("recovery:")
+    for name in (
+        "shard_retries",
+        "shard_failures",
+        "hedges",
+        "compile_retries",
+        "restore_retries",
+        "checkpoint_save_errors",
+        "checkpoints_corrupt",
+        "sessions_rebuilt",
+        "cache_errors",
+        "results_exact",
+        "results_degraded",
+    ):
+        if counters.get(name):
+            print(f"  {name:<24} {counters[name]}")
+    print(f"  {'cache_corruptions':<24} {snapshot['cache']['corruptions']}")
+    print()
+    print(
+        f"pages: {exact_pages} exact (byte-checked), {degraded_pages} degraded, "
+        f"{errored} errored, {excluded} excluded after an error"
+    )
+    if violations:
+        print(
+            f"VIOLATION: {len(violations)} exact page(s) differ from the "
+            f"fault-free run: {violations[:10]}",
+            file=sys.stderr,
+        )
+        return 1
+    print("resilience contract holds: every exact page is byte-identical")
     return 0
 
 
@@ -418,6 +592,42 @@ def build_parser() -> argparse.ArgumentParser:
     )
     obs.add_argument("--output", help="write to this file instead of stdout")
     obs.set_defaults(func=cmd_obs)
+
+    chaos = subparsers.add_parser(
+        "chaos",
+        help="replay a workload under a seeded fault plan and check the "
+        "byte-identical-or-degraded contract",
+    )
+    add_collection_arguments(chaos)
+    chaos.add_argument(
+        "--plan",
+        default="worker-crash",
+        help="builtin plan name (worker-crash, slow-shard, corrupt-checkpoint)",
+    )
+    chaos.add_argument(
+        "--plan-file", default=None, help="load the fault plan from a JSON file"
+    )
+    chaos.add_argument(
+        "--save-plan", default=None, help="write the resolved plan JSON here"
+    )
+    chaos.add_argument(
+        "--fault-seed", type=int, default=0, help="seed for the fault plan's draws"
+    )
+    chaos.add_argument("--sessions", type=int, default=4, help="sessions to drive")
+    chaos.add_argument(
+        "--capacity",
+        type=int,
+        default=2,
+        help="live-session capacity (small values force checkpoint cycles)",
+    )
+    chaos.add_argument("--cache-size", type=int, default=32, help="result-cache pages")
+    chaos.add_argument("--shards", type=int, default=4, help="scan shards")
+    chaos.add_argument(
+        "--use-index",
+        action="store_true",
+        help="serve through the HybridTree (default: exact sharded scan)",
+    )
+    chaos.set_defaults(func=cmd_chaos)
 
     disjunctive = subparsers.add_parser(
         "disjunctive", help="the Example 3 / Figure 5 demo"

@@ -52,7 +52,14 @@ from typing import Callable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..faults import fault_point, register_site
 from ..obs import add_event, current_tracer
+
+#: Chaos-injection site: fires once per genuine query compilation
+#: (Cholesky factorization, kernel selection, fusion layout), keyed by
+#: the cluster-state fingerprint.  Compilation is pure, so the service
+#: retries it with bounded backoff.
+_SITE_COMPILE = register_site("kernel.compile", "distance-kernel compilation")
 
 __all__ = [
     "fingerprint_cluster_state",
@@ -373,6 +380,7 @@ def compile_query(query, fingerprint: Optional[str] = None) -> CompiledQuery:
     """
     if fingerprint is None:
         fingerprint = fingerprint_cluster_state(query)
+    fault_point(_SITE_COMPILE, key=fingerprint)
     kernels: List[object] = []
     for point in query.points:
         diagonal = _point_diagonal(point)

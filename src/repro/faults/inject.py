@@ -1,0 +1,219 @@
+"""Ambient fault activation and the :func:`fault_point` hook.
+
+The plumbing mirrors :mod:`repro.obs.tracer` exactly: a context
+variable carries the active :class:`ActiveFaults` (default ``None`` —
+disabled), instrumented modules call :func:`fault_point` at named
+sites without holding any object, and
+``contextvars.copy_context().run(...)`` ships the activation into
+shard-pool worker threads alongside the tracer.
+
+**Disabled cost.**  With no plan active, :func:`fault_point` is one
+context-variable read and a ``None`` check — the same budget discipline
+as the null tracer, and measured by the same benchmark
+(``benchmarks/test_obs_overhead.py``).  Library hot paths therefore
+keep their injection points compiled in unconditionally.
+
+**Sites** are registered at import time by the instrumented module
+(:func:`register_site`), giving plans a typo guard
+(:meth:`~repro.faults.plan.FaultPlan.validate_sites`) and operators a
+discoverable catalogue (``registered_sites()``; see
+``docs/RESILIENCE.md`` for the full table).
+"""
+
+from __future__ import annotations
+
+import contextvars
+import threading
+import time
+from contextlib import contextmanager
+from typing import Any, Callable, Dict, Iterator, Optional
+
+from ..obs import add_event
+from .plan import FaultClock, FaultPlan, InjectedFault, corrupt_payload
+
+__all__ = [
+    "register_site",
+    "registered_sites",
+    "ActiveFaults",
+    "activate_faults",
+    "active_faults",
+    "faults_active",
+    "fault_point",
+]
+
+#: Sentinel distinguishing "no payload offered" from ``payload=None``.
+_NO_PAYLOAD = object()
+
+_REGISTRY_LOCK = threading.Lock()
+_SITES: Dict[str, str] = {}
+
+#: The ambient activation. ``None`` = fault injection fully disabled.
+_ACTIVE_FAULTS: "contextvars.ContextVar[Optional[ActiveFaults]]" = contextvars.ContextVar(
+    "repro_active_faults", default=None
+)
+
+
+def register_site(name: str, description: str) -> str:
+    """Declare a named injection point (idempotent; import-time).
+
+    Returns the name so modules can bind it to a constant::
+
+        _SITE_SCAN = register_site("shard.scan", "per-shard top-k task")
+    """
+    with _REGISTRY_LOCK:
+        _SITES[name] = description
+    return name
+
+
+def registered_sites() -> Dict[str, str]:
+    """``{site: description}`` for every registered injection point."""
+    with _REGISTRY_LOCK:
+        return dict(sorted(_SITES.items()))
+
+
+class ActiveFaults:
+    """One activation of a :class:`FaultPlan`: plan + clock + fire stats.
+
+    The plan is immutable configuration; this object owns the runtime
+    state — invocation counters (:class:`FaultClock`), per-spec fire
+    counts (for ``max_fires`` and reporting), and the sleep function
+    used for latency faults (injectable so tests replay latency plans
+    instantly).
+    """
+
+    def __init__(
+        self,
+        plan: FaultPlan,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        self.plan = plan
+        self.clock = FaultClock()
+        self._sleep = sleep
+        self._lock = threading.Lock()
+        self._fires_by_spec: Dict[int, int] = {}
+        self._fires_by_site: Dict[str, Dict[str, int]] = {}
+
+    # ------------------------------------------------------------------
+    # Stats
+    # ------------------------------------------------------------------
+
+    @property
+    def total_fires(self) -> int:
+        """Faults injected so far under this activation."""
+        with self._lock:
+            return sum(self._fires_by_spec.values())
+
+    def stats(self) -> Dict[str, Any]:
+        """``{plan, seed, total_fires, by_site, invocations}`` summary."""
+        with self._lock:
+            by_site = {
+                site: dict(kinds) for site, kinds in sorted(self._fires_by_site.items())
+            }
+            total = sum(self._fires_by_spec.values())
+        return {
+            "plan": self.plan.name or "<unnamed>",
+            "seed": self.plan.seed,
+            "total_fires": total,
+            "by_site": by_site,
+            "invocations": self.clock.snapshot(),
+        }
+
+    def _record_fire(self, index: int, site: str, kind: str) -> None:
+        with self._lock:
+            self._fires_by_spec[index] = self._fires_by_spec.get(index, 0) + 1
+            kinds = self._fires_by_site.setdefault(site, {})
+            kinds[kind] = kinds.get(kind, 0) + 1
+
+    def _fires_of(self, index: int) -> int:
+        with self._lock:
+            return self._fires_by_spec.get(index, 0)
+
+    # ------------------------------------------------------------------
+    # The decision
+    # ------------------------------------------------------------------
+
+    def check(self, site: str, key: Optional[str], payload: Any) -> Any:
+        """Tick the clock for ``(site, key)`` and apply any firing specs.
+
+        Latency fires sleep first; a corrupt fire transforms the
+        offered payload; an error fire raises :class:`InjectedFault`
+        last (after any injected delay, like a slow call that then
+        dies).  Returns the (possibly corrupted) payload.
+        """
+        count = self.clock.tick(site, key)
+        error: Optional[InjectedFault] = None
+        for index, spec in self.plan.specs_for(site):
+            if spec.max_fires is not None and self._fires_of(index) >= spec.max_fires:
+                continue
+            if not spec.matches(self.plan.seed, index, key, count):
+                continue
+            self._record_fire(index, site, spec.kind)
+            add_event("fault_injected", site=site, key=key, kind=spec.kind, count=count)
+            if spec.kind == "latency":
+                self._sleep(spec.latency_s)
+            elif spec.kind == "corrupt":
+                if payload is not _NO_PAYLOAD:
+                    payload = corrupt_payload(payload)
+            else:  # error
+                error = InjectedFault(site, key, count, spec.message)
+        if error is not None:
+            raise error
+        return payload
+
+
+@contextmanager
+def activate_faults(
+    plan: FaultPlan,
+    *,
+    sleep: Callable[[float], None] = time.sleep,
+    validate: bool = True,
+) -> Iterator[ActiveFaults]:
+    """Arm ``plan`` for the ``with`` body; yields the live activation.
+
+    The binding is a context variable, so it follows
+    ``contextvars.copy_context()`` into worker threads and never leaks
+    across concurrent requests.  ``validate`` checks every spec against
+    the registered sites (disable only when instrumented modules are
+    deliberately not imported).
+    """
+    if validate:
+        plan.validate_sites(list(registered_sites()))
+    active = ActiveFaults(plan, sleep=sleep)
+    token = _ACTIVE_FAULTS.set(active)
+    try:
+        yield active
+    finally:
+        _ACTIVE_FAULTS.reset(token)
+
+
+def active_faults() -> Optional[ActiveFaults]:
+    """The ambient activation, or ``None`` when injection is disabled."""
+    return _ACTIVE_FAULTS.get()
+
+
+def faults_active() -> bool:
+    """Whether a fault plan is currently armed in this context."""
+    return _ACTIVE_FAULTS.get() is not None
+
+
+def fault_point(site: str, key: Optional[str] = None, payload: Any = _NO_PAYLOAD) -> Any:
+    """The injection hook library code plants at a named site.
+
+    Disabled (the default): one context-variable read and a ``None``
+    check; the payload (if offered) is returned untouched.  Armed: the
+    active plan may sleep, corrupt the payload, or raise
+    :class:`InjectedFault` — exactly as configured, deterministically.
+
+    Args:
+        site: registered site name.
+        key: operation key scoping the invocation counter (shard
+            offset, session id, node id...); ``None`` uses the site's
+            global counter.
+        payload: value offered for corruption (pass-through contract:
+            callers must use the return value).
+    """
+    active = _ACTIVE_FAULTS.get()
+    if active is None:
+        return None if payload is _NO_PAYLOAD else payload
+    result = active.check(site, key, payload)
+    return None if result is _NO_PAYLOAD else result

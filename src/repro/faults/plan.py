@@ -1,0 +1,305 @@
+"""Seeded fault plans: *what* breaks, *where*, and *when* — deterministically.
+
+Chaos testing is only useful when a failure found on Tuesday can be
+replayed on Wednesday.  Everything here is therefore a pure function of
+the plan: a :class:`FaultSpec` names an injection site and a trigger
+(fixed invocation numbers, a modulus, or a seeded pseudo-random
+probability), and the firing decision for the *n*-th invocation of a
+``(site, key)`` pair depends only on ``(seed, site, key, n)`` — never
+on wall-clock time, thread ids, or :mod:`random` state.  Two runs of
+the same single-driver workload under the same plan inject exactly the
+same faults; the CI chaos job and ``cli chaos`` both rely on that.
+
+A :class:`FaultClock` carries the per-``(site, key)`` invocation
+counters (the only runtime state), and :class:`FaultPlan` is the static,
+JSON-serializable configuration that ``cli chaos --save-plan`` writes
+and ``--plan-file`` replays.
+
+Three fault kinds cover the failure modes a retrieval service meets:
+
+* ``"error"`` — raise :class:`InjectedFault` at the site (worker crash,
+  I/O error, kernel compilation failure);
+* ``"latency"`` — sleep ``latency_s`` before continuing (slow shard,
+  cold storage, noisy neighbour);
+* ``"corrupt"`` — deterministically garble the payload offered at the
+  site (bit rot in a cache entry, a torn checkpoint write).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+from dataclasses import dataclass, fields
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "InjectedFault",
+    "FaultSpec",
+    "FaultPlan",
+    "FaultClock",
+    "corrupt_payload",
+]
+
+#: The fault kinds a spec may request.
+FAULT_KINDS = ("error", "latency", "corrupt")
+
+
+class InjectedFault(RuntimeError):
+    """An exception raised on purpose by the fault-injection layer.
+
+    Carries the site so recovery tests can assert *where* the failure
+    originated; otherwise indistinguishable from a real fault, which is
+    the point — resilience code must not special-case it.
+    """
+
+    def __init__(self, site: str, key: Optional[str], count: int, message: str = "") -> None:
+        self.site = site
+        self.key = key
+        self.count = count
+        detail = message or "injected fault"
+        super().__init__(f"{detail} at {site!r} (key={key!r}, invocation {count})")
+
+
+def corrupt_payload(payload: Any) -> Any:
+    """Deterministically garble ``payload`` (same input, same damage).
+
+    * ``str``/``bytes`` are truncated to two thirds and given a garbage
+      tail — a torn write: the head parses, the tail does not;
+    * numeric arrays get their first element perturbed (sign flip plus
+      one) on a copy — single-bit rot that any checksum catches;
+    * ``(ids, distances)``-style tuples/lists have their last array
+      corrupted;
+    * anything else is replaced by ``None`` (total loss).
+    """
+    if isinstance(payload, str):
+        return payload[: max(1, (2 * len(payload)) // 3)] + "\x00garbled"
+    if isinstance(payload, bytes):
+        return payload[: max(1, (2 * len(payload)) // 3)] + b"\x00garbled"
+    if isinstance(payload, np.ndarray):
+        corrupted = payload.copy()
+        if corrupted.size:
+            flat = corrupted.reshape(-1)
+            flat[0] = -(flat[0] + 1)
+        return corrupted
+    if isinstance(payload, (tuple, list)):
+        items = list(payload)
+        for position in range(len(items) - 1, -1, -1):
+            if isinstance(items[position], np.ndarray):
+                items[position] = corrupt_payload(items[position])
+                break
+        else:
+            return None
+        return tuple(items) if isinstance(payload, tuple) else items
+    return None
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One deterministic fault rule bound to a named injection site.
+
+    Exactly one trigger must be set: ``at`` (fire on those 1-based
+    invocation counts of the matching ``(site, key)`` pair), ``every``
+    (fire on every n-th invocation), or ``probability`` (a seeded
+    pseudo-random draw — deterministic per ``(seed, spec, site, key,
+    count)``, so it replays bit-for-bit).
+
+    Attributes:
+        site: registered injection-site name (e.g. ``"shard.scan"``).
+        kind: ``"error"``, ``"latency"`` or ``"corrupt"``.
+        at: 1-based invocation counts to fire on.
+        every: fire when ``count % every == 0``.
+        probability: seeded firing probability in ``(0, 1]``.
+        key: only fire for invocations carrying this operation key
+            (``None`` matches any key).
+        latency_s: injected delay for ``"latency"`` faults.
+        max_fires: cap on total fires of this spec per activation
+            (``None`` = unlimited).
+        message: human-readable tag carried by :class:`InjectedFault`.
+    """
+
+    site: str
+    kind: str
+    at: Tuple[int, ...] = ()
+    every: int = 0
+    probability: float = 0.0
+    key: Optional[str] = None
+    latency_s: float = 0.0
+    max_fires: Optional[int] = None
+    message: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}; expected one of {FAULT_KINDS}")
+        triggers = sum((bool(self.at), self.every > 0, self.probability > 0))
+        if triggers != 1:
+            raise ValueError(
+                "exactly one trigger (at / every / probability) must be set, "
+                f"got at={self.at!r}, every={self.every}, probability={self.probability}"
+            )
+        if self.at and any(count < 1 for count in self.at):
+            raise ValueError(f"'at' counts are 1-based, got {self.at}")
+        if self.every < 0:
+            raise ValueError(f"every must be non-negative, got {self.every}")
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError(f"probability must lie in [0, 1], got {self.probability}")
+        if self.kind == "latency" and self.latency_s <= 0:
+            raise ValueError(f"latency faults need latency_s > 0, got {self.latency_s}")
+        if self.latency_s < 0:
+            raise ValueError(f"latency_s must be non-negative, got {self.latency_s}")
+        if self.max_fires is not None and self.max_fires < 1:
+            raise ValueError(f"max_fires must be at least 1, got {self.max_fires}")
+        # Normalize (tuple-ness matters for JSON round trips and hashing).
+        object.__setattr__(self, "at", tuple(int(count) for count in self.at))
+
+    def matches(self, seed: int, index: int, key: Optional[str], count: int) -> bool:
+        """Whether this spec fires on the ``count``-th matching invocation.
+
+        Pure: depends only on the arguments (``index`` is the spec's
+        position in its plan, so two probability specs on one site draw
+        independently).
+        """
+        if self.key is not None and self.key != key:
+            return False
+        if self.at:
+            return count in self.at
+        if self.every:
+            return count % self.every == 0
+        return _unit_draw(seed, index, self.site, key, count) < self.probability
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-compatible form (``at`` becomes a list)."""
+        return {
+            "site": self.site,
+            "kind": self.kind,
+            "at": list(self.at),
+            "every": self.every,
+            "probability": self.probability,
+            "key": self.key,
+            "latency_s": self.latency_s,
+            "max_fires": self.max_fires,
+            "message": self.message,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FaultSpec":
+        """Inverse of :meth:`to_dict` (unknown keys rejected)."""
+        known = {spec_field.name for spec_field in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown FaultSpec fields: {sorted(unknown)}")
+        payload = dict(data)
+        if "at" in payload:
+            payload["at"] = tuple(payload["at"])
+        return cls(**payload)
+
+
+def _unit_draw(seed: int, index: int, site: str, key: Optional[str], count: int) -> float:
+    """Deterministic uniform draw in ``[0, 1)`` for a probability spec."""
+    material = f"{seed}|{index}|{site}|{key}|{count}".encode()
+    digest = hashlib.blake2b(material, digest_size=8).digest()
+    return int.from_bytes(digest, "big") / float(1 << 64)
+
+
+class FaultClock:
+    """Thread-safe per-``(site, key)`` invocation counters.
+
+    The clock is the *only* mutable state of an activation: logical
+    invocation counts, never wall time.  Counts are monotonically
+    increasing per pair, so a sequential workload ticks each pair in a
+    reproducible order and the plan's decisions replay exactly.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counts: Dict[Tuple[str, Optional[str]], int] = {}
+
+    def tick(self, site: str, key: Optional[str]) -> int:
+        """Increment and return the 1-based count for ``(site, key)``."""
+        with self._lock:
+            count = self._counts.get((site, key), 0) + 1
+            self._counts[(site, key)] = count
+            return count
+
+    def count(self, site: str, key: Optional[str] = None) -> int:
+        """Invocations seen so far for ``(site, key)`` (0 if never)."""
+        with self._lock:
+            return self._counts.get((site, key), 0)
+
+    def snapshot(self) -> Dict[str, int]:
+        """``{"site|key": count}`` view for diagnostics."""
+        with self._lock:
+            return {
+                f"{site}|{key if key is not None else '*'}": count
+                for (site, key), count in sorted(self._counts.items(), key=str)
+            }
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable, seeded set of fault specs — the replayable artifact.
+
+    Attributes:
+        specs: the fault rules, in order (order is part of the identity:
+            probability draws mix in each spec's index).
+        seed: the seed for all pseudo-random triggers.
+        name: optional label (builtin plans set it; shows up in stats).
+    """
+
+    specs: Tuple[FaultSpec, ...] = ()
+    seed: int = 0
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "specs", tuple(self.specs))
+        for spec in self.specs:
+            if not isinstance(spec, FaultSpec):
+                raise TypeError(f"specs must be FaultSpec instances, got {type(spec)!r}")
+
+    def specs_for(self, site: str) -> List[Tuple[int, FaultSpec]]:
+        """``(index, spec)`` pairs registered against ``site``."""
+        return [
+            (index, spec) for index, spec in enumerate(self.specs) if spec.site == site
+        ]
+
+    @property
+    def sites(self) -> Tuple[str, ...]:
+        """The distinct sites this plan can touch, sorted."""
+        return tuple(sorted({spec.site for spec in self.specs}))
+
+    def validate_sites(self, registered: Sequence[str]) -> None:
+        """Raise if any spec names a site nobody registered (typo guard)."""
+        unknown = [site for site in self.sites if site not in registered]
+        if unknown:
+            raise ValueError(
+                f"fault plan {self.name or '<unnamed>'} targets unregistered "
+                f"sites {unknown}; registered: {sorted(registered)}"
+            )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-compatible form."""
+        return {
+            "name": self.name,
+            "seed": self.seed,
+            "specs": [spec.to_dict() for spec in self.specs],
+        }
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        """Serialized plan, the ``cli chaos --save-plan`` format."""
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FaultPlan":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            specs=tuple(FaultSpec.from_dict(spec) for spec in data.get("specs", ())),
+            seed=int(data.get("seed", 0)),
+            name=str(data.get("name", "")),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        """Parse a plan previously written by :meth:`to_json`."""
+        return cls.from_dict(json.loads(text))

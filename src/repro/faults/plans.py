@@ -1,0 +1,92 @@
+"""The builtin chaos plans the CI matrix replays on every PR.
+
+Three seeded scenarios, each aimed at a distinct recovery mechanism:
+
+* ``worker-crash`` — shard-pool tasks and index node reads raise;
+  exercised paths: bounded-backoff shard retries, the
+  :class:`~repro.service.degrade.SessionGuard` error trip onto the
+  exact fallback scan, and explicit ``shard_failed`` degradation when
+  retries run dry.
+* ``slow-shard`` — shard tasks and node reads stall; exercised paths:
+  soft-deadline degradation and hedged re-dispatch of stragglers.
+  Latency never changes data, so every response must stay exact.
+* ``corrupt-checkpoint`` — checkpoint writes are torn, cache entries
+  rot, restores hiccup once; exercised paths: CRC validation with
+  quarantine-and-rebuild, result-cache integrity checksums, and
+  restore retries.
+
+Plans are plain :class:`~repro.faults.plan.FaultPlan` values — replay
+one with ``python -m repro.cli chaos --plan <name>`` or dump it with
+``--save-plan`` to version a regression scenario.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from .plan import FaultPlan, FaultSpec
+
+__all__ = ["BUILTIN_PLAN_NAMES", "builtin_plan"]
+
+
+def _worker_crash(seed: int) -> Tuple[FaultSpec, ...]:
+    return (
+        # Half the shard-task attempts die; with 3 retry attempts most
+        # shards recover (byte-identical results), a few exhaust the
+        # budget and surface as explicitly degraded pages.
+        FaultSpec("shard.scan", "error", probability=0.5, message="worker crashed"),
+        # Rare node-read failures abort the index search, tripping the
+        # session guard onto the exact fallback scan.
+        FaultSpec("tree.node", "error", probability=0.02, max_fires=4, message="node read failed"),
+    )
+
+
+def _slow_shard(seed: int) -> Tuple[FaultSpec, ...]:
+    return (
+        # Straggling shards: the hedged re-dispatch should win the race.
+        FaultSpec("shard.scan", "latency", probability=0.5, latency_s=0.05),
+        # Occasional slow node reads blow the soft deadline on the
+        # index path without corrupting anything.
+        FaultSpec("tree.node", "latency", probability=0.01, latency_s=0.01, max_fires=16),
+    )
+
+
+def _corrupt_checkpoint(seed: int) -> Tuple[FaultSpec, ...]:
+    return (
+        # Every second checkpoint write per session is torn mid-file.
+        FaultSpec("checkpoint.save", "corrupt", every=2, message="torn write"),
+        # The first restore read per session fails once (transient I/O);
+        # the store's retry must absorb it.
+        FaultSpec("checkpoint.restore", "error", at=(1,), message="transient read error"),
+        # Result-cache rot: every third stored page is corrupted in
+        # place; integrity checksums must catch it on read.
+        FaultSpec("cache.put", "corrupt", every=3),
+        # And sometimes the cache backend just errors outright.
+        FaultSpec("cache.get", "error", every=7, message="cache backend error"),
+    )
+
+
+_BUILDERS = {
+    "worker-crash": _worker_crash,
+    "slow-shard": _slow_shard,
+    "corrupt-checkpoint": _corrupt_checkpoint,
+}
+
+#: The plan names the CI chaos matrix iterates.
+BUILTIN_PLAN_NAMES: Tuple[str, ...] = tuple(sorted(_BUILDERS))
+
+
+def builtin_plan(name: str, seed: int = 0) -> FaultPlan:
+    """The named builtin plan, seeded (raises ``KeyError`` on a typo)."""
+    try:
+        builder = _BUILDERS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown builtin plan {name!r}; available: {list(BUILTIN_PLAN_NAMES)}"
+        ) from None
+    return FaultPlan(specs=builder(seed), seed=seed, name=name)
+
+
+def builtin_plans(seed: int = 0) -> Dict[str, FaultPlan]:
+    """All builtin plans keyed by name (one seed for the whole set)."""
+    return {name: builtin_plan(name, seed) for name in BUILTIN_PLAN_NAMES}

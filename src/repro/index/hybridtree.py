@@ -33,6 +33,7 @@ import numpy as np
 
 from ..core.distance import DisjunctiveQuery
 from ..core.kernels import ensure_compiled, kernels_enabled
+from ..faults import fault_point, register_site
 from ..obs import add_event
 from ..core.progressive import (
     ProgressivePlan,
@@ -43,6 +44,12 @@ from ..core.progressive import (
 from .linear import KnnResult, SearchCost, page_capacity_for
 
 __all__ = ["TreeNode", "HybridTree"]
+
+#: Chaos-injection site: fires on every node access of a tree search,
+#: keyed by node id — an error here aborts the search like a bad page
+#: read would, which the service absorbs by falling back to the exact
+#: sharded scan (identical results, recorded degradation).
+_SITE_TREE_NODE = register_site("tree.node", "index node read during a tree search")
 
 
 @dataclass
@@ -231,6 +238,7 @@ class HybridTree:
             bound, _, node = heapq.heappop(frontier)
             if len(best) == k and bound >= -best[0][0]:
                 break
+            fault_point(_SITE_TREE_NODE, key=str(node.node_id))
             node_accesses += 1
             if node_cache is not None and node.node_id in node_cache:
                 cached_accesses += 1
@@ -331,6 +339,7 @@ class HybridTree:
             bound = float(query.lower_bound_from_center_distance(per_point)[0])
             if bound > radius:
                 continue
+            fault_point(_SITE_TREE_NODE, key=str(node.node_id))
             node_accesses += 1
             if node_cache is not None and node.node_id in node_cache:
                 cached_accesses += 1

@@ -152,6 +152,7 @@ def prometheus_text(
         ("store", "Session-store occupancy."),
         ("cache", "Result-cache occupancy and hit rate."),
         ("kernels", "Kernel-cache occupancy and hit/miss totals."),
+        ("result_quality", "Result-quality provenance: exact vs degraded pages."),
     ):
         values = snapshot.get(section)
         if isinstance(values, dict):
@@ -160,6 +161,19 @@ def prometheus_text(
             for field, value in sorted(values.items()):
                 if isinstance(value, (int, float)) and not isinstance(value, bool):
                     writer.sample(name, value, {"field": _sanitize_name(field)})
+            if section == "result_quality":
+                reasons = values.get("reasons")
+                if isinstance(reasons, dict) and reasons:
+                    reasons_name = f"{prefix}_degraded_results_total"
+                    writer.family(
+                        reasons_name,
+                        "counter",
+                        "Degraded result pages by provenance reason.",
+                    )
+                    for reason, count in sorted(reasons.items()):
+                        writer.sample(
+                            reasons_name, count, {"reason": _sanitize_name(reason)}
+                        )
 
     if tracer is not None:
         aggregates = tracer.aggregates()

@@ -247,6 +247,10 @@ class NullTracer:
         """Always empty."""
         return {"spans": {}, "events": {}}
 
+    def event_count(self, name: str) -> int:
+        """Always ``0`` — nothing is recorded."""
+        return 0
+
     @property
     def enabled(self) -> bool:
         """``False`` — this tracer records nothing."""
@@ -372,6 +376,16 @@ class Tracer:
                 "spans": {name: dict(stats) for name, stats in self._span_stats.items()},
                 "events": dict(self._event_counts),
             }
+
+    def event_count(self, name: str) -> int:
+        """How many ``name`` events completed spans have recorded.
+
+        Chaos tests use this to assert injected-fault and recovery
+        events (``fault_injected``, ``retry``, ``hedge``, ...) actually
+        surfaced in the traces.
+        """
+        with self._lock:
+            return self._event_counts.get(name, 0)
 
     def clear(self) -> None:
         """Drop retained traces and aggregates (sampling counter kept)."""

@@ -18,25 +18,42 @@ service down.
   failure or soft-deadline misses.
 * :mod:`~repro.service.metrics` — :class:`ServiceMetrics` counters and
   latency percentiles behind a plain-dict snapshot.
+* :mod:`~repro.service.resilience` — :class:`ResiliencePolicy` retry /
+  deadline / hedging discipline for the idempotent stages, with
+  :class:`~repro.system.ResultQuality` provenance on every page.
 
-See ``docs/SERVICE.md`` for the architecture and policies.
+See ``docs/SERVICE.md`` for the architecture and policies, and
+``docs/RESILIENCE.md`` for the failure model.
 """
 
 from .cache import ResultCache, fingerprint_query
-from .degrade import DegradationPolicy, SessionGuard
+from .degrade import EXACT_QUALITY, DegradationPolicy, ResultQuality, SessionGuard
 from .engine import RetrievalService
 from .metrics import LatencyStage, ServiceMetrics, percentile
-from .sessions import ManagedSession, SessionNotFound, SessionStore
+from .resilience import DeadlineBudget, ResiliencePolicy, RetryPolicy, retry_call
+from .sessions import (
+    CheckpointCorruption,
+    ManagedSession,
+    SessionNotFound,
+    SessionStore,
+)
 
 __all__ = [
     "RetrievalService",
     "SessionStore",
     "ManagedSession",
     "SessionNotFound",
+    "CheckpointCorruption",
     "ResultCache",
     "fingerprint_query",
     "DegradationPolicy",
     "SessionGuard",
+    "ResultQuality",
+    "EXACT_QUALITY",
+    "ResiliencePolicy",
+    "RetryPolicy",
+    "DeadlineBudget",
+    "retry_call",
     "ServiceMetrics",
     "LatencyStage",
     "percentile",

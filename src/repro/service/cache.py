@@ -13,6 +13,13 @@ statistics, the fingerprint moves, and stale entries simply age out of
 the LRU.  Entries are additionally tagged with the owning session id so
 :meth:`ResultCache.invalidate` can drop a session's pages eagerly on
 feedback or close.
+
+A cache must never turn bit rot into a wrong answer: every stored page
+carries a ``zlib.crc32`` over its arrays, verified on :meth:`get` — a
+mismatch evicts the entry and reports a miss (counted in
+:attr:`corruptions`), so a damaged entry costs one recomputation, not
+one wrong page.  The ``cache.get`` / ``cache.put`` fault-injection
+sites let the chaos suite provoke exactly that.
 """
 
 from __future__ import annotations
@@ -20,14 +27,27 @@ from __future__ import annotations
 import hashlib
 import struct
 import threading
+import zlib
 from collections import OrderedDict
 from typing import Dict, Hashable, Optional, Set, Tuple
 
 import numpy as np
 
 from ..core.kernels import fingerprint_cluster_state
+from ..faults import fault_point, register_site
+from ..obs import add_event
 
 __all__ = ["fingerprint_query", "ResultCache"]
+
+_SITE_CACHE_GET = register_site("cache.get", "result-cache lookup")
+_SITE_CACHE_PUT = register_site("cache.put", "result-page arrays on their way into the cache")
+
+
+def _page_crc(ids: np.ndarray, distances: np.ndarray) -> int:
+    """``zlib.crc32`` over both arrays' bytes and shapes."""
+    crc = zlib.crc32(np.ascontiguousarray(ids).tobytes())
+    crc = zlib.crc32(np.ascontiguousarray(distances).tobytes(), crc)
+    return zlib.crc32(struct.pack("<qq", ids.shape[0], distances.shape[0]), crc)
 
 
 def fingerprint_query(query, k: int) -> str:
@@ -64,11 +84,13 @@ class ResultCache:
             raise ValueError(f"capacity must be non-negative, got {capacity}")
         self.capacity = capacity
         self._lock = threading.Lock()
-        self._pages: "OrderedDict[str, Tuple[np.ndarray, np.ndarray]]" = OrderedDict()
+        # key -> (ids, distances, crc32-at-insert)
+        self._pages: "OrderedDict[str, Tuple[np.ndarray, np.ndarray, int]]" = OrderedDict()
         self._owner_keys: Dict[Hashable, Set[str]] = {}
         self._key_owner: Dict[str, Hashable] = {}
         self.hits = 0
         self.misses = 0
+        self.corruptions = 0
 
     def __len__(self) -> int:
         with self._lock:
@@ -82,15 +104,31 @@ class ResultCache:
             return self.hits / total if total else 0.0
 
     def get(self, key: str) -> Optional[Tuple[np.ndarray, np.ndarray]]:
-        """``(ids, distances)`` for ``key``, or ``None`` on a miss."""
+        """``(ids, distances)`` for ``key``, or ``None`` on a miss.
+
+        Verifies the entry's insert-time checksum: a corrupt entry is
+        evicted and reported as a miss (never served), so callers
+        recompute instead of returning damaged rankings.  May raise
+        when a ``cache.get`` error fault is armed — callers treat any
+        cache exception as a miss.
+        """
+        fault_point(_SITE_CACHE_GET)
         with self._lock:
             entry = self._pages.get(key)
             if entry is None:
                 self.misses += 1
                 return None
+            ids, distances, crc = entry
+            if _page_crc(ids, distances) != crc:
+                del self._pages[key]
+                self._untag(key)
+                self.corruptions += 1
+                self.misses += 1
+                add_event("cache_corruption", key=key)
+                return None
             self._pages.move_to_end(key)
             self.hits += 1
-            return entry
+            return ids, distances
 
     def put(
         self,
@@ -99,15 +137,26 @@ class ResultCache:
         distances: np.ndarray,
         owner: Optional[Hashable] = None,
     ) -> None:
-        """Insert a page, tagging it with ``owner`` for invalidation."""
+        """Insert a page, tagging it with ``owner`` for invalidation.
+
+        The checksum is computed over the *caller's* arrays before the
+        ``cache.put`` fault site sees them — injected corruption lands
+        in storage but is caught by :meth:`get`'s validation, exactly
+        like post-insert bit rot.
+        """
         if self.capacity == 0:
             return
+        crc = _page_crc(ids, distances)
+        stored = fault_point(_SITE_CACHE_PUT, payload=(ids, distances))
+        if not isinstance(stored, tuple) or len(stored) != 2:
+            return  # total corruption: nothing worth storing
+        ids, distances = stored
         with self._lock:
             if key in self._pages:
                 self._pages.move_to_end(key)
-                self._pages[key] = (ids, distances)
+                self._pages[key] = (ids, distances, crc)
                 return
-            self._pages[key] = (ids, distances)
+            self._pages[key] = (ids, distances, crc)
             if owner is not None:
                 self._owner_keys.setdefault(owner, set()).add(key)
                 self._key_owner[key] = owner

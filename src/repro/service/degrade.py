@@ -15,6 +15,15 @@ misses and trips the session onto the fallback path so a query mix
 that is pathological for the tree stops paying for it every round.
 Feedback resets the guard (a refined query has a new shape, so the
 tree deserves another chance) unless the trip was caused by an error.
+
+Degrading *paths* is lossless — the fallback scan is exact.  When the
+service loses coverage or state instead (a shard dropped after its
+retry budget, a session rebuilt from a corrupt checkpoint), the
+response says so explicitly through the :class:`ResultQuality`
+provenance re-exported here (it lives next to
+:class:`~repro.system.ResultPage`, whose field it is); the retry /
+deadline / hedging machinery itself is in
+:mod:`repro.service.resilience`.
 """
 
 from __future__ import annotations
@@ -22,7 +31,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-__all__ = ["DegradationPolicy", "SessionGuard"]
+from ..system import EXACT_QUALITY, ResultQuality
+
+__all__ = ["DegradationPolicy", "SessionGuard", "ResultQuality", "EXACT_QUALITY"]
 
 
 @dataclass(frozen=True)

@@ -16,12 +16,22 @@ relevance-feedback sessions at once:
   content-addressed :class:`~repro.service.cache.ResultCache`;
 * index failures and soft-deadline misses degrade gracefully to the
   exact sharded scan (see :mod:`repro.service.degrade`);
+* transient failures are absorbed by the resilience machinery
+  (:mod:`repro.service.resilience`): kernel compilation and per-shard
+  scans retry with bounded backoff under a per-request deadline
+  budget, straggler shards can be hedged to duplicate tasks, and any
+  coverage actually lost is reported on the page's
+  :class:`~repro.system.ResultQuality`;
 * everything is observable through :meth:`metrics_snapshot`.
 
 Results are bit-identical whether a session is served serially or
 interleaved with others, through the index or the fallback scan, live
 or restored from an eviction checkpoint — concurrency and degradation
-change cost, never rankings.
+change cost, never rankings.  The one exception is spelled out rather
+than silent: a page whose quality is not exact (a shard dropped after
+its retry budget, a session rebuilt from a corrupt checkpoint) carries
+the reasons on ``page.quality``, and once such a page has influenced a
+session's feedback the session stays marked.
 """
 
 from __future__ import annotations
@@ -30,24 +40,26 @@ import contextvars
 import os
 import time
 import uuid
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor, wait
 from pathlib import Path
-from typing import Callable, List, Optional, Sequence, Union
+from typing import Callable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from ..core.kernels import default_kernel_cache, ensure_compiled
 from ..core.progressive import exact_top_k, progressive_topk
+from ..faults import fault_point, register_site
 from ..index.hybridtree import HybridTree
 from ..index.linear import page_capacity_for
 from ..index.multipoint import MultipointSearcher
 from ..obs import NULL_TRACER, activate, add_event, prometheus_text
 from ..retrieval.database import FeatureDatabase
 from ..retrieval.methods import FeedbackMethod, QclusterMethod, QueryLike
-from ..system import ResultPage
+from ..system import EXACT_QUALITY, ResultPage, ResultQuality
 from .cache import ResultCache, fingerprint_query
 from .degrade import DegradationPolicy, SessionGuard
 from .metrics import ServiceMetrics
+from .resilience import DeadlineBudget, ResiliencePolicy, retry_call
 from .sessions import ManagedSession, SessionNotFound, SessionStore
 
 __all__ = ["RetrievalService"]
@@ -55,6 +67,12 @@ __all__ = ["RetrievalService"]
 #: Below this many rows per shard, thread fan-out costs more than the
 #: NumPy kernel it parallelizes.
 _MIN_SHARD_ROWS = 1024
+
+#: Chaos-injection site: fires per per-shard top-k task, keyed by the
+#: shard's global row offset.  Errors here are retried with backoff; a
+#: shard that exhausts its retries is dropped from the merge and the
+#: page is marked ``shard_failed``.
+_SITE_SHARD = register_site("shard.scan", "per-shard top-k scan task")
 
 
 class RetrievalService:
@@ -82,6 +100,10 @@ class RetrievalService:
         soft_deadline_s: per-query latency budget for the index path.
         deadline_trip: consecutive deadline misses before a session is
             pinned to the fallback scan.
+        resilience: retry / request-deadline / hedging knobs (see
+            :class:`~repro.service.resilience.ResiliencePolicy`); the
+            default retries idempotent stages three times, with no
+            request deadline and no hedging.
         metrics: share an external :class:`ServiceMetrics` if desired.
         tracer: a :class:`~repro.obs.Tracer` recording per-request span
             trees (classify/merge/compile/scan/refine stages with
@@ -105,6 +127,7 @@ class RetrievalService:
         cache_size: int = 128,
         soft_deadline_s: Optional[float] = None,
         deadline_trip: int = 1,
+        resilience: Optional[ResiliencePolicy] = None,
         metrics: Optional[ServiceMetrics] = None,
         tracer=None,
     ) -> None:
@@ -127,12 +150,14 @@ class RetrievalService:
         self.policy = DegradationPolicy(
             soft_deadline_s=soft_deadline_s, trip_after=deadline_trip
         )
+        self.resilience = resilience if resilience is not None else ResiliencePolicy()
         self.store = SessionStore(
             capacity=capacity,
             ttl_seconds=ttl_seconds,
             checkpoint_dir=checkpoint_dir,
             method_factory=method_factory,
             metrics=self.metrics,
+            retry=self.resilience.retry,
         )
         self.cache = ResultCache(cache_size)
         self._method_factory = method_factory
@@ -224,6 +249,7 @@ class RetrievalService:
                 method=method,
                 query=method.start(point),
                 guard=SessionGuard(self.policy),
+                genesis=np.array(point, dtype=float, copy=True),
             )
             self.store.put(session)
             self.metrics.increment("sessions_created")
@@ -236,9 +262,10 @@ class RetrievalService:
         with activate(self.tracer), self.tracer.span(
             "query", session_id=session_id, k=k
         ):
+            budget = self.resilience.budget(clock=self._clock)
             with self.store.lease(session_id) as session:
                 with self.metrics.time("query"):
-                    page = self._rank(session, k)
+                    page = self._rank(session, k, budget)
         self.metrics.increment("queries")
         return page
 
@@ -264,8 +291,20 @@ class RetrievalService:
         with activate(self.tracer), self.tracer.span(
             "feedback", session_id=session_id, n_relevant=len(ids), k=k
         ) as span:
+            budget = self.resilience.budget(clock=self._clock)
             with self.store.lease(session_id) as session:
                 with self.metrics.time("feedback"):
+                    if session.pending_reasons:
+                        # These judgments were formed on a degraded page,
+                        # so the feedback trajectory is now influenced by
+                        # the lost coverage: the session stays marked
+                        # from here on.
+                        session.provenance = tuple(
+                            dict.fromkeys(
+                                session.provenance + session.pending_reasons
+                            )
+                        )
+                        session.pending_reasons = ()
                     if ids:
                         session.query = session.method.feedback(
                             self.vectors[ids], scores
@@ -275,7 +314,7 @@ class RetrievalService:
                         session.guard.reset_for_new_query()
                     self.cache.invalidate(session_id)
                 with self.metrics.time("query"):
-                    page = self._rank(session, k)
+                    page = self._rank(session, k, budget)
                 span.set("iteration", session.iteration)
         self.metrics.increment("feedbacks")
         return page
@@ -299,6 +338,7 @@ class RetrievalService:
             "pages": len(self.cache),
             "capacity": self.cache.capacity,
             "hit_rate": self.cache.hit_rate,
+            "corruptions": self.cache.corruptions,
         }
         snapshot["kernels"] = default_kernel_cache().stats()
         return snapshot
@@ -322,30 +362,88 @@ class RetrievalService:
             raise ValueError(f"k must be at least 1, got {k}")
         return min(k, self.size)
 
-    def _rank(self, session: ManagedSession, k: int) -> ResultPage:
+    def _rank(
+        self, session: ManagedSession, k: int, budget: DeadlineBudget
+    ) -> ResultPage:
         key = fingerprint_query(session.query, k)
-        cached = self.cache.get(key)
+        # The cache is an optimization: any failure inside it (including
+        # an injected one) is just a miss, never a failed query.
+        cached = None
+        try:
+            cached = self.cache.get(key)
+        except Exception:
+            self.metrics.increment("cache_errors")
+            add_event("result_cache", outcome="error")
         if cached is not None:
             self.metrics.increment("cache_hits")
             add_event("result_cache", outcome="hit")
             ids, distances = cached
+            reasons: Tuple[str, ...] = ()
         else:
             self.metrics.increment("cache_misses")
             add_event("result_cache", outcome="miss")
-            ids, distances = self._compute_rank(session, k)
-            self.cache.put(key, ids, distances, owner=session.session_id)
-        return ResultPage(ids=ids, distances=distances, iteration=session.iteration)
+            ids, distances, reasons = self._compute_rank(session, k, budget)
+            if not reasons:
+                # Only exact pages are cached — a later hit must never
+                # replay a transient coverage loss.
+                try:
+                    self.cache.put(key, ids, distances, owner=session.session_id)
+                except Exception:
+                    self.metrics.increment("cache_errors")
+        if reasons:
+            session.pending_reasons = tuple(
+                dict.fromkeys(session.pending_reasons + reasons)
+            )
+        quality = self._quality(session, reasons)
+        if quality.is_exact:
+            self.metrics.increment("results_exact")
+        else:
+            self.metrics.increment("results_degraded")
+            for reason in quality.reasons:
+                self.metrics.increment(f"degraded_reason_{reason}")
+            add_event(
+                "result_quality",
+                level=quality.level,
+                reasons=",".join(quality.reasons),
+            )
+        return ResultPage(
+            ids=ids,
+            distances=distances,
+            iteration=session.iteration,
+            quality=quality,
+        )
+
+    @staticmethod
+    def _quality(
+        session: ManagedSession, reasons: Tuple[str, ...] = ()
+    ) -> ResultQuality:
+        """The page's provenance: sticky session reasons plus this scan's."""
+        combined = session.provenance + tuple(reasons)
+        if not combined:
+            return EXACT_QUALITY
+        return ResultQuality.degraded(*combined)
 
     def _kernel_cache_event(self, event: str) -> None:
         self.metrics.increment(f"kernel_cache_{event}")
 
-    def _compute_rank(self, session: ManagedSession, k: int):
+    def _compute_rank(self, session: ManagedSession, k: int, budget: DeadlineBudget):
         # Compile the query's distance kernels exactly once per ranking
         # — the index path, every shard of the fallback scan, and any
         # later page fetch for this query all reuse the same compiled
         # evaluators (shared process-wide, content-addressed by cluster
         # state, so sessions asking the same question share them too).
-        ensure_compiled(session.query, on_event=self._kernel_cache_event)
+        # Compilation is a pure function of the cluster state, so
+        # transient failures retry with backoff under the request budget.
+        def on_compile_retry(attempt: int, error: BaseException) -> None:
+            self.metrics.increment("compile_retries")
+            add_event("retry", stage="compile", attempt=attempt, error=repr(error))
+
+        retry_call(
+            lambda: ensure_compiled(session.query, on_event=self._kernel_cache_event),
+            self.resilience.retry,
+            deadline=budget,
+            on_retry=on_compile_retry,
+        )
         guard = session.guard
         if self._tree is not None and (guard is None or not guard.active):
             if session.searcher is None:
@@ -376,7 +474,7 @@ class RetrievalService:
                 )
                 if guard is not None and guard.record_elapsed(elapsed):
                     self.metrics.increment("degraded_deadline")
-                return result.indices, result.distances
+                return result.indices, result.distances, ()
         with self.tracer.span(
             "scan", path="fallback", k=k, shards=self.n_shards
         ):
@@ -386,7 +484,7 @@ class RetrievalService:
                     "fallback_node_accesses",
                     -(-self.size // page_capacity_for(self.vectors.shape[1])),
                 )
-                return self._sharded_scan(session.query, k)
+                return self._sharded_scan(session.query, k, budget)
 
     @staticmethod
     def _shard_topk(query: QueryLike, shard: np.ndarray, offset: int, k: int):
@@ -397,6 +495,7 @@ class RetrievalService:
         every distance.  Either way the ids/distances returned are the
         shard's exact top-k under the ``(distance, id)`` order.
         """
+        fault_point(_SITE_SHARD, key=str(offset))
         k = min(k, shard.shape[0])
         progressive = progressive_topk(shard, query, k)
         if progressive is not None:
@@ -410,7 +509,62 @@ class RetrievalService:
         top = exact_top_k(distances, k)
         return top + offset, distances[top], 0, shard.shape[0]
 
-    def _sharded_scan(self, query: QueryLike, k: int):
+    def _run_shard(
+        self,
+        query: QueryLike,
+        shard: np.ndarray,
+        offset: int,
+        k: int,
+        budget: DeadlineBudget,
+    ):
+        """One shard's exact top-``k`` with bounded retries.
+
+        Scanning a read-only shard is idempotent, so transient failures
+        (including injected ``shard.scan`` faults) are retried with
+        backoff until the retry budget or the request deadline runs out;
+        the final error propagates for :meth:`_sharded_scan` to absorb.
+        """
+
+        def on_retry(attempt: int, error: BaseException) -> None:
+            self.metrics.increment("shard_retries")
+            add_event(
+                "retry",
+                stage="shard_scan",
+                shard_offset=offset,
+                attempt=attempt,
+                error=repr(error),
+            )
+
+        return retry_call(
+            lambda: self._shard_topk(query, shard, offset, k),
+            self.resilience.retry,
+            deadline=budget,
+            on_retry=on_retry,
+        )
+
+    @staticmethod
+    def _race(futures: List["Future"]):
+        """First successful result among duplicate shard tasks.
+
+        Hedge copies compute byte-identical data from the same immutable
+        shard, so whichever finishes first is *the* answer; losers are
+        discarded when they eventually complete.  Returns ``(result,
+        errors)`` with ``result=None`` when every copy raised.
+        """
+        errors: List[BaseException] = []
+        pending = set(futures)
+        while pending:
+            done, pending = wait(pending, return_when=FIRST_COMPLETED)
+            for future in done:
+                try:
+                    return future.result(), errors
+                except Exception as error:  # noqa: PERF203 — per-copy verdict
+                    errors.append(error)
+        return None, errors
+
+    def _sharded_scan(
+        self, query: QueryLike, k: int, budget: Optional[DeadlineBudget] = None
+    ):
         """Exact top-``k`` by scanning all shards, in parallel when possible.
 
         Each row's aggregate distance depends on that row alone, so
@@ -418,26 +572,87 @@ class RetrievalService:
         ``(distance, id)`` order equals the single-matrix scan exactly,
         regardless of thread timing (futures are gathered in shard
         order) and of how much each shard's progressive filter pruned.
+
+        Resilience: every shard task retries transient errors (see
+        :meth:`_run_shard`); when hedging is enabled, shards still
+        running after ``hedge_after_s`` are re-dispatched to a duplicate
+        task and the copies race.  A shard that still fails is dropped
+        from the merge — the remaining coverage is returned with
+        ``("shard_failed", ...)`` reasons (plus ``"deadline"`` when the
+        request budget had expired) for the caller to surface as
+        :class:`~repro.system.ResultQuality`.  Only when *every* shard
+        fails does the query itself fail.
+
+        Returns:
+            ``(ids, distances, reasons)`` — reasons empty for full
+            coverage.
         """
+        if budget is None:
+            budget = DeadlineBudget(None, clock=self._clock)
+        last_error: Optional[BaseException] = None
+        failed = 0
         if self._executor is None:
-            parts = [self._shard_topk(query, self.vectors, 0, k)]
+            parts = [self._run_shard(query, self.vectors, 0, k, budget)]
         else:
             # Each worker runs under a copy of the caller's context so
             # trace spans/events recorded on shard threads attach to
             # this request's scan span (a Context can only be entered
             # once, hence one copy per future).
-            futures = [
-                self._executor.submit(
+            def submit(shard: np.ndarray, offset: int) -> "Future":
+                return self._executor.submit(
                     contextvars.copy_context().run,
-                    self._shard_topk,
+                    self._run_shard,
                     query,
                     shard,
                     offset,
                     k,
+                    budget,
                 )
+
+            copies: List[List["Future"]] = [
+                [submit(shard, offset)]
                 for shard, offset in zip(self._shards, self._shard_offsets)
             ]
-            parts = [future.result() for future in futures]
+            hedge_after = self.resilience.hedge_after_s
+            if hedge_after is not None:
+                _, stragglers = wait(
+                    [entry[0] for entry in copies],
+                    timeout=min(hedge_after, budget.remaining)
+                    if budget.remaining != float("inf")
+                    else hedge_after,
+                )
+                if stragglers and not budget.expired:
+                    for entry, shard, offset in zip(
+                        copies, self._shards, self._shard_offsets
+                    ):
+                        if entry[0] in stragglers:
+                            entry.append(submit(shard, offset))
+                            self.metrics.increment("hedges")
+                            add_event("hedge", shard_offset=offset)
+            parts = []
+            for entry, offset in zip(copies, self._shard_offsets):
+                result, errors = self._race(entry)
+                if result is None:
+                    failed += 1
+                    self.metrics.increment("shard_failures")
+                    if errors:
+                        last_error = errors[-1]
+                    add_event(
+                        "shard_failed",
+                        shard_offset=offset,
+                        error=repr(last_error) if last_error else "",
+                    )
+                else:
+                    parts.append(result)
+        if not parts:
+            # Zero coverage is a failed query, not a silently-empty page.
+            assert last_error is not None
+            raise last_error
+        reasons: Tuple[str, ...] = ()
+        if failed:
+            reasons = ("shard_failed",)
+            if budget.expired:
+                reasons = ("deadline", "shard_failed")
         ids = np.concatenate([part[0] for part in parts])
         distances = np.concatenate([part[1] for part in parts])
         pruned = sum(part[2] for part in parts)
@@ -446,4 +661,4 @@ class RetrievalService:
             self.metrics.increment("candidates_pruned", int(pruned))
         self.metrics.increment("candidates_refined", int(refined))
         top = exact_top_k(distances, min(k, ids.shape[0]), tie_break=ids)
-        return ids[top], distances[top]
+        return ids[top], distances[top], reasons

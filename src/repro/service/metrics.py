@@ -163,6 +163,10 @@ class ServiceMetrics:
         pruned = counters.get("candidates_pruned", 0)
         refined = counters.get("candidates_refined", 0)
         touched = pruned + refined
+        exact = counters.get("results_exact", 0)
+        degraded = counters.get("results_degraded", 0)
+        results = exact + degraded
+        reason_prefix = "degraded_reason_"
         return {
             "counters": counters,
             "latency": latency,
@@ -175,4 +179,17 @@ class ServiceMetrics:
             "candidates_pruned": pruned,
             "degradations": counters.get("degraded_error", 0)
             + counters.get("degraded_deadline", 0),
+            # Result-quality provenance: pages served with an explicit
+            # coverage/state loss (distinct from path degradations
+            # above, which are lossless fallbacks).
+            "result_quality": {
+                "exact": exact,
+                "degraded": degraded,
+                "degraded_fraction": degraded / results if results else 0.0,
+                "reasons": {
+                    name[len(reason_prefix):]: value
+                    for name, value in sorted(counters.items())
+                    if name.startswith(reason_prefix)
+                },
+            },
         }

@@ -23,6 +23,18 @@ bounded in memory, without ever *losing* a user's accumulated feedback.
 Sessions whose feedback method does not expose a checkpointable
 ``QclusterEngine`` (e.g. the baselines) are still stored and served;
 they are simply dropped on eviction, counted as ``sessions_lost``.
+
+Checkpoint files are written in a CRC-validated two-part format
+(header line with a ``zlib.crc32`` of the payload plus the session's
+*genesis* query, then the engine-state payload).  A damaged file never
+surfaces as a raw ``json.JSONDecodeError``: restore quarantines it
+(renamed ``<id>.json.corrupt`` for forensics) and either *rebuilds* a
+fresh session from the still-readable genesis record — marked
+``checkpoint_rebuilt`` on every subsequent response — or, when nothing
+is salvageable, raises the typed :class:`CheckpointCorruption` so the
+id becomes free for a clean re-create.  Checkpoint reads retry
+transient errors with bounded backoff; a failed checkpoint *write*
+falls back to the in-memory archive instead of losing feedback state.
 """
 
 from __future__ import annotations
@@ -30,22 +42,58 @@ from __future__ import annotations
 import json
 import threading
 import time
+import zlib
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Dict, Iterator, List, Optional, Union
+from typing import Callable, Dict, Iterator, List, Optional, Tuple, Union
+
+import numpy as np
 
 from ..core.qcluster import QclusterEngine
 from ..extensions.persistence import engine_from_dict, engine_to_dict
+from ..faults import fault_point, register_site
+from ..obs import add_event
 from ..retrieval.methods import FeedbackMethod, QclusterMethod, QueryLike
 from .degrade import SessionGuard
 from .metrics import ServiceMetrics
+from .resilience import RetryPolicy, retry_call
 
-__all__ = ["SessionNotFound", "ManagedSession", "SessionStore"]
+__all__ = [
+    "SessionNotFound",
+    "CheckpointCorruption",
+    "ManagedSession",
+    "SessionStore",
+]
+
+#: Checkpoint format written by this store (1 = legacy plain JSON).
+CHECKPOINT_FORMAT = 2
+
+_SITE_CHECKPOINT_SAVE = register_site(
+    "checkpoint.save", "serialized checkpoint text on its way to disk"
+)
+_SITE_CHECKPOINT_RESTORE = register_site(
+    "checkpoint.restore", "checkpoint file read during session restore"
+)
 
 
 class SessionNotFound(KeyError):
     """The session id is unknown, expired without a checkpoint, or closed."""
+
+
+class CheckpointCorruption(SessionNotFound):
+    """A checkpoint failed CRC or parse validation and was quarantined.
+
+    Subclasses :class:`SessionNotFound` on purpose: callers that treat
+    a missing session as "create a fresh one" keep working unchanged —
+    the id is free again, because the damaged file was renamed to
+    ``<id>.json.corrupt`` before this was raised.
+    """
+
+    def __init__(self, session_id: str, detail: str) -> None:
+        self.session_id = session_id
+        self.detail = detail
+        super().__init__(f"{session_id}: corrupt checkpoint ({detail})")
 
 
 @dataclass
@@ -59,6 +107,18 @@ class ManagedSession:
         iteration: feedback rounds completed (0 = initial query).
         searcher: per-session index searcher (node cache), if any.
         guard: degradation state machine, attached by the service.
+        genesis: the session's initial query vector; duplicated into
+            the checkpoint header so a corrupt payload can still be
+            rebuilt into a fresh session instead of a dead id.
+        provenance: sticky degradation reasons (``"checkpoint_rebuilt"``
+            after a rebuild; the service adds scan-level reasons) —
+            folded into every response's
+            :class:`~repro.system.ResultQuality`.
+        pending_reasons: reasons from degraded pages served since the
+            last feedback round; promoted into :attr:`provenance` the
+            moment the user judges one of those pages (and folded into
+            checkpoints conservatively, since an evicted session cannot
+            tell which page its eventual feedback judged).
         lock: serializes all operations on this session.
         pins: active leases; a pinned session is never evicted.
         last_access: store clock at the most recent lease.
@@ -71,6 +131,9 @@ class ManagedSession:
     iteration: int = 0
     searcher: Optional[object] = None
     guard: Optional[SessionGuard] = None
+    genesis: Optional[np.ndarray] = None
+    provenance: Tuple[str, ...] = ()
+    pending_reasons: Tuple[str, ...] = ()
     lock: threading.RLock = field(default_factory=threading.RLock)
     pins: int = 0
     last_access: float = 0.0
@@ -93,6 +156,8 @@ class SessionStore:
             restored into (its engine is then replaced wholesale).
         metrics: eviction/restore counters land here when provided.
         clock: monotonic time source (injectable for tests).
+        retry: backoff policy for transient checkpoint-read errors
+            (reads are idempotent; the default makes three attempts).
     """
 
     def __init__(
@@ -103,6 +168,7 @@ class SessionStore:
         method_factory: Callable[[], FeedbackMethod] = QclusterMethod,
         metrics: Optional[ServiceMetrics] = None,
         clock: Callable[[], float] = time.monotonic,
+        retry: Optional[RetryPolicy] = None,
     ) -> None:
         if capacity < 1:
             raise ValueError(f"capacity must be at least 1, got {capacity}")
@@ -116,6 +182,7 @@ class SessionStore:
         self._method_factory = method_factory
         self._metrics = metrics if metrics is not None else ServiceMetrics()
         self._clock = clock
+        self.retry = retry if retry is not None else RetryPolicy(base_delay_s=0.01)
         self._lock = threading.RLock()
         self._live: Dict[str, ManagedSession] = {}
         self._archive: Dict[str, Optional[dict]] = {}
@@ -232,10 +299,85 @@ class SessionStore:
         engine = getattr(session.method, "engine", None)
         if not isinstance(engine, QclusterEngine):
             return None
+        genesis = session.genesis
         return {
             "engine": engine_to_dict(engine),
             "iteration": session.iteration,
+            "genesis": None if genesis is None else [float(x) for x in genesis],
+            # Pending (not yet judged) reasons are folded in: after a
+            # round trip through eviction the session cannot tell which
+            # page the user's eventual feedback judged, so it marks
+            # itself conservatively.
+            "provenance": list(
+                dict.fromkeys(session.provenance + session.pending_reasons)
+            ),
         }
+
+    @staticmethod
+    def encode_checkpoint(session_id: str, state: dict) -> str:
+        """Serialize ``state`` in the CRC-validated two-part format.
+
+        Line 1 is a small header carrying the payload's ``zlib.crc32``
+        and length plus the genesis query; line 2 is the engine-state
+        payload.  A torn (tail-truncated) write therefore loses the
+        payload but keeps the header readable — exactly the record the
+        rebuild path needs.
+        """
+        payload = json.dumps(state)
+        header = json.dumps(
+            {
+                "format": CHECKPOINT_FORMAT,
+                "session_id": session_id,
+                "iteration": state.get("iteration", 0),
+                "genesis": state.get("genesis"),
+                "provenance": state.get("provenance", []),
+                "payload_crc32": zlib.crc32(payload.encode("utf-8")),
+                "payload_len": len(payload),
+            }
+        )
+        return header + "\n" + payload
+
+    @staticmethod
+    def decode_checkpoint(session_id: str, text: str) -> Tuple[str, dict]:
+        """Validate and parse checkpoint ``text``.
+
+        Returns:
+            ``("full", state)`` when the payload passed CRC and parse
+            validation (also accepts the legacy format-1 single-line
+            JSON, which predates checksums); ``("genesis", header)``
+            when the payload is damaged but the header's genesis record
+            survives — the rebuild signal.
+
+        Raises:
+            CheckpointCorruption: nothing in the file is salvageable.
+        """
+        head, newline, payload = text.partition("\n")
+        try:
+            header = json.loads(head)
+        except json.JSONDecodeError:
+            raise CheckpointCorruption(session_id, "unparseable header") from None
+        if not isinstance(header, dict):
+            raise CheckpointCorruption(session_id, f"header is {type(header).__name__}")
+        if header.get("format") != CHECKPOINT_FORMAT:
+            # Legacy format 1: the whole text is the state dict, no CRC.
+            if "engine" in header:
+                return "full", header
+            raise CheckpointCorruption(session_id, "unknown checkpoint format")
+        intact = (
+            bool(newline)
+            and len(payload) == header.get("payload_len")
+            and zlib.crc32(payload.encode("utf-8")) == header.get("payload_crc32")
+        )
+        if intact:
+            try:
+                state = json.loads(payload)
+            except json.JSONDecodeError:
+                intact = False
+            else:
+                return "full", state
+        if header.get("genesis") is not None:
+            return "genesis", header
+        raise CheckpointCorruption(session_id, "payload damaged, no genesis record")
 
     def _evict(self, session: ManagedSession, reason: str) -> None:
         state = self.checkpoint_state(session)
@@ -244,8 +386,19 @@ class SessionStore:
             self._archive[session.session_id] = None
             self._metrics.increment("sessions_lost")
         elif self.checkpoint_dir is not None:
-            path = self.checkpoint_dir / f"{session.session_id}.json"
-            path.write_text(json.dumps(state))
+            try:
+                text = self.encode_checkpoint(session.session_id, state)
+                text = fault_point(
+                    _SITE_CHECKPOINT_SAVE, key=session.session_id, payload=text
+                )
+                path = self.checkpoint_dir / f"{session.session_id}.json"
+                path.write_text(text)
+            except Exception:
+                # A failed durable write must not lose feedback state:
+                # degrade to the in-memory archive and say so.
+                self._archive[session.session_id] = state
+                self._metrics.increment("checkpoint_save_errors")
+                add_event("checkpoint_save_failed", session_id=session.session_id)
         else:
             self._archive[session.session_id] = state
         self._metrics.increment("sessions_evicted")
@@ -278,6 +431,55 @@ class SessionStore:
         path = self.checkpoint_dir / f"{session_id}.json"
         return path if path.exists() else None
 
+    def _quarantine(self, path: Path, session_id: str, action: str) -> None:
+        """Move a damaged checkpoint aside (``<id>.json.corrupt``).
+
+        The original name is freed — the id can be re-created cleanly —
+        while the damaged bytes stay on disk for forensics.
+        """
+        try:
+            path.replace(path.with_name(path.name + ".corrupt"))
+        except OSError:
+            path.unlink(missing_ok=True)
+        self._metrics.increment("checkpoints_corrupt")
+        self._metrics.increment("checkpoints_quarantined")
+        add_event("checkpoint_corruption", session_id=session_id, action=action)
+
+    def _read_checkpoint(self, path: Path, session_id: str) -> str:
+        """Read the checkpoint file, retrying transient errors."""
+
+        def read() -> str:
+            fault_point(_SITE_CHECKPOINT_RESTORE, key=session_id)
+            return path.read_text()
+
+        def on_retry(attempt: int, error: BaseException) -> None:
+            self._metrics.increment("restore_retries")
+            add_event(
+                "retry", stage="checkpoint_restore", attempt=attempt, error=repr(error)
+            )
+
+        return retry_call(read, self.retry, on_retry=on_retry)
+
+    def _rebuild_from_genesis(self, session_id: str, header: dict) -> ManagedSession:
+        """Fresh session from the checkpoint header's genesis query.
+
+        Accumulated feedback is gone — the session restarts at
+        iteration 0 and carries the sticky ``checkpoint_rebuilt``
+        provenance so every subsequent response is explicitly degraded.
+        """
+        genesis = np.asarray(header["genesis"], dtype=float)
+        method = self._method_factory()
+        session = ManagedSession(
+            session_id=session_id,
+            method=method,
+            query=method.start(genesis),
+            iteration=0,
+            genesis=genesis,
+            provenance=("checkpoint_rebuilt",),
+        )
+        self._metrics.increment("sessions_rebuilt")
+        return session
+
     def _restore(self, session_id: str) -> ManagedSession:
         if session_id in self._archive:
             state = self._archive.pop(session_id)
@@ -286,12 +488,32 @@ class SessionStore:
                     f"{session_id}: evicted without a checkpoint "
                     "(its feedback method is not persistable)"
                 )
+            session = self._session_from_state(session_id, state)
         else:
             path = self._checkpoint_path(session_id)
             if path is None:
                 raise SessionNotFound(session_id)
-            state = json.loads(path.read_text())
-            path.unlink()
+            text = self._read_checkpoint(path, session_id)
+            try:
+                mode, state = self.decode_checkpoint(session_id, text)
+            except CheckpointCorruption:
+                self._quarantine(path, session_id, action="quarantined")
+                raise
+            if mode == "genesis":
+                self._quarantine(path, session_id, action="rebuilt")
+                session = self._rebuild_from_genesis(session_id, state)
+            else:
+                path.unlink()
+                session = self._session_from_state(session_id, state)
+        now = self._clock()
+        session.created = now
+        session.last_access = now
+        self._live[session_id] = session
+        self._metrics.increment("sessions_restored")
+        return session
+
+    def _session_from_state(self, session_id: str, state: dict) -> ManagedSession:
+        """Rehydrate a full (CRC-valid or in-memory) checkpoint state."""
         engine = engine_from_dict(state["engine"])
         method = self._method_factory()
         if not hasattr(method, "engine"):
@@ -302,15 +524,12 @@ class SessionStore:
         method.engine = engine
         if hasattr(method, "config"):
             method.config = engine.config
-        session = ManagedSession(
+        genesis = state.get("genesis")
+        return ManagedSession(
             session_id=session_id,
             method=method,
             query=engine.current_query(),
             iteration=int(state["iteration"]),
+            genesis=None if genesis is None else np.asarray(genesis, dtype=float),
+            provenance=tuple(state.get("provenance", ())),
         )
-        now = self._clock()
-        session.created = now
-        session.last_access = now
-        self._live[session_id] = session
-        self._metrics.increment("sessions_restored")
-        return session

@@ -19,7 +19,7 @@ so the same system object also runs the baselines.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -29,7 +29,65 @@ from .index.hybridtree import HybridTree
 from .index.multipoint import MultipointSearcher
 from .retrieval.methods import FeedbackMethod, QclusterMethod
 
-__all__ = ["ResultPage", "ImageRetrievalSystem"]
+__all__ = ["ResultQuality", "EXACT_QUALITY", "ResultPage", "ImageRetrievalSystem"]
+
+
+@dataclass(frozen=True)
+class ResultQuality:
+    """Provenance of a result page: exact, or degraded and *why*.
+
+    Every response carries one of these.  ``exact`` is a guarantee:
+    the page is byte-identical to what a fault-free computation over
+    the session's state would produce (recovery — retries, hedges,
+    fallback scans — may have happened, but it succeeded completely).
+    ``degraded`` means coverage or state was lost and names the causes:
+
+    * ``"shard_failed"`` — one or more shards were dropped after their
+      retry budget; the page may miss rows from those shards.
+    * ``"deadline"`` — the request's recovery budget expired before
+      full coverage could be restored.
+    * ``"checkpoint_rebuilt"`` — the session was rebuilt from its
+      genesis query after checkpoint corruption; accumulated feedback
+      was lost.
+
+    Degradation is sticky per session: once a session's feedback
+    trajectory was influenced by a degraded page, later pages remain
+    marked (their ranking is exact over *divergent* state).
+
+    Attributes:
+        level: ``"exact"`` or ``"degraded"``.
+        reasons: sorted, de-duplicated causes (empty iff exact).
+    """
+
+    level: str = "exact"
+    reasons: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.level not in ("exact", "degraded"):
+            raise ValueError(f"level must be 'exact' or 'degraded', got {self.level!r}")
+        object.__setattr__(self, "reasons", tuple(sorted(set(self.reasons))))
+        if self.level == "exact" and self.reasons:
+            raise ValueError(f"exact quality cannot carry reasons, got {self.reasons}")
+        if self.level == "degraded" and not self.reasons:
+            raise ValueError("degraded quality needs at least one reason")
+
+    @property
+    def is_exact(self) -> bool:
+        """Whether the page is guaranteed byte-identical to fault-free."""
+        return self.level == "exact"
+
+    @classmethod
+    def degraded(cls, *reasons: str) -> "ResultQuality":
+        """A degraded quality tagged with one or more causes."""
+        return cls(level="degraded", reasons=tuple(reasons))
+
+    def to_dict(self) -> dict:
+        """JSON-compatible form for logs and API responses."""
+        return {"level": self.level, "reasons": list(self.reasons)}
+
+
+#: The shared "nothing was lost" singleton (the default on every page).
+EXACT_QUALITY = ResultQuality()
 
 
 @dataclass(frozen=True)
@@ -40,11 +98,14 @@ class ResultPage:
         ids: database image ids, best first.
         distances: aggregate distances, aligned with ``ids``.
         iteration: 0 for the initial query, then 1, 2, ...
+        quality: exactness provenance (:data:`EXACT_QUALITY` unless the
+            serving layer explicitly degraded this response).
     """
 
     ids: np.ndarray
     distances: np.ndarray
     iteration: int
+    quality: ResultQuality = EXACT_QUALITY
 
     def __len__(self) -> int:
         return self.ids.shape[0]

@@ -266,9 +266,9 @@ class TestConsumerPaths:
         )
         try:
             with use_progressive(True, min_rows=256):
-                fast_ids, fast_distances = service._sharded_scan(query, K)
+                fast_ids, fast_distances, _ = service._sharded_scan(query, K)
             with use_progressive(False):
-                slow_ids, slow_distances = service._sharded_scan(query, K)
+                slow_ids, slow_distances, _ = service._sharded_scan(query, K)
         finally:
             service.shutdown()
         np.testing.assert_array_equal(fast_ids, slow_ids)

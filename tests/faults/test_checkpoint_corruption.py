@@ -1,0 +1,217 @@
+"""Checkpoint CRC validation, quarantine, genesis rebuild, typed errors."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.faults import FaultPlan, FaultSpec, activate_faults
+from repro.retrieval import QclusterMethod
+from repro.service import (
+    CheckpointCorruption,
+    ManagedSession,
+    RetrievalService,
+    SessionNotFound,
+    SessionStore,
+)
+from repro.service.metrics import ServiceMetrics
+
+
+def make_session(session_id: str, vector) -> ManagedSession:
+    point = np.asarray(vector, dtype=float)
+    method = QclusterMethod()
+    return ManagedSession(
+        session_id=session_id,
+        method=method,
+        query=method.start(point),
+        genesis=point.copy(),
+    )
+
+
+@pytest.fixture()
+def store(tmp_path):
+    metrics = ServiceMetrics()
+    store = SessionStore(capacity=1, checkpoint_dir=tmp_path, metrics=metrics)
+    store.test_metrics = metrics
+    return store
+
+
+def evict_to_disk(store: SessionStore, session: ManagedSession, tmp_path) -> None:
+    """Push ``session`` out through the capacity evictor."""
+    store.put(session)
+    store.put(make_session("displacer", [9.0, 9.0, 9.0]))
+    assert (tmp_path / f"{session.session_id}.json").exists()
+
+
+class TestRoundTrip:
+    def test_evict_restore_preserves_state(self, store, tmp_path):
+        session = make_session("alpha", [1.0, 2.0, 3.0])
+        session.iteration = 4
+        session.provenance = ("checkpoint_rebuilt",)
+        evict_to_disk(store, session, tmp_path)
+        with store.lease("alpha") as restored:
+            assert restored.iteration == 4
+            assert restored.provenance == ("checkpoint_rebuilt",)
+            np.testing.assert_array_equal(restored.genesis, [1.0, 2.0, 3.0])
+
+    def test_pending_reasons_folded_into_checkpoint(self, store, tmp_path):
+        session = make_session("alpha", [1.0, 2.0, 3.0])
+        session.provenance = ("shard_failed",)
+        session.pending_reasons = ("deadline", "shard_failed")
+        evict_to_disk(store, session, tmp_path)
+        with store.lease("alpha") as restored:
+            assert restored.provenance == ("shard_failed", "deadline")
+
+    def test_checkpoint_is_two_line_crc_format(self, store, tmp_path):
+        evict_to_disk(store, make_session("alpha", [1.0, 2.0, 3.0]), tmp_path)
+        header_line, payload_line = (
+            (tmp_path / "alpha.json").read_text().split("\n", 1)
+        )
+        header = json.loads(header_line)
+        assert header["format"] == 2
+        assert header["payload_len"] == len(payload_line)
+        assert header["genesis"] == [1.0, 2.0, 3.0]
+        assert "engine" in json.loads(payload_line)
+
+    def test_legacy_single_line_checkpoint_still_restores(self, store, tmp_path):
+        session = make_session("alpha", [1.0, 2.0, 3.0])
+        session.iteration = 2
+        state = store.checkpoint_state(session)
+        (tmp_path / "legacy.json").write_text(json.dumps(state))
+        with store.lease("legacy") as restored:
+            assert restored.iteration == 2
+
+
+class TestCorruptionHandling:
+    def test_garbage_file_raises_typed_corruption(self, store, tmp_path):
+        (tmp_path / "bad.json").write_text("\x00not json at all")
+        with pytest.raises(CheckpointCorruption) as info:
+            with store.lease("bad"):
+                pass
+        assert info.value.session_id == "bad"
+        # Typed as SessionNotFound/KeyError: create-if-missing callers work.
+        assert isinstance(info.value, SessionNotFound)
+        assert isinstance(info.value, KeyError)
+
+    def test_corrupt_file_is_quarantined_and_id_freed(self, store, tmp_path):
+        (tmp_path / "bad.json").write_text("garbage")
+        with pytest.raises(CheckpointCorruption):
+            with store.lease("bad"):
+                pass
+        assert not (tmp_path / "bad.json").exists()
+        assert (tmp_path / "bad.json.corrupt").read_text() == "garbage"
+        assert store.test_metrics.counter("checkpoints_quarantined") == 1
+        # The id is free again: a fresh session can take it.
+        store.put(make_session("bad", [0.0, 0.0, 0.0]))
+        with store.lease("bad") as fresh:
+            assert fresh.iteration == 0
+
+    def test_truncated_payload_rebuilds_from_genesis(self, store, tmp_path):
+        session = make_session("alpha", [1.0, 2.0, 3.0])
+        session.iteration = 3
+        evict_to_disk(store, session, tmp_path)
+        path = tmp_path / "alpha.json"
+        text = path.read_text()
+        path.write_text(text[: len(text) * 2 // 3])  # torn write
+        with store.lease("alpha") as rebuilt:
+            assert rebuilt.iteration == 0  # feedback lost, session alive
+            assert rebuilt.provenance == ("checkpoint_rebuilt",)
+            np.testing.assert_array_equal(rebuilt.genesis, [1.0, 2.0, 3.0])
+        assert (tmp_path / "alpha.json.corrupt").exists()
+        assert store.test_metrics.counter("sessions_rebuilt") == 1
+
+    def test_bitflip_payload_fails_crc_and_rebuilds(self, store, tmp_path):
+        evict_to_disk(store, make_session("alpha", [1.0, 2.0, 3.0]), tmp_path)
+        path = tmp_path / "alpha.json"
+        head, payload = path.read_text().split("\n", 1)
+        flipped = payload.replace("1", "2", 1)
+        flipped += " " * (len(payload) - len(flipped))  # keep length: CRC must catch it
+        path.write_text(head + "\n" + flipped)
+        with store.lease("alpha") as rebuilt:
+            assert rebuilt.provenance == ("checkpoint_rebuilt",)
+
+    def test_damaged_payload_without_genesis_is_unsalvageable(self, store):
+        state = {"engine": {"x": 1}, "iteration": 1, "genesis": None, "provenance": []}
+        text = SessionStore.encode_checkpoint("sid", state)
+        header, _ = text.split("\n", 1)
+        with pytest.raises(CheckpointCorruption, match="no genesis"):
+            SessionStore.decode_checkpoint("sid", header + "\ndamaged")
+
+    def test_decode_accepts_intact_payload(self):
+        state = {"engine": {"x": 1}, "iteration": 5, "genesis": [1.0], "provenance": []}
+        text = SessionStore.encode_checkpoint("sid", state)
+        mode, decoded = SessionStore.decode_checkpoint("sid", text)
+        assert mode == "full"
+        assert decoded == state
+
+
+class TestInjectedCheckpointFaults:
+    def test_save_fault_falls_back_to_memory_archive(self, store, tmp_path):
+        plan = FaultPlan(
+            specs=(FaultSpec(site="checkpoint.save", kind="error", every=1),)
+        )
+        session = make_session("alpha", [1.0, 2.0, 3.0])
+        session.iteration = 2
+        with activate_faults(plan):
+            evict_to_disk_failed = store.put(session) or store.put(
+                make_session("displacer", [9.0, 9.0, 9.0])
+            )
+            assert evict_to_disk_failed is None
+        assert not (tmp_path / "alpha.json").exists()
+        assert store.test_metrics.counter("checkpoint_save_errors") == 1
+        with store.lease("alpha") as restored:  # state survived in memory
+            assert restored.iteration == 2
+
+    def test_restore_fault_is_retried_transparently(self, store, tmp_path):
+        plan = FaultPlan(
+            specs=(FaultSpec(site="checkpoint.restore", kind="error", at=(1,)),)
+        )
+        session = make_session("alpha", [1.0, 2.0, 3.0])
+        session.iteration = 2
+        evict_to_disk(store, session, tmp_path)
+        with activate_faults(plan):
+            with store.lease("alpha") as restored:
+                assert restored.iteration == 2
+        assert store.test_metrics.counter("restore_retries") == 1
+
+    def test_save_corruption_surfaces_as_rebuild_on_restore(self, store, tmp_path):
+        plan = FaultPlan(
+            specs=(FaultSpec(site="checkpoint.save", kind="corrupt", every=1),)
+        )
+        session = make_session("alpha", [1.0, 2.0, 3.0])
+        session.iteration = 2
+        with activate_faults(plan):
+            evict_to_disk(store, session, tmp_path)
+        with store.lease("alpha") as rebuilt:
+            assert rebuilt.iteration == 0
+            assert rebuilt.provenance == ("checkpoint_rebuilt",)
+
+
+class TestServiceLevelQuality:
+    def test_rebuilt_session_serves_degraded_pages(self, database, tmp_path):
+        service = RetrievalService(
+            database,
+            k=10,
+            capacity=1,
+            checkpoint_dir=tmp_path,
+            use_index=False,
+            cache_size=0,
+        )
+        try:
+            first = service.create_session(0, session_id="victim")
+            page = service.query(first)
+            assert page.quality.is_exact
+            service.create_session(3, session_id="displacer")  # evicts victim
+            path = tmp_path / "victim.json"
+            text = path.read_text()
+            path.write_text(text[: len(text) * 2 // 3])
+            page = service.query("victim")
+            assert not page.quality.is_exact
+            assert "checkpoint_rebuilt" in page.quality.reasons
+            # Stickiness: every later page of this session stays marked.
+            page = service.feedback("victim", [0, 1, 2])
+            assert "checkpoint_rebuilt" in page.quality.reasons
+        finally:
+            service.shutdown()

@@ -1,0 +1,213 @@
+"""The fault_point hook: activation scoping, fire semantics, stats."""
+
+from __future__ import annotations
+
+import contextvars
+import threading
+
+import numpy as np
+import pytest
+
+from repro.faults import (
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    activate_faults,
+    active_faults,
+    fault_point,
+    faults_active,
+    register_site,
+    registered_sites,
+)
+from repro.obs import Tracer, activate
+
+SITE = register_site("test.site", "synthetic site for the injection tests")
+OTHER = register_site("test.other", "second synthetic site")
+
+
+def error_plan(**kwargs) -> FaultPlan:
+    return FaultPlan(specs=(FaultSpec(site=SITE, kind="error", **kwargs),))
+
+
+class TestDisabledPath:
+    def test_disabled_by_default(self):
+        assert not faults_active()
+        assert active_faults() is None
+        assert fault_point(SITE) is None
+
+    def test_disabled_payload_passes_through_untouched(self):
+        payload = np.arange(3.0)
+        assert fault_point(SITE, payload=payload) is payload
+
+    def test_registered_sites_catalogue(self):
+        sites = registered_sites()
+        assert sites["test.site"] == "synthetic site for the injection tests"
+        # The instrumented production modules registered theirs at import.
+        for production_site in (
+            "shard.scan",
+            "kernel.compile",
+            "cache.get",
+            "cache.put",
+            "checkpoint.save",
+            "checkpoint.restore",
+            "tree.node",
+        ):
+            assert production_site in sites
+
+
+class TestActivation:
+    def test_error_fault_raises_injected_fault(self):
+        with activate_faults(error_plan(at=(1,))):
+            with pytest.raises(InjectedFault) as info:
+                fault_point(SITE, key="k")
+        assert info.value.site == SITE
+        assert info.value.key == "k"
+        assert info.value.count == 1
+
+    def test_activation_is_scoped(self):
+        with activate_faults(error_plan(at=(1,))):
+            assert faults_active()
+        assert not faults_active()
+        fault_point(SITE)  # armed no more
+
+    def test_counts_are_per_key(self):
+        with activate_faults(error_plan(at=(2,))) as active:
+            fault_point(SITE, key="a")  # a:1
+            fault_point(SITE, key="b")  # b:1
+            with pytest.raises(InjectedFault):
+                fault_point(SITE, key="a")  # a:2 fires
+            assert active.clock.count(SITE, "b") == 1
+
+    def test_unmatched_site_is_untouched(self):
+        with activate_faults(error_plan(at=(1,))):
+            assert fault_point(OTHER, payload="fine") == "fine"
+
+    def test_latency_fault_uses_injected_sleep(self):
+        sleeps = []
+        plan = FaultPlan(
+            specs=(FaultSpec(site=SITE, kind="latency", at=(1,), latency_s=0.25),)
+        )
+        with activate_faults(plan, sleep=sleeps.append):
+            fault_point(SITE)
+            fault_point(SITE)
+        assert sleeps == [0.25]
+
+    def test_corrupt_fault_transforms_payload(self):
+        plan = FaultPlan(specs=(FaultSpec(site=SITE, kind="corrupt", at=(1,)),))
+        with activate_faults(plan):
+            damaged = fault_point(SITE, payload="x" * 30)
+        assert damaged != "x" * 30
+
+    def test_corrupt_without_payload_is_harmless(self):
+        plan = FaultPlan(specs=(FaultSpec(site=SITE, kind="corrupt", at=(1,)),))
+        with activate_faults(plan):
+            assert fault_point(SITE) is None
+
+    def test_latency_then_error_compose(self):
+        sleeps = []
+        plan = FaultPlan(
+            specs=(
+                FaultSpec(site=SITE, kind="latency", at=(1,), latency_s=0.1),
+                FaultSpec(site=SITE, kind="error", at=(1,)),
+            )
+        )
+        with activate_faults(plan, sleep=sleeps.append):
+            with pytest.raises(InjectedFault):
+                fault_point(SITE)
+        assert sleeps == [0.1]  # slow call that then dies
+
+    def test_max_fires_caps_a_spec(self):
+        plan = FaultPlan(
+            specs=(FaultSpec(site=SITE, kind="error", every=1, max_fires=2),)
+        )
+        with activate_faults(plan) as active:
+            for _ in range(2):
+                with pytest.raises(InjectedFault):
+                    fault_point(SITE)
+            fault_point(SITE)  # capped: no fire
+            assert active.total_fires == 2
+
+    def test_validate_rejects_typo_site(self):
+        plan = FaultPlan(specs=(FaultSpec(site="no.such.site", kind="error", at=(1,)),))
+        with pytest.raises(ValueError, match="unregistered"):
+            with activate_faults(plan):
+                pass
+        with activate_faults(plan, validate=False):
+            pass  # explicit opt-out
+
+    def test_stats_report_fires_by_site_and_kind(self):
+        plan = FaultPlan(
+            specs=(
+                FaultSpec(site=SITE, kind="error", at=(1,)),
+                FaultSpec(site=SITE, kind="corrupt", at=(2,)),
+            ),
+            name="stats-demo",
+            seed=9,
+        )
+        with activate_faults(plan) as active:
+            with pytest.raises(InjectedFault):
+                fault_point(SITE)
+            fault_point(SITE, payload="abcdef")
+        stats = active.stats()
+        assert stats["plan"] == "stats-demo"
+        assert stats["seed"] == 9
+        assert stats["total_fires"] == 2
+        assert stats["by_site"] == {SITE: {"error": 1, "corrupt": 1}}
+        assert stats["invocations"][f"{SITE}|*"] == 2
+
+
+class TestContextPropagation:
+    def test_copy_context_ships_activation_to_worker_thread(self):
+        outcomes = []
+
+        def worker():
+            try:
+                fault_point(SITE)
+                outcomes.append("ok")
+            except InjectedFault:
+                outcomes.append("fault")
+
+        with activate_faults(error_plan(at=(1,))):
+            context = contextvars.copy_context()
+            thread = threading.Thread(target=context.run, args=(worker,))
+            thread.start()
+            thread.join()
+        assert outcomes == ["fault"]
+
+    def test_plain_thread_does_not_inherit_activation(self):
+        outcomes = []
+
+        def worker():
+            outcomes.append(faults_active())
+
+        with activate_faults(error_plan(at=(1,))):
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        assert outcomes == [False]
+
+    def test_fires_emit_trace_events(self):
+        tracer = Tracer()
+        with activate(tracer), tracer.span("chaos"):
+            with activate_faults(error_plan(at=(1,))):
+                with pytest.raises(InjectedFault):
+                    fault_point(SITE, key="k")
+        assert tracer.event_count("fault_injected") == 1
+
+    def test_replay_is_bit_for_bit(self):
+        plan = error_plan(probability=0.4)
+
+        def run() -> list:
+            fired = []
+            with activate_faults(plan):
+                for count in range(50):
+                    try:
+                        fault_point(SITE, key="k")
+                        fired.append(False)
+                    except InjectedFault:
+                        fired.append(True)
+            return fired
+
+        first, second = run(), run()
+        assert first == second
+        assert any(first) and not all(first)

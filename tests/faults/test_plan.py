@@ -1,0 +1,183 @@
+"""FaultSpec / FaultPlan / FaultClock: validation and determinism."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.faults import (
+    FAULT_KINDS,
+    FaultClock,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    corrupt_payload,
+)
+
+
+class TestFaultSpec:
+    def test_requires_exactly_one_trigger(self):
+        with pytest.raises(ValueError, match="exactly one trigger"):
+            FaultSpec(site="shard.scan", kind="error")
+        with pytest.raises(ValueError, match="exactly one trigger"):
+            FaultSpec(site="shard.scan", kind="error", at=(1,), every=2)
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultSpec(site="shard.scan", kind="explode", at=(1,))
+
+    def test_at_counts_are_one_based(self):
+        with pytest.raises(ValueError, match="1-based"):
+            FaultSpec(site="shard.scan", kind="error", at=(0,))
+
+    def test_latency_kind_needs_positive_delay(self):
+        with pytest.raises(ValueError, match="latency_s"):
+            FaultSpec(site="shard.scan", kind="latency", at=(1,))
+
+    def test_probability_bounds(self):
+        with pytest.raises(ValueError, match="probability"):
+            FaultSpec(site="shard.scan", kind="error", probability=1.5)
+
+    def test_max_fires_positive(self):
+        with pytest.raises(ValueError, match="max_fires"):
+            FaultSpec(site="shard.scan", kind="error", at=(1,), max_fires=0)
+
+    def test_at_trigger_fires_on_exact_counts(self):
+        spec = FaultSpec(site="s", kind="error", at=(2, 5))
+        fired = [count for count in range(1, 8) if spec.matches(0, 0, None, count)]
+        assert fired == [2, 5]
+
+    def test_every_trigger_fires_on_modulus(self):
+        spec = FaultSpec(site="s", kind="error", every=3)
+        fired = [count for count in range(1, 10) if spec.matches(0, 0, None, count)]
+        assert fired == [3, 6, 9]
+
+    def test_key_scoping(self):
+        spec = FaultSpec(site="s", kind="error", at=(1,), key="shard-0")
+        assert spec.matches(0, 0, "shard-0", 1)
+        assert not spec.matches(0, 0, "shard-1", 1)
+        assert not spec.matches(0, 0, None, 1)
+
+    def test_probability_draws_are_deterministic(self):
+        spec = FaultSpec(site="s", kind="error", probability=0.5)
+        first = [spec.matches(7, 0, "k", count) for count in range(1, 200)]
+        second = [spec.matches(7, 0, "k", count) for count in range(1, 200)]
+        assert first == second
+        assert any(first) and not all(first)
+
+    def test_probability_depends_on_seed_and_index(self):
+        spec = FaultSpec(site="s", kind="error", probability=0.5)
+        seed_a = [spec.matches(1, 0, "k", count) for count in range(1, 200)]
+        seed_b = [spec.matches(2, 0, "k", count) for count in range(1, 200)]
+        index_b = [spec.matches(1, 1, "k", count) for count in range(1, 200)]
+        assert seed_a != seed_b
+        assert seed_a != index_b
+
+    def test_probability_rate_is_calibrated(self):
+        spec = FaultSpec(site="s", kind="error", probability=0.3)
+        fired = sum(spec.matches(0, 0, None, count) for count in range(1, 5001))
+        assert 0.25 < fired / 5000 < 0.35
+
+    def test_dict_round_trip(self):
+        spec = FaultSpec(
+            site="cache.put",
+            kind="corrupt",
+            every=3,
+            key="abc",
+            max_fires=2,
+            message="bit rot",
+        )
+        assert FaultSpec.from_dict(spec.to_dict()) == spec
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ValueError, match="unknown FaultSpec fields"):
+            FaultSpec.from_dict({"site": "s", "kind": "error", "at": [1], "boom": 1})
+
+
+class TestCorruptPayload:
+    def test_string_keeps_head_loses_tail(self):
+        text = "x" * 300
+        damaged = corrupt_payload(text)
+        assert damaged != text
+        assert damaged.startswith("x" * 200)
+        assert corrupt_payload(text) == damaged  # deterministic
+
+    def test_bytes(self):
+        blob = b"y" * 30
+        damaged = corrupt_payload(blob)
+        assert damaged != blob and damaged.startswith(b"y" * 20)
+
+    def test_array_is_copied_not_mutated(self):
+        array = np.arange(4.0)
+        damaged = corrupt_payload(array)
+        assert not np.array_equal(damaged, array)
+        np.testing.assert_array_equal(array, np.arange(4.0))
+
+    def test_tuple_corrupts_last_array(self):
+        ids = np.arange(3)
+        distances = np.arange(3.0)
+        damaged = corrupt_payload((ids, distances))
+        np.testing.assert_array_equal(damaged[0], ids)
+        assert not np.array_equal(damaged[1], distances)
+
+    def test_unknown_payload_is_total_loss(self):
+        assert corrupt_payload({"a": 1}) is None
+
+
+class TestFaultClock:
+    def test_counts_are_per_site_and_key(self):
+        clock = FaultClock()
+        assert clock.tick("s", "a") == 1
+        assert clock.tick("s", "a") == 2
+        assert clock.tick("s", "b") == 1
+        assert clock.tick("t", "a") == 1
+        assert clock.count("s", "a") == 2
+        assert clock.count("nope") == 0
+
+    def test_snapshot_format(self):
+        clock = FaultClock()
+        clock.tick("s", None)
+        clock.tick("s", "k")
+        assert clock.snapshot() == {"s|*": 1, "s|k": 1}
+
+
+class TestFaultPlan:
+    def test_json_round_trip(self):
+        plan = FaultPlan(
+            specs=(
+                FaultSpec(site="shard.scan", kind="error", probability=0.5),
+                FaultSpec(site="cache.put", kind="corrupt", every=2),
+            ),
+            seed=3,
+            name="demo",
+        )
+        assert FaultPlan.from_json(plan.to_json()) == plan
+
+    def test_sites_sorted_unique(self):
+        plan = FaultPlan(
+            specs=(
+                FaultSpec(site="b", kind="error", at=(1,)),
+                FaultSpec(site="a", kind="error", at=(1,)),
+                FaultSpec(site="b", kind="latency", at=(1,), latency_s=0.1),
+            )
+        )
+        assert plan.sites == ("a", "b")
+
+    def test_validate_sites_catches_typos(self):
+        plan = FaultPlan(specs=(FaultSpec(site="shardd.scan", kind="error", at=(1,)),))
+        with pytest.raises(ValueError, match="unregistered"):
+            plan.validate_sites(["shard.scan"])
+
+    def test_specs_must_be_fault_specs(self):
+        with pytest.raises(TypeError):
+            FaultPlan(specs=({"site": "s"},))
+
+    def test_injected_fault_carries_site_key_count(self):
+        error = InjectedFault("shard.scan", "0", 3, "worker crash")
+        assert error.site == "shard.scan"
+        assert error.key == "0"
+        assert error.count == 3
+        assert "worker crash" in str(error)
+
+    def test_fault_kinds_catalogue(self):
+        assert FAULT_KINDS == ("error", "latency", "corrupt")

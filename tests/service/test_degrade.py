@@ -5,6 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.faults import FaultPlan, FaultSpec, activate_faults
 from repro.service import DegradationPolicy, RetrievalService, SessionGuard
 
 
@@ -56,6 +57,97 @@ class TestSessionGuard:
         assert guard.active
         guard.reset_for_new_query()
         assert not guard.active and guard.strikes == 0
+
+
+class TestGuardEdgeCases:
+    def test_error_trip_wins_over_later_deadline_miss(self):
+        guard = SessionGuard(DegradationPolicy(soft_deadline_s=0.1, trip_after=2))
+        guard.record_error()
+        # The miss is still reported (the caller meters every miss)...
+        assert guard.record_elapsed(0.2) is True
+        # ...but the trip attribution is not downgraded to "deadline".
+        assert guard.tripped_by == "error"
+
+    def test_deadline_strike_then_error_escalates_to_sticky_trip(self):
+        guard = SessionGuard(DegradationPolicy(soft_deadline_s=0.1, trip_after=2))
+        assert guard.record_elapsed(0.2) is True  # strike 1 of 2: not tripped
+        assert not guard.active
+        guard.record_error()
+        assert guard.tripped_by == "error"
+        guard.reset_for_new_query()  # error trips survive feedback
+        assert guard.active and guard.tripped_by == "error"
+
+    def test_guard_rearms_after_recovery(self):
+        guard = SessionGuard(DegradationPolicy(soft_deadline_s=0.1, trip_after=2))
+        guard.record_elapsed(0.2)
+        guard.record_elapsed(0.2)
+        assert guard.tripped_by == "deadline"
+        guard.reset_for_new_query()
+        assert not guard.active and guard.strikes == 0
+        guard.record_elapsed(0.05)  # recovered: a fast index round
+        guard.record_elapsed(0.2)  # the full trip_after streak is required
+        assert not guard.active
+        guard.record_elapsed(0.2)
+        assert guard.active and guard.tripped_by == "deadline"
+
+    def test_every_miss_is_reported_even_while_tripped(self):
+        guard = SessionGuard(DegradationPolicy(soft_deadline_s=0.1))
+        assert guard.record_elapsed(0.2) is True
+        assert guard.record_elapsed(0.2) is True  # one metric per miss
+
+
+class TestPoisonedShard:
+    """Sharded exact scan under a permanently failing shard."""
+
+    POISON = FaultPlan(
+        specs=(
+            # key = the shard's global row offset; every=1 outlasts the
+            # per-shard retry budget, so the shard is dropped for good.
+            FaultSpec(site="shard.scan", kind="error", every=1, key="30"),
+        )
+    )
+
+    def test_scan_is_deterministic_and_explicitly_degraded(self, database):
+        service = RetrievalService(
+            database, k=15, use_index=False, n_shards=4, cache_size=0
+        )
+        session = service.create_session(0)
+        with activate_faults(self.POISON):
+            first = service.query(session)
+            second = service.query(session)
+        assert not first.quality.is_exact
+        assert "shard_failed" in first.quality.reasons
+        assert first.ids.tobytes() == second.ids.tobytes()
+        assert first.distances.tobytes() == second.distances.tobytes()
+        counters = service.metrics_snapshot()["counters"]
+        assert counters["shard_failures"] == 2
+        assert counters["shard_retries"] > 0
+
+    def test_survivors_equal_exact_topk_over_remaining_rows(self, database):
+        service = RetrievalService(
+            database, k=15, use_index=False, n_shards=4, cache_size=0
+        )
+        session = service.create_session(0)
+        with activate_faults(self.POISON):
+            page = service.query(session)
+        with service.store.lease(session) as managed:
+            distances = managed.query.distances(database.vectors)
+        order = np.lexsort((np.arange(database.size), distances))
+        expected = [i for i in order if not 30 <= i < 60][:15]
+        np.testing.assert_array_equal(page.ids, expected)
+
+    def test_full_coverage_restored_after_the_fault_clears(self, database):
+        service = RetrievalService(
+            database, k=15, use_index=False, n_shards=4, cache_size=0
+        )
+        session = service.create_session(0)
+        with activate_faults(self.POISON):
+            service.query(session)
+        page = service.query(session)  # plan disarmed: coverage is back
+        assert page.quality.is_exact
+        reference = RetrievalService(database, k=15, use_index=False, n_shards=1)
+        twin = reference.query(reference.create_session(0))
+        np.testing.assert_array_equal(page.ids, twin.ids)
 
 
 class TestServiceDegradation:

@@ -125,6 +125,7 @@ class TestServiceMetrics:
             "refine_fraction",
             "candidates_pruned",
             "degradations",
+            "result_quality",
         }
 
     def test_uptime_tracks_clock(self):

@@ -116,6 +116,53 @@ class TestServiceCommand:
         assert args.deadline is None
 
 
+class TestChaosCommand:
+    CHAOS_SMALL = [
+        "chaos",
+        "--categories", "4",
+        "--images-per-category", "20",
+        "--iterations", "2",
+        "--k", "10",
+        "--sessions", "3",
+        "--shards", "2",
+    ]
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["chaos"])
+        assert args.plan == "worker-crash"
+        assert args.fault_seed == 0
+        assert args.capacity == 2
+        assert not args.use_index
+
+    def test_unknown_plan_lists_builtins(self, capsys):
+        exit_code = main(["chaos", "--plan", "nope"])
+        assert exit_code == 2
+        err = capsys.readouterr().err
+        assert "unknown plan" in err
+        assert "worker-crash" in err
+
+    @pytest.mark.parametrize(
+        "plan", ["worker-crash", "slow-shard", "corrupt-checkpoint"]
+    )
+    def test_builtin_plans_uphold_the_contract(self, capsys, plan):
+        exit_code = main(self.CHAOS_SMALL + ["--plan", plan])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert f"plan: {plan}" in output
+        assert "resilience contract holds" in output
+
+    def test_plan_round_trips_through_a_file(self, capsys, tmp_path):
+        plan_path = tmp_path / "plan.json"
+        exit_code = main(
+            self.CHAOS_SMALL + ["--plan", "worker-crash", "--save-plan", str(plan_path)]
+        )
+        assert exit_code == 0
+        assert plan_path.exists()
+        exit_code = main(self.CHAOS_SMALL + ["--plan-file", str(plan_path)])
+        assert exit_code == 0
+        assert "resilience contract holds" in capsys.readouterr().out
+
+
 class TestFigureCommand:
     def test_fig5(self, capsys):
         exit_code = main(["figure", "fig5"])
