@@ -17,9 +17,12 @@ Usage::
     python benchmarks/compare_bench.py --check            # CI gate
     python benchmarks/compare_bench.py --check --report bench-report.json
     python benchmarks/compare_bench.py --record           # refresh baseline
+    python benchmarks/compare_bench.py --check --suite store
 
 ``--record`` rewrites the baseline file; commit the result when a PR
-intentionally changes the algorithmic profile.
+intentionally changes the algorithmic profile.  ``--suite store`` runs
+the feature-store workload instead (a memory-mapped store served
+through both scan backends) against ``baselines/store.json``.
 """
 
 from __future__ import annotations
@@ -52,6 +55,9 @@ DIRECTIONS = {
     "scan.precision_at_k": "higher",
     "scan.pruned_fraction": "higher",
     "scan.exact_page_fraction": "higher",
+    "store.precision_at_k": "higher",
+    "store.exact_page_fraction": "higher",
+    "store.block_reads_per_query": "lower",
 }
 
 # Sized so each workload is informative: >2048 rows per scan shard and
@@ -152,6 +158,63 @@ def collect_metrics() -> dict:
     return {name: round(float(value), 6) for name, value in metrics.items()}
 
 
+def collect_store_metrics() -> dict:
+    """The feature-store workload: the smoke queries served from a store.
+
+    The same deterministic query/feedback protocol runs over a
+    memory-mapped store built from the same database, through the
+    thread-sharded store scan — measuring the store's profile in the
+    same scale-free terms: precision (must match the in-memory path,
+    the backend can't change rankings), the exact-page fraction
+    (corruption-free serving), and block reads per query (the
+    mmap-traffic analogue of the index's node accesses).  The 660-row
+    shards sit below the progressive filter's minimum scan size, so
+    pruning is intentionally not part of this suite (the smoke suite
+    gates it on a single full-size shard).
+    """
+    import tempfile
+
+    from repro.store import FeatureStore, build_store
+
+    database = build_database()
+    metrics = {}
+    with tempfile.TemporaryDirectory() as tmp_dir:
+        store_path = build_store(database, Path(tmp_dir) / "bench.qcs", n_shards=4)
+        store = FeatureStore.open(store_path)
+        with RetrievalService(
+            store,
+            k=K,
+            use_index=False,
+            cache_size=0,
+            method_factory=lambda: QclusterMethod(QclusterConfig(scheme="inverse")),
+        ) as service:
+            precision = drive_queries(service, database)
+            snapshot = service.metrics_snapshot()
+            counters = snapshot["counters"]
+            queries = counters["queries"] + counters["feedbacks"]
+            pages = counters.get("results_exact", 0) + counters.get(
+                "results_degraded", 0
+            )
+            metrics["store.precision_at_k"] = precision
+            metrics["store.exact_page_fraction"] = (
+                counters.get("results_exact", 0) / pages if pages else 0.0
+            )
+            metrics["store.block_reads_per_query"] = (
+                snapshot["feature_store"]["block_reads"] / queries
+            )
+    return {name: round(float(value), 6) for name, value in metrics.items()}
+
+
+#: Suite name → (metric collector, default committed baseline).
+SUITES = {
+    "smoke": (collect_metrics, DEFAULT_BASELINE),
+    "store": (
+        collect_store_metrics,
+        REPO_ROOT / "benchmarks" / "baselines" / "store.json",
+    ),
+}
+
+
 def compare(current: dict, baseline: dict, tolerance: float) -> list:
     """Regressions (worse than baseline beyond ``tolerance``), as dicts."""
     regressions = []
@@ -191,8 +254,12 @@ def main(argv=None) -> int:
         "--record", action="store_true", help="rewrite the baseline file"
     )
     parser.add_argument(
-        "--baseline", type=Path, default=DEFAULT_BASELINE,
-        help=f"baseline JSON path (default: {DEFAULT_BASELINE})",
+        "--suite", choices=sorted(SUITES), default="smoke",
+        help="workload to run (default: smoke)",
+    )
+    parser.add_argument(
+        "--baseline", type=Path, default=None,
+        help="baseline JSON path (default: the suite's committed baseline)",
     )
     parser.add_argument(
         "--tolerance", type=float, default=DEFAULT_TOLERANCE,
@@ -204,7 +271,11 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
 
-    current = collect_metrics()
+    collect, suite_baseline = SUITES[args.suite]
+    if args.baseline is None:
+        args.baseline = suite_baseline
+
+    current = collect()
     for name in sorted(current):
         print(f"  {name:38s} {current[name]:.6f}")
 

@@ -27,6 +27,11 @@ union of the subpackages:
 * :mod:`repro.faults` — deterministic, seeded fault injection behind
   named sites, plus the chaos plans the CI resilience suite replays;
   fully inert unless a :class:`~repro.faults.FaultPlan` is activated.
+* :mod:`repro.store` — the memory-mapped, content-addressed feature
+  store: epoch-stamped header, per-block CRCs, float32 shard blocks
+  with optional PCA-prefix coarse companions, quarantine on corruption.
+* :mod:`repro.parallel` — spawn-safe worker processes scanning the
+  store's shards zero-copy, merged byte-identically to the serial scan.
 
 Quickstart::
 
@@ -70,6 +75,7 @@ from .retrieval import (
     QclusterMethod,
     SimulatedUser,
 )
+from .parallel import ShardWorkerPool
 from .retrieval.methods import QueryLike
 from .service import (
     CheckpointCorruption,
@@ -79,6 +85,7 @@ from .service import (
     SessionNotFound,
     SessionStore,
 )
+from .store import FeatureStore, StoreBlockCorrupt, StoreFormatError, build_store
 from .system import EXACT_QUALITY, ImageRetrievalSystem, ResultPage, ResultQuality
 
 __version__ = "1.0.0"
@@ -116,6 +123,11 @@ __all__ = [
     "activate_faults",
     "builtin_plan",
     "builtin_plans",
+    "FeatureStore",
+    "StoreBlockCorrupt",
+    "StoreFormatError",
+    "build_store",
+    "ShardWorkerPool",
     "Tracer",
     "NullTracer",
     "NULL_TRACER",

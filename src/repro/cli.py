@@ -16,6 +16,13 @@ Subcommands:
   and under a seeded :class:`~repro.faults.FaultPlan`, and verify the
   resilience contract: every page served under faults is either
   byte-identical to its fault-free twin or explicitly marked degraded.
+  ``--store`` runs both replays over a memory-mapped feature store so
+  the ``store.*`` fault sites (torn block reads, CRC quarantine) are
+  armed.
+* ``store`` — build a memory-mapped feature store from a generated
+  collection (``store build``), re-check every block CRC
+  (``store verify``), or dump its header, geometry and block table
+  (``store inspect``).
 * ``figure`` — regenerate any of the paper's tables/figures by id
   (``fig5`` ... ``fig19``, ``table2``, ``table3``, ``headline``),
   optionally exporting CSV.
@@ -209,6 +216,51 @@ def cmd_service(args) -> int:
     return 0
 
 
+def cmd_store(args) -> int:
+    """Build / verify / inspect a memory-mapped feature store."""
+    import json
+
+    from .store import FeatureStore, StoreFormatError, build_store
+
+    if args.store_command == "build":
+        database = _build_database(args)
+        try:
+            build_store(
+                database,
+                args.output,
+                n_shards=args.shards,
+                coarse_dims=args.coarse_dims,
+            )
+        except ValueError as error:
+            print(f"cannot build store: {error}", file=sys.stderr)
+            return 2
+        store = FeatureStore.open(args.output)
+        print(
+            f"wrote {args.output}: n={store.n} p={store.dimension} "
+            f"shards={store.n_shards} coarse_dims={store.coarse_dims} "
+            f"epoch={store.epoch}"
+        )
+        print(f"fingerprint: {store.fingerprint}")
+        return 0
+    try:
+        store = FeatureStore.open(args.path)
+    except (StoreFormatError, OSError) as error:
+        print(f"invalid store: {error}", file=sys.stderr)
+        return 1
+    if args.store_command == "verify":
+        report = store.verify()
+        for name in sorted(report):
+            print(f"{name:<24} {report[name]}")
+        bad = sum(1 for reason in report.values() if reason != "ok")
+        if bad:
+            print(f"{bad} corrupt block(s)", file=sys.stderr)
+            return 1
+        print(f"all {len(report)} blocks verified ({store.fingerprint})")
+        return 0
+    print(json.dumps(store.describe(), indent=2))
+    return 0
+
+
 def cmd_chaos(args) -> int:
     """Deterministic fault-plan replay with the byte-identical-or-degraded check."""
     import tempfile
@@ -219,6 +271,10 @@ def cmd_chaos(args) -> int:
     from .faults.plans import BUILTIN_PLAN_NAMES, builtin_plan
     from .retrieval import SimulatedUser
     from .service import RetrievalService
+
+    # Importing the store package registers the ``store.*`` fault sites
+    # so plans targeting them validate even without ``--store``.
+    from .store import FeatureStore, build_store
 
     if args.plan_file:
         plan = FaultPlan.from_json(Path(args.plan_file).read_text())
@@ -236,12 +292,20 @@ def cmd_chaos(args) -> int:
     rng = np.random.default_rng(args.seed)
     query_ids = [int(q) for q in rng.integers(0, database.size, size=args.sessions)]
 
+    store_dir = tempfile.TemporaryDirectory() if args.store else None
+    store_path = None
+    if store_dir is not None:
+        # Both replays serve the same store file, so the fault-free
+        # baseline and the faulted run rank identical float32 bytes.
+        store_path = Path(store_dir.name) / "chaos.qcs"
+        build_store(database, store_path, n_shards=args.shards)
+
     def run_workload(fault_plan):
         """One sequential round-robin workload; returns (records, stats)."""
         records = []
         with tempfile.TemporaryDirectory() as checkpoint_dir:
             service = RetrievalService(
-                database,
+                FeatureStore.open(store_path) if store_path is not None else database,
                 k=args.k,
                 use_index=args.use_index,
                 n_shards=args.shards,
@@ -297,8 +361,12 @@ def cmd_chaos(args) -> int:
                 service.shutdown()
         return records, fire_stats, snapshot
 
-    baseline, _, _ = run_workload(None)
-    faulted, fire_stats, snapshot = run_workload(plan)
+    try:
+        baseline, _, _ = run_workload(None)
+        faulted, fire_stats, snapshot = run_workload(plan)
+    finally:
+        if store_dir is not None:
+            store_dir.cleanup()
 
     baseline_errors = sum(1 for record in baseline if "error" in record)
     if baseline_errors:
@@ -602,7 +670,8 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument(
         "--plan",
         default="worker-crash",
-        help="builtin plan name (worker-crash, slow-shard, corrupt-checkpoint)",
+        help="builtin plan name (worker-crash, slow-shard, corrupt-checkpoint, "
+        "torn-block)",
     )
     chaos.add_argument(
         "--plan-file", default=None, help="load the fault plan from a JSON file"
@@ -627,7 +696,41 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="serve through the HybridTree (default: exact sharded scan)",
     )
+    chaos.add_argument(
+        "--store",
+        action="store_true",
+        help="serve both replays from a memory-mapped feature store, arming "
+        "the store.* fault sites",
+    )
     chaos.set_defaults(func=cmd_chaos)
+
+    store = subparsers.add_parser(
+        "store", help="build / verify / inspect a memory-mapped feature store"
+    )
+    store_sub = store.add_subparsers(dest="store_command", required=True)
+    store_build = store_sub.add_parser(
+        "build", help="ingest a generated collection into a store file"
+    )
+    add_collection_arguments(store_build)
+    store_build.add_argument("--output", required=True, help="store file to write")
+    store_build.add_argument(
+        "--shards", type=int, default=None, help="shard count (default: sized from n)"
+    )
+    store_build.add_argument(
+        "--coarse-dims",
+        type=int,
+        default=0,
+        help="PCA-prefix companion block width (0 = none)",
+    )
+    store_build.set_defaults(func=cmd_store)
+    store_verify = store_sub.add_parser("verify", help="re-check every block CRC")
+    store_verify.add_argument("path", help="store file")
+    store_verify.set_defaults(func=cmd_store)
+    store_inspect = store_sub.add_parser(
+        "inspect", help="dump the header, geometry and block table as JSON"
+    )
+    store_inspect.add_argument("path", help="store file")
+    store_inspect.set_defaults(func=cmd_store)
 
     disjunctive = subparsers.add_parser(
         "disjunctive", help="the Example 3 / Figure 5 demo"

@@ -90,8 +90,18 @@ _DIAGONAL_TILE_ELEMENTS = 1 << 15
 
 
 def _as_matrix(database: np.ndarray) -> np.ndarray:
-    """One canonical ``(N, p)`` float64 view; copies only when needed."""
-    return np.atleast_2d(np.asarray(database, dtype=float))
+    """One canonical ``(N, p)`` float view; copies only when needed.
+
+    float32 inputs (mmap'd store shards) pass through unconverted: the
+    kernels' arithmetic mixes them with float64 query statistics, and
+    NumPy's float32→float64 promotion is exact, so results are
+    bit-identical to scanning a float64 copy — without materializing
+    one on the hot path.
+    """
+    database = np.atleast_2d(np.asarray(database))
+    if database.dtype not in (np.float64, np.float32):
+        database = database.astype(float)
+    return database
 
 
 def fingerprint_cluster_state(query) -> str:
@@ -557,6 +567,7 @@ def ensure_compiled(
     query,
     cache: Optional[KernelCache] = None,
     on_event: Optional[Callable[[str], None]] = None,
+    scope: Optional[str] = None,
 ) -> CompiledQuery:
     """The query's compiled kernels, building them at most once.
 
@@ -575,6 +586,11 @@ def ensure_compiled(
         on_event: optional callback receiving ``"hits"`` or ``"misses"``
             — the hook :class:`~repro.service.metrics.ServiceMetrics`
             counters attach to.
+        scope: optional dataset identity (the feature store's
+            ``content_hash:epoch``) salting the *cache key* only; the
+            compiled artifact itself — a pure function of the cluster
+            state — keeps the unsalted fingerprint.  ``None`` (the
+            in-memory default) preserves the historical key.
     """
     compiled = getattr(query, _MEMO_ATTRIBUTE, None)
     if compiled is not None:
@@ -584,6 +600,7 @@ def ensure_compiled(
     if cache is None:
         cache = _DEFAULT_CACHE
     fingerprint = fingerprint_cluster_state(query)
+    cache_key = fingerprint if scope is None else f"{fingerprint}|{scope}"
 
     def _compile() -> CompiledQuery:
         # A genuine miss: the compilation (Cholesky factorization, kernel
@@ -606,7 +623,7 @@ def ensure_compiled(
         if on_event is not None:
             on_event(event)
 
-    compiled = cache.get_or_create(fingerprint, _compile, on_event=_observe)
+    compiled = cache.get_or_create(cache_key, _compile, on_event=_observe)
     try:
         object.__setattr__(query, _MEMO_ATTRIBUTE, compiled)
     except (AttributeError, TypeError):  # __slots__ or exotic query types

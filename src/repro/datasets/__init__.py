@@ -15,10 +15,14 @@ from .synthetic_images import (
     generate_collection,
     render_mode_image,
 )
+from .matrix import FEATURE_DTYPE, as_feature_matrix, assert_scan_ready
 from .ppm import load_directory_collection, load_ppm, save_ppm
 from .uniform import ball_membership, uniform_cube
 
 __all__ = [
+    "FEATURE_DTYPE",
+    "as_feature_matrix",
+    "assert_scan_ready",
     "GaussianSample",
     "cluster_pair",
     "elliptical_clusters",

@@ -1,0 +1,97 @@
+"""One canonical float32 feature-matrix conversion for stored datasets.
+
+Every producer in :mod:`repro.datasets` hands out float64 arrays (the
+in-memory analysis paths want the extra precision), and historically
+each consumer re-converted on its own — the feature store's ingest path
+would have stacked a float64 copy on top of a float32 copy on top of a
+C-order copy.  :func:`as_feature_matrix` is the single place that
+conversion happens now: whatever the source (raw array, nested lists, a
+:class:`~repro.retrieval.database.FeatureDatabase`, a
+:class:`~repro.datasets.gaussian.GaussianSample`), the result is one
+``(n, p)`` float32 C-contiguous matrix produced by at most one copy.
+
+:func:`assert_scan_ready` is the companion guard for the scan hot path:
+it verifies — cheaply, via the array interface, never by copying — that
+a matrix a scanner is about to consume is already in the canonical
+layout, so an accidental upcast or re-copy fails loudly in tests
+instead of silently doubling memory traffic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["FEATURE_DTYPE", "as_feature_matrix", "assert_scan_ready"]
+
+#: The canonical on-disk / scan-path element type.  float32 halves the
+#: store's footprint and memory bandwidth; distance kernels upcast to
+#: float64 *during arithmetic* (NumPy type promotion), which is exact
+#: for float32 inputs, so rankings do not depend on the storage dtype.
+FEATURE_DTYPE = np.dtype("<f4")
+
+
+def _extract_vectors(source) -> np.ndarray:
+    """The raw ``(n, p)``-shaped payload of any dataset-ish object."""
+    vectors = getattr(source, "vectors", None)  # FeatureDatabase
+    if vectors is None:
+        vectors = getattr(source, "points", None)  # GaussianSample
+    if vectors is None:
+        vectors = source
+    return np.atleast_2d(np.asarray(vectors))
+
+
+def as_feature_matrix(source) -> np.ndarray:
+    """``source`` as one ``(n, p)`` float32 C-contiguous matrix.
+
+    Performs at most one conversion: an array that is already float32,
+    C-contiguous and two-dimensional is returned as-is (no copy at
+    all), anything else is converted exactly once.
+
+    Args:
+        source: a raw ``(n, p)`` array (or anything ``np.asarray``
+            accepts), a ``FeatureDatabase``, or a ``GaussianSample``.
+
+    Raises:
+        ValueError: on empty or non-2-d payloads, or non-finite values
+            (NaN/inf would silently poison every distance downstream,
+            and float64 values beyond float32 range would turn into
+            ``inf`` in the narrowing).
+    """
+    vectors = _extract_vectors(source)
+    if vectors.ndim != 2:
+        raise ValueError(f"feature matrix must be 2-d, got shape {vectors.shape}")
+    if vectors.shape[0] == 0 or vectors.shape[1] == 0:
+        raise ValueError(f"feature matrix must be non-empty, got shape {vectors.shape}")
+    if not np.all(np.isfinite(vectors)):
+        raise ValueError("feature matrix contains non-finite values")
+    with np.errstate(over="ignore"):  # overflow is detected and raised below
+        matrix = np.ascontiguousarray(vectors, dtype=FEATURE_DTYPE)
+    if not np.all(np.isfinite(matrix)):
+        raise ValueError("feature matrix overflows float32 range")
+    return matrix
+
+
+def assert_scan_ready(matrix: np.ndarray, *, name: str = "feature matrix") -> np.ndarray:
+    """Assert ``matrix`` is already scan-ready; returns it unchanged.
+
+    Scan-ready means float32, C-contiguous and 2-d — the layout
+    :func:`as_feature_matrix` produces and the zero-copy mmap scan path
+    requires.  The check reads only array metadata (dtype, flags,
+    ndim); it never touches the data, so it is free to leave on the hot
+    path.
+    """
+    if not isinstance(matrix, np.ndarray):
+        raise TypeError(f"{name} must be an ndarray, got {type(matrix)!r}")
+    if matrix.ndim != 2:
+        raise ValueError(f"{name} must be 2-d, got shape {matrix.shape}")
+    if matrix.dtype != FEATURE_DTYPE:
+        raise ValueError(
+            f"{name} must be {FEATURE_DTYPE} (got {matrix.dtype}): a silent "
+            "re-conversion crept onto the scan hot path"
+        )
+    if not matrix.flags["C_CONTIGUOUS"]:
+        raise ValueError(
+            f"{name} must be C-contiguous: a silent copy/transpose crept "
+            "onto the scan hot path"
+        )
+    return matrix

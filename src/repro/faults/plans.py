@@ -14,6 +14,12 @@ Three seeded scenarios, each aimed at a distinct recovery mechanism:
   rot, restores hiccup once; exercised paths: CRC validation with
   quarantine-and-rebuild, result-cache integrity checksums, and
   restore retries.
+* ``torn-block`` — one feature-store block suffers a torn read (plus
+  transient block I/O and a slow open); exercised paths: the store's
+  CRC quarantine, permanent-error fast-fail in the retry layer, and
+  explicit ``store_block_corrupt`` degradation of the affected scans
+  while every other shard keeps serving.  Replay store-backed
+  (``chaos --plan torn-block --store``) to arm the store sites.
 
 Plans are plain :class:`~repro.faults.plan.FaultPlan` values — replay
 one with ``python -m repro.cli chaos --plan <name>`` or dump it with
@@ -66,10 +72,40 @@ def _corrupt_checkpoint(seed: int) -> Tuple[FaultSpec, ...]:
     )
 
 
+def _torn_block(seed: int) -> Tuple[FaultSpec, ...]:
+    return (
+        # The third read of one feature block is torn mid-page (late
+        # enough that at least one scan completes clean first): the
+        # store quarantines it permanently and every scan needing that
+        # shard degrades to the surviving coverage, explicitly tagged
+        # ``store_block_corrupt`` (the retry layer must *not* burn its
+        # backoff budget on it).
+        FaultSpec(
+            "store.block_read",
+            "corrupt",
+            key="shard/0001",
+            at=(3,),
+            message="torn block read",
+        ),
+        # Transient I/O on other block reads: absorbed by the shard
+        # retry, so affected responses stay exact.
+        FaultSpec(
+            "store.block_read",
+            "error",
+            probability=0.05,
+            max_fires=4,
+            message="transient block I/O",
+        ),
+        # A cold page cache makes the open itself sluggish once or twice.
+        FaultSpec("store.open", "latency", probability=0.5, latency_s=0.01, max_fires=2),
+    )
+
+
 _BUILDERS = {
     "worker-crash": _worker_crash,
     "slow-shard": _slow_shard,
     "corrupt-checkpoint": _corrupt_checkpoint,
+    "torn-block": _torn_block,
 }
 
 #: The plan names the CI chaos matrix iterates.

@@ -148,10 +148,32 @@ def prometheus_text(
             writer.family(name, "gauge", help_text)
             writer.sample(name, snapshot[key])
 
+    feature_store = snapshot.get("feature_store")
+    if isinstance(feature_store, dict) and "block_reads" in feature_store:
+        name = f"{prefix}_store_block_reads_total"
+        writer.family(
+            name,
+            "counter",
+            "Feature-store block reads served from the coordinator's mmap.",
+        )
+        writer.sample(name, feature_store["block_reads"])
+
+    worker_pool = snapshot.get("worker_pool")
+    if isinstance(worker_pool, dict) and "busy" in worker_pool:
+        name = f"{prefix}_worker_pool_busy"
+        writer.family(
+            name,
+            "gauge",
+            "Shard scans currently in flight on the worker-process pool.",
+        )
+        writer.sample(name, worker_pool["busy"])
+
     for section, help_text in (
         ("store", "Session-store occupancy."),
         ("cache", "Result-cache occupancy and hit rate."),
         ("kernels", "Kernel-cache occupancy and hit/miss totals."),
+        ("feature_store", "Feature-store identity, geometry and read counters."),
+        ("worker_pool", "Shard worker-pool occupancy and task totals."),
         ("result_quality", "Result-quality provenance: exact vs degraded pages."),
     ):
         values = snapshot.get(section)

@@ -1,0 +1,5 @@
+"""Process-parallel shard scanning over a mmap'd feature store."""
+
+from .workers import ShardWorkerPool, decode_query, encode_query, scan_shard_topk
+
+__all__ = ["ShardWorkerPool", "encode_query", "decode_query", "scan_shard_topk"]

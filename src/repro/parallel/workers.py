@@ -1,0 +1,292 @@
+"""Multi-process shard scanning over a memory-mapped feature store.
+
+The GIL caps the thread-sharded scan at roughly one core of NumPy per
+request; this module crosses the process boundary without giving up
+either zero-copy reads or byte-identical rankings:
+
+* every worker process opens its *own* read-only
+  :class:`~repro.store.FeatureStore` over the same file (the OS page
+  cache shares the physical pages, so N workers cost one copy of the
+  data);
+* queries travel as small typed payloads — cluster centers, inverse
+  matrices, weights — never as pickled query objects, so the compiled
+  kernel memoized on the parent's query instance is not dragged
+  through the pickle machinery; each worker compiles into its own
+  process-wide kernel cache (compilation is a pure function of the
+  cluster state, so every process builds the same evaluators);
+* :func:`scan_shard_topk` is the *single* per-shard top-k
+  implementation shared by the serial path, the thread pool and the
+  process pool — there is no second scan codepath to drift — and the
+  coordinator merges per-shard results in shard order under the
+  ``(distance, id)`` tie-break, so the backend choice can never change
+  a ranking, only its wall-clock cost.
+
+Workers are spawn-safe: the pool uses the ``spawn`` start method
+explicitly, so no fork-inherited locks, mmaps or NumPy thread pools
+leak into children on any platform.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+from concurrent.futures import Future, ProcessPoolExecutor
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+import numpy as np
+
+from ..core.kernels import ensure_compiled
+from ..core.progressive import exact_top_k, progressive_topk
+from ..datasets.matrix import assert_scan_ready
+from ..store import FeatureStore
+
+__all__ = ["ShardWorkerPool", "encode_query", "decode_query", "scan_shard_topk"]
+
+
+def scan_shard_topk(query, shard: np.ndarray, offset: int, k: int):
+    """Exact per-shard top-``k``: ``(global ids, distances, pruned, refined)``.
+
+    Routed through the progressive filter-and-refine scan when it
+    applies; the fallback computes every distance.  Either way the
+    ids/distances returned are the shard's exact top-k under the
+    ``(distance, id)`` order — this is the one scan kernel every
+    backend (serial, threads, processes) runs.
+    """
+    k = min(k, shard.shape[0])
+    progressive = progressive_topk(shard, query, k)
+    if progressive is not None:
+        return (
+            progressive.indices + offset,
+            progressive.distances,
+            progressive.stats.pruned,
+            progressive.stats.refined,
+        )
+    distances = query.distances(shard)
+    top = exact_top_k(distances, k)
+    return top + offset, distances[top], 0, shard.shape[0]
+
+
+# ----------------------------------------------------------------------
+# Query serialization (typed payloads, pickle only as a last resort)
+# ----------------------------------------------------------------------
+
+
+def encode_query(query) -> Dict[str, Any]:
+    """A small, picklable payload reconstructing ``query`` in a worker.
+
+    Known query types (the disjunctive aggregate and the baselines'
+    power mean) are flattened to their defining arrays; anything else
+    falls back to pickling the object itself.
+    """
+    from ..baselines.base import PowerMeanQuery
+    from ..core.distance import DisjunctiveQuery
+
+    if isinstance(query, DisjunctiveQuery):
+        return {
+            "kind": "disjunctive",
+            "points": [
+                (
+                    np.asarray(point.center, dtype=float),
+                    np.asarray(point.inverse, dtype=float),
+                    float(point.weight),
+                    None
+                    if point.diagonal is None
+                    else np.asarray(point.diagonal, dtype=float),
+                )
+                for point in query.points
+            ],
+        }
+    if isinstance(query, PowerMeanQuery):
+        return {
+            "kind": "power_mean",
+            "centers": np.asarray(query.centers, dtype=float),
+            "inverses": tuple(
+                np.asarray(inverse, dtype=float) for inverse in query.inverses
+            ),
+            "weights": np.asarray(query.weights, dtype=float),
+            "alpha": float(query.alpha),
+        }
+    import pickle
+
+    return {"kind": "pickle", "blob": pickle.dumps(query)}
+
+
+def decode_query(payload: Dict[str, Any]):
+    """Inverse of :func:`encode_query`."""
+    kind = payload["kind"]
+    if kind == "disjunctive":
+        from ..core.distance import DisjunctiveQuery, QueryPoint
+
+        return DisjunctiveQuery(
+            [
+                QueryPoint(center=center, inverse=inverse, weight=weight, diagonal=diagonal)
+                for center, inverse, weight, diagonal in payload["points"]
+            ]
+        )
+    if kind == "power_mean":
+        from ..baselines.base import PowerMeanQuery
+
+        return PowerMeanQuery(
+            centers=payload["centers"],
+            inverses=payload["inverses"],
+            weights=payload["weights"],
+            alpha=payload["alpha"],
+        )
+    if kind == "pickle":
+        import pickle
+
+        return pickle.loads(payload["blob"])
+    raise ValueError(f"unknown query payload kind {kind!r}")
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+
+#: Per-process store handles, keyed by path.  Populated by the pool
+#: initializer (and lazily on first use, should a task outlive it).
+_WORKER_STORES: Dict[str, FeatureStore] = {}
+
+
+def _worker_store(store_path: str) -> FeatureStore:
+    store = _WORKER_STORES.get(store_path)
+    if store is None:
+        store = FeatureStore.open(store_path)
+        _WORKER_STORES[store_path] = store
+    return store
+
+
+def _pool_initializer(store_path: str) -> None:
+    """Open the store once per worker process, before any task runs."""
+    _worker_store(store_path)
+
+
+def _scan_shard_task(
+    store_path: str, shard_index: int, payload: Dict[str, Any], k: int
+):
+    """One shard's top-k, computed inside a worker process.
+
+    The shard is a zero-copy mmap view (asserted scan-ready: float32,
+    C-contiguous — no silent conversion happens between the file and
+    the kernels); the query is rebuilt from its payload and compiled
+    into this process's kernel cache.  Exceptions — including
+    :class:`~repro.store.StoreBlockCorrupt` — pickle back to the
+    coordinator intact.
+    """
+    store = _worker_store(store_path)
+    query = decode_query(payload)
+    ensure_compiled(query)
+    shard = assert_scan_ready(store.shard(shard_index), name=f"shard {shard_index}")
+    offset = store.row_offsets[shard_index]
+    ids, distances, pruned, refined = scan_shard_topk(query, shard, offset, k)
+    return np.asarray(ids), np.asarray(distances), int(pruned), int(refined)
+
+
+# ----------------------------------------------------------------------
+# Coordinator side
+# ----------------------------------------------------------------------
+
+
+class ShardWorkerPool:
+    """A spawn-safe process pool scanning one store's shards.
+
+    Args:
+        store_path: the feature-store file every worker mmaps.
+        n_workers: worker process count.
+
+    The pool tracks in-flight tasks (the ``repro_worker_pool_busy``
+    gauge) and completion/failure totals; :meth:`stats` feeds the
+    service metrics snapshot.
+    """
+
+    def __init__(self, store_path: Union[str, Path], n_workers: int) -> None:
+        if n_workers < 1:
+            raise ValueError(f"n_workers must be at least 1, got {n_workers}")
+        self.store_path = str(store_path)
+        self.n_workers = n_workers
+        self._executor: Optional[ProcessPoolExecutor] = None
+        self._lock = threading.Lock()
+        self._in_flight = 0
+        self._peak_in_flight = 0
+        self._completed = 0
+        self._failed = 0
+
+    def _ensure_executor(self) -> ProcessPoolExecutor:
+        # Lazy: constructing the service should not pay worker spawn
+        # cost when no query ever reaches the process backend.
+        with self._lock:
+            if self._executor is None:
+                self._executor = ProcessPoolExecutor(
+                    max_workers=self.n_workers,
+                    mp_context=multiprocessing.get_context("spawn"),
+                    initializer=_pool_initializer,
+                    initargs=(self.store_path,),
+                )
+            return self._executor
+
+    @property
+    def busy(self) -> int:
+        """Tasks currently submitted and not yet finished."""
+        with self._lock:
+            return self._in_flight
+
+    def submit(self, shard_index: int, payload: Dict[str, Any], k: int) -> "Future":
+        """Dispatch one shard scan; returns its future."""
+        executor = self._ensure_executor()
+        with self._lock:
+            self._in_flight += 1
+            self._peak_in_flight = max(self._peak_in_flight, self._in_flight)
+        try:
+            future = executor.submit(
+                _scan_shard_task, self.store_path, shard_index, payload, k
+            )
+        except BaseException:
+            with self._lock:
+                self._in_flight -= 1
+            raise
+        future.add_done_callback(self._task_done)
+        return future
+
+    def run(self, shard_index: int, payload: Dict[str, Any], k: int):
+        """Blocking convenience: submit one shard scan and await it."""
+        return self.submit(shard_index, payload, k).result()
+
+    def _task_done(self, future: "Future") -> None:
+        with self._lock:
+            self._in_flight -= 1
+            if future.cancelled() or future.exception() is not None:
+                self._failed += 1
+            else:
+                self._completed += 1
+
+    def stats(self) -> Dict[str, int]:
+        """``{workers, busy, peak_busy, tasks_completed, tasks_failed}``."""
+        with self._lock:
+            return {
+                "workers": self.n_workers,
+                "busy": self._in_flight,
+                "peak_busy": self._peak_in_flight,
+                "tasks_completed": self._completed,
+                "tasks_failed": self._failed,
+            }
+
+    def shutdown(self) -> None:
+        """Terminate the worker processes (idempotent)."""
+        with self._lock:
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=True)
+
+    def __enter__(self) -> "ShardWorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardWorkerPool({self.store_path!r}, n_workers={self.n_workers}, "
+            f"busy={self.busy})"
+        )
+

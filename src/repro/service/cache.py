@@ -50,7 +50,7 @@ def _page_crc(ids: np.ndarray, distances: np.ndarray) -> int:
     return zlib.crc32(struct.pack("<qq", ids.shape[0], distances.shape[0]), crc)
 
 
-def fingerprint_query(query, k: int) -> str:
+def fingerprint_query(query, k: int, scope: Optional[str] = None) -> str:
     """Digest of a disjunctive query's ranking-relevant state plus ``k``.
 
     Two queries with byte-identical cluster means, inverse covariance
@@ -63,10 +63,20 @@ def fingerprint_query(query, k: int) -> str:
     content-addresses compiled distance kernels, so a result-cache key
     and a kernel-cache key for the same query state derive from one
     hash of the underlying statistics.
+
+    Args:
+        scope: optional dataset identity mixed into the digest — the
+            service passes the feature store's ``content_hash:epoch``
+            fingerprint, so pages ranked over two stores (or two
+            epochs of one store) can never alias.  ``None`` (the
+            in-memory default) preserves the historical key.
     """
     digest = hashlib.blake2b(digest_size=16)
     digest.update(struct.pack("<q", int(k)))
     digest.update(fingerprint_cluster_state(query).encode("ascii"))
+    if scope is not None:
+        digest.update(b"|")
+        digest.update(scope.encode("utf-8"))
     return digest.hexdigest()
 
 

@@ -11,7 +11,10 @@ relevance-feedback sessions at once:
 * ranking executes across database shards on a shared
   :class:`~concurrent.futures.ThreadPoolExecutor` — the quadratic-form
   hot path is NumPy ``matmul``/``einsum`` which releases the GIL, so
-  shards genuinely overlap;
+  shards genuinely overlap; a store-backed service can instead fan out
+  to a :class:`~repro.parallel.ShardWorkerPool` of worker *processes*,
+  each scanning its own read-only mmap of the
+  :class:`~repro.store.FeatureStore` file with zero copies;
 * repeated page fetches within an iteration are served by the
   content-addressed :class:`~repro.service.cache.ResultCache`;
 * index failures and soft-deadline misses degrade gracefully to the
@@ -42,19 +45,22 @@ import time
 import uuid
 from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor, wait
 from pathlib import Path
-from typing import Callable, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from ..core.kernels import default_kernel_cache, ensure_compiled
-from ..core.progressive import exact_top_k, progressive_topk
+from ..core.progressive import exact_top_k
+from ..datasets.matrix import assert_scan_ready
 from ..faults import fault_point, register_site
 from ..index.hybridtree import HybridTree
 from ..index.linear import page_capacity_for
 from ..index.multipoint import MultipointSearcher
 from ..obs import NULL_TRACER, activate, add_event, prometheus_text
+from ..parallel.workers import ShardWorkerPool, encode_query, scan_shard_topk
 from ..retrieval.database import FeatureDatabase
 from ..retrieval.methods import FeedbackMethod, QclusterMethod, QueryLike
+from ..store import FeatureStore, StoreBlockCorrupt
 from ..system import EXACT_QUALITY, ResultPage, ResultQuality
 from .cache import ResultCache, fingerprint_query
 from .degrade import DegradationPolicy, SessionGuard
@@ -79,8 +85,19 @@ class RetrievalService:
     """Serve many concurrent feedback sessions over one collection.
 
     Args:
-        database: a :class:`FeatureDatabase` or a raw ``(n, p)`` feature
-            matrix.
+        database: a :class:`FeatureDatabase`, a raw ``(n, p)`` feature
+            matrix, or an opened
+            :class:`~repro.store.FeatureStore` — the store is served
+            zero-copy from its mmap, shard partition and all, and its
+            ``content_hash:epoch`` fingerprint is mixed into every
+            result-cache and kernel-cache key.
+        scan_backend: ``"threads"`` (default — the shared
+            :class:`ThreadPoolExecutor`) or ``"processes"`` (a
+            spawn-safe :class:`~repro.parallel.ShardWorkerPool`; store
+            backed databases only).  Backends are interchangeable:
+            per-shard results merge in shard order under the
+            ``(distance, id)`` tie-break, so rankings are byte-identical
+            across backends — only wall-clock cost changes.
         method_factory: feedback strategy per session (default
             Qcluster; only Qcluster-backed sessions are checkpointable).
         k: default result-page size.
@@ -114,11 +131,12 @@ class RetrievalService:
 
     def __init__(
         self,
-        database: Union[FeatureDatabase, np.ndarray],
+        database: Union[FeatureDatabase, FeatureStore, np.ndarray],
         *,
         method_factory: Callable[[], FeedbackMethod] = QclusterMethod,
         k: int = 20,
         use_index: bool = True,
+        scan_backend: str = "threads",
         n_shards: Optional[int] = None,
         max_workers: Optional[int] = None,
         capacity: int = 256,
@@ -131,20 +149,56 @@ class RetrievalService:
         metrics: Optional[ServiceMetrics] = None,
         tracer=None,
     ) -> None:
-        if isinstance(database, FeatureDatabase):
-            vectors = database.vectors
+        if scan_backend not in ("threads", "processes"):
+            raise ValueError(
+                f"scan_backend must be 'threads' or 'processes', got {scan_backend!r}"
+            )
+        self._feature_store: Optional[FeatureStore] = None
+        self._vectors: Optional[np.ndarray] = None
+        if isinstance(database, FeatureStore):
+            # Served straight from the mmap: shards stay float32 views
+            # of the store file and are never copied or upcast on the
+            # scan path (the kernels' float32→float64 promotion during
+            # arithmetic is exact, so rankings match an in-memory scan
+            # bit for bit).  The full matrix materializes lazily, only
+            # for row access (query-by-id, feedback rows, the index).
+            self._feature_store = database
+            n_rows, dimension = database.n, database.dimension
+            if n_shards is not None and n_shards != database.n_shards:
+                raise ValueError(
+                    f"n_shards={n_shards} conflicts with the store's "
+                    f"{database.n_shards}-shard partition; rebuild the store "
+                    "to re-shard"
+                )
+            bounds = np.asarray(database.row_offsets, dtype=int)
         else:
-            vectors = np.atleast_2d(np.asarray(database, dtype=float))
-        # Stored once, C-contiguous float64: shards are then contiguous
-        # row views and the distance kernels never re-convert or copy
-        # the database on the hot path.
-        vectors = np.ascontiguousarray(vectors, dtype=float)
-        if vectors.shape[0] == 0:
-            raise ValueError("cannot serve an empty database")
+            if isinstance(database, FeatureDatabase):
+                vectors = database.vectors
+            else:
+                vectors = np.atleast_2d(np.asarray(database, dtype=float))
+            # Stored once, C-contiguous float64: shards are then
+            # contiguous row views and the distance kernels never
+            # re-convert or copy the database on the hot path.
+            vectors = np.ascontiguousarray(vectors, dtype=float)
+            if vectors.shape[0] == 0:
+                raise ValueError("cannot serve an empty database")
+            self._vectors = vectors
+            n_rows, dimension = vectors.shape
+            bounds = None
+        if scan_backend == "processes" and self._feature_store is None:
+            raise ValueError(
+                "scan_backend='processes' requires a FeatureStore database "
+                "(worker processes mmap the store file)"
+            )
         if k < 1:
             raise ValueError(f"k must be at least 1, got {k}")
-        self.vectors = vectors
-        self.k = min(k, vectors.shape[0])
+        self._n_rows = n_rows
+        self._dimension = dimension
+        self.scan_backend = scan_backend
+        self._dataset_fingerprint: Optional[str] = (
+            self._feature_store.fingerprint if self._feature_store is not None else None
+        )
+        self.k = min(k, n_rows)
         self.metrics = metrics if metrics is not None else ServiceMetrics()
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.policy = DegradationPolicy(
@@ -161,28 +215,46 @@ class RetrievalService:
         )
         self.cache = ResultCache(cache_size)
         self._method_factory = method_factory
-        self._tree = HybridTree(vectors) if use_index else None
+        self._tree = HybridTree(self.vectors) if use_index else None
         if max_workers is None:
             max_workers = min(8, os.cpu_count() or 1)
-        if n_shards is None:
-            n_shards = max(1, min(max_workers, vectors.shape[0] // _MIN_SHARD_ROWS))
+        if self._feature_store is not None:
+            # The store file *is* the shard partition: worker processes
+            # (and the thread path) scan its blocks in place.
+            n_shards = self._feature_store.n_shards
+        elif n_shards is None:
+            n_shards = max(1, min(max_workers, n_rows // _MIN_SHARD_ROWS))
         if n_shards < 1:
             raise ValueError(f"n_shards must be at least 1, got {n_shards}")
-        bounds = np.linspace(0, vectors.shape[0], n_shards + 1, dtype=int)
-        self._shards: List[np.ndarray] = [
-            vectors[bounds[i] : bounds[i + 1]] for i in range(n_shards)
-        ]
+        if bounds is None:
+            bounds = np.linspace(0, n_rows, n_shards + 1, dtype=int)
+        self._bounds = bounds
+        self._n_shards = int(n_shards)
+        # In-memory databases keep persistent row views so the
+        # progressive scan's per-matrix contexts stay warm across
+        # queries; store shards get the same id-stability from the
+        # store's memoized block views.
+        self._shards: Optional[List[np.ndarray]] = (
+            [self._vectors[bounds[i] : bounds[i + 1]] for i in range(n_shards)]
+            if self._feature_store is None
+            else None
+        )
         # Global row id of each shard's first row: per-shard top-k
         # results are translated back to database ids before merging.
         self._shard_offsets: List[int] = [int(b) for b in bounds[:-1]]
-        self._executor = (
-            ThreadPoolExecutor(
-                max_workers=min(max_workers, n_shards),
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._pool: Optional[ShardWorkerPool] = None
+        if scan_backend == "processes":
+            assert self._feature_store is not None
+            self._pool = ShardWorkerPool(
+                self._feature_store.path,
+                n_workers=min(max_workers, self._n_shards),
+            )
+        elif self._n_shards > 1:
+            self._executor = ThreadPoolExecutor(
+                max_workers=min(max_workers, self._n_shards),
                 thread_name_prefix="repro-rank",
             )
-            if n_shards > 1
-            else None
-        )
         self._clock = time.monotonic
 
     # ------------------------------------------------------------------
@@ -192,12 +264,32 @@ class RetrievalService:
     @property
     def size(self) -> int:
         """Number of served database objects."""
-        return self.vectors.shape[0]
+        return self._n_rows
+
+    @property
+    def dimension(self) -> int:
+        """Feature dimensionality of the served collection."""
+        return self._dimension
 
     @property
     def n_shards(self) -> int:
         """Shards the parallel scan path fans out over."""
-        return len(self._shards)
+        return self._n_shards
+
+    @property
+    def vectors(self) -> np.ndarray:
+        """The full feature matrix.
+
+        In-memory databases hold it outright; a store-backed service
+        materializes it lazily (one concatenating copy of the mmap'd
+        shards) and only for *row* access — query-by-id, feedback rows,
+        index construction.  The scan hot path never calls this: shards
+        are served as zero-copy views straight from the store file.
+        """
+        if self._vectors is None:
+            assert self._feature_store is not None
+            self._vectors = self._feature_store.as_array()
+        return self._vectors
 
     def __enter__(self) -> "RetrievalService":
         return self
@@ -206,9 +298,11 @@ class RetrievalService:
         self.shutdown()
 
     def shutdown(self) -> None:
-        """Release the ranking thread pool (sessions stay restorable)."""
+        """Release the ranking pools (sessions stay restorable)."""
         if self._executor is not None:
             self._executor.shutdown(wait=True)
+        if self._pool is not None:
+            self._pool.shutdown()
 
     # ------------------------------------------------------------------
     # The service API
@@ -234,9 +328,9 @@ class RetrievalService:
                 point = self.vectors[int(query)]
             else:
                 point = np.asarray(query, dtype=float)
-                if point.ndim != 1 or point.shape[0] != self.vectors.shape[1]:
+                if point.ndim != 1 or point.shape[0] != self._dimension:
                     raise ValueError(
-                        f"query vector must have shape ({self.vectors.shape[1]},), "
+                        f"query vector must have shape ({self._dimension},), "
                         f"got {point.shape}"
                     )
             if session_id is None:
@@ -341,6 +435,12 @@ class RetrievalService:
             "corruptions": self.cache.corruptions,
         }
         snapshot["kernels"] = default_kernel_cache().stats()
+        if self._feature_store is not None:
+            feature = self._feature_store.stats()
+            feature["fingerprint"] = self._feature_store.fingerprint
+            snapshot["feature_store"] = feature
+        if self._pool is not None:
+            snapshot["worker_pool"] = self._pool.stats()
         return snapshot
 
     def prometheus_metrics(self) -> str:
@@ -365,7 +465,7 @@ class RetrievalService:
     def _rank(
         self, session: ManagedSession, k: int, budget: DeadlineBudget
     ) -> ResultPage:
-        key = fingerprint_query(session.query, k)
+        key = fingerprint_query(session.query, k, scope=self._dataset_fingerprint)
         # The cache is an optimization: any failure inside it (including
         # an injected one) is just a miss, never a failed query.
         cached = None
@@ -439,7 +539,11 @@ class RetrievalService:
             add_event("retry", stage="compile", attempt=attempt, error=repr(error))
 
         retry_call(
-            lambda: ensure_compiled(session.query, on_event=self._kernel_cache_event),
+            lambda: ensure_compiled(
+                session.query,
+                on_event=self._kernel_cache_event,
+                scope=self._dataset_fingerprint,
+            ),
             self.resilience.retry,
             deadline=budget,
             on_retry=on_compile_retry,
@@ -482,48 +586,51 @@ class RetrievalService:
                 self.metrics.increment("fallback_scans")
                 self.metrics.increment(
                     "fallback_node_accesses",
-                    -(-self.size // page_capacity_for(self.vectors.shape[1])),
+                    -(-self.size // page_capacity_for(self._dimension)),
                 )
                 return self._sharded_scan(session.query, k, budget)
+
+    def _shard_array(self, index: int) -> np.ndarray:
+        """Shard ``index`` as a scan-ready C-contiguous matrix.
+
+        In-memory: a persistent row view of the float64 matrix.  Store
+        backed: the mmap'd float32 block view — CRC-verified on first
+        access, and raising :class:`~repro.store.StoreBlockCorrupt` for
+        a quarantined block.  Resolved *inside* the retried shard task
+        so a corrupt block surfaces through the same failure path as a
+        scan error (but, being permanent, skips the backoff).
+        """
+        if self._shards is not None:
+            return self._shards[index]
+        assert self._feature_store is not None
+        shard = self._feature_store.shard(index)
+        # The store hands out verified float32 views; a silent dtype or
+        # layout change here would mean a hidden copy on the hot path.
+        assert_scan_ready(shard, name=f"shard {index}")
+        return shard
 
     @staticmethod
     def _shard_topk(query: QueryLike, shard: np.ndarray, offset: int, k: int):
         """Exact per-shard top-``k``: ``(global ids, distances, pruned, refined)``.
 
-        Routed through the progressive filter-and-refine scan when it
-        applies (large shard, eligible query); the fallback computes
-        every distance.  Either way the ids/distances returned are the
-        shard's exact top-k under the ``(distance, id)`` order.
+        Delegates to :func:`~repro.parallel.workers.scan_shard_topk` —
+        the same kernel worker processes run — after the ``shard.scan``
+        fault point, so every backend shares one scan implementation.
         """
         fault_point(_SITE_SHARD, key=str(offset))
-        k = min(k, shard.shape[0])
-        progressive = progressive_topk(shard, query, k)
-        if progressive is not None:
-            return (
-                progressive.indices + offset,
-                progressive.distances,
-                progressive.stats.pruned,
-                progressive.stats.refined,
-            )
-        distances = query.distances(shard)
-        top = exact_top_k(distances, k)
-        return top + offset, distances[top], 0, shard.shape[0]
+        return scan_shard_topk(query, shard, offset, k)
 
-    def _run_shard(
-        self,
-        query: QueryLike,
-        shard: np.ndarray,
-        offset: int,
-        k: int,
-        budget: DeadlineBudget,
-    ):
+    def _run_shard(self, query: QueryLike, index: int, k: int, budget: DeadlineBudget):
         """One shard's exact top-``k`` with bounded retries.
 
         Scanning a read-only shard is idempotent, so transient failures
         (including injected ``shard.scan`` faults) are retried with
         backoff until the retry budget or the request deadline runs out;
         the final error propagates for :meth:`_sharded_scan` to absorb.
+        Permanent errors (a CRC-quarantined store block) skip the
+        backoff entirely and propagate at once.
         """
+        offset = self._shard_offsets[index]
 
         def on_retry(attempt: int, error: BaseException) -> None:
             self.metrics.increment("shard_retries")
@@ -536,7 +643,7 @@ class RetrievalService:
             )
 
         return retry_call(
-            lambda: self._shard_topk(query, shard, offset, k),
+            lambda: self._shard_topk(query, self._shard_array(index), offset, k),
             self.resilience.retry,
             deadline=budget,
             on_retry=on_retry,
@@ -562,6 +669,140 @@ class RetrievalService:
                     errors.append(error)
         return None, errors
 
+    def _thread_parts(self, query: QueryLike, k: int, budget: DeadlineBudget):
+        """Per-shard results on the shared thread pool (inline when 1 shard).
+
+        Returns ``(parts, failures)``: parts in shard order for the
+        deterministic merge, failures the final error of every shard
+        that exhausted its retries (hedge copies included).
+        """
+        failures: List[BaseException] = []
+        parts = []
+        if self._executor is None:
+            for index in range(self._n_shards):
+                try:
+                    parts.append(self._run_shard(query, index, k, budget))
+                except Exception as error:
+                    failures.append(error)
+                    self.metrics.increment("shard_failures")
+                    add_event(
+                        "shard_failed",
+                        shard_offset=self._shard_offsets[index],
+                        error=repr(error),
+                    )
+            return parts, failures
+
+        # Each worker runs under a copy of the caller's context so
+        # trace spans/events recorded on shard threads attach to
+        # this request's scan span (a Context can only be entered
+        # once, hence one copy per future).
+        def submit(index: int) -> "Future":
+            return self._executor.submit(
+                contextvars.copy_context().run,
+                self._run_shard,
+                query,
+                index,
+                k,
+                budget,
+            )
+
+        copies: List[List["Future"]] = [
+            [submit(index)] for index in range(self._n_shards)
+        ]
+        hedge_after = self.resilience.hedge_after_s
+        if hedge_after is not None:
+            _, stragglers = wait(
+                [entry[0] for entry in copies],
+                timeout=min(hedge_after, budget.remaining)
+                if budget.remaining != float("inf")
+                else hedge_after,
+            )
+            if stragglers and not budget.expired:
+                for index, entry in enumerate(copies):
+                    if entry[0] in stragglers:
+                        entry.append(submit(index))
+                        self.metrics.increment("hedges")
+                        add_event("hedge", shard_offset=self._shard_offsets[index])
+        for index, entry in enumerate(copies):
+            result, errors = self._race(entry)
+            if result is None:
+                self.metrics.increment("shard_failures")
+                last = errors[-1] if errors else RuntimeError("shard task lost")
+                failures.append(last)
+                add_event(
+                    "shard_failed",
+                    shard_offset=self._shard_offsets[index],
+                    error=repr(last),
+                )
+            else:
+                parts.append(result)
+        return parts, failures
+
+    def _process_parts(self, query: QueryLike, k: int, budget: DeadlineBudget):
+        """Per-shard results from the worker-process pool.
+
+        Every shard is submitted up front; each worker scans its own
+        read-only mmap of the store file with the shared
+        :func:`~repro.parallel.workers.scan_shard_topk` kernel, so only
+        the encoded query (a few small arrays) and the top-``k`` page
+        cross the process boundary — the feature blocks never do.
+        Results are consumed in shard order, preserving the
+        deterministic merge.
+
+        The parent-side ``shard.scan`` fault point and the retry /
+        backoff discipline wrap each shard's future (a retry resubmits
+        the shard to the pool), so process results obey the same
+        resilience contract as threads.  A worker raising
+        :class:`~repro.store.StoreBlockCorrupt` (pickled across the
+        boundary) is permanent: no resubmission, immediate failure.
+        """
+        assert self._pool is not None
+        payload = encode_query(query)
+        pool = self._pool
+        pending: Dict[int, "Future"] = {
+            index: pool.submit(index, payload, k)
+            for index in range(self._n_shards)
+        }
+        failures: List[BaseException] = []
+        parts = []
+        for index in range(self._n_shards):
+            offset = self._shard_offsets[index]
+
+            def attempt(index: int = index, offset: int = offset):
+                fault_point(_SITE_SHARD, key=str(offset))
+                future = pending.pop(index, None)
+                if future is None:  # retry after a failed attempt
+                    future = pool.submit(index, payload, k)
+                return future.result()
+
+            def on_retry(
+                attempt_no: int, error: BaseException, offset: int = offset
+            ) -> None:
+                self.metrics.increment("shard_retries")
+                add_event(
+                    "retry",
+                    stage="shard_scan",
+                    shard_offset=offset,
+                    attempt=attempt_no,
+                    error=repr(error),
+                )
+
+            try:
+                result = retry_call(
+                    attempt,
+                    self.resilience.retry,
+                    deadline=budget,
+                    on_retry=on_retry,
+                )
+            except Exception as error:
+                failures.append(error)
+                self.metrics.increment("shard_failures")
+                add_event("shard_failed", shard_offset=offset, error=repr(error))
+                continue
+            parts.append(result)
+            self.metrics.increment("store_block_reads_workers")
+        return parts, failures
+
     def _sharded_scan(
         self, query: QueryLike, k: int, budget: Optional[DeadlineBudget] = None
     ):
@@ -578,7 +819,8 @@ class RetrievalService:
         running after ``hedge_after_s`` are re-dispatched to a duplicate
         task and the copies race.  A shard that still fails is dropped
         from the merge — the remaining coverage is returned with
-        ``("shard_failed", ...)`` reasons (plus ``"deadline"`` when the
+        ``("shard_failed", ...)`` reasons (``"store_block_corrupt"`` for
+        a CRC-quarantined store block, plus ``"deadline"`` when the
         request budget had expired) for the caller to surface as
         :class:`~repro.system.ResultQuality`.  Only when *every* shard
         fails does the query itself fail.
@@ -589,70 +831,24 @@ class RetrievalService:
         """
         if budget is None:
             budget = DeadlineBudget(None, clock=self._clock)
-        last_error: Optional[BaseException] = None
-        failed = 0
-        if self._executor is None:
-            parts = [self._run_shard(query, self.vectors, 0, k, budget)]
+        if self._pool is not None:
+            parts, failures = self._process_parts(query, k, budget)
         else:
-            # Each worker runs under a copy of the caller's context so
-            # trace spans/events recorded on shard threads attach to
-            # this request's scan span (a Context can only be entered
-            # once, hence one copy per future).
-            def submit(shard: np.ndarray, offset: int) -> "Future":
-                return self._executor.submit(
-                    contextvars.copy_context().run,
-                    self._run_shard,
-                    query,
-                    shard,
-                    offset,
-                    k,
-                    budget,
-                )
-
-            copies: List[List["Future"]] = [
-                [submit(shard, offset)]
-                for shard, offset in zip(self._shards, self._shard_offsets)
-            ]
-            hedge_after = self.resilience.hedge_after_s
-            if hedge_after is not None:
-                _, stragglers = wait(
-                    [entry[0] for entry in copies],
-                    timeout=min(hedge_after, budget.remaining)
-                    if budget.remaining != float("inf")
-                    else hedge_after,
-                )
-                if stragglers and not budget.expired:
-                    for entry, shard, offset in zip(
-                        copies, self._shards, self._shard_offsets
-                    ):
-                        if entry[0] in stragglers:
-                            entry.append(submit(shard, offset))
-                            self.metrics.increment("hedges")
-                            add_event("hedge", shard_offset=offset)
-            parts = []
-            for entry, offset in zip(copies, self._shard_offsets):
-                result, errors = self._race(entry)
-                if result is None:
-                    failed += 1
-                    self.metrics.increment("shard_failures")
-                    if errors:
-                        last_error = errors[-1]
-                    add_event(
-                        "shard_failed",
-                        shard_offset=offset,
-                        error=repr(last_error) if last_error else "",
-                    )
-                else:
-                    parts.append(result)
+            parts, failures = self._thread_parts(query, k, budget)
         if not parts:
             # Zero coverage is a failed query, not a silently-empty page.
-            assert last_error is not None
-            raise last_error
+            assert failures
+            raise failures[-1]
         reasons: Tuple[str, ...] = ()
-        if failed:
-            reasons = ("shard_failed",)
+        if failures:
+            tags: List[str] = []
             if budget.expired:
-                reasons = ("deadline", "shard_failed")
+                tags.append("deadline")
+            if any(not isinstance(e, StoreBlockCorrupt) for e in failures):
+                tags.append("shard_failed")
+            if any(isinstance(e, StoreBlockCorrupt) for e in failures):
+                tags.append("store_block_corrupt")
+            reasons = tuple(tags)
         ids = np.concatenate([part[0] for part in parts])
         distances = np.concatenate([part[1] for part in parts])
         pruned = sum(part[2] for part in parts)

@@ -154,7 +154,11 @@ def retry_call(
         policy: the backoff schedule.
         deadline: optional per-request budget; expiry stops retrying.
         retryable: exception types worth another attempt (anything else
-            propagates immediately).
+            propagates immediately).  An error carrying a truthy
+            ``permanent`` attribute (e.g.
+            :class:`~repro.store.StoreBlockCorrupt`) also propagates
+            immediately — retrying it cannot succeed, so the backoff
+            budget is not spent on it.
         sleep: injectable sleep (tests replay backoff instantly).
         on_retry: ``(attempt, error)`` callback fired before each retry
             (metrics/trace hook).
@@ -164,6 +168,8 @@ def retry_call(
         try:
             return fn()
         except retryable as error:
+            if getattr(error, "permanent", False):
+                raise
             if attempt >= policy.max_attempts or (deadline is not None and deadline.expired):
                 raise
             if on_retry is not None:

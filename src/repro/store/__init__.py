@@ -1,0 +1,34 @@
+"""Memory-mapped, content-addressed feature store (see ``docs/STORE.md``).
+
+The store decouples feature *production* (datasets, extraction
+pipelines) from feature *serving*: a builder writes float32
+C-contiguous shard blocks — plus optional PCA-prefix coarse companions
+— under an epoch header with per-block CRCs, and any number of
+processes mmap the file read-only and scan shards with zero copies.
+``content_hash:epoch`` fingerprints the store for the service's
+content-addressed caches.
+"""
+
+from .builder import build_store, shard_bounds
+from .format import (
+    ALIGNMENT,
+    FORMAT_VERSION,
+    MAGIC,
+    BlockEntry,
+    StoreFormatError,
+    StoreHeader,
+)
+from .reader import FeatureStore, StoreBlockCorrupt
+
+__all__ = [
+    "ALIGNMENT",
+    "FORMAT_VERSION",
+    "MAGIC",
+    "BlockEntry",
+    "StoreHeader",
+    "StoreFormatError",
+    "FeatureStore",
+    "StoreBlockCorrupt",
+    "build_store",
+    "shard_bounds",
+]

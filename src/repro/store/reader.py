@@ -1,0 +1,313 @@
+"""Read side of the feature store: mmap, verify-on-first-access, quarantine.
+
+:class:`FeatureStore` opens a store file read-only via ``np.memmap`` and
+hands out zero-copy float32 views of its blocks.  Integrity is enforced
+lazily but strictly:
+
+* the preamble and header are validated at :meth:`FeatureStore.open`
+  (fault site ``store.open``);
+* each block's ``zlib.crc32`` is checked the *first* time the block is
+  accessed (fault site ``store.block_read``, keyed by block name) and
+  the verdict memoized — subsequent reads of a clean block cost one
+  set lookup;
+* a block that fails its CRC (or suffers an injected torn read) is
+  *quarantined*: the failure is sticky and every later access raises
+  :class:`StoreBlockCorrupt` immediately, so a damaged shard degrades
+  exactly one scan region per request instead of crashing the service
+  or being retried forever — ``StoreBlockCorrupt.permanent`` tells the
+  retry machinery not to bother.
+
+The class is deliberately safe to share across threads (all mutable
+state behind one lock) and cheap to open per *process*: worker
+processes each open their own ``FeatureStore`` over the same file and
+the OS page cache shares the physical memory between them.
+"""
+
+from __future__ import annotations
+
+import threading
+from pathlib import Path
+from typing import Dict, List, Optional, Set, Union
+
+import numpy as np
+
+from ..faults import fault_point, register_site
+from .format import BlockEntry, StoreFormatError, StoreHeader, block_crc, read_preamble
+
+__all__ = ["FeatureStore", "StoreBlockCorrupt", "StoreFormatError"]
+
+#: Chaos-injection site: fires once per :meth:`FeatureStore.open`, keyed
+#: by the file name.  Errors model a missing/unreadable store file.
+_SITE_OPEN = register_site("store.open", "feature-store open/mmap")
+
+#: Chaos-injection site: fires on every block access, keyed by the block
+#: name.  A ``corrupt`` fire models a torn read — the block is
+#: quarantined and raises :class:`StoreBlockCorrupt`; an ``error`` fire
+#: models transient I/O and is retryable.
+_SITE_BLOCK = register_site("store.block_read", "feature-store block read")
+
+
+class StoreBlockCorrupt(RuntimeError):
+    """A block failed its CRC (or a torn read was injected).
+
+    Attributes:
+        path: the store file.
+        block: the offending block name.
+        reason: short machine-readable cause (``crc_mismatch`` /
+            ``torn_read``).
+        permanent: always ``True`` — re-reading a quarantined block
+            cannot succeed, so retry layers skip their backoff budget.
+    """
+
+    permanent = True
+
+    def __init__(self, path: str, block: str, reason: str = "crc_mismatch") -> None:
+        self.path = str(path)
+        self.block = block
+        self.reason = reason
+        super().__init__(f"store block {block!r} corrupt ({reason}) in {self.path}")
+
+    def __reduce__(self):  # exceptions must survive the process boundary
+        return (StoreBlockCorrupt, (self.path, self.block, self.reason))
+
+
+class FeatureStore:
+    """A read-only, integrity-checked view over one store file.
+
+    Use :meth:`open` rather than the constructor; the constructor
+    assumes an already-parsed header.
+    """
+
+    def __init__(self, path: Path, header: StoreHeader, data_start: int) -> None:
+        self.path = Path(path)
+        self.header = header
+        self._data_start = data_start
+        self._mmap = np.memmap(self.path, dtype=np.uint8, mode="r")
+        self._lock = threading.Lock()
+        self._verified: Set[str] = set()
+        # One view object per verified block: repeated reads return the
+        # *same* ndarray, so downstream identity-keyed caches (the
+        # progressive scan contexts) stay warm across scans.
+        self._views: Dict[str, np.ndarray] = {}
+        self._quarantined: Dict[str, str] = {}
+        self._block_reads = 0
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def open(cls, path: Union[str, Path]) -> "FeatureStore":
+        """Open and validate the store at ``path`` (header only).
+
+        Raises :class:`StoreFormatError` on anything that is not a
+        well-formed store, and whatever the ``store.open`` fault site
+        injects.
+        """
+        path = Path(path)
+        fault_point(_SITE_OPEN, key=path.name)
+        try:
+            with open(path, "rb") as handle:
+                head = handle.read(1 << 20)
+            file_size = path.stat().st_size
+        except OSError as error:
+            raise StoreFormatError(f"cannot open store at {path}: {error}") from error
+        header, data_start = read_preamble(head)
+        last = max(entry.offset + entry.nbytes for entry in header.blocks)
+        if data_start + last > file_size:
+            raise StoreFormatError(
+                f"store at {path} is truncated: needs {data_start + last} bytes, "
+                f"file has {file_size}"
+            )
+        return cls(path, header, data_start)
+
+    # ------------------------------------------------------------------
+    # Identity and geometry
+    # ------------------------------------------------------------------
+
+    @property
+    def fingerprint(self) -> str:
+        """``content_hash:epoch`` — salt for content-addressed caches."""
+        return self.header.fingerprint
+
+    @property
+    def epoch(self) -> int:
+        return self.header.epoch
+
+    @property
+    def n(self) -> int:
+        """Total feature rows."""
+        return self.header.n
+
+    @property
+    def dimension(self) -> int:
+        return self.header.dimension
+
+    @property
+    def n_shards(self) -> int:
+        return self.header.n_shards
+
+    @property
+    def row_offsets(self) -> List[int]:
+        """Global row id of each shard's first row (plus the final ``n``)."""
+        return list(self.header.row_offsets)
+
+    @property
+    def coarse_dims(self) -> int:
+        return self.header.coarse_dims
+
+    @property
+    def block_reads(self) -> int:
+        """Successful block accesses served by this handle."""
+        with self._lock:
+            return self._block_reads
+
+    @property
+    def quarantined(self) -> Dict[str, str]:
+        """``{block: reason}`` for every quarantined block."""
+        with self._lock:
+            return dict(self._quarantined)
+
+    # ------------------------------------------------------------------
+    # Block access
+    # ------------------------------------------------------------------
+
+    def _raw_view(self, entry: BlockEntry) -> np.ndarray:
+        start = self._data_start + entry.offset
+        view = self._mmap[start : start + entry.nbytes].view(entry.dtype)
+        return view.reshape(entry.shape)
+
+    def block(self, name: str) -> np.ndarray:
+        """Zero-copy read-only view of the named block.
+
+        The CRC is verified on the first access and memoized; the
+        ``store.block_read`` fault site fires on *every* access, so an
+        injected torn read can strike a block that was clean so far.
+        Once a block is quarantined every access raises
+        :class:`StoreBlockCorrupt` (sticky — quarantine survives
+        retries by design).
+        """
+        entry = self.header.block(name)
+        with self._lock:
+            reason = self._quarantined.get(name)
+        if reason is not None:
+            raise StoreBlockCorrupt(self.path, name, reason)
+        token = fault_point(_SITE_BLOCK, key=name, payload=True)
+        if token is not True:
+            # The injection layer garbled the read itself: treat it as
+            # a torn block exactly like real bit rot.
+            self._quarantine(name, "torn_read")
+            raise StoreBlockCorrupt(self.path, name, "torn_read")
+        with self._lock:
+            view = self._views.get(name)
+        if view is None:
+            view = self._raw_view(entry)
+            if block_crc(view.tobytes()) != entry.crc32:
+                self._quarantine(name, "crc_mismatch")
+                raise StoreBlockCorrupt(self.path, name, "crc_mismatch")
+            with self._lock:
+                self._verified.add(name)
+                view = self._views.setdefault(name, view)
+        with self._lock:
+            self._block_reads += 1
+        return view
+
+    def _quarantine(self, name: str, reason: str) -> None:
+        with self._lock:
+            self._quarantined.setdefault(name, reason)
+
+    def shard(self, index: int) -> np.ndarray:
+        """Feature shard ``index`` as a ``(rows, p)`` float32 view."""
+        if not 0 <= index < self.n_shards:
+            raise IndexError(f"shard {index} out of range (n_shards={self.n_shards})")
+        return self.block(f"shard/{index:04d}")
+
+    def coarse(self, index: int) -> np.ndarray:
+        """PCA-prefix companion of shard ``index`` (requires coarse blocks)."""
+        if not self.coarse_dims:
+            raise KeyError("store was built without coarse blocks")
+        if not 0 <= index < self.n_shards:
+            raise IndexError(f"shard {index} out of range (n_shards={self.n_shards})")
+        return self.block(f"coarse/{index:04d}")
+
+    def coarse_projection(self):
+        """``(mean, components)`` of the coarse PCA basis."""
+        if not self.coarse_dims:
+            raise KeyError("store was built without coarse blocks")
+        return self.block("coarse/mean"), self.block("coarse/components")
+
+    def labels(self) -> Optional[np.ndarray]:
+        """The per-row labels block, or ``None`` if absent."""
+        if not self.header.has_block("labels"):
+            return None
+        return self.block("labels")
+
+    def as_array(self) -> np.ndarray:
+        """The full ``(n, p)`` float32 matrix, materialized (one copy).
+
+        For consumers that need random row access (query-by-id, index
+        construction); the scan path never calls this.
+        """
+        parts = [np.asarray(self.shard(i)) for i in range(self.n_shards)]
+        return np.ascontiguousarray(np.concatenate(parts, axis=0))
+
+    # ------------------------------------------------------------------
+    # Maintenance surface
+    # ------------------------------------------------------------------
+
+    def verify(self) -> Dict[str, str]:
+        """Re-check every block's CRC; returns ``{block: "ok" | reason}``.
+
+        Unlike :meth:`block`, verification does not consult or extend
+        the first-access memo — it always re-reads the bytes — but a
+        failure quarantines the block for every other consumer.
+        """
+        report: Dict[str, str] = {}
+        for entry in self.header.blocks:
+            with self._lock:
+                reason = self._quarantined.get(entry.name)
+            if reason is not None:
+                report[entry.name] = reason
+                continue
+            if block_crc(self._raw_view(entry).tobytes()) != entry.crc32:
+                self._quarantine(entry.name, "crc_mismatch")
+                report[entry.name] = "crc_mismatch"
+            else:
+                report[entry.name] = "ok"
+        return report
+
+    def describe(self) -> Dict[str, object]:
+        """Inspector payload: identity, geometry and the block table."""
+        return {
+            "path": str(self.path),
+            "epoch": self.epoch,
+            "content_hash": self.header.content_hash,
+            "fingerprint": self.fingerprint,
+            "n": self.n,
+            "dimension": self.dimension,
+            "dtype": self.header.dtype,
+            "n_shards": self.n_shards,
+            "row_offsets": self.row_offsets,
+            "coarse_dims": self.coarse_dims,
+            "file_bytes": int(self.path.stat().st_size),
+            "blocks": [entry.to_dict() for entry in self.header.blocks],
+        }
+
+    def stats(self) -> Dict[str, object]:
+        """Operational counters for the metrics snapshot."""
+        with self._lock:
+            return {
+                "epoch": self.epoch,
+                "n": self.n,
+                "dimension": self.dimension,
+                "n_shards": self.n_shards,
+                "blocks": len(self.header.blocks),
+                "block_reads": self._block_reads,
+                "quarantined_blocks": len(self._quarantined),
+            }
+
+    def __repr__(self) -> str:
+        return (
+            f"FeatureStore({self.path.name!r}, n={self.n}, p={self.dimension}, "
+            f"shards={self.n_shards}, epoch={self.epoch})"
+        )

@@ -1,0 +1,103 @@
+"""The canonical float32 conversion and the scan-ready guard."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import FEATURE_DTYPE, as_feature_matrix, assert_scan_ready
+from repro.datasets.gaussian import spherical_clusters
+from repro.retrieval import FeatureDatabase
+
+
+class TestAsFeatureMatrix:
+    def test_float64_converted_once(self, rng):
+        source = rng.normal(size=(40, 5))
+        matrix = as_feature_matrix(source)
+        assert matrix.dtype == FEATURE_DTYPE
+        assert matrix.flags["C_CONTIGUOUS"]
+        np.testing.assert_array_equal(matrix, source.astype(FEATURE_DTYPE))
+
+    def test_already_canonical_is_returned_as_is(self, rng):
+        source = np.ascontiguousarray(rng.normal(size=(10, 3)), dtype=FEATURE_DTYPE)
+        assert as_feature_matrix(source) is source  # zero copies
+
+    def test_fortran_order_is_fixed_up(self, rng):
+        source = np.asfortranarray(rng.normal(size=(8, 4)).astype(FEATURE_DTYPE))
+        matrix = as_feature_matrix(source)
+        assert matrix.flags["C_CONTIGUOUS"]
+        np.testing.assert_array_equal(matrix, source)
+
+    def test_feature_database_source(self, rng):
+        vectors = rng.normal(size=(30, 4))
+        database = FeatureDatabase(vectors, np.zeros(30, dtype=int))
+        np.testing.assert_array_equal(
+            as_feature_matrix(database), vectors.astype(FEATURE_DTYPE)
+        )
+
+    def test_gaussian_sample_source(self, rng):
+        sample = spherical_clusters(n_clusters=2, dim=3, n_per_cluster=10, rng=rng)
+        np.testing.assert_array_equal(
+            as_feature_matrix(sample),
+            np.asarray(sample.points, dtype=FEATURE_DTYPE),
+        )
+
+    def test_nested_lists_accepted(self):
+        matrix = as_feature_matrix([[1.0, 2.0], [3.0, 4.0]])
+        assert matrix.shape == (2, 2)
+        assert matrix.dtype == FEATURE_DTYPE
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            np.zeros((2, 2, 2)),  # 3-d
+            np.zeros((0, 4)),  # no rows
+            np.zeros((4, 0)),  # no columns
+        ],
+        ids=["3d", "no-rows", "no-cols"],
+    )
+    def test_bad_shapes_rejected(self, bad):
+        with pytest.raises(ValueError):
+            as_feature_matrix(bad)
+
+    def test_non_finite_rejected(self):
+        bad = np.ones((3, 3))
+        bad[1, 1] = np.nan
+        with pytest.raises(ValueError, match="non-finite"):
+            as_feature_matrix(bad)
+        bad[1, 1] = np.inf
+        with pytest.raises(ValueError, match="non-finite"):
+            as_feature_matrix(bad)
+
+    def test_float32_overflow_rejected(self):
+        bad = np.ones((2, 2)) * 1e300  # finite in float64, inf in float32
+        with pytest.raises(ValueError, match="float32"):
+            as_feature_matrix(bad)
+
+
+class TestAssertScanReady:
+    def test_passes_canonical_and_returns_same_object(self, rng):
+        matrix = as_feature_matrix(rng.normal(size=(5, 3)))
+        assert assert_scan_ready(matrix) is matrix
+
+    def test_rejects_float64(self, rng):
+        with pytest.raises(ValueError, match="re-conversion"):
+            assert_scan_ready(rng.normal(size=(5, 3)))
+
+    def test_rejects_non_contiguous(self, rng):
+        matrix = as_feature_matrix(rng.normal(size=(6, 4)))
+        with pytest.raises(ValueError, match="C-contiguous"):
+            assert_scan_ready(matrix[:, ::2])
+
+    def test_rejects_wrong_ndim(self):
+        with pytest.raises(ValueError, match="2-d"):
+            assert_scan_ready(np.zeros(4, dtype=FEATURE_DTYPE))
+
+    def test_rejects_non_ndarray(self):
+        with pytest.raises(TypeError):
+            assert_scan_ready([[1.0, 2.0]])
+
+    def test_never_copies(self, rng):
+        # Metadata-only check: the data buffer is untouched and shared.
+        matrix = as_feature_matrix(rng.normal(size=(5, 3)))
+        assert assert_scan_ready(matrix, name="shard 0").base is matrix.base

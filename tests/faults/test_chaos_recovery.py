@@ -28,8 +28,15 @@ SCALE = chaos_scale()
 K = 10
 
 
-def run_workload(database, fault_plan, *, workload_seed=0, shards=4):
-    """Round-robin query/feedback rounds; returns (records, fire stats)."""
+def run_workload(database, fault_plan, *, workload_seed=0, shards=4, store_path=None):
+    """Round-robin query/feedback rounds; returns (records, fire stats).
+
+    With ``store_path`` the service is backed by that feature-store
+    file (arming the ``store.*`` fault sites); the fault-free baseline
+    must use the same path so both runs rank identical float32 bytes.
+    """
+    from repro.store import FeatureStore
+
     rng = np.random.default_rng(workload_seed)
     query_ids = [
         int(q) for q in rng.integers(0, database.size, size=SCALE["sessions"])
@@ -37,7 +44,7 @@ def run_workload(database, fault_plan, *, workload_seed=0, shards=4):
     records = []
     with tempfile.TemporaryDirectory() as checkpoint_dir:
         service = RetrievalService(
-            database,
+            FeatureStore.open(store_path) if store_path is not None else database,
             k=K,
             use_index=False,
             n_shards=shards,
@@ -118,13 +125,28 @@ def check_contract(baseline, faulted):
 
 @pytest.mark.parametrize("plan_name", chaos_plan_names())
 @pytest.mark.parametrize("fault_seed", SCALE["seeds"])
-def test_byte_identical_or_degraded(database, plan_name, fault_seed):
+def test_byte_identical_or_degraded(database, plan_name, fault_seed, tmp_path):
     plan = builtin_plan(plan_name, seed=fault_seed)
-    baseline, _ = run_workload(database, None)
-    faulted, stats = run_workload(database, plan)
+    store_path = None
+    if plan_name == "torn-block":
+        # This plan targets the store.* sites, so the workload must be
+        # served from an actual store file.
+        from repro.store import build_store
+
+        store_path = tmp_path / "chaos.qcs"
+        build_store(database, store_path, n_shards=4)
+    baseline, _ = run_workload(database, None, store_path=store_path)
+    faulted, stats = run_workload(database, plan, store_path=store_path)
     counts = check_contract(baseline, faulted)
     assert stats["total_fires"] > 0, "plan never fired: workload too small"
     assert counts["exact"] > 0, "no page survived to be byte-checked"
+    if plan_name == "torn-block":
+        degraded_reasons = {
+            reason
+            for record in faulted
+            for reason in record.get("reasons", ())
+        }
+        assert "store_block_corrupt" in degraded_reasons
 
 
 @pytest.mark.parametrize("plan_name", ["worker-crash", "corrupt-checkpoint"])

@@ -169,3 +169,79 @@ class TestValues:
 
     def test_empty_snapshot_yields_valid_empty_exposition(self):
         assert prometheus_text({}) == "\n"
+
+
+class TestStoreAndPoolFamilies:
+    """The feature-store / worker-pool families added by the store PR."""
+
+    def make_store_snapshot(self):
+        snapshot = make_snapshot()
+        snapshot["counters"]["store_block_reads_workers"] = 12
+        snapshot["feature_store"] = {
+            "epoch": 3,
+            "n": 120,
+            "dimension": 3,
+            "n_shards": 4,
+            "blocks": 5,
+            "block_reads": 17,
+            "quarantined_blocks": 1,
+            "fingerprint": "deadbeef:3",
+        }
+        snapshot["worker_pool"] = {
+            "workers": 4,
+            "busy": 2,
+            "peak_busy": 4,
+            "tasks_completed": 31,
+            "tasks_failed": 1,
+        }
+        return snapshot
+
+    def test_block_reads_counter(self):
+        families = parse_exposition(prometheus_text(self.make_store_snapshot()))
+        family = families["repro_store_block_reads_total"]
+        assert family["type"] == "counter"
+        assert family["samples"][0][2] == "17"
+
+    def test_worker_pool_busy_gauge(self):
+        families = parse_exposition(prometheus_text(self.make_store_snapshot()))
+        family = families["repro_worker_pool_busy"]
+        assert family["type"] == "gauge"
+        assert family["samples"][0][2] == "2"
+
+    def test_info_sections_exported_and_grammar_clean(self):
+        text = prometheus_text(self.make_store_snapshot())
+        families = parse_exposition(text)  # grammar holds with both sections
+        store_info = {
+            labels["field"]: value
+            for _, labels, value in families["repro_feature_store_info"]["samples"]
+        }
+        assert store_info["quarantined_blocks"] == "1"
+        assert "fingerprint" not in store_info  # strings cannot be samples
+        pool_info = {
+            labels["field"]: value
+            for _, labels, value in families["repro_worker_pool_info"]["samples"]
+        }
+        assert pool_info["tasks_completed"] == "31"
+        assert pool_info["peak_busy"] == "4"
+
+    def test_absent_sections_emit_no_store_families(self):
+        families = parse_exposition(prometheus_text(make_snapshot()))
+        assert "repro_store_block_reads_total" not in families
+        assert "repro_worker_pool_busy" not in families
+        assert "repro_worker_pool_info" not in families
+
+    def test_live_service_snapshot_round_trips(self, tmp_path):
+        import numpy as np
+
+        from repro.service import RetrievalService
+        from repro.store import FeatureStore, build_store
+
+        rng = np.random.default_rng(3)
+        path = build_store(rng.normal(size=(64, 4)), tmp_path / "m.qcs", n_shards=2)
+        store = FeatureStore.open(path)
+        with RetrievalService(store, k=5, use_index=False) as service:
+            session = service.create_session(np.zeros(4))
+            service.query(session)
+            text = prometheus_text(service.metrics_snapshot())
+        families = parse_exposition(text)
+        assert float(families["repro_store_block_reads_total"]["samples"][0][2]) > 0

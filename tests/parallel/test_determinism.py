@@ -1,0 +1,142 @@
+"""Cross-backend determinism: the scan backend can never change a ranking.
+
+The acceptance-critical property of the store/process subsystem: for
+the same store file, the serial in-memory scan, the thread-sharded
+store scan and the multi-process store scan return **byte-identical**
+pages — ids and distances — across covariance schemes, PCA-reduced
+bases and tie-heavy data.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import QclusterConfig
+from repro.core.pca import PCA
+from repro.core.progressive import exact_top_k
+from repro.retrieval import FeatureDatabase, QclusterMethod, SimulatedUser
+from repro.service import RetrievalService
+from repro.store import FeatureStore, build_store
+
+K = 10
+ROUNDS = 2
+QUERY_IDS = (0, 45, 110)
+
+
+def make_vectors(tie_heavy=False):
+    rng = np.random.default_rng(42)
+    centers = np.array(
+        [[0.0, 0.0, 0.0, 0.0], [5.0, 0.0, 0.0, 0.0], [0.0, 5.0, 0.0, 5.0]]
+    )
+    vectors = np.concatenate(
+        [center + 0.5 * rng.standard_normal((40, 4)) for center in centers]
+    )
+    if tie_heavy:
+        # Snap to a coarse grid: many rows collide exactly, so rankings
+        # are decided by the (distance, id) tie-break alone.
+        vectors = np.round(vectors * 2.0) / 2.0
+    labels = np.repeat(np.arange(3), 40)
+    return vectors, labels
+
+
+def run_pages(service, database, query_ids=QUERY_IDS, rounds=ROUNDS):
+    """Drive feedback sessions; returns the raw page bytes per round."""
+    transcript = []
+    for query_id in query_ids:
+        session = service.create_session(int(query_id))
+        user = SimulatedUser(database, database.category_of(int(query_id)))
+        page = service.query(session)
+        transcript.append((page.ids.tobytes(), page.distances.tobytes()))
+        for _ in range(rounds):
+            judgment = user.judge(page.ids)
+            page = service.feedback(session, judgment.relevant_indices, judgment.scores)
+            transcript.append((page.ids.tobytes(), page.distances.tobytes()))
+    return transcript
+
+
+def backend_transcripts(store_path, database, scheme):
+    """The same workload through all three scan backends."""
+    factory = lambda: QclusterMethod(QclusterConfig(scheme=scheme))
+    store = FeatureStore.open(store_path)
+    transcripts = {}
+    with RetrievalService(
+        FeatureDatabase(store.as_array(), database.labels),
+        method_factory=factory,
+        k=K,
+        use_index=False,
+        n_shards=1,
+    ) as service:
+        transcripts["serial"] = run_pages(service, database)
+    with RetrievalService(
+        FeatureStore.open(store_path),
+        method_factory=factory,
+        k=K,
+        use_index=False,
+        scan_backend="threads",
+    ) as service:
+        transcripts["threads"] = run_pages(service, database)
+    with RetrievalService(
+        FeatureStore.open(store_path),
+        method_factory=factory,
+        k=K,
+        use_index=False,
+        scan_backend="processes",
+        max_workers=2,
+    ) as service:
+        transcripts["processes"] = run_pages(service, database)
+    return transcripts
+
+
+@pytest.mark.parametrize("scheme", ["diagonal", "inverse"])
+def test_backends_byte_identical_across_schemes(tmp_path, scheme):
+    vectors, labels = make_vectors()
+    database = FeatureDatabase(vectors, labels)
+    store_path = build_store(database, tmp_path / "d.qcs", n_shards=4)
+    transcripts = backend_transcripts(store_path, database, scheme)
+    assert transcripts["threads"] == transcripts["serial"]
+    assert transcripts["processes"] == transcripts["serial"]
+
+
+def test_backends_byte_identical_on_tie_heavy_data(tmp_path):
+    vectors, labels = make_vectors(tie_heavy=True)
+    database = FeatureDatabase(vectors, labels)
+    store_path = build_store(database, tmp_path / "t.qcs", n_shards=5)
+    transcripts = backend_transcripts(store_path, database, "diagonal")
+    assert transcripts["threads"] == transcripts["serial"]
+    assert transcripts["processes"] == transcripts["serial"]
+
+
+def test_backends_byte_identical_on_pca_reduced_basis(tmp_path):
+    vectors, labels = make_vectors()
+    reduced = PCA(n_components=2).fit(vectors).transform(vectors)
+    database = FeatureDatabase(reduced, labels)
+    store_path = build_store(database, tmp_path / "p.qcs", n_shards=3)
+    transcripts = backend_transcripts(store_path, database, "diagonal")
+    assert transcripts["threads"] == transcripts["serial"]
+    assert transcripts["processes"] == transcripts["serial"]
+
+
+class TestShardMergeProperty:
+    """Per-shard top-k + (distance, id) merge == single-matrix top-k."""
+
+    @pytest.mark.parametrize("n_shards", [1, 2, 5])
+    @pytest.mark.parametrize("tie_heavy", [False, True])
+    def test_merge_equals_full_scan(self, rng, n_shards, tie_heavy):
+        n = 97
+        distances = rng.uniform(0.0, 1.0, size=n)
+        if tie_heavy:
+            distances = np.round(distances * 8.0) / 8.0
+        bounds = np.linspace(0, n, n_shards + 1).astype(int)
+        ids_parts, dist_parts = [], []
+        for i in range(n_shards):
+            lo, hi = bounds[i], bounds[i + 1]
+            top = exact_top_k(distances[lo:hi], min(K, hi - lo))
+            ids_parts.append(top + lo)
+            dist_parts.append(distances[lo:hi][top])
+        candidate_ids = np.concatenate(ids_parts)
+        candidate_dist = np.concatenate(dist_parts)
+        merged = exact_top_k(candidate_dist, K, tie_break=candidate_ids)
+        full = exact_top_k(distances, K)
+        np.testing.assert_array_equal(candidate_ids[merged], full)
+        np.testing.assert_array_equal(candidate_dist[merged], distances[full])

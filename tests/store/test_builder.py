@@ -1,0 +1,126 @@
+"""Store builder: one-copy ingest, epoch discipline, coarse companions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.pca import PCA
+from repro.datasets import FEATURE_DTYPE
+from repro.datasets.gaussian import spherical_clusters
+from repro.retrieval import FeatureDatabase
+from repro.store import FeatureStore, build_store
+from repro.store.builder import shard_bounds
+
+
+@pytest.fixture
+def vectors(rng):
+    return rng.normal(size=(200, 6))
+
+
+class TestShardBounds:
+    def test_partition_covers_everything(self):
+        bounds = shard_bounds(100, 3)
+        assert bounds[0] == 0 and bounds[-1] == 100
+        assert bounds == sorted(bounds)
+
+    def test_rejects_bad_counts(self):
+        with pytest.raises(ValueError):
+            shard_bounds(10, 0)
+        with pytest.raises(ValueError):
+            shard_bounds(3, 5)
+
+
+class TestBuild:
+    def test_raw_array_round_trips(self, tmp_path, vectors):
+        path = build_store(vectors, tmp_path / "a.qcs", n_shards=3)
+        store = FeatureStore.open(path)
+        assert store.n == 200 and store.dimension == 6 and store.n_shards == 3
+        np.testing.assert_array_equal(
+            store.as_array(), vectors.astype(FEATURE_DTYPE)
+        )
+
+    def test_shards_are_float32_contiguous(self, tmp_path, vectors):
+        build_store(vectors, tmp_path / "a.qcs", n_shards=2)
+        store = FeatureStore.open(tmp_path / "a.qcs")
+        for i in range(store.n_shards):
+            shard = store.shard(i)
+            assert shard.dtype == FEATURE_DTYPE
+            assert shard.flags["C_CONTIGUOUS"]
+
+    def test_feature_database_source_carries_labels(self, tmp_path, vectors):
+        labels = np.repeat(np.arange(4), 50)
+        database = FeatureDatabase(vectors, labels)
+        build_store(database, tmp_path / "db.qcs", n_shards=2)
+        store = FeatureStore.open(tmp_path / "db.qcs")
+        np.testing.assert_array_equal(store.labels(), labels)
+
+    def test_gaussian_sample_source(self, tmp_path, rng):
+        sample = spherical_clusters(n_clusters=2, dim=4, n_per_cluster=30, rng=rng)
+        build_store(sample, tmp_path / "g.qcs")
+        store = FeatureStore.open(tmp_path / "g.qcs")
+        np.testing.assert_array_equal(
+            store.as_array(), np.asarray(sample.points, dtype=FEATURE_DTYPE)
+        )
+
+    def test_no_labels_block_for_raw_arrays(self, tmp_path, vectors):
+        build_store(vectors, tmp_path / "a.qcs")
+        assert FeatureStore.open(tmp_path / "a.qcs").labels() is None
+
+    def test_no_tmp_file_left_behind(self, tmp_path, vectors):
+        build_store(vectors, tmp_path / "a.qcs", n_shards=2)
+        assert [p.name for p in tmp_path.iterdir()] == ["a.qcs"]
+
+
+class TestEpoch:
+    def test_fresh_store_is_epoch_zero(self, tmp_path, vectors):
+        build_store(vectors, tmp_path / "a.qcs")
+        assert FeatureStore.open(tmp_path / "a.qcs").epoch == 0
+
+    def test_rebuild_bumps_epoch_and_moves_fingerprint(self, tmp_path, vectors):
+        path = tmp_path / "a.qcs"
+        build_store(vectors, path)
+        first = FeatureStore.open(path)
+        build_store(vectors, path)  # identical bytes, new epoch
+        second = FeatureStore.open(path)
+        assert second.epoch == first.epoch + 1
+        assert second.header.content_hash == first.header.content_hash
+        assert second.fingerprint != first.fingerprint
+
+    def test_pinned_epoch(self, tmp_path, vectors):
+        build_store(vectors, tmp_path / "a.qcs", epoch=9)
+        assert FeatureStore.open(tmp_path / "a.qcs").epoch == 9
+
+    def test_content_hash_moves_with_data(self, tmp_path, vectors):
+        build_store(vectors, tmp_path / "a.qcs")
+        build_store(vectors + 1.0, tmp_path / "b.qcs")
+        a = FeatureStore.open(tmp_path / "a.qcs")
+        b = FeatureStore.open(tmp_path / "b.qcs")
+        assert a.header.content_hash != b.header.content_hash
+
+
+class TestCoarse:
+    def test_coarse_blocks_match_pca_projection(self, tmp_path, vectors):
+        build_store(vectors, tmp_path / "c.qcs", n_shards=2, coarse_dims=3)
+        store = FeatureStore.open(tmp_path / "c.qcs")
+        assert store.coarse_dims == 3
+        matrix = np.ascontiguousarray(vectors, dtype=FEATURE_DTYPE)
+        expected = PCA(n_components=3).fit(matrix).transform(matrix)
+        got = np.concatenate([store.coarse(i) for i in range(store.n_shards)])
+        np.testing.assert_array_equal(got, expected.astype(FEATURE_DTYPE))
+        mean, components = store.coarse_projection()
+        assert mean.shape == (6,)
+        assert components.shape == (3, 6)
+
+    def test_coarse_absent_by_default(self, tmp_path, vectors):
+        build_store(vectors, tmp_path / "a.qcs")
+        store = FeatureStore.open(tmp_path / "a.qcs")
+        assert store.coarse_dims == 0
+        with pytest.raises(KeyError):
+            store.coarse(0)
+        with pytest.raises(KeyError):
+            store.coarse_projection()
+
+    def test_coarse_dims_bounds_checked(self, tmp_path, vectors):
+        with pytest.raises(ValueError):
+            build_store(vectors, tmp_path / "a.qcs", coarse_dims=7)

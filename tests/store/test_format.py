@@ -1,0 +1,129 @@
+"""Store format layer: preamble, header JSON, block table, hashing."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.store import ALIGNMENT, FORMAT_VERSION, MAGIC, BlockEntry, StoreHeader
+from repro.store.format import (
+    StoreFormatError,
+    align_up,
+    block_crc,
+    content_hash_of,
+    pack_preamble,
+    read_preamble,
+)
+
+
+def make_header(epoch: int = 0) -> StoreHeader:
+    data = np.arange(12, dtype="<f4").reshape(6, 2).tobytes()
+    entry = BlockEntry(
+        name="shard/0000",
+        dtype="<f4",
+        shape=(6, 2),
+        offset=0,
+        nbytes=len(data),
+        crc32=block_crc(data),
+    )
+    return StoreHeader(
+        epoch=epoch,
+        n=6,
+        dimension=2,
+        dtype="<f4",
+        row_offsets=(0, 6),
+        coarse_dims=0,
+        blocks=(entry,),
+        content_hash=content_hash_of([data]),
+    )
+
+
+class TestAlignment:
+    def test_align_up(self):
+        assert align_up(0) == 0
+        assert align_up(1) == ALIGNMENT
+        assert align_up(ALIGNMENT) == ALIGNMENT
+        assert align_up(ALIGNMENT + 1) == 2 * ALIGNMENT
+
+
+class TestHeaderRoundTrip:
+    def test_json_round_trip(self):
+        header = make_header(epoch=3)
+        restored = StoreHeader.from_json(header.to_json())
+        assert restored == header
+        assert restored.fingerprint == header.fingerprint
+
+    def test_fingerprint_is_content_hash_colon_epoch(self):
+        header = make_header(epoch=7)
+        assert header.fingerprint == f"{header.content_hash}:7"
+
+    def test_fingerprint_moves_with_epoch(self):
+        assert make_header(0).fingerprint != make_header(1).fingerprint
+
+    def test_block_lookup(self):
+        header = make_header()
+        assert header.block("shard/0000").nbytes == 48
+        assert header.has_block("shard/0000")
+        assert not header.has_block("labels")
+        with pytest.raises(KeyError):
+            header.block("nope")
+
+    def test_validate_accepts_well_formed(self):
+        make_header().validate()
+
+    def test_from_json_rejects_garbage(self):
+        with pytest.raises(StoreFormatError):
+            StoreHeader.from_json(b"not json at all {")
+
+    def test_from_json_rejects_missing_fields(self):
+        with pytest.raises(StoreFormatError):
+            StoreHeader.from_json(json.dumps({"epoch": 1}).encode())
+
+
+class TestPreamble:
+    def test_pack_read_round_trip(self):
+        header = make_header()
+        blob = pack_preamble(header.to_json())
+        assert blob.startswith(MAGIC)
+        assert len(blob) % ALIGNMENT == 0
+        restored, data_start = read_preamble(blob + b"\x00" * 16)
+        assert restored == header
+        assert data_start == len(blob)
+
+    def test_bad_magic_rejected(self):
+        blob = bytearray(pack_preamble(make_header().to_json()))
+        blob[0] ^= 0xFF
+        with pytest.raises(StoreFormatError):
+            read_preamble(bytes(blob))
+
+    def test_truncated_header_rejected(self):
+        blob = pack_preamble(make_header().to_json())
+        with pytest.raises(StoreFormatError):
+            read_preamble(blob[: len(blob) // 2])
+
+    def test_version_recorded(self):
+        blob = pack_preamble(make_header().to_json())
+        # Preamble layout: magic(8) | version(u32) | header_len(u32).
+        version = int.from_bytes(blob[8:12], "little")
+        assert version == FORMAT_VERSION
+
+
+class TestContentHash:
+    def test_deterministic_and_order_sensitive(self):
+        a, b = b"alpha-block", b"beta-block"
+        assert content_hash_of([a, b]) == content_hash_of([a, b])
+        assert content_hash_of([a, b]) != content_hash_of([b, a])
+
+    def test_sensitive_to_single_bit(self):
+        data = np.zeros(64, dtype="<f4").tobytes()
+        flipped = bytearray(data)
+        flipped[17] ^= 0x01
+        assert content_hash_of([data]) != content_hash_of([bytes(flipped)])
+
+    def test_crc_detects_flip(self):
+        data = b"0123456789" * 10
+        damaged = bytearray(data)
+        damaged[5] ^= 0x40
+        assert block_crc(data) != block_crc(bytes(damaged))

@@ -1,0 +1,185 @@
+"""Store reader: zero-copy views, CRC quarantine, fault sites."""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.datasets import FEATURE_DTYPE
+from repro.faults import FaultPlan, FaultSpec, activate_faults
+from repro.service.resilience import RetryPolicy, retry_call
+from repro.store import FeatureStore, StoreBlockCorrupt, StoreFormatError, build_store
+
+
+@pytest.fixture
+def store_path(tmp_path, rng):
+    vectors = rng.normal(size=(120, 5))
+    return build_store(
+        vectors, tmp_path / "r.qcs", n_shards=3, labels=np.arange(120) % 4
+    )
+
+
+def corrupt_block_on_disk(path, name="shard/0001"):
+    """Flip one byte inside the named block of the store file."""
+    store = FeatureStore.open(path)
+    entry = store.header.block(name)
+    offset = store._data_start + entry.offset + entry.nbytes // 2
+    data = bytearray(path.read_bytes())
+    data[offset] ^= 0xFF
+    path.write_bytes(bytes(data))
+
+
+class TestViews:
+    def test_shard_views_are_zero_copy_mmap(self, store_path):
+        store = FeatureStore.open(store_path)
+        shard = store.shard(0)
+        assert shard.dtype == FEATURE_DTYPE
+        assert shard.flags["C_CONTIGUOUS"]
+        assert not shard.flags["OWNDATA"]  # a view into the mmap, not a copy
+
+    def test_repeated_reads_return_the_same_object(self, store_path):
+        store = FeatureStore.open(store_path)
+        assert store.shard(1) is store.shard(1)
+
+    def test_as_array_concatenates_in_row_order(self, store_path):
+        store = FeatureStore.open(store_path)
+        full = store.as_array()
+        assert full.shape == (120, 5)
+        bounds = store.row_offsets
+        for i in range(store.n_shards):
+            np.testing.assert_array_equal(
+                full[bounds[i] : bounds[i + 1]], store.shard(i)
+            )
+
+    def test_labels_round_trip(self, store_path):
+        store = FeatureStore.open(store_path)
+        np.testing.assert_array_equal(store.labels(), np.arange(120) % 4)
+
+    def test_shard_index_bounds_checked(self, store_path):
+        store = FeatureStore.open(store_path)
+        with pytest.raises(IndexError):
+            store.shard(3)
+
+
+class TestOpenValidation:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(StoreFormatError):
+            FeatureStore.open(tmp_path / "absent.qcs")
+
+    def test_not_a_store(self, tmp_path):
+        path = tmp_path / "junk.qcs"
+        path.write_bytes(b"definitely not a store file" * 10)
+        with pytest.raises(StoreFormatError):
+            FeatureStore.open(path)
+
+    def test_truncated_data_detected_at_open(self, store_path):
+        data = store_path.read_bytes()
+        store_path.write_bytes(data[: len(data) - 64])
+        with pytest.raises(StoreFormatError, match="truncated"):
+            FeatureStore.open(store_path)
+
+
+class TestCorruption:
+    def test_crc_mismatch_raises_and_quarantines(self, store_path):
+        corrupt_block_on_disk(store_path, "shard/0001")
+        store = FeatureStore.open(store_path)
+        store.shard(0)  # clean shards still serve
+        with pytest.raises(StoreBlockCorrupt) as excinfo:
+            store.shard(1)
+        assert excinfo.value.block == "shard/0001"
+        assert excinfo.value.reason == "crc_mismatch"
+        assert store.quarantined == {"shard/0001": "crc_mismatch"}
+
+    def test_quarantine_is_sticky(self, store_path):
+        corrupt_block_on_disk(store_path)
+        store = FeatureStore.open(store_path)
+        for _ in range(3):
+            with pytest.raises(StoreBlockCorrupt):
+                store.shard(1)
+        assert store.stats()["quarantined_blocks"] == 1
+
+    def test_verify_reports_every_block(self, store_path):
+        corrupt_block_on_disk(store_path)
+        store = FeatureStore.open(store_path)
+        report = store.verify()
+        assert report["shard/0001"] == "crc_mismatch"
+        clean = {name for name, reason in report.items() if reason == "ok"}
+        assert clean == {"shard/0000", "shard/0002", "labels"}
+
+    def test_corruption_is_permanent_for_retry_layers(self, store_path):
+        corrupt_block_on_disk(store_path)
+        store = FeatureStore.open(store_path)
+        sleeps = []
+        with pytest.raises(StoreBlockCorrupt):
+            retry_call(
+                lambda: store.shard(1),
+                RetryPolicy(max_attempts=5),
+                sleep=sleeps.append,
+            )
+        assert sleeps == []  # permanent: no backoff budget was burned
+
+    def test_error_pickles_across_process_boundaries(self, store_path):
+        error = StoreBlockCorrupt(str(store_path), "shard/0001", "torn_read")
+        clone = pickle.loads(pickle.dumps(error))
+        assert isinstance(clone, StoreBlockCorrupt)
+        assert (clone.path, clone.block, clone.reason) == (
+            str(store_path),
+            "shard/0001",
+            "torn_read",
+        )
+        assert clone.permanent
+
+
+class TestFaultSites:
+    def test_injected_torn_read_quarantines(self, store_path):
+        store = FeatureStore.open(store_path)
+        plan = FaultPlan(
+            specs=(FaultSpec("store.block_read", "corrupt", key="shard/0002", at=(1,)),)
+        )
+        with activate_faults(plan):
+            store.shard(0)  # other blocks unaffected
+            with pytest.raises(StoreBlockCorrupt) as excinfo:
+                store.shard(2)
+        assert excinfo.value.reason == "torn_read"
+        # Quarantine survives deactivation: the read itself was torn.
+        with pytest.raises(StoreBlockCorrupt):
+            store.shard(2)
+
+    def test_injected_open_error(self, store_path):
+        plan = FaultPlan(specs=(FaultSpec("store.open", "error", at=(1,)),))
+        with activate_faults(plan):
+            with pytest.raises(Exception):
+                FeatureStore.open(store_path)
+            FeatureStore.open(store_path)  # second attempt is clean
+
+    def test_transient_block_error_is_not_sticky(self, store_path):
+        store = FeatureStore.open(store_path)
+        plan = FaultPlan(
+            specs=(FaultSpec("store.block_read", "error", key="shard/0000", at=(1,)),)
+        )
+        with activate_faults(plan):
+            with pytest.raises(Exception):
+                store.shard(0)
+            shard = store.shard(0)  # transient: the retry succeeds
+        assert shard.shape[0] > 0
+        assert store.quarantined == {}
+
+
+class TestStatsAndDescribe:
+    def test_block_reads_counted(self, store_path):
+        store = FeatureStore.open(store_path)
+        assert store.stats()["block_reads"] == 0
+        store.shard(0)
+        store.shard(0)
+        store.shard(1)
+        assert store.stats()["block_reads"] == 3
+
+    def test_describe_lists_blocks(self, store_path):
+        store = FeatureStore.open(store_path)
+        description = store.describe()
+        names = {entry["name"] for entry in description["blocks"]}
+        assert names == {"shard/0000", "shard/0001", "shard/0002", "labels"}
+        assert description["fingerprint"] == store.fingerprint
+        assert description["file_bytes"] == store_path.stat().st_size

@@ -206,3 +206,95 @@ class TestExportCollection:
         assert len(images) == 12
         assert names == ["category_000", "category_001", "category_002"]
         assert images[0].shape == (10, 10)
+
+
+class TestStoreCommand:
+    BUILD_SMALL = [
+        "store", "build",
+        "--categories", "3",
+        "--images-per-category", "10",
+        "--seed", "7",
+    ]
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(self.BUILD_SMALL + ["--output", "x.qcs"])
+        assert args.store_command == "build"
+        assert args.shards is None
+        assert args.coarse_dims == 0
+
+    def test_chaos_store_flag(self):
+        args = build_parser().parse_args(["chaos", "--plan", "torn-block", "--store"])
+        assert args.store is True
+        assert not build_parser().parse_args(["chaos"]).store
+
+    def test_build_verify_inspect_round_trip(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "cli.qcs"
+        exit_code = main(self.BUILD_SMALL + ["--output", str(path), "--shards", "3"])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "shards=3" in output
+        assert "fingerprint:" in output
+
+        assert main(["store", "verify", str(path)]) == 0
+        assert "blocks verified" in capsys.readouterr().out
+
+        assert main(["store", "inspect", str(path)]) == 0
+        description = json.loads(capsys.readouterr().out)
+        assert description["n"] == 30
+        assert description["n_shards"] == 3
+        assert {entry["name"] for entry in description["blocks"]} >= {
+            "shard/0000", "shard/0001", "shard/0002", "labels",
+        }
+
+    def test_build_with_coarse_companions(self, capsys, tmp_path):
+        path = tmp_path / "coarse.qcs"
+        exit_code = main(
+            self.BUILD_SMALL + ["--output", str(path), "--coarse-dims", "2"]
+        )
+        assert exit_code == 0
+        assert "coarse_dims=2" in capsys.readouterr().out
+
+    def test_build_rejects_oversized_coarse_dims(self, capsys, tmp_path):
+        exit_code = main(
+            self.BUILD_SMALL
+            + ["--output", str(tmp_path / "bad.qcs"), "--coarse-dims", "99"]
+        )
+        assert exit_code == 2
+        assert "cannot build store" in capsys.readouterr().err
+
+    def test_verify_flags_corruption(self, capsys, tmp_path):
+        path = tmp_path / "corrupt.qcs"
+        assert main(self.BUILD_SMALL + ["--output", str(path), "--shards", "2"]) == 0
+        capsys.readouterr()
+        data = bytearray(path.read_bytes())
+        data[-1] ^= 0xFF  # damage the final block's payload
+        path.write_bytes(bytes(data))
+        assert main(["store", "verify", str(path)]) == 1
+        captured = capsys.readouterr()
+        assert "crc_mismatch" in captured.out + captured.err
+
+    def test_inspect_rejects_non_store(self, capsys, tmp_path):
+        junk = tmp_path / "junk.qcs"
+        junk.write_bytes(b"not a store")
+        assert main(["store", "inspect", str(junk)]) == 1
+        assert "invalid store" in capsys.readouterr().err
+
+    def test_torn_block_chaos_over_a_real_store(self, capsys):
+        exit_code = main(
+            [
+                "chaos",
+                "--plan", "torn-block",
+                "--store",
+                "--categories", "3",
+                "--images-per-category", "15",
+                "--iterations", "2",
+                "--k", "10",
+                "--sessions", "3",
+                "--shards", "2",
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "resilience contract holds" in output
