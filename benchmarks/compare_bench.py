@@ -22,7 +22,10 @@ Usage::
 ``--record`` rewrites the baseline file; commit the result when a PR
 intentionally changes the algorithmic profile.  ``--suite store`` runs
 the feature-store workload instead (a memory-mapped store served
-through both scan backends) against ``baselines/store.json``.
+through both scan backends) against ``baselines/store.json``;
+``--suite batching`` gates the cross-session batched scan (explicit
+micro-batches byte-compared against their solo scans) against
+``baselines/batching.json``.
 """
 
 from __future__ import annotations
@@ -58,6 +61,9 @@ DIRECTIONS = {
     "store.precision_at_k": "higher",
     "store.exact_page_fraction": "higher",
     "store.block_reads_per_query": "lower",
+    "batching.page_match_fraction": "higher",
+    "batching.coarse_page_match_fraction": "higher",
+    "batching.pruned_fraction": "higher",
 }
 
 # Sized so each workload is informative: >2048 rows per scan shard and
@@ -205,12 +211,104 @@ def collect_store_metrics() -> dict:
     return {name: round(float(value), 6) for name, value in metrics.items()}
 
 
+def collect_batching_metrics() -> dict:
+    """The cross-session batching workload, reduced to exact metrics.
+
+    Timing-free by construction — queue timing can't be reproduced
+    across runners, but the batched scan's *output* can: explicit
+    micro-batches go through :meth:`RetrievalService.scan_batch` (the
+    same stacked scan the executor dispatches) and every page is
+    compared byte-for-byte against that query's solo scan kernel.  The
+    gate is the match fraction (must stay 1.0) over a deterministic
+    query mix — each session's round-0 single-point query plus its
+    adaptive multi-cluster feedback queries — once against the
+    in-memory float64 matrix and once against a feature store carrying
+    PCA ``coarse`` companion blocks (the level-0 source unique to the
+    batched store scan), plus the batched scan's pruning fraction.
+    """
+    import tempfile
+
+    from repro.parallel import scan_shard_topk, shard_coarse_level0
+    from repro.store import FeatureStore, build_store
+
+    database = build_database()
+
+    # Harvest the deterministic query mix by replaying the feedback
+    # protocol with the method driven directly (no service involved).
+    rng = np.random.default_rng(SEED + 2)
+    queries = []
+    for query_id in rng.integers(0, database.size, size=N_QUERIES):
+        method = QclusterMethod(QclusterConfig(scheme="inverse"))
+        user = SimulatedUser(database, database.category_of(int(query_id)))
+        query = method.start(database.vectors[int(query_id)])
+        for _ in range(N_ROUNDS):
+            queries.append(query)
+            ranked = scan_shard_topk(query, database.vectors, 0, K)[0]
+            judgment = user.judge(ranked)
+            if judgment.count == 0:
+                break
+            query = method.feedback(
+                database.vectors[judgment.relevant_indices], judgment.scores
+            )
+
+    def match_fraction(service, solo_pages) -> float:
+        matches = 0
+        for start in range(0, len(queries), 8):
+            chunk = queries[start : start + 8]
+            batched = service.scan_batch(chunk, [K] * len(chunk))
+            for position, (ids, distances, _reasons) in enumerate(batched):
+                solo_ids, solo_distances = solo_pages[start + position]
+                matches += (
+                    ids.tobytes() == solo_ids.tobytes()
+                    and distances.tobytes() == solo_distances.tobytes()
+                )
+        return matches / len(queries)
+
+    metrics = {}
+    solo_pages = [
+        scan_shard_topk(query, database.vectors, 0, K)[:2] for query in queries
+    ]
+    with RetrievalService(
+        database, k=K, use_index=False, n_shards=1, cache_size=0
+    ) as service:
+        metrics["batching.page_match_fraction"] = match_fraction(
+            service, solo_pages
+        )
+        counters = service.metrics_snapshot()["counters"]
+        pruned = counters.get("candidates_pruned", 0)
+        refined = counters.get("candidates_refined", 0)
+        metrics["batching.pruned_fraction"] = (
+            pruned / (pruned + refined) if pruned + refined else 0.0
+        )
+
+    with tempfile.TemporaryDirectory() as tmp_dir:
+        store_path = build_store(
+            database, Path(tmp_dir) / "bench.qcs", n_shards=1, coarse_dims=8
+        )
+        store = FeatureStore.open(store_path)
+        coarse = shard_coarse_level0(store, 0)
+        solo_pages = [
+            scan_shard_topk(query, store.shard(0), 0, K, coarse=coarse)[:2]
+            for query in queries
+        ]
+        with RetrievalService(store, k=K, use_index=False, cache_size=0) as service:
+            metrics["batching.coarse_page_match_fraction"] = match_fraction(
+                service, solo_pages
+            )
+
+    return {name: round(float(value), 6) for name, value in metrics.items()}
+
+
 #: Suite name → (metric collector, default committed baseline).
 SUITES = {
     "smoke": (collect_metrics, DEFAULT_BASELINE),
     "store": (
         collect_store_metrics,
         REPO_ROOT / "benchmarks" / "baselines" / "store.json",
+    ),
+    "batching": (
+        collect_batching_metrics,
+        REPO_ROOT / "benchmarks" / "baselines" / "batching.json",
     ),
 }
 

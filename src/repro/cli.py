@@ -9,6 +9,11 @@ Subcommands:
 * ``service`` — drive N concurrent simulated users through the
   :class:`~repro.service.RetrievalService` and print throughput plus
   the operational metrics snapshot.
+* ``serve`` — stand up the asyncio HTTP front-end
+  (:class:`~repro.service.RetrievalServer`) over a generated
+  collection, with cross-session query batching on by default;
+  ``--self-test`` instead runs the closed-loop load generator against
+  an ephemeral server and prints throughput.
 * ``obs`` — run a traced feedback workload and dump the observability
   surface: rendered span trees of the last N rounds, the raw JSONL
   event log, or a Prometheus text-format exposition.
@@ -18,7 +23,8 @@ Subcommands:
   byte-identical to its fault-free twin or explicitly marked degraded.
   ``--store`` runs both replays over a memory-mapped feature store so
   the ``store.*`` fault sites (torn block reads, CRC quarantine) are
-  armed.
+  armed; ``--batching`` routes both replays through the batching
+  executor so the ``batch.execute`` fault site is armed.
 * ``store`` — build a memory-mapped feature store from a generated
   collection (``store build``), re-check every block CRC
   (``store verify``), or dump its header, geometry and block table
@@ -216,6 +222,75 @@ def cmd_service(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    """Serve the retrieval API over HTTP, batching compatible queries."""
+    from .service import BatchingConfig, RetrievalServer, RetrievalService
+
+    database = _build_database(args)
+    batching = (
+        False
+        if args.no_batching
+        else BatchingConfig(
+            max_batch=args.batch_size,
+            max_wait_s=args.batch_wait_ms / 1e3,
+            max_pending=args.max_pending,
+            shed_threshold=args.shed_threshold,
+        )
+    )
+    service = RetrievalService(
+        database,
+        k=args.k,
+        use_index=args.use_index,
+        capacity=args.capacity,
+        cache_size=args.cache_size,
+        batching=batching,
+    )
+    server = RetrievalServer(
+        service, host=args.host, port=args.port, max_concurrent=args.max_concurrent
+    )
+    try:
+        if args.self_test:
+            from .service import closed_loop_load
+
+            host, port = server.start_in_background()
+            print(f"self-test server on http://{host}:{port}")
+            report = closed_loop_load(
+                host,
+                port,
+                sessions=args.loadgen_sessions,
+                rounds=args.loadgen_rounds,
+                k=min(args.k, 10),
+                tenants=max(1, args.loadgen_sessions // 8),
+            )
+            server.stop_background()
+            print(
+                f"closed loop: {args.loadgen_sessions} sessions x "
+                f"{args.loadgen_rounds} rounds -> {report['queries']} queries "
+                f"in {report['wall_s']:.2f}s"
+            )
+            print(
+                f"qps={report['qps']:.1f} p50={report['p50_s'] * 1e3:.2f}ms "
+                f"p95={report['p95_s'] * 1e3:.2f}ms "
+                f"errors={len(report['errors'])}"
+            )
+            stats = service.batching.stats() if service.batching else {}
+            if stats:
+                print(
+                    f"batches={stats['batches']} "
+                    f"mean_batch_size={stats['mean_batch_size']:.2f} "
+                    f"max_batch_size={stats['max_batch_size']}"
+                )
+            return 1 if report["errors"] else 0
+        print(f"serving on http://{args.host}:{args.port} (Ctrl-C to stop)")
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:
+            print("\nshutting down")
+        return 0
+    finally:
+        service.shutdown()
+
+
 def cmd_store(args) -> int:
     """Build / verify / inspect a memory-mapped feature store."""
     import json
@@ -312,6 +387,7 @@ def cmd_chaos(args) -> int:
                 capacity=args.capacity,
                 checkpoint_dir=checkpoint_dir,
                 cache_size=args.cache_size,
+                batching=args.batching,
             )
             context = (
                 activate_faults(fault_plan)
@@ -637,6 +713,59 @@ def build_parser() -> argparse.ArgumentParser:
     )
     service.set_defaults(func=cmd_service)
 
+    serve = subparsers.add_parser(
+        "serve", help="asyncio HTTP front-end with cross-session query batching"
+    )
+    add_collection_arguments(serve)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8080, help="listen port (0 = ephemeral)"
+    )
+    serve.add_argument(
+        "--max-concurrent", type=int, default=64, help="admission-control limit"
+    )
+    serve.add_argument("--capacity", type=int, default=256, help="max live sessions")
+    serve.add_argument("--cache-size", type=int, default=128, help="result-cache pages")
+    serve.add_argument(
+        "--batch-size", type=int, default=32, help="micro-batch size ceiling"
+    )
+    serve.add_argument(
+        "--batch-wait-ms", type=float, default=2.0, help="batch collection window"
+    )
+    serve.add_argument(
+        "--max-pending", type=int, default=256, help="backpressure queue bound"
+    )
+    serve.add_argument(
+        "--shed-threshold",
+        type=int,
+        default=None,
+        help="queue depth above which queries degrade to approximate",
+    )
+    serve.add_argument(
+        "--no-batching",
+        action="store_true",
+        help="serve each query through the unbatched thread-pool path",
+    )
+    serve.add_argument(
+        "--use-index",
+        action="store_true",
+        help="serve through the HybridTree (bypasses the batching executor; "
+        "default: exact sharded scan)",
+    )
+    serve.add_argument(
+        "--self-test",
+        action="store_true",
+        help="run the closed-loop load generator against an ephemeral "
+        "server, print throughput, and exit",
+    )
+    serve.add_argument(
+        "--loadgen-sessions", type=int, default=16, help="self-test sessions"
+    )
+    serve.add_argument(
+        "--loadgen-rounds", type=int, default=3, help="self-test feedback rounds"
+    )
+    serve.set_defaults(func=cmd_serve)
+
     obs = subparsers.add_parser(
         "obs", help="trace a feedback workload and dump spans/events/metrics"
     )
@@ -671,7 +800,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--plan",
         default="worker-crash",
         help="builtin plan name (worker-crash, slow-shard, corrupt-checkpoint, "
-        "torn-block)",
+        "torn-block, batch-abort)",
     )
     chaos.add_argument(
         "--plan-file", default=None, help="load the fault plan from a JSON file"
@@ -701,6 +830,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="serve both replays from a memory-mapped feature store, arming "
         "the store.* fault sites",
+    )
+    chaos.add_argument(
+        "--batching",
+        action="store_true",
+        help="route both replays through the batching executor, arming the "
+        "batch.execute fault site",
     )
     chaos.set_defaults(func=cmd_chaos)
 

@@ -68,6 +68,8 @@ __all__ = [
     "MatmulKernel",
     "CompiledQuery",
     "KernelCache",
+    "batch_tile_bounds",
+    "batched_per_cluster_distances",
     "compile_query",
     "ensure_compiled",
     "default_kernel_cache",
@@ -87,6 +89,12 @@ _TILE_ELEMENTS = 1 << 19
 #: size is read from memory once and rescanned (subtract/square/dot)
 #: for every cluster while it is still cache-hot.
 _DIAGONAL_TILE_ELEMENTS = 1 << 15
+
+#: Target element count of one *multi-query* tile: a database block
+#: this size is read from main memory once per micro-batch and scored
+#: against every batched query's kernels while it is still cache-hot,
+#: instead of once per query.
+_BATCH_TILE_ELEMENTS = 1 << 18
 
 
 def _as_matrix(database: np.ndarray) -> np.ndarray:
@@ -365,6 +373,63 @@ class CompiledQuery:
         if self._bound_infos is None:
             self._bound_infos = [kernel.bound_info() for kernel in self.kernels]
         return self._bound_infos
+
+
+def batched_per_cluster_distances(
+    compiled_queries: Sequence["CompiledQuery"], database: np.ndarray
+) -> List[np.ndarray]:
+    """Per-cluster distance matrices for several queries in one pass.
+
+    The multi-query analogue of
+    :meth:`CompiledQuery.per_cluster_distances`: the database is walked
+    in cache-sized row tiles and each tile is scored against *every*
+    batched query's kernels while the rows are still hot, so a
+    micro-batch of B compatible queries reads the feature matrix from
+    main memory once instead of B times.  The tile boundaries are a
+    pure function of ``(n, p)`` — never of the batch size — and a
+    degenerate tail is folded into the last full tile (a one-row GEMM
+    may take a different BLAS accumulation path than the same row
+    inside a panel).  Every caller scoring the same matrix therefore
+    evaluates the exact same per-tile kernel calls, so the returned
+    matrices are **bitwise identical** whether the batch holds one
+    query or thirty-two.
+
+    Args:
+        compiled_queries: the batch, already compiled (see
+            :func:`ensure_compiled`); queries may differ in cluster
+            count and scheme.
+        database: one ``(N, p)`` feature matrix shared by the batch.
+
+    Returns:
+        One ``(g_i, N)`` distance matrix per query, in batch order.
+    """
+    if not compiled_queries:
+        return []
+    database = _as_matrix(database)
+    n, p = database.shape
+    outs = [
+        np.empty((compiled.size, n)) for compiled in compiled_queries
+    ]
+    for start, stop in batch_tile_bounds(n, p):
+        block = database[start:stop]
+        for compiled, out in zip(compiled_queries, outs):
+            out[:, start:stop] = compiled.per_cluster_distances(block)
+    return outs
+
+
+def batch_tile_bounds(n: int, p: int) -> List[Tuple[int, int]]:
+    """Row-tile ``(start, stop)`` bounds shared by every batched scorer.
+
+    A pure function of the matrix geometry so solo and batched scans
+    over the same rows make identical per-tile kernel calls; the tail
+    is merged into the preceding tile, keeping every tile at least
+    ``_BATCH_TILE_ELEMENTS // p`` rows tall.
+    """
+    tile = max(1, _BATCH_TILE_ELEMENTS // max(1, p))
+    bounds = [(start, min(start + tile, n)) for start in range(0, n, tile)]
+    if len(bounds) > 1 and bounds[-1][1] - bounds[-1][0] < tile:
+        bounds[-2:] = [(bounds[-2][0], n)]
+    return bounds
 
 
 def _point_diagonal(point) -> Optional[np.ndarray]:

@@ -45,10 +45,11 @@ falls back to its classic full scan), mirroring ``use_kernels``.
 from __future__ import annotations
 
 import threading
+import weakref
 from collections import OrderedDict
 from contextlib import contextmanager
-from dataclasses import dataclass
-from typing import Iterator, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -60,12 +61,14 @@ __all__ = [
     "exact_top_k",
     "prune_threshold",
     "default_schedule",
+    "CoarseLevel0",
     "ProgressivePlan",
     "ScanStats",
     "ProgressiveResult",
     "ProgressiveScan",
     "plan_for",
     "progressive_topk",
+    "progressive_topk_batch",
     "progressive_enabled",
     "progressive_min_rows",
     "use_progressive",
@@ -101,6 +104,25 @@ _MIN_REFINE_BLOCK = 256
 #: Per-plan cap on cached per-database scan contexts (each shard of a
 #: sharded scan keys its own context).
 _MAX_CONTEXTS = 8
+
+#: Safety shave (in *root*-distance space) applied to coarse-companion
+#: bounds: the stored PCA projections are float32, so the computed
+#: ``‖z − z_c‖`` can overshoot the true projected distance by rounding
+#: noise.  Shaving a relative margin of this size before squaring keeps
+#: a coarse bound from ever exceeding the distance it bounds by more
+#: than the pruning slack absorbs (float32 eps is ≈6e-8; 1e-5 leaves
+#: two orders of magnitude of headroom).
+_COARSE_MARGIN = 1e-5
+
+#: Row budget of an approximate (load-shed) scan, as a multiple of k:
+#: only the best-bounded ``_APPROX_BUDGET·k`` candidates are refined.
+_APPROX_BUDGET = 4
+
+#: Target element count of one batched level-0 product tile
+#: ``(rows, Σ_i g_i·t0)`` — large enough that the per-tile Python
+#: bookkeeping amortizes, small enough that the buffer stays far from
+#: memory pressure.
+_BATCH_LEVEL0_TILE_ELEMENTS = 1 << 21
 
 _UNSET = object()
 
@@ -466,6 +488,139 @@ def plan_for(compiled: CompiledQuery) -> Optional[ProgressivePlan]:
 
 
 # ----------------------------------------------------------------------
+# Coarse companion blocks as a level-0 bound source
+# ----------------------------------------------------------------------
+
+
+class CoarseLevel0:
+    """Precomputed PCA projections serving as level-0 lower bounds.
+
+    The feature store can carry ``coarse/NNNN`` companion blocks: the
+    shard rows projected onto the dataset's top ``c`` principal
+    directions, ``z = (x − μ) V'`` with orthonormal rows ``V`` of shape
+    ``(c, p)``.  Because an orthogonal projection never lengthens a
+    vector, every cluster with smallest inverse-covariance eigenvalue
+    ``λ_min`` satisfies
+
+        d²(x) ≥ λ_min · ‖x − c‖² ≥ λ_min · ‖P(x − c)‖²
+              = λ_min · ‖z − z_c‖²,   z_c = (c − μ) V',
+
+    so the *stored* projections replace the per-query level-0 prefix
+    transform of :func:`progressive_topk` — the dominant full-database
+    GEMM of a store-backed scan — with one small ``(N, c) @ (c, g)``
+    product against precomputed data.  The projections are float32, so
+    the computed root distance is shaved by :data:`_COARSE_MARGIN`
+    (relative to the participating magnitudes) before squaring; the
+    shave can only weaken a bound, never invalidate it, and the exact
+    path is untouched, so rankings stay byte-identical either way.
+
+    Args:
+        projected: ``(N, c)`` projected rows (the store's coarse block;
+            float32 accepted and promoted exactly).
+        mean: the projection's centering vector ``μ`` of shape ``(p,)``.
+        components: the orthonormal component rows ``V`` of shape
+            ``(c, p)``.
+    """
+
+    def __init__(
+        self, projected: np.ndarray, mean: np.ndarray, components: np.ndarray
+    ) -> None:
+        self.z = np.ascontiguousarray(projected, dtype=float)
+        if self.z.ndim != 2:
+            raise ValueError(f"projected must be 2-D, got shape {self.z.shape}")
+        self.mean = np.ascontiguousarray(mean, dtype=float)
+        self.components = np.ascontiguousarray(components, dtype=float)
+        if self.components.shape != (self.z.shape[1], self.mean.shape[0]):
+            raise ValueError(
+                f"components shape {self.components.shape} inconsistent with "
+                f"{self.z.shape[1]} projected dims over {self.mean.shape[0]} features"
+            )
+        self.row_norms = np.einsum("ij,ij->i", self.z, self.z)
+        self.row_scales = np.sqrt(self.row_norms)
+        self._lock = threading.Lock()
+        self._cluster_stats: "weakref.WeakKeyDictionary" = (
+            weakref.WeakKeyDictionary()
+        )
+
+    def matches(self, n_rows: int, dimension: int) -> bool:
+        """Whether this block covers an ``(n_rows, dimension)`` scan."""
+        return (
+            self.z.shape[0] == n_rows
+            and self.components.shape[1] == dimension
+            and self.z.shape[1] > 0
+        )
+
+    def _stats_for(self, plan: "ProgressivePlan"):
+        """Per-cluster ``(z_c, ‖z_c‖, λ_min)`` operands, cached per plan.
+
+        Keyed weakly by the plan object itself, so a recycled ``id()``
+        after garbage collection can never alias another plan's
+        centers (bound validity depends on the pairing being right).
+        """
+        with self._lock:
+            cached = self._cluster_stats.get(plan)
+            if cached is not None:
+                return cached
+        centers = np.stack([prefix.center for prefix in plan.prefixes])
+        lambdas = np.array(
+            [
+                prefix.lambda_min
+                if isinstance(prefix, _WhitenedPrefix)
+                else float(prefix.weights.min()) if prefix.weights.size else 0.0
+                for prefix in plan.prefixes
+            ]
+        )
+        projected_centers = (centers - self.mean) @ self.components.T
+        center_norms = np.einsum("ij,ij->i", projected_centers, projected_centers)
+        cached = (
+            projected_centers,
+            np.sqrt(center_norms),
+            center_norms,
+            np.maximum(lambdas, 0.0),
+        )
+        with self._lock:
+            self._cluster_stats[plan] = cached
+        return cached
+
+    def lower_bounds(self, plans: Sequence["ProgressivePlan"]) -> List[np.ndarray]:
+        """Per-cluster level-0 bounds for one or more plans, one GEMM.
+
+        Every plan's projected cluster centers are stacked so the whole
+        micro-batch shares a single ``(N, c) @ (c, Σ g_i)`` product —
+        the cross-query amortization the batching executor exists for.
+
+        Returns one ``(g_i, N)`` bound matrix per plan, in order.
+        """
+        stats = [self._stats_for(plan) for plan in plans]
+        if not stats:
+            return []
+        all_centers = np.concatenate([entry[0] for entry in stats])
+        # Expansion form: ‖z − z_c‖² = ‖z‖² − 2 z·z_c + ‖z_c‖², with the
+        # cross term for every query and cluster in one product.
+        cross = self.z @ all_centers.T
+        results: List[np.ndarray] = []
+        offset = 0
+        for projected_centers, center_scales, center_norms, lambdas in stats:
+            g = projected_centers.shape[0]
+            block = cross[:, offset : offset + g]
+            offset += g
+            raw = self.row_norms[:, None] - 2.0 * block + center_norms[None, :]
+            np.maximum(raw, 0.0, out=raw)
+            np.sqrt(raw, out=raw)
+            # Shave the float32 rounding headroom in root space, then
+            # square back; clamped at zero so a tiny distance yields a
+            # (valid, vacuous) zero bound rather than a negative one.
+            raw -= _COARSE_MARGIN * (
+                self.row_scales[:, None] + center_scales[None, :] + 1.0
+            )
+            np.maximum(raw, 0.0, out=raw)
+            np.multiply(raw, raw, out=raw)
+            raw *= lambdas[None, :]
+            results.append(np.ascontiguousarray(raw.T))
+        return results
+
+
+# ----------------------------------------------------------------------
 # The progressive scan
 # ----------------------------------------------------------------------
 
@@ -481,6 +636,9 @@ class ScanStats:
         schedule: the prefix schedule used.
         survivors_per_level: candidates still alive after the filter at
             each schedule level (before block-wise refinement).
+        level0: where the level-0 bounds came from — ``"prefix"`` (the
+            plan's own transform), ``"coarse"`` (the store's PCA
+            companion blocks) or ``"full"`` (no filtering happened).
     """
 
     filtered: int
@@ -488,6 +646,7 @@ class ScanStats:
     pruned: int
     schedule: Tuple[int, ...]
     survivors_per_level: Tuple[int, ...]
+    level0: str = "prefix"
 
     @property
     def refine_fraction(self) -> float:
@@ -497,30 +656,31 @@ class ScanStats:
 
 @dataclass(frozen=True)
 class ProgressiveResult:
-    """Exact top-k (indices sorted by ``(distance, index)``) plus stats."""
+    """Exact top-k (indices sorted by ``(distance, index)``) plus stats.
+
+    ``exact`` is ``False`` only for an explicitly requested approximate
+    (load-shed) scan: the returned distances are still true distances,
+    but only a bound-selected candidate subset was considered.
+    """
 
     indices: np.ndarray
     distances: np.ndarray
     stats: ScanStats
+    exact: bool = field(default=True)
 
 
 def _full_scan_stats(n: int) -> ScanStats:
     return ScanStats(
-        filtered=n, refined=n, pruned=0, schedule=(), survivors_per_level=()
+        filtered=n, refined=n, pruned=0, schedule=(), survivors_per_level=(),
+        level0="full",
     )
 
 
-def progressive_topk(
-    vectors: np.ndarray, query, k: int
-) -> Optional[ProgressiveResult]:
-    """Exact top-``k`` of ``query`` over ``vectors`` by filter-and-refine.
+def _prepare(vectors: np.ndarray, query, k: int):
+    """Eligibility gates shared by the solo and batched entry points.
 
-    Returns ``None`` when the progressive path does not apply (layer
-    disabled, kernels disabled, scan too small, ``k`` too close to
-    ``N``, query without per-cluster structure, or no eligible plan) —
-    callers then fall back to their classic full scan.  When it does
-    apply, the result is byte-identical to
-    ``exact_top_k(query.distances(vectors), k)``.
+    Returns ``(combine, plan)`` when the progressive path applies to
+    this ``(vectors, query, k)`` triple, else ``None``.
     """
     if not _ENABLED or not _kernels.kernels_enabled():
         return None
@@ -536,15 +696,42 @@ def progressive_topk(
     plan = plan_for(compiled)
     if plan is None:
         return None
-    schedule = plan.schedule
-    if len(schedule) < 2:
+    if len(plan.schedule) < 2:
         return None
+    return combine, plan
 
-    # --- Filter: lower-bound every candidate on the first t0 coords.
-    context = plan.scan_context(vectors)
-    t0 = schedule[0]
-    per_cluster = context.prefix_distances(vectors, 0, t0)
-    lower = np.asarray(combine(per_cluster))
+
+def _scan_from_level0(
+    vectors: np.ndarray,
+    query,
+    combine,
+    plan: ProgressivePlan,
+    context: _ScanContext,
+    k: int,
+    lower: np.ndarray,
+    per_cluster0: Optional[np.ndarray],
+    ranges: Sequence[Tuple[int, int]],
+    level0: str,
+    approximate: bool = False,
+) -> ProgressiveResult:
+    """Seed / escalate / refine from precomputed level-0 bounds.
+
+    Args:
+        lower: ``(N,)`` aggregate lower bounds for every candidate.
+        per_cluster0: the ``(g, N)`` per-cluster values ``lower`` came
+            from *when they are prefix partial sums* (the escalation
+            accumulator then continues from them); ``None`` when the
+            level-0 bounds are not additive with the prefix ranges
+            (the coarse-companion source) — accumulation then restarts
+            at zero and ``ranges`` must begin at coordinate 0.
+        ranges: escalation coordinate ranges ``(lo, hi)``, applied
+            additively in order.
+        approximate: serve a load-shed page — refine only the best
+            ``_APPROX_BUDGET·k`` bounded candidates and return with
+            ``exact=False`` (distances are still true distances).
+    """
+    n = vectors.shape[0]
+    schedule = plan.schedule
 
     # --- Seed the threshold: refine the k most promising candidates.
     seed = np.argpartition(lower, k - 1)[:k]
@@ -558,18 +745,60 @@ def progressive_topk(
     refined_mask = np.zeros(n, dtype=bool)
     refined_mask[seed] = True
 
+    if approximate:
+        # Load-shed mode: spend a fixed exact-evaluation budget on the
+        # best-bounded candidates instead of guaranteeing the scan.
+        budget_rows = min(n, max(_APPROX_BUDGET * k, _MIN_REFINE_BLOCK))
+        if budget_rows >= n:
+            candidates = np.arange(n)
+        else:
+            candidates = np.argpartition(lower, budget_rows - 1)[:budget_rows]
+        candidates = candidates[~refined_mask[candidates]]
+        if candidates.shape[0]:
+            candidate_distances = np.asarray(query.distances(vectors[candidates]))
+            refined += int(candidates.shape[0])
+            merged_ids = np.concatenate([best_ids, candidates])
+            merged_distances = np.concatenate(
+                [best_distances, candidate_distances]
+            )
+            top = exact_top_k(merged_distances, k, tie_break=merged_ids)
+            best_ids = merged_ids[top]
+            best_distances = merged_distances[top]
+        stats = ScanStats(
+            filtered=n,
+            refined=refined,
+            pruned=n - refined,
+            schedule=schedule,
+            survivors_per_level=(int(candidates.shape[0]),),
+            level0=level0,
+        )
+        add_event(
+            "progressive_scan",
+            filtered=stats.filtered,
+            refined=stats.refined,
+            pruned=stats.pruned,
+            approximate=True,
+            level0=level0,
+        )
+        return ProgressiveResult(
+            indices=best_ids, distances=best_distances, stats=stats, exact=False
+        )
+
     alive = np.nonzero(~refined_mask & (lower <= prune_threshold(tau)))[0]
     survivors_per_level = [int(alive.shape[0])]
 
-    # --- Escalate: tighten surviving bounds through the mid levels.
-    per_cluster_alive = per_cluster[:, alive]
+    # --- Escalate: tighten surviving bounds through the ranges.
+    per_cluster_alive = (
+        np.zeros((plan.size, alive.shape[0]))
+        if per_cluster0 is None
+        else per_cluster0[:, alive]
+    )
     bounds = lower[alive]
-    t_prev = t0
-    for t_next in schedule[1:-1]:
+    for lo, hi in ranges:
         if alive.shape[0] == 0:
             break
         per_cluster_alive = per_cluster_alive + context.prefix_distances(
-            vectors[alive], t_prev, t_next
+            vectors[alive], lo, hi
         )
         bounds = np.asarray(combine(per_cluster_alive))
         keep = bounds <= prune_threshold(tau)
@@ -577,7 +806,6 @@ def progressive_topk(
         per_cluster_alive = per_cluster_alive[:, keep]
         bounds = bounds[keep]
         survivors_per_level.append(int(alive.shape[0]))
-        t_prev = t_next
 
     # --- Refine: exact distances for survivors, best bounds first, in
     # blocks; every refined block can shrink tau and prune the rest.
@@ -612,6 +840,7 @@ def progressive_topk(
         pruned=n - refined,
         schedule=schedule,
         survivors_per_level=tuple(survivors_per_level),
+        level0=level0,
     )
     add_event(
         "progressive_scan",
@@ -620,10 +849,196 @@ def progressive_topk(
         pruned=stats.pruned,
         schedule=list(schedule),
         survivors_per_level=list(stats.survivors_per_level),
+        level0=level0,
     )
     return ProgressiveResult(
         indices=best_ids, distances=best_distances, stats=stats
     )
+
+
+def _mid_ranges(schedule: Tuple[int, ...]) -> List[Tuple[int, int]]:
+    """The escalation ranges between level 0 and the final (exact) level."""
+    return [
+        (schedule[i], schedule[i + 1]) for i in range(len(schedule) - 2)
+    ]
+
+
+def progressive_topk(
+    vectors: np.ndarray, query, k: int, *, coarse: Optional[CoarseLevel0] = None
+) -> Optional[ProgressiveResult]:
+    """Exact top-``k`` of ``query`` over ``vectors`` by filter-and-refine.
+
+    Returns ``None`` when the progressive path does not apply (layer
+    disabled, kernels disabled, scan too small, ``k`` too close to
+    ``N``, query without per-cluster structure, or no eligible plan) —
+    callers then fall back to their classic full scan.  When it does
+    apply, the result is byte-identical to
+    ``exact_top_k(query.distances(vectors), k)``.
+
+    Args:
+        coarse: optional precomputed :class:`CoarseLevel0` projections
+            (the store's PCA companion blocks) replacing the level-0
+            prefix transform; ignored when its shape does not cover
+            this scan.  Bounds change, rankings never do.
+    """
+    prep = _prepare(vectors, query, k)
+    if prep is None:
+        return None
+    combine, plan = prep
+    schedule = plan.schedule
+    context = plan.scan_context(vectors)
+    t0 = schedule[0]
+    n = vectors.shape[0]
+
+    if coarse is not None and coarse.matches(n, vectors.shape[1]):
+        # Level 0 from the stored projections: no full-database GEMM at
+        # all.  The bounds are not prefix partial sums, so escalation
+        # restarts the accumulator at coordinate 0 for the survivors.
+        per_cluster = coarse.lower_bounds([plan])[0]
+        lower = np.asarray(combine(per_cluster))
+        return _scan_from_level0(
+            vectors, query, combine, plan, context, k, lower, None,
+            [(0, t0)] + _mid_ranges(schedule), "coarse",
+        )
+
+    # --- Filter: lower-bound every candidate on the first t0 coords.
+    per_cluster = context.prefix_distances(vectors, 0, t0)
+    lower = np.asarray(combine(per_cluster))
+    return _scan_from_level0(
+        vectors, query, combine, plan, context, k, lower, per_cluster,
+        _mid_ranges(schedule), "prefix",
+    )
+
+
+def _batched_prefix_level0(
+    vectors: np.ndarray,
+    plans: Sequence[ProgressivePlan],
+    contexts: Sequence[_ScanContext],
+) -> List[np.ndarray]:
+    """Level-0 prefix values for several plans in one stacked pass.
+
+    Concatenates every plan's ``(0, t0)`` whitened operands into one
+    wide ``(p, Σ_i m_i·t0_i)`` matrix so each database tile feeds a
+    single GEMM covering the whole micro-batch, then splits the
+    products back per plan (the same expanded ``x·C − c·C`` arithmetic
+    as :meth:`_ScanContext.prefix_distances`).  Diagonal clusters are
+    scored exactly on the same hot tile.  Values can differ from the
+    solo path by summation-order ulps only — they feed the slacked
+    pruning threshold, never a returned distance.
+    """
+    n = vectors.shape[0]
+    outs = [np.empty((plan.size, n)) for plan in plans]
+    entries = []  # (out, plan, column offset, width)
+    blocks: List[np.ndarray] = []
+    offset_parts: List[np.ndarray] = []
+    column = 0
+    for out, plan, context in zip(outs, plans, contexts):
+        t0 = plan.schedule[0]
+        stacked, offsets = context._stacked_range(0, t0)
+        width = stacked.shape[1]
+        blocks.append(stacked)
+        offset_parts.append(offsets)
+        entries.append((out, plan, column, width, t0))
+        column += width
+    big = np.ascontiguousarray(np.concatenate(blocks, axis=1))
+    offsets_all = np.concatenate(offset_parts)
+    tile = max(1, _BATCH_LEVEL0_TILE_ELEMENTS // max(1, big.shape[1]))
+    for start in range(0, n, tile):
+        stop = min(start + tile, n)
+        rows = vectors[start:stop]
+        product = rows @ big
+        product -= offsets_all
+        np.multiply(product, product, out=product)
+        for out, plan, lo, width, t0 in entries:
+            sums = product[:, lo : lo + width].reshape(
+                stop - start, len(plan._whitened), t0
+            ).sum(axis=2)
+            for position, (row, _) in enumerate(plan._whitened):
+                out[row, start:stop] = sums[:, position]
+            for row, prefix in plan._diagonal:
+                centered = rows - prefix.center
+                np.multiply(centered, centered, out=centered)
+                out[row, start:stop] = centered @ prefix.weights
+    return outs
+
+
+def progressive_topk_batch(
+    vectors: np.ndarray,
+    queries: Sequence[object],
+    ks: Sequence[int],
+    *,
+    coarse: Optional[CoarseLevel0] = None,
+    approximate: Optional[Sequence[bool]] = None,
+) -> List[Optional[ProgressiveResult]]:
+    """Filter-and-refine several queries over one matrix, sharing passes.
+
+    The batched counterpart of :func:`progressive_topk`: all eligible
+    queries share one level-0 pass — either a single stacked prefix
+    GEMM over the whole micro-batch (the database is read from memory
+    once instead of once per query) or, when ``coarse`` covers the
+    scan, one small product against the store's precomputed PCA
+    projections.  Seeding, escalation and refinement then run per
+    query through each query's own compiled kernels, so every returned
+    page is byte-identical to its solo :func:`progressive_topk` /
+    full-scan counterpart.
+
+    Args:
+        queries: the micro-batch (need not share cluster counts or
+            schemes; each is gated independently).
+        ks: per-query page sizes.
+        coarse: optional :class:`CoarseLevel0` covering ``vectors``.
+        approximate: per-query load-shed flags (see
+            :func:`progressive_topk`'s ``exact=False`` contract).
+
+    Returns:
+        One :class:`ProgressiveResult` per query, or ``None`` in the
+        slots where the progressive path does not apply (the caller
+        falls back to a full scan for those queries).
+    """
+    count = len(queries)
+    if approximate is None:
+        approximate = [False] * count
+    results: List[Optional[ProgressiveResult]] = [None] * count
+    prepared = []  # (index, combine, plan)
+    for index, (query, k) in enumerate(zip(queries, ks)):
+        prep = _prepare(vectors, query, k)
+        if prep is not None:
+            prepared.append((index, prep[0], prep[1]))
+    if not prepared:
+        return results
+    n = vectors.shape[0]
+    plans = [plan for _, _, plan in prepared]
+    contexts = [plan.scan_context(vectors) for plan in plans]
+    use_coarse = coarse is not None and coarse.matches(n, vectors.shape[1])
+    if use_coarse:
+        assert coarse is not None
+        bound_blocks = coarse.lower_bounds(plans)
+        accumulators: List[Optional[np.ndarray]] = [None] * len(prepared)
+    else:
+        bound_blocks = _batched_prefix_level0(vectors, plans, contexts)
+        accumulators = list(bound_blocks)
+    for position, (index, combine, plan) in enumerate(prepared):
+        schedule = plan.schedule
+        ranges = (
+            [(0, schedule[0])] + _mid_ranges(schedule)
+            if use_coarse
+            else _mid_ranges(schedule)
+        )
+        lower = np.asarray(combine(bound_blocks[position]))
+        results[index] = _scan_from_level0(
+            vectors,
+            queries[index],
+            combine,
+            plan,
+            contexts[position],
+            ks[index],
+            lower,
+            accumulators[position],
+            ranges,
+            "coarse" if use_coarse else "prefix",
+            approximate=bool(approximate[index]),
+        )
+    return results
 
 
 class ProgressiveScan:

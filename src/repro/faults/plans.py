@@ -1,6 +1,6 @@
 """The builtin chaos plans the CI matrix replays on every PR.
 
-Three seeded scenarios, each aimed at a distinct recovery mechanism:
+Seeded scenarios, each aimed at a distinct recovery mechanism:
 
 * ``worker-crash`` — shard-pool tasks and index node reads raise;
   exercised paths: bounded-backoff shard retries, the
@@ -20,6 +20,12 @@ Three seeded scenarios, each aimed at a distinct recovery mechanism:
   explicit ``store_block_corrupt`` degradation of the affected scans
   while every other shard keeps serving.  Replay store-backed
   (``chaos --plan torn-block --store``) to arm the store sites.
+* ``batch-abort`` — micro-batch executions abort or stall mid-flight;
+  exercised paths: the batching executor's lossless per-request serial
+  fallback (a failed batch must not fail any query in it) and
+  deadline-aware cutoffs under injected batch latency.  Replay with
+  batching on (``chaos --plan batch-abort --batching``) to arm the
+  ``batch.execute`` site.
 
 Plans are plain :class:`~repro.faults.plan.FaultPlan` values — replay
 one with ``python -m repro.cli chaos --plan <name>`` or dump it with
@@ -101,11 +107,36 @@ def _torn_block(seed: int) -> Tuple[FaultSpec, ...]:
     )
 
 
+def _batch_abort(seed: int) -> Tuple[FaultSpec, ...]:
+    return (
+        # A large fraction of micro-batch executions abort outright.
+        # Every member of an aborted batch must be re-served by the
+        # per-request serial fallback, byte-identical to the fault-free
+        # run — the executor is lossless under batch failure.
+        FaultSpec(
+            "batch.execute",
+            "error",
+            probability=0.4,
+            message="batch executor aborted",
+        ),
+        # Straggling batches: injected latency stretches the collection
+        # window without changing any data, so responses stay exact.
+        FaultSpec(
+            "batch.execute",
+            "latency",
+            probability=0.2,
+            latency_s=0.02,
+            max_fires=8,
+        ),
+    )
+
+
 _BUILDERS = {
     "worker-crash": _worker_crash,
     "slow-shard": _slow_shard,
     "corrupt-checkpoint": _corrupt_checkpoint,
     "torn-block": _torn_block,
+    "batch-abort": _batch_abort,
 }
 
 #: The plan names the CI chaos matrix iterates.

@@ -168,12 +168,51 @@ def prometheus_text(
         )
         writer.sample(name, worker_pool["busy"])
 
+    batching = snapshot.get("batching")
+    if isinstance(batching, dict) and "batches" in batching:
+        name = f"{prefix}_batch_queue_depth"
+        writer.family(
+            name,
+            "gauge",
+            "Queries currently waiting in the batching executor.",
+        )
+        writer.sample(name, batching["queue_depth"])
+        name = f"{prefix}_batches_total"
+        writer.family(
+            name, "counter", "Micro-batches executed by the batching executor."
+        )
+        writer.sample(name, batching["batches"])
+        name = f"{prefix}_batched_queries_total"
+        writer.family(
+            name, "counter", "Queries served through a coalesced micro-batch."
+        )
+        writer.sample(name, batching["batched_queries"])
+        family = f"{prefix}_batch_size"
+        writer.family(
+            family,
+            "summary",
+            "Micro-batch sizes: recent-reservoir quantiles plus totals.",
+        )
+        writer.sample(family, batching.get("p50_batch_size", 0.0), {"quantile": "0.5"})
+        writer.sample(family, batching.get("max_batch_size", 0.0), {"quantile": "1"})
+        writer.sample(f"{family}_sum", batching["batched_queries"])
+        writer.sample(f"{family}_count", batching["batches"])
+        tenants = batching.get("tenants_served")
+        if isinstance(tenants, dict) and tenants:
+            name = f"{prefix}_batch_tenant_queries_total"
+            writer.family(
+                name, "counter", "Batched queries served per fair-queueing tenant."
+            )
+            for tenant, count in sorted(tenants.items()):
+                writer.sample(name, count, {"tenant": _escape_label(str(tenant))})
+
     for section, help_text in (
         ("store", "Session-store occupancy."),
         ("cache", "Result-cache occupancy and hit rate."),
         ("kernels", "Kernel-cache occupancy and hit/miss totals."),
         ("feature_store", "Feature-store identity, geometry and read counters."),
         ("worker_pool", "Shard worker-pool occupancy and task totals."),
+        ("batching", "Batching-executor queue, shed and fallback totals."),
         ("result_quality", "Result-quality provenance: exact vs degraded pages."),
     ):
         values = snapshot.get(section)

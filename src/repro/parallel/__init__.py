@@ -1,5 +1,19 @@
 """Process-parallel shard scanning over a mmap'd feature store."""
 
-from .workers import ShardWorkerPool, decode_query, encode_query, scan_shard_topk
+from .workers import (
+    ShardWorkerPool,
+    decode_query,
+    encode_query,
+    scan_shard_topk,
+    scan_shard_topk_batch,
+    shard_coarse_level0,
+)
 
-__all__ = ["ShardWorkerPool", "encode_query", "decode_query", "scan_shard_topk"]
+__all__ = [
+    "ShardWorkerPool",
+    "encode_query",
+    "decode_query",
+    "scan_shard_topk",
+    "scan_shard_topk_batch",
+    "shard_coarse_level0",
+]

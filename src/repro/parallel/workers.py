@@ -32,19 +32,42 @@ import multiprocessing
 import threading
 from concurrent.futures import Future, ProcessPoolExecutor
 from pathlib import Path
-from typing import Any, Dict, Optional, Union
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from ..core.kernels import ensure_compiled
-from ..core.progressive import exact_top_k, progressive_topk
+from ..core.kernels import (
+    batched_per_cluster_distances,
+    ensure_compiled,
+    kernels_enabled,
+)
+from ..core.progressive import (
+    CoarseLevel0,
+    exact_top_k,
+    progressive_topk,
+    progressive_topk_batch,
+)
 from ..datasets.matrix import assert_scan_ready
-from ..store import FeatureStore
+from ..store import FeatureStore, StoreBlockCorrupt
 
-__all__ = ["ShardWorkerPool", "encode_query", "decode_query", "scan_shard_topk"]
+__all__ = [
+    "ShardWorkerPool",
+    "encode_query",
+    "decode_query",
+    "scan_shard_topk",
+    "scan_shard_topk_batch",
+    "shard_coarse_level0",
+]
 
 
-def scan_shard_topk(query, shard: np.ndarray, offset: int, k: int):
+def scan_shard_topk(
+    query,
+    shard: np.ndarray,
+    offset: int,
+    k: int,
+    *,
+    coarse: Optional[CoarseLevel0] = None,
+):
     """Exact per-shard top-``k``: ``(global ids, distances, pruned, refined)``.
 
     Routed through the progressive filter-and-refine scan when it
@@ -52,9 +75,14 @@ def scan_shard_topk(query, shard: np.ndarray, offset: int, k: int):
     ids/distances returned are the shard's exact top-k under the
     ``(distance, id)`` order — this is the one scan kernel every
     backend (serial, threads, processes) runs.
+
+    Args:
+        coarse: optional precomputed level-0 projections for this shard
+            (the store's PCA companions); bounds change, rankings never
+            do.
     """
     k = min(k, shard.shape[0])
-    progressive = progressive_topk(shard, query, k)
+    progressive = progressive_topk(shard, query, k, coarse=coarse)
     if progressive is not None:
         return (
             progressive.indices + offset,
@@ -62,9 +90,118 @@ def scan_shard_topk(query, shard: np.ndarray, offset: int, k: int):
             progressive.stats.pruned,
             progressive.stats.refined,
         )
-    distances = query.distances(shard)
+    distances = _full_scan_distances([query], shard)[0]
     top = exact_top_k(distances, k)
     return top + offset, distances[top], 0, shard.shape[0]
+
+
+def _full_scan_distances(queries, shard: np.ndarray) -> List[np.ndarray]:
+    """Aggregate distances of every row to each full-scan query.
+
+    The one fallback scorer both the solo and batched scan use: queries
+    the compiled-kernel layer understands share a single tiled pass
+    (:func:`~repro.core.kernels.batched_per_cluster_distances`, whose
+    tile bounds depend only on the shard geometry — so a query scored
+    solo and the same query scored inside a micro-batch make identical
+    per-tile kernel calls and return identical bytes); anything else
+    falls back to the query's own ``distances`` method.
+    """
+    compiled_at: List[Optional[int]] = []
+    compilable = []
+    for query in queries:
+        combine = getattr(query, "combine_per_cluster", None)
+        if (
+            combine is not None
+            and getattr(query, "points", None) is not None
+            and kernels_enabled()
+        ):
+            compiled_at.append(len(compilable))
+            compilable.append(query)
+        else:
+            compiled_at.append(None)
+    per_cluster = batched_per_cluster_distances(
+        [ensure_compiled(query) for query in compilable], shard
+    )
+    return [
+        query.combine_per_cluster(per_cluster[position])
+        if position is not None
+        else query.distances(shard)
+        for query, position in zip(queries, compiled_at)
+    ]
+
+
+def scan_shard_topk_batch(
+    queries: Sequence[object],
+    shard: np.ndarray,
+    offset: int,
+    ks: Sequence[int],
+    *,
+    coarse: Optional[CoarseLevel0] = None,
+    approximate: Optional[Sequence[bool]] = None,
+) -> List[Tuple[np.ndarray, np.ndarray, int, int, bool]]:
+    """Per-shard top-``k`` for a whole micro-batch in one database pass.
+
+    The batched counterpart of :func:`scan_shard_topk`: eligible
+    queries share one level-0 filter pass over the shard (see
+    :func:`~repro.core.progressive.progressive_topk_batch`), then each
+    refines through its own compiled kernels — so every returned page
+    is byte-identical to its solo scan.  Queries the progressive path
+    rejects share one tiled full-scan pass instead (or, for query
+    types the kernel layer cannot compile, their own ``distances``
+    method), still byte-identical to their solo fallback.
+
+    Returns one ``(global ids, distances, pruned, refined, exact)``
+    tuple per query; ``exact`` is ``False`` only when that query's
+    ``approximate`` flag was honored by a progressive load-shed scan.
+    """
+    ks = [min(int(k), shard.shape[0]) for k in ks]
+    batched = progressive_topk_batch(
+        shard, queries, ks, coarse=coarse, approximate=approximate
+    )
+    rejected = [
+        query
+        for query, progressive in zip(queries, batched)
+        if progressive is None
+    ]
+    full_scans = iter(_full_scan_distances(rejected, shard))
+    results: List[Tuple[np.ndarray, np.ndarray, int, int, bool]] = []
+    for query, k, progressive in zip(queries, ks, batched):
+        if progressive is not None:
+            results.append(
+                (
+                    progressive.indices + offset,
+                    progressive.distances,
+                    progressive.stats.pruned,
+                    progressive.stats.refined,
+                    progressive.exact,
+                )
+            )
+            continue
+        distances = next(full_scans)
+        top = exact_top_k(distances, k)
+        results.append((top + offset, distances[top], 0, shard.shape[0], True))
+    return results
+
+
+def shard_coarse_level0(
+    store: FeatureStore, shard_index: int
+) -> Optional[CoarseLevel0]:
+    """The store's PCA companion of one shard as a level-0 bound source.
+
+    Returns ``None`` when the store was built without coarse blocks or
+    when any companion block fails its CRC — the scan then falls back
+    to on-the-fly prefix transforms (lossless, just slower).  Callers
+    should memoize the result: the constructor converts the float32
+    companion to a float64 working copy once.
+    """
+    if not store.coarse_dims:
+        return None
+    try:
+        projected = store.coarse(shard_index)
+        mean, components = store.coarse_projection()
+    except StoreBlockCorrupt:
+        return None
+    return CoarseLevel0(projected, mean, components)
 
 
 # ----------------------------------------------------------------------
@@ -148,6 +285,12 @@ def decode_query(payload: Dict[str, Any]):
 #: initializer (and lazily on first use, should a task outlive it).
 _WORKER_STORES: Dict[str, FeatureStore] = {}
 
+#: Per-process coarse-companion working copies, keyed by
+#: ``(store path, shard index)`` — built once per worker, reused by
+#: every scan of that shard.  ``None`` marks a store without usable
+#: companions (absent or CRC-failed) so the fallback is not re-probed.
+_WORKER_COARSE: Dict[Tuple[str, int], Optional[CoarseLevel0]] = {}
+
 
 def _worker_store(store_path: str) -> FeatureStore:
     store = _WORKER_STORES.get(store_path)
@@ -155,6 +298,15 @@ def _worker_store(store_path: str) -> FeatureStore:
         store = FeatureStore.open(store_path)
         _WORKER_STORES[store_path] = store
     return store
+
+
+def _worker_coarse(store_path: str, shard_index: int) -> Optional[CoarseLevel0]:
+    key = (store_path, shard_index)
+    if key not in _WORKER_COARSE:
+        _WORKER_COARSE[key] = shard_coarse_level0(
+            _worker_store(store_path), shard_index
+        )
+    return _WORKER_COARSE[key]
 
 
 def _pool_initializer(store_path: str) -> None:
@@ -179,8 +331,40 @@ def _scan_shard_task(
     ensure_compiled(query)
     shard = assert_scan_ready(store.shard(shard_index), name=f"shard {shard_index}")
     offset = store.row_offsets[shard_index]
-    ids, distances, pruned, refined = scan_shard_topk(query, shard, offset, k)
+    coarse = _worker_coarse(store_path, shard_index)
+    ids, distances, pruned, refined = scan_shard_topk(
+        query, shard, offset, k, coarse=coarse
+    )
     return np.asarray(ids), np.asarray(distances), int(pruned), int(refined)
+
+
+def _scan_shard_batch_task(
+    store_path: str,
+    shard_index: int,
+    payloads: Sequence[Dict[str, Any]],
+    ks: Sequence[int],
+    approximate: Sequence[bool],
+):
+    """A whole micro-batch's top-k over one shard, inside a worker.
+
+    The batched counterpart of :func:`_scan_shard_task`: one shard read
+    feeds every query in the batch (see :func:`scan_shard_topk_batch`).
+    Results come back as plain tuples in payload order.
+    """
+    store = _worker_store(store_path)
+    queries = [decode_query(payload) for payload in payloads]
+    for query in queries:
+        ensure_compiled(query)
+    shard = assert_scan_ready(store.shard(shard_index), name=f"shard {shard_index}")
+    offset = store.row_offsets[shard_index]
+    coarse = _worker_coarse(store_path, shard_index)
+    parts = scan_shard_topk_batch(
+        queries, shard, offset, ks, coarse=coarse, approximate=approximate
+    )
+    return [
+        (np.asarray(ids), np.asarray(distances), int(pruned), int(refined), bool(exact))
+        for ids, distances, pruned, refined, exact in parts
+    ]
 
 
 # ----------------------------------------------------------------------
@@ -206,7 +390,13 @@ class ShardWorkerPool:
         self.store_path = str(store_path)
         self.n_workers = n_workers
         self._executor: Optional[ProcessPoolExecutor] = None
+        # Two locks on purpose: `_lock` guards executor lifecycle —
+        # which holds it across a slow worker spawn — while the stats
+        # counters live under their own `_stats_lock`, so a concurrent
+        # `metrics()` read never blocks behind a spawn nor sees a torn
+        # multi-counter snapshot.
         self._lock = threading.Lock()
+        self._stats_lock = threading.Lock()
         self._in_flight = 0
         self._peak_in_flight = 0
         self._completed = 0
@@ -228,32 +418,62 @@ class ShardWorkerPool:
     @property
     def busy(self) -> int:
         """Tasks currently submitted and not yet finished."""
-        with self._lock:
+        with self._stats_lock:
             return self._in_flight
 
-    def submit(self, shard_index: int, payload: Dict[str, Any], k: int) -> "Future":
-        """Dispatch one shard scan; returns its future."""
-        executor = self._ensure_executor()
-        with self._lock:
+    def _track_submit(self, submit) -> "Future":
+        with self._stats_lock:
             self._in_flight += 1
             self._peak_in_flight = max(self._peak_in_flight, self._in_flight)
         try:
-            future = executor.submit(
-                _scan_shard_task, self.store_path, shard_index, payload, k
-            )
+            future = submit()
         except BaseException:
-            with self._lock:
+            with self._stats_lock:
                 self._in_flight -= 1
             raise
         future.add_done_callback(self._task_done)
         return future
+
+    def submit(self, shard_index: int, payload: Dict[str, Any], k: int) -> "Future":
+        """Dispatch one shard scan; returns its future."""
+        executor = self._ensure_executor()
+        return self._track_submit(
+            lambda: executor.submit(
+                _scan_shard_task, self.store_path, shard_index, payload, k
+            )
+        )
+
+    def submit_batch(
+        self,
+        shard_index: int,
+        payloads: Sequence[Dict[str, Any]],
+        ks: Sequence[int],
+        approximate: Sequence[bool],
+    ) -> "Future":
+        """Dispatch one shard scan covering a whole micro-batch.
+
+        The future resolves to one ``(ids, distances, pruned, refined,
+        exact)`` tuple per payload, in payload order — the shard is
+        read once for the whole batch.
+        """
+        executor = self._ensure_executor()
+        return self._track_submit(
+            lambda: executor.submit(
+                _scan_shard_batch_task,
+                self.store_path,
+                shard_index,
+                list(payloads),
+                list(ks),
+                list(approximate),
+            )
+        )
 
     def run(self, shard_index: int, payload: Dict[str, Any], k: int):
         """Blocking convenience: submit one shard scan and await it."""
         return self.submit(shard_index, payload, k).result()
 
     def _task_done(self, future: "Future") -> None:
-        with self._lock:
+        with self._stats_lock:
             self._in_flight -= 1
             if future.cancelled() or future.exception() is not None:
                 self._failed += 1
@@ -261,8 +481,14 @@ class ShardWorkerPool:
                 self._completed += 1
 
     def stats(self) -> Dict[str, int]:
-        """``{workers, busy, peak_busy, tasks_completed, tasks_failed}``."""
-        with self._lock:
+        """``{workers, busy, peak_busy, tasks_completed, tasks_failed}``.
+
+        One consistent snapshot: every counter is read under a single
+        acquisition of the stats lock, and the lock is never held
+        across executor spawn/shutdown, so readers can't observe torn
+        values or stall behind pool lifecycle.
+        """
+        with self._stats_lock:
             return {
                 "workers": self.n_workers,
                 "busy": self._in_flight,

@@ -21,16 +21,26 @@ service down.
 * :mod:`~repro.service.resilience` — :class:`ResiliencePolicy` retry /
   deadline / hedging discipline for the idempotent stages, with
   :class:`~repro.system.ResultQuality` provenance on every page.
+* :mod:`~repro.service.batching` — :class:`BatchingExecutor`, coalescing
+  compatible in-flight queries into micro-batches that share one
+  database pass, with per-tenant fair queueing, deadline-aware cutoffs
+  and honest load shedding.
+* :mod:`~repro.service.server` — :class:`RetrievalServer`, the asyncio
+  HTTP front-end with admission control, plus the
+  :func:`closed_loop_load` generator.
 
-See ``docs/SERVICE.md`` for the architecture and policies, and
+See ``docs/SERVICE.md`` for the architecture and policies,
+``docs/SERVING.md`` for the batching executor and HTTP front-end, and
 ``docs/RESILIENCE.md`` for the failure model.
 """
 
+from .batching import BatchingConfig, BatchingExecutor, compatibility_key
 from .cache import ResultCache, fingerprint_query
 from .degrade import EXACT_QUALITY, DegradationPolicy, ResultQuality, SessionGuard
 from .engine import RetrievalService
 from .metrics import LatencyStage, ServiceMetrics, percentile
 from .resilience import DeadlineBudget, ResiliencePolicy, RetryPolicy, retry_call
+from .server import RetrievalServer, closed_loop_load
 from .sessions import (
     CheckpointCorruption,
     ManagedSession,
@@ -40,6 +50,11 @@ from .sessions import (
 
 __all__ = [
     "RetrievalService",
+    "RetrievalServer",
+    "closed_loop_load",
+    "BatchingConfig",
+    "BatchingExecutor",
+    "compatibility_key",
     "SessionStore",
     "ManagedSession",
     "SessionNotFound",

@@ -1,0 +1,452 @@
+"""Cross-session micro-batching of compatible in-flight queries.
+
+At millions of users, concurrent sessions hit the same dataset with
+structurally similar compiled queries — yet each request scans alone,
+re-reading the database from main memory once per query.  This module
+adds the missing amortization axis: a :class:`BatchingExecutor`
+coalesces compatible in-flight queries into one micro-batch, and the
+batched scan (:func:`~repro.core.progressive.progressive_topk_batch` /
+:func:`~repro.parallel.scan_shard_topk_batch`) reads each database
+tile once per *batch* instead of once per *query*, turning a
+memory-bound pass into a cache-hot stacked evaluation.
+
+Compatibility is explicit and conservative: only requests sharing a
+:func:`compatibility_key` — same store fingerprint/dataset scope, same
+dimensionality, same covariance-scheme shape (the sorted kernel kinds
+of the compiled query) — ride in one micro-batch, so the batch
+executor never has to reconcile structurally different scans.
+
+**Exactness contract.**  Batching changes *when* a query runs and what
+else shares its database pass — never its result.  Exact distances are
+always computed through each query's own compiled kernels (whose
+row-subset evaluations are bitwise identical regardless of what else
+is in the batch); cross-query work sharing happens only in the
+slack-protected level-0 bounds.  Every page is therefore byte-identical
+to per-query serial execution under the shared ``(distance, id)``
+tie-break.
+
+**Flow control.**  Three mechanisms keep the executor well-behaved
+under overload, none of which drops a request:
+
+* *admission/backpressure* — at most ``max_pending`` queued requests;
+  further submitters block (which in the HTTP front-end translates to
+  admission control at the socket);
+* *deadline-aware cutoffs* — a micro-batch dispatches when it is full,
+  when the oldest member has waited ``max_wait_s``, or when any
+  member's :class:`~repro.service.resilience.DeadlineBudget` is about
+  to spend its slack on queueing;
+* *load shedding* — past ``shed_threshold`` queued requests, new
+  arrivals are marked for an *approximate* scan (exact distances over a
+  bound-selected candidate subset) and their pages flow through the
+  existing :class:`~repro.service.degrade.ResultQuality` provenance
+  with reason ``"overload"`` — degraded honestly, never dropped.
+
+Per-tenant fairness is round-robin over tenant FIFO queues, so one
+chatty tenant cannot starve the rest; within a tenant, order is
+preserved.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import threading
+import time
+from collections import OrderedDict, deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Deque, Dict, List, Optional, Sequence, Tuple
+
+from ..core.kernels import CompiledQuery
+from ..faults.inject import fault_point, register_site
+from ..obs import current_tracer
+from .metrics import percentile
+from .resilience import DeadlineBudget
+
+__all__ = [
+    "BatchingConfig",
+    "BatchRequest",
+    "BatchingExecutor",
+    "compatibility_key",
+]
+
+_SITE_BATCH = register_site(
+    "batch.execute", "one coalesced micro-batch scan on the batching executor"
+)
+
+#: Queue slack reserved for the scan itself: a request whose deadline
+#: budget has less than this remaining is dispatched immediately rather
+#: than waiting for more batch mates.
+_DEADLINE_MARGIN_S = 0.005
+
+#: Recent batch sizes feeding the stats percentiles.
+_SIZE_RESERVOIR = 1024
+
+
+def compatibility_key(compiled: CompiledQuery, scope: Optional[str] = None) -> Tuple:
+    """The coalescing key of one compiled query.
+
+    Two requests may share a micro-batch only when their keys are equal:
+    same dataset scope (store fingerprint — batching across epochs would
+    scan the wrong bytes for someone), same dimensionality, and the same
+    covariance-scheme shape, expressed as the sorted multiset of
+    compiled kernel kinds (e.g. all-Cholesky vs mixed diagonal).
+    """
+    kinds = tuple(sorted(type(kernel).__name__ for kernel in compiled.kernels))
+    return (scope, compiled.dimension, kinds)
+
+
+@dataclass(frozen=True)
+class BatchingConfig:
+    """Knobs of the batching executor.
+
+    Attributes:
+        max_batch: micro-batch size cap; a full batch dispatches
+            immediately.
+        max_wait_s: longest any request waits for batch mates.
+        max_pending: admission-control bound on queued requests;
+            further submitters block until the queue drains.
+        shed_threshold: queue depth at which new arrivals are served
+            approximately (``None`` disables shedding).
+    """
+
+    max_batch: int = 32
+    max_wait_s: float = 0.002
+    max_pending: int = 256
+    shed_threshold: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise ValueError(f"max_batch must be at least 1, got {self.max_batch}")
+        if self.max_wait_s < 0:
+            raise ValueError(f"max_wait_s must be non-negative, got {self.max_wait_s}")
+        if self.max_pending < 1:
+            raise ValueError(
+                f"max_pending must be at least 1, got {self.max_pending}"
+            )
+        if self.shed_threshold is not None and self.shed_threshold < 1:
+            raise ValueError(
+                f"shed_threshold must be at least 1, got {self.shed_threshold}"
+            )
+
+
+@dataclass
+class BatchRequest:
+    """One in-flight query waiting on (or riding in) a micro-batch.
+
+    The executor treats ``payload`` and the eventual ``result`` as
+    opaque — the engine decides what a request carries and what a scan
+    returns.  ``approximate`` is set by the executor when the request
+    was admitted in shed mode; the scan honours it by serving a
+    bound-selected subset exactly.
+    """
+
+    payload: Any
+    key: Tuple
+    k: int
+    tenant: str = "default"
+    budget: Optional[DeadlineBudget] = None
+    approximate: bool = False
+    arrival: float = 0.0
+    deadline: float = float("inf")
+    context: Optional[contextvars.Context] = None
+    result: Any = None
+    error: Optional[BaseException] = None
+    done: threading.Event = field(default_factory=threading.Event)
+
+
+class BatchingExecutor:
+    """Coalesces compatible requests into micro-batches on one dispatcher.
+
+    Args:
+        execute: ``(requests) -> results`` — runs one micro-batch (every
+            request shares a compatibility key) and returns one result
+            per request, in order.  Runs on the dispatcher thread under
+            the *leader's* (oldest request's) submission context, so
+            ambient tracing and fault activation flow through.
+        fallback: ``(request) -> result`` — per-request serial execution
+            used when the batch path fails; keeps faults in the batch
+            machinery lossless (pages stay byte-identical, only slower).
+        config: the flow-control knobs.
+        metrics: optional :class:`~repro.service.metrics.ServiceMetrics`
+            receiving ``batches``/``batched_queries``/``batch_shed``/
+            ``batch_fallbacks`` counters and the ``batch_wait`` stage.
+        clock: injectable monotonic clock (tests drive cutoffs
+            deterministically).
+
+    The dispatcher is one daemon thread; it drains independently of any
+    session lease or request thread, so a blocked submitter can never
+    deadlock the queue it is waiting on.
+    """
+
+    def __init__(
+        self,
+        execute: Callable[[List[BatchRequest]], Sequence[Any]],
+        *,
+        fallback: Optional[Callable[[BatchRequest], Any]] = None,
+        config: Optional[BatchingConfig] = None,
+        metrics=None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self._execute = execute
+        self._fallback = fallback
+        self.config = config or BatchingConfig()
+        self._metrics = metrics
+        self._clock = clock
+        self._cond = threading.Condition()
+        self._queues: "OrderedDict[str, Deque[BatchRequest]]" = OrderedDict()
+        self._pending = 0
+        self._last_tenant: Optional[str] = None
+        self._closed = False
+        # Stats (all under _cond's lock).
+        self._submitted = 0
+        self._batches = 0
+        self._batched_queries = 0
+        self._shed = 0
+        self._fallbacks = 0
+        self._peak_pending = 0
+        self._served_by_tenant: Dict[str, int] = {}
+        self._recent_sizes: Deque[int] = deque(maxlen=_SIZE_RESERVOIR)
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, name="repro-batcher", daemon=True
+        )
+        self._dispatcher.start()
+
+    # ------------------------------------------------------------------
+    # Submission side
+    # ------------------------------------------------------------------
+
+    def submit(
+        self,
+        payload: Any,
+        key: Tuple,
+        k: int,
+        *,
+        tenant: str = "default",
+        budget: Optional[DeadlineBudget] = None,
+    ) -> Any:
+        """Enqueue one request and block until its micro-batch served it.
+
+        Raises whatever the scan raised for this request.  Blocks at
+        admission while ``max_pending`` requests are already queued.
+        """
+        request = BatchRequest(payload=payload, key=key, k=int(k), tenant=tenant, budget=budget)
+        request.context = contextvars.copy_context()
+        with self._cond:
+            if self._closed:
+                raise RuntimeError("BatchingExecutor is shut down")
+            while self._pending >= self.config.max_pending:
+                self._cond.wait()
+                if self._closed:
+                    raise RuntimeError("BatchingExecutor is shut down")
+            now = self._clock()
+            request.arrival = now
+            if budget is not None and budget.remaining != float("inf"):
+                request.deadline = now + max(
+                    0.0, budget.remaining - _DEADLINE_MARGIN_S
+                )
+            threshold = self.config.shed_threshold
+            if threshold is not None and self._pending >= threshold:
+                request.approximate = True
+                self._shed += 1
+                if self._metrics is not None:
+                    self._metrics.increment("batch_shed")
+            queue = self._queues.get(tenant)
+            if queue is None:
+                queue = deque()
+                self._queues[tenant] = queue
+            queue.append(request)
+            self._pending += 1
+            self._peak_pending = max(self._peak_pending, self._pending)
+            self._submitted += 1
+            self._cond.notify_all()
+        request.done.wait()
+        if self._metrics is not None:
+            self._metrics.observe("batch_wait", max(0.0, self._clock() - request.arrival))
+        if request.error is not None:
+            raise request.error
+        return request.result
+
+    # ------------------------------------------------------------------
+    # Dispatcher side
+    # ------------------------------------------------------------------
+
+    def _oldest(self) -> Optional[BatchRequest]:
+        oldest: Optional[BatchRequest] = None
+        for queue in self._queues.values():
+            if queue and (oldest is None or queue[0].arrival < oldest.arrival):
+                oldest = queue[0]
+        return oldest
+
+    def _collect(self, key: Tuple) -> List[BatchRequest]:
+        """Pop up to ``max_batch`` key-compatible requests, fairly.
+
+        Round-robin over tenants starting after the last-served tenant;
+        only queue *fronts* are eligible (per-tenant FIFO order is never
+        reordered), so an incompatible front parks that tenant for this
+        batch but costs it nothing later.
+        """
+        tenants = list(self._queues.keys())
+        if not tenants:
+            return []
+        start = 0
+        if self._last_tenant in tenants:
+            start = (tenants.index(self._last_tenant) + 1) % len(tenants)
+        rotation = tenants[start:] + tenants[:start]
+        batch: List[BatchRequest] = []
+        progressed = True
+        while progressed and len(batch) < self.config.max_batch:
+            progressed = False
+            for tenant in rotation:
+                queue = self._queues.get(tenant)
+                if not queue or queue[0].key != key:
+                    continue
+                batch.append(queue.popleft())
+                self._last_tenant = tenant
+                self._served_by_tenant[tenant] = (
+                    self._served_by_tenant.get(tenant, 0) + 1
+                )
+                progressed = True
+                if len(batch) >= self.config.max_batch:
+                    break
+        for tenant in [name for name, queue in self._queues.items() if not queue]:
+            del self._queues[tenant]
+        return batch
+
+    def _cutoff(self, key: Tuple, oldest: BatchRequest) -> float:
+        """The moment this key's pending batch must dispatch."""
+        cutoff = oldest.arrival + self.config.max_wait_s
+        for queue in self._queues.values():
+            if queue and queue[0].key == key:
+                cutoff = min(cutoff, queue[0].deadline)
+        return cutoff
+
+    def _eligible(self, key: Tuple) -> int:
+        """How many queued requests :meth:`_collect` could take right now.
+
+        Per tenant, that is the longest key-matching *prefix* of its
+        FIFO queue (collection only ever pops fronts).
+        """
+        count = 0
+        for queue in self._queues.values():
+            for request in queue:
+                if request.key != key:
+                    break
+                count += 1
+        return count
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            with self._cond:
+                while not self._pending and not self._closed:
+                    self._cond.wait()
+                if not self._pending and self._closed:
+                    return
+                oldest = self._oldest()
+                assert oldest is not None
+                key = oldest.key
+                now = self._clock()
+                cutoff = self._cutoff(key, oldest)
+                full = self._eligible(key) >= self.config.max_batch
+                if not full and not self._closed and now < cutoff:
+                    self._cond.wait(timeout=cutoff - now)
+                    continue
+                batch = self._collect(key)
+                self._pending -= len(batch)
+                self._batches += 1
+                self._batched_queries += len(batch)
+                self._recent_sizes.append(len(batch))
+                self._cond.notify_all()
+            self._run_batch(batch)
+
+    def _run_batch(self, batch: List[BatchRequest]) -> None:
+        leader = batch[0]
+        context = leader.context or contextvars.copy_context()
+        try:
+            context.run(self._run_batch_in_context, batch)
+        finally:
+            for request in batch:
+                request.done.set()
+
+    def _run_batch_in_context(self, batch: List[BatchRequest]) -> None:
+        if self._metrics is not None:
+            self._metrics.increment("batches")
+            self._metrics.increment("batched_queries", len(batch))
+        with current_tracer().span(
+            "batch", size=len(batch), tenants=len({r.tenant for r in batch})
+        ):
+            try:
+                fault_point(_SITE_BATCH, key=str(len(batch)))
+                results = self._execute(batch)
+                if len(results) != len(batch):
+                    raise RuntimeError(
+                        f"batch execute returned {len(results)} results "
+                        f"for {len(batch)} requests"
+                    )
+                for request, result in zip(batch, results):
+                    request.result = result
+            except BaseException as error:
+                self._recover(batch, error)
+
+    def _recover(self, batch: List[BatchRequest], error: BaseException) -> None:
+        """Lossless per-request fallback when the batch path fails."""
+        with self._cond:
+            self._fallbacks += len(batch)
+        if self._metrics is not None:
+            self._metrics.increment("batch_fallbacks", len(batch))
+        if self._fallback is None:
+            for request in batch:
+                request.error = error
+            return
+        for request in batch:
+            try:
+                request.result = self._fallback(request)
+                request.error = None
+            except BaseException as request_error:
+                request.error = request_error
+
+    # ------------------------------------------------------------------
+    # Introspection / lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def queue_depth(self) -> int:
+        """Requests currently queued (not yet dispatched)."""
+        with self._cond:
+            return self._pending
+
+    def stats(self) -> Dict[str, Any]:
+        """One consistent snapshot of the executor's counters.
+
+        ``{submitted, batches, batched_queries, queue_depth,
+        peak_queue_depth, shed, fallbacks, mean_batch_size,
+        p50_batch_size, max_batch_size, tenants_served}``.
+        """
+        with self._cond:
+            sizes = list(self._recent_sizes)
+            return {
+                "submitted": self._submitted,
+                "batches": self._batches,
+                "batched_queries": self._batched_queries,
+                "queue_depth": self._pending,
+                "peak_queue_depth": self._peak_pending,
+                "shed": self._shed,
+                "fallbacks": self._fallbacks,
+                "mean_batch_size": sum(sizes) / len(sizes) if sizes else 0.0,
+                "p50_batch_size": percentile(sizes, 50.0) if sizes else 0.0,
+                "max_batch_size": float(max(sizes)) if sizes else 0.0,
+                "tenants_served": dict(sorted(self._served_by_tenant.items())),
+            }
+
+    def shutdown(self) -> None:
+        """Drain the queue, stop the dispatcher, reject new submits."""
+        with self._cond:
+            if self._closed:
+                return
+            self._closed = True
+            self._cond.notify_all()
+        self._dispatcher.join()
+
+    def __enter__(self) -> "BatchingExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()

@@ -41,6 +41,7 @@ from __future__ import annotations
 
 import contextvars
 import os
+import threading
 import time
 import uuid
 from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor, wait
@@ -50,18 +51,25 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from ..core.kernels import default_kernel_cache, ensure_compiled
-from ..core.progressive import exact_top_k
+from ..core.progressive import CoarseLevel0, exact_top_k
 from ..datasets.matrix import assert_scan_ready
 from ..faults import fault_point, register_site
 from ..index.hybridtree import HybridTree
 from ..index.linear import page_capacity_for
 from ..index.multipoint import MultipointSearcher
 from ..obs import NULL_TRACER, activate, add_event, prometheus_text
-from ..parallel.workers import ShardWorkerPool, encode_query, scan_shard_topk
+from ..parallel.workers import (
+    ShardWorkerPool,
+    encode_query,
+    scan_shard_topk,
+    scan_shard_topk_batch,
+    shard_coarse_level0,
+)
 from ..retrieval.database import FeatureDatabase
 from ..retrieval.methods import FeedbackMethod, QclusterMethod, QueryLike
 from ..store import FeatureStore, StoreBlockCorrupt
 from ..system import EXACT_QUALITY, ResultPage, ResultQuality
+from .batching import BatchingConfig, BatchingExecutor, BatchRequest, compatibility_key
 from .cache import ResultCache, fingerprint_query
 from .degrade import DegradationPolicy, SessionGuard
 from .metrics import ServiceMetrics
@@ -127,6 +135,12 @@ class RetrievalService:
             algorithmic events); default is the no-op
             :data:`~repro.obs.NULL_TRACER`, whose overhead is
             negligible (see ``benchmarks/test_obs_overhead.py``).
+        batching: coalesce compatible concurrent fallback-scan queries
+            into micro-batches that share one database pass (see
+            :mod:`repro.service.batching`); ``True`` uses the default
+            :class:`~repro.service.batching.BatchingConfig`, or pass a
+            config directly.  Pages stay byte-identical to per-query
+            execution; only wall-clock cost and throughput change.
     """
 
     def __init__(
@@ -148,6 +162,7 @@ class RetrievalService:
         resilience: Optional[ResiliencePolicy] = None,
         metrics: Optional[ServiceMetrics] = None,
         tracer=None,
+        batching: Union[bool, BatchingConfig, None] = None,
     ) -> None:
         if scan_backend not in ("threads", "processes"):
             raise ValueError(
@@ -256,6 +271,25 @@ class RetrievalService:
                 thread_name_prefix="repro-rank",
             )
         self._clock = time.monotonic
+        # Per-session tenant labels (fair queueing on the batching
+        # executor); sessions created without a tenant ride "default".
+        self._session_tenants: Dict[str, str] = {}
+        # Per-shard CoarseLevel0 working copies (store-backed scans on
+        # the threads/inline path; worker processes keep their own).
+        self._coarse_lock = threading.Lock()
+        self._coarse_cache: Dict[int, Optional[CoarseLevel0]] = {}
+        self._batching: Optional[BatchingExecutor] = None
+        if batching:
+            config = (
+                batching if isinstance(batching, BatchingConfig) else BatchingConfig()
+            )
+            self._batching = BatchingExecutor(
+                self._execute_batch,
+                fallback=self._batch_fallback,
+                config=config,
+                metrics=self.metrics,
+                clock=self._clock,
+            )
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -299,10 +333,18 @@ class RetrievalService:
 
     def shutdown(self) -> None:
         """Release the ranking pools (sessions stay restorable)."""
+        if self._batching is not None:
+            # Drain queued micro-batches before the scan pools go away.
+            self._batching.shutdown()
         if self._executor is not None:
             self._executor.shutdown(wait=True)
         if self._pool is not None:
             self._pool.shutdown()
+
+    @property
+    def batching(self) -> Optional[BatchingExecutor]:
+        """The batching executor, or ``None`` when batching is off."""
+        return self._batching
 
     # ------------------------------------------------------------------
     # The service API
@@ -313,6 +355,7 @@ class RetrievalService:
         query: Union[int, Sequence[float], np.ndarray],
         *,
         session_id: Optional[str] = None,
+        tenant: Optional[str] = None,
     ) -> str:
         """Open a feedback session; returns its id.
 
@@ -320,6 +363,9 @@ class RetrievalService:
             query: a database row index (query-by-id) or an explicit
                 feature vector (query-by-example).
             session_id: caller-chosen id; defaults to a fresh UUID hex.
+            tenant: fair-queueing label for the batching executor
+                (sessions of one tenant share one FIFO lane); only
+                meaningful when the service batches.
         """
         with activate(self.tracer), self.tracer.span("create_session") as span, self.metrics.time("create"):
             if isinstance(query, (int, np.integer)):
@@ -346,9 +392,16 @@ class RetrievalService:
                 genesis=np.array(point, dtype=float, copy=True),
             )
             self.store.put(session)
+            if tenant is not None:
+                self._session_tenants[session_id] = str(tenant)
             self.metrics.increment("sessions_created")
             span.set("session_id", session_id)
         return session_id
+
+    def tenant_of(self, session_id: str) -> str:
+        """The fair-queueing tenant label of a session (``"default"``
+        when the session was opened without one)."""
+        return self._session_tenants.get(session_id, "default")
 
     def query(self, session_id: str, k: Optional[int] = None) -> ResultPage:
         """Current ranked result page for a session (cached)."""
@@ -417,6 +470,7 @@ class RetrievalService:
         """End a session, dropping its state, checkpoint and cache."""
         if not self.store.remove(session_id):
             raise SessionNotFound(session_id)
+        self._session_tenants.pop(session_id, None)
         self.cache.invalidate(session_id)
         self.metrics.increment("sessions_closed")
 
@@ -441,6 +495,8 @@ class RetrievalService:
             snapshot["feature_store"] = feature
         if self._pool is not None:
             snapshot["worker_pool"] = self._pool.stats()
+        if self._batching is not None:
+            snapshot["batching"] = self._batching.stats()
         return snapshot
 
     def prometheus_metrics(self) -> str:
@@ -579,15 +635,27 @@ class RetrievalService:
                 if guard is not None and guard.record_elapsed(elapsed):
                     self.metrics.increment("degraded_deadline")
                 return result.indices, result.distances, ()
-        with self.tracer.span(
-            "scan", path="fallback", k=k, shards=self.n_shards
-        ):
+        path = "fallback" if self._batching is None else "batched"
+        with self.tracer.span("scan", path=path, k=k, shards=self.n_shards):
             with self.metrics.time("fallback_scan"):
                 self.metrics.increment("fallback_scans")
                 self.metrics.increment(
                     "fallback_node_accesses",
                     -(-self.size // page_capacity_for(self._dimension)),
                 )
+                if self._batching is not None:
+                    compiled = ensure_compiled(
+                        session.query, scope=self._dataset_fingerprint
+                    )
+                    return self._batching.submit(
+                        session.query,
+                        compatibility_key(compiled, self._dataset_fingerprint),
+                        k,
+                        tenant=self._session_tenants.get(
+                            session.session_id, "default"
+                        ),
+                        budget=budget,
+                    )
                 return self._sharded_scan(session.query, k, budget)
 
     def _shard_array(self, index: int) -> np.ndarray:
@@ -609,8 +677,33 @@ class RetrievalService:
         assert_scan_ready(shard, name=f"shard {index}")
         return shard
 
+    def _shard_coarse(self, index: int) -> Optional[CoarseLevel0]:
+        """Shard ``index``'s PCA-companion level-0 source, memoized.
+
+        ``None`` for in-memory databases, stores built without coarse
+        blocks, or companions that failed their CRC — the progressive
+        scan then computes its own prefix transform (lossless fallback,
+        byte-identical pages either way).
+        """
+        if self._feature_store is None:
+            return None
+        with self._coarse_lock:
+            if index in self._coarse_cache:
+                return self._coarse_cache[index]
+        # Built outside the lock: construction reads (and CRC-verifies)
+        # store blocks, and building twice under a race is idempotent.
+        coarse = shard_coarse_level0(self._feature_store, index)
+        with self._coarse_lock:
+            return self._coarse_cache.setdefault(index, coarse)
+
     @staticmethod
-    def _shard_topk(query: QueryLike, shard: np.ndarray, offset: int, k: int):
+    def _shard_topk(
+        query: QueryLike,
+        shard: np.ndarray,
+        offset: int,
+        k: int,
+        coarse: Optional[CoarseLevel0] = None,
+    ):
         """Exact per-shard top-``k``: ``(global ids, distances, pruned, refined)``.
 
         Delegates to :func:`~repro.parallel.workers.scan_shard_topk` —
@@ -618,7 +711,7 @@ class RetrievalService:
         fault point, so every backend shares one scan implementation.
         """
         fault_point(_SITE_SHARD, key=str(offset))
-        return scan_shard_topk(query, shard, offset, k)
+        return scan_shard_topk(query, shard, offset, k, coarse=coarse)
 
     def _run_shard(self, query: QueryLike, index: int, k: int, budget: DeadlineBudget):
         """One shard's exact top-``k`` with bounded retries.
@@ -643,7 +736,13 @@ class RetrievalService:
             )
 
         return retry_call(
-            lambda: self._shard_topk(query, self._shard_array(index), offset, k),
+            lambda: self._shard_topk(
+                query,
+                self._shard_array(index),
+                offset,
+                k,
+                coarse=self._shard_coarse(index),
+            ),
             self.resilience.retry,
             deadline=budget,
             on_retry=on_retry,
@@ -858,3 +957,233 @@ class RetrievalService:
         self.metrics.increment("candidates_refined", int(refined))
         top = exact_top_k(distances, min(k, ids.shape[0]), tie_break=ids)
         return ids[top], distances[top], reasons
+
+    # ------------------------------------------------------------------
+    # Batched ranking (the micro-batch executor's scan backend)
+    # ------------------------------------------------------------------
+
+    def _batch_fallback(self, request: BatchRequest):
+        """Serial per-query execution when the batch path fails.
+
+        Lossless by construction: the classic sharded scan produces the
+        byte-identical page, so a fault in the batching machinery costs
+        amortization, never correctness.
+        """
+        return self._sharded_scan(request.payload, request.k, request.budget)
+
+    def _execute_batch(self, requests: List[BatchRequest]):
+        """Run one micro-batch (shared compatibility key) end to end."""
+        queries = [request.payload for request in requests]
+        ks = [request.k for request in requests]
+        approximate = [request.approximate for request in requests]
+        # The batch fights under the most permissive member budget:
+        # retries for shared work should not be cut short by the one
+        # stingiest request (its own deadline was already honoured at
+        # the queueing cutoff).
+        budget: Optional[DeadlineBudget] = None
+        for request in requests:
+            if request.budget is None or request.budget.remaining == float("inf"):
+                budget = None
+                break
+            if budget is None or request.budget.remaining > budget.remaining:
+                budget = request.budget
+        if budget is None:
+            budget = DeadlineBudget(None, clock=self._clock)
+        return self._batch_scan(queries, ks, approximate, budget)
+
+    def _batch_shard_topk(
+        self,
+        queries: Sequence[QueryLike],
+        index: int,
+        ks: Sequence[int],
+        approximate: Sequence[bool],
+        budget: DeadlineBudget,
+    ):
+        """One shard scanned once for the whole micro-batch, with retries.
+
+        Same resilience contract as :meth:`_run_shard`: the
+        ``shard.scan`` fault point fires per attempt, transient errors
+        retry with backoff under the batch budget, and the final error
+        propagates for :meth:`_batch_scan` to absorb as a dropped shard
+        (degrading every page in the batch, never failing it).
+        """
+        offset = self._shard_offsets[index]
+
+        def attempt():
+            fault_point(_SITE_SHARD, key=str(offset))
+            return scan_shard_topk_batch(
+                queries,
+                self._shard_array(index),
+                offset,
+                ks,
+                coarse=self._shard_coarse(index),
+                approximate=approximate,
+            )
+
+        def on_retry(attempt_no: int, error: BaseException) -> None:
+            self.metrics.increment("shard_retries")
+            add_event(
+                "retry",
+                stage="batch_shard_scan",
+                shard_offset=offset,
+                attempt=attempt_no,
+                error=repr(error),
+            )
+
+        return retry_call(
+            attempt, self.resilience.retry, deadline=budget, on_retry=on_retry
+        )
+
+    def _batch_scan(
+        self,
+        queries: Sequence[QueryLike],
+        ks: Sequence[int],
+        approximate: Sequence[bool],
+        budget: DeadlineBudget,
+    ):
+        """Every query's top-k with each shard read once for the batch.
+
+        Per-shard batched tasks fan out exactly like the solo scan
+        (inline, thread pool, or ``submit_batch`` on the worker-process
+        pool); per-query results then merge across shards in shard
+        order under the ``(distance, id)`` tie-break, so each page is
+        byte-identical to that query's solo :meth:`_sharded_scan`.
+
+        Returns one ``(ids, distances, reasons)`` per query.  A shard
+        dropped after its retries degrades every page in the batch with
+        the same reason tags as the solo path; a query served
+        approximately (load shedding) additionally carries
+        ``"overload"``.
+        """
+        failures: List[BaseException] = []
+        parts = []  # per surviving shard: one result-tuple list per query
+        if self._pool is not None:
+            payloads = [encode_query(query) for query in queries]
+            pool = self._pool
+            pending: Dict[int, "Future"] = {
+                index: pool.submit_batch(
+                    index, payloads, list(ks), list(approximate)
+                )
+                for index in range(self._n_shards)
+            }
+            for index in range(self._n_shards):
+                offset = self._shard_offsets[index]
+
+                def attempt(index: int = index, offset: int = offset):
+                    fault_point(_SITE_SHARD, key=str(offset))
+                    future = pending.pop(index, None)
+                    if future is None:  # retry after a failed attempt
+                        future = pool.submit_batch(
+                            index, payloads, list(ks), list(approximate)
+                        )
+                    return future.result()
+
+                try:
+                    result = retry_call(
+                        attempt, self.resilience.retry, deadline=budget
+                    )
+                except Exception as error:
+                    failures.append(error)
+                    self.metrics.increment("shard_failures")
+                    add_event(
+                        "shard_failed", shard_offset=offset, error=repr(error)
+                    )
+                    continue
+                parts.append(result)
+                self.metrics.increment("store_block_reads_workers")
+        elif self._executor is None or self._n_shards == 1:
+            for index in range(self._n_shards):
+                try:
+                    parts.append(
+                        self._batch_shard_topk(
+                            queries, index, ks, approximate, budget
+                        )
+                    )
+                except Exception as error:
+                    failures.append(error)
+                    self.metrics.increment("shard_failures")
+                    add_event(
+                        "shard_failed",
+                        shard_offset=self._shard_offsets[index],
+                        error=repr(error),
+                    )
+        else:
+            futures = [
+                self._executor.submit(
+                    contextvars.copy_context().run,
+                    self._batch_shard_topk,
+                    queries,
+                    index,
+                    ks,
+                    approximate,
+                    budget,
+                )
+                for index in range(self._n_shards)
+            ]
+            for index, future in enumerate(futures):
+                try:
+                    parts.append(future.result())
+                except Exception as error:
+                    failures.append(error)
+                    self.metrics.increment("shard_failures")
+                    add_event(
+                        "shard_failed",
+                        shard_offset=self._shard_offsets[index],
+                        error=repr(error),
+                    )
+        if not parts:
+            assert failures
+            raise failures[-1]
+        shard_tags: List[str] = []
+        if failures:
+            if budget.expired:
+                shard_tags.append("deadline")
+            if any(not isinstance(e, StoreBlockCorrupt) for e in failures):
+                shard_tags.append("shard_failed")
+            if any(isinstance(e, StoreBlockCorrupt) for e in failures):
+                shard_tags.append("store_block_corrupt")
+        results = []
+        total_pruned = 0
+        total_refined = 0
+        for position, k in enumerate(ks):
+            ids = np.concatenate([part[position][0] for part in parts])
+            distances = np.concatenate([part[position][1] for part in parts])
+            total_pruned += sum(part[position][2] for part in parts)
+            total_refined += sum(part[position][3] for part in parts)
+            exact = all(part[position][4] for part in parts)
+            reasons = tuple(shard_tags) + (() if exact else ("overload",))
+            top = exact_top_k(distances, min(k, ids.shape[0]), tie_break=ids)
+            results.append((ids[top], distances[top], reasons))
+        if total_pruned:
+            self.metrics.increment("candidates_pruned", int(total_pruned))
+        self.metrics.increment("candidates_refined", int(total_refined))
+        return results
+
+    def scan_batch(
+        self,
+        queries: Sequence[QueryLike],
+        ks: Optional[Sequence[int]] = None,
+        *,
+        approximate: Optional[Sequence[bool]] = None,
+    ):
+        """Synchronously scan an explicit micro-batch (no queueing).
+
+        The deterministic entry point for benchmarks and tests: the
+        given queries form exactly one micro-batch regardless of the
+        executor's timing knobs, running the same batched scan the
+        executor dispatches.  Returns one ``(ids, distances, reasons)``
+        tuple per query, each byte-identical to the query's solo
+        sharded scan.
+        """
+        queries = list(queries)
+        if ks is None:
+            ks_list = [self.k] * len(queries)
+        else:
+            ks_list = [self._clamp_k(k) for k in ks]
+        flags = (
+            [False] * len(queries) if approximate is None else list(approximate)
+        )
+        for query in queries:
+            ensure_compiled(query, scope=self._dataset_fingerprint)
+        budget = self.resilience.budget(clock=self._clock)
+        return self._batch_scan(queries, ks_list, flags, budget)

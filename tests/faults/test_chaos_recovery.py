@@ -28,12 +28,24 @@ SCALE = chaos_scale()
 K = 10
 
 
-def run_workload(database, fault_plan, *, workload_seed=0, shards=4, store_path=None):
+def run_workload(
+    database,
+    fault_plan,
+    *,
+    workload_seed=0,
+    shards=4,
+    store_path=None,
+    batching=False,
+):
     """Round-robin query/feedback rounds; returns (records, fire stats).
 
     With ``store_path`` the service is backed by that feature-store
     file (arming the ``store.*`` fault sites); the fault-free baseline
     must use the same path so both runs rank identical float32 bytes.
+    With ``batching`` every ranking routes through the batching
+    executor (arming the ``batch.execute`` site); the sequential
+    workload yields micro-batches of one, which still traverse the
+    full batch path.
     """
     from repro.store import FeatureStore
 
@@ -51,6 +63,7 @@ def run_workload(database, fault_plan, *, workload_seed=0, shards=4, store_path=
             capacity=2,  # small: forces checkpoint evict/restore churn
             checkpoint_dir=checkpoint_dir,
             cache_size=32,
+            batching=batching,
         )
         context = (
             activate_faults(fault_plan) if fault_plan is not None else nullcontext()
@@ -135,8 +148,15 @@ def test_byte_identical_or_degraded(database, plan_name, fault_seed, tmp_path):
 
         store_path = tmp_path / "chaos.qcs"
         build_store(database, store_path, n_shards=4)
-    baseline, _ = run_workload(database, None, store_path=store_path)
-    faulted, stats = run_workload(database, plan, store_path=store_path)
+    # batch-abort targets batch.execute, so both runs must route
+    # rankings through the batching executor.
+    batching = plan_name == "batch-abort"
+    baseline, _ = run_workload(
+        database, None, store_path=store_path, batching=batching
+    )
+    faulted, stats = run_workload(
+        database, plan, store_path=store_path, batching=batching
+    )
     counts = check_contract(baseline, faulted)
     assert stats["total_fires"] > 0, "plan never fired: workload too small"
     assert counts["exact"] > 0, "no page survived to be byte-checked"
@@ -177,7 +197,11 @@ def test_faults_never_leak_out_of_activation(database, plan_name):
     """After a chaos workload the ambient state is fully disarmed."""
     from repro.faults import faults_active
 
-    run_workload(database, builtin_plan(plan_name, seed=0))
+    run_workload(
+        database,
+        builtin_plan(plan_name, seed=0),
+        batching=plan_name == "batch-abort",
+    )
     assert not faults_active()
     records, _ = run_workload(database, None)
     assert all(record.get("quality") == "exact" for record in records)

@@ -245,3 +245,89 @@ class TestStoreAndPoolFamilies:
             text = prometheus_text(service.metrics_snapshot())
         families = parse_exposition(text)
         assert float(families["repro_store_block_reads_total"]["samples"][0][2]) > 0
+
+
+class TestBatchingFamilies:
+    def batching_snapshot(self):
+        snapshot = make_snapshot()
+        snapshot["batching"] = {
+            "submitted": 24,
+            "batches": 9,
+            "batched_queries": 24,
+            "queue_depth": 2,
+            "peak_queue_depth": 11,
+            "shed": 1,
+            "fallbacks": 0,
+            "mean_batch_size": 2.6667,
+            "p50_batch_size": 2.0,
+            "max_batch_size": 6.0,
+            "tenants_served": {"acme": 16, "globex": 8},
+        }
+        return snapshot
+
+    def test_batch_families_exported(self):
+        families = parse_exposition(prometheus_text(self.batching_snapshot()))
+        assert families["repro_batch_queue_depth"]["type"] == "gauge"
+        assert families["repro_batches_total"]["type"] == "counter"
+        assert families["repro_batched_queries_total"]["type"] == "counter"
+        assert families["repro_batch_size"]["type"] == "summary"
+        depth = families["repro_batch_queue_depth"]["samples"]
+        assert depth == [("repro_batch_queue_depth", {}, "2")]
+        assert families["repro_batches_total"]["samples"][0][2] == "9"
+
+    def test_batch_size_summary_shape(self):
+        families = parse_exposition(prometheus_text(self.batching_snapshot()))
+        samples = {
+            (name, labels.get("quantile")): value
+            for name, labels, value in families["repro_batch_size"]["samples"]
+        }
+        assert samples[("repro_batch_size", "0.5")] == "2"
+        assert samples[("repro_batch_size", "1")] == "6"
+        assert samples[("repro_batch_size_sum", None)] == "24"
+        assert samples[("repro_batch_size_count", None)] == "9"
+
+    def test_tenant_counter_labels(self):
+        families = parse_exposition(prometheus_text(self.batching_snapshot()))
+        tenants = {
+            labels["tenant"]: value
+            for _, labels, value in families["repro_batch_tenant_queries_total"][
+                "samples"
+            ]
+        }
+        assert tenants == {"acme": "16", "globex": "8"}
+
+    def test_numeric_fields_land_in_the_info_section(self):
+        families = parse_exposition(prometheus_text(self.batching_snapshot()))
+        fields = {
+            labels["field"]
+            for _, labels, _ in families["repro_batching_info"]["samples"]
+        }
+        assert "shed" in fields
+        assert "peak_queue_depth" in fields
+
+    def test_absent_batching_emits_no_batch_families(self):
+        families = parse_exposition(prometheus_text(make_snapshot()))
+        assert "repro_batch_queue_depth" not in families
+        assert "repro_batches_total" not in families
+
+    def test_live_batched_service_exposition(self, two_blob_data):
+        """A real batched service's /metrics output carries the batch
+        families and stays grammar-clean."""
+        from repro.retrieval import FeatureDatabase
+        from repro.service import BatchingConfig, RetrievalService
+
+        vectors, labels = two_blob_data
+        database = FeatureDatabase(vectors, labels)
+        with RetrievalService(
+            database,
+            k=5,
+            use_index=False,
+            n_shards=1,
+            batching=BatchingConfig(max_batch=4, max_wait_s=0.001),
+        ) as service:
+            session_id = service.create_session(0, tenant="acme")
+            service.query(session_id)
+            families = parse_exposition(service.prometheus_metrics())
+        assert families["repro_batched_queries_total"]["samples"][0][2] == "1"
+        tenant_samples = families["repro_batch_tenant_queries_total"]["samples"]
+        assert tenant_samples[0][1] == {"tenant": "acme"}

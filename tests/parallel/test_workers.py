@@ -2,7 +2,9 @@
 
 from __future__ import annotations
 
+import threading
 import time
+from concurrent.futures import Future
 
 import numpy as np
 import pytest
@@ -146,3 +148,81 @@ class TestShardWorkerPool:
             assert stats["tasks_failed"] == 1
             assert stats["peak_busy"] >= 1
         pool.shutdown()  # idempotent after context-manager exit
+
+
+class TestPoolBatchScan:
+    def test_submit_batch_matches_solo_scans(self, tmp_path, rng):
+        """One worker round-trip serves a whole micro-batch, each page
+        byte-identical to its solo scan."""
+        vectors = rng.normal(size=(120, 4))
+        path = build_store(vectors, tmp_path / "b.qcs", n_shards=2)
+        store = FeatureStore.open(path)
+        queries = [make_disjunctive(rng), make_disjunctive(rng, diagonal=True)]
+        payloads = [encode_query(query) for query in queries]
+        ks = [5, 7]
+        with ShardWorkerPool(path, n_workers=1) as pool:
+            for index in range(store.n_shards):
+                results = pool.submit_batch(
+                    index, payloads, ks, [False, False]
+                ).result()
+                assert len(results) == len(queries)
+                offset = store.row_offsets[index]
+                for query, k, (ids, distances, _, _, exact) in zip(
+                    queries, ks, results
+                ):
+                    solo = scan_shard_topk(query, store.shard(index), offset, k)
+                    assert ids.tobytes() == solo[0].tobytes()
+                    assert distances.tobytes() == solo[1].tobytes()
+                    assert exact is True
+            stats = settled_stats(pool)
+            assert stats["tasks_completed"] == store.n_shards
+
+
+class TestPoolStatsLockSplit:
+    """Regression tests for the stats/lifecycle lock split: metric reads
+    must never block behind a (slow) worker spawn, and accounting must
+    stay consistent around submit failures."""
+
+    def test_stats_do_not_block_behind_the_lifecycle_lock(self, tmp_path):
+        pool = ShardWorkerPool(tmp_path / "s.qcs", n_workers=1)
+        with pool._lock:  # simulates a spawn in progress
+            done = []
+
+            def read():
+                done.append((pool.stats(), pool.busy))
+
+            reader = threading.Thread(target=read)
+            reader.start()
+            reader.join(timeout=2.0)
+            assert not reader.is_alive(), "stats() blocked behind _lock"
+        assert done and done[0][0]["busy"] == 0
+
+    def test_failed_submit_rolls_back_in_flight(self, tmp_path):
+        pool = ShardWorkerPool(tmp_path / "s.qcs", n_workers=1)
+
+        def boom():
+            raise RuntimeError("executor refused")
+
+        with pytest.raises(RuntimeError, match="executor refused"):
+            pool._track_submit(boom)
+        stats = pool.stats()
+        assert stats["busy"] == 0
+        assert stats["peak_busy"] == 1
+        assert stats["tasks_completed"] == 0
+        assert stats["tasks_failed"] == 0
+
+    def test_done_callback_classifies_outcomes(self, tmp_path):
+        pool = ShardWorkerPool(tmp_path / "s.qcs", n_workers=1)
+        ok, bad, dropped = Future(), Future(), Future()
+        for future in (ok, bad, dropped):
+            pool._track_submit(lambda future=future: future)
+        assert pool.busy == 3
+        ok.set_result([])
+        bad.set_exception(ValueError("scan failed"))
+        dropped.cancel()
+        dropped.set_running_or_notify_cancel()
+        stats = settled_stats(pool)
+        assert stats["busy"] == 0
+        assert stats["peak_busy"] == 3
+        assert stats["tasks_completed"] == 1
+        assert stats["tasks_failed"] == 2

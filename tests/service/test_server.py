@@ -1,0 +1,256 @@
+"""HTTP front-end: routes, errors, tenancy, lifecycle, load generator.
+
+Runs a real :class:`RetrievalServer` on an ephemeral port (the event
+loop on a daemon thread via ``start_in_background``) and talks to it
+with ``http.client`` over keep-alive connections — the same wire path
+production clients use, stdlib only.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+
+import pytest
+
+from repro.service import BatchingConfig, RetrievalService
+from repro.service.server import RetrievalServer, closed_loop_load
+
+
+@pytest.fixture(scope="module")
+def service(database):
+    with RetrievalService(
+        database, k=10, use_index=False, n_shards=1, cache_size=8
+    ) as service:
+        yield service
+
+
+@pytest.fixture(scope="module")
+def server(service):
+    server = RetrievalServer(service, port=0, max_concurrent=8)
+    host, port = server.start_in_background()
+    yield server
+    server.stop_background()
+
+
+@pytest.fixture()
+def conn(server):
+    host, port = server.address
+    connection = http.client.HTTPConnection(host, port, timeout=10)
+    yield connection
+    connection.close()
+
+
+def call(conn, method, path, body=None, headers=None):
+    payload = json.dumps(body) if body is not None else None
+    conn.request(method, path, body=payload, headers=headers or {})
+    response = conn.getresponse()
+    raw = response.read()
+    if response.headers.get_content_type() == "application/json" and raw:
+        return response.status, json.loads(raw)
+    return response.status, raw
+
+
+class TestSessionLifecycle:
+    def test_create_page_feedback_close(self, conn, service, database):
+        status, created = call(conn, "POST", "/sessions", {"query": 5})
+        assert status == 201
+        session_id = created["session_id"]
+
+        status, page = call(conn, "GET", f"/sessions/{session_id}/page?k=5")
+        assert status == 200
+        assert len(page["ids"]) == 5
+        assert len(page["distances"]) == 5
+        assert page["iteration"] == 0
+        assert page["quality"]["exact"] is True
+
+        status, refreshed = call(
+            conn,
+            "POST",
+            f"/sessions/{session_id}/feedback",
+            {"relevant_ids": page["ids"][:3], "k": 5},
+        )
+        assert status == 200
+        assert refreshed["iteration"] == 1
+
+        status, _ = call(conn, "DELETE", f"/sessions/{session_id}")
+        assert status == 204
+        status, body = call(conn, "GET", f"/sessions/{session_id}/page")
+        assert status == 404
+
+    def test_pages_round_trip_losslessly(self, conn, service, database):
+        """A page read over HTTP is bit-identical to the in-process page
+        (JSON doubles round-trip exactly)."""
+        status, created = call(conn, "POST", "/sessions", {"query": 7})
+        session_id = created["session_id"]
+        _, page = call(conn, "GET", f"/sessions/{session_id}/page?k=7")
+        direct = service.query(session_id, 7)
+        assert page["ids"] == [int(i) for i in direct.ids]
+        assert page["distances"] == [float(d) for d in direct.distances]
+        call(conn, "DELETE", f"/sessions/{session_id}")
+
+    def test_vector_query_and_explicit_session_id(self, conn, database):
+        vector = [float(x) for x in database.vectors[3]]
+        status, created = call(
+            conn,
+            "POST",
+            "/sessions",
+            {"query": vector, "session_id": "wire-vec"},
+        )
+        assert status == 201
+        assert created["session_id"] == "wire-vec"
+        status, page = call(conn, "GET", "/sessions/wire-vec/page?k=3")
+        assert status == 200
+        assert page["ids"][0] == 3  # nearest to its own stored vector
+        call(conn, "DELETE", "/sessions/wire-vec")
+
+    def test_tenant_header_labels_the_session(self, conn, service):
+        status, created = call(
+            conn,
+            "POST",
+            "/sessions",
+            {"query": 1},
+            headers={"X-Tenant": "acme"},
+        )
+        assert status == 201
+        session_id = created["session_id"]
+        assert service.tenant_of(session_id) == "acme"
+        call(conn, "DELETE", f"/sessions/{session_id}")
+
+
+class TestErrorPaths:
+    def test_unknown_route_is_404(self, conn):
+        status, body = call(conn, "GET", "/nope")
+        assert status == 404
+        assert "no route" in body["error"]
+
+    def test_unknown_session_is_404(self, conn):
+        status, _ = call(conn, "GET", "/sessions/ghost/page")
+        assert status == 404
+
+    def test_missing_query_is_400(self, conn):
+        status, body = call(conn, "POST", "/sessions", {})
+        assert status == 400
+        assert "query" in body["error"]
+
+    def test_boolean_query_is_400(self, conn):
+        status, _ = call(conn, "POST", "/sessions", {"query": True})
+        assert status == 400
+
+    def test_malformed_json_is_400(self, conn):
+        conn.request(
+            "POST",
+            "/sessions",
+            body="{not json",
+            headers={"Content-Type": "application/json"},
+        )
+        response = conn.getresponse()
+        assert response.status == 400
+        response.read()
+
+    def test_wrong_method_is_405(self, conn):
+        status, created = call(conn, "POST", "/sessions", {"query": 2})
+        session_id = created["session_id"]
+        status, _ = call(conn, "POST", f"/sessions/{session_id}/page")
+        assert status == 405
+        status, _ = call(conn, "GET", f"/sessions/{session_id}/feedback")
+        assert status == 405
+        call(conn, "DELETE", f"/sessions/{session_id}")
+
+    def test_oversized_body_is_413(self, conn):
+        conn.request(
+            "POST",
+            "/sessions",
+            headers={"Content-Length": str(9 * 1024 * 1024)},
+        )
+        response = conn.getresponse()
+        assert response.status == 413
+        response.read()
+        # 413 short-circuits before the body read; the connection stays
+        # usable for the next (well-formed) request.
+        status, _ = call(conn, "GET", "/healthz")
+        assert status == 200
+
+
+class TestIntrospection:
+    def test_healthz(self, conn):
+        status, body = call(conn, "GET", "/healthz")
+        assert status == 200
+        assert body["status"] == "ok"
+        assert "sessions" in body
+
+    def test_stats_returns_metrics_snapshot(self, conn):
+        status, body = call(conn, "GET", "/stats")
+        assert status == 200
+        assert "counters" in body
+
+    def test_metrics_prometheus_exposition(self, conn):
+        status, raw = call(conn, "GET", "/metrics")
+        assert status == 200
+        assert b"# TYPE" in raw
+
+    def test_keep_alive_reuses_one_connection(self, conn):
+        for _ in range(3):
+            status, _ = call(conn, "GET", "/healthz")
+            assert status == 200
+
+
+class TestLifecycle:
+    def test_double_start_is_rejected(self, server):
+        with pytest.raises(RuntimeError, match="already started"):
+            server.start_in_background()
+
+    def test_invalid_max_concurrent(self, service):
+        with pytest.raises(ValueError, match="max_concurrent"):
+            RetrievalServer(service, max_concurrent=0)
+
+    def test_stop_background_is_idempotent(self, database):
+        with RetrievalService(
+            database, k=5, use_index=False, n_shards=1
+        ) as service:
+            server = RetrievalServer(service, port=0)
+            server.start_in_background()
+            server.stop_background()
+            server.stop_background()  # no-op
+
+
+class TestClosedLoopLoad:
+    def test_load_generator_against_batched_service(self, database):
+        """End-to-end: concurrent HTTP sessions through the batching
+        executor return the same pages as a serial unbatched replay."""
+        kwargs = dict(k=10, use_index=False, n_shards=1, cache_size=0)
+        with RetrievalService(database, **kwargs) as service:
+            server = RetrievalServer(service, port=0, max_concurrent=8)
+            host, port = server.start_in_background()
+            serial = closed_loop_load(
+                host, port, sessions=1, rounds=2, k=5, query_ids=[4]
+            )
+            server.stop_background()
+        assert not serial["errors"]
+
+        with RetrievalService(
+            database,
+            batching=BatchingConfig(max_batch=8, max_wait_s=0.005),
+            **kwargs,
+        ) as service:
+            server = RetrievalServer(service, port=0, max_concurrent=8)
+            host, port = server.start_in_background()
+            report = closed_loop_load(
+                host,
+                port,
+                sessions=6,
+                rounds=2,
+                k=5,
+                query_ids=[4] * 6,
+                tenants=3,
+            )
+            stats = service.batching.stats()
+            server.stop_background()
+        assert not report["errors"]
+        assert report["queries"] == 6 * 3
+        assert report["qps"] > 0
+        assert stats["batched_queries"] == 6 * 3
+        # Every concurrent session of the same seed query returns the
+        # serial session's exact pages, round for round.
+        for (index, round_index), page in report["pages"].items():
+            assert page == serial["pages"][(0, round_index)]

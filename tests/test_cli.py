@@ -298,3 +298,79 @@ class TestStoreCommand:
         assert exit_code == 0
         output = capsys.readouterr().out
         assert "resilience contract holds" in output
+
+
+class TestServeCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 8080
+        assert args.max_concurrent == 64
+        assert args.batch_size == 32
+        assert args.batch_wait_ms == 2.0
+        assert args.shed_threshold is None
+        assert not args.no_batching
+        assert not args.use_index
+        assert not args.self_test
+
+    def test_self_test_runs_the_closed_loop_load(self, capsys):
+        exit_code = main(
+            [
+                "serve",
+                "--port", "0",
+                "--self-test",
+                "--categories", "4",
+                "--images-per-category", "20",
+                "--k", "10",
+                "--loadgen-sessions", "6",
+                "--loadgen-rounds", "2",
+                "--max-concurrent", "8",
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "qps" in output
+        assert "batches" in output
+        assert "errors=0" in output
+
+    def test_self_test_unbatched(self, capsys):
+        exit_code = main(
+            [
+                "serve",
+                "--port", "0",
+                "--self-test",
+                "--no-batching",
+                "--categories", "3",
+                "--images-per-category", "15",
+                "--k", "10",
+                "--loadgen-sessions", "3",
+                "--loadgen-rounds", "1",
+            ]
+        )
+        assert exit_code == 0
+        assert "qps" in capsys.readouterr().out
+
+
+class TestBatchAbortChaos:
+    def test_parser_has_batching_flag(self):
+        args = build_parser().parse_args(["chaos", "--batching"])
+        assert args.batching
+
+    def test_batch_abort_chaos_upholds_the_contract(self, capsys):
+        exit_code = main(
+            [
+                "chaos",
+                "--plan", "batch-abort",
+                "--batching",
+                "--categories", "3",
+                "--images-per-category", "15",
+                "--iterations", "2",
+                "--k", "10",
+                "--sessions", "3",
+                "--shards", "2",
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "plan: batch-abort" in output
+        assert "resilience contract holds" in output
