@@ -125,6 +125,56 @@ class TestDisabledOverhead:
         )
         assert share < OVERHEAD_BUDGET
 
+    def test_propagation_and_slo_fit_round_budget(self, color_database):
+        """The distributed-tracing PR's additions ride the same budget:
+        header parse + context adoption + an always-on SLO observation
+        per request, measured against a real feedback round."""
+        from repro.obs import (
+            SLOTracker,
+            TraceContext,
+            add_event,
+            current_tracer,
+            with_trace_context,
+        )
+
+        headers = {
+            "traceparent": f"00-{'ab' * 16}-{'cd' * 8}-01",
+            "x-request-id": "bench-req",
+        }
+        slo = SLOTracker()
+        n = 100_000
+        start = time.perf_counter()
+        for _ in range(n):
+            context = TraceContext.from_headers(headers)
+            with with_trace_context(context):
+                with current_tracer().span("http_request"):
+                    add_event("event", value=1)
+            slo.observe("query", 0.001, tenant="bench", exact=True)
+        per_request = (time.perf_counter() - start) / n
+
+        service = RetrievalService(color_database, k=50, cache_size=0)
+        try:
+            session = service.create_session(0)
+            user = SimulatedUser(color_database, color_database.category_of(0))
+            page = service.query(session)
+            judgment = user.judge(page.ids)
+            start = time.perf_counter()
+            service.feedback(session, judgment.relevant_indices, judgment.scores)
+            round_seconds = time.perf_counter() - start
+        finally:
+            service.shutdown()
+
+        # One request = one header parse, one adoption, one SLO sample —
+        # not one per instrumentation point, so the per-round multiplier
+        # is a handful of requests, budgeted generously at 4.
+        share = per_request * 4 / round_seconds
+        print(
+            f"\npropagation+SLO per request: {per_request * 1e9:.0f} ns; "
+            f"4 requests/round over a {round_seconds * 1e3:.1f} ms round "
+            f"= {share:.4%} overhead"
+        )
+        assert share < OVERHEAD_BUDGET
+
     def test_null_tracer_is_the_default(self, color_database):
         service = RetrievalService(color_database)
         try:

@@ -13,7 +13,8 @@ Demonstrates the `repro.service` subsystem end to end:
 5. print the operational metrics snapshot,
 6. trace one full feedback session and render its span tree, write the
    JSONL event log (path via ``REPRO_TRACE_JSONL``, default
-   ``service_demo_trace.jsonl``), and print the Prometheus exposition.
+   ``examples/out/service_demo_trace.jsonl``), and print the Prometheus
+   exposition.
 
 Run:  PYTHONPATH=src python examples/service_demo.py
 """
@@ -130,7 +131,12 @@ def traced_session(database: FeatureDatabase) -> None:
     feedback_traces = [t for t in tracer.traces() if t["name"] == "feedback"]
     print(render_span_tree(feedback_traces[0]))
 
-    jsonl_path = os.environ.get("REPRO_TRACE_JSONL", "service_demo_trace.jsonl")
+    jsonl_path = os.environ.get(
+        "REPRO_TRACE_JSONL", os.path.join("examples", "out", "service_demo_trace.jsonl")
+    )
+    parent = os.path.dirname(jsonl_path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
     log = JsonlTraceLog(jsonl_path)
     written = log.export_all(tracer)
     print(f"  wrote {written} spans to {jsonl_path}")

@@ -363,6 +363,18 @@ def cmd_chaos(args) -> int:
         Path(args.save_plan).write_text(plan.to_json())
         print(f"plan written to {args.save_plan}")
 
+    # Tail-sampled tracing of the faulted replay: keep_probability=0 keeps
+    # ONLY traces flagged interesting (fault_injected / retry / degraded
+    # quality / errors), so the exported JSONL is exactly the incident set.
+    tracer = None
+    if args.trace_jsonl:
+        from .obs import TailSamplingPolicy, Tracer
+
+        tracer = Tracer(
+            max_traces=256,
+            tail_sampling=TailSamplingPolicy(keep_probability=0.0),
+        )
+
     database = _build_database(args)
     rng = np.random.default_rng(args.seed)
     query_ids = [int(q) for q in rng.integers(0, database.size, size=args.sessions)]
@@ -375,7 +387,7 @@ def cmd_chaos(args) -> int:
         store_path = Path(store_dir.name) / "chaos.qcs"
         build_store(database, store_path, n_shards=args.shards)
 
-    def run_workload(fault_plan):
+    def run_workload(fault_plan, trace_with=None):
         """One sequential round-robin workload; returns (records, stats)."""
         records = []
         with tempfile.TemporaryDirectory() as checkpoint_dir:
@@ -388,6 +400,7 @@ def cmd_chaos(args) -> int:
                 checkpoint_dir=checkpoint_dir,
                 cache_size=args.cache_size,
                 batching=args.batching,
+                tracer=trace_with,
             )
             context = (
                 activate_faults(fault_plan)
@@ -439,7 +452,7 @@ def cmd_chaos(args) -> int:
 
     try:
         baseline, _, _ = run_workload(None)
-        faulted, fire_stats, snapshot = run_workload(plan)
+        faulted, fire_stats, snapshot = run_workload(plan, trace_with=tracer)
     finally:
         if store_dir is not None:
             store_dir.cleanup()
@@ -512,6 +525,28 @@ def cmd_chaos(args) -> int:
         f"pages: {exact_pages} exact (byte-checked), {degraded_pages} degraded, "
         f"{errored} errored, {excluded} excluded after an error"
     )
+    if tracer is not None:
+        from .obs import trace_to_jsonl_lines
+
+        traces = tracer.traces()
+        lines = [line for trace in traces for line in trace_to_jsonl_lines(trace)]
+        Path(args.trace_jsonl).write_text(
+            "\n".join(lines) + ("\n" if lines else ""), encoding="utf-8"
+        )
+        tail = tracer.aggregates().get("tail", {})
+        print(
+            f"tail sampling: {len(traces)} trace(s) retained "
+            f"({tail.get('kept_interesting', 0)} interesting, "
+            f"{tail.get('kept_slow', 0)} slow, {tail.get('dropped', 0)} dropped) "
+            f"-> {args.trace_jsonl}"
+        )
+        if (degraded_pages or errored) and not traces:
+            print(
+                "VIOLATION: degraded/errored pages occurred but tail sampling "
+                "retained no trace",
+                file=sys.stderr,
+            )
+            return 1
     if violations:
         print(
             f"VIOLATION: {len(violations)} exact page(s) differ from the "
@@ -547,6 +582,8 @@ def cmd_obs(args) -> int:
         traces = tracer.traces(last=args.last)
         if args.format == "prometheus":
             output = service.prometheus_metrics()
+        elif args.format == "slo":
+            output = _render_slo(service.slo.snapshot())
         elif args.format == "jsonl":
             output = "\n".join(
                 line for trace in traces for line in trace_to_jsonl_lines(trace)
@@ -563,6 +600,44 @@ def cmd_obs(args) -> int:
     else:
         print(output)
     return 0
+
+
+def _render_slo(snapshot) -> str:
+    """Human-readable SLO report: latency rows, then burn rates."""
+    lines = ["latency histograms (p50 / p95 / p99, count):"]
+    for entry in snapshot["histograms"]:
+        cumulative = entry["counts"]
+        buckets = entry["buckets"]
+        count = entry["count"]
+
+        def quantile(q):
+            if count == 0:
+                return 0.0
+            rank = q * count
+            for bound, seen in zip(buckets, cumulative):
+                if seen >= rank:
+                    return bound
+            return buckets[-1]
+
+        label = f"{entry['route']}/{entry['tenant']}/{entry['quality']}"
+        lines.append(
+            f"  {label:<32} {quantile(0.5) * 1000:8.2f}ms "
+            f"{quantile(0.95) * 1000:8.2f}ms {quantile(0.99) * 1000:8.2f}ms "
+            f"n={count}"
+        )
+    if len(lines) == 1:
+        lines.append("  (no requests observed)")
+    lines.append("")
+    lines.append("error-budget burn rates (per objective, per window):")
+    for objective in snapshot["objectives"]:
+        target = objective["target"]
+        lines.append(f"  {objective['name']} (target {target:g}):")
+        for window, stats in objective["windows"].items():
+            lines.append(
+                f"    {window:<8} burn={stats['burn_rate']:.3f} "
+                f"bad={stats['bad']}/{stats['total']}"
+            )
+    return "\n".join(lines)
 
 
 def _figure_tables(figure_id: str, scale: str):
@@ -773,10 +848,11 @@ def build_parser() -> argparse.ArgumentParser:
     obs.add_argument("--sessions", type=int, default=2, help="sessions to drive")
     obs.add_argument(
         "--format",
-        choices=("tree", "jsonl", "prometheus"),
+        choices=("tree", "jsonl", "prometheus", "slo"),
         default="tree",
         help="tree = rendered span trees, jsonl = raw event log, "
-        "prometheus = text-format metrics exposition",
+        "prometheus = text-format metrics exposition, "
+        "slo = latency quantiles and error-budget burn rates",
     )
     obs.add_argument(
         "--last", type=int, default=None, help="only the last N traces"
@@ -836,6 +912,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="route both replays through the batching executor, arming the "
         "batch.execute fault site",
+    )
+    chaos.add_argument(
+        "--trace-jsonl",
+        default=None,
+        help="trace the faulted replay with tail sampling (keep only "
+        "faulted/degraded/slow traces) and write them to this JSONL file; "
+        "fails if degraded pages occurred but no trace was retained",
     )
     chaos.set_defaults(func=cmd_chaos)
 

@@ -9,16 +9,30 @@ whose disabled cost is negligible.
 
 * :mod:`~repro.obs.tracer` — :class:`Tracer`, :class:`Span`, events,
   the :data:`NULL_TRACER` default and the ambient
-  :func:`activate` / :func:`current_tracer` / :func:`add_event` hooks.
+  :func:`activate` / :func:`current_tracer` / :func:`add_event` hooks,
+  plus :class:`TailSamplingPolicy` (keep-or-drop at root finish).
+* :mod:`~repro.obs.distributed` — :class:`TraceContext` propagation:
+  the ``traceparent``/``X-Request-Id`` header codec and the ambient
+  remote parent adopted by root spans across the HTTP edge and the
+  worker-pool process boundary.
+* :mod:`~repro.obs.slo` — fixed-bucket latency histograms per
+  route/tenant/quality and :class:`SLObjective` error-budget burn
+  rates over sliding windows.
 * :mod:`~repro.obs.export` — JSONL span log and the console span tree.
 * :mod:`~repro.obs.prometheus` — text-format (v0.0.4) exposition from
   :class:`~repro.service.metrics.ServiceMetrics` snapshots plus tracer
   aggregates.
 
-See ``docs/OBSERVABILITY.md`` for the span/event schema and scrape
-examples.
+See ``docs/OBSERVABILITY.md`` for the span/event schema, the
+distributed-trace header format, and scrape examples.
 """
 
+from .distributed import (
+    TraceContext,
+    current_trace_context,
+    parse_traceparent,
+    with_trace_context,
+)
 from .export import (
     JsonlTraceLog,
     render_span_tree,
@@ -27,11 +41,13 @@ from .export import (
     tree_from_spans,
 )
 from .prometheus import prometheus_text
+from .slo import DEFAULT_BUCKETS, LatencyHistogram, SLObjective, SLOTracker
 from .tracer import (
     NULL_TRACER,
     NullTracer,
     Span,
     SpanEvent,
+    TailSamplingPolicy,
     Tracer,
     activate,
     add_event,
@@ -45,10 +61,19 @@ __all__ = [
     "NULL_TRACER",
     "Span",
     "SpanEvent",
+    "TailSamplingPolicy",
     "activate",
     "add_event",
     "current_span",
     "current_tracer",
+    "TraceContext",
+    "parse_traceparent",
+    "current_trace_context",
+    "with_trace_context",
+    "DEFAULT_BUCKETS",
+    "LatencyHistogram",
+    "SLObjective",
+    "SLOTracker",
     "JsonlTraceLog",
     "trace_to_jsonl_lines",
     "spans_from_jsonl",

@@ -1,0 +1,259 @@
+"""Distributed trace context: W3C-``traceparent``-style propagation.
+
+The PR 4 tracer stops at two boundaries the serving stack has since
+crossed: the HTTP edge (a client cannot hand the server a trace to
+join) and the :class:`~repro.parallel.ShardWorkerPool` process boundary
+(worker-side scans are invisible to the request tree).  This module is
+the wire half of crossing both:
+
+* :class:`TraceContext` — the compact propagated triple: a 128-bit
+  ``trace_id``, an optional parent ``span_id``, and the sampling
+  decision.  Immutable and picklable, so it ships in HTTP headers and
+  in worker-pool task payloads alike.
+* :meth:`TraceContext.to_traceparent` / :func:`parse_traceparent` — the
+  ``00-<trace>-<span>-<flags>`` header codec (W3C Trace Context
+  *style*: an all-zero parent span encodes "trace joined, no remote
+  parent", which strict W3C omits).  Parsing **never raises**: any
+  malformed header degrades to ``None`` and the caller starts a fresh
+  context — a garbage ``traceparent`` must never 500 a request.
+* :meth:`TraceContext.from_headers` — the server-side policy: honour
+  ``traceparent`` first, fall back to ``X-Request-Id`` (adopted
+  verbatim when it is already 32-hex, deterministically digested
+  otherwise so client logs still join server traces), else mint a
+  fresh context.
+* :func:`with_trace_context` / :func:`current_trace_context` — the
+  ambient remote parent.  :meth:`~repro.obs.tracer.Tracer.span` adopts
+  it when opening a *root* span: the root keeps the propagated
+  ``trace_id``, records the remote ``span_id`` as its parent, and
+  honours the propagated sampling decision (a caller that sampled the
+  trace out keeps it dark end to end).
+
+Nothing here touches the disabled path: :data:`~repro.obs.NULL_TRACER`
+users never allocate a context, and the ambient variable is read only
+when a *root* span is being opened (once per request, never per row).
+"""
+
+from __future__ import annotations
+
+import contextvars
+import hashlib
+import os
+import re
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, Mapping, Optional
+
+__all__ = [
+    "TraceContext",
+    "parse_traceparent",
+    "sanitize_request_id",
+    "current_trace_context",
+    "with_trace_context",
+]
+
+#: Bit 0 of the traceparent flags byte: "this trace is sampled".
+_SAMPLED_FLAG = 0x01
+
+_TRACEPARENT = re.compile(
+    r"^(?P<version>[0-9a-f]{2})-(?P<trace>[0-9a-f]{32})-"
+    r"(?P<span>[0-9a-f]{16})-(?P<flags>[0-9a-f]{2})$"
+)
+_TRACE_ID = re.compile(r"^[0-9a-f]{32}$")
+_SPAN_ID = re.compile(r"^[0-9a-f]{16}$")
+#: Tokens acceptable as a client-chosen request id (echoed verbatim).
+_REQUEST_ID = re.compile(r"^[A-Za-z0-9._:-]{1,128}$")
+
+_ZERO_TRACE = "0" * 32
+_ZERO_SPAN = "0" * 16
+
+
+def _digest(token: str, width: int) -> str:
+    """A deterministic lowercase-hex id derived from an arbitrary token.
+
+    Used when a client supplies a free-form ``X-Request-Id``: the
+    derived trace id is stable, so retries and log-join queries for the
+    same request id land on the same trace.
+    """
+    return hashlib.sha256(token.encode("utf-8")).hexdigest()[:width]
+
+
+def _hex_id(token: Any, width: int) -> str:
+    """Coerce any span/trace token into a ``width``-hex identifier.
+
+    In-process ids (``t0000002a`` counters) pass through a digest so
+    they become header-legal without colliding with genuine hex ids.
+    """
+    text = str(token).lower()
+    pattern = _TRACE_ID if width == 32 else _SPAN_ID
+    if pattern.match(text) and text != "0" * width:
+        return text
+    return _digest(str(token), width)
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """The propagated identity of one distributed trace.
+
+    Attributes:
+        trace_id: the trace's id (32 lowercase hex on the wire; any
+            non-conforming token is digested deterministically when the
+            context is serialized).
+        span_id: the remote *parent* span id, or ``None`` when the
+            context names a trace but no enclosing span (a bare
+            ``X-Request-Id``, or a freshly minted context).
+        sampled: the propagated sampling decision; adopted roots honour
+            it over the local tracer's head-sampling counter.
+    """
+
+    trace_id: str
+    span_id: Optional[str] = None
+    sampled: bool = True
+
+    @classmethod
+    def fresh(cls, sampled: bool = True) -> "TraceContext":
+        """A brand-new context with a random 128-bit trace id."""
+        return cls(trace_id=os.urandom(16).hex(), span_id=None, sampled=sampled)
+
+    @classmethod
+    def from_request_id(cls, request_id: str) -> "TraceContext":
+        """Adopt a client request id as the trace identity.
+
+        A 32-hex id is adopted verbatim; anything else maps through a
+        deterministic digest (same id → same trace, always joinable).
+        """
+        token = str(request_id).strip()
+        lowered = token.lower()
+        if _TRACE_ID.match(lowered) and lowered != _ZERO_TRACE:
+            return cls(trace_id=lowered, span_id=None, sampled=True)
+        return cls(trace_id=_digest(token, 32), span_id=None, sampled=True)
+
+    @classmethod
+    def from_headers(cls, headers: Mapping[str, str]) -> "TraceContext":
+        """The inbound context of one HTTP request.  Never raises.
+
+        Precedence: a well-formed ``traceparent`` wins; else a sane
+        ``X-Request-Id`` is adopted; else (absent or garbage either
+        way) a fresh context is minted.
+        """
+        lowered = {str(key).lower(): str(value) for key, value in headers.items()}
+        parsed = parse_traceparent(lowered.get("traceparent", ""))
+        if parsed is not None:
+            return parsed
+        request_id = lowered.get("x-request-id", "").strip()
+        if request_id and _REQUEST_ID.match(request_id):
+            return cls.from_request_id(request_id)
+        return cls.fresh()
+
+    def child(self, span_id: str) -> "TraceContext":
+        """This trace continued under a new parent span (for fan-out)."""
+        return TraceContext(
+            trace_id=self.trace_id, span_id=str(span_id), sampled=self.sampled
+        )
+
+    def to_traceparent(self) -> str:
+        """The ``00-<trace32>-<span16>-<flags>`` header value.
+
+        An absent parent span encodes as all zeros (our parser maps it
+        back to ``None``); non-hex in-process ids are digested so the
+        header is always well-formed.
+        """
+        trace = _hex_id(self.trace_id, 32)
+        span = _ZERO_SPAN if self.span_id is None else _hex_id(self.span_id, 16)
+        flags = _SAMPLED_FLAG if self.sampled else 0
+        return f"00-{trace}-{span}-{flags:02x}"
+
+    def headers(self, request_id: Optional[str] = None) -> Dict[str, str]:
+        """The outbound header pair for this context."""
+        return {
+            "X-Request-Id": request_id if request_id else self.trace_id,
+            "traceparent": self.to_traceparent(),
+        }
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A primitive payload (worker-pool task argument)."""
+        return {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "sampled": self.sampled,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "TraceContext":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            trace_id=str(payload["trace_id"]),
+            span_id=(
+                None if payload.get("span_id") is None else str(payload["span_id"])
+            ),
+            sampled=bool(payload.get("sampled", True)),
+        )
+
+
+def parse_traceparent(value: str) -> Optional[TraceContext]:
+    """Parse one ``traceparent`` header; ``None`` on any malformation.
+
+    Rejected (→ ``None``, never an exception): wrong field count or
+    width, non-hex characters, the reserved version ``ff``, and an
+    all-zero trace id.  An all-zero parent span is accepted as "no
+    remote parent" (the codec's own round-trip form for
+    ``span_id=None``).
+    """
+    match = _TRACEPARENT.match(str(value).strip().lower())
+    if match is None:
+        return None
+    if match.group("version") == "ff":
+        return None
+    trace = match.group("trace")
+    if trace == _ZERO_TRACE:
+        return None
+    span: Optional[str] = match.group("span")
+    if span == _ZERO_SPAN:
+        span = None
+    flags = int(match.group("flags"), 16)
+    return TraceContext(
+        trace_id=trace, span_id=span, sampled=bool(flags & _SAMPLED_FLAG)
+    )
+
+
+def sanitize_request_id(value: Any) -> Optional[str]:
+    """``value`` as an echo-safe request id, or ``None``.
+
+    A client id is echoed back verbatim only when it is short and
+    header-safe (no CR/LF smuggling, no binary); anything else is
+    rejected and the server substitutes its own trace id.
+    """
+    token = str(value).strip() if value is not None else ""
+    if token and _REQUEST_ID.match(token):
+        return token
+    return None
+
+
+# ----------------------------------------------------------------------
+# Ambient remote parent
+# ----------------------------------------------------------------------
+
+#: The inbound context a freshly opened *root* span should adopt.
+#: ``None`` (the default) means "no remote parent: mint local ids".
+_REMOTE_CONTEXT: "contextvars.ContextVar[Optional[TraceContext]]" = (
+    contextvars.ContextVar("repro_obs_remote_context", default=None)
+)
+
+
+def current_trace_context() -> Optional[TraceContext]:
+    """The ambient inbound context, or ``None`` outside any."""
+    return _REMOTE_CONTEXT.get()
+
+
+@contextmanager
+def with_trace_context(context: Optional[TraceContext]) -> Iterator[None]:
+    """Make ``context`` the ambient remote parent for the ``with`` body.
+
+    A context variable, so it follows ``contextvars.copy_context()``
+    into executor threads exactly like the ambient tracer and span do.
+    Passing ``None`` explicitly clears any inherited context.
+    """
+    token = _REMOTE_CONTEXT.set(context)
+    try:
+        yield
+    finally:
+        _REMOTE_CONTEXT.reset(token)

@@ -12,7 +12,13 @@ Prometheus-compatible scraper understands:
   store/cache occupancy) → ``gauge`` families;
 * tracer aggregates → ``repro_span_duration_seconds_total`` /
   ``repro_spans_total`` per span name and ``repro_trace_events_total``
-  per algorithmic event name.
+  per algorithmic event name (plus ``repro_tail_sampling_total`` when
+  a tail policy is active);
+* SLO layer → ``repro_request_duration_seconds`` fixed-bucket
+  ``histogram`` per route/tenant/quality and the
+  ``repro_slo_error_budget_burn_rate`` gauge per objective/window;
+* batching fairness → ``repro_batch_queue_wait_seconds`` per-tenant
+  queue-wait summary.
 
 Everything is generated, never scraped from global state: callers pass
 the snapshot (and optionally the tracer) explicitly, so exposition is
@@ -205,6 +211,77 @@ def prometheus_text(
             )
             for tenant, count in sorted(tenants.items()):
                 writer.sample(name, count, {"tenant": _escape_label(str(tenant))})
+        queue_wait = batching.get("queue_wait_by_tenant")
+        if isinstance(queue_wait, dict) and queue_wait:
+            family = f"{prefix}_batch_queue_wait_seconds"
+            writer.family(
+                family,
+                "summary",
+                "Per-tenant enqueue-to-dispatch wait in the batching "
+                "executor: recent-reservoir quantiles plus totals.",
+            )
+            for tenant, wait in sorted(queue_wait.items()):
+                labels = {"tenant": str(tenant)}
+                writer.sample(
+                    family, wait.get("p50", 0.0), {**labels, "quantile": "0.5"}
+                )
+                writer.sample(
+                    family, wait.get("p95", 0.0), {**labels, "quantile": "0.95"}
+                )
+                writer.sample(f"{family}_sum", wait.get("sum", 0.0), labels)
+                writer.sample(f"{family}_count", wait.get("count", 0), labels)
+
+    slo = snapshot.get("slo")
+    if isinstance(slo, dict):
+        histograms = slo.get("histograms") or []
+        if histograms:
+            family = f"{prefix}_request_duration_seconds"
+            writer.family(
+                family,
+                "histogram",
+                "Request latency by route, tenant and result quality "
+                "(fixed cumulative buckets).",
+            )
+            for row in histograms:
+                labels = {
+                    "route": str(row.get("route", "")),
+                    "tenant": str(row.get("tenant", "")),
+                    "quality": str(row.get("quality", "")),
+                }
+                buckets = row.get("buckets") or []
+                counts = row.get("counts") or []
+                for bound, cumulative in zip(buckets, counts):
+                    writer.sample(
+                        f"{family}_bucket",
+                        cumulative,
+                        {**labels, "le": _format_number(bound)},
+                    )
+                writer.sample(
+                    f"{family}_bucket",
+                    row.get("count", 0),
+                    {**labels, "le": "+Inf"},
+                )
+                writer.sample(f"{family}_sum", row.get("sum", 0.0), labels)
+                writer.sample(f"{family}_count", row.get("count", 0), labels)
+        objectives = slo.get("objectives") or []
+        if objectives:
+            name = f"{prefix}_slo_error_budget_burn_rate"
+            writer.family(
+                name,
+                "gauge",
+                "Error-budget burn rate per objective and sliding window "
+                "(1.0 spends the budget exactly at the sustainable pace).",
+            )
+            for objective in objectives:
+                for window, stats in sorted((objective.get("windows") or {}).items()):
+                    writer.sample(
+                        name,
+                        stats.get("burn_rate", 0.0),
+                        {
+                            "objective": _sanitize_name(str(objective.get("name", ""))),
+                            "window": str(window),
+                        },
+                    )
 
     for section, help_text in (
         ("store", "Session-store occupancy."),
@@ -264,5 +341,15 @@ def prometheus_text(
             )
             for event_name, count in sorted(event_counts.items()):
                 writer.sample(name, count, {"event": _sanitize_name(event_name)})
+        tail_counts = aggregates.get("tail", {})
+        if tail_counts:
+            name = f"{prefix}_tail_sampling_total"
+            writer.family(
+                name,
+                "counter",
+                "Tail-sampling keep/drop decisions for finished root spans.",
+            )
+            for decision, count in sorted(tail_counts.items()):
+                writer.sample(name, count, {"decision": _sanitize_name(decision)})
 
     return writer.text()

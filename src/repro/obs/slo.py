@@ -1,0 +1,342 @@
+"""SLO layer: fixed-bucket latency histograms and error-budget burn rates.
+
+The metrics reservoirs (:mod:`repro.service.metrics`) answer "what were
+recent latencies like" with sampled quantiles; an *SLO* needs a
+different shape of answer — cumulative, mergeable, and judged against an
+explicit objective:
+
+* :class:`LatencyHistogram` — classic fixed-bucket (Prometheus
+  ``_bucket``/``_sum``/``_count``) latency histogram.  Buckets are
+  log-spaced over 1 ms – 10 s (:data:`DEFAULT_BUCKETS`) and never
+  change at runtime, so scrapes from different processes aggregate by
+  plain addition.
+* :class:`SLOTracker` — one histogram per ``(route, tenant, quality)``
+  where quality is the request's :class:`~repro.system.ResultQuality`
+  level (``exact`` / ``degraded``) or ``error`` — a degraded page is a
+  different latency population from an exact one and must not pollute
+  its percentiles.
+* :class:`SLObjective` — an explicit target ("99% of requests good")
+  with *good* defined as non-error and, when ``latency_threshold_s`` is
+  set, at/under the threshold.  Per-objective sliding windows yield the
+  **error-budget burn rate**::
+
+      burn_rate = bad_fraction(window) / (1 - target)
+
+  A burn rate of 1.0 spends the budget exactly at the sustainable pace;
+  14.4 (the classic fast-burn page threshold) exhausts a 30-day budget
+  in ~2 days.  Two windows (5 min, 1 h by default) give the fast/slow
+  alerting pair.
+
+Everything is in-process, lock-protected, and cheap: one ``observe``
+call is a bisect plus a few deque appends — it runs on *every* request
+(unlike tracing, there is no sampling; an SLO computed over a sample is
+not an SLO).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from bisect import bisect_left
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "LatencyHistogram",
+    "SLObjective",
+    "SLOTracker",
+]
+
+#: Fixed log-spaced latency bucket upper bounds in seconds (an implicit
+#: ``+Inf`` bucket is always appended at exposition time).
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+)
+
+
+class LatencyHistogram:
+    """A classic cumulative-bucket latency histogram.
+
+    Stores per-bucket (non-cumulative) counts internally; the snapshot
+    emits Prometheus-style *cumulative* counts with the implicit
+    ``+Inf`` bucket equal to the total count.
+    """
+
+    __slots__ = ("buckets", "_counts", "_sum", "_count", "_lock")
+
+    def __init__(self, buckets: Tuple[float, ...] = DEFAULT_BUCKETS) -> None:
+        if not buckets or list(buckets) != sorted(buckets):
+            raise ValueError(f"buckets must be non-empty and ascending, got {buckets}")
+        self.buckets = tuple(float(bound) for bound in buckets)
+        self._counts = [0] * (len(self.buckets) + 1)  # last slot = +Inf
+        self._sum = 0.0
+        self._count = 0
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        """Record one latency observation (seconds)."""
+        value = float(value)
+        index = bisect_left(self.buckets, value)
+        with self._lock:
+            self._counts[index] += 1
+            self._sum += value
+            self._count += 1
+
+    @property
+    def count(self) -> int:
+        """Total observations recorded."""
+        with self._lock:
+            return self._count
+
+    def quantile(self, q: float) -> float:
+        """Bucket-upper-bound estimate of the ``q`` quantile.
+
+        Coarse by design (the histogram's resolution *is* the buckets);
+        returns the last finite bound when the quantile lands in
+        ``+Inf``, and ``0.0`` when empty.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"q must be in [0, 1], got {q}")
+        with self._lock:
+            total = self._count
+            counts = list(self._counts)
+        if total == 0:
+            return 0.0
+        rank = q * total
+        cumulative = 0
+        for index, bucket_count in enumerate(counts):
+            cumulative += bucket_count
+            if cumulative >= rank:
+                if index < len(self.buckets):
+                    return self.buckets[index]
+                return self.buckets[-1]
+        return self.buckets[-1]
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Cumulative-bucket form: the Prometheus exposition input."""
+        with self._lock:
+            counts = list(self._counts)
+            total = self._count
+            observed_sum = self._sum
+        cumulative: List[int] = []
+        running = 0
+        for bucket_count in counts[:-1]:
+            running += bucket_count
+            cumulative.append(running)
+        return {
+            "buckets": list(self.buckets),
+            "counts": cumulative,  # parallel to buckets; +Inf == count
+            "sum": observed_sum,
+            "count": total,
+        }
+
+
+@dataclass(frozen=True)
+class SLObjective:
+    """One explicit service-level objective.
+
+    Attributes:
+        name: objective identifier (``"availability"``, ``"latency"``).
+        target: the good-request fraction promised (``0.99`` → 1% error
+            budget).
+        latency_threshold_s: when set, a request slower than this is
+            *bad* even if it succeeded; ``None`` judges errors only.
+        description: free-text shown in ``/debug/slo`` and ``cli obs slo``.
+    """
+
+    name: str
+    target: float
+    latency_threshold_s: Optional[float] = None
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.target < 1.0:
+            raise ValueError(f"target must be in (0, 1), got {self.target}")
+
+    def is_good(self, duration_s: float, error: bool) -> bool:
+        """Whether one request counts against the error budget."""
+        if error:
+            return False
+        if self.latency_threshold_s is not None:
+            return duration_s <= self.latency_threshold_s
+        return True
+
+
+#: Default objectives: availability (three nines) and a p95-style
+#: latency objective (95% of requests under 500 ms).
+DEFAULT_OBJECTIVES: Tuple[SLObjective, ...] = (
+    SLObjective(
+        name="availability",
+        target=0.999,
+        description="99.9% of requests complete without error",
+    ),
+    SLObjective(
+        name="latency",
+        target=0.95,
+        latency_threshold_s=0.5,
+        description="95% of requests complete in under 500 ms",
+    ),
+)
+
+#: Default burn-rate windows in seconds: the fast/slow alerting pair.
+DEFAULT_WINDOWS: Tuple[float, ...] = (300.0, 3600.0)
+
+
+@dataclass
+class _Window:
+    """One objective's sliding good/bad record (newest-last deque)."""
+
+    horizon_s: float
+    samples: Deque[Tuple[float, bool]] = field(default_factory=deque)
+
+    def prune(self, now: float) -> None:
+        cutoff = now - self.horizon_s
+        samples = self.samples
+        while samples and samples[0][0] < cutoff:
+            samples.popleft()
+
+
+class SLOTracker:
+    """Per-route/tenant/quality histograms plus objective burn rates.
+
+    Args:
+        objectives: the SLOs to judge every request against
+            (:data:`DEFAULT_OBJECTIVES` when omitted).
+        windows: sliding-window horizons in seconds for burn rates
+            (:data:`DEFAULT_WINDOWS` when omitted).
+        buckets: histogram bucket bounds (:data:`DEFAULT_BUCKETS`).
+        clock: wall-ish time source, injectable for tests.
+    """
+
+    def __init__(
+        self,
+        objectives: Optional[Tuple[SLObjective, ...]] = None,
+        windows: Optional[Tuple[float, ...]] = None,
+        buckets: Tuple[float, ...] = DEFAULT_BUCKETS,
+        clock=time.monotonic,
+    ) -> None:
+        self.objectives = tuple(objectives) if objectives is not None else DEFAULT_OBJECTIVES
+        self.windows = tuple(windows) if windows is not None else DEFAULT_WINDOWS
+        if not self.windows or any(horizon <= 0 for horizon in self.windows):
+            raise ValueError(f"windows must be positive, got {self.windows}")
+        names = [objective.name for objective in self.objectives]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate objective names: {names}")
+        self.buckets = buckets
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._histograms: Dict[Tuple[str, str, str], LatencyHistogram] = {}
+        self._windows: Dict[str, List[_Window]] = {
+            objective.name: [_Window(horizon_s=horizon) for horizon in self.windows]
+            for objective in self.objectives
+        }
+
+    def observe(
+        self,
+        route: str,
+        duration_s: float,
+        tenant: str = "default",
+        exact: bool = True,
+        error: bool = False,
+    ) -> None:
+        """Record one finished request.
+
+        Args:
+            route: logical route (``"query"``, ``"feedback"``, ``"page"``).
+            duration_s: wall-clock service time in seconds.
+            tenant: owning tenant label.
+            exact: the page's :class:`~repro.system.ResultQuality` —
+                ``False`` labels the observation ``degraded``.
+            error: the request failed; labeled ``error`` regardless of
+                ``exact`` and always bad for every objective.
+        """
+        quality = "error" if error else ("exact" if exact else "degraded")
+        key = (str(route), str(tenant), quality)
+        now = self._clock()
+        with self._lock:
+            histogram = self._histograms.get(key)
+            if histogram is None:
+                histogram = self._histograms[key] = LatencyHistogram(self.buckets)
+            for objective in self.objectives:
+                good = objective.is_good(duration_s, error)
+                for window in self._windows[objective.name]:
+                    window.samples.append((now, good))
+                    window.prune(now)
+        histogram.observe(duration_s)
+
+    def burn_rates(self) -> Dict[str, Dict[str, float]]:
+        """``{objective: {"300s": burn_rate, ...}}`` right now.
+
+        An empty window burns at 0.0 (no requests spend no budget).
+        """
+        now = self._clock()
+        result: Dict[str, Dict[str, float]] = {}
+        with self._lock:
+            for objective in self.objectives:
+                budget = 1.0 - objective.target
+                rates: Dict[str, float] = {}
+                for window in self._windows[objective.name]:
+                    window.prune(now)
+                    total = len(window.samples)
+                    if total == 0:
+                        rates[f"{window.horizon_s:g}s"] = 0.0
+                        continue
+                    bad = sum(1 for _, good in window.samples if not good)
+                    rates[f"{window.horizon_s:g}s"] = (bad / total) / budget
+                result[objective.name] = rates
+        return result
+
+    def snapshot(self) -> Dict[str, Any]:
+        """The full SLO state: exposition + ``/debug/slo`` payload."""
+        with self._lock:
+            histogram_keys = sorted(self._histograms)
+            histograms = {key: self._histograms[key] for key in histogram_keys}
+        histogram_rows = [
+            {
+                "route": route,
+                "tenant": tenant,
+                "quality": quality,
+                **histograms[(route, tenant, quality)].snapshot(),
+            }
+            for route, tenant, quality in histogram_keys
+        ]
+        now = self._clock()
+        objective_rows = []
+        with self._lock:
+            for objective in self.objectives:
+                windows: Dict[str, Dict[str, Any]] = {}
+                for window in self._windows[objective.name]:
+                    window.prune(now)
+                    total = len(window.samples)
+                    bad = sum(1 for _, good in window.samples if not good)
+                    bad_fraction = bad / total if total else 0.0
+                    windows[f"{window.horizon_s:g}s"] = {
+                        "total": total,
+                        "bad": bad,
+                        "bad_fraction": bad_fraction,
+                        "burn_rate": bad_fraction / (1.0 - objective.target),
+                    }
+                objective_rows.append(
+                    {
+                        "name": objective.name,
+                        "target": objective.target,
+                        "latency_threshold_s": objective.latency_threshold_s,
+                        "description": objective.description,
+                        "windows": windows,
+                    }
+                )
+        return {"histograms": histogram_rows, "objectives": objective_rows}

@@ -33,22 +33,40 @@ ambient tracer *and* the open span into worker threads with
 ``contextvars.copy_context().run(...)`` — per-shard scan events then
 land under the request's scan span even though they fire on pool
 threads (span mutation is lock-protected).
+
+Two distributed extensions (see :mod:`repro.obs.distributed`):
+
+* a root span opened under an ambient
+  :class:`~repro.obs.distributed.TraceContext` *adopts* it — same
+  ``trace_id``, the remote span as ``parent_id``, and the propagated
+  sampling decision in place of the local ``sample_every`` counter —
+  so an HTTP request and its worker-process scans share one trace;
+* :meth:`Span.add_foreign` grafts span *dicts* recorded in another
+  process (shipped back on the worker pool's result round-trip) into
+  the local tree, and :class:`TailSamplingPolicy` defers the
+  keep-or-drop decision to the moment the root finishes — slow,
+  degraded, faulted or shed traces are always retained, the boring
+  rest probabilistically.
 """
 
 from __future__ import annotations
 
 import contextvars
 import itertools
+import random
 import threading
 import time
 from collections import deque
 from contextlib import contextmanager
-from typing import Any, Deque, Dict, Iterator, List, Optional
+from typing import Any, Deque, Dict, Iterable, Iterator, List, Optional
+
+from .distributed import current_trace_context
 
 __all__ = [
     "SpanEvent",
     "Span",
     "Tracer",
+    "TailSamplingPolicy",
     "NullTracer",
     "NULL_TRACER",
     "NULL_SPAN",
@@ -112,6 +130,8 @@ class Span:
         "attributes",
         "events",
         "children",
+        "foreign",
+        "_root",
         "_tracer",
         "_started",
         "_token",
@@ -126,16 +146,24 @@ class Span:
         span_id: str,
         parent: Optional["Span"],
         attributes: Dict[str, Any],
+        remote_parent_id: Optional[str] = None,
     ) -> None:
         self.name = name
         self.trace_id = trace_id
         self.span_id = span_id
-        self.parent_id = parent.span_id if parent is not None else None
+        # A local root adopted from a propagated TraceContext keeps the
+        # remote span as its parent link — it is still *this* tracer's
+        # root (there is no local parent to attach to).
+        self.parent_id = parent.span_id if parent is not None else remote_parent_id
         self.start_time = time.time()
         self.duration_s = 0.0
         self.attributes = attributes
         self.events: List[SpanEvent] = []
         self.children: List["Span"] = []
+        #: Pre-built span dicts grafted from another process (worker
+        #: scans shipped back on the pool's result round-trip).
+        self.foreign: List[Dict[str, Any]] = []
+        self._root = parent is None
         self._tracer = tracer
         self._started: Optional[float] = None
         self._token: Optional[contextvars.Token] = None
@@ -143,8 +171,13 @@ class Span:
 
     @property
     def is_root(self) -> bool:
-        """Whether this span is the root of its trace."""
-        return self.parent_id is None
+        """Whether this span is the root of its local trace.
+
+        Not derivable from ``parent_id``: a root adopted from a
+        propagated context carries the *remote* parent's id while still
+        being the top of everything this process recorded.
+        """
+        return self._root
 
     def set(self, key: str, value: Any) -> None:
         """Attach (or overwrite) one attribute."""
@@ -162,13 +195,36 @@ class Span:
         with self._lock:
             self.children.append(child)
 
+    def add_foreign(self, children: Iterable[Dict[str, Any]]) -> None:
+        """Graft remote span dicts (``to_dict`` form) under this span.
+
+        The stitching half of cross-process propagation: a worker
+        records spans against the propagated context and returns their
+        dicts piggybacked on its result; the coordinator grafts them
+        here.  Each grafted root is re-parented onto this span so JSONL
+        flatten/rebuild round-trips reconstruct one connected tree.
+        """
+        rewritten = []
+        for child in children:
+            node = dict(child)
+            node["parent_id"] = self.span_id
+            rewritten.append(node)
+        with self._lock:
+            self.foreign.extend(rewritten)
+
     def __enter__(self) -> "Span":
         self._started = self._tracer._clock()
         self._token = _CURRENT_SPAN.set(self)
         return self
 
-    def __exit__(self, *exc_info: Any) -> None:
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> None:
         self.duration_s = self._tracer._clock() - self._started
+        if exc_type is not None and "error" not in self.attributes:
+            # An escaping exception marks the span, so tail sampling
+            # classifies the whole trace as interesting (kept).
+            self.attributes["error"] = (
+                repr(exc) if exc is not None else exc_type.__name__
+            )
         if self._token is not None:
             _CURRENT_SPAN.reset(self._token)
             self._token = None
@@ -186,7 +242,8 @@ class Span:
                 "duration_s": self.duration_s,
                 "attributes": dict(self.attributes),
                 "events": [event.to_dict() for event in self.events],
-                "children": [child.to_dict() for child in self.children],
+                "children": [child.to_dict() for child in self.children]
+                + [dict(node) for node in self.foreign],
             }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -271,6 +328,15 @@ class Tracer:
             against :data:`NULL_SPAN` (children included) and cost the
             same as the disabled path.  ``1`` traces everything.
         clock: monotonic time source (injectable for tests).
+        tail_sampling: optional :class:`TailSamplingPolicy` — the
+            keep-or-drop decision for each finished *root* moves from
+            span open (head sampling) to span close, so slow, degraded,
+            faulted or shed traces are always retained.  ``None``
+            (default) keeps every recorded root, as before.
+        id_prefix: prefix for generated span ids.  Worker-process
+            tracers set e.g. ``"w1a2b."`` so piggybacked span ids can
+            never collide with the coordinator's within one stitched
+            trace.
     """
 
     def __init__(
@@ -278,6 +344,8 @@ class Tracer:
         max_traces: int = 64,
         sample_every: int = 1,
         clock=time.monotonic,
+        tail_sampling: Optional["TailSamplingPolicy"] = None,
+        id_prefix: str = "",
     ) -> None:
         if max_traces < 1:
             raise ValueError(f"max_traces must be at least 1, got {max_traces}")
@@ -285,6 +353,8 @@ class Tracer:
             raise ValueError(f"sample_every must be at least 1, got {sample_every}")
         self.max_traces = max_traces
         self.sample_every = sample_every
+        self.tail_sampling = tail_sampling
+        self._id_prefix = id_prefix
         self._clock = clock
         self._lock = threading.Lock()
         self._ids = itertools.count(1)
@@ -292,6 +362,12 @@ class Tracer:
         self._traces: Deque[Span] = deque(maxlen=max_traces)
         self._span_stats: Dict[str, Dict[str, float]] = {}
         self._event_counts: Dict[str, int] = {}
+        self._tail_counts: Dict[str, int] = {
+            "kept_slow": 0,
+            "kept_interesting": 0,
+            "kept_random": 0,
+            "dropped": 0,
+        }
 
     @property
     def enabled(self) -> bool:
@@ -312,39 +388,81 @@ class Tracer:
         if parent is NULL_SPAN:
             # Inside an unsampled trace: stay dark the whole way down.
             return NULL_SPAN
+        remote = None
         with self._lock:
             if parent is None:
-                self._roots_started += 1
-                if (self._roots_started - 1) % self.sample_every != 0:
-                    # Unsampled root: mark the context so descendants
-                    # (including ones on copied worker contexts) skip too.
-                    return _UnsampledRoot()
-                trace_id = f"t{next(self._ids):08x}"
+                remote = current_trace_context()
+                if remote is not None:
+                    # Adopted root: the propagated sampling decision
+                    # replaces the local head-sampling counter — a
+                    # caller that sampled the trace out keeps it dark
+                    # end to end, one that sampled it in always wins.
+                    if not remote.sampled:
+                        return _UnsampledRoot()
+                    trace_id = remote.trace_id
+                else:
+                    self._roots_started += 1
+                    if (self._roots_started - 1) % self.sample_every != 0:
+                        # Unsampled root: mark the context so descendants
+                        # (including ones on copied worker contexts) skip too.
+                        return _UnsampledRoot()
+                    trace_id = f"{self._id_prefix}t{next(self._ids):08x}"
             else:
                 trace_id = parent.trace_id  # type: ignore[union-attr]
-            span_id = f"s{next(self._ids):08x}"
-        return Span(self, name, trace_id, span_id, parent, dict(attributes))
+            span_id = f"{self._id_prefix}s{next(self._ids):08x}"
+        return Span(
+            self,
+            name,
+            trace_id,
+            span_id,
+            parent,
+            dict(attributes),
+            remote_parent_id=remote.span_id if remote is not None else None,
+        )
 
     def _finish(self, span: Span) -> None:
         """Record a completed span (called from ``Span.__exit__``)."""
         parent = _CURRENT_SPAN.get()
         with self._lock:
-            stats = self._span_stats.setdefault(
-                span.name, {"count": 0, "total_s": 0.0, "max_s": 0.0}
-            )
-            stats["count"] += 1
-            stats["total_s"] += span.duration_s
-            if span.duration_s > stats["max_s"]:
-                stats["max_s"] = span.duration_s
+            self._record_stats(span.name, span.duration_s)
             for event in span.events:
                 self._event_counts[event.name] = (
                     self._event_counts.get(event.name, 0) + 1
                 )
+            # Grafted worker spans never pass through _finish locally —
+            # fold their stats in when their host span completes.
+            for node in span.foreign:
+                self._record_foreign(node)
         if span.is_root:
             with self._lock:
+                if self.tail_sampling is not None:
+                    verdict = self.tail_sampling.decide(span)
+                    if verdict == "drop":
+                        self._tail_counts["dropped"] += 1
+                        return
+                    self._tail_counts[f"kept_{verdict}"] += 1
                 self._traces.append(span)
         elif isinstance(parent, Span):
             parent._add_child(span)
+
+    def _record_stats(self, name: str, duration_s: float) -> None:
+        """Fold one span observation into aggregates (lock held)."""
+        stats = self._span_stats.setdefault(
+            name, {"count": 0, "total_s": 0.0, "max_s": 0.0}
+        )
+        stats["count"] += 1
+        stats["total_s"] += duration_s
+        if duration_s > stats["max_s"]:
+            stats["max_s"] = duration_s
+
+    def _record_foreign(self, node: Dict[str, Any]) -> None:
+        """Recursively count a grafted span dict (lock held)."""
+        self._record_stats(str(node.get("name", "?")), float(node.get("duration_s", 0.0)))
+        for event in node.get("events", ()):
+            name = str(event.get("name", "?"))
+            self._event_counts[name] = self._event_counts.get(name, 0) + 1
+        for child in node.get("children", ()):
+            self._record_foreign(child)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -369,13 +487,18 @@ class Tracer:
         """Per-span-name timing stats and per-event-name counts.
 
         ``{"spans": {name: {count, total_s, max_s}}, "events": {name: n}}``
-        — the tracer-side input of the Prometheus exposition.
+        — the tracer-side input of the Prometheus exposition.  When a
+        tail-sampling policy is configured a ``"tail"`` section with the
+        keep/drop decision counts is included as well.
         """
         with self._lock:
-            return {
+            result: Dict[str, Dict[str, Any]] = {
                 "spans": {name: dict(stats) for name, stats in self._span_stats.items()},
                 "events": dict(self._event_counts),
             }
+            if self.tail_sampling is not None:
+                result["tail"] = dict(self._tail_counts)
+            return result
 
     def event_count(self, name: str) -> int:
         """How many ``name`` events completed spans have recorded.
@@ -393,6 +516,98 @@ class Tracer:
             self._traces.clear()
             self._span_stats.clear()
             self._event_counts.clear()
+
+
+class TailSamplingPolicy:
+    """Keep-or-drop decided when the *root* span finishes.
+
+    Head sampling (``sample_every``) decides before the request runs and
+    therefore drops slow and faulted traces exactly as often as boring
+    ones.  A tail policy defers the decision to request end:
+
+    * **slow** — root duration exceeded ``slow_threshold_s``: kept.
+    * **interesting** — the trace recorded a fault, retry, hedge, shard
+      failure, degradation, shed, or an ``error`` attribute anywhere in
+      the tree (grafted worker spans included): kept.
+    * **random** — a deterministic ``keep_probability`` coin for the
+      boring rest (seeded, so CI runs are reproducible).
+    * **drop** — everything else; the span still counted toward
+      aggregates, only the retained-trace ring skips it.
+
+    Args:
+        slow_threshold_s: root durations above this are always kept.
+        keep_probability: chance a boring trace is kept anyway
+            (``0.0`` → only slow/interesting traces survive).
+        seed: seed for the keep coin.
+    """
+
+    #: Event names that mark a trace worth keeping unconditionally.
+    _INTERESTING_EVENTS = frozenset(
+        {
+            "fault_injected",
+            "retry",
+            "hedge",
+            "shard_failed",
+            "result_quality",
+            "batch_shed",
+            "error",
+        }
+    )
+
+    def __init__(
+        self,
+        slow_threshold_s: float = 0.25,
+        keep_probability: float = 0.1,
+        seed: int = 0,
+    ) -> None:
+        if slow_threshold_s < 0:
+            raise ValueError(
+                f"slow_threshold_s must be non-negative, got {slow_threshold_s}"
+            )
+        if not 0.0 <= keep_probability <= 1.0:
+            raise ValueError(
+                f"keep_probability must be in [0, 1], got {keep_probability}"
+            )
+        self.slow_threshold_s = slow_threshold_s
+        self.keep_probability = keep_probability
+        self._random = random.Random(seed)
+
+    def decide(self, root: Span) -> str:
+        """``"slow"`` | ``"interesting"`` | ``"random"`` | ``"drop"``."""
+        if root.duration_s > self.slow_threshold_s:
+            return "slow"
+        if self._interesting(root):
+            return "interesting"
+        if self.keep_probability > 0 and self._random.random() < self.keep_probability:
+            return "random"
+        return "drop"
+
+    def _interesting(self, span: Span) -> bool:
+        """Whether any span in the tree marks the trace worth keeping."""
+        if span.attributes.get("error"):
+            return True
+        for event in span.events:
+            if event.name in self._INTERESTING_EVENTS:
+                return True
+        for child in span.children:
+            if self._interesting(child):
+                return True
+        for node in span.foreign:
+            if self._interesting_dict(node):
+                return True
+        return False
+
+    def _interesting_dict(self, node: Dict[str, Any]) -> bool:
+        """`_interesting` over a grafted (plain-dict) worker span."""
+        if dict(node.get("attributes") or {}).get("error"):
+            return True
+        for event in node.get("events", ()):
+            if event.get("name") in self._INTERESTING_EVENTS:
+                return True
+        for child in node.get("children", ()):
+            if self._interesting_dict(child):
+                return True
+        return False
 
 
 class _UnsampledRoot:

@@ -24,10 +24,19 @@ either zero-copy reads or byte-identical rankings:
 Workers are spawn-safe: the pool uses the ``spawn`` start method
 explicitly, so no fork-inherited locks, mmaps or NumPy thread pools
 leak into children on any platform.
+
+Trace propagation rides the existing round-trip: when the coordinator
+passes a ``trace`` payload (a
+:meth:`~repro.obs.TraceContext.to_dict` dict), the worker records its
+scan under a process-local tracer adopted into that context and
+returns the finished span dicts appended to the result tuple — no new
+IPC channel, and the scan arrays themselves are untouched (the
+byte-identity guarantee holds with tracing on or off).
 """
 
 from __future__ import annotations
 
+import itertools
 import multiprocessing
 import threading
 from concurrent.futures import Future, ProcessPoolExecutor
@@ -314,8 +323,70 @@ def _pool_initializer(store_path: str) -> None:
     _worker_store(store_path)
 
 
+#: Per-worker-process trace-task counter: each traced task gets its own
+#: short-lived tracer, so span ids are made unique per (pid, task) —
+#: three shards scanned by one worker must not collide inside a trace.
+_TRACE_TASKS = itertools.count(1)
+
+
+class _WorkerTrace:
+    """Context manager recording one worker-side scan span.
+
+    Builds a short-lived process-local tracer adopted into the
+    propagated :class:`~repro.obs.TraceContext`, opens a ``scan`` span
+    annotated with the worker's identity, and hands the finished span
+    dicts back through :attr:`spans` — the payload the task appends to
+    its result for coordinator-side stitching.  Span ids are prefixed
+    with the worker pid so they can never collide with coordinator ids
+    inside one stitched trace.  A ``None`` trace payload makes the
+    whole thing a no-op.
+    """
+
+    def __init__(self, trace: Optional[Dict[str, Any]], shard_index: int) -> None:
+        self._trace = trace
+        self._shard_index = shard_index
+        self._stack: Optional[Any] = None
+        self._tracer: Optional[Any] = None
+        self.spans: List[Dict[str, Any]] = []
+
+    def __enter__(self) -> "_WorkerTrace":
+        if self._trace is None:
+            return self
+        import contextlib
+        import os
+
+        from ..obs import TraceContext, Tracer, activate
+        from ..obs.distributed import with_trace_context
+
+        self._tracer = Tracer(
+            max_traces=4,
+            id_prefix=f"w{os.getpid():x}.{next(_TRACE_TASKS):x}.",
+        )
+        self._stack = contextlib.ExitStack()
+        self._stack.enter_context(activate(self._tracer))
+        self._stack.enter_context(
+            with_trace_context(TraceContext.from_dict(self._trace))
+        )
+        self._stack.enter_context(
+            self._tracer.span(
+                "scan", path="worker", shard=self._shard_index, pid=os.getpid()
+            )
+        )
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        if self._stack is None:
+            return
+        self._stack.close()
+        self.spans = self._tracer.traces() if self._tracer is not None else []
+
+
 def _scan_shard_task(
-    store_path: str, shard_index: int, payload: Dict[str, Any], k: int
+    store_path: str,
+    shard_index: int,
+    payload: Dict[str, Any],
+    k: int,
+    trace: Optional[Dict[str, Any]] = None,
 ):
     """One shard's top-k, computed inside a worker process.
 
@@ -325,17 +396,27 @@ def _scan_shard_task(
     into this process's kernel cache.  Exceptions — including
     :class:`~repro.store.StoreBlockCorrupt` — pickle back to the
     coordinator intact.
+
+    With a ``trace`` payload the return gains a fifth element: the
+    worker-side span dicts recorded under the propagated context.
+    Without one the historical 4-tuple shape is preserved exactly.
     """
     store = _worker_store(store_path)
     query = decode_query(payload)
-    ensure_compiled(query)
-    shard = assert_scan_ready(store.shard(shard_index), name=f"shard {shard_index}")
-    offset = store.row_offsets[shard_index]
-    coarse = _worker_coarse(store_path, shard_index)
-    ids, distances, pruned, refined = scan_shard_topk(
-        query, shard, offset, k, coarse=coarse
-    )
-    return np.asarray(ids), np.asarray(distances), int(pruned), int(refined)
+    with _WorkerTrace(trace, shard_index) as recorder:
+        ensure_compiled(query)
+        shard = assert_scan_ready(
+            store.shard(shard_index), name=f"shard {shard_index}"
+        )
+        offset = store.row_offsets[shard_index]
+        coarse = _worker_coarse(store_path, shard_index)
+        ids, distances, pruned, refined = scan_shard_topk(
+            query, shard, offset, k, coarse=coarse
+        )
+    result = (np.asarray(ids), np.asarray(distances), int(pruned), int(refined))
+    if trace is None:
+        return result
+    return result + (recorder.spans,)
 
 
 def _scan_shard_batch_task(
@@ -344,27 +425,35 @@ def _scan_shard_batch_task(
     payloads: Sequence[Dict[str, Any]],
     ks: Sequence[int],
     approximate: Sequence[bool],
+    trace: Optional[Dict[str, Any]] = None,
 ):
     """A whole micro-batch's top-k over one shard, inside a worker.
 
     The batched counterpart of :func:`_scan_shard_task`: one shard read
     feeds every query in the batch (see :func:`scan_shard_topk_batch`).
-    Results come back as plain tuples in payload order.
+    Results come back as plain tuples in payload order; with a
+    ``trace`` payload they arrive wrapped as ``(parts, spans)``.
     """
     store = _worker_store(store_path)
     queries = [decode_query(payload) for payload in payloads]
-    for query in queries:
-        ensure_compiled(query)
-    shard = assert_scan_ready(store.shard(shard_index), name=f"shard {shard_index}")
-    offset = store.row_offsets[shard_index]
-    coarse = _worker_coarse(store_path, shard_index)
-    parts = scan_shard_topk_batch(
-        queries, shard, offset, ks, coarse=coarse, approximate=approximate
-    )
-    return [
+    with _WorkerTrace(trace, shard_index) as recorder:
+        for query in queries:
+            ensure_compiled(query)
+        shard = assert_scan_ready(
+            store.shard(shard_index), name=f"shard {shard_index}"
+        )
+        offset = store.row_offsets[shard_index]
+        coarse = _worker_coarse(store_path, shard_index)
+        parts = scan_shard_topk_batch(
+            queries, shard, offset, ks, coarse=coarse, approximate=approximate
+        )
+    results = [
         (np.asarray(ids), np.asarray(distances), int(pruned), int(refined), bool(exact))
         for ids, distances, pruned, refined, exact in parts
     ]
+    if trace is None:
+        return results
+    return results, recorder.spans
 
 
 # ----------------------------------------------------------------------
@@ -434,12 +523,23 @@ class ShardWorkerPool:
         future.add_done_callback(self._task_done)
         return future
 
-    def submit(self, shard_index: int, payload: Dict[str, Any], k: int) -> "Future":
-        """Dispatch one shard scan; returns its future."""
+    def submit(
+        self,
+        shard_index: int,
+        payload: Dict[str, Any],
+        k: int,
+        trace: Optional[Dict[str, Any]] = None,
+    ) -> "Future":
+        """Dispatch one shard scan; returns its future.
+
+        With a ``trace`` context dict the result gains a trailing
+        element of worker-recorded span dicts (see
+        :func:`_scan_shard_task`).
+        """
         executor = self._ensure_executor()
         return self._track_submit(
             lambda: executor.submit(
-                _scan_shard_task, self.store_path, shard_index, payload, k
+                _scan_shard_task, self.store_path, shard_index, payload, k, trace
             )
         )
 
@@ -449,12 +549,14 @@ class ShardWorkerPool:
         payloads: Sequence[Dict[str, Any]],
         ks: Sequence[int],
         approximate: Sequence[bool],
+        trace: Optional[Dict[str, Any]] = None,
     ) -> "Future":
         """Dispatch one shard scan covering a whole micro-batch.
 
         The future resolves to one ``(ids, distances, pruned, refined,
         exact)`` tuple per payload, in payload order — the shard is
-        read once for the whole batch.
+        read once for the whole batch.  With a ``trace`` context dict
+        it resolves to ``(parts, spans)`` instead.
         """
         executor = self._ensure_executor()
         return self._track_submit(
@@ -465,6 +567,7 @@ class ShardWorkerPool:
                 list(payloads),
                 list(ks),
                 list(approximate),
+                trace,
             )
         )
 

@@ -57,7 +57,7 @@ from typing import Any, Callable, Deque, Dict, List, Optional, Sequence, Tuple
 
 from ..core.kernels import CompiledQuery
 from ..faults.inject import fault_point, register_site
-from ..obs import current_tracer
+from ..obs import current_span, current_tracer
 from .metrics import percentile
 from .resilience import DeadlineBudget
 
@@ -148,6 +148,11 @@ class BatchRequest:
     arrival: float = 0.0
     deadline: float = float("inf")
     context: Optional[contextvars.Context] = None
+    #: The submitter's open span (if any) — the batch span links back to
+    #: it so a coalesced request's trace shows the shared database pass.
+    origin: Any = None
+    #: Enqueue-to-dispatch wait in seconds, stamped at collection time.
+    queue_wait: float = 0.0
     result: Any = None
     error: Optional[BaseException] = None
     done: threading.Event = field(default_factory=threading.Event)
@@ -205,6 +210,10 @@ class BatchingExecutor:
         self._peak_pending = 0
         self._served_by_tenant: Dict[str, int] = {}
         self._recent_sizes: Deque[int] = deque(maxlen=_SIZE_RESERVOIR)
+        # Per-tenant enqueue->dispatch waits: lifetime count/sum plus a
+        # recent reservoir for the summary quantiles.  A fairness
+        # regression shows up here long before batch sizes move.
+        self._wait_by_tenant: Dict[str, Dict[str, Any]] = {}
         self._dispatcher = threading.Thread(
             target=self._dispatch_loop, name="repro-batcher", daemon=True
         )
@@ -230,6 +239,7 @@ class BatchingExecutor:
         """
         request = BatchRequest(payload=payload, key=key, k=int(k), tenant=tenant, budget=budget)
         request.context = contextvars.copy_context()
+        request.origin = current_span()
         with self._cond:
             if self._closed:
                 raise RuntimeError("BatchingExecutor is shut down")
@@ -292,6 +302,7 @@ class BatchingExecutor:
             start = (tenants.index(self._last_tenant) + 1) % len(tenants)
         rotation = tenants[start:] + tenants[:start]
         batch: List[BatchRequest] = []
+        now = self._clock()
         progressed = True
         while progressed and len(batch) < self.config.max_batch:
             progressed = False
@@ -299,7 +310,19 @@ class BatchingExecutor:
                 queue = self._queues.get(tenant)
                 if not queue or queue[0].key != key:
                     continue
-                batch.append(queue.popleft())
+                request = queue.popleft()
+                request.queue_wait = max(0.0, now - request.arrival)
+                wait = self._wait_by_tenant.get(tenant)
+                if wait is None:
+                    wait = self._wait_by_tenant[tenant] = {
+                        "count": 0,
+                        "sum": 0.0,
+                        "recent": deque(maxlen=_SIZE_RESERVOIR),
+                    }
+                wait["count"] += 1
+                wait["sum"] += request.queue_wait
+                wait["recent"].append(request.queue_wait)
+                batch.append(request)
                 self._last_tenant = tenant
                 self._served_by_tenant[tenant] = (
                     self._served_by_tenant.get(tenant, 0) + 1
@@ -372,7 +395,31 @@ class BatchingExecutor:
             self._metrics.increment("batched_queries", len(batch))
         with current_tracer().span(
             "batch", size=len(batch), tenants=len({r.tenant for r in batch})
-        ):
+        ) as batch_span:
+            # Cross-link every member with the shared pass: the batch
+            # span lists who rode along (and how long each waited), and
+            # each member's own span gets a link back to the batch — so
+            # a coalesced request's trace shows both its wait and the
+            # one database pass it shared.
+            if getattr(batch_span, "span_id", None) is not None:
+                for request in batch:
+                    origin = request.origin
+                    if origin is None:
+                        continue
+                    batch_span.event(
+                        "batch_member",
+                        tenant=request.tenant,
+                        trace_id=origin.trace_id,
+                        span_id=origin.span_id,
+                        queue_wait_s=request.queue_wait,
+                    )
+                    origin.event(
+                        "batch_link",
+                        batch_trace_id=batch_span.trace_id,
+                        batch_span_id=batch_span.span_id,
+                        size=len(batch),
+                        queue_wait_s=request.queue_wait,
+                    )
             try:
                 fault_point(_SITE_BATCH, key=str(len(batch)))
                 results = self._execute(batch)
@@ -418,10 +465,26 @@ class BatchingExecutor:
 
         ``{submitted, batches, batched_queries, queue_depth,
         peak_queue_depth, shed, fallbacks, mean_batch_size,
-        p50_batch_size, max_batch_size, tenants_served}``.
+        p50_batch_size, max_batch_size, tenants_served,
+        queue_wait_by_tenant}`` — the last maps each tenant to its
+        enqueue-to-dispatch wait ``{count, sum, p50, p95}`` (quantiles
+        over a recent reservoir, sum/count over the lifetime).
         """
         with self._cond:
             sizes = list(self._recent_sizes)
+            queue_wait = {
+                tenant: {
+                    "count": wait["count"],
+                    "sum": wait["sum"],
+                    "p50": percentile(list(wait["recent"]), 50.0)
+                    if wait["recent"]
+                    else 0.0,
+                    "p95": percentile(list(wait["recent"]), 95.0)
+                    if wait["recent"]
+                    else 0.0,
+                }
+                for tenant, wait in sorted(self._wait_by_tenant.items())
+            }
             return {
                 "submitted": self._submitted,
                 "batches": self._batches,
@@ -434,6 +497,7 @@ class BatchingExecutor:
                 "p50_batch_size": percentile(sizes, 50.0) if sizes else 0.0,
                 "max_batch_size": float(max(sizes)) if sizes else 0.0,
                 "tenants_served": dict(sorted(self._served_by_tenant.items())),
+                "queue_wait_by_tenant": queue_wait,
             }
 
     def shutdown(self) -> None:

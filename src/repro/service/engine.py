@@ -57,7 +57,14 @@ from ..faults import fault_point, register_site
 from ..index.hybridtree import HybridTree
 from ..index.linear import page_capacity_for
 from ..index.multipoint import MultipointSearcher
-from ..obs import NULL_TRACER, activate, add_event, prometheus_text
+from ..obs import (
+    NULL_TRACER,
+    SLOTracker,
+    activate,
+    add_event,
+    current_span,
+    prometheus_text,
+)
 from ..parallel.workers import (
     ShardWorkerPool,
     encode_query,
@@ -141,6 +148,11 @@ class RetrievalService:
             :class:`~repro.service.batching.BatchingConfig`, or pass a
             config directly.  Pages stay byte-identical to per-query
             execution; only wall-clock cost and throughput change.
+        slo: a :class:`~repro.obs.SLOTracker` recording per-route /
+            per-tenant / per-quality latency histograms and objective
+            burn rates; one with the default objectives is built when
+            omitted (SLO accounting is never sampled — an SLO computed
+            over a sample is not an SLO).
     """
 
     def __init__(
@@ -163,6 +175,7 @@ class RetrievalService:
         metrics: Optional[ServiceMetrics] = None,
         tracer=None,
         batching: Union[bool, BatchingConfig, None] = None,
+        slo: Optional[SLOTracker] = None,
     ) -> None:
         if scan_backend not in ("threads", "processes"):
             raise ValueError(
@@ -271,6 +284,7 @@ class RetrievalService:
                 thread_name_prefix="repro-rank",
             )
         self._clock = time.monotonic
+        self.slo = slo if slo is not None else SLOTracker(clock=self._clock)
         # Per-session tenant labels (fair queueing on the batching
         # executor); sessions created without a tenant ride "default".
         self._session_tenants: Dict[str, str] = {}
@@ -406,13 +420,29 @@ class RetrievalService:
     def query(self, session_id: str, k: Optional[int] = None) -> ResultPage:
         """Current ranked result page for a session (cached)."""
         k = self._clamp_k(k)
+        start = self._clock()
         with activate(self.tracer), self.tracer.span(
             "query", session_id=session_id, k=k
         ):
-            budget = self.resilience.budget(clock=self._clock)
-            with self.store.lease(session_id) as session:
-                with self.metrics.time("query"):
-                    page = self._rank(session, k, budget)
+            try:
+                budget = self.resilience.budget(clock=self._clock)
+                with self.store.lease(session_id) as session:
+                    with self.metrics.time("query"):
+                        page = self._rank(session, k, budget)
+            except BaseException:
+                self.slo.observe(
+                    "query",
+                    self._clock() - start,
+                    tenant=self.tenant_of(session_id),
+                    error=True,
+                )
+                raise
+        self.slo.observe(
+            "query",
+            self._clock() - start,
+            tenant=self.tenant_of(session_id),
+            exact=page.quality.is_exact,
+        )
         self.metrics.increment("queries")
         return page
 
@@ -435,34 +465,50 @@ class RetrievalService:
         for image_id in ids:
             if not 0 <= image_id < self.size:
                 raise IndexError(f"image id {image_id} out of range")
+        start = self._clock()
         with activate(self.tracer), self.tracer.span(
             "feedback", session_id=session_id, n_relevant=len(ids), k=k
         ) as span:
-            budget = self.resilience.budget(clock=self._clock)
-            with self.store.lease(session_id) as session:
-                with self.metrics.time("feedback"):
-                    if session.pending_reasons:
-                        # These judgments were formed on a degraded page,
-                        # so the feedback trajectory is now influenced by
-                        # the lost coverage: the session stays marked
-                        # from here on.
-                        session.provenance = tuple(
-                            dict.fromkeys(
-                                session.provenance + session.pending_reasons
+            try:
+                budget = self.resilience.budget(clock=self._clock)
+                with self.store.lease(session_id) as session:
+                    with self.metrics.time("feedback"):
+                        if session.pending_reasons:
+                            # These judgments were formed on a degraded page,
+                            # so the feedback trajectory is now influenced by
+                            # the lost coverage: the session stays marked
+                            # from here on.
+                            session.provenance = tuple(
+                                dict.fromkeys(
+                                    session.provenance + session.pending_reasons
+                                )
                             )
-                        )
-                        session.pending_reasons = ()
-                    if ids:
-                        session.query = session.method.feedback(
-                            self.vectors[ids], scores
-                        )
-                    session.iteration += 1
-                    if session.guard is not None:
-                        session.guard.reset_for_new_query()
-                    self.cache.invalidate(session_id)
-                with self.metrics.time("query"):
-                    page = self._rank(session, k, budget)
-                span.set("iteration", session.iteration)
+                            session.pending_reasons = ()
+                        if ids:
+                            session.query = session.method.feedback(
+                                self.vectors[ids], scores
+                            )
+                        session.iteration += 1
+                        if session.guard is not None:
+                            session.guard.reset_for_new_query()
+                        self.cache.invalidate(session_id)
+                    with self.metrics.time("query"):
+                        page = self._rank(session, k, budget)
+                    span.set("iteration", session.iteration)
+            except BaseException:
+                self.slo.observe(
+                    "feedback",
+                    self._clock() - start,
+                    tenant=self.tenant_of(session_id),
+                    error=True,
+                )
+                raise
+        self.slo.observe(
+            "feedback",
+            self._clock() - start,
+            tenant=self.tenant_of(session_id),
+            exact=page.quality.is_exact,
+        )
         self.metrics.increment("feedbacks")
         return page
 
@@ -497,6 +543,7 @@ class RetrievalService:
             snapshot["worker_pool"] = self._pool.stats()
         if self._batching is not None:
             snapshot["batching"] = self._batching.stats()
+        snapshot["slo"] = self.slo.snapshot()
         return snapshot
 
     def prometheus_metrics(self) -> str:
@@ -837,6 +884,30 @@ class RetrievalService:
                 parts.append(result)
         return parts, failures
 
+    def _pool_trace(self) -> Optional[Dict[str, object]]:
+        """The trace context to ship with worker-pool tasks, if any.
+
+        ``None`` (the common case: no recording tracer, or an unsampled
+        request) keeps the pool round-trip byte-identical to the
+        pre-tracing wire shape; otherwise the ambient span becomes the
+        worker-side root's remote parent.
+        """
+        span = current_span()
+        if span is None or not self.tracer.enabled:
+            return None
+        return {
+            "trace_id": span.trace_id,
+            "span_id": span.span_id,
+            "sampled": True,
+        }
+
+    @staticmethod
+    def _graft_worker_spans(spans) -> None:
+        """Stitch piggybacked worker span dicts under the ambient span."""
+        host = current_span()
+        if host is not None and spans:
+            host.add_foreign(spans)
+
     def _process_parts(self, query: QueryLike, k: int, budget: DeadlineBudget):
         """Per-shard results from the worker-process pool.
 
@@ -858,8 +929,9 @@ class RetrievalService:
         assert self._pool is not None
         payload = encode_query(query)
         pool = self._pool
+        trace = self._pool_trace()
         pending: Dict[int, "Future"] = {
-            index: pool.submit(index, payload, k)
+            index: pool.submit(index, payload, k, trace)
             for index in range(self._n_shards)
         }
         failures: List[BaseException] = []
@@ -871,7 +943,7 @@ class RetrievalService:
                 fault_point(_SITE_SHARD, key=str(offset))
                 future = pending.pop(index, None)
                 if future is None:  # retry after a failed attempt
-                    future = pool.submit(index, payload, k)
+                    future = pool.submit(index, payload, k, trace)
                 return future.result()
 
             def on_retry(
@@ -898,6 +970,9 @@ class RetrievalService:
                 self.metrics.increment("shard_failures")
                 add_event("shard_failed", shard_offset=offset, error=repr(error))
                 continue
+            if trace is not None:
+                self._graft_worker_spans(result[4])
+                result = result[:4]
             parts.append(result)
             self.metrics.increment("store_block_reads_workers")
         return parts, failures
@@ -1060,9 +1135,10 @@ class RetrievalService:
         if self._pool is not None:
             payloads = [encode_query(query) for query in queries]
             pool = self._pool
+            trace = self._pool_trace()
             pending: Dict[int, "Future"] = {
                 index: pool.submit_batch(
-                    index, payloads, list(ks), list(approximate)
+                    index, payloads, list(ks), list(approximate), trace
                 )
                 for index in range(self._n_shards)
             }
@@ -1074,7 +1150,7 @@ class RetrievalService:
                     future = pending.pop(index, None)
                     if future is None:  # retry after a failed attempt
                         future = pool.submit_batch(
-                            index, payloads, list(ks), list(approximate)
+                            index, payloads, list(ks), list(approximate), trace
                         )
                     return future.result()
 
@@ -1089,6 +1165,9 @@ class RetrievalService:
                         "shard_failed", shard_offset=offset, error=repr(error)
                     )
                     continue
+                if trace is not None:
+                    result, spans = result
+                    self._graft_worker_spans(spans)
                 parts.append(result)
                 self.metrics.increment("store_block_reads_workers")
         elif self._executor is None or self._n_shards == 1:

@@ -15,9 +15,23 @@ session API to network clients:
                                refreshed page.
 ``DELETE /sessions/{id}``      close the session.
 ``GET /healthz``               liveness probe.
-``GET /stats``                 the metrics snapshot as JSON.
+``GET /stats``                 the metrics snapshot as JSON (plus the
+                               server's recent-error ring).
 ``GET /metrics``               Prometheus text exposition.
+``GET /debug/slo``             SLO histograms, objectives and
+                               error-budget burn rates as JSON.
 ============================   =========================================
+
+**Distributed tracing.**  Every request is assigned (or joins) a
+:class:`~repro.obs.TraceContext`: a well-formed ``traceparent`` header
+wins, a sane ``X-Request-Id`` is adopted, and garbage in either
+degrades to a fresh context — never an error.  Every response echoes
+``X-Request-Id`` (the client's id when sane, the trace id otherwise)
+and a ``traceparent`` carrying the server-side span, and error payloads
+include the ``request_id`` so client logs join server traces.  The
+service call runs under an ``http_request`` root span that adopts the
+inbound context, so the whole request tree — HTTP span, engine spans,
+batch span, worker-process scan spans — shares one trace id.
 
 **Admission control.**  At most ``max_concurrent`` requests execute at
 once (an :class:`asyncio.Semaphore`); excess connections queue at the
@@ -46,10 +60,13 @@ import json
 import queue
 import threading
 import time
+from collections import deque
 from concurrent.futures import ThreadPoolExecutor
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Deque, Dict, List, Optional, Sequence, Tuple
 from urllib.parse import parse_qs, urlsplit
 
+from ..obs import TraceContext, activate, with_trace_context
+from ..obs.distributed import sanitize_request_id
 from .engine import RetrievalService
 from .metrics import percentile
 from .sessions import SessionNotFound
@@ -57,6 +74,8 @@ from .sessions import SessionNotFound
 __all__ = ["RetrievalServer", "closed_loop_load"]
 
 _MAX_BODY_BYTES = 8 * 1024 * 1024
+#: Recent error payloads kept for the /stats "server" section.
+_ERROR_RING = 32
 _REASON = {
     200: "OK",
     201: "Created",
@@ -126,6 +145,8 @@ class RetrievalServer:
         self.address: Optional[Tuple[str, int]] = None
         self._thread: Optional[threading.Thread] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
+        # Appended on the event loop, read (as a copy) from /stats.
+        self._recent_errors: Deque[Dict[str, Any]] = deque(maxlen=_ERROR_RING)
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -232,13 +253,25 @@ class RetrievalServer:
                 if request is None:
                     break
                 method, path, headers, body = request
+                context = TraceContext.from_headers(headers)
+                request_id = (
+                    sanitize_request_id(headers.get("x-request-id"))
+                    or context.trace_id
+                )
                 assert self._semaphore is not None
                 async with self._semaphore:
-                    status, payload = await self._dispatch(
-                        method, path, headers, body
+                    status, payload, span_id = await self._dispatch(
+                        method, path, headers, body, context, request_id
                     )
+                echo = context.child(span_id) if span_id is not None else context
                 keep_alive = headers.get("connection", "keep-alive") != "close"
-                await self._write_response(writer, status, payload, keep_alive)
+                await self._write_response(
+                    writer,
+                    status,
+                    payload,
+                    keep_alive,
+                    extra_headers=echo.headers(request_id=request_id),
+                )
                 if not keep_alive:
                     break
         except (
@@ -285,6 +318,7 @@ class RetrievalServer:
         status: int,
         payload,
         keep_alive: bool,
+        extra_headers: Optional[Dict[str, str]] = None,
     ) -> None:
         if isinstance(payload, bytes):
             body = payload
@@ -295,13 +329,15 @@ class RetrievalServer:
         else:
             body = json.dumps(payload).encode("utf-8")
             content_type = "application/json"
-        head = (
-            f"HTTP/1.1 {status} {_REASON.get(status, 'OK')}\r\n"
-            f"Content-Type: {content_type}\r\n"
-            f"Content-Length: {len(body)}\r\n"
-            f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
-            "\r\n"
-        ).encode("latin-1")
+        lines = [
+            f"HTTP/1.1 {status} {_REASON.get(status, 'OK')}",
+            f"Content-Type: {content_type}",
+            f"Content-Length: {len(body)}",
+            f"Connection: {'keep-alive' if keep_alive else 'close'}",
+        ]
+        for name, value in (extra_headers or {}).items():
+            lines.append(f"{name}: {value}")
+        head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
         writer.write(head + body)
         await writer.drain()
 
@@ -310,23 +346,74 @@ class RetrievalServer:
     # ------------------------------------------------------------------
 
     async def _dispatch(
-        self, method: str, target: str, headers: Dict[str, str], body: bytes
-    ) -> Tuple[int, Any]:
-        if body == b"__too_large__":
-            return 413, {"error": "request body too large"}
+        self,
+        method: str,
+        target: str,
+        headers: Dict[str, str],
+        body: bytes,
+        context: TraceContext,
+        request_id: str,
+    ) -> Tuple[int, Any, Optional[str]]:
         split = urlsplit(target)
         path = [part for part in split.path.split("/") if part]
         query = {
             key: values[-1] for key, values in parse_qs(split.query).items()
         }
+        # Service calls run off-loop; the wrapper adopts the inbound
+        # trace context on the worker thread, so the engine's own root
+        # span nests under this request's http_request span and keeps
+        # the propagated trace id.  The holder carries the server span
+        # id back for the response's traceparent.
+        holder: Dict[str, str] = {}
+        tracer = self.service.tracer
+        route_name = "/" + "/".join(path)
+        loop = asyncio.get_running_loop()
+
+        def traced(fn: Callable[[], Any]) -> Callable[[], Any]:
+            def run() -> Any:
+                with activate(tracer), with_trace_context(context):
+                    with tracer.span(
+                        "http_request",
+                        method=method,
+                        route=route_name,
+                        request_id=request_id,
+                    ) as span:
+                        span_id = getattr(span, "span_id", None)
+                        if span_id is not None:
+                            holder["span_id"] = span_id
+                        try:
+                            return fn()
+                        except BaseException:
+                            span.set("error", True)
+                            raise
+
+            return run
+
+        call = lambda fn: loop.run_in_executor(self._workers, traced(fn))  # noqa: E731
         try:
-            return await self._route(method, path, query, headers, body)
+            if body == b"__too_large__":
+                status, payload = 413, {"error": "request body too large"}
+            else:
+                status, payload = await self._route(
+                    method, path, query, headers, body, call
+                )
         except SessionNotFound as error:
-            return 404, {"error": str(error)}
+            status, payload = 404, {"error": str(error)}
         except (ValueError, IndexError, KeyError, json.JSONDecodeError) as error:
-            return 400, {"error": f"{type(error).__name__}: {error}"}
+            status, payload = 400, {"error": f"{type(error).__name__}: {error}"}
         except Exception as error:  # pragma: no cover - defensive 500
-            return 500, {"error": f"{type(error).__name__}: {error}"}
+            status, payload = 500, {"error": f"{type(error).__name__}: {error}"}
+        if status >= 400 and isinstance(payload, dict):
+            payload = {**payload, "request_id": request_id}
+            self._recent_errors.append(
+                {
+                    "request_id": request_id,
+                    "status": status,
+                    "route": route_name,
+                    "error": str(payload.get("error", "")),
+                }
+            )
+        return status, payload, holder.get("span_id")
 
     async def _route(
         self,
@@ -335,17 +422,20 @@ class RetrievalServer:
         query: Dict[str, str],
         headers: Dict[str, str],
         body: bytes,
+        call: Callable[[Callable[[], Any]], Any],
     ) -> Tuple[int, Any]:
-        loop = asyncio.get_running_loop()
-        call = lambda fn: loop.run_in_executor(self._workers, fn)  # noqa: E731
 
         if path == ["healthz"] and method == "GET":
             return 200, {"status": "ok", "sessions": len(self.service.store)}
         if path == ["stats"] and method == "GET":
-            return 200, await call(self.service.metrics_snapshot)
+            snapshot = await call(self.service.metrics_snapshot)
+            snapshot["server"] = {"recent_errors": list(self._recent_errors)}
+            return 200, snapshot
         if path == ["metrics"] and method == "GET":
             text = await call(self.service.prometheus_metrics)
             return 200, text.encode("utf-8")
+        if path == ["debug", "slo"] and method == "GET":
+            return 200, await call(self.service.slo.snapshot)
         if path == ["sessions"] and method == "POST":
             payload = json.loads(body.decode("utf-8") or "{}")
             if "query" not in payload:
@@ -368,7 +458,29 @@ class RetrievalServer:
                 return 405, {"error": "page is GET-only"}
             session_id = path[1]
             k = int(query["k"]) if "k" in query else None
-            page = await call(lambda: self.service.query(session_id, k))
+
+            def fetch_page():
+                # The "page" route gets its own SLO observation: it is
+                # the latency the *client* saw at this edge, distinct
+                # from the engine's internal "query" accounting.
+                start = time.monotonic()
+                tenant = self.service.tenant_of(session_id)
+                try:
+                    page = self.service.query(session_id, k)
+                except BaseException:
+                    self.service.slo.observe(
+                        "page", time.monotonic() - start, tenant=tenant, error=True
+                    )
+                    raise
+                self.service.slo.observe(
+                    "page",
+                    time.monotonic() - start,
+                    tenant=tenant,
+                    exact=page.quality.is_exact,
+                )
+                return page
+
+            page = await call(fetch_page)
             return 200, _page_payload(page)
         if len(path) == 3 and path[0] == "sessions" and path[2] == "feedback":
             if method != "POST":

@@ -1,0 +1,249 @@
+"""Distributed trace context: codec round-trips, adoption, tail sampling."""
+
+from __future__ import annotations
+
+import random
+import string
+
+import pytest
+
+from repro.obs import (
+    TailSamplingPolicy,
+    TraceContext,
+    Tracer,
+    current_trace_context,
+    parse_traceparent,
+    with_trace_context,
+)
+from repro.obs.distributed import sanitize_request_id
+
+
+class TestTraceparentCodec:
+    def test_round_trip_with_parent_span(self):
+        context = TraceContext(trace_id="ab" * 16, span_id="cd" * 8, sampled=True)
+        parsed = parse_traceparent(context.to_traceparent())
+        assert parsed == context
+
+    def test_round_trip_without_parent_span(self):
+        """span_id=None encodes as the all-zero parent and decodes back."""
+        context = TraceContext(trace_id="ef" * 16, span_id=None, sampled=False)
+        header = context.to_traceparent()
+        assert header == f"00-{'ef' * 16}-{'0' * 16}-00"
+        assert parse_traceparent(header) == context
+
+    def test_random_contexts_round_trip(self):
+        rng = random.Random(7)
+        for _ in range(200):
+            trace_id = "".join(rng.choices("0123456789abcdef", k=32))
+            if trace_id == "0" * 32:
+                continue
+            span_id = (
+                None
+                if rng.random() < 0.3
+                else "".join(rng.choices("0123456789abcdef", k=16))
+            )
+            if span_id == "0" * 16:
+                span_id = None
+            context = TraceContext(trace_id, span_id, rng.random() < 0.5)
+            assert parse_traceparent(context.to_traceparent()) == context
+
+    def test_nonhex_ids_still_emit_wellformed_headers(self):
+        """In-process counter ids digest to header-legal hex deterministically."""
+        context = TraceContext(trace_id="t0000002a", span_id="s00000003")
+        header = context.to_traceparent()
+        assert parse_traceparent(header) is not None
+        assert header == context.to_traceparent()  # deterministic digest
+
+    def test_to_dict_round_trip(self):
+        context = TraceContext("ab" * 16, None, False)
+        assert TraceContext.from_dict(context.to_dict()) == context
+
+    @pytest.mark.parametrize(
+        "header",
+        [
+            "",
+            "garbage",
+            "00-short-0000000000000000-01",
+            "00-" + "g" * 32 + "-" + "0" * 16 + "-01",  # non-hex trace
+            "ff-" + "ab" * 16 + "-" + "cd" * 8 + "-01",  # reserved version
+            "00-" + "0" * 32 + "-" + "cd" * 8 + "-01",  # all-zero trace
+            "00-" + "ab" * 16 + "-" + "cd" * 8,  # missing flags
+            "00-" + "ab" * 16 + "-" + "cd" * 8 + "-01-extra",
+            None,
+            12345,
+        ],
+    )
+    def test_malformed_headers_never_raise(self, header):
+        assert parse_traceparent(header) is None
+
+    def test_fuzzed_garbage_never_raises(self):
+        rng = random.Random(11)
+        alphabet = string.printable
+        for _ in range(500):
+            junk = "".join(
+                rng.choices(alphabet, k=rng.randrange(0, 80))
+            )
+            parse_traceparent(junk)  # must not raise; value unconstrained
+
+
+class TestFromHeaders:
+    def test_traceparent_wins_over_request_id(self):
+        headers = {
+            "traceparent": f"00-{'ab' * 16}-{'cd' * 8}-01",
+            "X-Request-Id": "client-id-1",
+        }
+        context = TraceContext.from_headers(headers)
+        assert context.trace_id == "ab" * 16
+        assert context.span_id == "cd" * 8
+
+    def test_hex_request_id_adopted_verbatim(self):
+        context = TraceContext.from_headers({"X-Request-Id": "AB" * 16})
+        assert context.trace_id == "ab" * 16
+        assert context.span_id is None
+
+    def test_freeform_request_id_digests_deterministically(self):
+        first = TraceContext.from_headers({"x-request-id": "req-42"})
+        second = TraceContext.from_headers({"X-REQUEST-ID": "req-42"})
+        assert first.trace_id == second.trace_id
+        assert parse_traceparent(first.to_traceparent()) is not None
+
+    def test_garbage_headers_mint_fresh_context(self):
+        """Garbage degrades to a fresh context — never an exception."""
+        contexts = [
+            TraceContext.from_headers({"traceparent": "nope", "x-request-id": "\x00"}),
+            TraceContext.from_headers({}),
+            TraceContext.from_headers({"x-request-id": "a" * 500}),
+        ]
+        for context in contexts:
+            assert context.span_id is None
+            assert context.sampled is True
+        assert len({c.trace_id for c in contexts}) == 3  # fresh, not shared
+
+
+class TestSanitizeRequestId:
+    def test_accepts_header_safe_tokens(self):
+        assert sanitize_request_id("req_1.2:3-x") == "req_1.2:3-x"
+        assert sanitize_request_id("  padded  ") == "padded"
+
+    @pytest.mark.parametrize(
+        "value", [None, "", "has space", "crlf\r\nInjected: yes", "x" * 129]
+    )
+    def test_rejects_unsafe_tokens(self, value):
+        assert sanitize_request_id(value) is None
+
+
+class TestRootAdoption:
+    def test_root_span_adopts_remote_context(self):
+        tracer = Tracer()
+        remote = TraceContext(trace_id="ab" * 16, span_id="cd" * 8)
+        with with_trace_context(remote):
+            with tracer.span("http_request"):
+                pass
+        (trace,) = tracer.traces()
+        assert trace["trace_id"] == "ab" * 16
+        assert trace["parent_id"] == "cd" * 8
+
+    def test_adoption_overrides_head_sampling(self):
+        """A propagated trace is recorded even when sample_every would skip it."""
+        tracer = Tracer(sample_every=1000)
+        with with_trace_context(TraceContext.fresh()):
+            with tracer.span("query"):
+                pass
+        assert len(tracer.traces()) == 1
+
+    def test_unsampled_remote_context_keeps_trace_dark(self):
+        tracer = Tracer()
+        with with_trace_context(TraceContext("ab" * 16, None, sampled=False)):
+            with tracer.span("query"):
+                pass
+        assert tracer.traces() == []
+
+    def test_child_spans_ignore_remote_context(self):
+        """Only roots adopt; nesting under a local root is untouched."""
+        tracer = Tracer()
+        with tracer.span("root"):
+            with with_trace_context(TraceContext("ab" * 16, "cd" * 8)):
+                with tracer.span("inner"):
+                    pass
+        (trace,) = tracer.traces()
+        assert trace["trace_id"] != "ab" * 16
+        assert trace["children"][0]["trace_id"] == trace["trace_id"]
+
+    def test_ambient_context_restores_on_exit(self):
+        assert current_trace_context() is None
+        with with_trace_context(TraceContext.fresh()):
+            assert current_trace_context() is not None
+        assert current_trace_context() is None
+
+
+class TestTailSampling:
+    def make_tracer(self, **kwargs):
+        policy = TailSamplingPolicy(**kwargs)
+        return Tracer(tail_sampling=policy), policy
+
+    def test_boring_traces_dropped_at_probability_zero(self):
+        tracer, _ = self.make_tracer(keep_probability=0.0)
+        with tracer.span("query"):
+            pass
+        assert tracer.traces() == []
+        assert tracer.aggregates()["tail"]["dropped"] == 1
+
+    def test_slow_traces_always_kept(self):
+        ticks = iter([0.0, 10.0])
+        policy = TailSamplingPolicy(slow_threshold_s=0.25, keep_probability=0.0)
+        tracer = Tracer(clock=lambda: next(ticks), tail_sampling=policy)
+        with tracer.span("query"):
+            pass
+        (trace,) = tracer.traces()
+        assert trace["duration_s"] == pytest.approx(10.0)
+        assert tracer.aggregates()["tail"]["kept_slow"] == 1
+
+    @pytest.mark.parametrize(
+        "event", ["fault_injected", "retry", "result_quality", "batch_shed"]
+    )
+    def test_interesting_events_always_kept(self, event):
+        tracer, _ = self.make_tracer(keep_probability=0.0)
+        with tracer.span("query") as span:
+            with tracer.span("scan") as inner:
+                inner.event(event, detail="x")
+            del span
+        assert len(tracer.traces()) == 1
+        assert tracer.aggregates()["tail"]["kept_interesting"] == 1
+
+    def test_error_attribute_keeps_trace(self):
+        tracer, _ = self.make_tracer(keep_probability=0.0)
+        with pytest.raises(RuntimeError):
+            with tracer.span("query"):
+                raise RuntimeError("boom")
+        assert len(tracer.traces()) == 1
+
+    def test_random_keep_is_deterministic_per_seed(self):
+        def kept(seed):
+            tracer = Tracer(
+                tail_sampling=TailSamplingPolicy(keep_probability=0.5, seed=seed)
+            )
+            results = []
+            for _ in range(50):
+                with tracer.span("query"):
+                    pass
+                results.append(len(tracer.traces()))
+            return results
+
+        assert kept(3) == kept(3)
+        counts = kept(3)
+        assert 0 < counts[-1] < 50  # some kept, some dropped
+
+    def test_tail_counters_absent_without_policy(self):
+        tracer = Tracer()
+        with tracer.span("query"):
+            pass
+        assert "tail" not in tracer.aggregates()
+
+    def test_dropped_trace_stats_still_aggregate(self):
+        """Span/event aggregates see every request, kept or dropped."""
+        tracer, _ = self.make_tracer(keep_probability=0.0)
+        for _ in range(3):
+            with tracer.span("query"):
+                pass
+        assert tracer.traces() == []
+        assert tracer.aggregates()["spans"]["query"]["count"] == 3

@@ -1,0 +1,234 @@
+"""SLO layer: histogram buckets, burn-rate math, Prometheus families."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_BUCKETS,
+    LatencyHistogram,
+    SLObjective,
+    SLOTracker,
+    prometheus_text,
+)
+
+from .test_prometheus import parse_exposition
+
+
+class FakeClock:
+    def __init__(self, start: float = 1000.0) -> None:
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestLatencyHistogram:
+    def test_observations_land_in_cumulative_buckets(self):
+        histogram = LatencyHistogram(buckets=(0.01, 0.1, 1.0))
+        for value in (0.005, 0.05, 0.5, 5.0):
+            histogram.observe(value)
+        snapshot = histogram.snapshot()
+        assert snapshot["counts"] == [1, 2, 3]  # cumulative, +Inf implicit
+        assert snapshot["count"] == 4
+        assert snapshot["sum"] == pytest.approx(5.555)
+
+    def test_boundary_value_counts_in_its_bucket(self):
+        """le semantics: an observation equal to a bound belongs to it."""
+        histogram = LatencyHistogram(buckets=(0.1, 1.0))
+        histogram.observe(0.1)
+        assert histogram.snapshot()["counts"] == [1, 1]
+
+    def test_quantile_interpolates_from_buckets(self):
+        histogram = LatencyHistogram(buckets=(0.01, 0.1, 1.0))
+        for _ in range(99):
+            histogram.observe(0.005)
+        histogram.observe(0.5)
+        assert histogram.quantile(0.5) <= 0.01
+        assert histogram.quantile(0.999) > 0.1
+
+    def test_default_buckets_are_sorted_and_positive(self):
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+        assert all(bound > 0 for bound in DEFAULT_BUCKETS)
+
+
+class TestSLObjective:
+    def test_availability_objective_judges_errors(self):
+        objective = SLObjective(name="availability", target=0.999)
+        assert objective.is_good(10.0, error=False)
+        assert not objective.is_good(0.001, error=True)
+
+    def test_latency_objective_judges_threshold(self):
+        objective = SLObjective(
+            name="latency", target=0.95, latency_threshold_s=0.5
+        )
+        assert objective.is_good(0.4, error=False)
+        assert not objective.is_good(0.6, error=False)
+        assert not objective.is_good(0.1, error=True)
+
+    @pytest.mark.parametrize("target", [0.0, 1.0, -0.5, 2.0])
+    def test_target_must_be_a_fraction(self, target):
+        with pytest.raises(ValueError):
+            SLObjective(name="bad", target=target)
+
+
+class TestBurnRates:
+    def test_burn_rate_is_bad_fraction_over_budget(self):
+        """burn = bad_fraction / (1 - target): 1.0 means the budget is
+        being spent exactly as fast as it accrues."""
+        clock = FakeClock()
+        tracker = SLOTracker(
+            objectives=(SLObjective(name="availability", target=0.99),),
+            windows=(300.0,),
+            clock=clock,
+        )
+        for index in range(100):
+            tracker.observe("query", 0.01, error=(index == 0))
+        rates = tracker.burn_rates()
+        assert rates["availability"]["300s"] == pytest.approx(1.0)
+
+    def test_old_samples_age_out_of_the_window(self):
+        clock = FakeClock()
+        tracker = SLOTracker(
+            objectives=(SLObjective(name="availability", target=0.9),),
+            windows=(300.0,),
+            clock=clock,
+        )
+        tracker.observe("query", 0.01, error=True)
+        assert tracker.burn_rates()["availability"]["300s"] > 0
+        clock.advance(301.0)
+        tracker.observe("query", 0.01, error=False)
+        assert tracker.burn_rates()["availability"]["300s"] == 0.0
+
+    def test_windows_are_independent(self):
+        clock = FakeClock()
+        tracker = SLOTracker(
+            objectives=(SLObjective(name="availability", target=0.9),),
+            windows=(300.0, 3600.0),
+            clock=clock,
+        )
+        tracker.observe("query", 0.01, error=True)
+        clock.advance(600.0)
+        tracker.observe("query", 0.01, error=False)
+        rates = tracker.burn_rates()["availability"]
+        assert rates["300s"] == 0.0
+        assert rates["3600s"] == pytest.approx(5.0)  # 0.5 bad / 0.1 budget
+
+    def test_empty_window_burns_nothing(self):
+        tracker = SLOTracker()
+        for rates in tracker.burn_rates().values():
+            assert all(rate == 0.0 for rate in rates.values())
+
+
+class TestSnapshotShape:
+    def test_histograms_keyed_by_route_tenant_quality(self):
+        tracker = SLOTracker()
+        tracker.observe("query", 0.01, tenant="acme", exact=True)
+        tracker.observe("query", 0.02, tenant="acme", exact=False)
+        tracker.observe("feedback", 0.03, tenant="globex", error=True)
+        keys = {
+            (entry["route"], entry["tenant"], entry["quality"])
+            for entry in tracker.snapshot()["histograms"]
+        }
+        assert keys == {
+            ("query", "acme", "exact"),
+            ("query", "acme", "degraded"),
+            ("feedback", "globex", "error"),
+        }
+
+    def test_objective_windows_report_totals(self):
+        tracker = SLOTracker()
+        tracker.observe("query", 0.01)
+        snapshot = tracker.snapshot()
+        names = {entry["name"] for entry in snapshot["objectives"]}
+        assert names == {"availability", "latency"}
+        for entry in snapshot["objectives"]:
+            for stats in entry["windows"].values():
+                assert stats["total"] == 1
+
+
+class TestPrometheusFamilies:
+    def make_snapshot(self):
+        tracker = SLOTracker()
+        tracker.observe("query", 0.01, tenant="acme", exact=True)
+        tracker.observe("query", 0.7, tenant="acme", exact=False)
+        tracker.observe("feedback", 0.02, error=True)
+        return {"slo": tracker.snapshot()}
+
+    def test_histogram_family_grammar(self):
+        families = parse_exposition(prometheus_text(self.make_snapshot()))
+        family = families["repro_request_duration_seconds"]
+        assert family["type"] == "histogram"
+        buckets = [
+            (labels, value)
+            for name, labels, value in family["samples"]
+            if name.endswith("_bucket")
+        ]
+        assert buckets, "histogram must emit _bucket samples"
+        inf = [
+            (labels, value)
+            for labels, value in buckets
+            if labels["le"] == "+Inf"
+        ]
+        assert inf, "every series must close with le=+Inf"
+        for labels, _ in buckets:
+            assert set(labels) == {"route", "tenant", "quality", "le"}
+
+    def test_bucket_counts_are_cumulative_and_match_count(self):
+        families = parse_exposition(prometheus_text(self.make_snapshot()))
+        family = families["repro_request_duration_seconds"]
+        series = {}
+        for name, labels, value in family["samples"]:
+            key = (labels.get("route"), labels.get("tenant"), labels.get("quality"))
+            series.setdefault(key, {})[
+                (name.rsplit("_", 1)[-1], labels.get("le"))
+            ] = float(value)
+        for key, samples in series.items():
+            counts = [
+                value
+                for (kind, le), value in sorted(
+                    (item for item in samples.items() if item[0][0] == "bucket"),
+                    key=lambda item: float(item[0][1]),
+                )
+            ]
+            assert counts == sorted(counts), f"non-monotone buckets for {key}"
+            assert counts[-1] == samples[("count", None)]
+
+    def test_burn_rate_gauge_labels(self):
+        families = parse_exposition(prometheus_text(self.make_snapshot()))
+        family = families["repro_slo_error_budget_burn_rate"]
+        assert family["type"] == "gauge"
+        labels_seen = {
+            (labels["objective"], labels["window"])
+            for _, labels, _ in family["samples"]
+        }
+        assert ("availability", "300s") in labels_seen
+        assert ("latency", "3600s") in labels_seen
+
+    def test_absent_slo_section_emits_no_families(self):
+        families = parse_exposition(prometheus_text({"counters": {"queries": 1}}))
+        assert "repro_request_duration_seconds" not in families
+        assert "repro_slo_error_budget_burn_rate" not in families
+
+    def test_live_service_exposition_carries_slo_families(self, two_blob_data):
+        from repro.retrieval import FeatureDatabase
+        from repro.service import RetrievalService
+
+        vectors, labels = two_blob_data
+        with RetrievalService(
+            FeatureDatabase(vectors, labels), k=5, use_index=False, n_shards=1
+        ) as service:
+            session_id = service.create_session(0, tenant="acme")
+            service.query(session_id)
+            families = parse_exposition(service.prometheus_metrics())
+        family = families["repro_request_duration_seconds"]
+        count = [
+            (labels, value)
+            for name, labels, value in family["samples"]
+            if name.endswith("_count")
+        ]
+        assert count[0][0]["tenant"] == "acme"
+        assert float(count[0][1]) == 1.0

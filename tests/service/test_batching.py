@@ -197,6 +197,46 @@ class TestCoalescing:
         assert stats["tenants_served"] == {"t0": 1}
 
 
+class TestQueueWaitAccounting:
+    def test_queue_wait_tracked_per_tenant(self):
+        """A request parked behind a busy batch accrues measurable queue
+        wait, attributed to its own tenant."""
+        gate = threading.Event()
+        execute = RecordingExecute(gate=gate)
+        config = BatchingConfig(max_batch=2, max_wait_s=0.005)
+        with BatchingExecutor(execute, config=config) as executor:
+            first = Submitter(executor, "seed", tenant="fast")
+            wait_for(lambda: len(execute.batches) == 1)
+            parked = Submitter(executor, "q1", tenant="slow-co")
+            wait_for(lambda: executor.queue_depth == 1)
+            time.sleep(0.02)  # let the parked request accrue wait
+            gate.set()
+            first.join()
+            parked.join()
+            stats = executor.stats()
+        waits = stats["queue_wait_by_tenant"]
+        assert set(waits) == {"fast", "slow-co"}
+        slow = waits["slow-co"]
+        assert slow["count"] == 1
+        assert slow["sum"] >= 0.02
+        assert slow["p50"] >= 0.02
+        assert slow["p95"] >= slow["p50"] >= 0.0
+        assert waits["fast"]["count"] == 1
+
+    def test_queue_wait_reaches_prometheus(self):
+        from repro.obs import prometheus_text
+
+        execute = RecordingExecute()
+        with BatchingExecutor(
+            execute, config=BatchingConfig(max_wait_s=0.001)
+        ) as executor:
+            executor.submit("q", KEY_A, 10, tenant="acme")
+            stats = executor.stats()
+        text = prometheus_text({"batching": stats})
+        assert 'repro_batch_queue_wait_seconds_count{tenant="acme"} 1' in text
+        assert 'repro_batch_queue_wait_seconds{quantile="0.5",tenant="acme"}' in text
+
+
 class TestTenantFairness:
     def test_round_robin_across_tenants(self):
         """With a flooding tenant and a light one queued together, the

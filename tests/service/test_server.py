@@ -42,13 +42,18 @@ def conn(server):
 
 
 def call(conn, method, path, body=None, headers=None):
+    status, parsed, _ = call_with_headers(conn, method, path, body, headers)
+    return status, parsed
+
+
+def call_with_headers(conn, method, path, body=None, headers=None):
     payload = json.dumps(body) if body is not None else None
     conn.request(method, path, body=payload, headers=headers or {})
     response = conn.getresponse()
     raw = response.read()
     if response.headers.get_content_type() == "application/json" and raw:
-        return response.status, json.loads(raw)
-    return response.status, raw
+        return response.status, json.loads(raw), response.headers
+    return response.status, raw, response.headers
 
 
 class TestSessionLifecycle:
@@ -193,6 +198,98 @@ class TestIntrospection:
         for _ in range(3):
             status, _ = call(conn, "GET", "/healthz")
             assert status == 200
+
+
+class TestRequestIdAndTracing:
+    def test_every_response_carries_a_request_id(self, conn):
+        status, _, headers = call_with_headers(conn, "GET", "/healthz")
+        assert status == 200
+        assert headers["X-Request-Id"]
+        assert headers["traceparent"].startswith("00-")
+
+    def test_client_request_id_echoed_verbatim(self, conn):
+        _, _, headers = call_with_headers(
+            conn, "GET", "/healthz", headers={"X-Request-Id": "my-req-7"}
+        )
+        assert headers["X-Request-Id"] == "my-req-7"
+
+    def test_unsafe_request_id_is_replaced_not_echoed(self, conn):
+        """A header-unsafe id must not be reflected back (no smuggling)."""
+        _, _, headers = call_with_headers(
+            conn, "GET", "/healthz", headers={"X-Request-Id": "two words !"}
+        )
+        assert headers["X-Request-Id"] != "two words !"
+
+    def test_traceparent_trace_id_round_trips(self, conn):
+        trace_id = "1f" * 16
+        _, _, headers = call_with_headers(
+            conn,
+            "GET",
+            "/healthz",
+            headers={"traceparent": f"00-{trace_id}-{'2e' * 8}-01"},
+        )
+        assert headers["traceparent"].split("-")[1] == trace_id
+        assert headers["X-Request-Id"] == trace_id
+
+    def test_garbage_traceparent_never_errors(self, conn):
+        status, _, headers = call_with_headers(
+            conn, "GET", "/healthz", headers={"traceparent": "not-a-trace"}
+        )
+        assert status == 200
+        assert headers["traceparent"].startswith("00-")
+
+    def test_error_payload_includes_request_id(self, conn):
+        status, body, headers = call_with_headers(
+            conn,
+            "GET",
+            "/sessions/ghost/page",
+            headers={"X-Request-Id": "err-req-1"},
+        )
+        assert status == 404
+        assert body["request_id"] == "err-req-1"
+        assert headers["X-Request-Id"] == "err-req-1"
+
+    def test_recent_errors_visible_in_stats(self, conn):
+        call(conn, "GET", "/nope", headers={"X-Request-Id": "stats-err-9"})
+        _, stats = call(conn, "GET", "/stats")
+        recent = stats["server"]["recent_errors"]
+        entry = next(e for e in recent if e["request_id"] == "stats-err-9")
+        assert entry["status"] == 404
+        assert entry["route"] == "/nope"
+
+
+class TestSLOEndpoint:
+    def test_debug_slo_reports_objectives_and_histograms(self, conn):
+        status, created = call(
+            conn, "POST", "/sessions", {"query": 9}, headers={"X-Tenant": "slo-co"}
+        )
+        session_id = created["session_id"]
+        status, _ = call(conn, "GET", f"/sessions/{session_id}/page?k=5")
+        assert status == 200
+
+        status, body = call(conn, "GET", "/debug/slo")
+        assert status == 200
+        names = {obj["name"] for obj in body["objectives"]}
+        assert {"availability", "latency"} <= names
+        for objective in body["objectives"]:
+            for stats in objective["windows"].values():
+                assert {"total", "bad", "bad_fraction", "burn_rate"} <= set(stats)
+        page_rows = [
+            entry
+            for entry in body["histograms"]
+            if entry["route"] == "page" and entry["tenant"] == "slo-co"
+        ]
+        assert page_rows and page_rows[0]["count"] >= 1
+        call(conn, "DELETE", f"/sessions/{session_id}")
+
+    def test_slo_histograms_reach_prometheus_exposition(self, conn):
+        status, created = call(conn, "POST", "/sessions", {"query": 2})
+        session_id = created["session_id"]
+        call(conn, "GET", f"/sessions/{session_id}/page?k=3")
+        status, raw = call(conn, "GET", "/metrics")
+        assert b"repro_request_duration_seconds_bucket" in raw
+        assert b"repro_slo_error_budget_burn_rate" in raw
+        call(conn, "DELETE", f"/sessions/{session_id}")
 
 
 class TestLifecycle:
