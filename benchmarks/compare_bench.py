@@ -25,7 +25,15 @@ the feature-store workload instead (a memory-mapped store served
 through both scan backends) against ``baselines/store.json``;
 ``--suite batching`` gates the cross-session batched scan (explicit
 micro-batches byte-compared against their solo scans) against
-``baselines/batching.json``.
+``baselines/batching.json``; ``--suite ann`` runs the spill-tree
+recall sweep at CI scale against ``baselines/ann.json``.
+
+Baselines may also declare ``"floors"`` — absolute limits that hold
+regardless of the relative tolerance (a floor for higher-is-better
+metrics, a ceiling for lower-is-better ones).  The recall contract is
+one: ``baselines/ann.json`` floors ``ann.recall_at_default`` at 0.9,
+so a PR that drags defeatist recall below the contract fails the gate
+even if the committed baseline itself had headroom.
 """
 
 from __future__ import annotations
@@ -64,6 +72,11 @@ DIRECTIONS = {
     "batching.page_match_fraction": "higher",
     "batching.coarse_page_match_fraction": "higher",
     "batching.pruned_fraction": "higher",
+    "ann.recall_at_default": "higher",
+    "ann.recall_min_at_default": "higher",
+    "ann.calibrated_recall_at_default": "higher",
+    "ann.candidate_fraction_at_default": "lower",
+    "ann.spill_recall_gain": "higher",
 }
 
 # Sized so each workload is informative: >2048 rows per scan shard and
@@ -299,6 +312,39 @@ def collect_batching_metrics() -> dict:
     return {name: round(float(value), 6) for name, value in metrics.items()}
 
 
+def collect_ann_metrics() -> dict:
+    """The ANN recall sweep at CI scale, reduced to exact metrics.
+
+    Wall-clock speedup cannot be gated across runners, but recall can:
+    the spill-tree build, the harvested feedback queries and the
+    defeatist descents are all seeded, so recall at the shipped
+    operating point — plus its worst query, its build-time calibration
+    and its candidate fraction (the scale-free cost proxy) — are
+    bit-deterministic.  ``spill_recall_gain`` (operating point minus
+    the spill-free partition tree) guards the overlap machinery
+    itself: if spilling stops buying recall, the tier is broken even
+    if absolute recall still clears the floor.
+
+    The committed baseline additionally *floors* ``recall_at_default``
+    at the contract value (0.9): see ``baselines/ann.json``.
+    """
+    from repro.experiments.ann import DEFAULT_SPILL, small_sweep
+
+    payload = small_sweep()
+    by_name = {entry["name"]: entry for entry in payload["configs"]}
+    default = by_name[payload["default"]]
+    spill_free = by_name[f"{default['rule']}:spill=0"]
+    metrics = {
+        "ann.recall_at_default": default["recall_mean"],
+        "ann.recall_min_at_default": default["recall_min"],
+        "ann.calibrated_recall_at_default": default["calibrated_recall"],
+        "ann.candidate_fraction_at_default": default["candidate_fraction"],
+        "ann.spill_recall_gain": default["recall_mean"] - spill_free["recall_mean"],
+    }
+    assert default["spill"] == DEFAULT_SPILL
+    return {name: round(float(value), 6) for name, value in metrics.items()}
+
+
 #: Suite name → (metric collector, default committed baseline).
 SUITES = {
     "smoke": (collect_metrics, DEFAULT_BASELINE),
@@ -310,16 +356,30 @@ SUITES = {
         collect_batching_metrics,
         REPO_ROOT / "benchmarks" / "baselines" / "batching.json",
     ),
+    "ann": (
+        collect_ann_metrics,
+        REPO_ROOT / "benchmarks" / "baselines" / "ann.json",
+    ),
 }
 
 
-def compare(current: dict, baseline: dict, tolerance: float) -> list:
-    """Regressions (worse than baseline beyond ``tolerance``), as dicts."""
+def compare(
+    current: dict, baseline: dict, tolerance: float, floors: dict = None
+) -> list:
+    """Regressions (worse than baseline beyond ``tolerance``), as dicts.
+
+    ``floors`` are absolute limits from the baseline file, checked in
+    addition to the relative tolerance: a floor for higher-is-better
+    metrics, a ceiling for lower-is-better ones.  They encode the
+    contract itself (e.g. recall >= 0.9), so they bind even when the
+    recorded baseline value has headroom above them.
+    """
     regressions = []
+    floors = floors or {}
     for name, direction in DIRECTIONS.items():
-        if name not in baseline:
+        if name not in baseline and name not in floors:
             continue
-        base = baseline[name]
+        base = baseline.get(name)
         if name not in current:
             regressions.append(
                 {"metric": name, "baseline": base, "current": None,
@@ -327,18 +387,33 @@ def compare(current: dict, baseline: dict, tolerance: float) -> list:
             )
             continue
         value = current[name]
-        if direction == "higher":
-            floor = base * (1.0 - tolerance)
-            regressed = value < floor and not np.isclose(value, floor)
-        else:
-            ceiling = base * (1.0 + tolerance)
-            regressed = value > ceiling and not np.isclose(value, ceiling)
-        if regressed:
-            change = (value - base) / base if base else float("inf")
-            regressions.append(
-                {"metric": name, "baseline": base, "current": value,
-                 "detail": f"{change:+.1%} ({direction} is better)"}
-            )
+        if base is not None:
+            if direction == "higher":
+                floor = base * (1.0 - tolerance)
+                regressed = value < floor and not np.isclose(value, floor)
+            else:
+                ceiling = base * (1.0 + tolerance)
+                regressed = value > ceiling and not np.isclose(value, ceiling)
+            if regressed:
+                change = (value - base) / base if base else float("inf")
+                regressions.append(
+                    {"metric": name, "baseline": base, "current": value,
+                     "detail": f"{change:+.1%} ({direction} is better)"}
+                )
+                continue
+        if name in floors:
+            limit = floors[name]
+            if direction == "higher":
+                breached = value < limit and not np.isclose(value, limit)
+                bound = "floor"
+            else:
+                breached = value > limit and not np.isclose(value, limit)
+                bound = "ceiling"
+            if breached:
+                regressions.append(
+                    {"metric": name, "baseline": base, "current": value,
+                     "detail": f"breaks the contract {bound} of {limit}"}
+                )
     return regressions
 
 
@@ -378,23 +453,47 @@ def main(argv=None) -> int:
         print(f"  {name:38s} {current[name]:.6f}")
 
     if args.record:
+        recorded = {"tolerance": args.tolerance, "metrics": current}
+        if args.baseline.exists():
+            # Contract floors are declarations, not measurements —
+            # re-recording the baseline must never loosen them.
+            try:
+                floors = json.loads(args.baseline.read_text()).get("floors")
+            except (json.JSONDecodeError, AttributeError):
+                floors = None
+            if floors:
+                recorded["floors"] = floors
         args.baseline.parent.mkdir(parents=True, exist_ok=True)
-        args.baseline.write_text(
-            json.dumps({"tolerance": args.tolerance, "metrics": current}, indent=2)
-            + "\n"
-        )
+        args.baseline.write_text(json.dumps(recorded, indent=2) + "\n")
         print(f"baseline written to {args.baseline}")
         return 0
 
+    # A broken gate must fail loudly in one line, not pass vacuously or
+    # dump a traceback: CI treats any non-zero exit as a failed check.
     if not args.baseline.exists():
-        print(f"no baseline at {args.baseline}; run with --record", file=sys.stderr)
+        print(
+            f"compare_bench: no baseline at {args.baseline}; run with --record",
+            file=sys.stderr,
+        )
         return 2
-    recorded = json.loads(args.baseline.read_text())
-    baseline = recorded["metrics"]
+    try:
+        recorded = json.loads(args.baseline.read_text())
+        baseline = recorded["metrics"]
+        if not isinstance(baseline, dict):
+            raise TypeError("'metrics' must be an object")
+        floors = recorded.get("floors", {})
+        if not isinstance(floors, dict):
+            raise TypeError("'floors' must be an object")
+    except (json.JSONDecodeError, KeyError, TypeError, AttributeError) as error:
+        print(
+            f"compare_bench: malformed baseline {args.baseline}: {error}",
+            file=sys.stderr,
+        )
+        return 2
     tolerance = args.tolerance if args.tolerance != DEFAULT_TOLERANCE else recorded.get(
         "tolerance", DEFAULT_TOLERANCE
     )
-    regressions = compare(current, baseline, tolerance)
+    regressions = compare(current, baseline, tolerance, floors)
 
     if args.report is not None:
         args.report.write_text(
@@ -402,6 +501,7 @@ def main(argv=None) -> int:
                 {
                     "tolerance": tolerance,
                     "baseline": baseline,
+                    "floors": floors,
                     "current": current,
                     "regressions": regressions,
                 },

@@ -68,6 +68,7 @@ from .obs import (
     prometheus_text,
     render_span_tree,
 )
+from .parallel import ShardWorkerPool
 from .retrieval import (
     FeatureDatabase,
     FeedbackMethod,
@@ -75,7 +76,6 @@ from .retrieval import (
     QclusterMethod,
     SimulatedUser,
 )
-from .parallel import ShardWorkerPool
 from .retrieval.methods import QueryLike
 from .service import (
     CheckpointCorruption,

@@ -32,6 +32,9 @@ Subcommands:
 * ``figure`` — regenerate any of the paper's tables/figures by id
   (``fig5`` ... ``fig19``, ``table2``, ``table3``, ``headline``),
   optionally exporting CSV.
+* ``bench`` — run the ANN tier's recall-vs-speedup sweep (the
+  empirical contract behind ``serve --ann``) and print the per-config
+  table; ``--small`` uses the CI scale.
 * ``export-collection`` — write a procedural collection to disk as a
   PPM directory tree (one subdirectory per category), loadable back via
   :func:`repro.datasets.load_directory_collection`.
@@ -244,6 +247,7 @@ def cmd_serve(args) -> int:
         capacity=args.capacity,
         cache_size=args.cache_size,
         batching=batching,
+        ann=args.ann,
     )
     server = RetrievalServer(
         service, host=args.host, port=args.port, max_concurrent=args.max_concurrent
@@ -344,6 +348,7 @@ def cmd_chaos(args) -> int:
 
     from .faults import FaultPlan, activate_faults
     from .faults.plans import BUILTIN_PLAN_NAMES, builtin_plan
+    from .index import SpillTreeConfig
     from .retrieval import SimulatedUser
     from .service import RetrievalService
 
@@ -400,6 +405,12 @@ def cmd_chaos(args) -> int:
                 checkpoint_dir=checkpoint_dir,
                 cache_size=args.cache_size,
                 batching=args.batching,
+                # Chaos collections are small, so force real splits: a
+                # single-leaf tree would make every descent one node and
+                # starve the index.descend site.
+                ann=SpillTreeConfig(leaf_capacity=64, max_leaves=4)
+                if args.ann
+                else None,
                 tracer=trace_with,
             )
             context = (
@@ -425,7 +436,9 @@ def cmd_chaos(args) -> int:
                             record = {"key": (index, round_index)}
                             try:
                                 if round_index == 0 or index not in last_pages:
-                                    page = service.query(session_id)
+                                    page = service.query(
+                                        session_id, approximate=args.ann
+                                    )
                                 else:
                                     judgment = users[index].judge(
                                         last_pages[index].ids
@@ -434,6 +447,7 @@ def cmd_chaos(args) -> int:
                                         session_id,
                                         judgment.relevant_indices,
                                         judgment.scores,
+                                        approximate=args.ann,
                                     )
                             except Exception as error:
                                 record["error"] = repr(error)
@@ -467,7 +481,8 @@ def cmd_chaos(args) -> int:
 
     by_key = {record["key"]: record for record in baseline}
     violations = []
-    exact_pages = degraded_pages = errored = excluded = 0
+    exact_pages = approximate_pages = fallback_pages = 0
+    degraded_pages = errored = excluded = 0
     diverged = set()
     for record in faulted:
         session_index = record["key"][0]
@@ -481,16 +496,33 @@ def cmd_chaos(args) -> int:
         if session_index in diverged:
             excluded += 1
             continue
+        reasons = record.get("reasons", ())
         if record["quality"] == "exact":
             exact_pages += 1
+            comparable = True
+        elif record["quality"] == "approximate" and "ann_fallback" not in reasons:
+            # Defeatist descent is deterministic, so a healthy ANN page
+            # must match the fault-free twin's ANN page byte for byte.
+            approximate_pages += 1
+            comparable = True
+        elif "ann_fallback" in reasons:
+            # The tier failed mid-descent and the exact scan rescued the
+            # request — announced on the page, but its content differs
+            # from the twin's ANN page, so the session's feedback
+            # trajectory diverges from here on.
+            fallback_pages += 1
+            diverged.add(session_index)
+            comparable = False
+        else:
+            degraded_pages += 1
+            comparable = False
+        if comparable:
             twin = by_key[record["key"]]
             if (
                 record["ids"] != twin["ids"]
                 or record["distances"] != twin["distances"]
             ):
                 violations.append(record["key"])
-        else:
-            degraded_pages += 1
 
     counters = snapshot["counters"]
     print(f"plan: {plan.name or '<unnamed>'} (seed {plan.seed}, {len(plan.specs)} specs)")
@@ -514,7 +546,10 @@ def cmd_chaos(args) -> int:
         "checkpoints_corrupt",
         "sessions_rebuilt",
         "cache_errors",
+        "ann_scans",
+        "ann_fallbacks",
         "results_exact",
+        "results_approximate",
         "results_degraded",
     ):
         if counters.get(name):
@@ -522,8 +557,10 @@ def cmd_chaos(args) -> int:
     print(f"  {'cache_corruptions':<24} {snapshot['cache']['corruptions']}")
     print()
     print(
-        f"pages: {exact_pages} exact (byte-checked), {degraded_pages} degraded, "
-        f"{errored} errored, {excluded} excluded after an error"
+        f"pages: {exact_pages} exact + {approximate_pages} approximate "
+        f"(byte-checked), {fallback_pages} ann-fallback, "
+        f"{degraded_pages} degraded, {errored} errored, "
+        f"{excluded} excluded after divergence"
     )
     if tracer is not None:
         from .obs import trace_to_jsonl_lines
@@ -540,7 +577,7 @@ def cmd_chaos(args) -> int:
             f"{tail.get('kept_slow', 0)} slow, {tail.get('dropped', 0)} dropped) "
             f"-> {args.trace_jsonl}"
         )
-        if (degraded_pages or errored) and not traces:
+        if (degraded_pages or fallback_pages or errored) and not traces:
             print(
                 "VIOLATION: degraded/errored pages occurred but tail sampling "
                 "retained no trace",
@@ -549,12 +586,15 @@ def cmd_chaos(args) -> int:
             return 1
     if violations:
         print(
-            f"VIOLATION: {len(violations)} exact page(s) differ from the "
+            f"VIOLATION: {len(violations)} comparable page(s) differ from the "
             f"fault-free run: {violations[:10]}",
             file=sys.stderr,
         )
         return 1
-    print("resilience contract holds: every exact page is byte-identical")
+    print(
+        "resilience contract holds: every exact page — and every healthy "
+        "approximate page — is byte-identical"
+    )
     return 0
 
 
@@ -720,6 +760,50 @@ def cmd_figure(args) -> int:
     return 0
 
 
+def cmd_bench(args) -> int:
+    """Run the ANN recall-vs-speedup sweep and print the contract table."""
+    import json
+
+    from .experiments.ann import DEFAULT_RULE, DEFAULT_SPILL, run_sweep, sweep_config
+
+    config = sweep_config(small=args.small)
+    print(
+        f"sweeping {len(config.rules)} rule(s) x {len(config.spills)} spill "
+        f"fraction(s) over {config.n} rows ({config.dimensions}-d, "
+        f"scheme={config.scheme!r}) ..."
+    )
+    payload = run_sweep(config)
+    print(
+        f"\n{'config':>16s}  {'recall':>6s}  {'min':>5s}  {'calib':>6s}  "
+        f"{'candfrac':>8s}  {'speedup':>7s}"
+    )
+    for entry in payload["configs"]:
+        marker = " <- default" if entry["name"] == payload["default"] else ""
+        calibrated = entry["calibrated_recall"]
+        print(
+            f"{entry['name']:>16s}  {entry['recall_mean']:>6.3f}  "
+            f"{entry['recall_min']:>5.2f}  "
+            f"{calibrated if calibrated is None else format(calibrated, '6.3f')}  "
+            f"{entry['candidate_fraction']:>8.3f}  "
+            f"{entry['speedup']:>6.2f}x{marker}"
+        )
+    default = next(
+        entry for entry in payload["configs"] if entry["name"] == payload["default"]
+    )
+    print(
+        f"\noperating point ({DEFAULT_RULE}, spill={DEFAULT_SPILL:g}): "
+        f"recall {default['recall_mean']:.3f} at {default['speedup']:.2f}x "
+        f"over the exact scan; contract floor is 0.9 "
+        f"(benchmarks/baselines/ann.json)"
+    )
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {args.out}")
+    return 0
+
+
 def cmd_export_collection(args) -> int:
     """Write a generated collection as a PPM directory tree."""
     from pathlib import Path
@@ -822,6 +906,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="serve each query through the unbatched thread-pool path",
     )
     serve.add_argument(
+        "--ann",
+        action="store_true",
+        help="build the spill-tree approximate tier: clients opt in per "
+        "request (?approximate=1), and load-shed batching traffic is "
+        "served from it instead of waiting out the queue",
+    )
+    serve.add_argument(
         "--use-index",
         action="store_true",
         help="serve through the HybridTree (bypasses the batching executor; "
@@ -876,7 +967,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--plan",
         default="worker-crash",
         help="builtin plan name (worker-crash, slow-shard, corrupt-checkpoint, "
-        "torn-block, batch-abort)",
+        "torn-block, batch-abort, ann-descend)",
     )
     chaos.add_argument(
         "--plan-file", default=None, help="load the fault plan from a JSON file"
@@ -912,6 +1003,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="route both replays through the batching executor, arming the "
         "batch.execute fault site",
+    )
+    chaos.add_argument(
+        "--ann",
+        action="store_true",
+        help="serve both replays from the spill-tree ANN tier (approximate "
+        "pages with estimated recall), arming the index.descend fault site",
     )
     chaos.add_argument(
         "--trace-jsonl",
@@ -969,6 +1066,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     figure.add_argument("--csv", help="directory to export CSV into")
     figure.set_defaults(func=cmd_figure)
+
+    bench = subparsers.add_parser(
+        "bench", help="run the ANN recall-vs-speedup sweep"
+    )
+    bench.add_argument(
+        "--small",
+        action="store_true",
+        help="CI scale (~2.4k rows) instead of the full 40k-row workload",
+    )
+    bench.add_argument("--out", help="write the sweep payload as JSON here")
+    bench.set_defaults(func=cmd_bench)
 
     export = subparsers.add_parser(
         "export-collection", help="write a generated collection as PPM files"

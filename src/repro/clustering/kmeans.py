@@ -101,7 +101,8 @@ def kmeans(
 
     centers = kmeans_plus_plus_init(points, k, rng)
     labels = np.zeros(n, dtype=int)
-    for iteration in range(1, max_iterations + 1):
+    # ``iteration`` is read after the loop (it is the reported count).
+    for iteration in range(1, max_iterations + 1):  # noqa: B007
         distances = _squared_distances_to(points, centers)
         labels = np.argmin(distances, axis=1)
         new_centers = centers.copy()

@@ -71,5 +71,7 @@ def lance_williams_update(
         updater = LINKAGES[linkage]
     except KeyError:
         valid = ", ".join(sorted(LINKAGES))
-        raise ValueError(f"unknown linkage {linkage!r}; expected one of: {valid}")
+        raise ValueError(
+            f"unknown linkage {linkage!r}; expected one of: {valid}"
+        ) from None
     return updater(d_ki, d_kj, d_ij, n_i, n_j, n_k)

@@ -30,6 +30,7 @@ from .kernels import (
     use_kernels,
 )
 from .merging import ClusterMerger, MergeRecord, pairwise_merge_test
+from .pca import PCA, select_dimension_by_variance, t2_in_pc_basis
 from .progressive import (
     ProgressivePlan,
     ProgressiveResult,
@@ -40,7 +41,6 @@ from .progressive import (
     progressive_topk,
     use_progressive,
 )
-from .pca import PCA, select_dimension_by_variance, t2_in_pc_basis
 from .qcluster import QclusterEngine
 from .quality import QualityReport, labelled_classification_error, leave_one_out_error
 

@@ -165,5 +165,7 @@ def get_scheme(
         factory = _SCHEMES[name]
     except KeyError:
         valid = ", ".join(sorted(_SCHEMES))
-        raise ValueError(f"unknown covariance scheme {name!r}; expected one of: {valid}")
+        raise ValueError(
+            f"unknown covariance scheme {name!r}; expected one of: {valid}"
+        ) from None
     return factory(regularization=regularization)

@@ -8,6 +8,8 @@ from .gaussian import (
     simplex_centers,
     spherical_clusters,
 )
+from .matrix import FEATURE_DTYPE, as_feature_matrix, assert_scan_ready
+from .ppm import load_directory_collection, load_ppm, save_ppm
 from .synthetic_images import (
     CategorySpec,
     ModeSpec,
@@ -15,8 +17,6 @@ from .synthetic_images import (
     generate_collection,
     render_mode_image,
 )
-from .matrix import FEATURE_DTYPE, as_feature_matrix, assert_scan_ready
-from .ppm import load_directory_collection, load_ppm, save_ppm
 from .uniform import ball_membership, uniform_cube
 
 __all__ = [

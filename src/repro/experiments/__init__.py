@@ -12,11 +12,12 @@ programmatically:
         table.print()
 """
 
-from . import classification, fig05, fig06, fig07, quality, t2_accuracy
+from . import ann, classification, fig05, fig06, fig07, quality, t2_accuracy
 from .protocol import ProtocolConfig, ProtocolData
 from .reporting import ResultTable
 
 __all__ = [
+    "ann",
     "classification",
     "fig05",
     "fig06",

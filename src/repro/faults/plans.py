@@ -26,6 +26,11 @@ Seeded scenarios, each aimed at a distinct recovery mechanism:
   deadline-aware cutoffs under injected batch latency.  Replay with
   batching on (``chaos --plan batch-abort --batching``) to arm the
   ``batch.execute`` site.
+* ``ann-descend`` — spill-tree node reads fail mid-descent; exercised
+  paths: the ANN tier's rescue by the exact sharded scan (pages
+  stamped ``ann_fallback``, never an error), with surviving descents
+  staying deterministic.  Replay with the tier on (``chaos --plan
+  ann-descend --ann``) to arm the ``index.descend`` site.
 
 Plans are plain :class:`~repro.faults.plan.FaultPlan` values — replay
 one with ``python -m repro.cli chaos --plan <name>`` or dump it with
@@ -131,12 +136,40 @@ def _batch_abort(seed: int) -> Tuple[FaultSpec, ...]:
     )
 
 
+def _ann_descend(seed: int) -> Tuple[FaultSpec, ...]:
+    return (
+        # A good fraction of defeatist descents hit a bad node read and
+        # abort; the engine must re-serve each one through the exact
+        # sharded scan, stamped ``ann_fallback`` — announced rescue,
+        # never a failed or silently-exact page.
+        # Per *node* probability: a defeatist request touches dozens of
+        # nodes across its representatives, so this yields a healthy
+        # minority of per-request aborts, not a blanket outage.
+        FaultSpec(
+            "index.descend",
+            "error",
+            probability=0.04,
+            message="spill node read failed",
+        ),
+        # Slow node reads on the surviving descents: latency only, so
+        # the reached leaves — and therefore the pages — are unchanged.
+        FaultSpec(
+            "index.descend",
+            "latency",
+            probability=0.02,
+            latency_s=0.002,
+            max_fires=16,
+        ),
+    )
+
+
 _BUILDERS = {
     "worker-crash": _worker_crash,
     "slow-shard": _slow_shard,
     "corrupt-checkpoint": _corrupt_checkpoint,
     "torn-block": _torn_block,
     "batch-abort": _batch_abort,
+    "ann-descend": _ann_descend,
 }
 
 #: The plan names the CI chaos matrix iterates.

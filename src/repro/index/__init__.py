@@ -1,8 +1,10 @@
-"""Indexing substrate: linear scan, bucketed kd tree, cached multipoint search."""
+"""Indexing substrate: linear scan, bucketed kd tree, cached multipoint
+search, and the spill/RP-tree approximate tier."""
 
 from .hybridtree import HybridTree, TreeNode
 from .linear import KnnResult, LinearScan, SearchCost, page_capacity_for
 from .multipoint import CentroidSearcher, MultipointSearcher, SessionCostLog
+from .spill import DefeatistResult, SpillNode, SpillTree, SpillTreeConfig
 
 __all__ = [
     "HybridTree",
@@ -14,4 +16,8 @@ __all__ = [
     "CentroidSearcher",
     "MultipointSearcher",
     "SessionCostLog",
+    "SpillTree",
+    "SpillTreeConfig",
+    "SpillNode",
+    "DefeatistResult",
 ]

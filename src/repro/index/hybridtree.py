@@ -33,14 +33,14 @@ import numpy as np
 
 from ..core.distance import DisjunctiveQuery
 from ..core.kernels import ensure_compiled, kernels_enabled
-from ..faults import fault_point, register_site
-from ..obs import add_event
 from ..core.progressive import (
     ProgressivePlan,
     plan_for,
     progressive_enabled,
     prune_threshold,
 )
+from ..faults import fault_point, register_site
+from ..obs import add_event
 from .linear import KnnResult, SearchCost, page_capacity_for
 
 __all__ = ["TreeNode", "HybridTree"]

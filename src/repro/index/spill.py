@@ -1,0 +1,478 @@
+"""Spill / RP trees with defeatist (no-backtrack) search — the ANN tier.
+
+The exact paths (:class:`~repro.index.hybridtree.HybridTree` best-first
+search, the progressive sharded scan) guarantee byte-identical rankings
+at a cost that grows with the database.  This module adds the cheap
+tier the serving stack falls back to under traffic spikes: a
+:class:`SpillTree` built with overlapping ("spilled") splits, searched
+*defeatist* — a bounded root-to-leaf descent per query representative
+with no distance-bound backtracking — so a k-NN costs a handful of
+leaf scans per representative instead of a frontier walk over the
+whole structure.
+
+Two split rules, following Liu et al.'s spill trees and Dasgupta &
+Freund's random-projection trees:
+
+* ``"kd"`` — split on the maximum-variance coordinate;
+* ``"rp"`` — split on the best of ``samples_rp`` random unit
+  directions (highest projected variance), which adapts to intrinsic
+  dimension when no single coordinate carries the spread.
+
+Each internal node routes by a scalar projection against the median,
+but children *overlap*: the left child keeps everything up to the
+``0.5 + spill/2`` quantile (``high``) and the right everything from
+the ``0.5 - spill/2`` quantile (``low``).  The descent is buffered:
+a projection at or below ``low`` goes left only, at or above ``high``
+right only, and inside the spill buffer *both* children are taken
+(nearer side first), capped at ``max_leaves`` leaves per
+representative.  There is never a backtrack — no node is revisited
+after its leaves are scored — so cost stays bounded while boundary
+queries (the failure mode of pure defeatist descent, especially under
+Qcluster's Mahalanobis-stretched contours) still reach the leaves
+holding their neighbours.  ``spill=0`` degenerates to a plain
+partition tree (up to rows tied exactly at a median) with single-leaf
+descent.
+
+Leaf scoring reuses the exact machinery end to end: candidates from
+the reached leaves are ranked by
+:meth:`~repro.core.distance.DisjunctiveQuery.distances` (the compiled
+kernels) under the same deterministic ``(distance, id)`` tie-break as
+every exact path — the *only* approximation is which rows are scored.
+
+Honesty is structural: the tree measures its own recall at build time
+(:attr:`SpillTree.calibrated_recall`, a seeded probe against exact
+ground truth) and every page served from this tier is stamped
+``ResultQuality(approximate, estimated_recall=...)`` by the service.
+The empirical contract — recall versus speedup over the exact
+progressive scan — is swept by ``benchmarks/test_ann_recall.py`` and
+enforced in CI by ``compare_bench.py --suite ann``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..core.distance import DisjunctiveQuery
+from ..core.kernels import ensure_compiled
+from ..core.progressive import exact_top_k
+from ..faults import fault_point, register_site
+from ..obs import add_event
+from .linear import SearchCost, page_capacity_for
+
+__all__ = ["SpillTree", "SpillTreeConfig", "SpillNode", "DefeatistResult"]
+
+#: Chaos-injection site: fires on every node visited by a defeatist
+#: descent, keyed by node id — an error aborts the ANN search like a
+#: bad page read would, which the service absorbs by re-serving the
+#: request through the exact scan (page stamped ``ann_fallback``).
+_SITE_DESCEND = register_site(
+    "index.descend", "spill-tree node read during a defeatist descent"
+)
+
+#: Calibration probes stop refining the estimate beyond this many
+#: sampled queries — enough for a stable mean, cheap enough to run at
+#: every build.
+_MAX_CALIBRATION_QUERIES = 64
+
+
+@dataclass(frozen=True)
+class SpillTreeConfig:
+    """Build-time knobs of the ANN tier.
+
+    Attributes:
+        rule: ``"kd"`` (max-variance coordinate) or ``"rp"`` (sampled
+            random directions).
+        spill: fraction of each node's points shared by both children,
+            in ``[0, 0.9]``; larger widens the descent buffer (higher
+            recall, costlier leaves).  The default matches the
+            committed recall contract (``benchmarks/baselines/ann.json``).
+        leaf_capacity: descent stops at nodes of at most this many
+            points; default derives from 4 KB pages like the exact tree
+            but with a floor that keeps defeatist recall useful.
+        max_leaves: cap on leaves reached per representative when
+            buffered descents fork at in-buffer projections; 1 forces
+            classic single-leaf defeatist search.
+        samples_rp: random directions scored per ``"rp"`` split.
+        seed: seeds both the RP directions and the recall calibration.
+        calibration_queries: sampled database rows probed to estimate
+            recall at build time (0 disables; the tree then reports a
+            conservative ``None``).
+        calibration_k: neighbours per calibration probe.
+    """
+
+    rule: str = "kd"
+    spill: float = 0.3
+    leaf_capacity: Optional[int] = None
+    max_leaves: int = 12
+    samples_rp: int = 8
+    seed: int = 0
+    calibration_queries: int = 32
+    calibration_k: int = 10
+
+    def __post_init__(self) -> None:
+        if self.rule not in ("kd", "rp"):
+            raise ValueError(f"rule must be 'kd' or 'rp', got {self.rule!r}")
+        if not 0.0 <= self.spill <= 0.9:
+            raise ValueError(f"spill must be in [0, 0.9], got {self.spill}")
+        if self.leaf_capacity is not None and self.leaf_capacity < 1:
+            raise ValueError(
+                f"leaf_capacity must be at least 1, got {self.leaf_capacity}"
+            )
+        if self.max_leaves < 1:
+            raise ValueError(f"max_leaves must be at least 1, got {self.max_leaves}")
+        if self.samples_rp < 1:
+            raise ValueError(f"samples_rp must be at least 1, got {self.samples_rp}")
+        if self.calibration_queries < 0:
+            raise ValueError(
+                f"calibration_queries must be non-negative, got {self.calibration_queries}"
+            )
+        if self.calibration_k < 1:
+            raise ValueError(
+                f"calibration_k must be at least 1, got {self.calibration_k}"
+            )
+
+
+@dataclass
+class SpillNode:
+    """One spill-tree node.
+
+    Internal nodes route by a scalar projection: ``axis`` is set for
+    ``"kd"`` splits (O(1) projection), ``direction`` for ``"rp"``
+    splits.  ``low`` / ``high`` are the spill-buffer quantile bounds —
+    projections strictly between them fall in the region both children
+    share.  Leaves hold database row indices.
+    """
+
+    node_id: int
+    indices: Optional[np.ndarray] = None
+    axis: Optional[int] = None
+    direction: Optional[np.ndarray] = None
+    route: float = 0.0
+    low: float = 0.0
+    high: float = 0.0
+    left: Optional["SpillNode"] = None
+    right: Optional["SpillNode"] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.indices is not None
+
+    def project(self, point: np.ndarray) -> float:
+        """The routing scalar of one point at this node."""
+        if self.axis is not None:
+            return float(point[self.axis])
+        assert self.direction is not None
+        return float(point @ self.direction)
+
+
+@dataclass(frozen=True)
+class DefeatistResult:
+    """Result of one defeatist multipoint search.
+
+    Attributes:
+        indices: database ids, best first (at most ``k``, fewer when
+            the reached leaves held fewer candidates).
+        distances: aggregate distances aligned with ``indices``.
+        cost: node/candidate accounting, comparable to the exact paths.
+        n_candidates: distinct rows the reached leaves contributed.
+    """
+
+    indices: np.ndarray
+    distances: np.ndarray
+    cost: SearchCost
+    n_candidates: int
+
+
+class SpillTree:
+    """Overlapping-split tree with defeatist multipoint search.
+
+    Args:
+        vectors: ``(n, p)`` database matrix (shared, not copied).
+        config: build knobs; default is the contract configuration.
+
+    The tree never mutates ``vectors``; like the exact index it holds a
+    C-contiguous float64 view so leaf scoring hands the compiled
+    kernels scan-ready rows.
+    """
+
+    def __init__(
+        self,
+        vectors: np.ndarray,
+        config: Optional[SpillTreeConfig] = None,
+    ) -> None:
+        vectors = np.ascontiguousarray(np.atleast_2d(vectors), dtype=float)
+        if vectors.shape[0] == 0:
+            raise ValueError("cannot index an empty database")
+        self.vectors = vectors
+        self.config = config if config is not None else SpillTreeConfig()
+        if self.config.leaf_capacity is not None:
+            self.leaf_capacity = self.config.leaf_capacity
+        else:
+            # Defeatist search sees a bounded handful of leaves per
+            # representative, so leaves are sized generously — dozens
+            # of 4 KB pages rather than one, floored and capped so
+            # recall is neither a coin flip (tiny leaves) nor a full
+            # scan in disguise (giant ones).
+            per_page = page_capacity_for(vectors.shape[1])
+            self.leaf_capacity = max(256, min(4096, 32 * per_page))
+        self._rng = np.random.default_rng(self.config.seed)
+        self._id_counter = itertools.count()
+        self.root = self._build(np.arange(vectors.shape[0]))
+        self.n_nodes = next(self._id_counter)
+        self.calibrated_recall: Optional[float] = self._calibrate()
+
+    @property
+    def size(self) -> int:
+        """Number of indexed vectors."""
+        return self.vectors.shape[0]
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def _split_direction(
+        self, subset: np.ndarray
+    ) -> Tuple[Optional[int], Optional[np.ndarray], np.ndarray]:
+        """``(axis, direction, projections)`` for one split attempt."""
+        if self.config.rule == "kd":
+            axis = int(np.argmax(subset.var(axis=0)))
+            return axis, None, subset[:, axis]
+        best: Optional[np.ndarray] = None
+        best_spread = -1.0
+        best_projections: Optional[np.ndarray] = None
+        for _ in range(self.config.samples_rp):
+            direction = self._rng.standard_normal(subset.shape[1])
+            norm = float(np.linalg.norm(direction))
+            if norm == 0.0:
+                continue
+            direction /= norm
+            projections = subset @ direction
+            spread = float(projections.var())
+            if spread > best_spread:
+                best, best_spread = direction, spread
+                best_projections = projections
+        if best is None:  # pragma: no cover — p>=1 makes this unreachable
+            axis = 0
+            return axis, None, subset[:, axis]
+        return None, best, best_projections
+
+    def _build(self, indices: np.ndarray) -> SpillNode:
+        node_id = next(self._id_counter)
+        if indices.shape[0] <= self.leaf_capacity:
+            return SpillNode(node_id=node_id, indices=indices)
+        subset = self.vectors[indices]
+        axis, direction, projections = self._split_direction(subset)
+        if float(projections.max() - projections.min()) == 0.0:
+            # Zero spread along the best direction (duplicate rows or a
+            # constant subset): no split can separate anything — keep an
+            # oversized leaf rather than recurse forever.
+            return SpillNode(node_id=node_id, indices=indices)
+        half_spill = self.config.spill / 2.0
+        low, route, high = np.quantile(
+            projections, [0.5 - half_spill, 0.5, 0.5 + half_spill]
+        )
+        left_mask = projections <= high
+        right_mask = projections >= low
+        if bool(left_mask.all()) or bool(right_mask.all()):
+            # Heavy ties at the median: one child would swallow the
+            # whole node and the recursion would never shrink.  Fall
+            # back to a spill-free even split along the projection
+            # order; ties at the cut stay deterministic (stable sort).
+            order = np.argsort(projections, kind="stable")
+            half = indices.shape[0] // 2
+            cut = float(projections[order[half]])
+            node = SpillNode(
+                node_id=node_id,
+                axis=axis,
+                direction=direction,
+                route=cut,
+                low=cut,
+                high=cut,
+            )
+            node.left = self._build(indices[order[:half]])
+            node.right = self._build(indices[order[half:]])
+            return node
+        node = SpillNode(
+            node_id=node_id,
+            axis=axis,
+            direction=direction,
+            route=float(route),
+            low=float(low),
+            high=float(high),
+        )
+        node.left = self._build(indices[left_mask])
+        node.right = self._build(indices[right_mask])
+        return node
+
+    # ------------------------------------------------------------------
+    # Defeatist search
+    # ------------------------------------------------------------------
+
+    def _descend_steps(
+        self, point: np.ndarray, inject: bool
+    ) -> Tuple[List[SpillNode], int]:
+        """Buffered defeatist descent: ``(reached leaves, nodes visited)``.
+
+        Depth-first, never revisiting a node (no backtracking): at each
+        internal node a projection at or below ``low`` routes left only,
+        at or above ``high`` right only, and strictly inside the spill
+        buffer takes *both* children — the nearer side explored first —
+        until ``max_leaves`` leaves are reached.
+        """
+        leaves: List[SpillNode] = []
+        stack = [self.root]
+        visited = 0
+        max_leaves = self.config.max_leaves
+        while stack and len(leaves) < max_leaves:
+            node = stack.pop()
+            if inject:
+                fault_point(_SITE_DESCEND, key=str(node.node_id))
+            visited += 1
+            if node.is_leaf:
+                leaves.append(node)
+                continue
+            projection = node.project(point)
+            if projection <= node.low:
+                stack.append(node.left)
+            elif projection >= node.high:
+                stack.append(node.right)
+            elif projection <= node.route:
+                stack.append(node.right)
+                stack.append(node.left)
+            else:
+                stack.append(node.left)
+                stack.append(node.right)
+        return leaves, visited
+
+    def _descend(self, point: np.ndarray) -> Tuple[List[SpillNode], int]:
+        """The leaves one point routes to; ``(leaves, nodes visited)``."""
+        return self._descend_steps(point, inject=True)
+
+    def candidates_for(self, query: DisjunctiveQuery) -> Tuple[np.ndarray, int]:
+        """Union of leaf candidates over the query's representatives.
+
+        Returns ``(sorted database row ids, nodes visited)`` — sorted so
+        downstream scoring is independent of representative order.
+        """
+        if query.dimension != self.vectors.shape[1]:
+            raise ValueError(
+                f"query dimension {query.dimension} != index dimension "
+                f"{self.vectors.shape[1]}"
+            )
+        visited = 0
+        member = np.zeros(self.vectors.shape[0], dtype=bool)
+        for query_point in query.points:
+            leaves, steps = self._descend(np.asarray(query_point.center, dtype=float))
+            visited += steps
+            for leaf in leaves:
+                member[leaf.indices] = True
+        return np.nonzero(member)[0], visited
+
+    def defeatist_search(self, query: DisjunctiveQuery, k: int) -> DefeatistResult:
+        """Top-``k`` over the reached leaves only — no backtracking.
+
+        A bounded descent per query representative gathers the
+        candidate union; exact aggregate distances over those rows come
+        from the query's compiled kernels and are ranked under the
+        shared ``(distance, id)`` tie-break.  May return fewer than
+        ``k`` rows when the reached leaves held fewer candidates.
+        """
+        if k < 1:
+            raise ValueError(f"k must be at least 1, got {k}")
+        ensure_compiled(query)
+        candidates, visited = self.candidates_for(query)
+        distances = query.distances(self.vectors[candidates])
+        order = exact_top_k(
+            distances, min(k, candidates.shape[0]), tie_break=candidates
+        )
+        cost = SearchCost(
+            node_accesses=visited,
+            io_accesses=visited,
+            cached_accesses=0,
+            distance_evaluations=int(candidates.shape[0]),
+            candidates_pruned=int(self.size - candidates.shape[0]),
+        )
+        add_event(
+            "ann_search",
+            node_accesses=visited,
+            candidates=int(candidates.shape[0]),
+            database=self.size,
+        )
+        return DefeatistResult(
+            indices=candidates[order],
+            distances=distances[order],
+            cost=cost,
+            n_candidates=int(candidates.shape[0]),
+        )
+
+    # ------------------------------------------------------------------
+    # Calibration
+    # ------------------------------------------------------------------
+
+    def _calibrate(self) -> Optional[float]:
+        """Measured recall@k of defeatist descent on sampled rows.
+
+        Seeded and deterministic: sample database rows, run the
+        single-point defeatist descent for each, and check how many of
+        the row's *exact* Euclidean ``calibration_k`` neighbours landed
+        in the reached leaves.  Single-point Euclidean probes are a
+        proxy for the production disjunctive queries (each
+        representative of a multipoint query descends independently, so
+        per-point recall is the quantity that composes); the empirical
+        contract over real disjunctive workloads lives in the benchmark
+        suite.
+        """
+        n_queries = min(
+            self.config.calibration_queries, _MAX_CALIBRATION_QUERIES, self.size
+        )
+        if n_queries == 0:
+            return None
+        rng = np.random.default_rng(self.config.seed + 1)
+        sample = rng.choice(self.size, size=n_queries, replace=False)
+        k = min(self.config.calibration_k, self.size)
+        recalls: List[float] = []
+        for row in sample:
+            point = self.vectors[int(row)]
+            leaves, _ = self._descend_steps(point, inject=False)
+            reached = set(int(i) for leaf in leaves for i in leaf.indices)
+            exact = np.sum((self.vectors - point) ** 2, axis=1)
+            true_top = exact_top_k(exact, k)
+            hits = sum(1 for i in true_top if int(i) in reached)
+            recalls.append(hits / k)
+        return float(np.mean(recalls))
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def leaf_sizes(self) -> List[int]:
+        """Sizes of every leaf (diagnostics and tests)."""
+        sizes: List[int] = []
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                sizes.append(int(node.indices.shape[0]))
+            else:
+                stack.append(node.left)
+                stack.append(node.right)
+        return sizes
+
+    def stats(self) -> dict:
+        """Shape summary: nodes, leaves, depth-free size profile."""
+        sizes = self.leaf_sizes()
+        return {
+            "rule": self.config.rule,
+            "spill": self.config.spill,
+            "max_leaves": self.config.max_leaves,
+            "n_nodes": self.n_nodes,
+            "n_leaves": len(sizes),
+            "leaf_capacity": self.leaf_capacity,
+            "mean_leaf_size": float(np.mean(sizes)) if sizes else 0.0,
+            "max_leaf_size": int(max(sizes)) if sizes else 0,
+            "calibrated_recall": self.calibrated_recall,
+        }

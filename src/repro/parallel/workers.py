@@ -174,7 +174,7 @@ def scan_shard_topk_batch(
     ]
     full_scans = iter(_full_scan_distances(rejected, shard))
     results: List[Tuple[np.ndarray, np.ndarray, int, int, bool]] = []
-    for query, k, progressive in zip(queries, ks, batched):
+    for _query, k, progressive in zip(queries, ks, batched):
         if progressive is not None:
             results.append(
                 (

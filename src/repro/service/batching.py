@@ -36,10 +36,14 @@ under overload, none of which drops a request:
   member's :class:`~repro.service.resilience.DeadlineBudget` is about
   to spend its slack on queueing;
 * *load shedding* — past ``shed_threshold`` queued requests, new
-  arrivals are marked for an *approximate* scan (exact distances over a
-  bound-selected candidate subset) and their pages flow through the
-  existing :class:`~repro.service.degrade.ResultQuality` provenance
-  with reason ``"overload"`` — degraded honestly, never dropped.
+  arrivals are served cheaply instead of waiting.  With a ``shed_to``
+  handler (the engine wires its spill-tree ANN tier), the shed request
+  never enqueues at all: it is served immediately on the submitter's
+  own thread by the defeatist approximate search, page stamped
+  ``ResultQuality(approximate, estimated_recall=...)``.  Without one,
+  the request rides the batch marked for an approximate scan (exact
+  distances over a bound-selected candidate subset) and its page
+  carries reason ``"overload"`` — degraded honestly, never dropped.
 
 Per-tenant fairness is round-robin over tenant FIFO queues, so one
 chatty tenant cannot starve the rest; within a tenant, order is
@@ -170,6 +174,12 @@ class BatchingExecutor:
         fallback: ``(request) -> result`` — per-request serial execution
             used when the batch path fails; keeps faults in the batch
             machinery lossless (pages stay byte-identical, only slower).
+        shed_to: ``(request) -> result`` — immediate service for
+            requests arriving past ``shed_threshold``; runs on the
+            submitter's thread, bypassing the queue entirely (the
+            engine wires the ANN tier here).  ``None`` keeps the older
+            behaviour: shed requests ride the batch flagged
+            ``approximate`` for a bound-selected subset scan.
         config: the flow-control knobs.
         metrics: optional :class:`~repro.service.metrics.ServiceMetrics`
             receiving ``batches``/``batched_queries``/``batch_shed``/
@@ -187,12 +197,14 @@ class BatchingExecutor:
         execute: Callable[[List[BatchRequest]], Sequence[Any]],
         *,
         fallback: Optional[Callable[[BatchRequest], Any]] = None,
+        shed_to: Optional[Callable[[BatchRequest], Any]] = None,
         config: Optional[BatchingConfig] = None,
         metrics=None,
         clock: Callable[[], float] = time.monotonic,
     ) -> None:
         self._execute = execute
         self._fallback = fallback
+        self._shed_to = shed_to
         self.config = config or BatchingConfig()
         self._metrics = metrics
         self._clock = clock
@@ -236,6 +248,9 @@ class BatchingExecutor:
 
         Raises whatever the scan raised for this request.  Blocks at
         admission while ``max_pending`` requests are already queued.
+        A request arriving past ``shed_threshold`` with a ``shed_to``
+        handler configured never enqueues: it is served by the handler
+        on this thread and returns (or raises) immediately.
         """
         request = BatchRequest(payload=payload, key=key, k=int(k), tenant=tenant, budget=budget)
         request.context = contextvars.copy_context()
@@ -254,20 +269,32 @@ class BatchingExecutor:
                     0.0, budget.remaining - _DEADLINE_MARGIN_S
                 )
             threshold = self.config.shed_threshold
+            shed_inline = False
             if threshold is not None and self._pending >= threshold:
                 request.approximate = True
                 self._shed += 1
                 if self._metrics is not None:
                     self._metrics.increment("batch_shed")
-            queue = self._queues.get(tenant)
-            if queue is None:
-                queue = deque()
-                self._queues[tenant] = queue
-            queue.append(request)
-            self._pending += 1
-            self._peak_pending = max(self._peak_pending, self._pending)
-            self._submitted += 1
-            self._cond.notify_all()
+                # With a shed_to handler the congested queue never sees
+                # the request: it is served inline below, outside the
+                # lock, on this thread.
+                shed_inline = self._shed_to is not None
+            if shed_inline:
+                self._submitted += 1
+            else:
+                queue = self._queues.get(tenant)
+                if queue is None:
+                    queue = deque()
+                    self._queues[tenant] = queue
+                queue.append(request)
+                self._pending += 1
+                self._peak_pending = max(self._peak_pending, self._pending)
+                self._submitted += 1
+                self._cond.notify_all()
+        if shed_inline:
+            assert self._shed_to is not None
+            request.done.set()
+            return self._shed_to(request)
         request.done.wait()
         if self._metrics is not None:
             self._metrics.observe("batch_wait", max(0.0, self._clock() - request.arrival))

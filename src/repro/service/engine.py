@@ -57,6 +57,7 @@ from ..faults import fault_point, register_site
 from ..index.hybridtree import HybridTree
 from ..index.linear import page_capacity_for
 from ..index.multipoint import MultipointSearcher
+from ..index.spill import SpillTree, SpillTreeConfig
 from ..obs import (
     NULL_TRACER,
     SLOTracker,
@@ -94,6 +95,17 @@ _MIN_SHARD_ROWS = 1024
 #: shard that exhausts its retries is dropped from the merge and the
 #: page is marked ``shard_failed``.
 _SITE_SHARD = register_site("shard.scan", "per-shard top-k scan task")
+
+#: Reason tags that mean "deliberately approximate", not "coverage
+#: lost".  A page whose reasons are drawn entirely from this set is
+#: stamped ``approximate``; any other tag in the mix means real
+#: degradation, which dominates.
+_ANN_TAGS = frozenset(("ann", "ann_fallback"))
+
+#: Estimated recall claimed for an ANN page when the tree was built
+#: with calibration disabled — deliberately pessimistic, so turning
+#: calibration off never inflates the contract.
+_UNCALIBRATED_RECALL = 0.5
 
 
 class RetrievalService:
@@ -153,6 +165,22 @@ class RetrievalService:
             burn rates; one with the default objectives is built when
             omitted (SLO accounting is never sampled — an SLO computed
             over a sample is not an SLO).
+        ann: build the approximate tier — a
+            :class:`~repro.index.spill.SpillTree` searched defeatist
+            (no backtracking) over the reached leaves only.  ``True``
+            uses the default :class:`~repro.index.spill.SpillTreeConfig`
+            (the committed recall contract), or pass a config directly.
+            Exact search stays the default: the tier serves only
+            requests that ask for it (``approximate=True`` on
+            :meth:`query` / :meth:`feedback`), shed batching traffic,
+            and — with ``prefer_ann`` — tripped sessions.  Every page
+            it serves is stamped
+            ``ResultQuality(approximate, estimated_recall=...)``.
+        prefer_ann: when a session's guard trips (index errors or
+            soft-deadline strikes), serve it from the ANN tier instead
+            of the full exact fallback scan (requires ``ann``); the
+            honest trade under pressure — cheap announced
+            approximation over expensive exactness.
     """
 
     def __init__(
@@ -176,6 +204,8 @@ class RetrievalService:
         tracer=None,
         batching: Union[bool, BatchingConfig, None] = None,
         slo: Optional[SLOTracker] = None,
+        ann: Union[bool, SpillTreeConfig, None] = None,
+        prefer_ann: bool = False,
     ) -> None:
         if scan_backend not in ("threads", "processes"):
             raise ValueError(
@@ -229,8 +259,12 @@ class RetrievalService:
         self.k = min(k, n_rows)
         self.metrics = metrics if metrics is not None else ServiceMetrics()
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        if prefer_ann and not ann:
+            raise ValueError("prefer_ann requires the ANN tier (pass ann=True)")
         self.policy = DegradationPolicy(
-            soft_deadline_s=soft_deadline_s, trip_after=deadline_trip
+            soft_deadline_s=soft_deadline_s,
+            trip_after=deadline_trip,
+            prefer_ann=prefer_ann,
         )
         self.resilience = resilience if resilience is not None else ResiliencePolicy()
         self.store = SessionStore(
@@ -244,6 +278,12 @@ class RetrievalService:
         self.cache = ResultCache(cache_size)
         self._method_factory = method_factory
         self._tree = HybridTree(self.vectors) if use_index else None
+        # The ANN tier shares the exact paths' feature matrix (a
+        # store-backed service materializes it once, same as the index).
+        self._spill: Optional[SpillTree] = None
+        if ann:
+            spill_config = ann if isinstance(ann, SpillTreeConfig) else None
+            self._spill = SpillTree(self.vectors, spill_config)
         if max_workers is None:
             max_workers = min(8, os.cpu_count() or 1)
         if self._feature_store is not None:
@@ -300,6 +340,7 @@ class RetrievalService:
             self._batching = BatchingExecutor(
                 self._execute_batch,
                 fallback=self._batch_fallback,
+                shed_to=self._shed_to_ann if self._spill is not None else None,
                 config=config,
                 metrics=self.metrics,
                 clock=self._clock,
@@ -360,6 +401,11 @@ class RetrievalService:
         """The batching executor, or ``None`` when batching is off."""
         return self._batching
 
+    @property
+    def ann_tree(self) -> Optional[SpillTree]:
+        """The approximate tier's spill tree, or ``None`` without one."""
+        return self._spill
+
     # ------------------------------------------------------------------
     # The service API
     # ------------------------------------------------------------------
@@ -417,9 +463,24 @@ class RetrievalService:
         when the session was opened without one)."""
         return self._session_tenants.get(session_id, "default")
 
-    def query(self, session_id: str, k: Optional[int] = None) -> ResultPage:
-        """Current ranked result page for a session (cached)."""
+    def query(
+        self,
+        session_id: str,
+        k: Optional[int] = None,
+        *,
+        approximate: bool = False,
+    ) -> ResultPage:
+        """Current ranked result page for a session (cached).
+
+        Args:
+            k: page size override.
+            approximate: serve this request from the ANN tier (requires
+                the service to have one); the page comes back stamped
+                ``approximate`` with its estimated recall.
+        """
         k = self._clamp_k(k)
+        if approximate and self._spill is None:
+            raise ValueError("approximate serving requires the ANN tier (ann=True)")
         start = self._clock()
         with activate(self.tracer), self.tracer.span(
             "query", session_id=session_id, k=k
@@ -428,7 +489,7 @@ class RetrievalService:
                 budget = self.resilience.budget(clock=self._clock)
                 with self.store.lease(session_id) as session:
                     with self.metrics.time("query"):
-                        page = self._rank(session, k, budget)
+                        page = self._rank(session, k, budget, approximate=approximate)
             except BaseException:
                 self.slo.observe(
                     "query",
@@ -452,6 +513,8 @@ class RetrievalService:
         relevant_ids: Sequence[int],
         scores: Optional[Sequence[float]] = None,
         k: Optional[int] = None,
+        *,
+        approximate: bool = False,
     ) -> ResultPage:
         """Absorb one round of judgments; returns the refreshed page.
 
@@ -459,8 +522,12 @@ class RetrievalService:
             relevant_ids: database ids the user marked relevant.
             scores: optional per-id relevance scores.
             k: page size for the refreshed ranking.
+            approximate: serve the refreshed page from the ANN tier
+                (requires the service to have one).
         """
         k = self._clamp_k(k)
+        if approximate and self._spill is None:
+            raise ValueError("approximate serving requires the ANN tier (ann=True)")
         ids = [int(i) for i in relevant_ids]
         for image_id in ids:
             if not 0 <= image_id < self.size:
@@ -493,7 +560,7 @@ class RetrievalService:
                             session.guard.reset_for_new_query()
                         self.cache.invalidate(session_id)
                     with self.metrics.time("query"):
-                        page = self._rank(session, k, budget)
+                        page = self._rank(session, k, budget, approximate=approximate)
                     span.set("iteration", session.iteration)
             except BaseException:
                 self.slo.observe(
@@ -543,6 +610,8 @@ class RetrievalService:
             snapshot["worker_pool"] = self._pool.stats()
         if self._batching is not None:
             snapshot["batching"] = self._batching.stats()
+        if self._spill is not None:
+            snapshot["ann"] = self._spill.stats()
         snapshot["slo"] = self.slo.snapshot()
         return snapshot
 
@@ -566,33 +635,51 @@ class RetrievalService:
         return min(k, self.size)
 
     def _rank(
-        self, session: ManagedSession, k: int, budget: DeadlineBudget
+        self,
+        session: ManagedSession,
+        k: int,
+        budget: DeadlineBudget,
+        approximate: bool = False,
     ) -> ResultPage:
-        key = fingerprint_query(session.query, k, scope=self._dataset_fingerprint)
-        # The cache is an optimization: any failure inside it (including
-        # an injected one) is just a miss, never a failed query.
-        cached = None
-        try:
-            cached = self.cache.get(key)
-        except Exception:
-            self.metrics.increment("cache_errors")
-            add_event("result_cache", outcome="error")
-        if cached is not None:
-            self.metrics.increment("cache_hits")
-            add_event("result_cache", outcome="hit")
-            ids, distances = cached
-            reasons: Tuple[str, ...] = ()
+        guard = session.guard
+        use_ann = self._spill is not None and (
+            approximate
+            or (self.policy.prefer_ann and guard is not None and guard.active)
+        )
+        if use_ann:
+            # The ANN path bypasses the result cache in both directions:
+            # approximate pages are never stored (a later exact request
+            # must not replay them), and an approximate request computes
+            # fresh rather than borrowing a cached exact page — the
+            # caller asked for the cheap tier's latency profile, and a
+            # page's provenance should describe how it was produced.
+            ids, distances, reasons = self._ann_scan(session.query, k, budget)
         else:
-            self.metrics.increment("cache_misses")
-            add_event("result_cache", outcome="miss")
-            ids, distances, reasons = self._compute_rank(session, k, budget)
-            if not reasons:
-                # Only exact pages are cached — a later hit must never
-                # replay a transient coverage loss.
-                try:
-                    self.cache.put(key, ids, distances, owner=session.session_id)
-                except Exception:
-                    self.metrics.increment("cache_errors")
+            key = fingerprint_query(session.query, k, scope=self._dataset_fingerprint)
+            # The cache is an optimization: any failure inside it (including
+            # an injected one) is just a miss, never a failed query.
+            cached = None
+            try:
+                cached = self.cache.get(key)
+            except Exception:
+                self.metrics.increment("cache_errors")
+                add_event("result_cache", outcome="error")
+            if cached is not None:
+                self.metrics.increment("cache_hits")
+                add_event("result_cache", outcome="hit")
+                ids, distances = cached
+                reasons = ()
+            else:
+                self.metrics.increment("cache_misses")
+                add_event("result_cache", outcome="miss")
+                ids, distances, reasons = self._compute_rank(session, k, budget)
+                if not reasons:
+                    # Only exact pages are cached — a later hit must never
+                    # replay a transient coverage loss.
+                    try:
+                        self.cache.put(key, ids, distances, owner=session.session_id)
+                    except Exception:
+                        self.metrics.increment("cache_errors")
         if reasons:
             session.pending_reasons = tuple(
                 dict.fromkeys(session.pending_reasons + reasons)
@@ -600,6 +687,14 @@ class RetrievalService:
         quality = self._quality(session, reasons)
         if quality.is_exact:
             self.metrics.increment("results_exact")
+        elif quality.is_approximate:
+            self.metrics.increment("results_approximate")
+            add_event(
+                "result_quality",
+                level=quality.level,
+                reasons=",".join(quality.reasons),
+                estimated_recall=quality.estimated_recall,
+            )
         else:
             self.metrics.increment("results_degraded")
             for reason in quality.reasons:
@@ -616,14 +711,32 @@ class RetrievalService:
             quality=quality,
         )
 
-    @staticmethod
     def _quality(
-        session: ManagedSession, reasons: Tuple[str, ...] = ()
+        self, session: ManagedSession, reasons: Tuple[str, ...] = ()
     ) -> ResultQuality:
-        """The page's provenance: sticky session reasons plus this scan's."""
-        combined = session.provenance + tuple(reasons)
+        """The page's provenance: sticky session reasons plus this scan's.
+
+        Reasons drawn entirely from the ANN tags stamp the page
+        ``approximate`` with the tree's calibrated recall (1.0 for a
+        pure ``ann_fallback`` — the content is exact, the stamp is the
+        conservative claim).  Any non-ANN tag means coverage or state
+        was actually lost, and degradation dominates: the page is
+        ``degraded`` carrying every tag.
+        """
+        combined = tuple(dict.fromkeys(session.provenance + tuple(reasons)))
         if not combined:
             return EXACT_QUALITY
+        if all(tag in _ANN_TAGS for tag in combined):
+            if "ann" in combined:
+                tree = self._spill
+                recall = (
+                    tree.calibrated_recall
+                    if tree is not None and tree.calibrated_recall
+                    else _UNCALIBRATED_RECALL
+                )
+            else:
+                recall = 1.0
+            return ResultQuality.approximate(recall, *combined)
         return ResultQuality.degraded(*combined)
 
     def _kernel_cache_event(self, event: str) -> None:
@@ -1032,6 +1145,73 @@ class RetrievalService:
         self.metrics.increment("candidates_refined", int(refined))
         top = exact_top_k(distances, min(k, ids.shape[0]), tie_break=ids)
         return ids[top], distances[top], reasons
+
+    # ------------------------------------------------------------------
+    # The approximate tier
+    # ------------------------------------------------------------------
+
+    def _ann_scan(
+        self, query: QueryLike, k: int, budget: Optional[DeadlineBudget] = None
+    ):
+        """Top-``k`` from the spill tree's defeatist search.
+
+        Returns ``(ids, distances, reasons)`` like the exact scans.  A
+        healthy descent yields ``("ann",)``.  When the tier itself
+        fails (an injected ``index.descend`` fault, a broken node), the
+        request is re-served by the exact sharded scan and tagged
+        ``"ann_fallback"`` on top of whatever the rescue scan reports —
+        the page content is then exact, but the stamp says the cheap
+        tier misbehaved.
+        """
+        assert self._spill is not None
+
+        def on_compile_retry(attempt: int, error: BaseException) -> None:
+            self.metrics.increment("compile_retries")
+            add_event("retry", stage="compile", attempt=attempt, error=repr(error))
+
+        retry_call(
+            lambda: ensure_compiled(
+                query,
+                on_event=self._kernel_cache_event,
+                scope=self._dataset_fingerprint,
+            ),
+            self.resilience.retry,
+            deadline=budget,
+            on_retry=on_compile_retry,
+        )
+        self.metrics.increment("ann_scans")
+        start = self._clock()
+        with self.tracer.span("scan", path="ann", k=k) as span:
+            try:
+                result = self._spill.defeatist_search(query, k)
+            except Exception as error:
+                span.set("error", True)
+                self.metrics.increment("ann_fallbacks")
+                add_event("ann_fallback", error=repr(error))
+                ids, distances, reasons = self._sharded_scan(query, k, budget)
+                return ids, distances, tuple(reasons) + ("ann_fallback",)
+            span.set("candidates", result.n_candidates)
+        self.metrics.observe("ann_search", self._clock() - start)
+        self.metrics.increment("ann_node_accesses", result.cost.node_accesses)
+        self.metrics.increment("ann_candidates", result.n_candidates)
+        if result.cost.candidates_pruned:
+            self.metrics.increment(
+                "candidates_pruned", result.cost.candidates_pruned
+            )
+        self.metrics.increment(
+            "candidates_refined", result.cost.distance_evaluations
+        )
+        return result.indices, result.distances, ("ann",)
+
+    def _shed_to_ann(self, request: BatchRequest):
+        """Serve one load-shed batching request from the ANN tier.
+
+        Runs on the submitter's own thread (the executor hands shed
+        requests here instead of queueing them), so an overloaded queue
+        sheds real work immediately rather than marking requests for a
+        cheaper ride through the same congested dispatcher.
+        """
+        return self._ann_scan(request.payload, request.k, request.budget)
 
     # ------------------------------------------------------------------
     # Batched ranking (the micro-batch executor's scan backend)

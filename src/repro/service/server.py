@@ -9,9 +9,13 @@ session API to network clients:
                                <row id | feature list>, "session_id"?,
                                "k"?}``; the ``X-Tenant`` header labels
                                the session's fair-queueing lane.
-``GET /sessions/{id}/page``    current ranked page (``?k=`` override).
+``GET /sessions/{id}/page``    current ranked page (``?k=`` override;
+                               ``?approximate=1`` serves from the ANN
+                               tier when the service has one, the page
+                               stamped with its estimated recall).
 ``POST /sessions/{id}/feedback``  absorb judgments ``{"relevant_ids":
-                               [...], "scores"?, "k"?}``; returns the
+                               [...], "scores"?, "k"?,
+                               "approximate"?}``; returns the
                                refreshed page.
 ``DELETE /sessions/{id}``      close the session.
 ``GET /healthz``               liveness probe.
@@ -90,15 +94,18 @@ _REASON = {
 
 def _page_payload(page) -> Dict[str, Any]:
     quality = page.quality
+    quality_payload: Dict[str, Any] = {
+        "level": quality.level,
+        "reasons": list(quality.reasons),
+        "exact": quality.is_exact,
+    }
+    if quality.estimated_recall is not None:
+        quality_payload["estimated_recall"] = float(quality.estimated_recall)
     return {
         "ids": [int(i) for i in page.ids],
         "distances": [float(d) for d in page.distances],
         "iteration": int(page.iteration),
-        "quality": {
-            "level": quality.level,
-            "reasons": list(quality.reasons),
-            "exact": quality.is_exact,
-        },
+        "quality": quality_payload,
     }
 
 
@@ -458,6 +465,7 @@ class RetrievalServer:
                 return 405, {"error": "page is GET-only"}
             session_id = path[1]
             k = int(query["k"]) if "k" in query else None
+            approximate = query.get("approximate", "").lower() in ("1", "true", "yes")
 
             def fetch_page():
                 # The "page" route gets its own SLO observation: it is
@@ -466,7 +474,7 @@ class RetrievalServer:
                 start = time.monotonic()
                 tenant = self.service.tenant_of(session_id)
                 try:
-                    page = self.service.query(session_id, k)
+                    page = self.service.query(session_id, k, approximate=approximate)
                 except BaseException:
                     self.service.slo.observe(
                         "page", time.monotonic() - start, tenant=tenant, error=True
@@ -490,8 +498,11 @@ class RetrievalServer:
             relevant = payload.get("relevant_ids", [])
             scores = payload.get("scores")
             k = payload.get("k")
+            approximate = bool(payload.get("approximate", False))
             page = await call(
-                lambda: self.service.feedback(session_id, relevant, scores, k)
+                lambda: self.service.feedback(
+                    session_id, relevant, scores, k, approximate=approximate
+                )
             )
             return 200, _page_payload(page)
         if len(path) == 2 and path[0] == "sessions" and method == "DELETE":

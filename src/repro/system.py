@@ -34,13 +34,19 @@ __all__ = ["ResultQuality", "EXACT_QUALITY", "ResultPage", "ImageRetrievalSystem
 
 @dataclass(frozen=True)
 class ResultQuality:
-    """Provenance of a result page: exact, or degraded and *why*.
+    """Provenance of a result page: exact, approximate, or degraded — and *why*.
 
     Every response carries one of these.  ``exact`` is a guarantee:
     the page is byte-identical to what a fault-free computation over
     the session's state would produce (recovery — retries, hedges,
     fallback scans — may have happened, but it succeeded completely).
-    ``degraded`` means coverage or state was lost and names the causes:
+    ``approximate`` means the page was deliberately served by the
+    cheap no-backtrack ANN tier (or the session's feedback trajectory
+    has been shaped by such a page): the ranking is exact *over the
+    candidates the tier reached*, and ``estimated_recall`` states the
+    tier's calibrated recall@k against the exact scan.  Approximation
+    is an announced trade, never a silent one.
+    ``degraded`` means coverage or state was *lost* and names the causes:
 
     * ``"shard_failed"`` — one or more shards were dropped after their
       retry budget; the page may miss rows from those shards.
@@ -50,40 +56,82 @@ class ResultQuality:
       genesis query after checkpoint corruption; accumulated feedback
       was lost.
 
-    Degradation is sticky per session: once a session's feedback
-    trajectory was influenced by a degraded page, later pages remain
-    marked (their ranking is exact over *divergent* state).
+    Approximate pages carry their own reason tags:
+
+    * ``"ann"`` — the page was ranked by the defeatist spill/RP-tree
+      search over the reached leaves only.
+    * ``"ann_fallback"`` — the ANN tier itself failed mid-descent and
+      the request was re-served by the *exact* scan; the page content
+      is exact, but it is stamped approximate (a conservative claim is
+      never a lie) so the caller sees the tier misbehaving.
+
+    Degradation and approximation are sticky per session: once a
+    session's feedback trajectory was influenced by such a page, later
+    pages remain marked (their ranking is exact over *divergent* state).
 
     Attributes:
-        level: ``"exact"`` or ``"degraded"``.
+        level: ``"exact"``, ``"approximate"`` or ``"degraded"``.
         reasons: sorted, de-duplicated causes (empty iff exact).
+        estimated_recall: calibrated recall@k estimate in ``(0, 1]``;
+            required for ``approximate``, absent otherwise.
     """
 
     level: str = "exact"
     reasons: Tuple[str, ...] = ()
+    estimated_recall: Optional[float] = None
 
     def __post_init__(self) -> None:
-        if self.level not in ("exact", "degraded"):
-            raise ValueError(f"level must be 'exact' or 'degraded', got {self.level!r}")
+        if self.level not in ("exact", "approximate", "degraded"):
+            raise ValueError(
+                f"level must be 'exact', 'approximate' or 'degraded', got {self.level!r}"
+            )
         object.__setattr__(self, "reasons", tuple(sorted(set(self.reasons))))
         if self.level == "exact" and self.reasons:
             raise ValueError(f"exact quality cannot carry reasons, got {self.reasons}")
-        if self.level == "degraded" and not self.reasons:
-            raise ValueError("degraded quality needs at least one reason")
+        if self.level in ("approximate", "degraded") and not self.reasons:
+            raise ValueError(f"{self.level} quality needs at least one reason")
+        if self.level == "approximate":
+            if self.estimated_recall is None:
+                raise ValueError("approximate quality needs an estimated_recall")
+            if not 0.0 < self.estimated_recall <= 1.0:
+                raise ValueError(
+                    f"estimated_recall must be in (0, 1], got {self.estimated_recall}"
+                )
+        elif self.estimated_recall is not None:
+            raise ValueError(
+                f"{self.level} quality cannot carry an estimated_recall"
+            )
 
     @property
     def is_exact(self) -> bool:
         """Whether the page is guaranteed byte-identical to fault-free."""
         return self.level == "exact"
 
+    @property
+    def is_approximate(self) -> bool:
+        """Whether the page was (or follows) an announced ANN-tier serve."""
+        return self.level == "approximate"
+
     @classmethod
     def degraded(cls, *reasons: str) -> "ResultQuality":
         """A degraded quality tagged with one or more causes."""
         return cls(level="degraded", reasons=tuple(reasons))
 
+    @classmethod
+    def approximate(cls, estimated_recall: float, *reasons: str) -> "ResultQuality":
+        """An approximate quality with its recall estimate and causes."""
+        return cls(
+            level="approximate",
+            reasons=tuple(reasons) or ("ann",),
+            estimated_recall=float(estimated_recall),
+        )
+
     def to_dict(self) -> dict:
         """JSON-compatible form for logs and API responses."""
-        return {"level": self.level, "reasons": list(self.reasons)}
+        payload = {"level": self.level, "reasons": list(self.reasons)}
+        if self.estimated_recall is not None:
+            payload["estimated_recall"] = self.estimated_recall
+        return payload
 
 
 #: The shared "nothing was lost" singleton (the default on every page).

@@ -36,6 +36,7 @@ def run_workload(
     shards=4,
     store_path=None,
     batching=False,
+    ann=False,
 ):
     """Round-robin query/feedback rounds; returns (records, fire stats).
 
@@ -45,8 +46,12 @@ def run_workload(
     With ``batching`` every ranking routes through the batching
     executor (arming the ``batch.execute`` site); the sequential
     workload yields micro-batches of one, which still traverse the
-    full batch path.
+    full batch path.  With ``ann`` the service builds a spill tree and
+    every request asks for the approximate tier (arming the
+    ``index.descend`` site); small leaves so the 120-row database
+    actually splits.
     """
+    from repro.index.spill import SpillTreeConfig
     from repro.store import FeatureStore
 
     rng = np.random.default_rng(workload_seed)
@@ -64,6 +69,7 @@ def run_workload(
             checkpoint_dir=checkpoint_dir,
             cache_size=32,
             batching=batching,
+            ann=SpillTreeConfig(leaf_capacity=16, max_leaves=4) if ann else None,
         )
         context = (
             activate_faults(fault_plan) if fault_plan is not None else nullcontext()
@@ -84,13 +90,14 @@ def run_workload(
                         record = {"key": (index, round_index)}
                         try:
                             if round_index == 0 or index not in last_pages:
-                                page = service.query(session_id)
+                                page = service.query(session_id, approximate=ann)
                             else:
                                 judgment = users[index].judge(last_pages[index].ids)
                                 page = service.feedback(
                                     session_id,
                                     judgment.relevant_indices,
                                     judgment.scores,
+                                    approximate=ann,
                                 )
                         except Exception as error:
                             record["error"] = repr(error)
@@ -108,10 +115,17 @@ def run_workload(
 
 
 def check_contract(baseline, faulted):
-    """Every faulted page: byte-identical, explicitly degraded, or errored."""
+    """Every faulted page: byte-identical, explicitly degraded, or errored.
+
+    Approximate pages obey the same contract: defeatist descent is
+    deterministic, so a healthy ANN page must match its fault-free ANN
+    twin byte for byte, while an ``ann_fallback`` rescue is announced
+    on the page and — because the exact scan's content differs from
+    the twin's defeatist page — diverges the session from there on.
+    """
     assert not any("error" in record for record in baseline)
     by_key = {record["key"]: record for record in baseline}
-    counts = {"exact": 0, "degraded": 0, "error": 0}
+    counts = {"exact": 0, "approximate": 0, "fallback": 0, "degraded": 0, "error": 0}
     diverged = set()
     for record in faulted:
         session_index = record["key"][0]
@@ -124,15 +138,28 @@ def check_contract(baseline, faulted):
             continue
         if session_index in diverged:
             continue
+        reasons = record.get("reasons", ())
         if record["quality"] == "exact":
             counts["exact"] += 1
-            twin = by_key[record["key"]]
-            assert record["ids"] == twin["ids"], record["key"]
-            assert record["distances"] == twin["distances"], record["key"]
+            comparable = True
+        elif record["quality"] == "approximate" and "ann_fallback" not in reasons:
+            assert reasons, "approximate page must carry reasons"
+            counts["approximate"] += 1
+            comparable = True
+        elif "ann_fallback" in reasons:
+            assert record["quality"] == "approximate"
+            counts["fallback"] += 1
+            diverged.add(session_index)
+            comparable = False
         else:
             counts["degraded"] += 1
             assert record["quality"] == "degraded"
             assert record["reasons"], "degraded page must carry reasons"
+            comparable = False
+        if comparable:
+            twin = by_key[record["key"]]
+            assert record["ids"] == twin["ids"], record["key"]
+            assert record["distances"] == twin["distances"], record["key"]
     return counts
 
 
@@ -149,17 +176,23 @@ def test_byte_identical_or_degraded(database, plan_name, fault_seed, tmp_path):
         store_path = tmp_path / "chaos.qcs"
         build_store(database, store_path, n_shards=4)
     # batch-abort targets batch.execute, so both runs must route
-    # rankings through the batching executor.
+    # rankings through the batching executor; ann-descend targets
+    # index.descend, so both runs must serve from the spill tree.
     batching = plan_name == "batch-abort"
+    ann = plan_name == "ann-descend"
     baseline, _ = run_workload(
-        database, None, store_path=store_path, batching=batching
+        database, None, store_path=store_path, batching=batching, ann=ann
     )
     faulted, stats = run_workload(
-        database, plan, store_path=store_path, batching=batching
+        database, plan, store_path=store_path, batching=batching, ann=ann
     )
     counts = check_contract(baseline, faulted)
     assert stats["total_fires"] > 0, "plan never fired: workload too small"
-    assert counts["exact"] > 0, "no page survived to be byte-checked"
+    assert (
+        counts["exact"] + counts["approximate"] > 0
+    ), "no page survived to be byte-checked"
+    if plan_name == "ann-descend":
+        assert counts["fallback"] > 0, "no descent failed: plan miswired"
     if plan_name == "torn-block":
         degraded_reasons = {
             reason

@@ -1,0 +1,152 @@
+"""The service's ANN tier: honest approximation end to end.
+
+Covers the serving-stack contract around the spill tree: the exact
+default stays byte-identical with the tier built, approximate pages
+are stamped ``ResultQuality(approximate, estimated_recall=...)`` and
+never silent, a mid-descent fault rescues through the exact scan as an
+announced ``ann_fallback``, provenance is sticky only once feedback
+consumed an approximate page, and a tripped degradation guard can
+prefer the ANN tier over the exact fallback scan.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.faults import FaultPlan, FaultSpec, activate_faults
+from repro.index.spill import SpillTreeConfig
+from repro.service import RetrievalService
+
+#: Small leaves so the 120-row test database actually splits and the
+#: defeatist descent is a real approximation, not a full scan.
+ANN_CONFIG = SpillTreeConfig(leaf_capacity=16, max_leaves=4)
+
+DESCEND_OUTAGE = FaultPlan(
+    specs=(FaultSpec(site="index.descend", kind="error", probability=1.0),)
+)
+
+
+def ann_service(database, **kwargs):
+    return RetrievalService(database, k=10, ann=ANN_CONFIG, **kwargs)
+
+
+class TestExactDefault:
+    def test_exact_requests_are_byte_identical_with_the_tier_built(self, database):
+        """Building the ANN tier must not perturb the default path."""
+        with RetrievalService(database, k=10) as plain, ann_service(database) as tiered:
+            for service in (plain, tiered):
+                service.create_session(3, session_id="s")
+            page_plain = plain.query("s")
+            page_tiered = tiered.query("s")
+            np.testing.assert_array_equal(page_plain.ids, page_tiered.ids)
+            np.testing.assert_array_equal(page_plain.distances, page_tiered.distances)
+            assert page_tiered.quality.level == "exact"
+
+    def test_viewing_an_approximate_page_does_not_taint_the_session(self, database):
+        with ann_service(database) as service:
+            session = service.create_session(3)
+            approximate = service.query(session, approximate=True)
+            assert approximate.quality.level == "approximate"
+            exact = service.query(session)
+            assert exact.quality.level == "exact"
+
+    def test_approximate_page_bypasses_the_result_cache(self, database):
+        """An approximate page must never be returned to an exact
+        request for the same session state, or vice versa."""
+        with ann_service(database) as service:
+            session = service.create_session(3)
+            exact_first = service.query(session)
+            approximate = service.query(session, approximate=True)
+            exact_again = service.query(session)
+            assert exact_again.quality.level == "exact"
+            np.testing.assert_array_equal(exact_first.ids, exact_again.ids)
+            assert approximate.quality.level == "approximate"
+
+
+class TestApproximateServing:
+    def test_page_is_stamped_with_the_calibrated_recall(self, database):
+        with ann_service(database) as service:
+            session = service.create_session(3)
+            page = service.query(session, approximate=True)
+            assert page.quality.level == "approximate"
+            assert page.quality.reasons == ("ann",)
+            assert page.quality.estimated_recall == service.ann_tree.calibrated_recall
+            assert len(page) == 10
+
+    def test_requires_the_tier(self, database):
+        with RetrievalService(database, k=10) as service:
+            session = service.create_session(0)
+            with pytest.raises(ValueError, match="ann"):
+                service.query(session, approximate=True)
+            with pytest.raises(ValueError, match="ann"):
+                service.feedback(session, [0], approximate=True)
+        with pytest.raises(ValueError, match="prefer_ann"):
+            RetrievalService(database, k=10, prefer_ann=True)
+
+    def test_feedback_on_an_approximate_page_is_sticky(self, database):
+        """Once feedback consumed an approximate page the trajectory
+        diverged: later pages stay marked even on the exact path."""
+        with ann_service(database) as service:
+            session = service.create_session(3)
+            page = service.query(session, approximate=True)
+            relevant = [int(i) for i in page.ids[:3]]
+            refined = service.feedback(session, relevant, approximate=True)
+            assert refined.quality.level == "approximate"
+            later = service.query(session)  # exact path, divergent state
+            assert later.quality.level == "approximate"
+            assert "ann" in later.quality.reasons
+
+    def test_metrics_and_stats_surface(self, database):
+        with ann_service(database) as service:
+            session = service.create_session(3)
+            service.query(session, approximate=True)
+            snapshot = service.metrics_snapshot()
+            assert snapshot["counters"]["ann_scans"] == 1
+            assert snapshot["counters"]["results_approximate"] == 1
+            assert snapshot["ann"]["n_leaves"] > 1
+            assert snapshot["ann"]["calibrated_recall"] is not None
+
+
+class TestFallback:
+    def test_descend_outage_rescues_through_the_exact_scan(self, database):
+        with ann_service(database) as service:
+            session = service.create_session(3)
+            with activate_faults(DESCEND_OUTAGE):
+                page = service.query(session, approximate=True)
+            assert page.quality.level == "approximate"
+            assert "ann_fallback" in page.quality.reasons
+            # The rescue ran the exact scan, so the *content* matches
+            # the exact page and the conservative stamp claims no loss.
+            assert page.quality.estimated_recall == 1.0
+            exact = service.query(session)
+            np.testing.assert_array_equal(page.ids, exact.ids)
+            counters = service.metrics_snapshot()["counters"]
+            assert counters["ann_fallbacks"] == 1
+
+
+class TestPreferAnn:
+    def test_tripped_guard_lands_on_the_ann_tier(self, database):
+        """With ``prefer_ann`` a deadline-tripped session is served by
+        the spill tree — announced — instead of the exact fallback."""
+        with ann_service(
+            database,
+            prefer_ann=True,
+            soft_deadline_s=1e-9,  # every index search misses
+            deadline_trip=1,
+        ) as service:
+            session = service.create_session(3)
+            first = service.query(session)  # index search, trips the guard
+            assert first.quality.level == "exact"
+            second = service.query(session, k=9)  # new state, guard active
+            assert second.quality.level == "approximate"
+            assert second.quality.reasons == ("ann",)
+
+    def test_without_prefer_ann_the_fallback_stays_exact(self, database):
+        with ann_service(
+            database, soft_deadline_s=1e-9, deadline_trip=1
+        ) as service:
+            session = service.create_session(3)
+            service.query(session)
+            page = service.query(session, k=9)
+            assert page.quality.level == "exact"

@@ -371,6 +371,39 @@ class TestBackpressure:
         assert flags == {"seed": False, "q0": False, "q1": False, "q2": True}
         assert executor.stats()["shed"] == 1
 
+    def test_shed_to_serves_inline_off_the_queue(self):
+        """With a shed target, shed requests never ride a micro-batch:
+        they are served on the submitter's own thread by ``shed_to``."""
+        gate = threading.Event()
+        execute = RecordingExecute(gate=gate)
+        shed_served = []
+
+        def shed_to(request):
+            shed_served.append(request.payload)
+            return ("ann", request.payload)
+
+        config = BatchingConfig(
+            max_batch=8, max_wait_s=0.0, max_pending=16, shed_threshold=2
+        )
+        with BatchingExecutor(execute, shed_to=shed_to, config=config) as executor:
+            first = Submitter(executor, "seed")
+            wait_for(lambda: len(execute.batches) == 1)
+            queued = [Submitter(executor, "q0"), Submitter(executor, "q1")]
+            wait_for(lambda: executor.queue_depth == 2)
+            # The third arrival crosses the threshold and must return
+            # immediately via shed_to, while the batch is still gated.
+            shed = Submitter(executor, "q2")
+            assert shed.join() == ("ann", "q2")
+            gate.set()
+            first.join()
+            for submitter, payload in zip(queued, ("q0", "q1")):
+                assert submitter.join() == ("served", payload)
+        assert shed_served == ["q2"]
+        assert executor.stats()["shed"] == 1
+        # Shed payloads never reached the batch path.
+        batched = {p for batch in execute.batches for p, _, _ in batch}
+        assert "q2" not in batched
+
 
 class TestRecovery:
     def test_batch_error_falls_back_per_request(self):

@@ -351,3 +351,65 @@ class TestClosedLoopLoad:
         # serial session's exact pages, round for round.
         for (index, round_index), page in report["pages"].items():
             assert page == serial["pages"][(0, round_index)]
+
+
+class TestApproximateOverHTTP:
+    """The ANN tier through the wire: opt-in flag, honest provenance."""
+
+    @pytest.fixture()
+    def ann_conn(self, database):
+        from repro.index.spill import SpillTreeConfig
+
+        with RetrievalService(
+            database,
+            k=10,
+            ann=SpillTreeConfig(leaf_capacity=16, max_leaves=4),
+        ) as service:
+            server = RetrievalServer(service, port=0, max_concurrent=4)
+            host, port = server.start_in_background()
+            connection = http.client.HTTPConnection(host, port, timeout=10)
+            yield connection, service
+            connection.close()
+            server.stop_background()
+
+    def test_approximate_page_carries_estimated_recall(self, ann_conn):
+        conn, service = ann_conn
+        _, created = call(conn, "POST", "/sessions", {"query": 5})
+        session_id = created["session_id"]
+        status, page = call(
+            conn, "GET", f"/sessions/{session_id}/page?k=5&approximate=1"
+        )
+        assert status == 200
+        assert page["quality"]["level"] == "approximate"
+        assert page["quality"]["reasons"] == ["ann"]
+        assert page["quality"]["estimated_recall"] == pytest.approx(
+            service.ann_tree.calibrated_recall
+        )
+
+    def test_exact_page_has_no_recall_field(self, ann_conn):
+        conn, _ = ann_conn
+        _, created = call(conn, "POST", "/sessions", {"query": 5})
+        session_id = created["session_id"]
+        status, page = call(conn, "GET", f"/sessions/{session_id}/page?k=5")
+        assert status == 200
+        assert page["quality"]["exact"] is True
+        assert "estimated_recall" not in page["quality"]
+
+    def test_approximate_feedback_flag(self, ann_conn):
+        conn, _ = ann_conn
+        _, created = call(conn, "POST", "/sessions", {"query": 5})
+        session_id = created["session_id"]
+        _, page = call(
+            conn, "GET", f"/sessions/{session_id}/page?k=5&approximate=1"
+        )
+        status, refined = call(
+            conn,
+            "POST",
+            f"/sessions/{session_id}/feedback",
+            {"relevant_ids": page["ids"][:3], "k": 5, "approximate": True},
+        )
+        assert status == 200
+        assert refined["quality"]["level"] == "approximate"
+        # Divergent trajectory: the exact path now reports it honestly.
+        _, later = call(conn, "GET", f"/sessions/{session_id}/page?k=5")
+        assert later["quality"]["level"] == "approximate"
